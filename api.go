@@ -1,0 +1,182 @@
+package dot11fp
+
+import (
+	"io"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/eval"
+	"dot11fp/internal/pcap"
+	"dot11fp/internal/scenario"
+	"dot11fp/internal/sim"
+)
+
+// Core fingerprinting types.
+type (
+	// Addr is a 48-bit MAC address.
+	Addr = dot11.Addr
+	// FrameClass is the frame-type classification signatures histogram over.
+	FrameClass = dot11.Class
+	// Param selects the network parameter a signature is built from.
+	Param = core.Param
+	// BinSpec shapes signature histograms.
+	BinSpec = core.BinSpec
+	// Config parameterises signature extraction.
+	Config = core.Config
+	// Measure selects the histogram similarity function.
+	Measure = core.Measure
+	// Signature is a device signature (Definition 1 of the paper).
+	Signature = core.Signature
+	// Database is a reference database of device signatures.
+	Database = core.Database
+	// Score is one reference device's similarity to a candidate.
+	Score = core.Score
+	// Candidate is a device observed within one detection window.
+	Candidate = core.Candidate
+	// Record is one captured frame.
+	Record = capture.Record
+	// Trace is an ordered monitor capture.
+	Trace = capture.Trace
+)
+
+// The five network parameters of the paper (§III).
+const (
+	ParamRate         = core.ParamRate
+	ParamSize         = core.ParamSize
+	ParamMediumAccess = core.ParamMediumAccess
+	ParamTxTime       = core.ParamTxTime
+	ParamInterArrival = core.ParamInterArrival
+)
+
+// Params lists all five network parameters in the paper's order.
+var Params = core.Params
+
+// Similarity measures.
+const (
+	MeasureCosine        = core.MeasureCosine
+	MeasureIntersection  = core.MeasureIntersection
+	MeasureBhattacharyya = core.MeasureBhattacharyya
+	MeasureL1            = core.MeasureL1
+)
+
+// DefaultWindow is the paper's 5-minute detection window.
+const DefaultWindow = core.DefaultWindow
+
+// DefaultConfig returns the paper's extraction configuration for a
+// parameter (default bins, 50-observation minimum).
+func DefaultConfig(p Param) Config { return core.DefaultConfig(p) }
+
+// DefaultBins returns the paper-calibrated histogram shape for a parameter.
+func DefaultBins(p Param) BinSpec { return core.DefaultBins(p) }
+
+// ParamByShortName resolves "rate", "size", "mtime", "txtime" or "iat".
+func ParamByShortName(s string) (Param, error) { return core.ParamByShortName(s) }
+
+// NewDatabase creates an empty reference database.
+func NewDatabase(cfg Config, m Measure) *Database { return core.NewDatabase(cfg, m) }
+
+// LoadDatabase reads a database previously written with Database.Save.
+func LoadDatabase(r io.Reader) (*Database, error) { return core.Load(r) }
+
+// Extract builds signatures for every sender in a trace under the
+// Figure-1 attribution rules.
+func Extract(tr *Trace, cfg Config) map[Addr]*Signature { return core.Extract(tr, cfg) }
+
+// ExtractOne builds the signature of a single sender regardless of the
+// minimum-observation rule.
+func ExtractOne(tr *Trace, sender Addr, cfg Config) *Signature {
+	return core.ExtractOne(tr, sender, cfg)
+}
+
+// SimilarityOf computes Algorithm 1 for one candidate/reference pair.
+func SimilarityOf(candidate, reference *Signature, m Measure) float64 {
+	return core.Similarity(candidate, reference, m)
+}
+
+// Split divides a trace into a training prefix and the validation rest.
+func Split(tr *Trace, refDur time.Duration) (train, validation *Trace) {
+	return core.Split(tr, refDur)
+}
+
+// Windows partitions a trace into detection windows.
+func Windows(tr *Trace, window time.Duration) []*Trace { return core.Windows(tr, window) }
+
+// CandidatesIn extracts the per-window candidate signatures of a
+// validation trace.
+func CandidatesIn(tr *Trace, window time.Duration, cfg Config) []Candidate {
+	return core.CandidatesIn(tr, window, cfg)
+}
+
+// ParseAddr parses a textual MAC address.
+func ParseAddr(s string) (Addr, error) { return dot11.ParseAddr(s) }
+
+// --- capture I/O -------------------------------------------------------------
+
+// Capture link types accepted by the pcap I/O functions — the two
+// monitor-metadata formats the paper's method reads (§III).
+const (
+	LinkTypeRadiotap = pcap.LinkTypeRadiotap
+	LinkTypePrism    = pcap.LinkTypePrism
+)
+
+// ReadPcap parses a radiotap or AVS/Prism pcap stream into a trace.
+func ReadPcap(r io.Reader) (*Trace, error) { return capture.ReadPcap(r) }
+
+// WritePcap serialises a trace as a standard radiotap pcap stream.
+func WritePcap(w io.Writer, tr *Trace) error { return capture.WritePcap(w, tr) }
+
+// WritePcapLinkType serialises a trace with the chosen capture-header
+// format (LinkTypeRadiotap or LinkTypePrism).
+func WritePcapLinkType(w io.Writer, tr *Trace, linkType uint32) error {
+	return capture.WritePcapLinkType(w, tr, linkType)
+}
+
+// --- evaluation --------------------------------------------------------------
+
+// Evaluation types.
+type (
+	// EvalSpec parameterises one evaluation run.
+	EvalSpec = eval.Spec
+	// EvalResult carries the similarity curve, AUC and identification
+	// ratios of one run.
+	EvalResult = eval.Result
+	// CurvePoint is one threshold sample of a similarity curve.
+	CurvePoint = eval.CurvePoint
+	// TraceInfo is a Table-I style trace summary.
+	TraceInfo = eval.TraceInfo
+)
+
+// Evaluate runs the paper's similarity and identification tests on a trace.
+func Evaluate(tr *Trace, spec EvalSpec) (*EvalResult, error) { return eval.Run(tr, spec) }
+
+// DescribeTrace computes a trace's Table-I row.
+func DescribeTrace(tr *Trace, refDur time.Duration, cfg Config) TraceInfo {
+	return eval.DescribeTrace(tr, refDur, cfg)
+}
+
+// --- trace synthesis ---------------------------------------------------------
+
+// ScenarioParams configures synthetic office/conference traces.
+type ScenarioParams = scenario.Params
+
+// SimStats summarises a simulation run.
+type SimStats = sim.Stats
+
+// GenerateOffice synthesises an office-like trace (stable placements,
+// WPA, diverse cards and services).
+func GenerateOffice(name string, seed uint64, duration time.Duration, stations int) (*Trace, error) {
+	tr, _, err := scenario.Build(scenario.Office(name, seed, duration, stations))
+	return tr, err
+}
+
+// GenerateConference synthesises a conference-like trace (open network,
+// mobility, churn, homogeneous fleet).
+func GenerateConference(name string, seed uint64, duration time.Duration, stations int) (*Trace, error) {
+	tr, _, err := scenario.Build(scenario.Conference(name, seed, duration, stations))
+	return tr, err
+}
+
+// GenerateScenario synthesises a trace from explicit parameters.
+func GenerateScenario(p ScenarioParams) (*Trace, SimStats, error) { return scenario.Build(p) }

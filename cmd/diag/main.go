@@ -1,0 +1,110 @@
+// Command diag is a development diagnostic: it builds a scenario trace,
+// runs the matcher, and reports per-candidate margins (true similarity
+// minus best impostor similarity) annotated with ground truth, to show
+// which device pairs confuse the fingerprint and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"dot11fp"
+	"dot11fp/internal/scenario"
+)
+
+func main() {
+	conf := flag.Bool("conf", false, "use the conference scenario")
+	dur := flag.Duration("dur", 14*time.Minute, "trace duration")
+	ref := flag.Duration("ref", 4*time.Minute, "reference duration")
+	n := flag.Int("n", 20, "stations")
+	seed := flag.Uint64("seed", 104, "seed")
+	params := flag.String("params", "iat", "comma list of short param names")
+	flag.Parse()
+
+	var p scenario.Params
+	if *conf {
+		p = scenario.Conference("diag", *seed, *dur, *n)
+	} else {
+		p = scenario.Office("diag", *seed, *dur, *n)
+	}
+	tr, _, manifest, err := scenario.BuildDetailed(p)
+	if err != nil {
+		panic(err)
+	}
+	truth := make(map[dot11fp.Addr]scenario.StationInfo, len(manifest))
+	for _, si := range manifest {
+		truth[si.Addr] = si
+	}
+	label := func(a dot11fp.Addr) string {
+		si, ok := truth[a]
+		if !ok {
+			return "ap"
+		}
+		return fmt.Sprintf("%s/%s/snr%.0f/gf%.1f%v", si.Profile, si.App, si.SNRBaseDB, si.GapFactor, si.Services)
+	}
+
+	for _, pname := range splitComma(*params) {
+		param, err := dot11fp.ParamByShortName(pname)
+		if err != nil {
+			panic(err)
+		}
+		cfg := dot11fp.DefaultConfig(param)
+		train, valid := dot11fp.Split(tr, *ref)
+		db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+		if err := db.Train(train); err != nil {
+			panic(err)
+		}
+		cands := dot11fp.CandidatesIn(valid, 5*time.Minute, cfg)
+		fmt.Printf("== %s: refs=%d cands=%d\n", pname, db.Len(), len(cands))
+		var margins []float64
+		for _, c := range cands {
+			scores := db.Match(c.Sig)
+			trueSim := -1.0
+			var bestOther dot11fp.Score
+			for _, s := range scores {
+				if s.Addr == dot11fp.Addr(c.Addr) {
+					trueSim = s.Sim
+				} else if s.Sim > bestOther.Sim {
+					bestOther = s
+				}
+			}
+			if trueSim < 0 {
+				continue
+			}
+			margins = append(margins, trueSim-bestOther.Sim)
+			if trueSim < bestOther.Sim {
+				fmt.Printf("  MISS w%d %-46s true=%.3f beaten by %.3f %s\n",
+					c.Window, label(dot11fp.Addr(c.Addr)), trueSim, bestOther.Sim, label(bestOther.Addr))
+			}
+		}
+		if len(margins) == 0 {
+			fmt.Println("  no known candidates")
+			continue
+		}
+		sort.Float64s(margins)
+		neg := 0
+		for _, m := range margins {
+			if m < 0 {
+				neg++
+			}
+		}
+		fmt.Printf("  margins: n=%d wrong-top1=%d median=%.4f p10=%.4f\n",
+			len(margins), neg, margins[len(margins)/2], margins[len(margins)/10])
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Command evalrun reproduces the paper's evaluation: Table I (trace
+// features), Table II (similarity-test AUC), Table III (identification
+// ratios) and the Figure 3 similarity-curve series, on synthetic
+// office/conference traces standing in for the paper's captures.
+//
+// The paper's traces span 7 hours with up to 188 reference devices; the
+// -scale flag shrinks durations (and -stations the populations) so the
+// full grid runs in minutes. EXPERIMENTS.md records results at the
+// committed defaults.
+//
+// Usage:
+//
+//	evalrun [-scale 0.1] [-stations 48] [-seed 7] [-params iat,txtime]
+//	        [-traces conf1,office1] [-fig3 DIR] [-windows 5m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dot11fp"
+	"dot11fp/internal/core"
+	"dot11fp/internal/eval"
+	"dot11fp/internal/scenario"
+)
+
+// traceSpec describes one of the paper's four evaluation traces.
+type traceSpec struct {
+	name       string
+	conference bool
+	// Paper-scale knobs.
+	total time.Duration
+	ref   time.Duration
+	// population at -stations baseline (office1 = baseline).
+	popFactor float64
+	seed      uint64
+}
+
+var traceSpecs = []traceSpec{
+	{name: "conf-1", conference: true, total: 7 * time.Hour, ref: time.Hour, popFactor: 1.3, seed: 101},
+	{name: "conf-2", conference: true, total: time.Hour, ref: 20 * time.Minute, popFactor: 0.8, seed: 102},
+	{name: "office-1", conference: false, total: 7 * time.Hour, ref: time.Hour, popFactor: 1.0, seed: 103},
+	{name: "office-2", conference: false, total: time.Hour, ref: 20 * time.Minute, popFactor: 0.8, seed: 104},
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "duration scale relative to the paper's traces (1.0 = 7h/1h)")
+	stations := flag.Int("stations", 40, "baseline resident population (office-1); other traces scale from it")
+	seed := flag.Uint64("seed", 0, "seed offset added to each trace's base seed")
+	paramsFlag := flag.String("params", "all", "comma-separated parameters (rate,size,mtime,txtime,iat) or 'all'")
+	tracesFlag := flag.String("traces", "all", "comma-separated traces (conf-1,conf-2,office-1,office-2) or 'all'")
+	fig3 := flag.String("fig3", "", "directory to write Figure-3 TSV curve files into")
+	window := flag.Duration("window", 5*time.Minute, "detection window size")
+	minRef := flag.Duration("minref", 4*time.Minute, "lower bound applied to scaled reference durations")
+	flag.Parse()
+
+	params, err := selectParams(*paramsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := selectTraces(*tracesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	results := make(map[string]map[core.Param]*eval.Result, len(specs))
+	var infos []eval.TraceInfo
+	var order []string
+
+	for _, ts := range specs {
+		total := scaleDur(ts.total, *scale)
+		ref := scaleDur(ts.ref, *scale)
+		if ref < *minRef {
+			ref = *minRef
+		}
+		if total < ref+2**window {
+			total = ref + 2**window
+		}
+		pop := int(float64(*stations)*ts.popFactor + 0.5)
+		fmt.Fprintf(os.Stderr, "building %-9s total=%v ref=%v stations=%d...\n", ts.name, total, ref, pop)
+		var p scenario.Params
+		if ts.conference {
+			p = scenario.Conference(ts.name, ts.seed+*seed, total, pop)
+		} else {
+			p = scenario.Office(ts.name, ts.seed+*seed, total, pop)
+		}
+		tr, _, err := scenario.Build(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  %d records, %d senders\n", len(tr.Records), len(tr.Senders()))
+
+		infos = append(infos, dot11fp.DescribeTrace(tr, ref, dot11fp.DefaultConfig(dot11fp.ParamInterArrival)))
+		order = append(order, ts.name)
+		results[ts.name] = make(map[core.Param]*eval.Result, len(params))
+		for _, param := range params {
+			res, err := dot11fp.Evaluate(tr, dot11fp.EvalSpec{
+				RefDuration: ref,
+				Window:      *window,
+				Config:      dot11fp.DefaultConfig(param),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			results[ts.name][param] = res
+			fmt.Fprintf(os.Stderr, "  %-20s AUC=%5.1f%% id@0.01=%5.1f%% id@0.1=%5.1f%% (refs=%d cand=%d)\n",
+				param, res.AUC*100, res.IdentAtFPR[0.01]*100, res.IdentAtFPR[0.1]*100,
+				res.RefDevices, res.Candidates)
+			if *fig3 != "" {
+				if err := writeCurve(*fig3, ts.name, res); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+
+	fmt.Println("TABLE I — EVALUATION TRACE FEATURES")
+	fmt.Println(eval.FormatTableI(infos))
+	fmt.Println("TABLE II — AUC FOR THE SIMILARITY TEST")
+	fmt.Println(eval.FormatTableII(results, order))
+	fmt.Println("TABLE III — IDENTIFICATION RATIOS")
+	fmt.Println(eval.FormatTableIII(results, order))
+}
+
+func scaleDur(d time.Duration, s float64) time.Duration {
+	return time.Duration(float64(d) * s).Round(time.Second)
+}
+
+func selectParams(s string) ([]core.Param, error) {
+	if s == "all" {
+		return dot11fp.Params, nil
+	}
+	var out []core.Param
+	for _, tok := range strings.Split(s, ",") {
+		p, err := dot11fp.ParamByShortName(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func selectTraces(s string) ([]traceSpec, error) {
+	if s == "all" {
+		return traceSpecs, nil
+	}
+	var out []traceSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		found := false
+		for _, ts := range traceSpecs {
+			if ts.name == tok {
+				out = append(out, ts)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown trace %q", tok)
+		}
+	}
+	return out, nil
+}
+
+func writeCurve(dir, trace string, res *eval.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, fmt.Sprintf("fig3-%s-%s.tsv", trace, res.Param.ShortName()))
+	return os.WriteFile(name, []byte(eval.FormatCurveTSV(res)), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evalrun:", err)
+	os.Exit(1)
+}

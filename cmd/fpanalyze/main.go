@@ -1,0 +1,162 @@
+// Command fpanalyze is the reproduction of the paper's analysis tool
+// (§V-C, originally Python/pcap): it ingests standard radiotap pcap
+// captures, builds device signatures from a chosen network parameter,
+// maintains a reference database, and matches candidates against it.
+//
+// Train a reference database from a capture:
+//
+//	fpanalyze -pcap office.pcap -param iat -train -db refs.json
+//
+// Match a later capture against it (per 5-minute detection window):
+//
+//	fpanalyze -pcap live.pcap -param iat -db refs.json -match
+//
+// List the devices and signature sizes in a capture:
+//
+//	fpanalyze -pcap office.pcap -param iat -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dot11fp"
+)
+
+func main() {
+	pcapPath := flag.String("pcap", "", "input radiotap pcap (required)")
+	paramName := flag.String("param", "iat", "network parameter: rate,size,mtime,txtime,iat")
+	dbPath := flag.String("db", "", "reference database path (JSON)")
+	train := flag.Bool("train", false, "build/extend the database from the capture")
+	match := flag.Bool("match", false, "match capture windows against the database")
+	list := flag.Bool("list", false, "list devices and observation counts")
+	window := flag.Duration("window", 5*time.Minute, "detection window for -match")
+	minObs := flag.Int("minobs", 50, "minimum observations per signature")
+	threshold := flag.Float64("threshold", 0.5, "similarity threshold for reporting matches")
+	flag.Parse()
+
+	if *pcapPath == "" {
+		fatal(fmt.Errorf("missing -pcap"))
+	}
+	param, err := dot11fp.ParamByShortName(*paramName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := dot11fp.Config{Param: param, MinObservations: *minObs}
+
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := dot11fp.ReadPcap(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fpanalyze: %d records, %v span, %d senders\n",
+		len(tr.Records), tr.Duration().Round(time.Second), len(tr.Senders()))
+
+	switch {
+	case *list:
+		runList(tr, cfg)
+	case *train:
+		if *dbPath == "" {
+			fatal(fmt.Errorf("-train requires -db"))
+		}
+		runTrain(tr, cfg, *dbPath)
+	case *match:
+		if *dbPath == "" {
+			fatal(fmt.Errorf("-match requires -db"))
+		}
+		runMatch(tr, *dbPath, *window, *threshold)
+	default:
+		fatal(fmt.Errorf("one of -list, -train, -match is required"))
+	}
+}
+
+func runList(tr *dot11fp.Trace, cfg dot11fp.Config) {
+	sigs := dot11fp.Extract(tr, cfg)
+	type row struct {
+		addr dot11fp.Addr
+		obs  uint64
+	}
+	rows := make([]row, 0, len(sigs))
+	for addr, sig := range sigs {
+		rows = append(rows, row{addr, sig.Observations()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].obs > rows[j].obs })
+	fmt.Printf("%-20s %12s\n", "device", "observations")
+	for _, r := range rows {
+		fmt.Printf("%-20s %12d\n", r.addr, r.obs)
+	}
+}
+
+func runTrain(tr *dot11fp.Trace, cfg dot11fp.Config, dbPath string) {
+	db := loadOrNew(dbPath, cfg)
+	if err := db.Train(tr); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %d reference devices into %s\n", db.Len(), dbPath)
+}
+
+func runMatch(tr *dot11fp.Trace, dbPath string, window time.Duration, threshold float64) {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := dot11fp.LoadDatabase(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %-20s %-20s %-9s %s\n", "window", "candidate", "best match", "sim", "verdict")
+	for _, cand := range dot11fp.CandidatesIn(tr, window, db.Config()) {
+		best, ok := db.Best(cand.Sig)
+		if !ok {
+			continue
+		}
+		verdict := "UNKNOWN"
+		switch {
+		case best.Sim < threshold:
+			verdict = "no-match"
+		case best.Addr == dot11fp.Addr(cand.Addr):
+			verdict = "consistent"
+		default:
+			verdict = "SPOOF-SUSPECT"
+		}
+		fmt.Printf("%-8d %-20s %-20s %-9.4f %s\n",
+			cand.Window, dot11fp.Addr(cand.Addr), best.Addr, best.Sim, verdict)
+	}
+}
+
+func loadOrNew(path string, cfg dot11fp.Config) *dot11fp.Database {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+		}
+		fatal(err)
+	}
+	defer f.Close()
+	db, err := dot11fp.LoadDatabase(f)
+	if err != nil {
+		fatal(err)
+	}
+	return db
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command histdump regenerates the paper's histogram figures (2 and
+// 4–8) from controlled simulator experiments and writes them as
+// gnuplot-friendly TSV files (bin centre vs density).
+//
+// Usage:
+//
+//	histdump -fig 4 -o figures/        # one figure
+//	histdump -fig all -o figures/      # every histogram figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dot11fp/internal/eval"
+	"dot11fp/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,4,5,6,7,8 or all")
+	out := flag.String("o", "figures", "output directory")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range []string{"2", "4", "5", "6", "7", "8"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	emit := func(name string, s figures.Series) {
+		path := filepath.Join(*out, name+".tsv")
+		if err := os.WriteFile(path, []byte(eval.FormatHistogramTSV(s.Title, s.Sig)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d observations)\n", path, s.Sig.Observations())
+	}
+
+	if want["2"] {
+		s, err := figures.Figure2(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2", s)
+	}
+	if want["4"] {
+		ss, err := figures.Figure4(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4a-standard", ss[0])
+		emit("fig4b-extraslot", ss[1])
+	}
+	if want["5"] {
+		ss, err := figures.Figure5(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig5a-rts-off", ss[0])
+		emit("fig5b-rts-on", ss[1])
+	}
+	if want["6"] {
+		iat, rates, err := figures.Figure6(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig6a-dev1-iat", iat[0])
+		emit("fig6b-dev2-iat", iat[1])
+		emit("fig6c-dev1-rates", rates[0])
+		emit("fig6d-dev2-rates", rates[1])
+	}
+	if want["7"] {
+		ss, err := figures.Figure7(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig7a-netbook1", ss[0])
+		emit("fig7b-netbook2", ss[1])
+	}
+	if want["8"] {
+		ss, err := figures.Figure8(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig8a-card1", ss[0])
+		emit("fig8b-card2", ss[1])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "histdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/pcap"
+)
+
+// writePcap serialises the trace; split out for testability.
+func writePcap(w io.Writer, tr *capture.Trace, linkType uint32) error {
+	return capture.WritePcapLinkType(w, tr, linkType)
+}
+
+// linkTypeOf maps the -format flag to a pcap link type.
+func linkTypeOf(format string) (uint32, error) {
+	switch format {
+	case "radiotap":
+		return pcap.LinkTypeRadiotap, nil
+	case "prism":
+		return pcap.LinkTypePrism, nil
+	default:
+		return 0, fmt.Errorf("unknown capture format %q", format)
+	}
+}

@@ -1,0 +1,220 @@
+// Integration tests: the paper's headline claims, asserted end-to-end
+// on freshly simulated office and conference traces through the public
+// API. These are the "shape" checks of DESIGN.md §4.
+package dot11fp_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"dot11fp"
+)
+
+// Small-scale fixtures shared by the integration tests.
+var (
+	fixOnce   sync.Once
+	fixOffice *dot11fp.Trace
+	fixConf   *dot11fp.Trace
+	fixErr    error
+)
+
+func fixtures(t *testing.T) (office, conf *dot11fp.Trace) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixOffice, fixErr = dot11fp.GenerateOffice("it-office", 104, 14*time.Minute, 20)
+		if fixErr != nil {
+			return
+		}
+		fixConf, fixErr = dot11fp.GenerateConference("it-conf", 102, 20*time.Minute, 26)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixOffice, fixConf
+}
+
+func evalParam(t *testing.T, tr *dot11fp.Trace, p dot11fp.Param) *dot11fp.EvalResult {
+	t.Helper()
+	res, err := dot11fp.Evaluate(tr, dot11fp.EvalSpec{
+		RefDuration: 4 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      dot11fp.DefaultConfig(p),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShapeOfficeTransmissionTimeDominates asserts DESIGN.md shape (i):
+// transmission time yields the best AUC and identification in the
+// stable office setting (paper Table II/III, office columns).
+func TestShapeOfficeTransmissionTimeDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	office, _ := fixtures(t)
+	tt := evalParam(t, office, dot11fp.ParamTxTime)
+	rate := evalParam(t, office, dot11fp.ParamRate)
+	size := evalParam(t, office, dot11fp.ParamSize)
+	if tt.AUC <= rate.AUC {
+		t.Errorf("office: tt AUC %.3f should beat rate AUC %.3f", tt.AUC, rate.AUC)
+	}
+	if tt.IdentAtFPR[0.1] <= rate.IdentAtFPR[0.1] {
+		t.Errorf("office: tt ident %.3f should beat rate %.3f", tt.IdentAtFPR[0.1], rate.IdentAtFPR[0.1])
+	}
+	if tt.IdentAtFPR[0.1] < 0.4 {
+		t.Errorf("office: tt ident@0.1 = %.3f, implausibly low", tt.IdentAtFPR[0.1])
+	}
+	if tt.AUC <= size.AUC-0.15 {
+		t.Errorf("office: tt AUC %.3f far below size AUC %.3f", tt.AUC, size.AUC)
+	}
+}
+
+// TestShapeConferenceRateCollapses asserts shape (ii): the transmission
+// rate is the weakest parameter in the conference setting (paper: 4.0%
+// AUC on conf-1).
+func TestShapeConferenceRateCollapses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	_, conf := fixtures(t)
+	rate := evalParam(t, conf, dot11fp.ParamRate)
+	for _, p := range []dot11fp.Param{dot11fp.ParamSize, dot11fp.ParamInterArrival} {
+		other := evalParam(t, conf, p)
+		if rate.AUC >= other.AUC {
+			t.Errorf("conference: rate AUC %.3f should be below %v AUC %.3f", rate.AUC, p, other.AUC)
+		}
+	}
+	if rate.IdentAtFPR[0.1] > 0.15 {
+		t.Errorf("conference: rate ident@0.1 = %.3f, should collapse", rate.IdentAtFPR[0.1])
+	}
+}
+
+// TestShapeConferenceInterArrivalLeadsIdentification asserts shape
+// (iii): inter-arrival time gives the best identification ratios in the
+// difficult conference setting (the paper's central finding).
+func TestShapeConferenceInterArrivalLeadsIdentification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	_, conf := fixtures(t)
+	iat := evalParam(t, conf, dot11fp.ParamInterArrival)
+	tt := evalParam(t, conf, dot11fp.ParamTxTime)
+	rate := evalParam(t, conf, dot11fp.ParamRate)
+	size := evalParam(t, conf, dot11fp.ParamSize)
+	// iat must lead the timing parameters (within single-seed noise of
+	// the leader) and strictly beat rate and size, which both collapse.
+	if lead := tt.IdentAtFPR[0.1]; iat.IdentAtFPR[0.1] < 0.85*lead {
+		t.Errorf("conference: iat ident@0.1 %.3f well below tt %.3f", iat.IdentAtFPR[0.1], lead)
+	}
+	if iat.IdentAtFPR[0.1] <= rate.IdentAtFPR[0.1] || iat.IdentAtFPR[0.1] <= size.IdentAtFPR[0.1] {
+		t.Errorf("conference: iat ident@0.1 %.3f should beat rate %.3f and size %.3f",
+			iat.IdentAtFPR[0.1], rate.IdentAtFPR[0.1], size.IdentAtFPR[0.1])
+	}
+	if iat.IdentAtFPR[0.1] < 0.15 {
+		t.Errorf("conference: iat ident@0.1 = %.3f, implausibly low", iat.IdentAtFPR[0.1])
+	}
+}
+
+// TestShapeOfficeEasierThanConference asserts shape (iv): for the
+// strong parameters, office identification exceeds conference
+// identification (paper: compare Table III office vs conference).
+func TestShapeOfficeEasierThanConference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	office, conf := fixtures(t)
+	for _, p := range []dot11fp.Param{dot11fp.ParamTxTime, dot11fp.ParamInterArrival} {
+		o := evalParam(t, office, p)
+		c := evalParam(t, conf, p)
+		if o.IdentAtFPR[0.1] <= c.IdentAtFPR[0.1] {
+			t.Errorf("%v: office ident@0.1 %.3f should exceed conference %.3f",
+				p, o.IdentAtFPR[0.1], c.IdentAtFPR[0.1])
+		}
+	}
+}
+
+// TestPcapPipelineEquivalence verifies that exporting a trace to a
+// standard radiotap pcap file and re-importing it preserves the
+// fingerprinting result: the reference database learned from the
+// round-tripped trace identifies the same devices.
+func TestPcapPipelineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	office, _ := fixtures(t)
+	var buf bytes.Buffer
+	if err := dot11fp.WritePcap(&buf, office); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dot11fp.ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(office.Records) {
+		t.Fatalf("round trip records: %d vs %d", len(back.Records), len(office.Records))
+	}
+
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	train1, _ := dot11fp.Split(office, 4*time.Minute)
+	train2, _ := dot11fp.Split(back, 4*time.Minute)
+	db1 := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+	db2 := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+	if err := db1.Train(train1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Train(train2); err != nil {
+		t.Fatal(err)
+	}
+	if db1.Len() != db2.Len() {
+		t.Fatalf("reference devices differ after pcap round trip: %d vs %d", db1.Len(), db2.Len())
+	}
+	// Signatures must match numerically: cross-check similarities.
+	for _, addr := range db1.Devices() {
+		s := dot11fp.SimilarityOf(db1.Signature(addr), db2.Signature(addr), dot11fp.MeasureCosine)
+		if s < 0.9999 {
+			t.Errorf("device %v signature drifted through pcap: self-sim %v", addr, s)
+		}
+	}
+}
+
+// TestDeterministicGeneration verifies seed-determinism through the
+// public API (same seed → identical trace; different seed → different).
+func TestDeterministicGeneration(t *testing.T) {
+	t.Parallel()
+	a, err := dot11fp.GenerateOffice("det", 9, 2*time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dot11fp.GenerateOffice("det", 9, 2*time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed, different record counts: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("same seed diverged at record %d", i)
+		}
+	}
+	c, err := dot11fp.GenerateOffice("det", 10, 2*time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}

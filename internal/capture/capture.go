@@ -1,0 +1,386 @@
+// Package capture models the paper's monitoring device: a standard
+// wireless card in monitor mode on a fixed channel, producing one
+// timestamped record per received frame.
+//
+// A Record carries exactly the information the paper extracts from the
+// Radiotap/Prism header plus the MAC header fields needed for sender
+// attribution (Figure 1): end-of-reception time, rate, on-air size,
+// frame class, transmitter address when the frame type carries one, and
+// the retry/FCS flags. Traces can be exported to and re-imported from
+// standard pcap files with radiotap link type, byte-compatible with
+// real-world captures.
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/pcap"
+	"dot11fp/internal/prism"
+	"dot11fp/internal/radiotap"
+)
+
+// Record is one observed frame.
+type Record struct {
+	// T is the end-of-reception timestamp in µs since trace start —
+	// the paper's t_i.
+	T int64
+	// Sender is the transmitter address, or the zero address for frame
+	// types that carry none (ACK, CTS): those records still contribute
+	// to inter-arrival context but are never attributed to a device.
+	Sender dot11.Addr
+	// Receiver is the receiver address (RA).
+	Receiver dot11.Addr
+	// Class is the fingerprinting frame class.
+	Class dot11.Class
+	// Size is the on-air MPDU size in bytes including header and FCS —
+	// the paper's size_i.
+	Size int
+	// RateMbps is the transmission rate the monitor's PHY reported —
+	// the paper's rate_i.
+	RateMbps float64
+	// Retry reports the retransmission bit.
+	Retry bool
+	// FCSOK reports whether the frame passed its checksum. Corrupt
+	// frames are recorded (real monitors log them) but excluded from
+	// signatures.
+	FCSOK bool
+	// SignalDBm is the received signal strength.
+	SignalDBm int8
+	// Protected reports the frame-body encryption bit.
+	Protected bool
+}
+
+// Trace is an ordered sequence of records from one monitoring session.
+type Trace struct {
+	// Name labels the trace (e.g. "office 1").
+	Name string
+	// Base is the wall-clock time of T=0.
+	Base time.Time
+	// Channel is the monitored 2.4 GHz channel number.
+	Channel int
+	// Encrypted notes whether the network was WPA-protected.
+	Encrypted bool
+	// Records are ordered by strictly non-decreasing T.
+	Records []Record
+}
+
+// Duration returns the time span covered by the trace.
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Records) == 0 {
+		return 0
+	}
+	return time.Duration(tr.Records[len(tr.Records)-1].T) * time.Microsecond
+}
+
+// Senders returns the set of distinct non-zero senders in the trace.
+func (tr *Trace) Senders() map[dot11.Addr]int {
+	out := make(map[dot11.Addr]int)
+	for i := range tr.Records {
+		if s := tr.Records[i].Sender; !s.IsZero() {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// Slice returns the sub-trace with T in [from, to) µs. The returned
+// trace shares the underlying record storage.
+func (tr *Trace) Slice(from, to int64) *Trace {
+	lo, hi := 0, len(tr.Records)
+	for lo < hi && tr.Records[lo].T < from {
+		lo++
+	}
+	j := lo
+	for j < hi && tr.Records[j].T < to {
+		j++
+	}
+	return &Trace{
+		Name: tr.Name, Base: tr.Base, Channel: tr.Channel,
+		Encrypted: tr.Encrypted, Records: tr.Records[lo:j],
+	}
+}
+
+// snapBody caps the payload bytes written per packet; headers and sizes
+// are preserved via OrigLen, mirroring truncating monitors.
+const snapBody = 64
+
+// ErrLinkType reports an unsupported pcap link type on import.
+var ErrLinkType = errors.New("capture: unsupported pcap link type")
+
+// WritePcap serialises the trace as a standard radiotap pcap stream.
+// Frame bodies are zero-filled and truncated (size information is kept
+// in the record length fields), exactly like a snaplen-limited capture.
+func WritePcap(w io.Writer, tr *Trace) error {
+	return WritePcapLinkType(w, tr, pcap.LinkTypeRadiotap)
+}
+
+// WritePcapLinkType serialises the trace with the chosen capture-header
+// format: pcap.LinkTypeRadiotap or pcap.LinkTypePrism (the AVS header) —
+// the two formats the paper's method reads.
+func WritePcapLinkType(w io.Writer, tr *Trace, linkType uint32) error {
+	if linkType != pcap.LinkTypeRadiotap && linkType != pcap.LinkTypePrism {
+		return fmt.Errorf("%w: %d", ErrLinkType, linkType)
+	}
+	pw := pcap.NewWriter(w, linkType)
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		var meta []byte
+		if linkType == pcap.LinkTypeRadiotap {
+			meta = radiotapFor(tr, rec)
+		} else {
+			if !rec.FCSOK {
+				// The AVS header carries no FCS-validity flag; drivers in
+				// this mode discard corrupt frames, and so do we.
+				continue
+			}
+			meta = prismFor(tr, rec)
+		}
+		frame := frameFor(rec)
+		raw := frame.Encode()
+		if len(raw) > snapBody+34 { // keep headers + a little body
+			raw = raw[:snapBody+34]
+		}
+		data := append(meta, raw...)
+		p := pcap.Packet{
+			Time:    tr.Base.Add(time.Duration(rec.T) * time.Microsecond),
+			Data:    data,
+			OrigLen: len(data) - len(raw) + rec.Size,
+		}
+		if err := pw.WritePacket(p); err != nil {
+			return fmt.Errorf("capture: packet %d: %w", i, err)
+		}
+	}
+	return pw.Flush()
+}
+
+// radiotapFor builds the radiotap metadata bytes for a record.
+func radiotapFor(tr *Trace, rec *Record) []byte {
+	rt := radiotap.Header{
+		TSFT: uint64(rec.T), HasTSFT: true,
+		HasFlags:     true,
+		ChannelFreq:  radiotap.Freq2GHz(tr.Channel),
+		ChannelFlags: radiotap.Chan2GHz | chanModeFlag(rec.RateMbps),
+		HasChannel:   true,
+		AntSignal:    rec.SignalDBm,
+		HasAntSignal: true,
+	}
+	rt.SetRateMbps(rec.RateMbps)
+	rt.Flags = radiotap.FlagFCS
+	if !rec.FCSOK {
+		rt.Flags |= radiotap.FlagBadFCS
+	}
+	return rt.Encode()
+}
+
+// prismFor builds the AVS metadata bytes for a record. The AVS header
+// carries no FCS-validity flag, so corrupt frames keep their (broken)
+// trailing checksum and are detected on import.
+func prismFor(tr *Trace, rec *Record) []byte {
+	ph := prism.Header{
+		MACTime:   uint64(rec.T),
+		Channel:   uint32(tr.Channel),
+		SSIType:   prism.SSITypeDBm,
+		SSISignal: int32(rec.SignalDBm),
+		PhyType:   prism.PhyTypeOFDM,
+	}
+	if isCCKRate(rec.RateMbps) {
+		ph.PhyType = prism.PhyTypeDSSS
+	}
+	ph.SetRateMbps(rec.RateMbps)
+	return ph.Encode()
+}
+
+// isCCKRate mirrors chanModeFlag's rate classification.
+func isCCKRate(rate float64) bool {
+	switch rate {
+	case 1, 2, 5.5, 11:
+		return true
+	default:
+		return false
+	}
+}
+
+// chanModeFlag picks the radiotap channel-mode flag for a rate.
+func chanModeFlag(rate float64) uint16 {
+	switch rate {
+	case 1, 2, 5.5, 11:
+		return radiotap.ChanCCK
+	default:
+		return radiotap.ChanOFDM
+	}
+}
+
+// frameFor synthesises a plausible 802.11 frame for a record. The body
+// length is chosen so the encoded MPDU matches rec.Size (floored at the
+// header size when rec.Size is smaller).
+func frameFor(rec *Record) dot11.Frame {
+	var f dot11.Frame
+	f.FC.Type, f.FC.Subtype = classWire(rec.Class)
+	f.FC.Retry = rec.Retry
+	f.FC.Protected = rec.Protected && f.FC.Type == dot11.TypeData
+	f.Addr1 = rec.Receiver
+	if f.HasTA() {
+		f.Addr2 = rec.Sender
+		f.Addr3 = rec.Receiver
+	}
+	if f.FC.Type == dot11.TypeData {
+		f.FC.ToDS = true
+	}
+	if pad := rec.Size - f.Size(); pad > 0 {
+		f.Body = make([]byte, pad)
+	}
+	return f
+}
+
+// classWire maps a fingerprint class back to a representative
+// type/subtype pair for serialisation.
+func classWire(c dot11.Class) (dot11.Type, dot11.Subtype) {
+	switch c {
+	case dot11.ClassData:
+		return dot11.TypeData, dot11.SubtypeData
+	case dot11.ClassQoSData:
+		return dot11.TypeData, dot11.SubtypeQoSData
+	case dot11.ClassNull:
+		return dot11.TypeData, dot11.SubtypeNull
+	case dot11.ClassBeacon:
+		return dot11.TypeManagement, dot11.SubtypeBeacon
+	case dot11.ClassProbeReq:
+		return dot11.TypeManagement, dot11.SubtypeProbeReq
+	case dot11.ClassProbeResp:
+		return dot11.TypeManagement, dot11.SubtypeProbeResp
+	case dot11.ClassMgmtOther:
+		return dot11.TypeManagement, dot11.SubtypeAuth
+	case dot11.ClassRTS:
+		return dot11.TypeControl, dot11.SubtypeRTS
+	case dot11.ClassCTS:
+		return dot11.TypeControl, dot11.SubtypeCTS
+	case dot11.ClassACK:
+		return dot11.TypeControl, dot11.SubtypeACK
+	case dot11.ClassPSPoll:
+		return dot11.TypeControl, dot11.SubtypePSPoll
+	default:
+		return dot11.TypeControl, dot11.SubtypeCFEnd
+	}
+}
+
+// ReadPcap parses a radiotap or AVS/Prism pcap stream back into a
+// Trace. Frames whose capture or 802.11 headers do not parse are
+// skipped (standard monitor behaviour is to tolerate noise), but a
+// stream-level error aborts.
+func ReadPcap(r io.Reader) (*Trace, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	switch pr.LinkType() {
+	case pcap.LinkTypeRadiotap, pcap.LinkTypePrism:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrLinkType, pr.LinkType())
+	}
+	isPrism := pr.LinkType() == pcap.LinkTypePrism
+
+	tr := &Trace{}
+	first := true
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var meta captureMeta
+		var n int
+		if isPrism {
+			ph, hn, err := prism.Decode(p.Data)
+			if err != nil {
+				continue
+			}
+			n = hn
+			meta = captureMeta{
+				hasTime: true, timeUs: ph.MACTime,
+				rate:    ph.RateMbps(),
+				channel: int(ph.Channel),
+				fcsOK:   true, // corrupt frames never reach an AVS capture
+				hasSig:  ph.SSIType == prism.SSITypeDBm, sig: int8(ph.SSISignal),
+			}
+		} else {
+			rt, hn, err := radiotap.Decode(p.Data)
+			if err != nil {
+				continue
+			}
+			n = hn
+			meta = captureMeta{
+				hasTime: rt.HasTSFT, timeUs: rt.TSFT,
+				rate:    rt.RateMbps(),
+				channel: channelOf(rt.ChannelFreq),
+				fcsOK:   !rt.HasFlags || rt.Flags&radiotap.FlagBadFCS == 0,
+				hasSig:  rt.HasAntSignal, sig: rt.AntSignal,
+			}
+		}
+		frame, err := dot11.Decode(p.Data[n:], false)
+		if err != nil {
+			continue
+		}
+		if first {
+			tr.Base = p.Time
+			if meta.hasTime {
+				tr.Base = p.Time.Add(-time.Duration(meta.timeUs) * time.Microsecond)
+			}
+			tr.Channel = meta.channel
+			first = false
+		}
+		var t int64
+		if meta.hasTime {
+			t = int64(meta.timeUs)
+		} else {
+			t = p.Time.Sub(tr.Base).Microseconds()
+		}
+		rec := Record{
+			T:         t,
+			Sender:    frame.TA(),
+			Receiver:  frame.RA(),
+			Class:     dot11.Classify(frame.FC),
+			Size:      p.OrigLen - n,
+			RateMbps:  meta.rate,
+			Retry:     frame.FC.Retry,
+			FCSOK:     meta.fcsOK,
+			Protected: frame.FC.Protected,
+		}
+		if meta.hasSig {
+			rec.SignalDBm = meta.sig
+		}
+		if rec.Protected {
+			tr.Encrypted = true
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr, nil
+}
+
+// captureMeta is the link-type-independent view of capture metadata.
+type captureMeta struct {
+	hasTime bool
+	timeUs  uint64
+	rate    float64
+	channel int
+	fcsOK   bool
+	hasSig  bool
+	sig     int8
+}
+
+// channelOf inverts Freq2GHz for the 2.4 GHz band; unknown frequencies
+// return 0.
+func channelOf(freq uint16) int {
+	if freq == 2484 {
+		return 14
+	}
+	if freq >= 2412 && freq <= 2472 && (freq-2407)%5 == 0 {
+		return int(freq-2407) / 5
+	}
+	return 0
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+)
+
+var (
+	staA = dot11.MustParseAddr("02:00:00:00:00:0a")
+	staC = dot11.MustParseAddr("02:00:00:00:00:0c")
+	apX  = dot11.MustParseAddr("02:00:00:00:00:ff")
+)
+
+// figure1Trace reproduces the paper's Figure 1 measurement example:
+// the frame sequence DATA(A), ACK, DATA(A), ACK, RTS(C), CTS.
+func figure1Trace() *capture.Trace {
+	return &capture.Trace{
+		Name: "figure-1",
+		Records: []capture.Record{
+			{T: 1_000, Sender: staA, Receiver: apX, Class: dot11.ClassData, Size: 1500, RateMbps: 54, FCSOK: true},         // f0 at t0
+			{T: 1_050, Sender: dot11.ZeroAddr, Receiver: staA, Class: dot11.ClassACK, Size: 14, RateMbps: 24, FCSOK: true}, // f1 at t1
+			{T: 1_400, Sender: staA, Receiver: apX, Class: dot11.ClassData, Size: 1500, RateMbps: 54, FCSOK: true},         // f2 at t2
+			{T: 1_450, Sender: dot11.ZeroAddr, Receiver: staA, Class: dot11.ClassACK, Size: 14, RateMbps: 24, FCSOK: true}, // f3 at t3
+			{T: 1_800, Sender: staC, Receiver: apX, Class: dot11.ClassRTS, Size: 20, RateMbps: 11, FCSOK: true},            // f4 at t4
+			{T: 1_840, Sender: dot11.ZeroAddr, Receiver: staC, Class: dot11.ClassCTS, Size: 14, RateMbps: 11, FCSOK: true}, // f5 at t5
+		},
+	}
+}
+
+// TestAttributionFigure1 checks the paper's worked example exactly:
+// with inter-arrival times, P_DATA(A) = {t2 − t1} and P_RTS(C) = {t4 − t3};
+// ACK/CTS values are dropped. With rates, P_DATA(A) ∋ rate2.
+func TestAttributionFigure1(t *testing.T) {
+	t.Parallel()
+	tr := figure1Trace()
+	cfg := Config{Param: ParamInterArrival, MinObservations: 1}
+	sigs := Extract(tr, cfg)
+
+	sigA := sigs[staA]
+	if sigA == nil {
+		t.Fatal("no signature for station A")
+	}
+	// A's DATA histogram must contain exactly two observations:
+	// i0 is undefined (first frame), i2 = t2 − t1 = 350.
+	hA := sigA.Hist(dot11.ClassData)
+	if hA == nil || hA.Total() != 1 {
+		t.Fatalf("A data observations = %v, want exactly 1 (the interval t2−t1)", hA)
+	}
+	// 350 µs falls in bin 35 with 10 µs bins.
+	if got := hA.Count(35); got != 1 {
+		t.Fatalf("A's interval not in the 350 µs bin: counts=%v", hA.Counts())
+	}
+
+	sigC := sigs[staC]
+	if sigC == nil {
+		t.Fatal("no signature for station C")
+	}
+	hC := sigC.Hist(dot11.ClassRTS)
+	if hC == nil || hC.Total() != 1 {
+		t.Fatal("C should have exactly one RTS observation (t4 − t3 = 350)")
+	}
+	if got := hC.Count(35); got != 1 {
+		t.Fatalf("C's interval not in the 350 µs bin: counts=%v", hC.Counts())
+	}
+
+	// No signature may exist for the zero address.
+	if _, ok := sigs[dot11.ZeroAddr]; ok {
+		t.Fatal("ACK/CTS frames were attributed")
+	}
+
+	// With transmission rate: PDATA(A) = {rate2} (plus rate0: the paper
+	// drops only unattributable frames, and f0 is attributable for rate).
+	rateSigs := Extract(tr, Config{Param: ParamRate, MinObservations: 1})
+	hAr := rateSigs[staA].Hist(dot11.ClassData)
+	if hAr.Total() != 2 {
+		t.Fatalf("A rate observations = %d, want 2 (f0 and f2)", hAr.Total())
+	}
+	if got := hAr.Count(108); got != 2 { // 54 / 0.5 = bin 108
+		t.Fatalf("rate histogram bin for 54 Mb/s has %d, counts=%v", got, hAr.Counts())
+	}
+}
+
+func TestParamValues(t *testing.T) {
+	t.Parallel()
+	rec := &capture.Record{T: 10_000, Size: 675, RateMbps: 54}
+	tests := []struct {
+		param Param
+		prevT int64
+		want  float64
+		ok    bool
+	}{
+		{ParamRate, 9_000, 54, true},
+		{ParamSize, 9_000, 675, true},
+		{ParamTxTime, 9_000, 100, true},         // 675*8/54 = 100 µs
+		{ParamInterArrival, 9_000, 1_000, true}, // 10000-9000
+		{ParamMediumAccess, 9_000, 900, true},   // 1000 - 100
+		{ParamInterArrival, -1, 0, false},       // first frame
+		{ParamMediumAccess, -1, 0, false},       // first frame
+		{ParamMediumAccess, 9_950, 0, false},    // negative gap dropped
+	}
+	for _, tt := range tests {
+		got, ok := tt.param.Value(rec, tt.prevT)
+		if ok != tt.ok {
+			t.Errorf("%v ok = %v, want %v", tt.param, ok, tt.ok)
+			continue
+		}
+		if ok && math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("%v = %v, want %v", tt.param, got, tt.want)
+		}
+	}
+}
+
+func TestParamNames(t *testing.T) {
+	t.Parallel()
+	for _, p := range Params {
+		if p.String() == "" || p.ShortName() == "unknown" {
+			t.Errorf("param %d lacks names", p)
+		}
+		back, err := ParamByShortName(p.ShortName())
+		if err != nil || back != p {
+			t.Errorf("round trip of %v failed: %v", p, err)
+		}
+	}
+	if _, err := ParamByShortName("bogus"); err == nil {
+		t.Error("bogus short name accepted")
+	}
+}
+
+func TestMinObservationRule(t *testing.T) {
+	t.Parallel()
+	tr := &capture.Trace{}
+	// Device A: 60 frames; device B: 30 frames.
+	for i := 0; i < 60; i++ {
+		tr.Records = append(tr.Records, capture.Record{
+			T: int64(i) * 1_000, Sender: staA, Receiver: apX,
+			Class: dot11.ClassData, Size: 500, RateMbps: 54, FCSOK: true,
+		})
+	}
+	for i := 0; i < 30; i++ {
+		tr.Records = append(tr.Records, capture.Record{
+			T: 100_000 + int64(i)*1_000, Sender: staC, Receiver: apX,
+			Class: dot11.ClassData, Size: 500, RateMbps: 54, FCSOK: true,
+		})
+	}
+	sigs := Extract(tr, Config{Param: ParamSize}) // default MinObs = 50
+	if _, ok := sigs[staA]; !ok {
+		t.Error("A (60 obs) dropped")
+	}
+	if _, ok := sigs[staC]; ok {
+		t.Error("C (30 obs) kept despite the 50-observation rule")
+	}
+}
+
+func TestBadFCSNotAttributed(t *testing.T) {
+	t.Parallel()
+	tr := &capture.Trace{Records: []capture.Record{
+		{T: 0, Sender: staA, Receiver: apX, Class: dot11.ClassData, Size: 100, RateMbps: 11, FCSOK: true},
+		{T: 1_000, Sender: staA, Receiver: apX, Class: dot11.ClassData, Size: 100, RateMbps: 11, FCSOK: false},
+		{T: 2_000, Sender: staA, Receiver: apX, Class: dot11.ClassData, Size: 100, RateMbps: 11, FCSOK: true},
+	}}
+	sigs := Extract(tr, Config{Param: ParamInterArrival, MinObservations: 1})
+	h := sigs[staA].Hist(dot11.ClassData)
+	// Only the last frame yields an interval, measured against the
+	// corrupt frame's end time (1000 µs context still advances).
+	if h.Total() != 1 {
+		t.Fatalf("observations = %d, want 1", h.Total())
+	}
+	if got := h.Count(100); got != 1 {
+		t.Fatalf("interval not 1000 µs: %v", h.Counts())
+	}
+	// With KeepBadFCS the corrupt frame is also attributed.
+	sigs = Extract(tr, Config{Param: ParamInterArrival, MinObservations: 1, KeepBadFCS: true})
+	if got := sigs[staA].Hist(dot11.ClassData).Total(); got != 2 {
+		t.Fatalf("KeepBadFCS observations = %d, want 2", got)
+	}
+}
+
+func TestSignatureWeights(t *testing.T) {
+	t.Parallel()
+	sig := NewSignature(ParamSize, DefaultBins(ParamSize))
+	for i := 0; i < 30; i++ {
+		sig.Add(dot11.ClassData, 500)
+	}
+	for i := 0; i < 10; i++ {
+		sig.Add(dot11.ClassProbeReq, 68)
+	}
+	if sig.Observations() != 40 {
+		t.Fatalf("observations = %d", sig.Observations())
+	}
+	if w := sig.Weight(dot11.ClassData); math.Abs(w-0.75) > 1e-12 {
+		t.Errorf("data weight = %v, want 0.75", w)
+	}
+	if w := sig.Weight(dot11.ClassProbeReq); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("probe weight = %v, want 0.25", w)
+	}
+	if w := sig.Weight(dot11.ClassBeacon); w != 0 {
+		t.Errorf("absent class weight = %v", w)
+	}
+	classes := sig.Classes()
+	if len(classes) != 2 {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestSimilarityIdenticalAndDisjoint(t *testing.T) {
+	t.Parallel()
+	mk := func(dataVal, probeVal float64) *Signature {
+		sig := NewSignature(ParamInterArrival, DefaultBins(ParamInterArrival))
+		for i := 0; i < 40; i++ {
+			sig.Add(dot11.ClassData, dataVal)
+		}
+		for i := 0; i < 10; i++ {
+			sig.Add(dot11.ClassProbeReq, probeVal)
+		}
+		return sig
+	}
+	a := mk(300, 1_200)
+	b := mk(300, 1_200)
+	if got := Similarity(a, b, MeasureCosine); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical similarity = %v, want 1", got)
+	}
+	c := mk(900, 2_100)
+	if got := Similarity(a, c, MeasureCosine); got != 0 {
+		t.Errorf("disjoint similarity = %v, want 0", got)
+	}
+	// Partial: same data histogram, different probe histogram -> the
+	// data weight (0.8) survives.
+	d := mk(300, 2_100)
+	if got := Similarity(a, d, MeasureCosine); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("partial similarity = %v, want 0.8", got)
+	}
+	if got := Similarity(nil, a, MeasureCosine); got != 0 {
+		t.Errorf("nil candidate similarity = %v", got)
+	}
+}
+
+func TestSimilarityMissingClassInReference(t *testing.T) {
+	t.Parallel()
+	cand := NewSignature(ParamSize, DefaultBins(ParamSize))
+	for i := 0; i < 50; i++ {
+		cand.Add(dot11.ClassNull, 28)
+	}
+	ref := NewSignature(ParamSize, DefaultBins(ParamSize))
+	for i := 0; i < 50; i++ {
+		ref.Add(dot11.ClassData, 500)
+	}
+	if got := Similarity(cand, ref, MeasureCosine); got != 0 {
+		t.Errorf("similarity with no shared classes = %v", got)
+	}
+}
+
+func TestAllMeasures(t *testing.T) {
+	t.Parallel()
+	sig := NewSignature(ParamSize, DefaultBins(ParamSize))
+	for i := 0; i < 60; i++ {
+		sig.Add(dot11.ClassData, float64(100+i%3*32))
+	}
+	for _, m := range []Measure{MeasureCosine, MeasureIntersection, MeasureBhattacharyya, MeasureL1} {
+		if got := Similarity(sig, sig, m); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v self similarity = %v, want 1", m, got)
+		}
+		if m.String() == "" {
+			t.Errorf("measure %d has no name", m)
+		}
+	}
+}
+
+func TestDatabaseMatchAndBest(t *testing.T) {
+	t.Parallel()
+	mk := func(center float64) *Signature {
+		sig := NewSignature(ParamInterArrival, DefaultBins(ParamInterArrival))
+		for i := 0; i < 100; i++ {
+			sig.Add(dot11.ClassData, center+float64(i%5)*10)
+		}
+		return sig
+	}
+	db := NewDatabase(Config{Param: ParamInterArrival}, MeasureCosine)
+	if err := db.Add(staA, mk(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(staC, mk(900)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("db.Len = %d", db.Len())
+	}
+
+	cand := mk(300)
+	scores := db.Match(cand)
+	if len(scores) != 2 {
+		t.Fatalf("similarity vector length = %d", len(scores))
+	}
+	best, ok := db.Best(cand)
+	if !ok || best.Addr != staA {
+		t.Fatalf("Best = %+v, want station A", best)
+	}
+	if best.Sim < 0.99 {
+		t.Errorf("best similarity = %v, want ≈1", best.Sim)
+	}
+	above := db.Above(cand, 0.5)
+	if len(above) != 1 || above[0].Addr != staA {
+		t.Fatalf("Above(0.5) = %+v", above)
+	}
+	if got := db.Above(cand, 1.01); len(got) != 0 {
+		t.Fatalf("Above(1.01) = %+v", got)
+	}
+
+	// Parameter mismatch is rejected.
+	wrong := NewSignature(ParamRate, DefaultBins(ParamRate))
+	if err := db.Add(apX, wrong); err == nil {
+		t.Fatal("Add with wrong parameter accepted")
+	}
+}
+
+func TestDatabaseBestEmpty(t *testing.T) {
+	t.Parallel()
+	db := NewDatabase(Config{Param: ParamSize}, 0)
+	if _, ok := db.Best(NewSignature(ParamSize, DefaultBins(ParamSize))); ok {
+		t.Fatal("Best on empty database reported ok")
+	}
+}
+
+func TestDatabaseSaveLoad(t *testing.T) {
+	t.Parallel()
+	tr := figure1Trace()
+	db := NewDatabase(Config{Param: ParamInterArrival, MinObservations: 1}, MeasureCosine)
+	if err := db.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("trained db has %d devices, want 2", db.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d devices, want %d", loaded.Len(), db.Len())
+	}
+	if loaded.Config().Param != ParamInterArrival || loaded.Measure() != MeasureCosine {
+		t.Fatalf("loaded config = %+v / %v", loaded.Config(), loaded.Measure())
+	}
+	// Matching behaviour must be preserved bit-for-bit.
+	cand := ExtractOne(tr, staA, Config{Param: ParamInterArrival, MinObservations: 1})
+	for i, s := range db.Match(cand) {
+		ls := loaded.Match(cand)[i]
+		if s.Addr != ls.Addr || math.Abs(s.Sim-ls.Sim) > 1e-12 {
+			t.Fatalf("loaded match %d = %+v, want %+v", i, ls, s)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := Load(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"param":"nope"}`))); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	bad := `{"param":"iat","measure":"cosine","bins":{"Width":10,"Bins":250},
+	 "devices":{"02:00:00:00:00:01":{"data":{"bin_width":99,"counts":[1]}}}}`
+	if _, err := Load(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("shape-mismatched histogram accepted")
+	}
+}
+
+func TestSplitAndWindows(t *testing.T) {
+	t.Parallel()
+	tr := &capture.Trace{}
+	for i := 0; i < 600; i++ { // one frame per second for 10 minutes
+		tr.Records = append(tr.Records, capture.Record{
+			T: int64(i) * 1_000_000, Sender: staA, Receiver: apX,
+			Class: dot11.ClassData, Size: 100, RateMbps: 11, FCSOK: true,
+		})
+	}
+	train, valid := Split(tr, 2*time.Minute)
+	if len(train.Records) != 120 {
+		t.Fatalf("train records = %d, want 120", len(train.Records))
+	}
+	if len(valid.Records) != 480 {
+		t.Fatalf("validation records = %d, want 480", len(valid.Records))
+	}
+	wins := Windows(valid, time.Minute)
+	if len(wins) != 8 {
+		t.Fatalf("windows = %d, want 8", len(wins))
+	}
+	for wi, w := range wins {
+		if len(w.Records) != 60 {
+			t.Fatalf("window %d has %d records, want 60", wi, len(w.Records))
+		}
+	}
+	if got := Windows(&capture.Trace{}, time.Minute); got != nil {
+		t.Fatalf("windows of empty trace = %v", got)
+	}
+	whole := Windows(tr, 0)
+	if len(whole) != 1 || len(whole[0].Records) != 600 {
+		t.Fatal("non-positive window should yield the whole trace")
+	}
+}
+
+func TestCandidatesIn(t *testing.T) {
+	t.Parallel()
+	tr := &capture.Trace{}
+	// A sends densely in both windows; C only in the second.
+	for i := 0; i < 240; i++ {
+		tr.Records = append(tr.Records, capture.Record{
+			T: int64(i) * 500_000, Sender: staA, Receiver: apX,
+			Class: dot11.ClassData, Size: 100, RateMbps: 11, FCSOK: true,
+		})
+	}
+	for i := 0; i < 70; i++ {
+		tr.Records = append(tr.Records, capture.Record{
+			T: 61_000_000 + int64(i)*700_000, Sender: staC, Receiver: apX,
+			Class: dot11.ClassData, Size: 200, RateMbps: 11, FCSOK: true,
+		})
+	}
+	cands := CandidatesIn(tr, time.Minute, Config{Param: ParamSize})
+	byWindow := make(map[int][]Candidate)
+	for _, c := range cands {
+		byWindow[c.Window] = append(byWindow[c.Window], c)
+	}
+	if len(byWindow[0]) != 1 {
+		t.Fatalf("window 0 candidates = %d, want 1 (A only)", len(byWindow[0]))
+	}
+	if len(byWindow[1]) != 2 {
+		t.Fatalf("window 1 candidates = %d, want 2 (A and C)", len(byWindow[1]))
+	}
+}
+
+func TestSignatureMergeMismatch(t *testing.T) {
+	t.Parallel()
+	a := NewSignature(ParamSize, DefaultBins(ParamSize))
+	b := NewSignature(ParamRate, DefaultBins(ParamRate))
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across parameters accepted")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+}
+
+func TestDatabaseTrainMergesAcrossCalls(t *testing.T) {
+	t.Parallel()
+	tr := figure1Trace()
+	db := NewDatabase(Config{Param: ParamRate, MinObservations: 1}, 0)
+	if err := db.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	n1 := db.Signature(staA).Observations()
+	if err := db.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Signature(staA).Observations(); got != 2*n1 {
+		t.Fatalf("merged observations = %d, want %d", got, 2*n1)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("retraining duplicated devices: %d", db.Len())
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/histogram"
+)
+
+// Database is the reference database of the detection methodology
+// (§IV-B): the signatures Sig(r_i) learned from the training trace.
+type Database struct {
+	cfg     Config
+	measure Measure
+	refs    map[dot11.Addr]*Signature
+	order   []dot11.Addr // insertion order for deterministic iteration
+}
+
+// NewDatabase creates an empty reference database. The zero Measure
+// selects cosine similarity.
+func NewDatabase(cfg Config, m Measure) *Database {
+	if m == 0 {
+		m = MeasureCosine
+	}
+	return &Database{
+		cfg:     cfg.withDefaults(),
+		measure: m,
+		refs:    make(map[dot11.Addr]*Signature),
+	}
+}
+
+// Config returns the extraction configuration the database was built with.
+func (db *Database) Config() Config { return db.cfg }
+
+// Measure returns the similarity measure in use.
+func (db *Database) Measure() Measure { return db.measure }
+
+// Len returns the number of reference devices.
+func (db *Database) Len() int { return len(db.refs) }
+
+// Devices returns the reference addresses in insertion order.
+func (db *Database) Devices() []dot11.Addr {
+	out := make([]dot11.Addr, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Signature returns a device's reference signature, or nil.
+func (db *Database) Signature(addr dot11.Addr) *Signature { return db.refs[addr] }
+
+// Add inserts or merges a reference signature.
+func (db *Database) Add(addr dot11.Addr, sig *Signature) error {
+	if sig == nil {
+		return fmt.Errorf("core: nil signature for %v", addr)
+	}
+	if sig.Param() != db.cfg.Param {
+		return fmt.Errorf("core: signature parameter %v does not match database %v", sig.Param(), db.cfg.Param)
+	}
+	if existing, ok := db.refs[addr]; ok {
+		return existing.Merge(sig)
+	}
+	db.refs[addr] = sig
+	db.order = append(db.order, addr)
+	return nil
+}
+
+// Train populates the database from a training trace, keeping only
+// senders that clear the minimum-observation rule. Existing entries for
+// the same address are merged, so several training windows can be folded
+// into one database.
+func (db *Database) Train(tr *capture.Trace) error {
+	for addr, sig := range Extract(tr, db.cfg) {
+		if err := db.Add(addr, sig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Score is one entry of the similarity vector returned by Match.
+type Score struct {
+	Addr dot11.Addr
+	Sim  float64
+}
+
+// Match computes the similarity vector <sim_1 … sim_N> of a candidate
+// signature against every reference (Algorithm 1), in insertion order.
+func (db *Database) Match(candidate *Signature) []Score {
+	out := make([]Score, 0, len(db.order))
+	for _, addr := range db.order {
+		out = append(out, Score{Addr: addr, Sim: Similarity(candidate, db.refs[addr], db.measure)})
+	}
+	return out
+}
+
+// Best returns the arg-max reference for the identification test, with
+// ok=false for an empty database.
+func (db *Database) Best(candidate *Signature) (Score, bool) {
+	best := Score{Sim: -1}
+	for _, addr := range db.order {
+		s := Similarity(candidate, db.refs[addr], db.measure)
+		if s > best.Sim {
+			best = Score{Addr: addr, Sim: s}
+		}
+	}
+	return best, best.Sim >= 0
+}
+
+// Above returns the references whose similarity is at least the
+// threshold — the similarity test's returned set.
+func (db *Database) Above(candidate *Signature, threshold float64) []Score {
+	var out []Score
+	for _, addr := range db.order {
+		if s := Similarity(candidate, db.refs[addr], db.measure); s >= threshold {
+			out = append(out, Score{Addr: addr, Sim: s})
+		}
+	}
+	return out
+}
+
+// --- persistence ---------------------------------------------------------------
+
+// jsonDB is the on-disk database layout.
+type jsonDB struct {
+	Param   string                                   `json:"param"`
+	Measure string                                   `json:"measure"`
+	Bins    BinSpec                                  `json:"bins"`
+	MinObs  int                                      `json:"min_observations"`
+	Devices map[string]map[string]histogram.Snapshot `json:"devices"` // addr -> class -> histogram
+}
+
+// Save serialises the database as JSON.
+func (db *Database) Save(w io.Writer) error {
+	out := jsonDB{
+		Param:   db.cfg.Param.ShortName(),
+		Measure: db.measure.String(),
+		Bins:    db.cfg.Bins,
+		MinObs:  db.cfg.MinObservations,
+		Devices: make(map[string]map[string]histogram.Snapshot, len(db.refs)),
+	}
+	for addr, sig := range db.refs {
+		classes := make(map[string]histogram.Snapshot, len(sig.hists))
+		for _, class := range sig.Classes() {
+			classes[class.String()] = sig.Hist(class).Snapshot()
+		}
+		out.Devices[addr.String()] = classes
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*Database, error) {
+	var in jsonDB
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding database: %w", err)
+	}
+	param, err := ParamByShortName(in.Param)
+	if err != nil {
+		return nil, err
+	}
+	measure := MeasureCosine
+	for _, m := range []Measure{MeasureCosine, MeasureIntersection, MeasureBhattacharyya, MeasureL1} {
+		if m.String() == in.Measure {
+			measure = m
+		}
+	}
+	cfg := Config{Param: param, Bins: in.Bins, MinObservations: in.MinObs}
+	db := NewDatabase(cfg, measure)
+
+	classByName := make(map[string]dot11.Class, dot11.NumClasses)
+	for c := dot11.Class(0); c < dot11.Class(dot11.NumClasses); c++ {
+		classByName[c.String()] = c
+	}
+	// Sort addresses for a deterministic insertion order.
+	addrs := make([]string, 0, len(in.Devices))
+	for a := range in.Devices {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, as := range addrs {
+		addr, err := dot11.ParseAddr(as)
+		if err != nil {
+			return nil, fmt.Errorf("core: device address: %w", err)
+		}
+		sig := NewSignature(param, cfg.Bins)
+		for cs, snap := range in.Devices[as] {
+			class, ok := classByName[cs]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown frame class %q", cs)
+			}
+			h, err := histogram.FromSnapshot(snap)
+			if err != nil {
+				return nil, fmt.Errorf("core: device %s class %s: %w", as, cs, err)
+			}
+			if h.BinWidth() != cfg.Bins.Width || h.Bins() != cfg.Bins.Bins {
+				return nil, fmt.Errorf("core: device %s class %s: histogram shape %d×%v does not match database %v",
+					as, cs, h.Bins(), h.BinWidth(), cfg.Bins)
+			}
+			sig.hists[class] = h
+			sig.total += h.Total()
+		}
+		if err := db.Add(addr, sig); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+)
+
+// Ensemble combines several network parameters into one fingerprint —
+// the improvement the paper's conclusion explicitly leaves to future
+// work ("whether the fingerprinting method can be improved by combining
+// several network parameters"). Each parameter keeps its own reference
+// database; a candidate's combined similarity to a reference is the
+// mean of its per-parameter similarities.
+type Ensemble struct {
+	dbs []*Database
+}
+
+// NewEnsemble creates an ensemble over the given extraction
+// configurations (typically one Config per Param). The zero Measure
+// selects cosine similarity for every member.
+func NewEnsemble(m Measure, cfgs ...Config) (*Ensemble, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("core: ensemble needs at least one parameter")
+	}
+	seen := make(map[Param]bool, len(cfgs))
+	e := &Ensemble{dbs: make([]*Database, 0, len(cfgs))}
+	for _, cfg := range cfgs {
+		if seen[cfg.Param] {
+			return nil, fmt.Errorf("core: duplicate ensemble parameter %v", cfg.Param)
+		}
+		seen[cfg.Param] = true
+		e.dbs = append(e.dbs, NewDatabase(cfg, m))
+	}
+	return e, nil
+}
+
+// Params returns the member parameters in order.
+func (e *Ensemble) Params() []Param {
+	out := make([]Param, len(e.dbs))
+	for i, db := range e.dbs {
+		out[i] = db.Config().Param
+	}
+	return out
+}
+
+// Train populates every member database from the training trace.
+func (e *Ensemble) Train(tr *capture.Trace) error {
+	for _, db := range e.dbs {
+		if err := db.Train(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of devices known to every member database
+// (devices must clear the minimum-observation rule for each parameter;
+// with equal minimums the sets coincide).
+func (e *Ensemble) Len() int {
+	n := 0
+	for _, addr := range e.dbs[0].Devices() {
+		if e.knownToAll(addr) {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Ensemble) knownToAll(addr dot11.Addr) bool {
+	for _, db := range e.dbs {
+		if db.Signature(addr) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// MultiCandidate is one device in one detection window, carrying a
+// signature per member parameter.
+type MultiCandidate struct {
+	Addr   [6]byte
+	Window int
+	Sigs   []*Signature // aligned with Params()
+}
+
+// CandidatesIn extracts multi-parameter candidates per detection window.
+// A device qualifies in a window if it clears the observation rule for
+// the first member parameter (all parameters observe the same frames,
+// so counts differ only through per-parameter value validity).
+func (e *Ensemble) CandidatesIn(tr *capture.Trace, window interface{ Microseconds() int64 }) []MultiCandidate {
+	w := window.Microseconds()
+	var out []MultiCandidate
+	for wi, wtr := range windowsUs(tr, w) {
+		perParam := make([]map[dot11.Addr]*Signature, len(e.dbs))
+		for i, db := range e.dbs {
+			perParam[i] = Extract(wtr, db.Config())
+		}
+		for _, addr := range sortedAddrs(perParam[0]) {
+			mc := MultiCandidate{Addr: addr, Window: wi, Sigs: make([]*Signature, len(e.dbs))}
+			ok := true
+			for i := range perParam {
+				sig := perParam[i][addr]
+				if sig == nil {
+					ok = false
+					break
+				}
+				mc.Sigs[i] = sig
+			}
+			if ok {
+				out = append(out, mc)
+			}
+		}
+	}
+	return out
+}
+
+// windowsUs is Windows with a raw microsecond width.
+func windowsUs(tr *capture.Trace, w int64) []*capture.Trace {
+	if len(tr.Records) == 0 {
+		return nil
+	}
+	if w <= 0 {
+		return []*capture.Trace{tr}
+	}
+	start := tr.Records[0].T
+	end := tr.Records[len(tr.Records)-1].T
+	var out []*capture.Trace
+	for t := start; t <= end; t += w {
+		s := tr.Slice(t, t+w)
+		if len(s.Records) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Match returns the combined similarity vector: for each reference
+// known to all members, the mean per-parameter similarity.
+func (e *Ensemble) Match(c MultiCandidate) []Score {
+	if len(c.Sigs) != len(e.dbs) {
+		return nil
+	}
+	var out []Score
+	for _, addr := range e.dbs[0].Devices() {
+		if !e.knownToAll(addr) {
+			continue
+		}
+		sum := 0.0
+		for i, db := range e.dbs {
+			sum += Similarity(c.Sigs[i], db.Signature(addr), db.Measure())
+		}
+		out = append(out, Score{Addr: addr, Sim: sum / float64(len(e.dbs))})
+	}
+	return out
+}
+
+// Best returns the arg-max combined match.
+func (e *Ensemble) Best(c MultiCandidate) (Score, bool) {
+	best := Score{Sim: -1}
+	for _, s := range e.Match(c) {
+		if s.Sim > best.Sim {
+			best = s
+		}
+	}
+	return best, best.Sim >= 0
+}

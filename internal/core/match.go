@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"dot11fp/internal/histogram"
+)
+
+// Measure selects the histogram similarity function. The paper uses
+// cosine similarity; the others support the "alternative measures"
+// ablation.
+type Measure uint8
+
+// Similarity measures.
+const (
+	// MeasureCosine is the paper's Definition 2.
+	MeasureCosine Measure = iota + 1
+	// MeasureIntersection is histogram intersection Σ min(a,b).
+	MeasureIntersection
+	// MeasureBhattacharyya is the Bhattacharyya coefficient.
+	MeasureBhattacharyya
+	// MeasureL1 is 1 − total-variation distance.
+	MeasureL1
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case MeasureCosine:
+		return "cosine"
+	case MeasureIntersection:
+		return "intersection"
+	case MeasureBhattacharyya:
+		return "bhattacharyya"
+	case MeasureL1:
+		return "l1"
+	default:
+		return fmt.Sprintf("measure(%d)", uint8(m))
+	}
+}
+
+// fn returns the underlying vector similarity.
+func (m Measure) fn() func(a, b []float64) float64 {
+	switch m {
+	case MeasureIntersection:
+		return histogram.Intersection
+	case MeasureBhattacharyya:
+		return histogram.Bhattacharyya
+	case MeasureL1:
+		return histogram.L1
+	default:
+		return histogram.Cosine
+	}
+}
+
+// Similarity computes Algorithm 1 for one candidate/reference pair:
+//
+//	sim = Σ_{ftype ∈ Sig(c)} weight^ftype(r) · simCos(hist^ftype(c), hist^ftype(r))
+//
+// Frame types absent from the reference contribute nothing (their
+// reference weight is zero); frame types absent from the candidate are
+// not iterated, exactly as in the paper's pseudo-code.
+func Similarity(candidate, reference *Signature, m Measure) float64 {
+	if candidate == nil || reference == nil {
+		return 0
+	}
+	sim := 0.0
+	f := m.fn()
+	for _, class := range candidate.Classes() {
+		rh := reference.Hist(class)
+		if rh == nil {
+			continue
+		}
+		ch := candidate.Hist(class)
+		sim += reference.Weight(class) * f(ch.Freqs(), rh.Freqs())
+	}
+	return sim
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/histogram"
+)
+
+// Signature is a device signature per Definition 1: one
+// percentage-frequency histogram per frame type, each weighted by the
+// frame type's share of the device's observations.
+type Signature struct {
+	param Param
+	bins  BinSpec
+	hists map[dot11.Class]*histogram.Histogram
+	total uint64
+}
+
+// NewSignature creates an empty signature for a parameter and bin shape.
+func NewSignature(param Param, bins BinSpec) *Signature {
+	return &Signature{
+		param: param,
+		bins:  bins,
+		hists: make(map[dot11.Class]*histogram.Histogram),
+	}
+}
+
+// Param returns the parameter the signature is built from.
+func (s *Signature) Param() Param { return s.param }
+
+// Add records one observation for a frame class, applying the bin
+// spec's scale transform.
+func (s *Signature) Add(class dot11.Class, v float64) {
+	h, ok := s.hists[class]
+	if !ok {
+		h = histogram.New(s.bins.Bins, s.bins.Width)
+		s.hists[class] = h
+	}
+	before := h.Total()
+	h.Add(s.bins.Transform(v))
+	s.total += h.Total() - before
+}
+
+// Observations returns the total observation count |P(s)| across frame
+// types — the quantity the ≥50-observation rule applies to (§V-C).
+func (s *Signature) Observations() uint64 { return s.total }
+
+// Classes returns the frame classes present, in stable order.
+func (s *Signature) Classes() []dot11.Class {
+	out := make([]dot11.Class, 0, len(s.hists))
+	for c := range s.hists {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Hist returns the histogram for a class, or nil if absent.
+func (s *Signature) Hist(class dot11.Class) *histogram.Histogram { return s.hists[class] }
+
+// Weight returns weight_ftype = |P^ftype| / Σ|P^ftype| (Definition 1).
+func (s *Signature) Weight(class dot11.Class) float64 {
+	h, ok := s.hists[class]
+	if !ok || s.total == 0 {
+		return 0
+	}
+	return float64(h.Total()) / float64(s.total)
+}
+
+// Merge folds other into s (same parameter and bin shape required).
+// Used to extend reference signatures with additional training windows.
+func (s *Signature) Merge(other *Signature) error {
+	if other == nil {
+		return nil
+	}
+	if s.param != other.param || s.bins != other.bins {
+		return fmt.Errorf("core: signature shape mismatch: %v/%v vs %v/%v",
+			s.param, s.bins, other.param, other.bins)
+	}
+	for class, oh := range other.hists {
+		h, ok := s.hists[class]
+		if !ok {
+			s.hists[class] = oh.Clone()
+			s.total += oh.Total()
+			continue
+		}
+		before := h.Total()
+		if err := h.Merge(oh); err != nil {
+			return err
+		}
+		s.total += h.Total() - before
+	}
+	return nil
+}
+
+// Config parameterises signature extraction.
+type Config struct {
+	// Param selects the network parameter.
+	Param Param
+	// Bins shapes the histograms; the zero value selects DefaultBins.
+	Bins BinSpec
+	// MinObservations is the minimum |P(s)| for a signature to be
+	// emitted; the zero value selects the paper's 50.
+	MinObservations int
+	// KeepBadFCS also attributes frames that failed their checksum.
+	// The default (false) matches a real tool: corrupt frames advance
+	// the inter-arrival context but are never attributed.
+	KeepBadFCS bool
+}
+
+// withDefaults materialises default fields.
+func (c Config) withDefaults() Config {
+	if c.Bins == (BinSpec{}) {
+		c.Bins = DefaultBins(c.Param)
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 50
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's configuration for a parameter.
+func DefaultConfig(p Param) Config {
+	return Config{Param: p}.withDefaults()
+}
+
+// Extract builds signatures for every sender in the trace (§IV-A,
+// Figure 1): every frame advances the previous-frame context; only
+// frames with a known transmitter address contribute attributed values;
+// senders with fewer than MinObservations observations are dropped.
+func Extract(tr *capture.Trace, cfg Config) map[dot11.Addr]*Signature {
+	cfg = cfg.withDefaults()
+	sigs := make(map[dot11.Addr]*Signature)
+	var prevT int64 = -1
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if !rec.Sender.IsZero() && (rec.FCSOK || cfg.KeepBadFCS) {
+			if v, ok := cfg.Param.Value(rec, prevT); ok {
+				sig, have := sigs[rec.Sender]
+				if !have {
+					sig = NewSignature(cfg.Param, cfg.Bins)
+					sigs[rec.Sender] = sig
+				}
+				sig.Add(rec.Class, v)
+			}
+		}
+		prevT = rec.T
+	}
+	for addr, sig := range sigs {
+		if sig.Observations() < uint64(cfg.MinObservations) {
+			delete(sigs, addr)
+		}
+	}
+	return sigs
+}
+
+// ExtractOne builds the signature of a single sender, regardless of the
+// minimum-observation rule (callers decide). Used by the figure
+// reproductions and the examples.
+func ExtractOne(tr *capture.Trace, sender dot11.Addr, cfg Config) *Signature {
+	return ExtractOneFiltered(tr, sender, cfg, nil)
+}
+
+// ExtractOneFiltered is ExtractOne with an additional record filter:
+// only frames for which keep returns true contribute observations. The
+// inter-arrival context still advances over every frame, matching the
+// paper's figure methodology ("only data frames transmitted the first
+// time and sent at 54 Mbps are shown", Fig. 4).
+func ExtractOneFiltered(tr *capture.Trace, sender dot11.Addr, cfg Config, keep func(*capture.Record) bool) *Signature {
+	cfg = cfg.withDefaults()
+	sig := NewSignature(cfg.Param, cfg.Bins)
+	var prevT int64 = -1
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Sender == sender && (rec.FCSOK || cfg.KeepBadFCS) && (keep == nil || keep(rec)) {
+			if v, ok := cfg.Param.Value(rec, prevT); ok {
+				sig.Add(rec.Class, v)
+			}
+		}
+		prevT = rec.T
+	}
+	return sig
+}

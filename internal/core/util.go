@@ -1,0 +1,29 @@
+package core
+
+import (
+	"sort"
+
+	"dot11fp/internal/dot11"
+)
+
+// sortedAddrs returns map keys in ascending byte order for deterministic
+// iteration.
+func sortedAddrs(m map[dot11.Addr]*Signature) []dot11.Addr {
+	out := make([]dot11.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lessAddr(out[i], out[j])
+	})
+	return out
+}
+
+func lessAddr(a, b dot11.Addr) bool {
+	for k := 0; k < len(a); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"time"
+
+	"dot11fp/internal/capture"
+)
+
+// DefaultWindow is the paper's detection window size (§V-A).
+const DefaultWindow = 5 * time.Minute
+
+// Split divides a trace into the training prefix (the reference trace)
+// and the validation remainder, at refDur from the trace start.
+func Split(tr *capture.Trace, refDur time.Duration) (train, validation *capture.Trace) {
+	cut := refDur.Microseconds()
+	return tr.Slice(0, cut), tr.Slice(cut, 1<<62)
+}
+
+// Windows partitions a trace into consecutive detection windows of the
+// given size, anchored at the trace's first record. Empty windows are
+// skipped. A non-positive window yields the whole trace as one window.
+func Windows(tr *capture.Trace, window time.Duration) []*capture.Trace {
+	if len(tr.Records) == 0 {
+		return nil
+	}
+	w := window.Microseconds()
+	if w <= 0 {
+		return []*capture.Trace{tr}
+	}
+	start := tr.Records[0].T
+	end := tr.Records[len(tr.Records)-1].T
+	var out []*capture.Trace
+	for t := start; t <= end; t += w {
+		s := tr.Slice(t, t+w)
+		if len(s.Records) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Candidate is one device observed in one detection window.
+type Candidate struct {
+	Addr   [6]byte // dot11.Addr; kept comparable for map keys
+	Window int
+	Sig    *Signature
+}
+
+// CandidatesIn extracts the candidate signatures of every detection
+// window (the matching unit of §V-A: every candidate device is matched
+// against the reference database for each detection window).
+func CandidatesIn(validation *capture.Trace, window time.Duration, cfg Config) []Candidate {
+	var out []Candidate
+	for wi, wtr := range Windows(validation, window) {
+		sigs := Extract(wtr, cfg)
+		// Deterministic order within the window.
+		for _, addr := range sortedAddrs(sigs) {
+			out = append(out, Candidate{Addr: addr, Window: wi, Sig: sigs[addr]})
+		}
+	}
+	return out
+}

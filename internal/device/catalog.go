@@ -1,0 +1,149 @@
+package device
+
+import "fmt"
+
+// The catalogue of card/driver archetypes used by the scenario
+// generators. Names are synthetic ("atheros-like" = a card family with
+// madwifi-era behaviour) — see the package comment.
+var catalog = []Profile{
+	{
+		Name: "atheros-like-a", Vendor: "vendor-a", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffStandard,
+		GranularityUs: 1, JitterUs: 0.6, DIFSAdjustUs: 0,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateSampler, PreferredRateMbps: 54,
+		PowerSave:     false,
+		ProbePeriodUs: 60_000_000, ProbeBurst: 3, ProbeGapUs: 25_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "atheros-like-b", Vendor: "vendor-a", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffExtraSlot, ExtraSlotUs: 10,
+		GranularityUs: 1, JitterUs: 0.5, DIFSAdjustUs: 1,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateARF, PreferredRateMbps: 54,
+		PowerSave: true, NullPeriodUs: 180_000_000, NullJitterUs: 4_000_000,
+		ProbePeriodUs: 45_000_000, ProbeBurst: 2, ProbeGapUs: 40_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "intel-like-a", Vendor: "vendor-b", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffFirstSlotBias, FirstSlotProb: 0.22,
+		GranularityUs: 2, JitterUs: 0.9, DIFSAdjustUs: 2,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateConservative, PreferredRateMbps: 48,
+		PowerSave: true, NullPeriodUs: 102_400_000 / 2, NullJitterUs: 900_000,
+		ProbePeriodUs: 120_000_000, ProbeBurst: 4, ProbeGapUs: 18_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "intel-like-b", Vendor: "vendor-b", Mode: ModeG,
+		CWmin: 31, CWmax: 1023, Backoff: BackoffStandard,
+		GranularityUs: 2, JitterUs: 1.1, DIFSAdjustUs: -1,
+		RTSThresholdB: 2000, RatePolicy: RateConservative, PreferredRateMbps: 36,
+		PowerSave: true, NullPeriodUs: 60_000_000, NullJitterUs: 1_500_000,
+		ProbePeriodUs: 90_000_000, ProbeBurst: 3, ProbeGapUs: 22_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "broadcom-like", Vendor: "vendor-c", Mode: ModeG,
+		CWmin: 15, CWmax: 511, Backoff: BackoffSkewedLow,
+		GranularityUs: 1, JitterUs: 0.7, DIFSAdjustUs: 3,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateARF, PreferredRateMbps: 54,
+		PowerSave: true, NullPeriodUs: 300_000_000, NullJitterUs: 10_000_000,
+		ProbePeriodUs: 75_000_000, ProbeBurst: 3, ProbeGapUs: 35_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "ralink-like", Vendor: "vendor-d", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffTruncated,
+		GranularityUs: 4, JitterUs: 1.8, DIFSAdjustUs: 4,
+		RTSThresholdB: 2347, RatePolicy: RateARF, PreferredRateMbps: 54,
+		PowerSave:     false,
+		ProbePeriodUs: 30_000_000, ProbeBurst: 5, ProbeGapUs: 15_000,
+		ShortPreamble: false,
+	},
+	{
+		Name: "prism-like", Vendor: "vendor-e", Mode: ModeB,
+		CWmin: 31, CWmax: 1023, Backoff: BackoffStandard,
+		GranularityUs: 4, JitterUs: 2.2, DIFSAdjustUs: 6,
+		RTSThresholdB: 1500, RatePolicy: RateARF, PreferredRateMbps: 11,
+		PowerSave:     false,
+		ProbePeriodUs: 60_000_000, ProbeBurst: 2, ProbeGapUs: 60_000,
+		ShortPreamble: false,
+	},
+	{
+		Name: "realtek-like", Vendor: "vendor-f", Mode: ModeB,
+		CWmin: 31, CWmax: 1023, Backoff: BackoffFirstSlotBias, FirstSlotProb: 0.35,
+		GranularityUs: 2, JitterUs: 1.4, DIFSAdjustUs: -2,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateFixed, PreferredRateMbps: 11,
+		PowerSave: true, NullPeriodUs: 45_000_000, NullJitterUs: 2_000_000,
+		ProbePeriodUs: 20_000_000, ProbeBurst: 3, ProbeGapUs: 30_000,
+		ShortPreamble: false,
+	},
+	{
+		Name: "marvell-like", Vendor: "vendor-g", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffExtraSlot, ExtraSlotUs: 6,
+		GranularityUs: 1, JitterUs: 0.8, DIFSAdjustUs: 2,
+		RTSThresholdB: 2200, RatePolicy: RateSampler, PreferredRateMbps: 48,
+		PowerSave: true, NullPeriodUs: 240_000_000, NullJitterUs: 6_000_000,
+		ProbePeriodUs: 50_000_000, ProbeBurst: 2, ProbeGapUs: 45_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "ti-like", Vendor: "vendor-h", Mode: ModeG,
+		CWmin: 15, CWmax: 255, Backoff: BackoffSkewedLow,
+		GranularityUs: 2, JitterUs: 1.0, DIFSAdjustUs: 5,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateConservative, PreferredRateMbps: 24,
+		PowerSave: true, NullPeriodUs: 90_000_000, NullJitterUs: 3_000_000,
+		ProbePeriodUs: 40_000_000, ProbeBurst: 4, ProbeGapUs: 20_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "apple-like", Vendor: "vendor-c", Mode: ModeG,
+		CWmin: 15, CWmax: 1023, Backoff: BackoffStandard,
+		GranularityUs: 1, JitterUs: 0.5, DIFSAdjustUs: -1,
+		RTSThresholdB: RTSDisabled, RatePolicy: RateSampler, PreferredRateMbps: 54,
+		PowerSave: true, NullPeriodUs: 120_000_000, NullJitterUs: 2_500_000,
+		ProbePeriodUs: 35_000_000, ProbeBurst: 3, ProbeGapUs: 28_000,
+		ShortPreamble: true,
+	},
+	{
+		Name: "zydas-like", Vendor: "vendor-i", Mode: ModeG,
+		CWmin: 31, CWmax: 1023, Backoff: BackoffTruncated,
+		GranularityUs: 4, JitterUs: 2.5, DIFSAdjustUs: 8,
+		RTSThresholdB: 1800, RatePolicy: RateARF, PreferredRateMbps: 36,
+		PowerSave:     false,
+		ProbePeriodUs: 25_000_000, ProbeBurst: 6, ProbeGapUs: 12_000,
+		ShortPreamble: false,
+	},
+}
+
+// apProfile is the archetype used for access points.
+var apProfile = Profile{
+	Name: "ap-generic", Vendor: "vendor-ap", Mode: ModeG,
+	CWmin: 15, CWmax: 1023, Backoff: BackoffStandard,
+	GranularityUs: 1, JitterUs: 0.4, DIFSAdjustUs: 0,
+	RTSThresholdB: RTSDisabled, RatePolicy: RateARF, PreferredRateMbps: 54,
+	ShortPreamble: true,
+}
+
+// Catalog returns a copy of the client-card archetype catalogue.
+func Catalog() []Profile {
+	out := make([]Profile, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// APProfile returns the access-point archetype.
+func APProfile() Profile { return apProfile }
+
+// ByName finds a profile by name.
+func ByName(name string) (Profile, error) {
+	if name == apProfile.Name {
+		return apProfile, nil
+	}
+	for _, p := range catalog {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+}

@@ -1,0 +1,242 @@
+// Package device models the wireless card + driver heterogeneity that
+// the paper identifies as the root cause of fingerprintability (§VI):
+// random-backoff implementation quirks (Gopinath et al.; Fig. 4),
+// RTS-threshold handling (Fig. 5), rate-adaptation policy (Fig. 6),
+// power-save keep-alive behaviour (Fig. 8) and active-scan probing
+// (Franklin et al.).
+//
+// A Profile describes a card/driver archetype; Instantiate derives a
+// per-unit Spec with small manufacturing-level variations (clock skew,
+// timer offsets), which is what makes two devices of the same model
+// distinguishable only by their traffic (Fig. 7), not their timing.
+//
+// The archetypes are synthetic: they mimic the *kinds* of deviations the
+// paper and its citations report, not any specific vendor's measured
+// firmware. That is exactly what the substitution needs — a population
+// whose between-model variance dwarfs within-model variance.
+package device
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dot11fp/internal/stats"
+)
+
+// BackoffQuirk names a random-backoff implementation family.
+type BackoffQuirk uint8
+
+// Backoff quirks. Standard draws uniformly over [0, CW]; the others
+// reproduce deviations reported by Gopinath et al. and Berger et al.
+const (
+	// BackoffStandard is a compliant uniform draw over [0, CW].
+	BackoffStandard BackoffQuirk = iota + 1
+	// BackoffExtraSlot inserts one short additional slot position before
+	// the standard grid (the extra peak in Fig. 4, top).
+	BackoffExtraSlot
+	// BackoffFirstSlotBias transmits in the first slot far more often
+	// than a uniform draw would (Berger et al.).
+	BackoffFirstSlotBias
+	// BackoffSkewedLow draws with a linear bias towards low slots.
+	BackoffSkewedLow
+	// BackoffTruncated uses only the lower 3/4 of the contention window.
+	BackoffTruncated
+)
+
+// RatePolicy names a rate-adaptation algorithm family.
+type RatePolicy uint8
+
+// Rate policies.
+const (
+	// RateFixed pins the preferred rate.
+	RateFixed RatePolicy = iota + 1
+	// RateARF steps up after 10 consecutive successes and down after 2
+	// consecutive failures.
+	RateARF
+	// RateConservative is a slow ARF variant (20 successes / 3 failures).
+	RateConservative
+	// RateSampler mostly uses a home rate but frequently samples
+	// neighbouring rates (the spread distribution of Fig. 6d).
+	RateSampler
+)
+
+// PHYMode is the supported rate family.
+type PHYMode uint8
+
+// PHY modes.
+const (
+	// ModeB supports only the 802.11b CCK rates.
+	ModeB PHYMode = iota + 1
+	// ModeG supports b and g rates (the common 2008-era card).
+	ModeG
+)
+
+// RatesB and RatesG are the standard rate sets in Mb/s.
+var (
+	RatesB = []float64{1, 2, 5.5, 11}
+	RatesG = []float64{1, 2, 5.5, 11, 6, 9, 12, 18, 24, 36, 48, 54}
+	// RatesOrdered is RatesG sorted by speed, the ladder rate
+	// controllers climb.
+	RatesOrdered = []float64{1, 2, 5.5, 6, 9, 11, 12, 18, 24, 36, 48, 54}
+)
+
+// RTSDisabled is an RTS threshold value that never triggers RTS/CTS.
+const RTSDisabled = 2347
+
+// Profile is a card/driver archetype.
+type Profile struct {
+	Name   string
+	Vendor string
+	Mode   PHYMode
+
+	// CWmin/CWmax bound the binary exponential backoff.
+	CWmin, CWmax int
+	// Backoff selects the quirk family.
+	Backoff BackoffQuirk
+	// ExtraSlotUs is the width of the quirk pre-slot (BackoffExtraSlot).
+	ExtraSlotUs int64
+	// FirstSlotProb is the slot-0 probability for BackoffFirstSlotBias.
+	FirstSlotProb float64
+	// DIFSAdjustUs is a systematic firmware timing offset applied to the
+	// DIFS wait, in µs (positive = slow card).
+	DIFSAdjustUs int64
+	// GranularityUs quantises all of the card's timers (1, 2 or 4 µs).
+	GranularityUs int64
+	// JitterUs is the σ of gaussian timing noise the card adds.
+	JitterUs float64
+
+	// RTSThresholdB triggers RTS/CTS for larger MSDUs; RTSDisabled turns
+	// the mechanism off.
+	RTSThresholdB int
+
+	// RatePolicy and PreferredRateMbps parameterise rate control.
+	RatePolicy        RatePolicy
+	PreferredRateMbps float64
+
+	// PowerSave enables periodic null-function keep-alives with the
+	// given mean period and jitter.
+	PowerSave    bool
+	NullPeriodUs int64
+	NullJitterUs float64
+
+	// Active scanning: a burst of ProbeBurst probe requests every
+	// ProbePeriodUs, ProbeGapUs apart (per-driver scan signatures).
+	ProbePeriodUs int64
+	ProbeBurst    int
+	ProbeGapUs    int64
+
+	// ShortPreamble selects the short CCK PLCP preamble.
+	ShortPreamble bool
+}
+
+// Validate reports structural problems in a profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("device: profile without name")
+	case p.CWmin <= 0 || p.CWmax < p.CWmin:
+		return fmt.Errorf("device %s: bad CW range [%d,%d]", p.Name, p.CWmin, p.CWmax)
+	case p.Backoff < BackoffStandard || p.Backoff > BackoffTruncated:
+		return fmt.Errorf("device %s: bad backoff quirk %d", p.Name, p.Backoff)
+	case p.GranularityUs <= 0:
+		return fmt.Errorf("device %s: bad granularity %d", p.Name, p.GranularityUs)
+	case p.RTSThresholdB < 0 || p.RTSThresholdB > RTSDisabled:
+		return fmt.Errorf("device %s: bad RTS threshold %d", p.Name, p.RTSThresholdB)
+	case p.RatePolicy < RateFixed || p.RatePolicy > RateSampler:
+		return fmt.Errorf("device %s: bad rate policy %d", p.Name, p.RatePolicy)
+	case p.Mode != ModeB && p.Mode != ModeG:
+		return fmt.Errorf("device %s: bad PHY mode %d", p.Name, p.Mode)
+	case p.PowerSave && p.NullPeriodUs <= 0:
+		return fmt.Errorf("device %s: power save without period", p.Name)
+	}
+	return nil
+}
+
+// Rates returns the profile's supported rate set.
+func (p Profile) Rates() []float64 {
+	if p.Mode == ModeB {
+		return RatesB
+	}
+	return RatesG
+}
+
+// Spec is one physical unit of a Profile: the archetype plus per-unit
+// manufacturing variation. Two Specs of the same Profile differ only in
+// these small offsets and in the traffic running on them.
+type Spec struct {
+	Profile
+	// Unit is a per-scenario unique identifier.
+	Unit int
+	// ClockSkewPPM scales every period the unit times (crystal skew).
+	ClockSkewPPM float64
+	// UnitDIFSUs is an extra per-unit timing offset within the model's
+	// tolerance band.
+	UnitDIFSUs int64
+	// NullPhaseUs de-phases the power-save schedule.
+	NullPhaseUs int64
+	// ProbePhaseUs de-phases the scan schedule.
+	ProbePhaseUs int64
+}
+
+// Instantiate derives a per-unit Spec using the given source.
+func (p Profile) Instantiate(unit int, r *rand.Rand) Spec {
+	s := Spec{Profile: p, Unit: unit}
+	s.ClockSkewPPM = stats.TruncNormal(r, 0, 15, -40, 40)
+	s.UnitDIFSUs = int64(stats.TruncNormal(r, 0, 0.8, -2, 2))
+	if p.NullPeriodUs > 0 {
+		s.NullPhaseUs = r.Int64N(p.NullPeriodUs)
+	}
+	if p.ProbePeriodUs > 0 {
+		s.ProbePhaseUs = r.Int64N(p.ProbePeriodUs)
+	}
+	return s
+}
+
+// SkewPeriod applies the unit's clock skew to a nominal period.
+func (s Spec) SkewPeriod(us int64) int64 {
+	return us + int64(float64(us)*s.ClockSkewPPM/1e6)
+}
+
+// DrawBackoffSlots draws a backoff slot count for the given contention
+// window according to the quirk family. The second return value is a
+// sub-slot time offset in µs (used by BackoffExtraSlot's pre-slot).
+func (s Spec) DrawBackoffSlots(r *rand.Rand, cw int) (slots int, offsetUs int64) {
+	switch s.Backoff {
+	case BackoffExtraSlot:
+		// One extra position squeezed before the standard grid.
+		k := r.IntN(cw + 2)
+		if k == 0 {
+			return 0, -s.ExtraSlotUs
+		}
+		return k - 1, 0
+	case BackoffFirstSlotBias:
+		if r.Float64() < s.FirstSlotProb {
+			return 0, 0
+		}
+		return r.IntN(cw + 1), 0
+	case BackoffSkewedLow:
+		// min of two uniforms has a linear density favouring low slots.
+		a, b := r.IntN(cw+1), r.IntN(cw+1)
+		if b < a {
+			a = b
+		}
+		return a, 0
+	case BackoffTruncated:
+		lim := cw * 3 / 4
+		if lim < 1 {
+			lim = 1
+		}
+		return r.IntN(lim + 1), 0
+	default:
+		return r.IntN(cw + 1), 0
+	}
+}
+
+// Quantize rounds a time to the unit's timer granularity.
+func (s Spec) Quantize(us int64) int64 {
+	g := s.GranularityUs
+	if g <= 1 {
+		return us
+	}
+	return (us + g/2) / g * g
+}

@@ -1,0 +1,238 @@
+package device
+
+import (
+	"testing"
+
+	"dot11fp/internal/stats"
+)
+
+func TestCatalogValid(t *testing.T) {
+	t.Parallel()
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalogue has %d profiles, want >= 10 for population diversity", len(cat))
+	}
+	seen := make(map[string]bool, len(cat))
+	for i := range cat {
+		p := cat[i]
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %d: %v", i, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if err := APProfile().Validate(); err != nil {
+		t.Errorf("AP profile: %v", err)
+	}
+}
+
+func TestCatalogIsCopy(t *testing.T) {
+	t.Parallel()
+	a := Catalog()
+	a[0].Name = "mutated"
+	b := Catalog()
+	if b[0].Name == "mutated" {
+		t.Fatal("Catalog() exposes internal storage")
+	}
+}
+
+func TestByName(t *testing.T) {
+	t.Parallel()
+	p, err := ByName("intel-like-a")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if p.Vendor != "vendor-b" {
+		t.Errorf("vendor = %q", p.Vendor)
+	}
+	if _, err := ByName("ap-generic"); err != nil {
+		t.Errorf("ByName(ap-generic): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	t.Parallel()
+	base := Catalog()[0]
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.CWmin = 0 },
+		func(p *Profile) { p.CWmax = p.CWmin - 1 },
+		func(p *Profile) { p.Backoff = 0 },
+		func(p *Profile) { p.Backoff = BackoffTruncated + 1 },
+		func(p *Profile) { p.GranularityUs = 0 },
+		func(p *Profile) { p.RTSThresholdB = -1 },
+		func(p *Profile) { p.RTSThresholdB = RTSDisabled + 1 },
+		func(p *Profile) { p.RatePolicy = 0 },
+		func(p *Profile) { p.Mode = 0 },
+		func(p *Profile) { p.PowerSave = true; p.NullPeriodUs = 0 },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted an invalid profile", i)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	t.Parallel()
+	b := Profile{Mode: ModeB}
+	if got := len(b.Rates()); got != 4 {
+		t.Errorf("ModeB rates = %d, want 4", got)
+	}
+	g := Profile{Mode: ModeG}
+	if got := len(g.Rates()); got != 12 {
+		t.Errorf("ModeG rates = %d, want 12", got)
+	}
+}
+
+func TestInstantiateDeterministicAndVaried(t *testing.T) {
+	t.Parallel()
+	p := Catalog()[1] // has power save and probing
+	s1 := p.Instantiate(1, stats.NewRand(9, 1))
+	s2 := p.Instantiate(1, stats.NewRand(9, 1))
+	if s1 != s2 {
+		t.Fatal("Instantiate is not deterministic for equal sources")
+	}
+	s3 := p.Instantiate(2, stats.NewRand(9, 2))
+	if s1.ClockSkewPPM == s3.ClockSkewPPM && s1.NullPhaseUs == s3.NullPhaseUs {
+		t.Error("distinct units got identical variation, suspicious")
+	}
+	if s1.ClockSkewPPM < -40 || s1.ClockSkewPPM > 40 {
+		t.Errorf("clock skew %v out of tolerance", s1.ClockSkewPPM)
+	}
+	if s1.NullPhaseUs < 0 || s1.NullPhaseUs >= p.NullPeriodUs {
+		t.Errorf("null phase %d outside period", s1.NullPhaseUs)
+	}
+}
+
+func TestSkewPeriod(t *testing.T) {
+	t.Parallel()
+	s := Spec{ClockSkewPPM: 20}
+	if got := s.SkewPeriod(1_000_000); got != 1_000_020 {
+		t.Errorf("SkewPeriod = %d, want 1000020", got)
+	}
+	s.ClockSkewPPM = -20
+	if got := s.SkewPeriod(1_000_000); got != 999_980 {
+		t.Errorf("SkewPeriod = %d, want 999980", got)
+	}
+}
+
+func TestDrawBackoffSlotsRanges(t *testing.T) {
+	t.Parallel()
+	r := stats.NewRand(11, 3)
+	quirks := []BackoffQuirk{BackoffStandard, BackoffExtraSlot, BackoffFirstSlotBias, BackoffSkewedLow, BackoffTruncated}
+	for _, q := range quirks {
+		s := Spec{Profile: Profile{Backoff: q, ExtraSlotUs: 10, FirstSlotProb: 0.3}}
+		for i := 0; i < 5000; i++ {
+			slots, off := s.DrawBackoffSlots(r, 15)
+			if slots < 0 || slots > 15 {
+				t.Fatalf("quirk %d: slots = %d out of [0,15]", q, slots)
+			}
+			if off != 0 && q != BackoffExtraSlot {
+				t.Fatalf("quirk %d: unexpected sub-slot offset %d", q, off)
+			}
+		}
+	}
+}
+
+func TestDrawBackoffQuirkShapes(t *testing.T) {
+	t.Parallel()
+	const n = 40_000
+	count := func(q BackoffQuirk, p float64) (slot0 int, preSlot int, hi int) {
+		r := stats.NewRand(5, uint64(q))
+		s := Spec{Profile: Profile{Backoff: q, ExtraSlotUs: 10, FirstSlotProb: p}}
+		for i := 0; i < n; i++ {
+			slots, off := s.DrawBackoffSlots(r, 15)
+			if off != 0 {
+				preSlot++
+			} else if slots == 0 {
+				slot0++
+			}
+			if slots > 11 {
+				hi++
+			}
+		}
+		return
+	}
+
+	s0, _, _ := count(BackoffStandard, 0)
+	uniform := float64(n) / 16
+	if f := float64(s0); f < uniform*0.85 || f > uniform*1.15 {
+		t.Errorf("standard slot0 count = %d, want ~%v", s0, uniform)
+	}
+
+	_, pre, _ := count(BackoffExtraSlot, 0)
+	if pre == 0 {
+		t.Error("extra-slot quirk never used its pre-slot")
+	}
+	if f := float64(pre); f < uniform*0.7 || f > uniform*1.3 {
+		t.Errorf("pre-slot count = %d, want ~%v", pre, uniform)
+	}
+
+	sBias, _, _ := count(BackoffFirstSlotBias, 0.3)
+	if f := float64(sBias) / n; f < 0.28 || f > 0.42 {
+		t.Errorf("first-slot-bias slot0 fraction = %v, want ~0.3+", f)
+	}
+
+	_, _, hiTrunc := count(BackoffTruncated, 0)
+	if hiTrunc != 0 {
+		t.Errorf("truncated quirk drew %d slots above 3/4 CW", hiTrunc)
+	}
+
+	sLow, _, _ := count(BackoffSkewedLow, 0)
+	if float64(sLow) <= uniform {
+		t.Errorf("skewed-low slot0 count = %d, want > uniform %v", sLow, uniform)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	t.Parallel()
+	s := Spec{Profile: Profile{GranularityUs: 4}}
+	tests := []struct{ in, want int64 }{
+		{0, 0}, {1, 0}, {2, 4}, {3, 4}, {4, 4}, {5, 4}, {6, 8}, {103, 104},
+	}
+	for _, tt := range tests {
+		if got := s.Quantize(tt.in); got != tt.want {
+			t.Errorf("Quantize(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	s1 := Spec{Profile: Profile{GranularityUs: 1}}
+	if got := s1.Quantize(7); got != 7 {
+		t.Errorf("granularity-1 Quantize(7) = %d", got)
+	}
+}
+
+func TestProfileDiversity(t *testing.T) {
+	t.Parallel()
+	// The population must span multiple backoff quirks, rate policies and
+	// RTS settings — otherwise the paper's factors are unexercised.
+	quirks := make(map[BackoffQuirk]bool)
+	policies := make(map[RatePolicy]bool)
+	rts := make(map[bool]bool)
+	ps := make(map[bool]bool)
+	for _, p := range Catalog() {
+		quirks[p.Backoff] = true
+		policies[p.RatePolicy] = true
+		rts[p.RTSThresholdB < RTSDisabled] = true
+		ps[p.PowerSave] = true
+	}
+	if len(quirks) < 4 {
+		t.Errorf("only %d backoff quirks exercised", len(quirks))
+	}
+	if len(policies) < 3 {
+		t.Errorf("only %d rate policies exercised", len(policies))
+	}
+	if !rts[true] || !rts[false] {
+		t.Error("catalogue lacks both RTS-on and RTS-off devices")
+	}
+	if !ps[true] || !ps[false] {
+		t.Error("catalogue lacks both power-save and non-power-save devices")
+	}
+}

@@ -1,0 +1,84 @@
+package dot11
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Addr is a 48-bit IEEE 802 MAC address.
+type Addr [6]byte
+
+// Well-known addresses.
+var (
+	// Broadcast is the all-ones broadcast address ff:ff:ff:ff:ff:ff.
+	Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+	// ZeroAddr is the all-zero address. It is never a valid station
+	// address and doubles as the "unknown sender" sentinel in capture
+	// records (ACK and CTS frames carry no transmitter address).
+	ZeroAddr = Addr{}
+)
+
+// ErrBadAddr reports that a textual MAC address could not be parsed.
+var ErrBadAddr = errors.New("dot11: malformed MAC address")
+
+// ParseAddr parses a colon- or dash-separated hexadecimal MAC address,
+// e.g. "00:1f:3c:51:ae:90".
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	norm := strings.NewReplacer("-", "", ":", "").Replace(s)
+	if len(norm) != 12 {
+		return a, fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	raw, err := hex.DecodeString(norm)
+	if err != nil {
+		return a, fmt.Errorf("%w: %q: %v", ErrBadAddr, s, err)
+	}
+	copy(a[:], raw)
+	return a, nil
+}
+
+// MustParseAddr is like ParseAddr but panics on malformed input.
+// It is intended for tests and static tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in the canonical lower-case colon form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether the address is the all-ones broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsGroup reports whether the address is a group (multicast or broadcast)
+// address, i.e. the I/G bit of the first octet is set.
+func (a Addr) IsGroup() bool { return a[0]&0x01 != 0 }
+
+// IsZero reports whether the address is the all-zero sentinel.
+func (a Addr) IsZero() bool { return a == ZeroAddr }
+
+// OUI returns the 24-bit organisationally unique identifier prefix.
+func (a Addr) OUI() [3]byte { return [3]byte{a[0], a[1], a[2]} }
+
+// LocalAddr builds a locally-administered unicast address from a 40-bit
+// value. The U/L bit is set and the I/G bit cleared, so two distinct
+// values can never collide with a real vendor address or a group address.
+// It is used by the simulator to mint station addresses deterministically.
+func LocalAddr(v uint64) Addr {
+	var a Addr
+	a[0] = 0x02 // locally administered, unicast
+	a[1] = byte(v >> 32)
+	a[2] = byte(v >> 24)
+	a[3] = byte(v >> 16)
+	a[4] = byte(v >> 8)
+	a[5] = byte(v)
+	return a
+}

@@ -1,0 +1,94 @@
+package dot11
+
+// Class is the coarse frame classification the fingerprinting method
+// histograms over: one histogram per Class per device (paper §IV-A,
+// "one histogram per frame type (e.g. Data frames, Probe Requests, ...)").
+type Class uint8
+
+// Classes, ordered roughly by how often they appear in a typical trace.
+// Enumerations start at one so that the zero value is an explicit
+// "unknown" and never silently classifies.
+const (
+	ClassUnknown Class = iota
+	ClassData          // plain data frames
+	ClassQoSData       // QoS data frames
+	ClassNull          // (QoS) null-function frames (power save)
+	ClassBeacon
+	ClassProbeReq
+	ClassProbeResp
+	ClassMgmtOther // assoc/auth/deauth/action/...
+	ClassRTS
+	ClassCTS
+	ClassACK
+	ClassPSPoll
+	ClassCtlOther
+	numClasses
+)
+
+// NumClasses is the number of distinct classes, for sizing dense tables.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassUnknown:   "unknown",
+	ClassData:      "data",
+	ClassQoSData:   "qos-data",
+	ClassNull:      "null",
+	ClassBeacon:    "beacon",
+	ClassProbeReq:  "probe-req",
+	ClassProbeResp: "probe-resp",
+	ClassMgmtOther: "mgmt-other",
+	ClassRTS:       "rts",
+	ClassCTS:       "cts",
+	ClassACK:       "ack",
+	ClassPSPoll:    "ps-poll",
+	ClassCtlOther:  "ctl-other",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class(?)"
+}
+
+// Classify maps a frame's type/subtype pair onto its fingerprinting class.
+func Classify(fc FrameControl) Class {
+	switch fc.Type {
+	case TypeData:
+		switch fc.Subtype {
+		case SubtypeNull, SubtypeQoSNull:
+			return ClassNull
+		case SubtypeQoSData:
+			return ClassQoSData
+		default:
+			return ClassData
+		}
+	case TypeManagement:
+		switch fc.Subtype {
+		case SubtypeBeacon:
+			return ClassBeacon
+		case SubtypeProbeReq:
+			return ClassProbeReq
+		case SubtypeProbeResp:
+			return ClassProbeResp
+		default:
+			return ClassMgmtOther
+		}
+	case TypeControl:
+		switch fc.Subtype {
+		case SubtypeRTS:
+			return ClassRTS
+		case SubtypeCTS:
+			return ClassCTS
+		case SubtypeACK:
+			return ClassACK
+		case SubtypePSPoll:
+			return ClassPSPoll
+		default:
+			return ClassCtlOther
+		}
+	default:
+		return ClassUnknown
+	}
+}

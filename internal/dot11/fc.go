@@ -1,0 +1,138 @@
+package dot11
+
+import "fmt"
+
+// Type is the two-bit 802.11 frame type from the Frame Control field.
+type Type uint8
+
+// Frame types (IEEE Std 802.11-1999 §7.1.3.1.2).
+const (
+	TypeManagement Type = 0
+	TypeControl    Type = 1
+	TypeData       Type = 2
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeManagement:
+		return "mgmt"
+	case TypeControl:
+		return "ctrl"
+	case TypeData:
+		return "data"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Subtype is the four-bit 802.11 frame subtype from the Frame Control field.
+// Its interpretation depends on the frame Type.
+type Subtype uint8
+
+// Management subtypes.
+const (
+	SubtypeAssocReq    Subtype = 0
+	SubtypeAssocResp   Subtype = 1
+	SubtypeReassocReq  Subtype = 2
+	SubtypeReassocResp Subtype = 3
+	SubtypeProbeReq    Subtype = 4
+	SubtypeProbeResp   Subtype = 5
+	SubtypeBeacon      Subtype = 8
+	SubtypeATIM        Subtype = 9
+	SubtypeDisassoc    Subtype = 10
+	SubtypeAuth        Subtype = 11
+	SubtypeDeauth      Subtype = 12
+	SubtypeAction      Subtype = 13
+)
+
+// Control subtypes.
+const (
+	SubtypeBlockAckReq Subtype = 8
+	SubtypeBlockAck    Subtype = 9
+	SubtypePSPoll      Subtype = 10
+	SubtypeRTS         Subtype = 11
+	SubtypeCTS         Subtype = 12
+	SubtypeACK         Subtype = 13
+	SubtypeCFEnd       Subtype = 14
+	SubtypeCFEndAck    Subtype = 15
+)
+
+// Data subtypes.
+const (
+	SubtypeData          Subtype = 0
+	SubtypeDataCFAck     Subtype = 1
+	SubtypeDataCFPoll    Subtype = 2
+	SubtypeDataCFAckPoll Subtype = 3
+	SubtypeNull          Subtype = 4
+	SubtypeCFAck         Subtype = 5
+	SubtypeCFPoll        Subtype = 6
+	SubtypeCFAckPoll     Subtype = 7
+	SubtypeQoSData       Subtype = 8
+	SubtypeQoSNull       Subtype = 12
+)
+
+// FrameControl models the 16-bit Frame Control field.
+type FrameControl struct {
+	Protocol  uint8 // always 0 for 802.11-1999
+	Type      Type
+	Subtype   Subtype
+	ToDS      bool
+	FromDS    bool
+	MoreFrag  bool
+	Retry     bool
+	PwrMgmt   bool
+	MoreData  bool
+	Protected bool // WEP/WPA/WPA2 encrypted payload
+	Order     bool
+}
+
+// Encode packs the frame control field into its little-endian wire form.
+func (fc FrameControl) Encode() uint16 {
+	var v uint16
+	v |= uint16(fc.Protocol & 0x3)
+	v |= uint16(fc.Type&0x3) << 2
+	v |= uint16(fc.Subtype&0xf) << 4
+	if fc.ToDS {
+		v |= 1 << 8
+	}
+	if fc.FromDS {
+		v |= 1 << 9
+	}
+	if fc.MoreFrag {
+		v |= 1 << 10
+	}
+	if fc.Retry {
+		v |= 1 << 11
+	}
+	if fc.PwrMgmt {
+		v |= 1 << 12
+	}
+	if fc.MoreData {
+		v |= 1 << 13
+	}
+	if fc.Protected {
+		v |= 1 << 14
+	}
+	if fc.Order {
+		v |= 1 << 15
+	}
+	return v
+}
+
+// DecodeFrameControl unpacks a wire-format frame control field.
+func DecodeFrameControl(v uint16) FrameControl {
+	return FrameControl{
+		Protocol:  uint8(v & 0x3),
+		Type:      Type((v >> 2) & 0x3),
+		Subtype:   Subtype((v >> 4) & 0xf),
+		ToDS:      v&(1<<8) != 0,
+		FromDS:    v&(1<<9) != 0,
+		MoreFrag:  v&(1<<10) != 0,
+		Retry:     v&(1<<11) != 0,
+		PwrMgmt:   v&(1<<12) != 0,
+		MoreData:  v&(1<<13) != 0,
+		Protected: v&(1<<14) != 0,
+		Order:     v&(1<<15) != 0,
+	}
+}

@@ -1,0 +1,360 @@
+package dot11
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		in      string
+		want    Addr
+		wantErr bool
+	}{
+		{name: "colons", in: "00:1f:3c:51:ae:90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
+		{name: "dashes", in: "00-1F-3C-51-AE-90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
+		{name: "broadcast", in: "ff:ff:ff:ff:ff:ff", want: Broadcast},
+		{name: "short", in: "00:1f:3c", wantErr: true},
+		{name: "junk", in: "zz:zz:zz:zz:zz:zz", wantErr: true},
+		{name: "empty", in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := ParseAddr(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseAddr(%q) = %v, want error", tt.in, got)
+				}
+				if !errors.Is(err, ErrBadAddr) {
+					t.Fatalf("ParseAddr(%q) error = %v, want ErrBadAddr", tt.in, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseAddr(%q) unexpected error: %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Fatalf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(a Addr) bool {
+		got, err := ParseAddr(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrPredicates(t *testing.T) {
+	t.Parallel()
+	if !Broadcast.IsBroadcast() || !Broadcast.IsGroup() {
+		t.Error("broadcast predicates failed")
+	}
+	if !ZeroAddr.IsZero() {
+		t.Error("ZeroAddr.IsZero() = false")
+	}
+	multicast := Addr{0x01, 0x00, 0x5e, 0x00, 0x00, 0x16} // IGMP
+	if !multicast.IsGroup() || multicast.IsBroadcast() {
+		t.Error("multicast predicates failed")
+	}
+	unicast := LocalAddr(42)
+	if unicast.IsGroup() || unicast.IsZero() {
+		t.Error("unicast predicates failed")
+	}
+}
+
+func TestLocalAddrDistinct(t *testing.T) {
+	t.Parallel()
+	seen := make(map[Addr]uint64, 1000)
+	for v := uint64(0); v < 1000; v++ {
+		a := LocalAddr(v)
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("LocalAddr collision: %d and %d -> %v", prev, v, a)
+		}
+		if a[0] != 0x02 {
+			t.Fatalf("LocalAddr(%d) first octet = %#x, want 0x02", v, a[0])
+		}
+		seen[a] = v
+	}
+}
+
+func TestFrameControlRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(v uint16) bool {
+		fc := DecodeFrameControl(v)
+		return fc.Encode() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameControlFlags(t *testing.T) {
+	t.Parallel()
+	fc := FrameControl{Type: TypeData, Subtype: SubtypeQoSData, ToDS: true, Retry: true, Protected: true}
+	got := DecodeFrameControl(fc.Encode())
+	if got != fc {
+		t.Fatalf("round trip = %+v, want %+v", got, fc)
+	}
+}
+
+func TestEncodeDecodeDataFrame(t *testing.T) {
+	t.Parallel()
+	sa := MustParseAddr("02:00:00:00:00:01")
+	bssid := MustParseAddr("02:00:00:00:00:ff")
+	da := MustParseAddr("02:00:00:00:00:02")
+	body := []byte("hello 802.11 world")
+	f := NewData(sa, bssid, da, body)
+	f.SetSeqNum(1234)
+
+	raw := f.Encode()
+	if len(raw) != f.Size() {
+		t.Fatalf("Encode length = %d, Size() = %d", len(raw), f.Size())
+	}
+	got, err := Decode(raw, true)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.FC != f.FC || got.Addr1 != f.Addr1 || got.Addr2 != f.Addr2 || got.Addr3 != f.Addr3 {
+		t.Errorf("header mismatch: got %+v want %+v", got, f)
+	}
+	if got.SeqNum() != 1234 {
+		t.Errorf("SeqNum = %d, want 1234", got.SeqNum())
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Errorf("body mismatch: %q", got.Body)
+	}
+}
+
+func TestEncodeDecodeAllConstructors(t *testing.T) {
+	t.Parallel()
+	sa := LocalAddr(1)
+	ap := LocalAddr(1000)
+	frames := map[string]Frame{
+		"data":      NewData(sa, ap, Broadcast, make([]byte, 100)),
+		"qos-data":  NewQoSData(sa, ap, Broadcast, 5, make([]byte, 80)),
+		"null":      NewNull(sa, ap, true),
+		"rts":       NewRTS(sa, ap, 312),
+		"cts":       NewCTS(sa, 280),
+		"ack":       NewACK(sa),
+		"beacon":    NewBeacon(ap, make([]byte, 64)),
+		"probe-req": NewProbeReq(sa, make([]byte, 30)),
+		"probe-rsp": NewProbeResp(ap, sa, make([]byte, 90)),
+	}
+	for name, f := range frames {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			raw := f.Encode()
+			got, err := Decode(raw, true)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.FC != f.FC {
+				t.Errorf("FC = %+v, want %+v", got.FC, f.FC)
+			}
+			if got.Addr1 != f.Addr1 {
+				t.Errorf("Addr1 = %v, want %v", got.Addr1, f.Addr1)
+			}
+			if got.Size() != f.Size() {
+				t.Errorf("Size = %d, want %d", got.Size(), f.Size())
+			}
+		})
+	}
+}
+
+func TestDecodeBadFCS(t *testing.T) {
+	t.Parallel()
+	f := NewData(LocalAddr(1), LocalAddr(2), Broadcast, []byte("payload"))
+	raw := f.Encode()
+	raw[len(raw)-1] ^= 0xff
+	if _, err := Decode(raw, true); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("Decode with corrupted FCS: err = %v, want ErrBadFCS", err)
+	}
+	// Without the check the frame still parses.
+	if _, err := Decode(raw, false); err != nil {
+		t.Fatalf("Decode without FCS check: %v", err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	t.Parallel()
+	for n := 0; n < hdrLenCTSACK+fcsLen; n++ {
+		if _, err := Decode(make([]byte, n), false); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("Decode(%d bytes): err = %v, want ErrShortFrame", n, err)
+		}
+	}
+}
+
+func TestDecodeTruncatedHeader(t *testing.T) {
+	t.Parallel()
+	// A data frame needs 24+4 bytes; hand it only 20.
+	f := NewData(LocalAddr(1), LocalAddr(2), Broadcast, nil)
+	raw := f.Encode()[:20]
+	if _, err := Decode(raw, false); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestHasTA(t *testing.T) {
+	t.Parallel()
+	sa := LocalAddr(7)
+	tests := []struct {
+		name string
+		f    Frame
+		want bool
+	}{
+		{"ack", NewACK(sa), false},
+		{"cts", NewCTS(sa, 0), false},
+		{"rts", NewRTS(sa, LocalAddr(8), 0), true},
+		{"data", NewData(sa, LocalAddr(8), Broadcast, nil), true},
+		{"beacon", NewBeacon(sa, nil), true},
+	}
+	for _, tt := range tests {
+		if got := tt.f.HasTA(); got != tt.want {
+			t.Errorf("%s: HasTA = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	if got := NewACK(sa).TA(); !got.IsZero() {
+		t.Errorf("ACK TA = %v, want zero", got)
+	}
+	if got := NewRTS(sa, LocalAddr(8), 0).TA(); got != sa {
+		t.Errorf("RTS TA = %v, want %v", got, sa)
+	}
+}
+
+func TestFrameSizes(t *testing.T) {
+	t.Parallel()
+	if got := NewACK(LocalAddr(1)).Size(); got != 14 {
+		t.Errorf("ACK size = %d, want 14", got)
+	}
+	if got := NewCTS(LocalAddr(1), 0).Size(); got != 14 {
+		t.Errorf("CTS size = %d, want 14", got)
+	}
+	if got := NewRTS(LocalAddr(1), LocalAddr(2), 0).Size(); got != 20 {
+		t.Errorf("RTS size = %d, want 20", got)
+	}
+	if got := NewNull(LocalAddr(1), LocalAddr(2), false).Size(); got != 28 {
+		t.Errorf("null size = %d, want 28", got)
+	}
+	if got := NewData(LocalAddr(1), LocalAddr(2), Broadcast, make([]byte, 1000)).Size(); got != 1028 {
+		t.Errorf("data(1000) size = %d, want 1028", got)
+	}
+	if got := NewQoSData(LocalAddr(1), LocalAddr(2), Broadcast, 0, make([]byte, 1000)).Size(); got != 1030 {
+		t.Errorf("qos-data(1000) size = %d, want 1030", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		fc   FrameControl
+		want Class
+	}{
+		{FrameControl{Type: TypeData, Subtype: SubtypeData}, ClassData},
+		{FrameControl{Type: TypeData, Subtype: SubtypeDataCFAck}, ClassData},
+		{FrameControl{Type: TypeData, Subtype: SubtypeQoSData}, ClassQoSData},
+		{FrameControl{Type: TypeData, Subtype: SubtypeNull}, ClassNull},
+		{FrameControl{Type: TypeData, Subtype: SubtypeQoSNull}, ClassNull},
+		{FrameControl{Type: TypeManagement, Subtype: SubtypeBeacon}, ClassBeacon},
+		{FrameControl{Type: TypeManagement, Subtype: SubtypeProbeReq}, ClassProbeReq},
+		{FrameControl{Type: TypeManagement, Subtype: SubtypeProbeResp}, ClassProbeResp},
+		{FrameControl{Type: TypeManagement, Subtype: SubtypeAuth}, ClassMgmtOther},
+		{FrameControl{Type: TypeControl, Subtype: SubtypeRTS}, ClassRTS},
+		{FrameControl{Type: TypeControl, Subtype: SubtypeCTS}, ClassCTS},
+		{FrameControl{Type: TypeControl, Subtype: SubtypeACK}, ClassACK},
+		{FrameControl{Type: TypeControl, Subtype: SubtypePSPoll}, ClassPSPoll},
+		{FrameControl{Type: TypeControl, Subtype: SubtypeBlockAck}, ClassCtlOther},
+		{FrameControl{Type: 3}, ClassUnknown},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.fc); got != tt.want {
+			t.Errorf("Classify(%s/%d) = %s, want %s", tt.fc.Type, tt.fc.Subtype, got, tt.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	t.Parallel()
+	seen := make(map[string]bool, NumClasses)
+	for c := ClassUnknown; c < Class(NumClasses); c++ {
+		s := c.String()
+		if s == "" || s == "class(?)" {
+			t.Errorf("Class(%d) has no name", c)
+		}
+		if seen[s] {
+			t.Errorf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIsBroadcastData(t *testing.T) {
+	t.Parallel()
+	sa, ap := LocalAddr(1), LocalAddr(9)
+	bc := NewData(sa, ap, Broadcast, nil) // ToDS: DA in Addr3
+	if !bc.IsBroadcastData() {
+		t.Error("ToDS broadcast data not detected")
+	}
+	uni := NewData(sa, ap, LocalAddr(3), nil)
+	if uni.IsBroadcastData() {
+		t.Error("unicast data misdetected as broadcast")
+	}
+	// FromDS frame: DA in Addr1.
+	down := Frame{
+		FC:    FrameControl{Type: TypeData, Subtype: SubtypeData, FromDS: true},
+		Addr1: Broadcast, Addr2: ap, Addr3: sa,
+	}
+	if !down.IsBroadcastData() {
+		t.Error("FromDS broadcast data not detected")
+	}
+	if NewBeacon(ap, nil).IsBroadcastData() {
+		t.Error("beacon misdetected as broadcast data")
+	}
+}
+
+func TestSeqNumRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(n uint16, frag uint8) bool {
+		var fr Frame
+		fr.SeqCtl = uint16(frag & 0xf)
+		fr.SetSeqNum(n & 0xfff)
+		return fr.SeqNum() == n&0xfff && fr.SeqCtl&0xf == uint16(frag&0xf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	t.Parallel()
+	// Property: any data frame with a random body round-trips.
+	f := func(seed uint16, bodyLen uint16, body []byte) bool {
+		n := int(bodyLen) % 1500
+		if len(body) > n {
+			body = body[:n]
+		}
+		fr := NewQoSData(LocalAddr(uint64(seed)), LocalAddr(9999), Broadcast, uint8(seed%8), body)
+		fr.SetSeqNum(seed & 0xfff)
+		got, err := Decode(fr.Encode(), true)
+		if err != nil {
+			return false
+		}
+		return got.FC == fr.FC && got.Addr2 == fr.Addr2 && bytes.Equal(got.Body, fr.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+)
+
+// EnsembleSpec parameterises a combined-parameter evaluation run (the
+// paper's future-work extension).
+type EnsembleSpec struct {
+	RefDuration time.Duration
+	Window      time.Duration
+	// Params are the member parameters (default configurations).
+	Params  []core.Param
+	Measure core.Measure
+}
+
+// RunEnsemble evaluates the combined fingerprint with the same
+// methodology and metrics as Run. The returned Result has Param == 0;
+// TraceName carries an "(ensemble)" suffix.
+func RunEnsemble(tr *capture.Trace, spec EnsembleSpec) (*Result, error) {
+	if spec.Window <= 0 {
+		spec.Window = core.DefaultWindow
+	}
+	if spec.RefDuration <= 0 {
+		return nil, fmt.Errorf("eval: reference duration must be positive")
+	}
+	if len(spec.Params) == 0 {
+		spec.Params = core.Params
+	}
+	cfgs := make([]core.Config, len(spec.Params))
+	for i, p := range spec.Params {
+		cfgs[i] = core.DefaultConfig(p)
+	}
+	ens, err := core.NewEnsemble(spec.Measure, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	train, valid := core.Split(tr, spec.RefDuration)
+	if err := ens.Train(train); err != nil {
+		return nil, err
+	}
+	cands := ens.CandidatesIn(valid, spec.Window)
+
+	res := &Result{
+		TraceName:  tr.Name + " (ensemble)",
+		RefDevices: ens.Len(),
+		Candidates: len(cands),
+		IdentAtFPR: make(map[float64]float64),
+	}
+	states := make([]candidate, 0, len(cands))
+	for _, c := range cands {
+		scores := ens.Match(c)
+		st := candidate{}
+		st.simsDesc = make([]float64, 0, len(scores))
+		best := core.Score{Sim: -1}
+		for _, sc := range scores {
+			st.simsDesc = append(st.simsDesc, sc.Sim)
+			if sc.Sim > best.Sim {
+				best = sc
+			}
+			if sc.Addr == dot11.Addr(c.Addr) {
+				st.known = true
+				st.trueSim = sc.Sim
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(st.simsDesc)))
+		st.bestSim = best.Sim
+		st.bestRight = st.known && best.Addr == dot11.Addr(c.Addr)
+		if st.known {
+			res.KnownCandidates++
+		}
+		states = append(states, st)
+	}
+	res.Curve = similarityCurve(states)
+	res.AUC = auc(res.Curve)
+	for _, budget := range []float64{0.01, 0.1} {
+		res.IdentAtFPR[budget] = identAt(states, budget)
+	}
+	return res, nil
+}

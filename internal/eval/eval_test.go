@@ -1,0 +1,309 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/scenario"
+)
+
+// synthTrace builds a trace of nDevices highly separable devices: each
+// sends data frames with a device-specific size every second for the
+// whole duration, so size signatures identify devices perfectly.
+func synthTrace(nDevices int, dur time.Duration) *capture.Trace {
+	tr := &capture.Trace{Name: "synth"}
+	durUs := dur.Microseconds()
+	period := int64(500_000)
+	var t int64
+	for t = 0; t < durUs; t += period {
+		for d := 0; d < nDevices; d++ {
+			tr.Records = append(tr.Records, capture.Record{
+				T:        t + int64(d)*1_000,
+				Sender:   dot11.LocalAddr(uint64(d + 1)),
+				Receiver: dot11.LocalAddr(9999),
+				Class:    dot11.ClassData,
+				Size:     100 + d*64, // unique size bin per device
+				RateMbps: 54,
+				FCSOK:    true,
+			})
+		}
+	}
+	return tr
+}
+
+func TestRunPerfectSeparation(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(6, 20*time.Minute)
+	res, err := Run(tr, Spec{
+		RefDuration: 5 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      core.Config{Param: core.ParamSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefDevices != 6 {
+		t.Fatalf("ref devices = %d, want 6", res.RefDevices)
+	}
+	if res.Candidates == 0 || res.KnownCandidates != res.Candidates {
+		t.Fatalf("candidates = %d known = %d", res.Candidates, res.KnownCandidates)
+	}
+	// Perfectly separable devices: the curve runs along FPR=0 to TPR=1
+	// and closes at T=0 where all N references are returned, so the
+	// maximum reachable FPR — and hence the AUC — is (N−1)/N. (This is
+	// why the paper's AUCs top out near 95% with 158 references.)
+	wantAUC := 5.0 / 6.0
+	if math.Abs(res.AUC-wantAUC) > 0.02 {
+		t.Errorf("AUC = %v, want ≈ %v", res.AUC, wantAUC)
+	}
+	if got := res.IdentAtFPR[0.01]; got < 0.99 {
+		t.Errorf("ident@0.01 = %v, want 1", got)
+	}
+	if got := res.IdentAtFPR[0.1]; got < 0.99 {
+		t.Errorf("ident@0.1 = %v, want 1", got)
+	}
+}
+
+func TestRunIndistinguishableDevices(t *testing.T) {
+	t.Parallel()
+	// All devices identical in the measured parameter: identification at
+	// low FPR must collapse, AUC must be mediocre.
+	tr := &capture.Trace{Name: "clones"}
+	durUs := (20 * time.Minute).Microseconds()
+	for t0 := int64(0); t0 < durUs; t0 += 500_000 {
+		for d := 0; d < 5; d++ {
+			tr.Records = append(tr.Records, capture.Record{
+				T:        t0 + int64(d)*1_000,
+				Sender:   dot11.LocalAddr(uint64(d + 1)),
+				Receiver: dot11.LocalAddr(9999),
+				Class:    dot11.ClassData,
+				Size:     500, // identical for everyone
+				RateMbps: 54,
+				FCSOK:    true,
+			})
+		}
+	}
+	res, err := Run(tr, Spec{
+		RefDuration: 5 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      core.Config{Param: core.ParamSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.IdentAtFPR[0.01]; got > 0.5 {
+		t.Errorf("ident@0.01 = %v for indistinguishable devices", got)
+	}
+	// Returned sets contain all 5 devices, 4 of which are wrong: the
+	// similarity FPR is pinned near 0.8, so AUC collapses.
+	if res.AUC > 0.5 {
+		t.Errorf("AUC = %v, want small for clones", res.AUC)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(2, 5*time.Minute)
+	if _, err := Run(tr, Spec{Config: core.Config{Param: core.ParamSize}}); err == nil {
+		t.Fatal("Run without RefDuration should fail")
+	}
+}
+
+func TestCurveMonotonicityAndRange(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(4, 15*time.Minute)
+	res, err := Run(tr, Spec{
+		RefDuration: 5 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      core.Config{Param: core.ParamSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevTPR := -1.0
+	for _, p := range res.Curve {
+		if p.TPR < 0 || p.TPR > 1 || p.FPR < 0 || p.FPR > 1 {
+			t.Fatalf("curve point out of range: %+v", p)
+		}
+		// Thresholds descend across the grid, so TPR must not decrease.
+		if p.TPR < prevTPR-1e-9 {
+			t.Fatalf("TPR decreased as threshold fell: %+v", p)
+		}
+		prevTPR = p.TPR
+	}
+}
+
+func TestUnknownCandidatesRaiseIdentFPR(t *testing.T) {
+	t.Parallel()
+	// Devices 1-3 exist from the start; devices 4-5 appear only in the
+	// validation period, so every identification of them is wrong.
+	tr := &capture.Trace{Name: "churny"}
+	durUs := (20 * time.Minute).Microseconds()
+	refUs := (5 * time.Minute).Microseconds()
+	for t0 := int64(0); t0 < durUs; t0 += 400_000 {
+		for d := 0; d < 5; d++ {
+			if d >= 3 && t0 < refUs {
+				continue
+			}
+			tr.Records = append(tr.Records, capture.Record{
+				T:        t0 + int64(d)*900,
+				Sender:   dot11.LocalAddr(uint64(d + 1)),
+				Receiver: dot11.LocalAddr(9999),
+				Class:    dot11.ClassData,
+				Size:     500, // all alike: maximally confusable
+				RateMbps: 54,
+				FCSOK:    true,
+			})
+		}
+	}
+	res, err := Run(tr, Spec{
+		RefDuration: 5 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      core.Config{Param: core.ParamSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefDevices != 3 {
+		t.Fatalf("ref devices = %d, want 3", res.RefDevices)
+	}
+	if res.KnownCandidates >= res.Candidates {
+		t.Fatalf("expected unknown candidates: known=%d total=%d", res.KnownCandidates, res.Candidates)
+	}
+	// With clones + unknowns, no threshold passes a 1% FPR budget with
+	// useful identification.
+	if got := res.IdentAtFPR[0.01]; got > 0.4 {
+		t.Errorf("ident@0.01 = %v, want near 0", got)
+	}
+}
+
+func TestEndToEndOnSimulatedOffice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated office evaluation is slow")
+	}
+	t.Parallel()
+	p := scenario.Office("office-e2e", 31, 14*time.Minute, 14)
+	tr, _, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(param core.Param) *Result {
+		res, err := Run(tr, Spec{
+			RefDuration: 4 * time.Minute,
+			Window:      5 * time.Minute,
+			Config:      core.Config{Param: param},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	iat := run(core.ParamInterArrival)
+	tt := run(core.ParamTxTime)
+	rate := run(core.ParamRate)
+
+	if iat.RefDevices < 7 {
+		t.Fatalf("ref devices = %d, want most of the population", iat.RefDevices)
+	}
+	if iat.KnownCandidates == 0 {
+		t.Fatal("no known candidates")
+	}
+	// The paper's office ranking: transmission time and inter-arrival
+	// time clearly beat transmission rate, and both beat chance.
+	if iat.AUC <= rate.AUC {
+		t.Errorf("inter-arrival AUC %.3f should exceed rate AUC %.3f", iat.AUC, rate.AUC)
+	}
+	if tt.AUC < 0.4 {
+		t.Errorf("office transmission-time AUC = %v, implausibly low", tt.AUC)
+	}
+	if tt.IdentAtFPR[0.1] <= rate.IdentAtFPR[0.1] {
+		t.Errorf("tt ident@0.1 %.3f should exceed rate %.3f", tt.IdentAtFPR[0.1], rate.IdentAtFPR[0.1])
+	}
+}
+
+func TestDescribeTraceAndTableI(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(5, 15*time.Minute)
+	tr.Name = "synthetic"
+	info := DescribeTrace(tr, 5*time.Minute, core.DefaultConfig(core.ParamSize))
+	if info.RefDevices != 5 {
+		t.Fatalf("ref devices = %d", info.RefDevices)
+	}
+	out := FormatTableI([]TraceInfo{info})
+	if !strings.Contains(out, "synthetic") || !strings.Contains(out, "None") {
+		t.Fatalf("table I output:\n%s", out)
+	}
+}
+
+func TestFormatTables(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(4, 15*time.Minute)
+	res, err := Run(tr, Spec{
+		RefDuration: 5 * time.Minute,
+		Window:      5 * time.Minute,
+		Config:      core.Config{Param: core.ParamSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]map[core.Param]*Result{
+		"synth": {core.ParamSize: res},
+	}
+	t2 := FormatTableII(results, []string{"synth"})
+	if !strings.Contains(t2, "frame size") || !strings.Contains(t2, "%") {
+		t.Fatalf("table II:\n%s", t2)
+	}
+	if !strings.Contains(t2, "-") { // params without results render as dashes
+		t.Fatalf("missing dash for absent params:\n%s", t2)
+	}
+	t3 := FormatTableIII(results, []string{"synth"})
+	if !strings.Contains(t3, "frame size, 0.01") {
+		t.Fatalf("table III:\n%s", t3)
+	}
+	tsv := FormatCurveTSV(res)
+	if !strings.Contains(tsv, "AUC") || len(strings.Split(tsv, "\n")) < 10 {
+		t.Fatalf("curve TSV too small:\n%s", tsv)
+	}
+}
+
+func TestFormatHistogramTSV(t *testing.T) {
+	t.Parallel()
+	sig := core.NewSignature(core.ParamInterArrival, core.DefaultBins(core.ParamInterArrival))
+	for i := 0; i < 100; i++ {
+		sig.Add(dot11.ClassData, float64(300+10*(i%4)))
+	}
+	out := FormatHistogramTSV("fig2", sig)
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "305.0") {
+		t.Fatalf("histogram TSV:\n%s", out)
+	}
+}
+
+func TestCountAtLeast(t *testing.T) {
+	t.Parallel()
+	desc := []float64{0.9, 0.7, 0.7, 0.3, 0.1}
+	tests := []struct {
+		t    float64
+		want int
+	}{{1.0, 0}, {0.9, 1}, {0.8, 1}, {0.7, 3}, {0.2, 4}, {0.0, 5}}
+	for _, tt := range tests {
+		if got := countAtLeast(desc, tt.t); got != tt.want {
+			t.Errorf("countAtLeast(%v) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestAUCAnchoredAtOrigin(t *testing.T) {
+	t.Parallel()
+	// A curve that jumps straight to (0.9, 0.1): trapezoid from the
+	// origin gives 0.045, reproducing the paper's tiny conference AUCs.
+	curve := []CurvePoint{{Threshold: 1.02, TPR: 0, FPR: 0}, {Threshold: 0.5, TPR: 0.1, FPR: 0.9}}
+	got := auc(curve)
+	if math.Abs(got-0.045) > 1e-9 {
+		t.Fatalf("auc = %v, want 0.045", got)
+	}
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+)
+
+// TraceInfo summarises one evaluation trace for Table I.
+type TraceInfo struct {
+	Name        string
+	Total       time.Duration
+	RefDuration time.Duration
+	Encrypted   bool
+	RefDevices  int
+}
+
+// DescribeTrace computes the Table-I row of a trace: reference devices
+// are senders clearing the minimum-observation rule within the training
+// prefix (the paper counts its reference databases the same way).
+func DescribeTrace(tr *capture.Trace, refDur time.Duration, cfg core.Config) TraceInfo {
+	train, _ := core.Split(tr, refDur)
+	refs := core.Extract(train, cfg)
+	return TraceInfo{
+		Name:        tr.Name,
+		Total:       tr.Duration().Round(time.Second),
+		RefDuration: refDur,
+		Encrypted:   tr.Encrypted,
+		RefDevices:  len(refs),
+	}
+}
+
+// FormatTableI renders Table I (evaluation trace features).
+func FormatTableI(infos []TraceInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s\n", "", "Total dur.", "Ref. dur.", "Encryption", "# ref. dev.")
+	for _, in := range infos {
+		enc := "None"
+		if in.Encrypted {
+			enc = "WPA"
+		}
+		fmt.Fprintf(&b, "%-16s %12s %12s %12s %12d\n",
+			in.Name, in.Total, in.RefDuration, enc, in.RefDevices)
+	}
+	return b.String()
+}
+
+// FormatTableII renders Table II: similarity-test AUC per network
+// parameter (rows) and trace (columns).
+func FormatTableII(results map[string]map[core.Param]*Result, traceOrder []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "Network parameter")
+	for _, tn := range traceOrder {
+		fmt.Fprintf(&b, " %12s", tn)
+	}
+	b.WriteByte('\n')
+	for _, p := range core.Params {
+		fmt.Fprintf(&b, "%-22s", p.String())
+		for _, tn := range traceOrder {
+			if r, ok := results[tn][p]; ok {
+				fmt.Fprintf(&b, " %11.1f%%", r.AUC*100)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTableIII renders Table III: identification ratios at FPR 0.01
+// and 0.1 per parameter and trace.
+func FormatTableIII(results map[string]map[core.Param]*Result, traceOrder []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", "Network parameter, FPR")
+	for _, tn := range traceOrder {
+		fmt.Fprintf(&b, " %12s", tn)
+	}
+	b.WriteByte('\n')
+	for _, p := range core.Params {
+		for _, budget := range []float64{0.01, 0.1} {
+			fmt.Fprintf(&b, "%-28s", fmt.Sprintf("%s, %.2f", p.String(), budget))
+			for _, tn := range traceOrder {
+				if r, ok := results[tn][p]; ok {
+					fmt.Fprintf(&b, " %11.1f%%", r.IdentAtFPR[budget]*100)
+				} else {
+					fmt.Fprintf(&b, " %12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatCurveTSV dumps a similarity curve (Figure 3 series) as TSV:
+// threshold, FPR, TPR — plottable with gnuplot.
+func FormatCurveTSV(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s (AUC %.3f)\n", r.TraceName, r.Param, r.AUC)
+	b.WriteString("# threshold\tFPR\tTPR\n")
+	pts := make([]CurvePoint, len(r.Curve))
+	copy(pts, r.Curve)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].FPR < pts[j].FPR })
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.3f\t%.4f\t%.4f\n", p.Threshold, p.FPR, p.TPR)
+	}
+	return b.String()
+}
+
+// FormatHistogramTSV dumps one signature histogram (Figures 2, 4–8) as
+// TSV: bin centre, density.
+func FormatHistogramTSV(title string, sig *core.Signature) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# bin_center\tdensity\n", title)
+	for _, class := range sig.Classes() {
+		h := sig.Hist(class)
+		fmt.Fprintf(&b, "# class %v, %d observations, weight %.3f\n", class, h.Total(), sig.Weight(class))
+		freqs := h.Freqs()
+		for i, f := range freqs {
+			if f == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%.1f\t%.5f\n", (float64(i)+0.5)*h.BinWidth(), f)
+		}
+	}
+	return b.String()
+}

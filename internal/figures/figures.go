@@ -1,0 +1,201 @@
+// Package figures regenerates the paper's histogram figures (2 and
+// 4–8) from controlled simulator experiments. Each builder returns one
+// or more labelled signature series that cmd/histdump renders as TSV
+// and the benchmark harness checks for the paper's qualitative shape
+// (number of comb peaks, peak positions, distribution spread).
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/scenario"
+)
+
+// Series is one labelled histogram line of a figure.
+type Series struct {
+	Title string
+	Sig   *core.Signature
+}
+
+// iatCfg is the inter-arrival configuration used by all figures, with
+// the minimum-observation rule disabled (figures show whatever the
+// controlled run produced).
+func iatCfg() core.Config {
+	return core.Config{Param: core.ParamInterArrival, MinObservations: 1}
+}
+
+// dataFirstTry54 is the paper's Figure-4 filter.
+func dataFirstTry54(rec *capture.Record) bool {
+	return (rec.Class == dot11.ClassData || rec.Class == dot11.ClassQoSData) &&
+		!rec.Retry && rec.RateMbps == 54
+}
+
+// dataOnly keeps any data frame.
+func dataOnly(rec *capture.Record) bool {
+	return rec.Class == dot11.ClassData || rec.Class == dot11.ClassQoSData
+}
+
+// Figure2 reproduces the example inter-arrival histogram: one busy
+// office device observed for a few minutes.
+func Figure2(seed uint64) (Series, error) {
+	tr, _, infos, err := scenario.BuildDetailed(scenario.Office("fig2", seed, 6*time.Minute, 8))
+	if err != nil {
+		return Series{}, err
+	}
+	// Pick the busiest client.
+	senders := tr.Senders()
+	var best dot11.Addr
+	for _, si := range infos {
+		if senders[si.Addr] > senders[best] {
+			best = si.Addr
+		}
+	}
+	sig := core.ExtractOne(tr, best, iatCfg())
+	return Series{Title: fmt.Sprintf("fig2: inter-arrival histogram of %v", best), Sig: sig}, nil
+}
+
+// Figure4 reproduces the backoff-implementation comparison: two cards,
+// Faraday cage, saturated UDP, only first-try 54 Mb/s data frames.
+// The first card uses the standard 16-slot grid; the second adds its
+// quirk pre-slot.
+func Figure4(seed uint64) ([2]Series, error) {
+	var out [2]Series
+	profiles := [2]string{"atheros-like-a", "atheros-like-b"}
+	for i, name := range profiles {
+		prof, err := device.ByName(name)
+		if err != nil {
+			return out, err
+		}
+		tr, addr, err := scenario.BuildFaraday(scenario.FaradayParams{
+			Profile: prof, Seed: seed + uint64(i), Duration: 20 * time.Second, FixedRateMbps: 54,
+		})
+		if err != nil {
+			return out, err
+		}
+		sig := core.ExtractOneFiltered(tr, addr, iatCfg(), dataFirstTry54)
+		out[i] = Series{Title: fmt.Sprintf("fig4%c: %s backoff comb (first-try 54 Mb/s data)", 'a'+i, name), Sig: sig}
+	}
+	return out, nil
+}
+
+// Figure5 reproduces the RTS experiment: the same device in a busy lab
+// channel, with virtual carrier sensing off versus an RTS threshold of
+// 2000 bytes (1470-byte UDP payloads frame to ~1500 B + MAC overhead,
+// above the threshold either way once WPA is off).
+func Figure5(seed uint64) ([2]Series, error) {
+	var out [2]Series
+	prof, err := device.ByName("atheros-like-a")
+	if err != nil {
+		return out, err
+	}
+	for i, thresh := range [2]int{device.RTSDisabled, 1400} {
+		thresh := thresh
+		tr, addr, err := scenario.BuildFaraday(scenario.FaradayParams{
+			Profile: prof, Seed: seed, Duration: 20 * time.Second,
+			FixedRateMbps: 54, BusyChannel: true,
+			Mutate: func(p *device.Profile) { p.RTSThresholdB = thresh },
+		})
+		if err != nil {
+			return out, err
+		}
+		sig := core.ExtractOneFiltered(tr, addr, iatCfg(), dataOnly)
+		label := "RTS mechanism deactivated"
+		if i == 1 {
+			label = "RTS mechanism activated"
+		}
+		out[i] = Series{Title: fmt.Sprintf("fig5%c: %s", 'a'+i, label), Sig: sig}
+	}
+	return out, nil
+}
+
+// Figure6 reproduces the rate-adaptation comparison: two devices with
+// different rate policies in the cage, all rates included; returns the
+// inter-arrival signatures and the rate-distribution signatures.
+func Figure6(seed uint64) (iat [2]Series, rates [2]Series, err error) {
+	profiles := [2]string{"broadcom-like", "atheros-like-a"} // plain ARF vs sampler
+	for i, name := range profiles {
+		prof, perr := device.ByName(name)
+		if perr != nil {
+			return iat, rates, perr
+		}
+		tr, addr, berr := scenario.BuildFaraday(scenario.FaradayParams{
+			Profile: prof, Seed: seed + uint64(i), Duration: 20 * time.Second,
+			SNRdB: 24, // mid-range: adaptation has room to move both ways
+		})
+		if berr != nil {
+			return iat, rates, berr
+		}
+		iat[i] = Series{
+			Title: fmt.Sprintf("fig6%c: device %d inter-arrival signature (%s)", 'a'+i, i+1, name),
+			Sig:   core.ExtractOneFiltered(tr, addr, iatCfg(), dataOnly),
+		}
+		rates[i] = Series{
+			Title: fmt.Sprintf("fig6%c: device %d transmission rate distribution (%s)", 'c'+i, i+1, name),
+			Sig: core.ExtractOneFiltered(tr, addr,
+				core.Config{Param: core.ParamRate, MinObservations: 1}, dataOnly),
+		}
+	}
+	return iat, rates, nil
+}
+
+// Figure7 reproduces the twin-netbook experiment: two units of the same
+// model and OS, different service sets, histogram over broadcast data
+// frames only.
+func Figure7(seed uint64) ([2]Series, error) {
+	var out [2]Series
+	prof, err := device.ByName("intel-like-a")
+	if err != nil {
+		return out, err
+	}
+	tr, addrs, err := scenario.BuildTwins(scenario.TwinParams{
+		Profile: prof, Seed: seed, Duration: 8 * time.Minute,
+		ServicesA: []string{"igmpv3", "llmnr"},
+		ServicesB: []string{"mdns", "ssdp", "nbns"},
+	})
+	if err != nil {
+		return out, err
+	}
+	broadcastData := func(rec *capture.Record) bool {
+		return rec.Class == dot11.ClassData && rec.Receiver.IsBroadcast()
+	}
+	for i, addr := range addrs {
+		sig := core.ExtractOneFiltered(tr, addr, iatCfg(), broadcastData)
+		out[i] = Series{Title: fmt.Sprintf("fig7%c: netbook instance %d (broadcast data only)", 'a'+i, i+1), Sig: sig}
+	}
+	return out, nil
+}
+
+// Figure8 reproduces the power-save comparison: two different cards in
+// the same (busy) environment, histogram over "data null function"
+// frames only. The null frames' inter-arrival times expose the card's
+// access timing — slot bias, timer granularity, preamble mode — and the
+// keepalive cadence in the log tail.
+func Figure8(seed uint64) ([2]Series, error) {
+	var out [2]Series
+	profiles := [2]string{"intel-like-b", "realtek-like"}
+	for i, name := range profiles {
+		prof, err := device.ByName(name)
+		if err != nil {
+			return out, err
+		}
+		prof.PowerSave = true
+		prof.NullPeriodUs = []int64{400_000, 240_000}[i] // keepalive cadences
+		prof.NullJitterUs = []float64{15_000, 40_000}[i]
+		tr, addr, err := scenario.BuildFaraday(scenario.FaradayParams{
+			Profile: prof, Seed: seed + uint64(i), Duration: 4 * time.Minute,
+			Idle: true, KeepPowerSave: true, BusyChannel: true,
+		})
+		if err != nil {
+			return out, err
+		}
+		nullOnly := func(rec *capture.Record) bool { return rec.Class == dot11.ClassNull }
+		sig := core.ExtractOneFiltered(tr, addr, iatCfg(), nullOnly)
+		out[i] = Series{Title: fmt.Sprintf("fig8%c: %s (null-function frames only)", 'a'+i, name), Sig: sig}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package figures
+
+import (
+	"testing"
+
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/histogram"
+)
+
+// combPeaks counts populated linear-region bins holding at least frac of
+// the class's mass, a proxy for the number of visible comb peaks.
+func combPeaks(h *histogram.Histogram, frac float64) int {
+	total := float64(h.Total())
+	if total == 0 {
+		return 0
+	}
+	peaks := 0
+	for i := 0; i < 250; i++ { // linear region only
+		if float64(h.Count(i))/total >= frac {
+			peaks++
+		}
+	}
+	return peaks
+}
+
+// dataHist fetches the dominant data-class histogram of a signature.
+func dataHist(t *testing.T, sig *core.Signature) *histogram.Histogram {
+	t.Helper()
+	if h := sig.Hist(dot11.ClassQoSData); h != nil && h.Total() > 0 {
+		return h
+	}
+	if h := sig.Hist(dot11.ClassData); h != nil && h.Total() > 0 {
+		return h
+	}
+	t.Fatal("no data histogram in signature")
+	return nil
+}
+
+func TestFigure2(t *testing.T) {
+	t.Parallel()
+	s, err := Figure2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sig.Observations() < 200 {
+		t.Fatalf("figure 2 observations = %d, want a busy device", s.Sig.Observations())
+	}
+}
+
+func TestFigure4BackoffComb(t *testing.T) {
+	t.Parallel()
+	ss, err := Figure4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hStd := dataHist(t, ss[0].Sig)
+	hQuirk := dataHist(t, ss[1].Sig)
+	if hStd.Total() < 1_000 || hQuirk.Total() < 1_000 {
+		t.Fatalf("too few observations: %d / %d", hStd.Total(), hQuirk.Total())
+	}
+	// The standard card shows ≈16 slot peaks; the quirky card adds its
+	// pre-slot, so it must show at least one more populated position.
+	pStd := combPeaks(hStd, 0.01)
+	pQuirk := combPeaks(hQuirk, 0.01)
+	if pStd < 10 || pStd > 22 {
+		t.Errorf("standard card comb peaks = %d, want ≈16", pStd)
+	}
+	if pQuirk <= pStd-2 {
+		t.Errorf("quirky card peaks (%d) should not collapse below standard (%d)", pQuirk, pStd)
+	}
+	// The two combs must be distinguishable distributions.
+	if sim := histogram.Cosine(hStd.Freqs(), hQuirk.Freqs()); sim > 0.995 {
+		t.Errorf("backoff combs indistinguishable: cosine %v", sim)
+	}
+}
+
+func TestFigure5RTS(t *testing.T) {
+	t.Parallel()
+	ss, err := Figure5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOff := dataHist(t, ss[0].Sig)
+	hOn := dataHist(t, ss[1].Sig)
+	// With RTS on, data frames follow CTS after SIFS: their inter-arrival
+	// becomes rigid, concentrating mass tightly; the RTS-off histogram
+	// spreads over the backoff comb. Compare mass concentration.
+	top := func(h *histogram.Histogram) float64 {
+		freqs := h.Freqs()
+		best := 0.0
+		for _, f := range freqs {
+			if f > best {
+				best = f
+			}
+		}
+		return best
+	}
+	if top(hOn) <= top(hOff) {
+		t.Errorf("RTS-on concentration %.3f should exceed RTS-off %.3f", top(hOn), top(hOff))
+	}
+	if sim := histogram.Cosine(hOff.Freqs(), hOn.Freqs()); sim > 0.9 {
+		t.Errorf("RTS settings indistinguishable: cosine %v", sim)
+	}
+}
+
+func TestFigure6RateAdaptation(t *testing.T) {
+	t.Parallel()
+	iat, rates, err := Figure6(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two devices' rate distributions must differ (ARF vs sampler):
+	// the sampler spreads over more rate bins.
+	distinctRates := func(s core.Signature) int {
+		n := 0
+		for _, class := range s.Classes() {
+			h := s.Hist(class)
+			for i := 0; i < h.Bins(); i++ {
+				if float64(h.Count(i)) > 0.005*float64(h.Total()) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	n1 := distinctRates(*rates[0].Sig)
+	n2 := distinctRates(*rates[1].Sig)
+	if n2 <= n1 {
+		t.Errorf("sampler device uses %d rate bins, ARF device %d; sampler should spread wider", n2, n1)
+	}
+	// Different rate behaviour must yield different iat histograms.
+	h1, h2 := dataHist(t, iat[0].Sig), dataHist(t, iat[1].Sig)
+	if sim := histogram.Cosine(h1.Freqs(), h2.Freqs()); sim > 0.98 {
+		t.Errorf("figure-6 iat histograms indistinguishable: cosine %v", sim)
+	}
+}
+
+func TestFigure7Twins(t *testing.T) {
+	t.Parallel()
+	ss, err := Figure7(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := ss[0].Sig.Hist(dot11.ClassData)
+	h2 := ss[1].Sig.Hist(dot11.ClassData)
+	if h1 == nil || h2 == nil || h1.Total() < 20 || h2.Total() < 20 {
+		t.Fatalf("twin broadcast observations too sparse: %v / %v", h1, h2)
+	}
+	// Same model, same OS — but different services must produce visibly
+	// different broadcast inter-arrival histograms (distinct peaks).
+	if sim := histogram.Cosine(h1.Freqs(), h2.Freqs()); sim > 0.85 {
+		t.Errorf("twins indistinguishable by services: cosine %v", sim)
+	}
+}
+
+func TestFigure8PowerSave(t *testing.T) {
+	t.Parallel()
+	ss, err := Figure8(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := ss[0].Sig.Hist(dot11.ClassNull)
+	h2 := ss[1].Sig.Hist(dot11.ClassNull)
+	if h1 == nil || h2 == nil {
+		t.Fatal("missing null-function histograms")
+	}
+	if h1.Total() < 100 || h2.Total() < 100 {
+		t.Fatalf("null observations: %d / %d, want ≥100", h1.Total(), h2.Total())
+	}
+	// The two cards' null-frame frequency distributions must visibly
+	// differ (keepalive cadence + access timing), as in the paper.
+	if sim := histogram.Cosine(h1.Freqs(), h2.Freqs()); sim > 0.7 {
+		t.Errorf("power-save histograms indistinguishable: cosine %v", sim)
+	}
+}

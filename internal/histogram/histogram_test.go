@@ -1,0 +1,253 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndFreqs(t *testing.T) {
+	t.Parallel()
+	h := New(10, 10)  // [0,100) in 10 bins
+	h.Add(5)          // bin 0
+	h.Add(15)         // bin 1
+	h.Add(15)         // bin 1
+	h.Add(99)         // bin 9
+	h.Add(100)        // clamped to bin 9
+	h.Add(1e9)        // clamped to bin 9
+	h.Add(-1)         // dropped
+	h.Add(math.NaN()) // dropped
+
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", h.Dropped())
+	}
+	f := h.Freqs()
+	want := []float64{1.0 / 6, 2.0 / 6, 0, 0, 0, 0, 0, 0, 0, 3.0 / 6}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-12 {
+			t.Errorf("freq[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+}
+
+func TestFreqsSumToOne(t *testing.T) {
+	t.Parallel()
+	f := func(vals []float64) bool {
+		h := New(25, 100)
+		n := 0
+		for _, v := range vals {
+			h.Add(math.Abs(v))
+			if !math.IsNaN(v) {
+				n++
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		var sum float64
+		for _, p := range h.Freqs() {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFreqs(t *testing.T) {
+	t.Parallel()
+	h := New(4, 1)
+	for _, p := range h.Freqs() {
+		if p != 0 {
+			t.Fatalf("empty histogram freq = %v", p)
+		}
+	}
+}
+
+func TestAddN(t *testing.T) {
+	t.Parallel()
+	h := New(4, 1)
+	h.AddN(2.5, 10)
+	h.AddN(-3, 4)
+	if h.Count(2) != 10 || h.Total() != 10 || h.Dropped() != 4 {
+		t.Fatalf("AddN: counts=%v total=%d dropped=%d", h.Counts(), h.Total(), h.Dropped())
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	t.Parallel()
+	a := New(5, 2)
+	b := New(5, 2)
+	a.Add(1)
+	a.Add(3)
+	b.Add(3)
+	b.Add(9)
+	c := a.Clone()
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Total() != 4 {
+		t.Fatalf("merged total = %d, want 4", a.Total())
+	}
+	if a.Count(1) != 2 {
+		t.Fatalf("merged bin1 = %d, want 2", a.Count(1))
+	}
+	// Clone must be unaffected by the merge.
+	if c.Total() != 2 {
+		t.Fatalf("clone total changed: %d", c.Total())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil): %v", err)
+	}
+}
+
+func TestMergeShapeMismatch(t *testing.T) {
+	t.Parallel()
+	a := New(5, 2)
+	if err := a.Merge(New(6, 2)); err == nil {
+		t.Fatal("Merge with different bin count: want error")
+	}
+	if err := a.Merge(New(5, 3)); err == nil {
+		t.Fatal("Merge with different bin width: want error")
+	}
+}
+
+func TestMode(t *testing.T) {
+	t.Parallel()
+	h := New(10, 100)
+	h.AddN(250, 5)
+	h.AddN(850, 9)
+	if got := h.Mode(); got != 850 {
+		t.Fatalf("Mode = %v, want 850", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		n int
+		w float64
+	}{{0, 1}, {-1, 1}, {4, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%v) did not panic", tc.n, tc.w)
+				}
+			}()
+			New(tc.n, tc.w)
+		}()
+	}
+}
+
+func freqsOf(vals ...float64) []float64 {
+	h := New(10, 10)
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h.Freqs()
+}
+
+func TestCosine(t *testing.T) {
+	t.Parallel()
+	a := freqsOf(5, 15, 15, 25)
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Cosine(a,a) = %v, want 1", got)
+	}
+	b := freqsOf(75, 85, 95)
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("Cosine disjoint = %v, want 0", got)
+	}
+	// Partial overlap strictly between 0 and 1.
+	c := freqsOf(5, 15, 75)
+	got := Cosine(a, c)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("Cosine partial = %v, want in (0,1)", got)
+	}
+}
+
+func TestCosineDegenerate(t *testing.T) {
+	t.Parallel()
+	zero := make([]float64, 10)
+	a := freqsOf(5)
+	if got := Cosine(a, zero); got != 0 {
+		t.Fatalf("Cosine with zero vector = %v", got)
+	}
+	if got := Cosine(a, a[:5]); got != 0 {
+		t.Fatalf("Cosine with length mismatch = %v", got)
+	}
+}
+
+func TestSimilarityMeasuresAgreeOnExtremes(t *testing.T) {
+	t.Parallel()
+	a := freqsOf(1, 11, 11, 21, 31, 31, 31)
+	b := freqsOf(61, 71, 81, 91)
+	type m struct {
+		name string
+		fn   func(x, y []float64) float64
+	}
+	for _, mm := range []m{
+		{"cosine", Cosine},
+		{"intersection", Intersection},
+		{"bhattacharyya", Bhattacharyya},
+		{"l1", L1},
+	} {
+		if got := mm.fn(a, a); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s(a,a) = %v, want 1", mm.name, got)
+		}
+		if got := mm.fn(a, b); math.Abs(got) > 1e-9 {
+			t.Errorf("%s(a,b disjoint) = %v, want 0", mm.name, got)
+		}
+	}
+}
+
+func TestSimilaritySymmetryAndRange(t *testing.T) {
+	t.Parallel()
+	f := func(raw1, raw2 []float64) bool {
+		h1, h2 := New(16, 5), New(16, 5)
+		for _, v := range raw1 {
+			h1.Add(math.Abs(v))
+		}
+		for _, v := range raw2 {
+			h2.Add(math.Abs(v))
+		}
+		if h1.Total() == 0 || h2.Total() == 0 {
+			return true
+		}
+		a, b := h1.Freqs(), h2.Freqs()
+		for _, fn := range []func(x, y []float64) float64{Cosine, Intersection, Bhattacharyya, L1} {
+			s1, s2 := fn(a, b), fn(b, a)
+			if math.Abs(s1-s2) > 1e-9 {
+				return false
+			}
+			if s1 < -1e-9 || s1 > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftSensitivity(t *testing.T) {
+	t.Parallel()
+	// Two histograms whose mass sits one bin apart should have low cosine
+	// similarity — this is what makes per-slot backoff quirks visible.
+	a := New(50, 10)
+	b := New(50, 10)
+	for i := 0; i < 100; i++ {
+		a.Add(105) // bin 10
+		b.Add(115) // bin 11
+	}
+	if got := Cosine(a.Freqs(), b.Freqs()); got > 0.01 {
+		t.Fatalf("one-bin shift cosine = %v, want ~0", got)
+	}
+}

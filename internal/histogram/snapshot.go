@@ -1,0 +1,31 @@
+package histogram
+
+import "fmt"
+
+// Snapshot is the portable, serialisable form of a Histogram, used when
+// reference databases are written to or loaded from disk.
+type Snapshot struct {
+	BinWidth float64  `json:"bin_width"`
+	Counts   []uint64 `json:"counts"`
+	Dropped  uint64   `json:"dropped,omitempty"`
+}
+
+// Snapshot exports the histogram's state.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{BinWidth: h.binWidth, Counts: h.Counts(), Dropped: h.dropped}
+}
+
+// FromSnapshot reconstructs a histogram. The snapshot is validated
+// because it typically crosses a trust boundary (files on disk).
+func FromSnapshot(s Snapshot) (*Histogram, error) {
+	if s.BinWidth <= 0 || len(s.Counts) == 0 {
+		return nil, fmt.Errorf("histogram: invalid snapshot shape %d×%v", len(s.Counts), s.BinWidth)
+	}
+	h := New(len(s.Counts), s.BinWidth)
+	for i, c := range s.Counts {
+		h.counts[i] = c
+		h.total += c
+	}
+	h.dropped = s.Dropped
+	return h, nil
+}

@@ -1,0 +1,133 @@
+// Package prism implements the AVS WLAN capture header ("Prism" in
+// libpcap parlance, LINKTYPE_IEEE802_11_PRISM = 119), the second
+// capture-metadata format the paper's method accepts (§III: "we focus
+// on information that we can extract solely from Radiotap or Prism
+// headers").
+//
+// The AVS header is a fixed 64-byte big-endian structure carrying the
+// same measurements the fingerprint pipeline needs: MAC timestamp,
+// data rate and signal strength.
+package prism
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic values of the AVS capture header.
+const (
+	// MagicV1 identifies version 1 of the AVS header.
+	MagicV1 = 0x80211001
+	// HeaderLen is the fixed encoded size.
+	HeaderLen = 64
+)
+
+// PHY types (subset).
+const (
+	PhyTypeDSSS    = 2 // 802.11b
+	PhyTypeOFDM    = 8 // 802.11g
+	PhyTypeUnknown = 0
+)
+
+// Header is a decoded AVS capture header.
+type Header struct {
+	// MACTime is the µs-resolution MAC timestamp at end of reception.
+	MACTime uint64
+	// HostTime is the host clock sample (opaque units).
+	HostTime uint64
+	// PhyType identifies the modulation family.
+	PhyType uint32
+	// Channel is the channel number.
+	Channel uint32
+	// DataRate is the reception rate in 100 kb/s units.
+	DataRate uint32
+	// Antenna is the receive antenna index.
+	Antenna uint32
+	// Priority is the capture priority field.
+	Priority uint32
+	// SSIType describes how to read the signal fields (1 = dBm).
+	SSIType uint32
+	// SSISignal is the received signal strength.
+	SSISignal int32
+	// SSINoise is the noise floor.
+	SSINoise int32
+	// Preamble codes the PLCP preamble (1 = short, 2 = long).
+	Preamble uint32
+	// Encoding codes the bit encoding (1 = CCK, 3 = OFDM).
+	Encoding uint32
+}
+
+// SSI types.
+const (
+	SSITypeNone = 0
+	SSITypeDBm  = 1
+	SSITypeRaw  = 3
+)
+
+// Errors.
+var (
+	ErrTruncated = errors.New("prism: truncated header")
+	ErrBadMagic  = errors.New("prism: unrecognised version magic")
+)
+
+// RateMbps returns the data rate in Mb/s.
+func (h *Header) RateMbps() float64 { return float64(h.DataRate) / 10 }
+
+// SetRateMbps stores a rate given in Mb/s.
+func (h *Header) SetRateMbps(mbps float64) { h.DataRate = uint32(mbps*10 + 0.5) }
+
+// Encode serialises the header (64 bytes, big-endian, version 1).
+func (h *Header) Encode() []byte {
+	buf := make([]byte, HeaderLen)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:4], MagicV1)
+	be.PutUint32(buf[4:8], HeaderLen)
+	be.PutUint64(buf[8:16], h.MACTime)
+	be.PutUint64(buf[16:24], h.HostTime)
+	be.PutUint32(buf[24:28], h.PhyType)
+	be.PutUint32(buf[28:32], h.Channel)
+	be.PutUint32(buf[32:36], h.DataRate)
+	be.PutUint32(buf[36:40], h.Antenna)
+	be.PutUint32(buf[40:44], h.Priority)
+	be.PutUint32(buf[44:48], h.SSIType)
+	be.PutUint32(buf[48:52], uint32(h.SSISignal))
+	be.PutUint32(buf[52:56], uint32(h.SSINoise))
+	be.PutUint32(buf[56:60], h.Preamble)
+	be.PutUint32(buf[60:64], h.Encoding)
+	return buf
+}
+
+// Decode parses an AVS header from the front of raw, returning the
+// header and its encoded length (so raw[n:] is the 802.11 frame).
+func Decode(raw []byte) (Header, int, error) {
+	var h Header
+	if len(raw) < 8 {
+		return h, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(raw))
+	}
+	be := binary.BigEndian
+	magic := be.Uint32(raw[0:4])
+	if magic != MagicV1 {
+		return h, 0, fmt.Errorf("%w: %#x", ErrBadMagic, magic)
+	}
+	hlen := int(be.Uint32(raw[4:8]))
+	if hlen < HeaderLen {
+		return h, 0, fmt.Errorf("%w: declared length %d", ErrTruncated, hlen)
+	}
+	if len(raw) < hlen {
+		return h, 0, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(raw), hlen)
+	}
+	h.MACTime = be.Uint64(raw[8:16])
+	h.HostTime = be.Uint64(raw[16:24])
+	h.PhyType = be.Uint32(raw[24:28])
+	h.Channel = be.Uint32(raw[28:32])
+	h.DataRate = be.Uint32(raw[32:36])
+	h.Antenna = be.Uint32(raw[36:40])
+	h.Priority = be.Uint32(raw[40:44])
+	h.SSIType = be.Uint32(raw[44:48])
+	h.SSISignal = int32(be.Uint32(raw[48:52]))
+	h.SSINoise = int32(be.Uint32(raw[52:56]))
+	h.Preamble = be.Uint32(raw[56:60])
+	h.Encoding = be.Uint32(raw[60:64])
+	return h, hlen, nil
+}

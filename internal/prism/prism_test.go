@@ -1,0 +1,101 @@
+package prism
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	h := Header{
+		MACTime: 123_456_789, HostTime: 42,
+		PhyType: PhyTypeOFDM, Channel: 6,
+		DataRate: 540, Antenna: 1, Priority: 0,
+		SSIType: SSITypeDBm, SSISignal: -47, SSINoise: -95,
+		Preamble: 1, Encoding: 3,
+	}
+	raw := h.Encode()
+	if len(raw) != HeaderLen {
+		t.Fatalf("encoded length = %d, want %d", len(raw), HeaderLen)
+	}
+	got, n, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != HeaderLen {
+		t.Fatalf("decoded length = %d", n)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestRateMbps(t *testing.T) {
+	t.Parallel()
+	var h Header
+	h.SetRateMbps(5.5)
+	if h.DataRate != 55 {
+		t.Errorf("5.5 Mb/s -> %d units, want 55", h.DataRate)
+	}
+	if got := h.RateMbps(); got != 5.5 {
+		t.Errorf("RateMbps = %v", got)
+	}
+	h.SetRateMbps(54)
+	if h.RateMbps() != 54 {
+		t.Errorf("54 Mb/s round trip = %v", h.RateMbps())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, _, err := Decode(make([]byte, 4)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, HeaderLen)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("zero magic: %v", err)
+	}
+	h := Header{MACTime: 1}
+	raw := h.Encode()
+	if _, _, err := Decode(raw[:32]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut body: %v", err)
+	}
+	// Declared length below the fixed size is rejected.
+	raw2 := h.Encode()
+	raw2[7] = 8
+	if _, _, err := Decode(raw2); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short declared length: %v", err)
+	}
+}
+
+func TestDecodeWithTrailingFrame(t *testing.T) {
+	t.Parallel()
+	h := Header{MACTime: 777, DataRate: 110, SSIType: SSITypeDBm, SSISignal: -60}
+	raw := append(h.Encode(), []byte("frame-bytes")...)
+	got, n, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[n:]) != "frame-bytes" {
+		t.Fatal("payload corrupted")
+	}
+	if got.MACTime != 777 {
+		t.Fatalf("MACTime = %d", got.MACTime)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(mac, host uint64, rate uint32, sig int32) bool {
+		h := Header{MACTime: mac, HostTime: host, DataRate: rate, SSISignal: sig, SSIType: SSITypeDBm}
+		got, n, err := Decode(h.Encode())
+		return err == nil && n == HeaderLen && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/sim"
+	"dot11fp/internal/stats"
+	"dot11fp/internal/traffic"
+)
+
+// FaradayParams configures a controlled single-device experiment (the
+// paper's Faraday-cage / lab setups behind Figures 4–8).
+type FaradayParams struct {
+	// Profile is the card archetype under test.
+	Profile device.Profile
+	// Mutate optionally adjusts the profile (e.g. set an RTS threshold)
+	// before instantiation.
+	Mutate func(*device.Profile)
+	// Seed and Duration shape the run.
+	Seed     uint64
+	Duration time.Duration
+	// FixedRateMbps pins the data rate (0 keeps the profile's policy) —
+	// the paper's "only frames transmitted at 54 Mbps" filter is applied
+	// at analysis time, but pinning reproduces the cage's stability.
+	FixedRateMbps float64
+	// PayloadBytes is the saturated UDP frame payload (default 1470,
+	// iperf's default).
+	PayloadBytes int
+	// BusyChannel adds a competing station (the paper's RTS experiment
+	// runs in a busy lab, not the cage).
+	BusyChannel bool
+	// SNRdB overrides the device's channel quality (default 40: cage).
+	SNRdB float64
+	// Idle drops the saturated UDP source; the device only emits its
+	// MAC-level traffic (power-save nulls, probes) — the Figure-8 setup.
+	Idle bool
+	// KeepPowerSave preserves the profile's power-save behaviour, which
+	// is otherwise disabled to keep backoff combs clean.
+	KeepPowerSave bool
+}
+
+// BuildFaraday runs the controlled experiment and returns the trace and
+// the device's MAC address.
+func BuildFaraday(p FaradayParams) (*capture.Trace, dot11.Addr, error) {
+	if p.Duration <= 0 {
+		p.Duration = 30 * time.Second
+	}
+	if p.PayloadBytes == 0 {
+		p.PayloadBytes = 1470
+	}
+	if p.SNRdB == 0 {
+		p.SNRdB = 40
+	}
+	prof := p.Profile
+	if p.Mutate != nil {
+		p.Mutate(&prof)
+	}
+	if !p.KeepPowerSave {
+		prof.PowerSave = false
+	}
+	prof.ProbePeriodUs = 0
+	if p.FixedRateMbps > 0 {
+		prof.RatePolicy = device.RateFixed
+		prof.PreferredRateMbps = p.FixedRateMbps
+	}
+
+	s := sim.New(sim.Config{
+		Name:       "faraday-" + prof.Name,
+		Seed:       p.Seed,
+		DurationUs: p.Duration.Microseconds(),
+		Channel:    6,
+	})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(p.Seed, 0xA9))
+	s.AddAP(sim.StationConfig{Spec: ap, SNR: sim.SNRParams{BaseDB: 35}, MonitorSignalDBm: -40})
+
+	spec := prof.Instantiate(1, stats.NewRand(p.Seed, 1))
+	var sources []traffic.Source
+	if !p.Idle {
+		sources = append(sources, &traffic.Saturator{Label: "iperf", Bytes: p.PayloadBytes})
+	}
+	addr := s.AddStation(sim.StationConfig{
+		Spec:             spec,
+		Sources:          sources,
+		SNR:              sim.SNRParams{BaseDB: p.SNRdB, SigmaDB: 0.3},
+		MonitorSignalDBm: -45,
+	})
+
+	if p.BusyChannel {
+		other, err := device.ByName("intel-like-a")
+		if err != nil {
+			return nil, dot11.ZeroAddr, err
+		}
+		other.ProbePeriodUs = 0
+		other.PowerSave = false
+		ospec := other.Instantiate(2, stats.NewRand(p.Seed, 2))
+		// A steadily chatty neighbour keeps the medium occupied, so the
+		// device under test almost always contends for access — the
+		// paper's "busy wireless network environment (our lab)".
+		bg := traffic.NewCBR("bg-cbr", 0, 2_500, 700, 400, stats.NewRand(p.Seed, 3))
+		web := traffic.NewWeb("bg-web", 0, stats.NewRand(p.Seed, 4))
+		s.AddStation(sim.StationConfig{
+			Spec:             ospec,
+			Sources:          []traffic.Source{bg, web},
+			SNR:              sim.SNRParams{BaseDB: 30, SigmaDB: 1},
+			MonitorSignalDBm: -60,
+		})
+	}
+
+	tr, _, err := s.Run()
+	return tr, addr, err
+}
+
+// TwinParams configures the Figure-7 experiment: two units of the same
+// model, same OS, different service sets, active simultaneously.
+type TwinParams struct {
+	Profile  device.Profile
+	Seed     uint64
+	Duration time.Duration
+	// ServicesA and ServicesB name the per-unit service sets.
+	ServicesA, ServicesB []string
+}
+
+// BuildTwins runs the twin-netbook experiment, returning the trace and
+// both addresses.
+func BuildTwins(p TwinParams) (*capture.Trace, [2]dot11.Addr, error) {
+	var addrs [2]dot11.Addr
+	if p.Duration <= 0 {
+		p.Duration = 10 * time.Minute
+	}
+	prof := p.Profile
+	prof.ProbePeriodUs = 0
+	s := sim.New(sim.Config{
+		Name:       "twins-" + prof.Name,
+		Seed:       p.Seed,
+		DurationUs: p.Duration.Microseconds(),
+		Channel:    6,
+	})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(p.Seed, 0xA9))
+	s.AddAP(sim.StationConfig{Spec: ap, SNR: sim.SNRParams{BaseDB: 35}, MonitorSignalDBm: -40})
+
+	for i, names := range [][]string{p.ServicesA, p.ServicesB} {
+		var sources []traffic.Source
+		for k, name := range names {
+			svc, ok := traffic.ServiceByName(name, int64(k)*1_000_000, stats.NewRand(p.Seed, uint64(10*i+k)))
+			if !ok {
+				continue
+			}
+			// Twins broadcast frequently enough for 5-minute windows.
+			svc.PeriodUs /= 20
+			sources = append(sources, svc)
+		}
+		spec := prof.Instantiate(i+1, stats.NewRand(p.Seed, uint64(i+1)))
+		addrs[i] = s.AddStation(sim.StationConfig{
+			Spec:             spec,
+			Sources:          sources,
+			SNR:              sim.SNRParams{BaseDB: 32, SigmaDB: 0.5},
+			MonitorSignalDBm: -50,
+		})
+	}
+	tr, _, err := s.Run()
+	return tr, addrs, err
+}

@@ -1,0 +1,307 @@
+// Package scenario assembles the evaluation settings of the paper's §V
+// on top of the simulator: office traces (stationary WPA network, the
+// paper's office 1/2), conference traces (large churning unencrypted
+// population with mobility, standing in for the Sigcomm'08 CRAWDAD
+// capture), and the controlled Faraday-cage micro-experiments behind
+// Figures 4–8.
+//
+// Scaling: the paper's traces span 7 h with up to 188 reference devices.
+// All builders are parameterised by duration and population so the same
+// code runs both CI-scale (minutes, tens of devices) and paper-scale
+// experiments; EXPERIMENTS.md records the scaled defaults used by the
+// benchmark harness.
+package scenario
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/sim"
+	"dot11fp/internal/stats"
+	"dot11fp/internal/traffic"
+)
+
+// Params configures an office or conference trace.
+type Params struct {
+	// Name labels the trace (e.g. "office 1").
+	Name string
+	// Seed drives all randomness.
+	Seed uint64
+	// Duration is the total trace length.
+	Duration time.Duration
+	// Stations is the resident population (present from the start, the
+	// pool reference databases learn from).
+	Stations int
+	// ChurnStations adds devices that join and leave mid-trace
+	// (conference walk-ins; candidates unknown to the database).
+	ChurnStations int
+	// Encrypted applies WPA framing.
+	Encrypted bool
+	// Mobility enables SNR relocation jumps (conference behaviour).
+	Mobility bool
+	// ProfilePool bounds how many distinct card archetypes the
+	// population draws from; 0 = the full catalogue. Small pools model
+	// homogeneous conference fleets.
+	ProfilePool int
+	// CaptureLossProb is the monitor's loss rate.
+	CaptureLossProb float64
+}
+
+// Office returns parameters mirroring the paper's office captures:
+// stable placements, WPA, the full diversity of cards and services.
+func Office(name string, seed uint64, duration time.Duration, stations int) Params {
+	return Params{
+		Name: name, Seed: seed, Duration: duration, Stations: stations,
+		Encrypted: true, Mobility: false, ProfilePool: 0,
+		CaptureLossProb: 0.01,
+	}
+}
+
+// Conference returns parameters mirroring the Sigcomm'08 capture:
+// open network, mobile users, a laptop fleet skewed towards a few
+// popular models, heavy churn and a lossier monitor.
+func Conference(name string, seed uint64, duration time.Duration, stations int) Params {
+	return Params{
+		Name: name, Seed: seed, Duration: duration, Stations: stations,
+		ChurnStations: stations / 2, Encrypted: false, Mobility: true,
+		ProfilePool: 8, CaptureLossProb: 0.04,
+	}
+}
+
+// StationInfo is the ground truth of one synthesised station, for
+// experiment analysis (never consumed by the fingerprint pipeline).
+type StationInfo struct {
+	Addr      dot11.Addr
+	Profile   string
+	App       string
+	Services  []string
+	SNRBaseDB float64
+	GapFactor float64
+	JoinUs    int64
+	LeaveUs   int64
+}
+
+// Build synthesises the trace.
+func Build(p Params) (*capture.Trace, sim.Stats, error) {
+	tr, st, _, err := BuildDetailed(p)
+	return tr, st, err
+}
+
+// BuildDetailed synthesises the trace and also returns the ground-truth
+// manifest of every client station.
+func BuildDetailed(p Params) (*capture.Trace, sim.Stats, []StationInfo, error) {
+	s := sim.New(sim.Config{
+		Name:            p.Name,
+		Seed:            p.Seed,
+		DurationUs:      p.Duration.Microseconds(),
+		Channel:         6,
+		Encrypted:       p.Encrypted,
+		CaptureLossProb: p.CaptureLossProb,
+	})
+	r := stats.NewRand(p.Seed, 0x5CE0)
+
+	addAP(s, p, r)
+
+	pool := device.Catalog()
+	if p.ProfilePool > 0 && p.ProfilePool < len(pool) {
+		pool = pool[:p.ProfilePool]
+	}
+	durUs := p.Duration.Microseconds()
+	manifest := make([]StationInfo, 0, p.Stations+p.ChurnStations)
+	for i := 0; i < p.Stations; i++ {
+		manifest = append(manifest, addClient(s, p, r, pool, i, 0, 0))
+	}
+	for i := 0; i < p.ChurnStations; i++ {
+		join := r.Int64N(durUs * 3 / 4)
+		stay := durUs/8 + r.Int64N(durUs/2)
+		leave := join + stay
+		if leave > durUs {
+			leave = durUs
+		}
+		manifest = append(manifest, addClient(s, p, r, pool, p.Stations+i, join, leave))
+	}
+	tr, st, err := s.Run()
+	return tr, st, manifest, err
+}
+
+// addAP attaches the infrastructure: one AP with aggregated downlink
+// traffic proportional to the population.
+func addAP(s *sim.Simulator, p Params, r *rand.Rand) {
+	apSpec := device.APProfile().Instantiate(0, stats.NewRand(p.Seed, 0xA9))
+	period := int64(40_000) // base downlink cadence
+	if p.Stations > 0 {
+		period = max64(40_000, 8_000_000/int64(p.Stations+1))
+	}
+	dl := traffic.NewCBR("ap-downlink", 1_000, period, 860, float64(period)/4, stats.NewRand(p.Seed, 0xD0))
+	web := traffic.NewWeb("ap-web", 0, stats.NewRand(p.Seed, 0xD1))
+	s.AddAP(sim.StationConfig{
+		Spec:             apSpec,
+		Sources:          []traffic.Source{dl, web},
+		SNR:              sim.SNRParams{BaseDB: 35, SigmaDB: 0.5},
+		MonitorSignalDBm: -42,
+	})
+}
+
+// addClient attaches one client station with a per-device profile,
+// application mix, service set and channel process, returning its
+// ground truth.
+func addClient(s *sim.Simulator, p Params, r *rand.Rand, pool []device.Profile, unit int, joinUs, leaveUs int64) StationInfo {
+	// Popularity-weighted model choice (min of two uniforms → linearly
+	// decreasing pmf): a few models dominate, as in a real venue.
+	pi := r.IntN(len(pool))
+	if p.Mobility {
+		if pj := r.IntN(len(pool)); pj < pi {
+			pi = pj
+		}
+	}
+	prof := pool[pi]
+	spec := prof.Instantiate(unit+1, stats.NewRand(p.Seed, 0x100+uint64(unit)))
+
+	srcRand := func(k uint64) *rand.Rand { return stats.NewRand(p.Seed, 0x10_000+uint64(unit)*31+k) }
+	var sources []traffic.Source
+
+	// Application mix: pick one dominant behaviour per device and give
+	// every generator per-device parameters (download speed, TCP ACK
+	// size per OS, request sizes, codec cadence) so two units of the
+	// same card model remain separable only through their traffic — the
+	// identity signal the paper's §VI-C describes. Conference attendees
+	// mostly browse and type; offices add VoIP and bulk transfers.
+	//
+	// gapFactor models the device's effective downlink speed: it scales
+	// the ACK-train density of browsing (lognormal-ish spread 0.4–4).
+	gapFactor := math.Exp(stats.TruncNormal(r, 0, 0.55, -0.9, 1.4))
+	ackBytes := []int{40, 40, 52, 60, 72}[r.IntN(5)]
+
+	mkWeb := func(label string, slow float64) *traffic.Web {
+		w := traffic.NewWeb(label, r.Int64N(5_000_000), srcRand(1))
+		w.MeanGapUs *= gapFactor * slow
+		w.OnMeanUs *= 0.6 + r.Float64()
+		w.OffMinUs *= 0.7 + r.Float64()
+		w.AckBytes = ackBytes
+		w.ReqBytes = 300 + r.IntN(5)*100 // shared discrete request modes
+		w.ReqProb = 0.06 + r.Float64()*0.12
+		return w
+	}
+	mkBulk := func(periodBase int64) *traffic.BurstTrain {
+		burst := 4 + r.IntN(7)
+		bt := traffic.NewBurstTrain("bulk", r.Int64N(8_000_000),
+			periodBase+r.Int64N(periodBase), burst, 1460, float64(periodBase)/5, srcRand(4))
+		return bt
+	}
+	roll := r.Float64()
+	if p.Mobility {
+		switch {
+		case roll < 0.55: // browsing
+			sources = append(sources, mkWeb("web", 1))
+		case roll < 0.75: // interactive ssh / IM
+			ssh := traffic.NewInteractive("ssh", r.Int64N(5_000_000), srcRand(2))
+			ssh.MeanGapUs *= gapFactor
+			ssh.Bytes = []int{56, 64, 72, 80}[r.IntN(4)]
+			sources = append(sources, ssh)
+		case roll < 0.82: // an occasional download during a talk
+			sources = append(sources, mkBulk(350_000))
+		default: // mostly idle: sparse web
+			w := mkWeb("idle-web", 2.5)
+			w.OffMaxUs *= 2
+			sources = append(sources, w)
+		}
+	} else {
+		switch {
+		case roll < 0.45: // browsing
+			sources = append(sources, mkWeb("web", 1))
+		case roll < 0.62: // interactive ssh
+			ssh := traffic.NewInteractive("ssh", r.Int64N(5_000_000), srcRand(2))
+			ssh.MeanGapUs *= gapFactor
+			ssh.Bytes = []int{56, 64, 72, 80}[r.IntN(4)]
+			sources = append(sources, ssh)
+		case roll < 0.68: // voip call segments (codec-specific cadence,
+			// frame bundling keeps the packet rate moderate)
+			period := int64(40_000 + r.IntN(2)*20_000)
+			size := []int{172, 212}[r.IntN(2)]
+			sources = append(sources, traffic.NewCBR("voip", r.Int64N(3_000_000), period, size, 250, srcRand(3)))
+		case roll < 0.86: // bulk upload bursts
+			sources = append(sources, mkBulk(250_000))
+		default: // mostly idle: sparse web
+			w := mkWeb("idle-web", 2.5)
+			w.OffMaxUs *= 2
+			sources = append(sources, w)
+		}
+	}
+
+	// Network services: a per-device subset with per-device phases —
+	// the Figure-7 identity signal. Offices run richer stacks.
+	catalog := traffic.ServiceCatalog()
+	nsvc := 1 + r.IntN(3)
+	if p.Mobility { // conference laptops: leaner service sets
+		nsvc = 1 + r.IntN(2)
+	}
+	var svcNames []string
+	seen := make(map[int]bool, nsvc)
+	for k := 0; k < nsvc; k++ {
+		idx := r.IntN(len(catalog))
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		t := catalog[idx]
+		phase := r.Int64N(t.PeriodUs)
+		svcNames = append(svcNames, t.Name)
+		sources = append(sources, traffic.NewService(t.Name, t.PeriodUs, t.JitterUs, t.GapUs, t.BurstBytes, phase, srcRand(6+uint64(idx))))
+	}
+
+	snr := sim.SNRParams{BaseDB: 10 + r.Float64()*28, SigmaDB: 0.5}
+	if p.Mobility {
+		snr.BaseDB = 8 + r.Float64()*26
+		snr.SigmaDB = 1.8
+		snr.MoveProb = 1.0 / 600 // attendees relocate every ~10 minutes
+		snr.MoveLoDB, snr.MoveHiDB = 8, 32
+	}
+
+	addr := s.AddStation(sim.StationConfig{
+		Spec:             spec,
+		Sources:          sources,
+		SNR:              snr,
+		JoinUs:           joinUs,
+		LeaveUs:          leaveUs,
+		MonitorSignalDBm: -(35 + r.Float64()*40),
+	})
+	app := "idle"
+	if len(sources) > 0 {
+		if lbl := sourceLabel(sources[0]); lbl != "" {
+			app = lbl
+		}
+	}
+	return StationInfo{
+		Addr: addr, Profile: prof.Name, App: app, Services: svcNames,
+		SNRBaseDB: snr.BaseDB, GapFactor: gapFactor, JoinUs: joinUs, LeaveUs: leaveUs,
+	}
+}
+
+// sourceLabel extracts the human label of a traffic source.
+func sourceLabel(s traffic.Source) string {
+	switch v := s.(type) {
+	case *traffic.Web:
+		return v.Label
+	case *traffic.Interactive:
+		return v.Label
+	case *traffic.CBR:
+		return v.Label
+	case *traffic.BurstTrain:
+		return v.Label
+	case *traffic.Saturator:
+		return v.Label
+	default:
+		return ""
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

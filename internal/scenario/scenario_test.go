@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+)
+
+func TestOfficeBuild(t *testing.T) {
+	t.Parallel()
+	p := Office("office-test", 21, 3*time.Minute, 8)
+	tr, st, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Encrypted {
+		t.Error("office trace not encrypted")
+	}
+	senders := tr.Senders()
+	// AP + most of the 8 stations should have transmitted.
+	if len(senders) < 7 {
+		t.Fatalf("senders = %d, want ≥ 7", len(senders))
+	}
+	if st.FramesOnAir == 0 || st.Records == 0 {
+		t.Fatalf("empty run: %+v", st)
+	}
+	// Order invariant.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].T < tr.Records[i-1].T {
+			t.Fatal("records out of order")
+		}
+	}
+}
+
+func TestConferenceBuildChurn(t *testing.T) {
+	t.Parallel()
+	p := Conference("conf-test", 22, 4*time.Minute, 10)
+	tr, _, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Encrypted {
+		t.Error("conference trace encrypted")
+	}
+	senders := tr.Senders()
+	// Base stations + AP + some churn devices.
+	if len(senders) < 10 {
+		t.Fatalf("senders = %d, want ≥ 10 (10 base + churn)", len(senders))
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	t.Parallel()
+	p := Office("det", 23, 90*time.Second, 5)
+	a, _, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("non-deterministic build: %d vs %d records", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestFaradaySingleDevice(t *testing.T) {
+	t.Parallel()
+	prof, err := device.ByName("atheros-like-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, addr, err := BuildFaraday(FaradayParams{
+		Profile: prof, Seed: 24, Duration: 5 * time.Second, FixedRateMbps: 54,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := tr.Senders()
+	if senders[addr] < 100 {
+		t.Fatalf("device sent %d frames, want saturation", senders[addr])
+	}
+	// Only AP + device transmit in the cage.
+	if len(senders) != 2 {
+		t.Fatalf("senders in cage = %d, want 2", len(senders))
+	}
+}
+
+func TestFaradayBusyChannel(t *testing.T) {
+	t.Parallel()
+	prof, err := device.ByName("atheros-like-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := BuildFaraday(FaradayParams{
+		Profile: prof, Seed: 25, Duration: 5 * time.Second,
+		FixedRateMbps: 54, BusyChannel: true,
+		Mutate: func(p *device.Profile) { p.RTSThresholdB = 1000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := 0
+	for _, r := range tr.Records {
+		if r.Class == dot11.ClassRTS {
+			rts++
+		}
+	}
+	if rts == 0 {
+		t.Fatal("mutated RTS threshold produced no RTS frames")
+	}
+}
+
+func TestBuildTwins(t *testing.T) {
+	t.Parallel()
+	prof, err := device.ByName("intel-like-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, addrs, err := BuildTwins(TwinParams{
+		Profile: prof, Seed: 26, Duration: 2 * time.Minute,
+		ServicesA: []string{"igmpv3", "llmnr"},
+		ServicesB: []string{"mdns", "ssdp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := tr.Senders()
+	if senders[addrs[0]] == 0 || senders[addrs[1]] == 0 {
+		t.Fatalf("twin activity: %d / %d", senders[addrs[0]], senders[addrs[1]])
+	}
+	// Both twins broadcast (service frames).
+	bcast := map[dot11.Addr]int{}
+	for _, r := range tr.Records {
+		if r.Receiver.IsBroadcast() && !r.Sender.IsZero() && r.Class == dot11.ClassData {
+			bcast[r.Sender]++
+		}
+	}
+	if bcast[addrs[0]] == 0 || bcast[addrs[1]] == 0 {
+		t.Fatalf("twin broadcast counts: %v", bcast)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "math"
+
+// 802.11b/g MAC timing (long-slot compatibility mode, the common 2008
+// configuration when b and g stations share a channel).
+const (
+	// SlotUs is the backoff slot time.
+	SlotUs int64 = 20
+	// SIFSUs is the short interframe space.
+	SIFSUs int64 = 10
+	// DIFSUs is the distributed interframe space: SIFS + 2 slots.
+	DIFSUs = SIFSUs + 2*SlotUs
+
+	// preambleLongUs is the long CCK PLCP preamble+header time.
+	preambleLongUs int64 = 192
+	// preambleShortUs is the short CCK preamble time.
+	preambleShortUs int64 = 96
+	// preambleOFDMUs is the OFDM preamble+SIGNAL (+extension) time.
+	preambleOFDMUs int64 = 26
+
+	// maxRetries is the short retry limit before a frame is dropped.
+	maxRetries = 7
+)
+
+// isCCK reports whether a rate is an 802.11b CCK/DSSS rate.
+func isCCK(rate float64) bool {
+	switch rate {
+	case 1, 2, 5.5, 11:
+		return true
+	default:
+		return false
+	}
+}
+
+// AirtimeUs returns the on-air duration of a frame of the given MPDU
+// size at the given rate, including the PHY preamble. shortPreamble
+// only applies to CCK rates above 1 Mb/s.
+func AirtimeUs(sizeBytes int, rateMbps float64, shortPreamble bool) int64 {
+	payload := int64(math.Ceil(float64(sizeBytes) * 8 / rateMbps))
+	if isCCK(rateMbps) {
+		pre := preambleLongUs
+		if shortPreamble && rateMbps > 1 {
+			pre = preambleShortUs
+		}
+		return pre + payload
+	}
+	return preambleOFDMUs + payload
+}
+
+// ctrlRateFor returns the basic rate used for the control response
+// (ACK/CTS) to a frame sent at the given data rate.
+func ctrlRateFor(dataRate float64) float64 {
+	if isCCK(dataRate) {
+		if dataRate >= 2 {
+			return 2
+		}
+		return 1
+	}
+	switch {
+	case dataRate >= 24:
+		return 24
+	case dataRate >= 12:
+		return 12
+	default:
+		return 6
+	}
+}
+
+// broadcastRateMbps is the rate used for group-addressed frames: the
+// lowest mandatory rate, for maximum reach.
+const broadcastRateMbps = 1.0
+
+// snrRequired maps each rate to the approximate SNR (dB) needed for a
+// low frame error rate. Derived from standard receiver sensitivity
+// ladders; only the relative ordering matters for the reproduction.
+var snrRequired = map[float64]float64{
+	1: 4, 2: 6, 5.5: 8, 11: 10,
+	6: 8, 9: 9, 12: 11, 18: 13, 24: 16, 36: 20, 48: 24, 54: 26,
+}
+
+// successProb returns the probability that a frame at the given rate is
+// received given the sender's current SNR: a logistic curve over the
+// margin above the required SNR, floored so even deep fades occasionally
+// deliver (capture effect).
+func successProb(rateMbps, snrDB float64) float64 {
+	req, ok := snrRequired[rateMbps]
+	if !ok {
+		req = 26
+	}
+	margin := snrDB - req
+	p := 1 / (1 + math.Exp(-margin))
+	if p < 0.02 {
+		p = 0.02
+	}
+	return p
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"dot11fp/internal/device"
+)
+
+// rateController picks the data rate for each transmission attempt and
+// learns from outcomes. Implementations mirror the policy families of
+// device.RatePolicy.
+type rateController interface {
+	// Rate returns the rate for the next attempt.
+	Rate() float64
+	// OnResult reports the outcome of an attempt at the Rate returned.
+	OnResult(success bool)
+}
+
+// ladderFor returns the ascending rate ladder a profile may use, capped
+// at the profile's preferred rate for fixed-rate devices.
+func ladderFor(spec device.Spec) []float64 {
+	if spec.Mode == device.ModeB {
+		return device.RatesB
+	}
+	return device.RatesOrdered
+}
+
+// indexOf returns the position of the closest ladder rate ≤ want,
+// defaulting to 0.
+func indexOf(ladder []float64, want float64) int {
+	best := 0
+	for i, r := range ladder {
+		if r <= want {
+			best = i
+		}
+	}
+	return best
+}
+
+// newRateController builds the controller selected by the spec. The
+// profile's preferred rate acts as the vendor's configured ceiling:
+// adaptive controllers never climb above it, which is what gives each
+// card family its own rate distribution (Gopinath et al., the paper's
+// §VI-B).
+func newRateController(spec device.Spec, r *rand.Rand) rateController {
+	ladder := ladderFor(spec)
+	idx := indexOf(ladder, spec.PreferredRateMbps)
+	ladder = ladder[:idx+1]
+	// Cards start at their ceiling and fall back quickly (2–3 failures
+	// per step), so steady state is reached within seconds — keeping
+	// training and validation windows statistically alike.
+	start := idx
+	switch spec.RatePolicy {
+	case device.RateFixed:
+		return &fixedRate{rate: ladder[idx]}
+	case device.RateConservative:
+		return &arfRate{ladder: ladder, idx: start, upAfter: 20, downAfter: 3}
+	case device.RateSampler:
+		return &samplerRate{ladder: ladder, sampleProb: 0.18, r: r,
+			arf: arfRate{ladder: ladder, idx: start, upAfter: 20, downAfter: 3}}
+	default: // device.RateARF
+		return &arfRate{ladder: ladder, idx: start, upAfter: 10, downAfter: 2}
+	}
+}
+
+// fixedRate pins one rate forever.
+type fixedRate struct{ rate float64 }
+
+func (f *fixedRate) Rate() float64 { return f.rate }
+func (f *fixedRate) OnResult(bool) {}
+
+// arfRate is the classic Auto Rate Fallback ladder walker.
+type arfRate struct {
+	ladder             []float64
+	idx                int
+	succ, fail         int
+	upAfter, downAfter int
+}
+
+func (a *arfRate) Rate() float64 { return a.ladder[a.idx] }
+
+func (a *arfRate) OnResult(success bool) {
+	if success {
+		a.succ++
+		a.fail = 0
+		if a.succ >= a.upAfter && a.idx < len(a.ladder)-1 {
+			a.idx++
+			a.succ = 0
+		}
+		return
+	}
+	a.fail++
+	a.succ = 0
+	if a.fail >= a.downAfter && a.idx > 0 {
+		a.idx--
+		a.fail = 0
+	}
+}
+
+// samplerRate mostly transmits at an ARF-adapted home rate but
+// frequently probes neighbouring rates, producing the spread rate
+// distribution of the paper's Fig. 6d.
+type samplerRate struct {
+	ladder     []float64
+	sampleProb float64
+	r          *rand.Rand
+	arf        arfRate
+	sampling   bool
+	sampleIdx  int
+}
+
+func (s *samplerRate) Rate() float64 {
+	if s.r.Float64() < s.sampleProb {
+		s.sampling = true
+		delta := 1 + s.r.IntN(2)
+		if s.r.IntN(2) == 0 {
+			delta = -delta
+		}
+		idx := s.arf.idx + delta
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s.ladder) {
+			idx = len(s.ladder) - 1
+		}
+		s.sampleIdx = idx
+		return s.ladder[idx]
+	}
+	s.sampling = false
+	return s.arf.Rate()
+}
+
+func (s *samplerRate) OnResult(success bool) {
+	if s.sampling {
+		// Sampling outcomes do not move the home rate; reset the flag.
+		s.sampling = false
+		return
+	}
+	s.arf.OnResult(success)
+}
+
+// snrProcess models a station's channel quality over time: a base SNR
+// with AR(1) noise, plus optional relocation jumps (conference mobility,
+// the mechanism that destabilises rate-dependent fingerprints in the
+// paper's conference traces).
+type snrProcess struct {
+	base     float64
+	noise    float64 // current AR(1) deviation
+	sigma    float64 // innovation σ per step
+	rho      float64 // AR(1) coefficient
+	moveProb float64 // per-step probability of relocating
+	moveLo   float64 // new-base range after a move
+	moveHi   float64
+	r        *rand.Rand
+}
+
+// newSNRProcess builds a process; stepUs callers advance it at 1 s.
+func newSNRProcess(base, sigma, moveProb, moveLo, moveHi float64, r *rand.Rand) *snrProcess {
+	return &snrProcess{base: base, sigma: sigma, rho: 0.9, moveProb: moveProb, moveLo: moveLo, moveHi: moveHi, r: r}
+}
+
+// Step advances the process one tick.
+func (s *snrProcess) Step() {
+	if s.moveProb > 0 && s.r.Float64() < s.moveProb {
+		s.base = s.moveLo + s.r.Float64()*(s.moveHi-s.moveLo)
+	}
+	s.noise = s.rho*s.noise + s.r.NormFloat64()*s.sigma
+}
+
+// SNR returns the current signal-to-noise ratio in dB.
+func (s *snrProcess) SNR() float64 { return s.base + s.noise }

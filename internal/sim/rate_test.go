@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+
+	"dot11fp/internal/device"
+	"dot11fp/internal/stats"
+)
+
+func specWithPolicy(t *testing.T, policy device.RatePolicy, pref float64, mode device.PHYMode) device.Spec {
+	t.Helper()
+	p, err := device.ByName("atheros-like-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RatePolicy = policy
+	p.PreferredRateMbps = pref
+	p.Mode = mode
+	return p.Instantiate(1, stats.NewRand(1, 1))
+}
+
+func TestFixedRateNeverMoves(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateFixed, 24, device.ModeG), stats.NewRand(1, 2))
+	for i := 0; i < 100; i++ {
+		if got := rc.Rate(); got != 24 {
+			t.Fatalf("fixed rate moved to %v", got)
+		}
+		rc.OnResult(i%3 == 0)
+	}
+}
+
+func TestARFStepsDownOnFailures(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateARF, 54, device.ModeG), stats.NewRand(1, 3))
+	if rc.Rate() != 54 {
+		t.Fatalf("ARF starts at %v, want ceiling 54", rc.Rate())
+	}
+	rc.OnResult(false)
+	rc.OnResult(false) // downAfter = 2
+	if rc.Rate() != 48 {
+		t.Fatalf("after 2 failures rate = %v, want 48", rc.Rate())
+	}
+	// Ten consecutive successes climb back up.
+	for i := 0; i < 10; i++ {
+		rc.OnResult(true)
+	}
+	if rc.Rate() != 54 {
+		t.Fatalf("after 10 successes rate = %v, want 54", rc.Rate())
+	}
+}
+
+func TestARFRespectsVendorCeiling(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateARF, 36, device.ModeG), stats.NewRand(1, 4))
+	for i := 0; i < 200; i++ {
+		rc.OnResult(true)
+		if got := rc.Rate(); got > 36 {
+			t.Fatalf("rate %v exceeded vendor ceiling 36", got)
+		}
+	}
+	if rc.Rate() != 36 {
+		t.Fatalf("steady rate = %v, want ceiling 36", rc.Rate())
+	}
+}
+
+func TestARFNeverBelowFloor(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateARF, 54, device.ModeG), stats.NewRand(1, 5))
+	for i := 0; i < 200; i++ {
+		rc.OnResult(false)
+		if got := rc.Rate(); got < 1 {
+			t.Fatalf("rate fell below 1 Mb/s: %v", got)
+		}
+	}
+	if rc.Rate() != 1 {
+		t.Fatalf("floor rate = %v, want 1", rc.Rate())
+	}
+}
+
+func TestModeBLadder(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateARF, 11, device.ModeB), stats.NewRand(1, 6))
+	seen := map[float64]bool{}
+	for i := 0; i < 400; i++ {
+		r := rc.Rate()
+		seen[r] = true
+		switch r {
+		case 1, 2, 5.5, 11:
+		default:
+			t.Fatalf("ModeB card used OFDM rate %v", r)
+		}
+		// Mostly successes with occasional paired failures, so ARF both
+		// climbs and falls within the b ladder.
+		rc.OnResult(i%12 < 10)
+	}
+	if len(seen) < 2 {
+		t.Error("ARF on a b-card never moved")
+	}
+}
+
+func TestSamplerSpreadsButStaysNearHome(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateSampler, 54, device.ModeG), stats.NewRand(1, 7))
+	counts := map[float64]int{}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		counts[rc.Rate()]++
+		rc.OnResult(true)
+	}
+	if len(counts) < 3 {
+		t.Fatalf("sampler used only %d rates", len(counts))
+	}
+	if frac := float64(counts[54]) / n; frac < 0.7 || frac > 0.95 {
+		t.Fatalf("home-rate fraction = %v, want ≈0.82", frac)
+	}
+}
+
+func TestSamplerFailuresDuringSamplingDoNotMoveHome(t *testing.T) {
+	t.Parallel()
+	rc := newRateController(specWithPolicy(t, device.RateSampler, 54, device.ModeG), stats.NewRand(1, 8))
+	// Fail only on sampled (non-54) attempts: home must stay at 54.
+	for i := 0; i < 2_000; i++ {
+		r := rc.Rate()
+		rc.OnResult(r == 54)
+	}
+	// The final home rate is observable through the majority rate.
+	counts := map[float64]int{}
+	for i := 0; i < 1_000; i++ {
+		counts[rc.Rate()]++
+		rc.OnResult(true)
+	}
+	best, bn := 0.0, 0
+	for r, n := range counts {
+		if n > bn {
+			best, bn = r, n
+		}
+	}
+	if best != 54 {
+		t.Fatalf("home rate drifted to %v", best)
+	}
+}
+
+func TestSuccessProbMonotone(t *testing.T) {
+	t.Parallel()
+	for _, rate := range device.RatesG {
+		prev := -1.0
+		for snr := 0.0; snr <= 40; snr += 2 {
+			p := successProb(rate, snr)
+			if p < 0.0199 || p > 1 {
+				t.Fatalf("successProb(%v, %v) = %v out of range", rate, snr, p)
+			}
+			if p < prev {
+				t.Fatalf("successProb(%v) not monotone in SNR", rate)
+			}
+			prev = p
+		}
+	}
+	// Higher rates need more SNR: at 16 dB, 54 Mb/s must be less
+	// reliable than 6 Mb/s.
+	if successProb(54, 16) >= successProb(6, 16) {
+		t.Error("rate/SNR ordering violated")
+	}
+}
+
+func TestSNRProcessStationary(t *testing.T) {
+	t.Parallel()
+	p := newSNRProcess(25, 1, 0, 0, 0, stats.NewRand(2, 1))
+	var min, max float64 = 1e9, -1e9
+	for i := 0; i < 10_000; i++ {
+		p.Step()
+		v := p.SNR()
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// AR(1) with σ=1, ρ=0.9: stationary σ ≈ 2.3; excursions beyond
+	// ±12 dB would indicate a broken process.
+	if min < 25-12 || max > 25+12 {
+		t.Fatalf("SNR excursions [%v, %v] around base 25", min, max)
+	}
+}
+
+func TestSNRProcessRelocates(t *testing.T) {
+	t.Parallel()
+	p := newSNRProcess(30, 0.1, 0.05, 5, 10, stats.NewRand(3, 1))
+	moved := false
+	for i := 0; i < 1_000; i++ {
+		p.Step()
+		if p.SNR() < 15 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("mobile process never relocated to the low-SNR band")
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		size  int
+		rate  float64
+		short bool
+		want  int64
+	}{
+		{1500, 54, true, 26 + 223},    // OFDM: ceil(12000/54)=223
+		{1500, 11, false, 192 + 1091}, // CCK long preamble
+		{1500, 11, true, 96 + 1091},   // CCK short preamble
+		{1500, 1, true, 192 + 12000},  // 1 Mb/s never uses short preamble
+		{14, 24, true, 26 + 5},        // ACK at OFDM basic rate
+	}
+	for _, tt := range tests {
+		if got := AirtimeUs(tt.size, tt.rate, tt.short); got != tt.want {
+			t.Errorf("AirtimeUs(%d, %v, %v) = %d, want %d", tt.size, tt.rate, tt.short, got, tt.want)
+		}
+	}
+}
+
+func TestCtrlRateFor(t *testing.T) {
+	t.Parallel()
+	tests := []struct{ data, want float64 }{
+		{54, 24}, {36, 24}, {24, 24}, {18, 12}, {12, 12}, {9, 6}, {6, 6},
+		{11, 2}, {5.5, 2}, {2, 2}, {1, 1},
+	}
+	for _, tt := range tests {
+		if got := ctrlRateFor(tt.data); got != tt.want {
+			t.Errorf("ctrlRateFor(%v) = %v, want %v", tt.data, got, tt.want)
+		}
+	}
+}

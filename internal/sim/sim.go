@@ -1,0 +1,772 @@
+// Package sim is a discrete-event simulator of a single 802.11 b/g
+// channel under the distributed coordination function (DCF). It is the
+// testbed substrate of this reproduction: the paper measured real
+// captures (a Sigcomm conference hall, an office, a Faraday cage), and
+// this package reproduces the mechanisms those captures expose —
+// DIFS/SIFS timing, slotted random backoff with per-card quirks,
+// collisions and binary exponential backoff, RTS/CTS virtual carrier
+// sensing, per-vendor rate adaptation under time-varying SNR, power-save
+// null frames, active scanning, beacons — and feeds everything through a
+// monitor model that produces capture.Records exactly as a monitoring
+// card would (end-of-reception timestamps, no sender for ACK/CTS,
+// capture loss, corrupt frames).
+//
+// Simplifications versus a full ns-3-class model are documented in
+// DESIGN.md; the guiding rule is that every mechanism the paper
+// identifies as a fingerprint source (§VI) is modelled faithfully, while
+// mechanisms orthogonal to fingerprinting (e.g. exact NAV bookkeeping of
+// hidden terminals) are collapsed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/stats"
+	"dot11fp/internal/traffic"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Name labels the produced trace.
+	Name string
+	// Seed drives every random stream in the run.
+	Seed uint64
+	// DurationUs is the simulated time span.
+	DurationUs int64
+	// Channel is the monitored channel number (metadata only).
+	Channel int
+	// Encrypted applies WPA(CCMP) framing overhead and marks data
+	// frames protected.
+	Encrypted bool
+	// CaptureLossProb is the monitor's per-frame loss probability for
+	// cleanly transmitted frames.
+	CaptureLossProb float64
+}
+
+// SNRParams describe a station's channel-quality process.
+type SNRParams struct {
+	// BaseDB is the starting SNR.
+	BaseDB float64
+	// SigmaDB is the AR(1) innovation σ (per second).
+	SigmaDB float64
+	// MoveProb is the per-second probability of relocating to a new
+	// base SNR in [MoveLoDB, MoveHiDB] (conference mobility).
+	MoveProb           float64
+	MoveLoDB, MoveHiDB float64
+}
+
+// StationConfig describes one station to add to the simulation.
+type StationConfig struct {
+	// Spec is the card/driver unit.
+	Spec device.Spec
+	// Sources generate the station's application/service traffic.
+	Sources []traffic.Source
+	// SNR is the channel-quality process.
+	SNR SNRParams
+	// JoinUs/LeaveUs bound the station's presence (LeaveUs 0 = stays).
+	JoinUs, LeaveUs int64
+	// MonitorSignalDBm is the mean RSSI the monitor sees for this
+	// station (distance to the monitor).
+	MonitorSignalDBm float64
+}
+
+// Stats summarises a completed run.
+type Stats struct {
+	FramesOnAir    int
+	DataFrames     int
+	Collisions     int
+	Retries        int
+	Drops          int
+	CaptureDropped int
+	Records        int
+}
+
+// queueCap bounds per-station MAC queues; saturating sources refill as
+// the queue drains.
+const queueCap = 3
+
+// tbttUs is the beacon interval (102.4 ms).
+const tbttUs int64 = 102_400
+
+// mpdu is a queued MAC frame awaiting transmission.
+type mpdu struct {
+	class        dot11.Class
+	sizeOnAir    int
+	broadcast    bool
+	dest         *station // nil = infrastructure default (AP / broadcast)
+	retries      int
+	rateOverride float64 // 0 = use rate controller
+}
+
+// station is the internal per-station state.
+type station struct {
+	addr dot11.Addr
+	spec device.Spec
+	cfg  StationConfig
+	rng  *rand.Rand
+	src  traffic.Source
+	rc   rateController
+	snr  *snrProcess
+	isAP bool
+	ap   *station
+
+	queue          []mpdu
+	cw             int
+	slots          int
+	slotOffsetUs   int64
+	contending     bool
+	arrivalBlocked bool
+	srcDone        bool
+	left           bool
+
+	snrLastUs int64
+	seqNum    uint16
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator runs one channel.
+type Simulator struct {
+	cfg      Config
+	now      int64
+	seq      uint64
+	events   eventQueue
+	stations []*station
+	clients  []*station
+	aps      []*station
+
+	busyUntil  int64
+	inTx       bool
+	contenders []*station
+
+	monRng  *rand.Rand
+	records []capture.Record
+	stats   Stats
+}
+
+// New creates a simulator.
+func New(cfg Config) *Simulator {
+	if cfg.DurationUs <= 0 {
+		cfg.DurationUs = 60_000_000
+	}
+	if cfg.Channel == 0 {
+		cfg.Channel = 6
+	}
+	return &Simulator{
+		cfg:    cfg,
+		monRng: stats.NewRand(cfg.Seed, 0xB0B),
+	}
+}
+
+// AddAP adds an access point and returns its address.
+func (s *Simulator) AddAP(cfg StationConfig) dot11.Addr {
+	st := s.addStation(cfg, true)
+	return st.addr
+}
+
+// AddStation adds a client station and returns its address.
+func (s *Simulator) AddStation(cfg StationConfig) dot11.Addr {
+	st := s.addStation(cfg, false)
+	return st.addr
+}
+
+func (s *Simulator) addStation(cfg StationConfig, isAP bool) *station {
+	unit := len(s.stations) + 1
+	st := &station{
+		addr:  dot11.LocalAddr(uint64(unit)),
+		spec:  cfg.Spec,
+		cfg:   cfg,
+		rng:   stats.NewRand(s.cfg.Seed, uint64(unit)),
+		isAP:  isAP,
+		cw:    cfg.Spec.CWmin,
+		slots: -1,
+	}
+	if len(cfg.Sources) > 0 {
+		st.src = traffic.NewMerged(cfg.Sources...)
+	}
+	st.rc = newRateController(cfg.Spec, st.rng)
+	st.snr = newSNRProcess(cfg.SNR.BaseDB, cfg.SNR.SigmaDB, cfg.SNR.MoveProb, cfg.SNR.MoveLoDB, cfg.SNR.MoveHiDB, st.rng)
+	if !isAP && len(s.aps) > 0 {
+		st.ap = s.aps[0]
+	}
+	s.stations = append(s.stations, st)
+	if isAP {
+		s.aps = append(s.aps, st)
+	} else {
+		s.clients = append(s.clients, st)
+	}
+	return st
+}
+
+// schedule queues fn at time at (clamped to now).
+func (s *Simulator) schedule(at int64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation and returns the monitor's trace.
+func (s *Simulator) Run() (*capture.Trace, Stats, error) {
+	if len(s.stations) == 0 {
+		return nil, Stats{}, fmt.Errorf("sim: no stations configured")
+	}
+	// Wire default associations for stations added before their AP.
+	for _, st := range s.clients {
+		if st.ap == nil && len(s.aps) > 0 {
+			st.ap = s.aps[0]
+		}
+	}
+	for _, st := range s.stations {
+		st := st
+		s.schedule(st.cfg.JoinUs, func() { s.join(st) })
+		if st.cfg.LeaveUs > 0 {
+			s.schedule(st.cfg.LeaveUs, func() { s.leave(st) })
+		}
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > s.cfg.DurationUs {
+			break
+		}
+		s.now = e.at
+		e.fn()
+	}
+	// Collision emissions can interleave slightly out of order; the
+	// monitor's view is strictly time-ordered.
+	sort.SliceStable(s.records, func(i, j int) bool { return s.records[i].T < s.records[j].T })
+	tr := &capture.Trace{
+		Name:      s.cfg.Name,
+		Channel:   s.cfg.Channel,
+		Encrypted: s.cfg.Encrypted,
+		Records:   s.records,
+	}
+	s.stats.Records = len(s.records)
+	return tr, s.stats, nil
+}
+
+// --- station lifecycle -------------------------------------------------------
+
+func (s *Simulator) join(st *station) {
+	if st.src != nil {
+		s.scheduleArrival(st)
+	}
+	if st.isAP {
+		s.scheduleBeacon(st, s.now+st.rng.Int64N(tbttUs))
+		return
+	}
+	if st.spec.PowerSave && st.spec.NullPeriodUs > 0 {
+		s.scheduleNull(st, s.now+st.spec.NullPhaseUs%st.spec.NullPeriodUs)
+	}
+	if st.spec.ProbePeriodUs > 0 && st.spec.ProbeBurst > 0 {
+		s.scheduleProbeBurst(st, s.now+st.spec.ProbePhaseUs%st.spec.ProbePeriodUs)
+	}
+}
+
+func (s *Simulator) leave(st *station) {
+	st.left = true
+	st.srcDone = true
+	st.queue = nil
+	if st.contending {
+		st.contending = false
+		s.removeContender(st)
+	}
+}
+
+// --- traffic arrivals --------------------------------------------------------
+
+func (s *Simulator) scheduleArrival(st *station) {
+	if st.srcDone || st.left {
+		return
+	}
+	at, sdu, ok := st.src.Next(s.now)
+	if !ok {
+		st.srcDone = true
+		return
+	}
+	if st.cfg.LeaveUs > 0 && at >= st.cfg.LeaveUs {
+		st.srcDone = true
+		return
+	}
+	s.schedule(at, func() { s.onArrival(st, sdu) })
+}
+
+func (s *Simulator) onArrival(st *station, sdu traffic.SDU) {
+	if st.left {
+		return
+	}
+	st.queue = append(st.queue, s.mpduFor(st, sdu))
+	if len(st.queue) < queueCap {
+		s.scheduleArrival(st)
+	} else {
+		st.arrivalBlocked = true
+	}
+	s.makeContender(st)
+}
+
+// mpduFor frames an SDU for the air.
+func (s *Simulator) mpduFor(st *station, sdu traffic.SDU) mpdu {
+	m := mpdu{broadcast: sdu.Broadcast}
+	hdr := 24
+	if st.spec.Mode == device.ModeG && !sdu.Broadcast {
+		m.class = dot11.ClassQoSData
+		hdr = 26
+	} else {
+		m.class = dot11.ClassData
+	}
+	enc := 0
+	if s.cfg.Encrypted {
+		enc = 16 // CCMP header + MIC
+	}
+	m.sizeOnAir = hdr + sdu.Bytes + enc + 4
+	if sdu.Broadcast {
+		m.rateOverride = broadcastRateMbps
+	}
+	return m
+}
+
+// enqueueMgmt inserts a management/control-plane frame (null, probe,
+// beacon) directly into the station queue, bypassing the arrival cap.
+func (s *Simulator) enqueueMgmt(st *station, m mpdu) {
+	if st.left {
+		return
+	}
+	st.queue = append(st.queue, m)
+	s.makeContender(st)
+}
+
+func (s *Simulator) makeContender(st *station) {
+	if st.contending || len(st.queue) == 0 || st.left {
+		return
+	}
+	st.contending = true
+	s.contenders = append(s.contenders, st)
+	s.requestResolve()
+}
+
+func (s *Simulator) removeContender(st *station) {
+	for i, c := range s.contenders {
+		if c == st {
+			s.contenders = append(s.contenders[:i], s.contenders[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- MAC-level periodic behaviours -------------------------------------------
+
+func (s *Simulator) scheduleNull(st *station, at int64) {
+	s.schedule(at, func() {
+		if st.left {
+			return
+		}
+		s.enqueueMgmt(st, mpdu{class: dot11.ClassNull, sizeOnAir: 28})
+		period := st.spec.SkewPeriod(st.spec.NullPeriodUs)
+		jit := int64(stats.TruncNormal(st.rng, 0, st.spec.NullJitterUs, -float64(period)/3, float64(period)/3))
+		s.scheduleNull(st, s.now+period+jit)
+	})
+}
+
+func (s *Simulator) scheduleProbeBurst(st *station, at int64) {
+	s.schedule(at, func() {
+		if st.left {
+			return
+		}
+		size := 24 + 26 + 4*st.spec.ProbeBurst + 4 // SSID+rates IEs vary per driver
+		for i := 0; i < st.spec.ProbeBurst; i++ {
+			d := int64(i) * st.spec.ProbeGapUs
+			s.schedule(s.now+d, func() {
+				s.enqueueMgmt(st, mpdu{class: dot11.ClassProbeReq, sizeOnAir: size, broadcast: true, rateOverride: broadcastRateMbps})
+			})
+		}
+		period := st.spec.SkewPeriod(st.spec.ProbePeriodUs)
+		jit := int64(stats.TruncNormal(st.rng, 0, float64(period)/20, -float64(period)/4, float64(period)/4))
+		s.scheduleProbeBurst(st, s.now+period+jit)
+	})
+}
+
+func (s *Simulator) scheduleBeacon(st *station, at int64) {
+	s.schedule(at, func() {
+		if st.left {
+			return
+		}
+		s.enqueueMgmt(st, mpdu{class: dot11.ClassBeacon, sizeOnAir: 24 + 104 + 4, broadcast: true, rateOverride: broadcastRateMbps})
+		s.scheduleBeacon(st, s.now+st.spec.SkewPeriod(tbttUs))
+	})
+}
+
+// --- DCF arbitration ----------------------------------------------------------
+
+// requestResolve schedules a contention-resolution pass at the earliest
+// moment the medium is idle. Stale passes are ignored via the inTx flag
+// and an emptiness check.
+func (s *Simulator) requestResolve() {
+	if s.inTx {
+		return // txComplete re-requests
+	}
+	at := s.now
+	if s.busyUntil > at {
+		at = s.busyUntil
+	}
+	s.schedule(at, s.resolve)
+}
+
+// resolve picks the next transmitter among contenders via slotted
+// backoff. Equal slot positions collide.
+func (s *Simulator) resolve() {
+	if s.inTx || len(s.contenders) == 0 || s.now < s.busyUntil {
+		return
+	}
+	minKey := math.Inf(1)
+	var winners []*station
+	for _, c := range s.contenders {
+		if c.slots < 0 {
+			c.slots, c.slotOffsetUs = c.spec.DrawBackoffSlots(c.rng, c.cw)
+		}
+		key := float64(c.slots)
+		if c.slotOffsetUs != 0 {
+			key -= 0.5 // quirk pre-slot fires before the regular slot
+		}
+		switch {
+		case key < minKey:
+			minKey = key
+			winners = winners[:0]
+			winners = append(winners, c)
+		case key == minKey:
+			winners = append(winners, c)
+		}
+	}
+	dec := int(minKey)
+	if dec < 0 {
+		dec = 0
+	}
+	for _, c := range s.contenders {
+		if !contains(winners, c) && c.slots > dec {
+			c.slots -= dec
+		} else if !contains(winners, c) {
+			c.slots = 1
+		}
+	}
+	if len(winners) == 1 {
+		s.transmit(winners[0])
+		return
+	}
+	s.collide(winners)
+}
+
+func contains(set []*station, st *station) bool {
+	for _, c := range set {
+		if c == st {
+			return true
+		}
+	}
+	return false
+}
+
+// accessWaitUs computes a station's post-idle access delay: DIFS with
+// firmware offsets, the drawn backoff slots, quirk sub-slot offset, and
+// gaussian jitter, quantised to the card's timer granularity.
+func (s *Simulator) accessWaitUs(c *station) int64 {
+	w := DIFSUs + c.spec.DIFSAdjustUs + c.spec.UnitDIFSUs +
+		int64(c.slots)*SlotUs + c.slotOffsetUs
+	if c.spec.JitterUs > 0 {
+		w += int64(stats.TruncNormal(c.rng, 0, c.spec.JitterUs, -3*c.spec.JitterUs, 3*c.spec.JitterUs))
+	}
+	w = c.spec.Quantize(w)
+	if w < SIFSUs+1 {
+		w = SIFSUs + 1
+	}
+	return w
+}
+
+// pickRate selects the rate for a frame attempt.
+func (c *station) pickRate(m *mpdu) float64 {
+	if m.rateOverride > 0 {
+		return m.rateOverride
+	}
+	return c.rc.Rate()
+}
+
+// currentSNR lazily advances the station's SNR process to now.
+func (s *Simulator) currentSNR(c *station) float64 {
+	const stepUs = 1_000_000
+	steps := (s.now - c.snrLastUs) / stepUs
+	if steps > 120 {
+		steps = 120
+	}
+	for i := int64(0); i < steps; i++ {
+		c.snr.Step()
+	}
+	c.snrLastUs = s.now
+	return c.snr.SNR()
+}
+
+// transmit runs a full winner exchange: optional RTS/CTS, the data
+// frame, and the ACK, emitting monitor records along the way.
+func (s *Simulator) transmit(c *station) {
+	if len(c.queue) == 0 { // left or drained mid-resolution
+		c.contending = false
+		s.removeContender(c)
+		s.requestResolve()
+		return
+	}
+	m := &c.queue[0]
+	start := s.now + s.accessWaitUs(c)
+	rate := c.pickRate(m)
+	snr := s.currentSNR(c)
+	success := true
+	if !m.broadcast {
+		success = c.rng.Float64() < successProb(rate, snr)
+	}
+
+	t := start
+	useRTS := !m.broadcast && m.sizeOnAir > c.spec.RTSThresholdB
+	ctrlRate := ctrlRateFor(rate)
+	if useRTS {
+		rtsEnd := t + AirtimeUs(20, ctrlRate, c.spec.ShortPreamble)
+		s.emit(c, capture.Record{
+			T: rtsEnd, Sender: c.addr, Receiver: s.receiverAddr(c, m),
+			Class: dot11.ClassRTS, Size: 20, RateMbps: ctrlRate, FCSOK: true,
+		}, true)
+		ctsEnd := rtsEnd + SIFSUs + AirtimeUs(14, ctrlRate, c.spec.ShortPreamble)
+		s.emit(c, capture.Record{
+			T: ctsEnd, Sender: dot11.ZeroAddr, Receiver: c.addr,
+			Class: dot11.ClassCTS, Size: 14, RateMbps: ctrlRate, FCSOK: true,
+		}, true)
+		t = ctsEnd + SIFSUs
+	}
+	dataEnd := t + AirtimeUs(m.sizeOnAir, rate, c.spec.ShortPreamble)
+	rec := capture.Record{
+		T: dataEnd, Sender: c.addr, Receiver: s.receiverAddr(c, m),
+		Class: m.class, Size: m.sizeOnAir, RateMbps: rate,
+		Retry: m.retries > 0, FCSOK: true,
+		Protected: s.cfg.Encrypted && (m.class == dot11.ClassData || m.class == dot11.ClassQoSData),
+	}
+	s.emit(c, rec, success)
+	s.stats.FramesOnAir++
+	if m.class == dot11.ClassData || m.class == dot11.ClassQoSData {
+		s.stats.DataFrames++
+	}
+
+	end := dataEnd
+	if !m.broadcast {
+		ackEnd := dataEnd + SIFSUs + AirtimeUs(14, ctrlRate, c.spec.ShortPreamble)
+		if success {
+			s.emit(c, capture.Record{
+				T: ackEnd, Sender: dot11.ZeroAddr, Receiver: c.addr,
+				Class: dot11.ClassACK, Size: 14, RateMbps: ctrlRate, FCSOK: true,
+			}, true)
+		}
+		end = ackEnd // ACK timeout occupies the same span on failure
+	}
+	s.inTx = true
+	s.busyUntil = end
+	adaptive := m.rateOverride == 0 && !m.broadcast
+	s.schedule(end, func() { s.txComplete(c, success, adaptive) })
+}
+
+// receiverAddr resolves the RA for a station's frame.
+func (s *Simulator) receiverAddr(c *station, m *mpdu) dot11.Addr {
+	if m.broadcast {
+		return dot11.Broadcast
+	}
+	if m.dest != nil {
+		return m.dest.addr
+	}
+	if c.isAP {
+		// Downlink unicast without explicit dest: pick an active client.
+		if len(s.clients) > 0 {
+			return s.clients[c.rng.IntN(len(s.clients))].addr
+		}
+		return dot11.Broadcast
+	}
+	if c.ap != nil {
+		return c.ap.addr
+	}
+	return dot11.Broadcast
+}
+
+// collide models two or more stations expiring in the same slot: all
+// their data frames overlap and none is acknowledged.
+func (s *Simulator) collide(winners []*station) {
+	s.stats.Collisions++
+	var end int64
+	for _, c := range winners {
+		if len(c.queue) == 0 {
+			continue
+		}
+		m := &c.queue[0]
+		start := s.now + s.accessWaitUs(c)
+		rate := c.pickRate(m)
+		frameEnd := start + AirtimeUs(m.sizeOnAir, rate, c.spec.ShortPreamble)
+		// Overlapping frames reach the monitor corrupted, if at all.
+		if s.monRng.Float64() < 0.6 {
+			s.emitRaw(c, capture.Record{
+				T: frameEnd, Sender: c.addr, Receiver: s.receiverAddr(c, m),
+				Class: m.class, Size: m.sizeOnAir, RateMbps: rate,
+				Retry: m.retries > 0, FCSOK: false,
+			})
+		} else {
+			s.stats.CaptureDropped++
+		}
+		if frameEnd > end {
+			end = frameEnd
+		}
+	}
+	if end == 0 {
+		end = s.now + DIFSUs
+	}
+	end += DIFSUs // EIFS-like recovery gap
+	s.inTx = true
+	s.busyUntil = end
+	cs := append([]*station(nil), winners...)
+	s.schedule(end, func() {
+		s.inTx = false
+		for _, c := range cs {
+			s.finishAttempt(c, false, true)
+		}
+		s.requestResolve()
+	})
+}
+
+// txComplete finalises a single-winner exchange.
+func (s *Simulator) txComplete(c *station, success, adaptive bool) {
+	s.inTx = false
+	s.finishAttempt(c, success, adaptive)
+	s.requestResolve()
+}
+
+// finishAttempt applies retry/drop/queue bookkeeping for one station.
+func (s *Simulator) finishAttempt(c *station, success, adaptive bool) {
+	c.slots = -1
+	c.slotOffsetUs = 0
+	if len(c.queue) == 0 {
+		c.contending = false
+		s.removeContender(c)
+		return
+	}
+	m := &c.queue[0]
+	if adaptive {
+		c.rc.OnResult(success)
+	}
+	completed := false
+	if success || m.broadcast {
+		completed = true
+	} else {
+		s.stats.Retries++
+		m.retries++
+		c.cw = min(2*(c.cw+1)-1, c.spec.CWmax)
+		if m.retries > maxRetries {
+			s.stats.Drops++
+			completed = true
+		}
+	}
+	if completed {
+		cls := m.class
+		c.queue = c.queue[1:]
+		c.cw = c.spec.CWmin
+		if success && cls == dot11.ClassProbeReq {
+			s.scheduleProbeResponse(c)
+		}
+		if c.arrivalBlocked && len(c.queue) < queueCap {
+			c.arrivalBlocked = false
+			s.scheduleArrival(c)
+		}
+	}
+	if len(c.queue) == 0 {
+		c.contending = false
+		s.removeContender(c)
+	}
+}
+
+// scheduleProbeResponse makes the AP answer a successful probe request.
+func (s *Simulator) scheduleProbeResponse(requester *station) {
+	ap := requester.ap
+	if ap == nil {
+		return
+	}
+	delay := 600 + requester.rng.Int64N(2_500)
+	req := requester
+	s.schedule(s.now+delay, func() {
+		s.enqueueMgmt(ap, mpdu{
+			class: dot11.ClassProbeResp, sizeOnAir: 24 + 118 + 4, dest: req,
+		})
+	})
+}
+
+// --- monitor ------------------------------------------------------------------
+
+// emit records a frame subject to monitor capture behaviour. delivered
+// reflects whether the intended receiver decoded it; the monitor is an
+// independent receiver and may capture frames the AP lost, and vice
+// versa.
+func (s *Simulator) emit(c *station, rec capture.Record, delivered bool) {
+	if !delivered {
+		// A frame that faded at the AP is often still seen (the monitor
+		// sits elsewhere): captured fine, captured corrupt, or missed.
+		x := s.monRng.Float64()
+		switch {
+		case x < 0.45:
+			// fallthrough to normal capture below
+		case x < 0.75:
+			rec.FCSOK = false
+		default:
+			s.stats.CaptureDropped++
+			return
+		}
+	} else if s.cfg.CaptureLossProb > 0 && s.monRng.Float64() < s.cfg.CaptureLossProb {
+		s.stats.CaptureDropped++
+		return
+	}
+	s.emitRaw(c, rec)
+}
+
+// emitRaw stamps monitor-side fields and appends the record.
+func (s *Simulator) emitRaw(c *station, rec capture.Record) {
+	sig := c.cfg.MonitorSignalDBm
+	if sig == 0 {
+		sig = -55
+	}
+	sig += stats.TruncNormal(s.monRng, 0, 2, -8, 8)
+	if sig < -94 {
+		sig = -94
+	}
+	if sig > -20 {
+		sig = -20
+	}
+	rec.SignalDBm = int8(sig)
+	s.records = append(s.records, rec)
+}

@@ -1,0 +1,569 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/device"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/stats"
+	"dot11fp/internal/traffic"
+)
+
+// mkSpec instantiates a named profile with a fixed per-test source.
+func mkSpec(t *testing.T, name string, unit int) device.Spec {
+	t.Helper()
+	p, err := device.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Instantiate(unit, stats.NewRand(77, uint64(unit)))
+}
+
+// faradaySim builds a single-AP, single-station saturated-UDP run, the
+// paper's Faraday-cage experiment (§VI-A1).
+func faradaySim(t *testing.T, profile string, seed uint64, durUs int64, fixedRate float64) *capture.Trace {
+	t.Helper()
+	s := New(Config{Name: "faraday", Seed: seed, DurationUs: durUs})
+	apSpec := device.APProfile().Instantiate(0, stats.NewRand(seed, 1000))
+	s.AddAP(StationConfig{Spec: apSpec, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, profile, 1)
+	if fixedRate > 0 {
+		spec.RatePolicy = device.RateFixed
+		spec.PreferredRateMbps = fixedRate
+	}
+	spec.PowerSave = false
+	spec.ProbePeriodUs = 0
+	s.AddStation(StationConfig{
+		Spec:    spec,
+		Sources: []traffic.Source{&traffic.Saturator{Label: "iperf", Bytes: 1470}},
+		SNR:     SNRParams{BaseDB: 40}, // clean cage channel
+	})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunNoStations(t *testing.T) {
+	t.Parallel()
+	if _, _, err := New(Config{}).Run(); err == nil {
+		t.Fatal("Run with no stations should error")
+	}
+}
+
+func TestRecordsTimeOrdered(t *testing.T) {
+	t.Parallel()
+	tr := faradaySim(t, "atheros-like-a", 1, 3_000_000, 54)
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].T < tr.Records[i-1].T {
+			t.Fatalf("records out of order at %d: %d < %d", i, tr.Records[i].T, tr.Records[i-1].T)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a := faradaySim(t, "atheros-like-a", 42, 2_000_000, 54)
+	b := faradaySim(t, "atheros-like-a", 42, 2_000_000, 54)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+	c := faradaySim(t, "atheros-like-a", 43, 2_000_000, 54)
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestSaturatedThroughputAndACKs(t *testing.T) {
+	t.Parallel()
+	tr := faradaySim(t, "atheros-like-a", 2, 5_000_000, 54)
+	var data, acks int
+	for _, r := range tr.Records {
+		switch r.Class {
+		case dot11.ClassQoSData, dot11.ClassData:
+			if !r.Sender.IsZero() {
+				data++
+			}
+		case dot11.ClassACK:
+			acks++
+			if !r.Sender.IsZero() {
+				t.Fatal("ACK with a sender address")
+			}
+		}
+	}
+	// 5 s of saturated 54 Mb/s traffic: hundreds of frames at least.
+	if data < 500 {
+		t.Fatalf("saturated run produced only %d data frames", data)
+	}
+	// Nearly every data frame is acknowledged in a clean cage.
+	if float64(acks) < 0.9*float64(data) {
+		t.Fatalf("acks = %d for %d data frames", acks, data)
+	}
+}
+
+func TestFaradayInterArrivalComb(t *testing.T) {
+	t.Parallel()
+	// First-transmission 54 Mb/s data frames in a clean channel must show
+	// the slotted backoff comb: gaps concentrated on ~16 slot positions
+	// exactly SlotUs apart (paper Fig. 4).
+	tr := faradaySim(t, "atheros-like-a", 3, 10_000_000, 54)
+	var prevT int64 = -1
+	gapCount := make(map[int64]int)
+	total := 0
+	for _, r := range tr.Records {
+		if prevT >= 0 && (r.Class == dot11.ClassQoSData || r.Class == dot11.ClassData) &&
+			!r.Retry && r.RateMbps == 54 && !r.Sender.IsZero() {
+			gap := r.T - prevT
+			gapCount[gap]++
+			total++
+		}
+		prevT = r.T
+	}
+	if total < 1000 {
+		t.Fatalf("too few first-try data gaps: %d", total)
+	}
+	// Collect distinct heavily-populated gaps.
+	var popular []int64
+	for g, n := range gapCount {
+		if n > total/100 {
+			popular = append(popular, g)
+		}
+	}
+	if len(popular) < 10 || len(popular) > 24 {
+		t.Fatalf("popular gap positions = %d, want ~16 slot peaks", len(popular))
+	}
+	// Spacing between sorted popular gaps must be a multiple of SlotUs
+	// (allowing the card's 1 µs jitter to shift the comb by ≤2 µs).
+	minG, maxG := popular[0], popular[0]
+	for _, g := range popular {
+		if g < minG {
+			minG = g
+		}
+		if g > maxG {
+			maxG = g
+		}
+	}
+	spread := maxG - minG
+	if spread < 14*SlotUs || spread > 18*SlotUs {
+		t.Fatalf("comb spread = %d µs, want ≈ 16 slots (%d)", spread, 16*SlotUs)
+	}
+}
+
+func TestExtraSlotQuirkWidensComb(t *testing.T) {
+	t.Parallel()
+	// The BackoffExtraSlot card exhibits one additional peak before the
+	// standard grid: its minimum first-try gap is ~ExtraSlotUs smaller.
+	combSpan := func(profile string) (int64, int64) {
+		tr := faradaySim(t, profile, 4, 8_000_000, 54)
+		var prevT int64 = -1
+		minGap, maxGap := int64(math.MaxInt64), int64(0)
+		hist := make(map[int64]int)
+		n := 0
+		for _, r := range tr.Records {
+			if prevT >= 0 && (r.Class == dot11.ClassQoSData || r.Class == dot11.ClassData) &&
+				!r.Retry && r.RateMbps == 54 && !r.Sender.IsZero() {
+				hist[r.T-prevT]++
+				n++
+			}
+			prevT = r.T
+		}
+		for g, c := range hist {
+			if c <= n/200 { // ignore stragglers
+				continue
+			}
+			if g < minGap {
+				minGap = g
+			}
+			if g > maxGap {
+				maxGap = g
+			}
+		}
+		return minGap, maxGap
+	}
+	minStd, _ := combSpan("atheros-like-a")   // standard backoff
+	minQuirk, _ := combSpan("atheros-like-b") // extra pre-slot, 10 µs
+	if minQuirk >= minStd {
+		t.Fatalf("extra-slot card min gap %d not below standard %d", minQuirk, minStd)
+	}
+	if d := minStd - minQuirk; d < 5 || d > 18 {
+		t.Fatalf("pre-slot offset = %d µs, want ≈ 10", d)
+	}
+}
+
+func TestRTSMechanism(t *testing.T) {
+	t.Parallel()
+	// Same device, RTS off vs RTS threshold 2000 with 1470 B frames
+	// below the threshold => no RTS. Then threshold 1000 => RTS/CTS
+	// precedes every data frame (paper Fig. 5).
+	run := func(thresh int) (rts, cts, data int) {
+		s := New(Config{Name: "rts", Seed: 9, DurationUs: 3_000_000})
+		ap := device.APProfile().Instantiate(0, stats.NewRand(9, 1000))
+		s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+		spec := mkSpec(t, "atheros-like-a", 1)
+		spec.RatePolicy = device.RateFixed
+		spec.PreferredRateMbps = 54
+		spec.RTSThresholdB = thresh
+		spec.ProbePeriodUs = 0
+		s.AddStation(StationConfig{
+			Spec:    spec,
+			Sources: []traffic.Source{&traffic.Saturator{Label: "udp", Bytes: 1470}},
+			SNR:     SNRParams{BaseDB: 40},
+		})
+		tr, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Records {
+			switch r.Class {
+			case dot11.ClassRTS:
+				rts++
+			case dot11.ClassCTS:
+				cts++
+				if !r.Sender.IsZero() {
+					t.Fatal("CTS with sender address")
+				}
+			case dot11.ClassData, dot11.ClassQoSData:
+				data++
+			}
+		}
+		return
+	}
+	rtsOff, ctsOff, dataOff := run(device.RTSDisabled)
+	if rtsOff != 0 || ctsOff != 0 {
+		t.Fatalf("RTS disabled but saw %d RTS / %d CTS", rtsOff, ctsOff)
+	}
+	if dataOff < 100 {
+		t.Fatalf("too little data: %d", dataOff)
+	}
+	rtsOn, ctsOn, dataOn := run(1000)
+	if rtsOn == 0 || ctsOn == 0 {
+		t.Fatal("RTS threshold 1000 produced no RTS/CTS")
+	}
+	if float64(rtsOn) < 0.9*float64(dataOn) {
+		t.Fatalf("RTS (%d) should accompany nearly all data (%d)", rtsOn, dataOn)
+	}
+}
+
+func TestCollisionsBetweenSaturatedStations(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "contend", Seed: 10, DurationUs: 4_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(10, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	for i := 1; i <= 3; i++ {
+		spec := mkSpec(t, "atheros-like-a", i)
+		spec.ProbePeriodUs = 0
+		s.AddStation(StationConfig{
+			Spec:    spec,
+			Sources: []traffic.Source{&traffic.Saturator{Label: "udp", Bytes: 1200}},
+			SNR:     SNRParams{BaseDB: 38},
+		})
+	}
+	tr, st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Collisions == 0 {
+		t.Error("three saturated stations never collided")
+	}
+	if st.Retries == 0 {
+		t.Error("no retries despite collisions")
+	}
+	retryBit := 0
+	for _, r := range tr.Records {
+		if r.Retry {
+			retryBit++
+		}
+	}
+	if retryBit == 0 {
+		t.Error("no frame carries the retry bit")
+	}
+}
+
+func TestBroadcastServiceFrames(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "svc", Seed: 11, DurationUs: 10_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(11, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, "apple-like", 1)
+	spec.PowerSave = false
+	spec.ProbePeriodUs = 0
+	svc := traffic.NewService("ssdp", 1_000_000, 0, 1_500, []int{311, 325, 341}, 0, stats.NewRand(11, 7))
+	s.AddStation(StationConfig{Spec: spec, Sources: []traffic.Source{svc}, SNR: SNRParams{BaseDB: 35}})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := 0
+	for _, r := range tr.Records {
+		if r.Class == dot11.ClassData && r.Receiver.IsBroadcast() && !r.Sender.IsZero() {
+			bc++
+			if r.RateMbps != broadcastRateMbps {
+				t.Fatalf("broadcast frame at %v Mb/s, want %v", r.RateMbps, broadcastRateMbps)
+			}
+		}
+	}
+	// ~10 bursts of 3 frames.
+	if bc < 24 || bc > 36 {
+		t.Fatalf("broadcast frames = %d, want ≈ 30", bc)
+	}
+}
+
+func TestPowerSaveNullFrames(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "ps", Seed: 12, DurationUs: 20_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(12, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, "realtek-like", 1)
+	spec.NullPeriodUs = 1_000_000 // 1 s keepalive for the test
+	spec.NullJitterUs = 0
+	spec.ProbePeriodUs = 0
+	s.AddStation(StationConfig{Spec: spec, SNR: SNRParams{BaseDB: 30}})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls := 0
+	for _, r := range tr.Records {
+		if r.Class == dot11.ClassNull && !r.Sender.IsZero() {
+			nulls++
+			if r.Size != 28 {
+				t.Fatalf("null frame size = %d, want 28", r.Size)
+			}
+		}
+	}
+	if nulls < 15 || nulls > 25 {
+		t.Fatalf("null frames = %d, want ≈ 20 (1 Hz over 20 s)", nulls)
+	}
+}
+
+func TestProbeBurstsAndResponses(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "probe", Seed: 13, DurationUs: 10_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(13, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, "ralink-like", 1) // 5-probe bursts
+	spec.ProbePeriodUs = 2_000_000
+	spec.PowerSave = false
+	s.AddStation(StationConfig{Spec: spec, SNR: SNRParams{BaseDB: 30}})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, resp := 0, 0
+	for _, r := range tr.Records {
+		switch r.Class {
+		case dot11.ClassProbeReq:
+			req++
+		case dot11.ClassProbeResp:
+			resp++
+		}
+	}
+	// ~5 bursts of 5 probes.
+	if req < 15 {
+		t.Fatalf("probe requests = %d, want ≥ 15", req)
+	}
+	if resp == 0 {
+		t.Fatal("AP never answered probe requests")
+	}
+}
+
+func TestBeaconCadence(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "beacon", Seed: 14, DurationUs: 10_240_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(14, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	// A station must exist for Run to do anything useful, but keep it quiet.
+	spec := mkSpec(t, "atheros-like-a", 1)
+	spec.ProbePeriodUs = 0
+	s.AddStation(StationConfig{Spec: spec, SNR: SNRParams{BaseDB: 30}})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beacons := 0
+	for _, r := range tr.Records {
+		if r.Class == dot11.ClassBeacon {
+			beacons++
+		}
+	}
+	// 10.24 s / 102.4 ms = 100 beacons (minus capture margin).
+	if beacons < 90 || beacons > 105 {
+		t.Fatalf("beacons = %d, want ≈ 100", beacons)
+	}
+}
+
+func TestChurnStationLeaves(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "churn", Seed: 15, DurationUs: 6_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(15, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, "atheros-like-a", 1)
+	spec.ProbePeriodUs = 0
+	addr := s.AddStation(StationConfig{
+		Spec:    spec,
+		Sources: []traffic.Source{traffic.NewCBR("cbr", 0, 10_000, 200, 0, nil)},
+		SNR:     SNRParams{BaseDB: 35},
+		JoinUs:  1_000_000,
+		LeaveUs: 3_000_000,
+	})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last int64 = -1, -1
+	for _, r := range tr.Records {
+		if r.Sender == addr {
+			if first < 0 {
+				first = r.T
+			}
+			last = r.T
+		}
+	}
+	if first < 1_000_000 {
+		t.Fatalf("station transmitted at %d before joining", first)
+	}
+	if last > 3_050_000 { // small slack for an in-flight exchange
+		t.Fatalf("station transmitted at %d after leaving", last)
+	}
+}
+
+func TestEncryptedFraming(t *testing.T) {
+	t.Parallel()
+	run := func(enc bool) int {
+		s := New(Config{Name: "enc", Seed: 16, DurationUs: 2_000_000, Encrypted: enc})
+		ap := device.APProfile().Instantiate(0, stats.NewRand(16, 1000))
+		s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+		spec := mkSpec(t, "atheros-like-a", 1)
+		spec.ProbePeriodUs = 0
+		s.AddStation(StationConfig{
+			Spec:    spec,
+			Sources: []traffic.Source{traffic.NewCBR("cbr", 0, 20_000, 400, 0, nil)},
+			SNR:     SNRParams{BaseDB: 40},
+		})
+		tr, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Records {
+			if r.Class == dot11.ClassQoSData && r.FCSOK && !r.Sender.IsZero() {
+				if enc && !r.Protected {
+					t.Fatal("encrypted run produced unprotected data frame")
+				}
+				return r.Size
+			}
+		}
+		t.Fatal("no data frame found")
+		return 0
+	}
+	plain := run(false)
+	enc := run(true)
+	if enc-plain != 16 {
+		t.Fatalf("CCMP overhead = %d bytes, want 16", enc-plain)
+	}
+}
+
+func TestRateAdaptationFollowsSNR(t *testing.T) {
+	t.Parallel()
+	meanRate := func(snrDB float64) float64 {
+		s := New(Config{Name: "arf", Seed: 17, DurationUs: 8_000_000})
+		ap := device.APProfile().Instantiate(0, stats.NewRand(17, 1000))
+		s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+		spec := mkSpec(t, "broadcom-like", 1) // plain ARF
+		spec.ProbePeriodUs = 0
+		spec.PowerSave = false
+		s.AddStation(StationConfig{
+			Spec:    spec,
+			Sources: []traffic.Source{&traffic.Saturator{Label: "udp", Bytes: 1000}},
+			SNR:     SNRParams{BaseDB: snrDB, SigmaDB: 0.5},
+		})
+		tr, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var n int
+		// Average over the second half, after ARF has converged.
+		for _, r := range tr.Records {
+			if r.T > 4_000_000 && (r.Class == dot11.ClassQoSData || r.Class == dot11.ClassData) && !r.Sender.IsZero() {
+				sum += r.RateMbps
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no data frames in second half")
+		}
+		return sum / float64(n)
+	}
+	good := meanRate(32)
+	bad := meanRate(12)
+	if good < 40 {
+		t.Errorf("high-SNR mean rate = %v, want ≥ 40", good)
+	}
+	if bad > 20 {
+		t.Errorf("low-SNR mean rate = %v, want ≤ 20", bad)
+	}
+	if good <= bad {
+		t.Errorf("rate adaptation inverted: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestMediumNeverOverlaps(t *testing.T) {
+	t.Parallel()
+	// Outside collisions, data/ack sequences from different exchanges
+	// must not interleave: consecutive record times from different
+	// senders must respect at least SIFS separation minus quirk slack.
+	s := New(Config{Name: "overlap", Seed: 18, DurationUs: 3_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(18, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	for i := 1; i <= 4; i++ {
+		spec := mkSpec(t, "intel-like-a", i)
+		spec.ProbePeriodUs = 0
+		spec.PowerSave = false
+		s.AddStation(StationConfig{
+			Spec:    spec,
+			Sources: []traffic.Source{traffic.NewCBR("cbr", int64(i)*1000, 15_000, 500, 0, nil)},
+			SNR:     SNRParams{BaseDB: 35},
+		})
+	}
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := 0
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].FCSOK && tr.Records[i-1].FCSOK {
+			if d := tr.Records[i].T - tr.Records[i-1].T; d >= 0 {
+				clean++
+			}
+		}
+	}
+	if clean == 0 {
+		t.Fatal("no clean consecutive records")
+	}
+}
+
+func TestPcapRoundTripFromSim(t *testing.T) {
+	t.Parallel()
+	tr := faradaySim(t, "marvell-like", 19, 1_000_000, 0)
+	senders := tr.Senders()
+	if len(senders) == 0 {
+		t.Fatal("no senders in sim trace")
+	}
+}

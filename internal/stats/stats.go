@@ -1,0 +1,140 @@
+// Package stats provides the deterministic random sampling and the small
+// numerical routines (trapezoid area, descriptive statistics) that the
+// simulator and the evaluation harness share.
+//
+// All stochastic components of this project draw from explicitly injected
+// sources so that every trace, table and figure is reproducible from a
+// single scenario seed.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// NewRand returns a deterministic PCG-backed generator for a (seed,
+// stream) pair. Distinct streams derived from the same seed are
+// independent, so adding a station to a scenario never perturbs the
+// random sequence of any other station.
+func NewRand(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, splitmix(seed^stream)))
+}
+
+// splitmix is the SplitMix64 finaliser, used to decorrelate stream ids.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Exponential samples an exponential variate with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Pareto samples a bounded Pareto variate with shape alpha and scale
+// xmin, truncated at xmax. Heavy-tailed on/off times (web traffic) use
+// this.
+func Pareto(r *rand.Rand, alpha, xmin, xmax float64) float64 {
+	u := r.Float64()
+	// Inverse CDF of the bounded Pareto distribution.
+	ha := math.Pow(xmax, -alpha)
+	la := math.Pow(xmin, -alpha)
+	x := math.Pow(u*(ha-la)+la, -1/alpha)
+	return x
+}
+
+// Normal samples a normal variate.
+func Normal(r *rand.Rand, mean, stddev float64) float64 {
+	return r.NormFloat64()*stddev + mean
+}
+
+// TruncNormal samples a normal variate clamped to [lo, hi].
+func TruncNormal(r *rand.Rand, mean, stddev, lo, hi float64) float64 {
+	v := Normal(r, mean, stddev)
+	return math.Max(lo, math.Min(hi, v))
+}
+
+// TrapezoidArea integrates y over x by the trapezoid rule. Points are
+// sorted by x first; duplicate x values contribute nothing. This is the
+// AUC computation for the paper's similarity curves (Table II).
+func TrapezoidArea(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].x - pts[i-1].x
+		area += dx * (pts[i].y + pts[i-1].y) / 2
+	}
+	return area
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Stddev  float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(sample []float64) Summary {
+	var s Summary
+	s.N = len(sample)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum, sum2 float64
+	for _, v := range sorted {
+		sum += v
+		sum2 += v * v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		v := (sum2 - sum*sum/float64(s.N)) / float64(s.N-1)
+		if v > 0 {
+			s.Stddev = math.Sqrt(v)
+		}
+	}
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P90 = quantileSorted(sorted, 0.90)
+	s.P99 = quantileSorted(sorted, 0.99)
+	return s
+}
+
+// quantileSorted returns the q-quantile of an ascending sample using
+// linear interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	t.Parallel()
+	a := NewRand(42, 7)
+	b := NewRand(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed,stream) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewRandStreamsIndependent(t *testing.T) {
+	t.Parallel()
+	a := NewRand(42, 1)
+	b := NewRand(42, 2)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 1 and 2 collided on %d/%d draws", same, n)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	t.Parallel()
+	r := NewRand(1, 1)
+	const mean = 250.0
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		v := Exponential(r, mean)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("sample mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	t.Parallel()
+	r := NewRand(2, 3)
+	const alpha, xmin, xmax = 1.2, 10.0, 10_000.0
+	for i := 0; i < 50_000; i++ {
+		v := Pareto(r, alpha, xmin, xmax)
+		if v < xmin || v > xmax {
+			t.Fatalf("Pareto sample %v outside [%v,%v]", v, xmin, xmax)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	t.Parallel()
+	// With alpha=1.2 a non-trivial share of samples should exceed 5*xmin,
+	// distinguishing it from e.g. an exponential with similar median.
+	r := NewRand(5, 5)
+	big := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if Pareto(r, 1.2, 10, 1e6) > 50 {
+			big++
+		}
+	}
+	frac := float64(big) / n
+	if frac < 0.05 || frac > 0.3 {
+		t.Fatalf("tail fraction = %v, want within (0.05, 0.3)", frac)
+	}
+}
+
+func TestTruncNormal(t *testing.T) {
+	t.Parallel()
+	r := NewRand(3, 1)
+	for i := 0; i < 20_000; i++ {
+		v := TruncNormal(r, 0, 10, -5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("TruncNormal out of range: %v", v)
+		}
+	}
+}
+
+func TestTrapezoidArea(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+		want float64
+	}{
+		{"unit square", []float64{0, 1}, []float64{1, 1}, 1},
+		{"triangle", []float64{0, 1}, []float64{0, 1}, 0.5},
+		{"diagonal roc", []float64{0, 0.5, 1}, []float64{0, 0.5, 1}, 0.5},
+		{"unsorted input", []float64{1, 0, 0.5}, []float64{1, 0, 0.5}, 0.5},
+		{"degenerate", []float64{0}, []float64{1}, 0},
+		{"mismatched", []float64{0, 1}, []float64{1}, 0},
+		{"step", []float64{0, 0, 1}, []float64{0, 1, 1}, 1},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			got := TrapezoidArea(tt.xs, tt.ys)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("area = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrapezoidAreaMonotone(t *testing.T) {
+	t.Parallel()
+	// Property: for y in [0,1] over x in [0,1], area is within [0,1].
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			a := math.Abs(v)
+			xs[i] = a - math.Floor(a) // frac in [0,1)
+			ys[i] = math.Abs(math.Sin(v))
+		}
+		area := TrapezoidArea(xs, ys)
+		return area >= 0 && area <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.P50-3) > 1e-12 {
+		t.Errorf("p50 = %v, want 3", s.P50)
+	}
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	t.Parallel()
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.P50 != 7 || s.P99 != 7 || s.Stddev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{0, 10})
+	if math.Abs(s.P50-5) > 1e-12 {
+		t.Fatalf("p50 of {0,10} = %v, want 5", s.P50)
+	}
+	if math.Abs(s.P90-9) > 1e-12 {
+		t.Fatalf("p90 of {0,10} = %v, want 9", s.P90)
+	}
+}

@@ -1,0 +1,86 @@
+package traffic
+
+import (
+	"testing"
+
+	"dot11fp/internal/stats"
+)
+
+func TestBurstTrainStructure(t *testing.T) {
+	t.Parallel()
+	bt := NewBurstTrain("bulk", 1_000, 100_000, 4, 1460, 0, nil)
+	var times []int64
+	now := int64(-1)
+	for i := 0; i < 8; i++ {
+		at, sdu, ok := bt.Next(now)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if sdu.Bytes != 1460 {
+			t.Fatalf("bytes = %d", sdu.Bytes)
+		}
+		if sdu.Broadcast {
+			t.Fatal("bulk SDU marked broadcast")
+		}
+		times = append(times, at)
+		now = at
+	}
+	// First burst: 1000, 1700, 2400, 3100 (gap 700).
+	want := []int64{1_000, 1_700, 2_400, 3_100}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("burst frame %d at %d, want %d", i, times[i], w)
+		}
+	}
+	// Second burst starts one period after the first.
+	if times[4] != 101_000 {
+		t.Fatalf("second burst at %d, want 101000", times[4])
+	}
+}
+
+func TestBurstTrainCatchesUp(t *testing.T) {
+	t.Parallel()
+	bt := NewBurstTrain("bulk", 0, 50_000, 3, 1000, 0, nil)
+	at, _, _ := bt.Next(-1)
+	if at != 0 {
+		t.Fatalf("first at %d", at)
+	}
+	// MAC blocked 10 ms: next burst frame must arrive right after.
+	at2, _, _ := bt.Next(10_000)
+	if at2 != 10_001 {
+		t.Fatalf("catch-up arrival at %d, want 10001", at2)
+	}
+}
+
+func TestBurstTrainJitterBounded(t *testing.T) {
+	t.Parallel()
+	bt := NewBurstTrain("bulk", 0, 100_000, 2, 500, 20_000, stats.NewRand(3, 9))
+	var bursts []int64
+	now := int64(-1)
+	for i := 0; i < 40; i++ {
+		at, _, ok := bt.Next(now)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if i%2 == 0 {
+			bursts = append(bursts, at)
+		}
+		now = at
+	}
+	for i := 1; i < len(bursts); i++ {
+		gap := bursts[i] - bursts[i-1]
+		if gap < 50_000 || gap > 150_000 {
+			t.Fatalf("burst gap %d outside jitter bounds", gap)
+		}
+	}
+}
+
+func TestBurstTrainDegenerate(t *testing.T) {
+	t.Parallel()
+	if _, _, ok := (&BurstTrain{Burst: 0, PeriodUs: 100}).Next(0); ok {
+		t.Fatal("zero burst should be exhausted")
+	}
+	if _, _, ok := (&BurstTrain{Burst: 3, PeriodUs: 0}).Next(0); ok {
+		t.Fatal("zero period should be exhausted")
+	}
+}

@@ -1,0 +1,420 @@
+// Package traffic generates the application- and service-level workload
+// that rides on the simulated 802.11 MAC. The paper's §VI-C shows that
+// running services and applications reshape a device's inter-arrival and
+// frame-size histograms — two identical netbooks are tellable apart
+// purely by their service mix (Fig. 7). This package provides:
+//
+//   - application sources: saturated UDP (the paper's iperf experiments),
+//     heavy-tailed web browsing, constant-bit-rate VoIP, interactive SSH,
+//     bulk upload;
+//   - network-service sources: periodic broadcast/multicast announcers
+//     (SSDP, mDNS, LLMNR, IGMPv3, ARP, NBNS) with characteristic frame
+//     sizes and burst structures.
+//
+// A Source is a deterministic pull-based arrival process: given the time
+// of the previous arrival it returns the next scheduled SDU.
+package traffic
+
+import (
+	"math/rand/v2"
+
+	"dot11fp/internal/stats"
+)
+
+// SDU is one MAC service data unit handed to the MAC layer.
+type SDU struct {
+	// Bytes is the MSDU size (LLC + payload) before MAC framing.
+	Bytes int
+	// Broadcast marks group-addressed frames (sent unacknowledged at a
+	// basic rate).
+	Broadcast bool
+	// Label names the generating application or service (for debugging
+	// and trace statistics; never visible to the fingerprint pipeline).
+	Label string
+}
+
+// Source is a deterministic arrival process. Next returns the absolute
+// time (µs) of the next SDU strictly after now, or ok=false when the
+// source is exhausted.
+type Source interface {
+	Next(now int64) (at int64, sdu SDU, ok bool)
+}
+
+// --- Saturated / constant-bit-rate sources ---------------------------------
+
+// CBR emits fixed-size SDUs with a fixed period and optional jitter:
+// VoIP frames, iperf UDP streams, telemetry.
+type CBR struct {
+	Label    string
+	PeriodUs int64
+	JitterUs float64 // gaussian σ applied per interval
+	Bytes    int
+	StartUs  int64
+	EndUs    int64 // 0 = unbounded
+	rng      *rand.Rand
+	next     int64
+	started  bool
+}
+
+// NewCBR builds a CBR source. r may be nil when JitterUs is zero.
+func NewCBR(label string, startUs, periodUs int64, bytes int, jitterUs float64, r *rand.Rand) *CBR {
+	return &CBR{Label: label, PeriodUs: periodUs, JitterUs: jitterUs, Bytes: bytes, StartUs: startUs, rng: r}
+}
+
+// Next implements Source.
+func (c *CBR) Next(now int64) (int64, SDU, bool) {
+	if !c.started {
+		c.next = c.StartUs
+		c.started = true
+	}
+	for c.next <= now {
+		c.next += c.step()
+	}
+	if c.EndUs > 0 && c.next >= c.EndUs {
+		return 0, SDU{}, false
+	}
+	at := c.next
+	c.next += c.step()
+	return at, SDU{Bytes: c.Bytes, Label: c.Label}, true
+}
+
+func (c *CBR) step() int64 {
+	d := c.PeriodUs
+	if c.JitterUs > 0 && c.rng != nil {
+		d += int64(stats.TruncNormal(c.rng, 0, c.JitterUs, -float64(c.PeriodUs)/2, float64(c.PeriodUs)/2))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Saturator emits SDUs as fast as the MAC drains them (queue-limited):
+// the iperf experiment of Figures 4 and 6. The MAC asks for the next
+// arrival after each completed transmission, and the saturator always
+// answers "immediately".
+type Saturator struct {
+	Label   string
+	Bytes   int
+	StartUs int64
+	EndUs   int64 // 0 = unbounded
+}
+
+// Next implements Source.
+func (s *Saturator) Next(now int64) (int64, SDU, bool) {
+	at := now + 1
+	if at < s.StartUs {
+		at = s.StartUs
+	}
+	if s.EndUs > 0 && at >= s.EndUs {
+		return 0, SDU{}, false
+	}
+	return at, SDU{Bytes: s.Bytes, Label: s.Label}, true
+}
+
+// --- Web browsing -----------------------------------------------------------
+
+// Web models heavy-tailed browsing: ON periods with exponentially spaced
+// uplink frames (TCP ACKs and HTTP requests), OFF periods drawn from a
+// bounded Pareto (reading time). Sizes are a bimodal ACK/request mix.
+type Web struct {
+	Label string
+	// MeanGapUs is the mean uplink inter-frame gap during ON periods.
+	MeanGapUs float64
+	// OnMeanUs is the mean ON-period length.
+	OnMeanUs float64
+	// OffMinUs/OffMaxUs bound the Pareto OFF period; OffAlpha shapes it.
+	OffMinUs, OffMaxUs float64
+	OffAlpha           float64
+	// AckBytes/ReqBytes are the two size modes; ReqProb selects requests.
+	AckBytes, ReqBytes int
+	ReqProb            float64
+
+	rng   *rand.Rand
+	onEnd int64
+	t     int64
+	speed float64 // per-page pacing factor (ack clocking)
+}
+
+// NewWeb builds a browsing source with defaults modelling a page-load
+// cycle: each ON period is one page fetch whose uplink is a dense
+// TCP-ACK train (one ACK per downlink segment pair at megabit link
+// speeds, i.e. sub-millisecond to low-millisecond gaps), plus occasional
+// HTTP requests; OFF periods are heavy-tailed reading time. The dense
+// ACK train keeps the MAC queue fed, so consecutive frames expose the
+// card's SIFS/DIFS/backoff signature to the medium-access and
+// inter-arrival fingerprints — the self-adjacency that makes busy
+// devices fingerprintable in the paper's traces.
+func NewWeb(label string, startUs int64, r *rand.Rand) *Web {
+	return &Web{
+		Label:     label,
+		MeanGapUs: 1_000,
+		OnMeanUs:  80_000,
+		OffMinUs:  5_000_000, OffMaxUs: 180_000_000, OffAlpha: 1.15,
+		AckBytes: 40, ReqBytes: 480, ReqProb: 0.12,
+		rng: r,
+		t:   startUs,
+	}
+}
+
+// Next implements Source.
+func (w *Web) Next(now int64) (int64, SDU, bool) {
+	if w.t <= now {
+		w.t = now + 1
+	}
+	for {
+		if w.t >= w.onEnd {
+			// Enter OFF, then a fresh ON period (one page fetch). Each
+			// page is served at its own pace (server/route dependent).
+			off := int64(stats.Pareto(w.rng, w.OffAlpha, w.OffMinUs, w.OffMaxUs))
+			on := int64(stats.Exponential(w.rng, w.OnMeanUs))
+			w.t += off
+			w.onEnd = w.t + on
+			w.speed = 0.75 + w.rng.Float64()*0.55
+			continue
+		}
+		// ACK clocking: during a steady download the uplink ACK train is
+		// nearly periodic at the per-page pace, with modest jitter.
+		mean := w.MeanGapUs * w.speed
+		gap := int64(stats.TruncNormal(w.rng, mean, mean/5, mean/2, mean*2))
+		if gap < 50 {
+			gap = 50 // back-to-back ACKs queue at the MAC
+		}
+		w.t += gap
+		if w.t >= w.onEnd {
+			continue // page fetch complete
+		}
+		size := w.AckBytes
+		if w.rng.Float64() < w.ReqProb {
+			size = w.ReqBytes + w.rng.IntN(600)
+		}
+		return w.t, SDU{Bytes: size, Label: w.Label}, true
+	}
+}
+
+// --- Bulk transfer ------------------------------------------------------------
+
+// BurstTrain emits periodic trains of back-to-back full-size frames:
+// the uplink shape of a TCP bulk transfer (congestion windows drain in
+// bursts). Within a burst the MAC queue stays non-empty, so consecutive
+// frames are separated by pure DIFS+backoff — the card's timing
+// signature.
+type BurstTrain struct {
+	Label    string
+	PeriodUs int64 // gap between burst starts
+	JitterUs float64
+	Burst    int   // frames per burst
+	GapUs    int64 // arrival spacing within a burst (keeps the queue fed)
+	Bytes    int
+	StartUs  int64
+
+	rng     *rand.Rand
+	nextAt  int64
+	inBurst int
+	started bool
+}
+
+// NewBurstTrain builds a bulk-transfer source.
+func NewBurstTrain(label string, startUs, periodUs int64, burst, bytes int, jitterUs float64, r *rand.Rand) *BurstTrain {
+	return &BurstTrain{
+		Label: label, PeriodUs: periodUs, JitterUs: jitterUs,
+		Burst: burst, GapUs: 700, Bytes: bytes, StartUs: startUs, rng: r,
+	}
+}
+
+// Next implements Source.
+func (b *BurstTrain) Next(now int64) (int64, SDU, bool) {
+	if b.Burst <= 0 || b.PeriodUs <= 0 {
+		return 0, SDU{}, false
+	}
+	if !b.started {
+		b.nextAt = b.StartUs
+		b.started = true
+	}
+	if b.inBurst >= b.Burst {
+		b.inBurst = 0
+		d := b.PeriodUs
+		if b.JitterUs > 0 && b.rng != nil {
+			d += int64(stats.TruncNormal(b.rng, 0, b.JitterUs, -float64(b.PeriodUs)/2, float64(b.PeriodUs)/2))
+		}
+		b.nextAt += d
+	}
+	at := b.nextAt + int64(b.inBurst)*b.GapUs
+	b.inBurst++
+	if at <= now {
+		at = now + 1 // MAC fell behind; keep the queue fed
+	}
+	return at, SDU{Bytes: b.Bytes, Label: b.Label}, true
+}
+
+// --- Interactive (SSH-like) -------------------------------------------------
+
+// Interactive models keystroke-driven traffic: exponentially spaced
+// small frames with occasional larger paste/scroll bursts.
+type Interactive struct {
+	Label     string
+	MeanGapUs float64
+	Bytes     int
+	rng       *rand.Rand
+	t         int64
+}
+
+// NewInteractive builds an SSH-like source.
+func NewInteractive(label string, startUs int64, r *rand.Rand) *Interactive {
+	return &Interactive{Label: label, MeanGapUs: 280_000, Bytes: 68, rng: r, t: startUs}
+}
+
+// Next implements Source.
+func (s *Interactive) Next(now int64) (int64, SDU, bool) {
+	if s.t <= now {
+		s.t = now + 1
+	}
+	s.t += int64(stats.Exponential(s.rng, s.MeanGapUs))
+	size := s.Bytes
+	if s.rng.Float64() < 0.05 {
+		size += s.rng.IntN(900) // paste burst
+	}
+	return s.t, SDU{Bytes: size, Label: s.Label}, true
+}
+
+// --- Periodic broadcast services --------------------------------------------
+
+// Service is a periodic broadcast/multicast announcer: every PeriodUs
+// (±jitter) it emits a burst of len(BurstBytes) group-addressed frames
+// spaced GapUs apart. This is the mechanism behind the paper's Fig. 7
+// peaks: back-to-back broadcast frames at a basic rate produce
+// inter-arrival peaks at airtime-determined positions.
+type Service struct {
+	Name       string
+	PeriodUs   int64
+	JitterUs   float64
+	GapUs      int64 // queueing gap between burst frames
+	BurstBytes []int
+	PhaseUs    int64
+
+	rng     *rand.Rand
+	nextAt  int64
+	burstAt int
+	started bool
+}
+
+// NewService builds a periodic service source.
+func NewService(name string, periodUs int64, jitterUs float64, gapUs int64, burstBytes []int, phaseUs int64, r *rand.Rand) *Service {
+	bb := make([]int, len(burstBytes))
+	copy(bb, burstBytes)
+	return &Service{Name: name, PeriodUs: periodUs, JitterUs: jitterUs, GapUs: gapUs, BurstBytes: bb, PhaseUs: phaseUs, rng: r}
+}
+
+// Next implements Source.
+func (s *Service) Next(now int64) (int64, SDU, bool) {
+	if len(s.BurstBytes) == 0 || s.PeriodUs <= 0 {
+		return 0, SDU{}, false
+	}
+	if !s.started {
+		s.nextAt = s.PhaseUs
+		s.started = true
+	}
+	if s.burstAt >= len(s.BurstBytes) {
+		// Schedule the next burst.
+		s.burstAt = 0
+		d := s.PeriodUs
+		if s.JitterUs > 0 && s.rng != nil {
+			d += int64(stats.TruncNormal(s.rng, 0, s.JitterUs, -float64(s.PeriodUs)/3, float64(s.PeriodUs)/3))
+		}
+		s.nextAt += d
+	}
+	at := s.nextAt + int64(s.burstAt)*s.GapUs
+	sz := s.BurstBytes[s.burstAt]
+	s.burstAt++
+	if at <= now {
+		// The MAC fell behind (long busy period); deliver immediately
+		// after now, preserving burst order.
+		at = now + 1
+	}
+	return at, SDU{Bytes: sz, Broadcast: true, Label: s.Name}, true
+}
+
+// --- Service catalogue -------------------------------------------------------
+
+// ServiceTemplate describes a named service archetype.
+type ServiceTemplate struct {
+	Name       string
+	PeriodUs   int64
+	JitterUs   float64
+	GapUs      int64
+	BurstBytes []int
+}
+
+// ServiceCatalog returns the named service archetypes with sizes and
+// periods typical of 2008-era stacks. Sizes are MSDU bytes.
+func ServiceCatalog() []ServiceTemplate {
+	return []ServiceTemplate{
+		{Name: "arp-probe", PeriodUs: 45_000_000, JitterUs: 8_000_000, GapUs: 900, BurstBytes: []int{36}},
+		{Name: "igmpv3", PeriodUs: 125_000_000, JitterUs: 12_000_000, GapUs: 1_000, BurstBytes: []int{62, 62}},
+		{Name: "llmnr", PeriodUs: 30_000_000, JitterUs: 6_000_000, GapUs: 700, BurstBytes: []int{84, 84}},
+		{Name: "mdns", PeriodUs: 60_000_000, JitterUs: 10_000_000, GapUs: 1_200, BurstBytes: []int{193, 309}},
+		{Name: "ssdp", PeriodUs: 90_000_000, JitterUs: 15_000_000, GapUs: 1_500, BurstBytes: []int{311, 325, 341}},
+		{Name: "nbns", PeriodUs: 40_000_000, JitterUs: 7_000_000, GapUs: 800, BurstBytes: []int{92, 92, 92}},
+		{Name: "dhcp-renew", PeriodUs: 300_000_000, JitterUs: 30_000_000, GapUs: 2_000, BurstBytes: []int{342}},
+	}
+}
+
+// ServiceByName instantiates a catalogue service with a phase and rng.
+func ServiceByName(name string, phaseUs int64, r *rand.Rand) (*Service, bool) {
+	for _, t := range ServiceCatalog() {
+		if t.Name == name {
+			return NewService(t.Name, t.PeriodUs, t.JitterUs, t.GapUs, t.BurstBytes, phaseUs, r), true
+		}
+	}
+	return nil, false
+}
+
+// --- Merging -----------------------------------------------------------------
+
+// Merged multiplexes several sources into one time-ordered stream.
+// It is itself a Source.
+type Merged struct {
+	srcs []Source
+	// peeked holds the next pending arrival of each live source.
+	peeked []pending
+	primed bool
+}
+
+type pending struct {
+	at  int64
+	sdu SDU
+	ok  bool
+}
+
+// NewMerged builds a merged source over the given sources.
+func NewMerged(srcs ...Source) *Merged {
+	return &Merged{srcs: srcs, peeked: make([]pending, len(srcs))}
+}
+
+// Next implements Source: it returns the earliest pending arrival among
+// all sub-sources.
+func (m *Merged) Next(now int64) (int64, SDU, bool) {
+	if !m.primed {
+		for i, s := range m.srcs {
+			at, sdu, ok := s.Next(now)
+			m.peeked[i] = pending{at, sdu, ok}
+		}
+		m.primed = true
+	}
+	best := -1
+	for i := range m.peeked {
+		if !m.peeked[i].ok {
+			continue
+		}
+		if best < 0 || m.peeked[i].at < m.peeked[best].at {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, SDU{}, false
+	}
+	out := m.peeked[best]
+	at, sdu, ok := m.srcs[best].Next(out.at)
+	m.peeked[best] = pending{at, sdu, ok}
+	return out.at, out.sdu, true
+}

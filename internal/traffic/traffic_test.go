@@ -1,0 +1,290 @@
+package traffic
+
+import (
+	"testing"
+
+	"dot11fp/internal/stats"
+)
+
+// drain pulls up to n arrivals from a source starting at t0.
+func drain(s Source, t0 int64, n int) []int64 {
+	var out []int64
+	now := t0
+	for i := 0; i < n; i++ {
+		at, _, ok := s.Next(now)
+		if !ok {
+			break
+		}
+		out = append(out, at)
+		now = at
+	}
+	return out
+}
+
+func TestCBRPeriodic(t *testing.T) {
+	t.Parallel()
+	c := NewCBR("voip", 1000, 20_000, 172, 0, nil)
+	times := drain(c, 0, 5)
+	want := []int64{1000, 21_000, 41_000, 61_000, 81_000}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("arrival %d = %d, want %d", i, times[i], want[i])
+		}
+	}
+}
+
+func TestCBRSkipsToFuture(t *testing.T) {
+	t.Parallel()
+	c := NewCBR("voip", 0, 10_000, 172, 0, nil)
+	at, _, ok := c.Next(55_000)
+	if !ok || at != 60_000 {
+		t.Fatalf("Next(55ms) = %d, want 60000", at)
+	}
+}
+
+func TestCBREnd(t *testing.T) {
+	t.Parallel()
+	c := NewCBR("burst", 0, 1_000, 100, 0, nil)
+	c.EndUs = 5_000
+	times := drain(c, 0, 100)
+	if len(times) == 0 || len(times) > 5 {
+		t.Fatalf("bounded CBR yielded %d arrivals", len(times))
+	}
+	for _, at := range times {
+		if at >= 5_000 {
+			t.Fatalf("arrival %d at/after EndUs", at)
+		}
+	}
+}
+
+func TestCBRJitterBounded(t *testing.T) {
+	t.Parallel()
+	r := stats.NewRand(1, 1)
+	c := NewCBR("jittery", 0, 20_000, 100, 2_000, r)
+	times := drain(c, 0, 500)
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < 10_000 || gap > 30_000 {
+			t.Fatalf("jittered gap %d outside [period/2, 3*period/2]", gap)
+		}
+	}
+}
+
+func TestSaturatorImmediate(t *testing.T) {
+	t.Parallel()
+	s := &Saturator{Label: "iperf", Bytes: 1470, StartUs: 1_000}
+	at, sdu, ok := s.Next(0)
+	if !ok || at != 1_000 || sdu.Bytes != 1470 {
+		t.Fatalf("first arrival = (%d,%d,%v)", at, sdu.Bytes, ok)
+	}
+	at2, _, _ := s.Next(5_000)
+	if at2 != 5_001 {
+		t.Fatalf("saturator should arrive immediately after now, got %d", at2)
+	}
+	s.EndUs = 6_000
+	if _, _, ok := s.Next(7_000); ok {
+		t.Fatal("saturator should stop at EndUs")
+	}
+}
+
+func TestWebOnOffStructure(t *testing.T) {
+	t.Parallel()
+	w := NewWeb("web", 0, stats.NewRand(7, 1))
+	times := drain(w, 0, 3_000)
+	if len(times) != 3_000 {
+		t.Fatalf("web source exhausted early: %d", len(times))
+	}
+	// Arrivals strictly increase.
+	var gaps []float64
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("non-monotone arrivals at %d", i)
+		}
+		gaps = append(gaps, float64(times[i]-times[i-1]))
+	}
+	s := stats.Summarize(gaps)
+	// Heavy tail: OFF (reading) periods dwarf the in-burst ACK gaps.
+	if s.Max < 100*s.P50 {
+		t.Errorf("web gaps not heavy-tailed: p50=%v max=%v", s.P50, s.Max)
+	}
+	if s.Max < 4_000_000 {
+		t.Errorf("no OFF period sampled: max gap %v < OffMinUs", s.Max)
+	}
+}
+
+func TestWebSizesBimodal(t *testing.T) {
+	t.Parallel()
+	w := NewWeb("web", 0, stats.NewRand(8, 1))
+	small, large := 0, 0
+	now := int64(0)
+	for i := 0; i < 2_000; i++ {
+		at, sdu, ok := w.Next(now)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		now = at
+		if sdu.Bytes == 40 {
+			small++
+		} else if sdu.Bytes >= 480 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("sizes not bimodal: small=%d large=%d", small, large)
+	}
+	if small < large {
+		t.Errorf("ACKs (%d) should outnumber requests (%d)", small, large)
+	}
+}
+
+func TestInteractive(t *testing.T) {
+	t.Parallel()
+	s := NewInteractive("ssh", 0, stats.NewRand(9, 1))
+	times := drain(s, 0, 1_000)
+	var gaps []float64
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, float64(times[i]-times[i-1]))
+	}
+	sum := stats.Summarize(gaps)
+	if sum.Mean < 100_000 || sum.Mean > 600_000 {
+		t.Errorf("ssh mean gap = %v, want ~280ms", sum.Mean)
+	}
+}
+
+func TestServiceBurstStructure(t *testing.T) {
+	t.Parallel()
+	svc := NewService("ssdp", 1_000_000, 0, 1_500, []int{311, 325, 341}, 0, nil)
+	type arr struct {
+		at int64
+		sz int
+	}
+	var got []arr
+	now := int64(-1)
+	for i := 0; i < 9; i++ {
+		at, sdu, ok := svc.Next(now)
+		if !ok {
+			t.Fatal("service exhausted")
+		}
+		if !sdu.Broadcast {
+			t.Fatal("service SDU not broadcast")
+		}
+		got = append(got, arr{at, sdu.Bytes})
+		now = at
+	}
+	// First burst at phase 0: frames at 0, 1500, 3000 with sizes 311/325/341.
+	if got[0].at != 0 || got[1].at != 1_500 || got[2].at != 3_000 {
+		t.Fatalf("burst 1 times = %d,%d,%d", got[0].at, got[1].at, got[2].at)
+	}
+	if got[0].sz != 311 || got[1].sz != 325 || got[2].sz != 341 {
+		t.Fatalf("burst sizes = %d,%d,%d", got[0].sz, got[1].sz, got[2].sz)
+	}
+	// Second burst starts one period later.
+	if got[3].at != 1_000_000 {
+		t.Fatalf("burst 2 start = %d, want 1000000", got[3].at)
+	}
+}
+
+func TestServicePhase(t *testing.T) {
+	t.Parallel()
+	svc := NewService("arp", 1_000_000, 0, 0, []int{36}, 123_456, nil)
+	at, _, ok := svc.Next(-1)
+	if !ok || at != 123_456 {
+		t.Fatalf("phased first arrival = %d, want 123456", at)
+	}
+}
+
+func TestServiceCatalogAndLookup(t *testing.T) {
+	t.Parallel()
+	cat := ServiceCatalog()
+	if len(cat) < 6 {
+		t.Fatalf("service catalogue too small: %d", len(cat))
+	}
+	names := make(map[string]bool)
+	for _, s := range cat {
+		if s.PeriodUs <= 0 || len(s.BurstBytes) == 0 {
+			t.Errorf("service %q malformed", s.Name)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate service %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if _, ok := ServiceByName("llmnr", 0, stats.NewRand(1, 1)); !ok {
+		t.Error("ServiceByName(llmnr) failed")
+	}
+	if _, ok := ServiceByName("absent", 0, nil); ok {
+		t.Error("ServiceByName(absent) should fail")
+	}
+}
+
+func TestMergedOrdering(t *testing.T) {
+	t.Parallel()
+	a := NewCBR("a", 0, 30_000, 100, 0, nil)
+	b := NewCBR("b", 10_000, 30_000, 200, 0, nil)
+	m := NewMerged(a, b)
+	var labels []string
+	var times []int64
+	now := int64(-1)
+	for i := 0; i < 6; i++ {
+		at, sdu, ok := m.Next(now)
+		if !ok {
+			t.Fatal("merged exhausted")
+		}
+		labels = append(labels, sdu.Label)
+		times = append(times, at)
+		now = at
+	}
+	wantLabels := []string{"a", "b", "a", "b", "a", "b"}
+	wantTimes := []int64{0, 10_000, 30_000, 40_000, 60_000, 70_000}
+	for i := range wantLabels {
+		if labels[i] != wantLabels[i] || times[i] != wantTimes[i] {
+			t.Fatalf("merged[%d] = (%s,%d), want (%s,%d)", i, labels[i], times[i], wantLabels[i], wantTimes[i])
+		}
+	}
+}
+
+func TestMergedExhaustion(t *testing.T) {
+	t.Parallel()
+	a := NewCBR("a", 0, 1_000, 10, 0, nil)
+	a.EndUs = 3_500
+	b := NewCBR("b", 500, 1_000, 20, 0, nil)
+	b.EndUs = 1_600
+	m := NewMerged(a, b)
+	count := 0
+	now := int64(-1)
+	for {
+		at, _, ok := m.Next(now)
+		if !ok {
+			break
+		}
+		now = at
+		count++
+		if count > 20 {
+			t.Fatal("merged did not exhaust")
+		}
+	}
+	// a yields 0,1000,2000,3000 (4); b yields 500,1500 (2).
+	if count != 6 {
+		t.Fatalf("merged yielded %d arrivals, want 6", count)
+	}
+	m2 := NewMerged()
+	if _, _, ok := m2.Next(0); ok {
+		t.Fatal("empty merged should be exhausted")
+	}
+}
+
+func TestServiceCatchesUpAfterBusyPeriod(t *testing.T) {
+	t.Parallel()
+	svc := NewService("igmp", 100_000, 0, 1_000, []int{62, 62}, 0, nil)
+	// First frame at 0.
+	at, _, _ := svc.Next(-1)
+	if at != 0 {
+		t.Fatalf("first = %d", at)
+	}
+	// Pretend the MAC was blocked for 5ms; the second burst frame must be
+	// delivered right after, not in the past.
+	at2, _, _ := svc.Next(5_000)
+	if at2 <= 5_000 {
+		t.Fatalf("arrival in the past: %d", at2)
+	}
+}

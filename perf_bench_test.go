@@ -1,0 +1,102 @@
+// Micro-benchmarks for the pipeline's hot paths: signature extraction,
+// database matching, histogram similarity, simulation and pcap I/O.
+package dot11fp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dot11fp"
+	"dot11fp/internal/histogram"
+)
+
+// microTrace is a small office capture shared by the micro-benchmarks.
+var microTrace = func() *dot11fp.Trace {
+	tr, err := dot11fp.GenerateOffice("micro", 5, 4*time.Minute, 10)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}()
+
+func BenchmarkExtractInterArrival(b *testing.B) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigs := dot11fp.Extract(microTrace, cfg)
+		if len(sigs) == 0 {
+			b.Fatal("no signatures")
+		}
+	}
+	b.ReportMetric(float64(len(microTrace.Records)), "records/op")
+}
+
+func BenchmarkDatabaseMatch(b *testing.B) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+	if err := db.Train(microTrace); err != nil {
+		b.Fatal(err)
+	}
+	cands := dot11fp.CandidatesIn(microTrace, time.Minute, cfg)
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		if got := db.Match(c.Sig); len(got) != db.Len() {
+			b.Fatal("bad match vector")
+		}
+	}
+}
+
+func BenchmarkCosine512(b *testing.B) {
+	h1 := histogram.New(512, 10)
+	h2 := histogram.New(512, 10)
+	for i := 0; i < 5_000; i++ {
+		h1.Add(float64(i % 5120))
+		h2.Add(float64((i * 7) % 5120))
+	}
+	f1, f2 := h1.Freqs(), h2.Freqs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := histogram.Cosine(f1, f2); s < 0 {
+			b.Fatal("negative similarity")
+		}
+	}
+}
+
+func BenchmarkSimulatorMinute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := dot11fp.GenerateOffice("bench-sim", uint64(i+1), time.Minute, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(tr.Records)), "records/op")
+	}
+}
+
+func BenchmarkPcapRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := dot11fp.WritePcap(&buf, microTrace); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := dot11fp.ReadPcap(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Records) != len(microTrace.Records) {
+			b.Fatalf("round trip lost records: %d vs %d", len(tr.Records), len(microTrace.Records))
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
