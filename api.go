@@ -33,6 +33,12 @@ type (
 	Database = core.Database
 	// Score is one reference device's similarity to a candidate.
 	Score = core.Score
+	// CompiledDB is an immutable matching-optimised database snapshot
+	// with zero-allocation and batched entry points.
+	CompiledDB = core.CompiledDB
+	// MatchScratch holds the reusable buffers of the zero-allocation
+	// match path; the zero value is ready to use.
+	MatchScratch = core.MatchScratch
 	// Candidate is a device observed within one detection window.
 	Candidate = core.Candidate
 	// Record is one captured frame.
@@ -52,6 +58,9 @@ const (
 
 // Params lists all five network parameters in the paper's order.
 var Params = core.Params
+
+// Measures lists all similarity measures.
+var Measures = core.Measures
 
 // Similarity measures.
 const (
@@ -73,6 +82,9 @@ func DefaultBins(p Param) BinSpec { return core.DefaultBins(p) }
 
 // ParamByShortName resolves "rate", "size", "mtime", "txtime" or "iat".
 func ParamByShortName(s string) (Param, error) { return core.ParamByShortName(s) }
+
+// MeasureByName resolves "cosine", "intersection", "bhattacharyya" or "l1".
+func MeasureByName(s string) (Measure, error) { return core.MeasureByName(s) }
 
 // NewDatabase creates an empty reference database.
 func NewDatabase(cfg Config, m Measure) *Database { return core.NewDatabase(cfg, m) }

@@ -27,4 +27,32 @@
 // Real captures enter the pipeline through ReadPcap (radiotap link
 // type); the bundled simulator substitutes for the paper's testbed and
 // CRAWDAD traces, as detailed in DESIGN.md.
+//
+// # Performance
+//
+// Matching is the N×W×D hot loop of the methodology: every candidate
+// device in every detection window is compared against every reference.
+// Database.Match (and Best/Above) delegates to a compiled snapshot —
+// Database.Compile returns a CompiledDB that freezes the references
+// into contiguous per-class frequency matrices with precomputed weights
+// and norms, built lazily and invalidated by Add/Train. The snapshot's
+// results are bit-identical to evaluating SimilarityOf per pair.
+//
+// For steady-state matching without any allocation, hold a CompiledDB
+// and a per-goroutine MatchScratch:
+//
+//	cdb := db.Compile()
+//	var scratch dot11fp.MatchScratch
+//	for _, cand := range cands {
+//	    scores := cdb.MatchInto(cand.Sig, &scratch) // valid until next call
+//	    ...
+//	}
+//
+// CompiledDB is safe for concurrent use (one scratch per goroutine);
+// CompiledDB.MatchAll batches a whole candidate set across GOMAXPROCS
+// workers with deterministic, index-ordered results. CandidatesIn
+// streams a validation trace in a single pass, and Evaluate fans
+// candidate matching out across EvalSpec.Workers (default GOMAXPROCS)
+// with results bit-identical to the serial path. EXPERIMENTS.md records
+// the measured numbers.
 package dot11fp

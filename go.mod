@@ -1,0 +1,3 @@
+module dot11fp
+
+go 1.24

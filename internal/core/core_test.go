@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -372,6 +373,31 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	 "devices":{"02:00:00:00:00:01":{"data":{"bin_width":99,"counts":[1]}}}}`
 	if _, err := Load(bytes.NewReader([]byte(bad))); err == nil {
 		t.Fatal("shape-mismatched histogram accepted")
+	}
+	// Unknown or missing measure names must error instead of silently
+	// matching with cosine.
+	for _, m := range []string{"euclidean", ""} {
+		doc := `{"param":"iat","measure":"` + m + `","bins":{"Width":10,"Bins":250},"devices":{}}`
+		_, err := Load(bytes.NewReader([]byte(doc)))
+		if err == nil {
+			t.Fatalf("measure %q accepted", m)
+		}
+		if !strings.Contains(err.Error(), "similarity measure") {
+			t.Fatalf("measure %q: undescriptive error %v", m, err)
+		}
+	}
+}
+
+func TestMeasureByName(t *testing.T) {
+	t.Parallel()
+	for _, m := range Measures {
+		got, err := MeasureByName(m.String())
+		if err != nil || got != m {
+			t.Fatalf("MeasureByName(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := MeasureByName("nope"); err == nil {
+		t.Fatal("unknown measure name resolved")
 	}
 }
 

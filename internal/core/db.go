@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"dot11fp/internal/capture"
 	"dot11fp/internal/dot11"
@@ -13,11 +14,18 @@ import (
 
 // Database is the reference database of the detection methodology
 // (§IV-B): the signatures Sig(r_i) learned from the training trace.
+//
+// Matching goes through a compiled snapshot (see Compile and
+// CompiledDB) that is built lazily and invalidated by Add/Train, so
+// steady-state matching never re-derives reference frequency vectors.
 type Database struct {
 	cfg     Config
 	measure Measure
 	refs    map[dot11.Addr]*Signature
 	order   []dot11.Addr // insertion order for deterministic iteration
+
+	mu       sync.Mutex  // guards compiled
+	compiled *CompiledDB // lazily built matching snapshot; nil after mutation
 }
 
 // NewDatabase creates an empty reference database. The zero Measure
@@ -49,7 +57,12 @@ func (db *Database) Devices() []dot11.Addr {
 	return out
 }
 
-// Signature returns a device's reference signature, or nil.
+// Signature returns a device's reference signature, or nil. The caller
+// may extend the returned signature through its Add/Merge methods;
+// Compile detects such mutations via the signature's observation total
+// and rebuilds the matching snapshot on next use. (Mutating histograms
+// obtained from Signature.Hist directly bypasses the weight bookkeeping
+// and is not supported.)
 func (db *Database) Signature(addr dot11.Addr) *Signature { return db.refs[addr] }
 
 // Add inserts or merges a reference signature.
@@ -60,6 +73,12 @@ func (db *Database) Add(addr dot11.Addr, sig *Signature) error {
 	if sig.Param() != db.cfg.Param {
 		return fmt.Errorf("core: signature parameter %v does not match database %v", sig.Param(), db.cfg.Param)
 	}
+	if sig.bins != db.cfg.Bins {
+		return fmt.Errorf("core: signature bin shape %v does not match database %v", sig.bins, db.cfg.Bins)
+	}
+	db.mu.Lock()
+	db.compiled = nil // reference set changes; drop the frozen snapshot
+	db.mu.Unlock()
 	if existing, ok := db.refs[addr]; ok {
 		return existing.Merge(sig)
 	}
@@ -71,10 +90,13 @@ func (db *Database) Add(addr dot11.Addr, sig *Signature) error {
 // Train populates the database from a training trace, keeping only
 // senders that clear the minimum-observation rule. Existing entries for
 // the same address are merged, so several training windows can be folded
-// into one database.
+// into one database. New references are inserted in ascending address
+// order so the similarity-vector order is reproducible run to run (and
+// matches a Save/Load round trip).
 func (db *Database) Train(tr *capture.Trace) error {
-	for addr, sig := range Extract(tr, db.cfg) {
-		if err := db.Add(addr, sig); err != nil {
+	sigs := Extract(tr, db.cfg)
+	for _, addr := range sortedAddrs(sigs) {
+		if err := db.Add(addr, sigs[addr]); err != nil {
 			return err
 		}
 	}
@@ -89,37 +111,22 @@ type Score struct {
 
 // Match computes the similarity vector <sim_1 … sim_N> of a candidate
 // signature against every reference (Algorithm 1), in insertion order.
+// It delegates to the compiled snapshot, whose results are bit-identical
+// to evaluating Similarity per pair.
 func (db *Database) Match(candidate *Signature) []Score {
-	out := make([]Score, 0, len(db.order))
-	for _, addr := range db.order {
-		out = append(out, Score{Addr: addr, Sim: Similarity(candidate, db.refs[addr], db.measure)})
-	}
-	return out
+	return db.Compile().Match(candidate)
 }
 
 // Best returns the arg-max reference for the identification test, with
 // ok=false for an empty database.
 func (db *Database) Best(candidate *Signature) (Score, bool) {
-	best := Score{Sim: -1}
-	for _, addr := range db.order {
-		s := Similarity(candidate, db.refs[addr], db.measure)
-		if s > best.Sim {
-			best = Score{Addr: addr, Sim: s}
-		}
-	}
-	return best, best.Sim >= 0
+	return db.Compile().Best(candidate)
 }
 
 // Above returns the references whose similarity is at least the
 // threshold — the similarity test's returned set.
 func (db *Database) Above(candidate *Signature, threshold float64) []Score {
-	var out []Score
-	for _, addr := range db.order {
-		if s := Similarity(candidate, db.refs[addr], db.measure); s >= threshold {
-			out = append(out, Score{Addr: addr, Sim: s})
-		}
-	}
-	return out
+	return db.Compile().Above(candidate, threshold)
 }
 
 // --- persistence ---------------------------------------------------------------
@@ -164,11 +171,9 @@ func Load(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	measure := MeasureCosine
-	for _, m := range []Measure{MeasureCosine, MeasureIntersection, MeasureBhattacharyya, MeasureL1} {
-		if m.String() == in.Measure {
-			measure = m
-		}
+	measure, err := MeasureByName(in.Measure)
+	if err != nil {
+		return nil, err // already carries the package prefix and the valid names
 	}
 	cfg := Config{Param: param, Bins: in.Bins, MinObservations: in.MinObs}
 	db := NewDatabase(cfg, measure)

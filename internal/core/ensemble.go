@@ -70,7 +70,7 @@ func (e *Ensemble) Len() int {
 
 func (e *Ensemble) knownToAll(addr dot11.Addr) bool {
 	for _, db := range e.dbs {
-		if db.Signature(addr) == nil {
+		if db.refs[addr] == nil {
 			return false
 		}
 	}
@@ -137,19 +137,28 @@ func windowsUs(tr *capture.Trace, w int64) []*capture.Trace {
 }
 
 // Match returns the combined similarity vector: for each reference
-// known to all members, the mean per-parameter similarity.
+// known to all members, the mean per-parameter similarity. Each member
+// matches through its compiled snapshot, so the per-pair cost is the
+// same zero-rederivation kernel as Database.Match; the values are
+// bit-identical to averaging per-pair Similarity calls.
 func (e *Ensemble) Match(c MultiCandidate) []Score {
 	if len(c.Sigs) != len(e.dbs) {
 		return nil
 	}
+	vectors := make([][]Score, len(e.dbs))
+	cdbs := make([]*CompiledDB, len(e.dbs))
+	for i, db := range e.dbs {
+		cdbs[i] = db.Compile()
+		vectors[i] = cdbs[i].Match(c.Sigs[i])
+	}
 	var out []Score
-	for _, addr := range e.dbs[0].Devices() {
+	for _, addr := range cdbs[0].addrs {
 		if !e.knownToAll(addr) {
 			continue
 		}
 		sum := 0.0
-		for i, db := range e.dbs {
-			sum += Similarity(c.Sigs[i], db.Signature(addr), db.Measure())
+		for i := range e.dbs {
+			sum += vectors[i][cdbs[i].index[addr]].Sim
 		}
 		out = append(out, Score{Addr: addr, Sim: sum / float64(len(e.dbs))})
 	}

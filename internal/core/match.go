@@ -39,6 +39,20 @@ func (m Measure) String() string {
 	}
 }
 
+// Measures lists all similarity measures.
+var Measures = []Measure{MeasureCosine, MeasureIntersection, MeasureBhattacharyya, MeasureL1}
+
+// MeasureByName resolves a measure's String() name ("cosine",
+// "intersection", "bhattacharyya" or "l1").
+func MeasureByName(s string) (Measure, error) {
+	for _, m := range Measures {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown similarity measure %q (want one of cosine, intersection, bhattacharyya, l1)", s)
+}
+
 // fn returns the underlying vector similarity.
 func (m Measure) fn() func(a, b []float64) float64 {
 	switch m {
@@ -53,6 +67,18 @@ func (m Measure) fn() func(a, b []float64) float64 {
 	}
 }
 
+// isCosine reports whether the measure evaluates as cosine. Unknown
+// values fall back to cosine, mirroring fn's default, so the naive and
+// compiled paths agree for every possible Measure value.
+func (m Measure) isCosine() bool {
+	switch m {
+	case MeasureIntersection, MeasureBhattacharyya, MeasureL1:
+		return false
+	default:
+		return true
+	}
+}
+
 // Similarity computes Algorithm 1 for one candidate/reference pair:
 //
 //	sim = Σ_{ftype ∈ Sig(c)} weight^ftype(r) · simCos(hist^ftype(c), hist^ftype(r))
@@ -60,11 +86,30 @@ func (m Measure) fn() func(a, b []float64) float64 {
 // Frame types absent from the reference contribute nothing (their
 // reference weight is zero); frame types absent from the candidate are
 // not iterated, exactly as in the paper's pseudo-code.
+//
+// Cosine — the paper's measure — is evaluated in the count domain
+// (histogram.CosineCounts): cosine similarity is invariant under the
+// count→frequency scaling, so raw counts give the mathematically
+// identical result (agreeing with the frequency-domain evaluation to
+// floating-point rounding) without allocating two frequency slices per
+// comparison. The other measures need the frequency conversion.
+// CompiledDB reproduces both paths bit-for-bit.
 func Similarity(candidate, reference *Signature, m Measure) float64 {
 	if candidate == nil || reference == nil {
 		return 0
 	}
 	sim := 0.0
+	if m.isCosine() {
+		for _, class := range candidate.Classes() {
+			rh := reference.Hist(class)
+			if rh == nil {
+				continue
+			}
+			ch := candidate.Hist(class)
+			sim += reference.Weight(class) * histogram.CosineCounts(ch.CountsView(), rh.CountsView())
+		}
+		return sim
+	}
 	f := m.fn()
 	for _, class := range candidate.Classes() {
 		rh := reference.Hist(class)

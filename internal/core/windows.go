@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
 )
 
 // DefaultWindow is the paper's detection window size (§V-A).
@@ -49,14 +50,62 @@ type Candidate struct {
 // CandidatesIn extracts the candidate signatures of every detection
 // window (the matching unit of §V-A: every candidate device is matched
 // against the reference database for each detection window).
+//
+// The trace is streamed in a single pass: records are bucketed into
+// their window as they are scanned, instead of materialising one
+// sub-trace per window and re-extracting it. Output is identical to
+// windowing first — window indices count non-empty windows in time
+// order, the inter-arrival context resets at each window boundary
+// (mirroring per-window extraction), and candidates within a window are
+// emitted in ascending address order after the minimum-observation rule.
 func CandidatesIn(validation *capture.Trace, window time.Duration, cfg Config) []Candidate {
-	var out []Candidate
-	for wi, wtr := range Windows(validation, window) {
-		sigs := Extract(wtr, cfg)
-		// Deterministic order within the window.
-		for _, addr := range sortedAddrs(sigs) {
-			out = append(out, Candidate{Addr: addr, Window: wi, Sig: sigs[addr]})
-		}
+	recs := validation.Records
+	if len(recs) == 0 {
+		return nil
 	}
+	cfg = cfg.withDefaults()
+	w := window.Microseconds()
+	start := recs[0].T
+
+	var out []Candidate
+	sigs := make(map[dot11.Addr]*Signature)
+	wi := -1            // index among non-empty windows, as Windows numbers them
+	bucket := int64(-1) // current window ordinal relative to the trace start
+	var prevT int64 = -1
+	flush := func() {
+		for _, addr := range sortedAddrs(sigs) {
+			if sig := sigs[addr]; sig.Observations() >= uint64(cfg.MinObservations) {
+				out = append(out, Candidate{Addr: addr, Window: wi, Sig: sig})
+			}
+		}
+		clear(sigs)
+	}
+	for i := range recs {
+		rec := &recs[i]
+		b := int64(0)
+		if w > 0 {
+			b = (rec.T - start) / w
+		}
+		if b != bucket {
+			if wi >= 0 {
+				flush()
+			}
+			bucket = b
+			wi++
+			prevT = -1 // each window starts a fresh inter-arrival context
+		}
+		if !rec.Sender.IsZero() && (rec.FCSOK || cfg.KeepBadFCS) {
+			if v, ok := cfg.Param.Value(rec, prevT); ok {
+				sig, have := sigs[rec.Sender]
+				if !have {
+					sig = NewSignature(cfg.Param, cfg.Bins)
+					sigs[rec.Sender] = sig
+				}
+				sig.Add(rec.Class, v)
+			}
+		}
+		prevT = rec.T
+	}
+	flush()
 	return out
 }

@@ -2,7 +2,6 @@ package eval
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"dot11fp/internal/capture"
@@ -18,6 +17,8 @@ type EnsembleSpec struct {
 	// Params are the member parameters (default configurations).
 	Params  []core.Param
 	Measure core.Measure
+	// Workers caps the matching fan-out (see Spec.Workers).
+	Workers int
 }
 
 // RunEnsemble evaluates the combined fingerprint with the same
@@ -53,29 +54,14 @@ func RunEnsemble(tr *capture.Trace, spec EnsembleSpec) (*Result, error) {
 		Candidates: len(cands),
 		IdentAtFPR: make(map[float64]float64),
 	}
-	states := make([]candidate, 0, len(cands))
-	for _, c := range cands {
-		scores := ens.Match(c)
-		st := candidate{}
-		st.simsDesc = make([]float64, 0, len(scores))
-		best := core.Score{Sim: -1}
-		for _, sc := range scores {
-			st.simsDesc = append(st.simsDesc, sc.Sim)
-			if sc.Sim > best.Sim {
-				best = sc
-			}
-			if sc.Addr == dot11.Addr(c.Addr) {
-				st.known = true
-				st.trueSim = sc.Sim
-			}
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(st.simsDesc)))
-		st.bestSim = best.Sim
-		st.bestRight = st.known && best.Addr == dot11.Addr(c.Addr)
-		if st.known {
+	states := make([]candidate, len(cands))
+	core.ForEachIndex(len(cands), spec.Workers, func(_ *core.MatchScratch, i int) {
+		states[i] = candidateState(ens.Match(cands[i]), dot11.Addr(cands[i].Addr))
+	})
+	for i := range states {
+		if states[i].known {
 			res.KnownCandidates++
 		}
-		states = append(states, st)
 	}
 	res.Curve = similarityCurve(states)
 	res.AUC = auc(res.Curve)

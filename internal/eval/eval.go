@@ -39,6 +39,12 @@ type Spec struct {
 	Config core.Config
 	// Measure is the histogram similarity (default cosine).
 	Measure core.Measure
+	// Workers caps the candidate-matching fan-out. Zero selects
+	// GOMAXPROCS; 1 forces the serial path. Results are identical for
+	// every worker count: each candidate's state is computed
+	// independently and stored at its own index, so scheduling cannot
+	// reorder or alter anything downstream.
+	Workers int
 }
 
 // CurvePoint is one threshold sample of the similarity curve.
@@ -95,29 +101,15 @@ func Run(tr *capture.Trace, spec Spec) (*Result, error) {
 		Candidates: len(cands),
 		IdentAtFPR: make(map[float64]float64),
 	}
-	states := make([]candidate, 0, len(cands))
-	for _, c := range cands {
-		scores := db.Match(c.Sig)
-		st := candidate{}
-		st.simsDesc = make([]float64, 0, len(scores))
-		best := core.Score{Sim: -1}
-		for _, sc := range scores {
-			st.simsDesc = append(st.simsDesc, sc.Sim)
-			if sc.Sim > best.Sim {
-				best = sc
-			}
-			if sc.Addr == dot11.Addr(c.Addr) {
-				st.known = true
-				st.trueSim = sc.Sim
-			}
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(st.simsDesc)))
-		st.bestSim = best.Sim
-		st.bestRight = st.known && best.Addr == dot11.Addr(c.Addr)
-		if st.known {
+	cdb := db.Compile()
+	states := make([]candidate, len(cands))
+	core.ForEachIndex(len(cands), spec.Workers, func(scratch *core.MatchScratch, i int) {
+		states[i] = candidateState(cdb.MatchInto(cands[i].Sig, scratch), dot11.Addr(cands[i].Addr))
+	})
+	for i := range states {
+		if states[i].known {
 			res.KnownCandidates++
 		}
-		states = append(states, st)
 	}
 
 	res.Curve = similarityCurve(states)
@@ -126,6 +118,29 @@ func Run(tr *capture.Trace, spec Spec) (*Result, error) {
 		res.IdentAtFPR[budget] = identAt(states, budget)
 	}
 	return res, nil
+}
+
+// candidateState derives one candidate's matching state from its
+// similarity vector. scores may alias a reusable scratch buffer; the
+// state copies what it keeps.
+func candidateState(scores []core.Score, addr dot11.Addr) candidate {
+	st := candidate{}
+	st.simsDesc = make([]float64, 0, len(scores))
+	best := core.Score{Sim: -1}
+	for _, sc := range scores {
+		st.simsDesc = append(st.simsDesc, sc.Sim)
+		if sc.Sim > best.Sim {
+			best = sc
+		}
+		if sc.Addr == addr {
+			st.known = true
+			st.trueSim = sc.Sim
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(st.simsDesc)))
+	st.bestSim = best.Sim
+	st.bestRight = st.known && best.Addr == addr
+	return st
 }
 
 // thresholdGrid is the sweep used for both tests: fine steps plus an

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"dot11fp/internal/core"
+	"dot11fp/internal/scenario"
+)
+
+// resultsIdentical requires two results to agree bit-for-bit: the
+// parallel fan-out must not change a single float.
+func resultsIdentical(t *testing.T, serial, parallel *Result) {
+	t.Helper()
+	if serial.RefDevices != parallel.RefDevices ||
+		serial.Candidates != parallel.Candidates ||
+		serial.KnownCandidates != parallel.KnownCandidates {
+		t.Fatalf("counts differ: serial %+v parallel %+v", serial, parallel)
+	}
+	if len(serial.Curve) != len(parallel.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(serial.Curve), len(parallel.Curve))
+	}
+	for i := range serial.Curve {
+		if serial.Curve[i] != parallel.Curve[i] {
+			t.Fatalf("curve point %d differs: %+v vs %+v", i, serial.Curve[i], parallel.Curve[i])
+		}
+	}
+	if math.Float64bits(serial.AUC) != math.Float64bits(parallel.AUC) {
+		t.Fatalf("AUC differs: %v vs %v", serial.AUC, parallel.AUC)
+	}
+	if !reflect.DeepEqual(serial.IdentAtFPR, parallel.IdentAtFPR) {
+		t.Fatalf("IdentAtFPR differs: %v vs %v", serial.IdentAtFPR, parallel.IdentAtFPR)
+	}
+}
+
+func TestRunParallelBitIdenticalToSerial(t *testing.T) {
+	t.Parallel()
+	// A realistic simulated trace exercises retries, rate churn, window
+	// gaps and unknown devices — everything the fan-out must preserve.
+	tr, _, err := scenario.Build(scenario.Office("parallel", 11, 24*time.Minute, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, param := range []core.Param{core.ParamInterArrival, core.ParamSize} {
+		spec := Spec{
+			RefDuration: 8 * time.Minute,
+			Window:      4 * time.Minute,
+			Config:      core.DefaultConfig(param),
+			Workers:     1,
+		}
+		serial, err := Run(tr, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 8, 64} {
+			spec.Workers = workers
+			par, err := Run(tr, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsIdentical(t, serial, par)
+		}
+	}
+}
+
+func TestRunEnsembleParallelBitIdenticalToSerial(t *testing.T) {
+	t.Parallel()
+	tr := synthTrace(6, 20*time.Minute)
+	spec := EnsembleSpec{
+		RefDuration: 6 * time.Minute,
+		Window:      4 * time.Minute,
+		Params:      []core.Param{core.ParamSize, core.ParamInterArrival},
+		Workers:     1,
+	}
+	serial, err := RunEnsemble(tr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	par, err := RunEnsemble(tr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, serial, par)
+}

@@ -124,16 +124,32 @@ func (h *Histogram) Counts() []uint64 {
 // Freqs returns the percentage-frequency distribution P_j =
 // o_j / |P^ftype(s)| (paper §IV-A). An empty histogram yields all zeros.
 func (h *Histogram) Freqs() []float64 {
-	out := make([]float64, len(h.counts))
+	return h.AppendFreqs(make([]float64, 0, len(h.counts)))
+}
+
+// AppendFreqs appends the percentage-frequency distribution to dst and
+// returns the extended slice. Passing a scratch slice with sufficient
+// capacity (dst[:0] with cap ≥ Bins()) makes the conversion
+// allocation-free; the values are bit-identical to Freqs.
+func (h *Histogram) AppendFreqs(dst []float64) []float64 {
 	if h.total == 0 {
-		return out
+		for range h.counts {
+			dst = append(dst, 0)
+		}
+		return dst
 	}
 	t := float64(h.total)
-	for i, c := range h.counts {
-		out[i] = float64(c) / t
+	for _, c := range h.counts {
+		dst = append(dst, float64(c)/t)
 	}
-	return out
+	return dst
 }
+
+// CountsView returns the live backing slice of raw counts without
+// copying. It exists for the zero-allocation matching kernels; callers
+// must treat the slice as read-only and must not retain it across
+// subsequent Add/Merge calls.
+func (h *Histogram) CountsView() []uint64 { return h.counts }
 
 // Mode returns the centre value of the most populated bin, used by the
 // figure reproductions to locate histogram peaks.

@@ -33,7 +33,10 @@ func BenchmarkExtractInterArrival(b *testing.B) {
 	b.ReportMetric(float64(len(microTrace.Records)), "records/op")
 }
 
-func BenchmarkDatabaseMatch(b *testing.B) {
+// matchFixture builds the shared matching benchmark inputs: a trained
+// reference database and the per-window candidates of the micro trace.
+func matchFixture(b *testing.B) (*dot11fp.Database, []dot11fp.Candidate) {
+	b.Helper()
 	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
 	db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
 	if err := db.Train(microTrace); err != nil {
@@ -43,6 +46,37 @@ func BenchmarkDatabaseMatch(b *testing.B) {
 	if len(cands) == 0 {
 		b.Fatal("no candidates")
 	}
+	return db, cands
+}
+
+// BenchmarkDatabaseMatchNaive measures the per-pair Similarity loop —
+// the baseline the compiled path is held against. Note Similarity's
+// cosine path is itself count-domain now; the seed's freq-domain loop
+// (two fresh frequency slices per comparison, ~113µs/96 allocs on the
+// reference machine) is recorded in EXPERIMENTS.md.
+func BenchmarkDatabaseMatchNaive(b *testing.B) {
+	db, cands := matchFixture(b)
+	refs := db.Devices()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		n := 0
+		for _, addr := range refs {
+			_ = dot11fp.SimilarityOf(c.Sig, db.Signature(addr), db.Measure())
+			n++
+		}
+		if n != db.Len() {
+			b.Fatal("bad match vector")
+		}
+	}
+}
+
+// BenchmarkDatabaseMatch measures the public Match API, which delegates
+// to the compiled snapshot but still allocates the returned vector.
+func BenchmarkDatabaseMatch(b *testing.B) {
+	db, cands := matchFixture(b)
+	db.Compile() // steady state: snapshot built before timing starts
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -51,6 +85,80 @@ func BenchmarkDatabaseMatch(b *testing.B) {
 			b.Fatal("bad match vector")
 		}
 	}
+}
+
+// BenchmarkDatabaseMatchCompiled measures the zero-allocation steady
+// state: compiled snapshot + caller-owned scratch.
+func BenchmarkDatabaseMatchCompiled(b *testing.B) {
+	db, cands := matchFixture(b)
+	cdb := db.Compile()
+	var scratch dot11fp.MatchScratch
+	cdb.MatchInto(cands[0].Sig, &scratch) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		if got := cdb.MatchInto(c.Sig, &scratch); len(got) != cdb.Len() {
+			b.Fatal("bad match vector")
+		}
+	}
+}
+
+// BenchmarkDatabaseMatchAll measures the batched parallel entry point
+// over the full candidate set.
+func BenchmarkDatabaseMatchAll(b *testing.B) {
+	db, cands := matchFixture(b)
+	cdb := db.Compile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := cdb.MatchAll(cands)
+		if len(rows) != len(cands) {
+			b.Fatal("bad batch")
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "candidates/op")
+}
+
+// TestCompiledMatchZeroAllocs pins the acceptance criterion: the
+// compiled match path must not allocate in steady state.
+func TestCompiledMatchZeroAllocs(t *testing.T) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+	if err := db.Train(microTrace); err != nil {
+		t.Fatal(err)
+	}
+	cands := dot11fp.CandidatesIn(microTrace, time.Minute, cfg)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	cdb := db.Compile()
+	var scratch dot11fp.MatchScratch
+	cdb.MatchInto(cands[0].Sig, &scratch)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, c := range cands {
+			if got := cdb.MatchInto(c.Sig, &scratch); len(got) != cdb.Len() {
+				t.Fatal("bad match vector")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled match allocated %v times per sweep, want 0", allocs)
+	}
+}
+
+// BenchmarkCandidatesIn measures the streaming single-pass windowed
+// extraction over the micro trace.
+func BenchmarkCandidatesIn(b *testing.B) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := dot11fp.CandidatesIn(microTrace, time.Minute, cfg); len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+	b.ReportMetric(float64(len(microTrace.Records)), "records/op")
 }
 
 func BenchmarkCosine512(b *testing.B) {

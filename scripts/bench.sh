@@ -1,0 +1,43 @@
+#!/bin/sh
+# Runs the hot-path micro-benchmarks and emits the results as
+# BENCH_<date>.json so the performance trajectory can be compared across
+# PRs. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# The JSON is a list of {name, ns_per_op, allocs_per_op, bytes_per_op}
+# objects plus a header with the commit and environment.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip' \
+  -benchmem -benchtime=2s . | tee "$raw"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+awk -v commit="$commit" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    results[n++] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                           name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n\"commit\": \"%s\",\n\"date\": \"%s\",\n\"cpu\": \"%s\",\n\"benchmarks\": [\n", commit, date, cpu
+    for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n-1 ? "," : "")
+    print "]\n}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
