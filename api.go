@@ -7,6 +7,7 @@ import (
 	"dot11fp/internal/capture"
 	"dot11fp/internal/core"
 	"dot11fp/internal/dot11"
+	"dot11fp/internal/engine"
 	"dot11fp/internal/eval"
 	"dot11fp/internal/pcap"
 	"dot11fp/internal/scenario"
@@ -124,6 +125,50 @@ func CandidatesIn(tr *Trace, window time.Duration, cfg Config) []Candidate {
 // ParseAddr parses a textual MAC address.
 func ParseAddr(s string) (Addr, error) { return dot11.ParseAddr(s) }
 
+// --- streaming engine --------------------------------------------------------
+
+// Streaming engine types: the push-based form of the pipeline for live
+// monitor feeds (see the doc.go "Streaming" section).
+type (
+	// Engine is the push-based fingerprinting pipeline.
+	Engine = engine.Engine
+	// EngineOptions parameterises NewEngine.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of an engine's counters.
+	EngineStats = engine.Stats
+	// Event is the engine's sealed event interface.
+	Event = engine.Event
+	// WindowClosed summarises one completed detection window.
+	WindowClosed = engine.WindowClosed
+	// CandidateMatched reports an identified candidate with its scores.
+	CandidateMatched = engine.CandidateMatched
+	// UnknownDevice reports a candidate no reference accepted.
+	UnknownDevice = engine.UnknownDevice
+	// CandidateDropped reports a sender below the minimum-observation rule.
+	CandidateDropped = engine.CandidateDropped
+	// Sink receives engine events.
+	Sink = engine.Sink
+	// SinkFunc adapts a function to Sink.
+	SinkFunc = engine.SinkFunc
+	// ChannelSink forwards engine events into a channel.
+	ChannelSink = engine.ChannelSink
+	// WindowAccumulator is the incremental window/signature extractor
+	// the engine and the batch paths share.
+	WindowAccumulator = core.WindowAccumulator
+	// WindowResult is one closed window as emitted by WindowAccumulator.
+	WindowResult = core.WindowResult
+)
+
+// NewEngine creates a streaming engine extracting signatures under cfg
+// and matching each closed window against db (nil runs extraction-only;
+// install references later with Engine.SetDB).
+func NewEngine(cfg Config, db *CompiledDB, opts EngineOptions) (*Engine, error) {
+	return engine.New(cfg, db, opts)
+}
+
+// NewChannelSink creates a channel-backed event sink for NewEngine.
+func NewChannelSink(buffer int) *ChannelSink { return engine.NewChannelSink(buffer) }
+
 // --- capture I/O -------------------------------------------------------------
 
 // Capture link types accepted by the pcap I/O functions — the two
@@ -135,6 +180,14 @@ const (
 
 // ReadPcap parses a radiotap or AVS/Prism pcap stream into a trace.
 func ReadPcap(r io.Reader) (*Trace, error) { return capture.ReadPcap(r) }
+
+// PcapStream yields a capture's records one at a time without
+// materialising the trace — the engine's input path.
+type PcapStream = capture.StreamReader
+
+// ReadPcapStream opens a radiotap or AVS/Prism pcap stream for
+// record-at-a-time reading.
+func ReadPcapStream(r io.Reader) (*PcapStream, error) { return capture.NewStreamReader(r) }
 
 // WritePcap serialises a trace as a standard radiotap pcap stream.
 func WritePcap(w io.Writer, tr *Trace) error { return capture.WritePcap(w, tr) }

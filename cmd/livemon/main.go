@@ -1,0 +1,182 @@
+// Command livemon is the streaming face of the pipeline: it reads a
+// radiotap or AVS/Prism pcap stream record by record (a file, or a live
+// `tcpdump -w -` feed on stdin), drives the push-based Engine, and
+// prints per-window match events as each 5-minute detection window
+// closes — the paper's monitoring loop as a continuous service instead
+// of a batch replay.
+//
+// References come from a saved database (-db, see fpanalyze) or are
+// learned live from the stream's first -ref minutes; after training the
+// remainder of the stream is monitored. Try it end to end with the
+// bundled generator:
+//
+//	go run ./cmd/tracegen -scenario office -duration 20m -stations 16 -o office.pcap
+//	go run ./cmd/livemon -ref 5m -window 3m office.pcap
+//
+// Usage:
+//
+//	livemon [-db ref.json | -ref 20m] [-param iat] [-measure cosine]
+//	        [-window 5m] [-threshold 0] [-v] [capture.pcap | -]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dot11fp"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "reference database JSON (from fpanalyze); overrides -ref")
+	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the stream when no -db is given")
+	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
+	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
+	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
+	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
+	verbose := flag.Bool("v", false, "also print below-minimum drops")
+	flag.Parse()
+
+	in := os.Stdin
+	if name := flag.Arg(0); name != "" && name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	stream, err := dot11fp.ReadPcapStream(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var db *dot11fp.Database
+	var pending *dot11fp.Record // first record past the training prefix
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = dot11fp.LoadDatabase(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "livemon: loaded %d references (%s, %s)\n",
+			db.Len(), db.Config().Param, db.Measure())
+	} else {
+		db, pending, err = trainFromStream(stream, *ref, *paramFlag, *measureFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "livemon: trained %d references from the first %v (%s)\n",
+			db.Len(), *ref, db.Config().Param)
+	}
+
+	eng, err := dot11fp.NewEngine(db.Config(), db.Compile(), dot11fp.EngineOptions{
+		Window:    *window,
+		Threshold: *threshold,
+		Sink:      dot11fp.SinkFunc(printer(stream, *verbose)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if pending != nil {
+		eng.Push(pending)
+	}
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		eng.Push(&rec)
+	}
+	eng.Close()
+
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr,
+		"livemon: %d frames in %v (%.0f frames/s), %d windows, %d candidates (%d matched, %d unknown), %d dropped\n",
+		st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec,
+		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown, st.Dropped)
+}
+
+// trainFromStream materialises only the training prefix (records with
+// T within refDur of the first record), builds the reference database,
+// and hands back the boundary record so monitoring starts exactly where
+// training stopped — Split's anchoring, streamed.
+func trainFromStream(stream *dot11fp.PcapStream, refDur time.Duration, paramName, measureName string) (*dot11fp.Database, *dot11fp.Record, error) {
+	param, err := dot11fp.ParamByShortName(paramName)
+	if err != nil {
+		return nil, nil, err
+	}
+	measure, err := dot11fp.MeasureByName(measureName)
+	if err != nil {
+		return nil, nil, err
+	}
+	train := &dot11fp.Trace{}
+	var cut int64
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(train.Records) == 0 {
+			cut = rec.T + refDur.Microseconds()
+		}
+		if rec.T >= cut {
+			db := dot11fp.NewDatabase(dot11fp.DefaultConfig(param), measure)
+			if err := db.Train(train); err != nil {
+				return nil, nil, err
+			}
+			return db, &rec, nil
+		}
+		train.Records = append(train.Records, rec)
+	}
+	return nil, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
+}
+
+// printer renders events as one line each, stamping windows with the
+// capture's wall clock.
+func printer(stream *dot11fp.PcapStream, verbose bool) func(dot11fp.Event) {
+	clock := func(us int64) string {
+		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
+	}
+	return func(ev dot11fp.Event) {
+		switch ev := ev.(type) {
+		case dot11fp.CandidateMatched:
+			fmt.Printf("w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
+				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+		case dot11fp.UnknownDevice:
+			if ev.HasBest {
+				fmt.Printf("w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
+					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+			} else {
+				fmt.Printf("w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
+					ev.Window, ev.Addr, ev.Sig.Observations())
+			}
+		case dot11fp.CandidateDropped:
+			if verbose {
+				fmt.Printf("w%03d  %s  dropped  %d/%d observations\n",
+					ev.Window, ev.Addr, ev.Observations, ev.Minimum)
+			}
+		case dot11fp.WindowClosed:
+			fmt.Printf("-- window %d [%s, %s): %d frames, %d senders, %d candidates (%d matched, %d unknown), %d dropped\n",
+				ev.Window, clock(ev.Start), clock(ev.End), ev.Frames,
+				ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "livemon:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,47 @@
 // type); the bundled simulator substitutes for the paper's testbed and
 // CRAWDAD traces, as detailed in DESIGN.md.
 //
+// # Streaming
+//
+// The paper's detection loop is online: a passive monitor watches
+// frames arrive and re-identifies every candidate once per 5-minute
+// detection window. Engine is that loop as a push-based API — no
+// materialised trace, O(live senders + references) memory, and an
+// allocation-free per-frame path (TestEnginePushZeroAllocs pins it).
+// Each record is pushed as it is captured; when one crosses a window
+// boundary the closed window's candidates are matched against the
+// compiled references and typed events (CandidateMatched,
+// UnknownDevice, CandidateDropped, WindowClosed) are delivered to the
+// caller's sink, synchronously on the pushing goroutine:
+//
+//	eng, _ := dot11fp.NewEngine(cfg, db.Compile(), dot11fp.EngineOptions{
+//	    Sink: dot11fp.SinkFunc(func(ev dot11fp.Event) {
+//	        if m, ok := ev.(dot11fp.CandidateMatched); ok {
+//	            fmt.Printf("window %d: %v is %v (sim %.3f)\n",
+//	                m.Window, m.Addr, m.Best.Addr, m.Best.Sim)
+//	        }
+//	    }),
+//	})
+//	stream, _ := dot11fp.ReadPcapStream(liveFeed) // record-at-a-time, O(1) memory
+//	for {
+//	    rec, err := stream.Next()
+//	    if err != nil {
+//	        break
+//	    }
+//	    eng.Push(&rec)
+//	}
+//	eng.Close()
+//
+// Engine.SetDB hot-swaps the reference database mid-stream (live
+// retraining without dropping a frame), and Engine.Stats exposes
+// frames/s, live senders and per-verdict counters. The batch paths are
+// thin adapters over the same code: CandidatesIn replays a trace
+// through the shared WindowAccumulator and Evaluate drives an Engine,
+// so batch and streaming output are bit-identical
+// (TestEngineBitIdenticalToBatch). See cmd/livemon for the pipeline as
+// a live monitoring service and examples/livestream for the API end to
+// end.
+//
 // # Performance
 //
 // Matching is the N×W×D hot loop of the methodology: every candidate

@@ -271,7 +271,56 @@ func classWire(c dot11.Class) (dot11.Type, dot11.Subtype) {
 // Trace. Frames whose capture or 802.11 headers do not parse are
 // skipped (standard monitor behaviour is to tolerate noise), but a
 // stream-level error aborts.
+//
+// It is a batch adapter over StreamReader — the single decoding code
+// path — and materialises every record; streaming consumers (the
+// engine) should iterate StreamReader.Next instead.
 func ReadPcap(r io.Reader) (*Trace, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{}
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	tr.Base = sr.Base()
+	tr.Channel = sr.Channel()
+	tr.Encrypted = sr.Encrypted()
+	return tr, nil
+}
+
+// StreamReader yields the records of a radiotap or AVS/Prism pcap
+// stream one at a time, without materialising the trace — O(1) memory
+// for arbitrarily long captures, the input path of the streaming
+// engine. The packet buffer is recycled across records, so the steady
+// state allocates nothing per frame beyond what the pcap payload
+// forces.
+//
+// Records stream in capture order; frames whose capture or 802.11
+// headers do not parse are skipped, exactly like ReadPcap (which is a
+// batch adapter over this type).
+type StreamReader struct {
+	pr        *pcap.Reader
+	isPrism   bool
+	buf       []byte
+	first     bool
+	base      time.Time
+	channel   int
+	encrypted bool
+}
+
+// NewStreamReader parses the pcap file header and returns a reader
+// positioned at the first record. Only the two monitor-metadata link
+// types the paper's method reads are accepted.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -281,21 +330,28 @@ func ReadPcap(r io.Reader) (*Trace, error) {
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrLinkType, pr.LinkType())
 	}
-	isPrism := pr.LinkType() == pcap.LinkTypePrism
+	return &StreamReader{
+		pr:      pr,
+		isPrism: pr.LinkType() == pcap.LinkTypePrism,
+		first:   true,
+	}, nil
+}
 
-	tr := &Trace{}
-	first := true
+// Next returns the next decodable record, or io.EOF at clean end of
+// stream. The record is self-contained (no aliasing of reader state).
+func (s *StreamReader) Next() (Record, error) {
 	for {
-		p, err := pr.Next()
-		if err == io.EOF {
-			break
-		}
+		p, err := s.pr.NextInto(s.buf)
 		if err != nil {
-			return nil, err
+			if err == io.EOF {
+				return Record{}, io.EOF
+			}
+			return Record{}, err
 		}
+		s.buf = p.Data[:cap(p.Data)] // recycle the packet buffer
 		var meta captureMeta
 		var n int
-		if isPrism {
+		if s.isPrism {
 			ph, hn, err := prism.Decode(p.Data)
 			if err != nil {
 				continue
@@ -326,19 +382,19 @@ func ReadPcap(r io.Reader) (*Trace, error) {
 		if err != nil {
 			continue
 		}
-		if first {
-			tr.Base = p.Time
+		if s.first {
+			s.base = p.Time
 			if meta.hasTime {
-				tr.Base = p.Time.Add(-time.Duration(meta.timeUs) * time.Microsecond)
+				s.base = p.Time.Add(-time.Duration(meta.timeUs) * time.Microsecond)
 			}
-			tr.Channel = meta.channel
-			first = false
+			s.channel = meta.channel
+			s.first = false
 		}
 		var t int64
 		if meta.hasTime {
 			t = int64(meta.timeUs)
 		} else {
-			t = p.Time.Sub(tr.Base).Microseconds()
+			t = p.Time.Sub(s.base).Microseconds()
 		}
 		rec := Record{
 			T:         t,
@@ -355,12 +411,23 @@ func ReadPcap(r io.Reader) (*Trace, error) {
 			rec.SignalDBm = meta.sig
 		}
 		if rec.Protected {
-			tr.Encrypted = true
+			s.encrypted = true
 		}
-		tr.Records = append(tr.Records, rec)
+		return rec, nil
 	}
-	return tr, nil
 }
+
+// Base returns the wall-clock time of T=0, known once the first record
+// has been decoded.
+func (s *StreamReader) Base() time.Time { return s.base }
+
+// Channel returns the monitored channel, known once the first record
+// has been decoded (0 if the capture metadata carries none).
+func (s *StreamReader) Channel() int { return s.channel }
+
+// Encrypted reports whether any record decoded so far had the
+// protected bit set.
+func (s *StreamReader) Encrypted() bool { return s.encrypted }
 
 // captureMeta is the link-type-independent view of capture metadata.
 type captureMeta struct {

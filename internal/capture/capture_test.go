@@ -288,3 +288,63 @@ func TestWritePcapLinkTypeRejectsUnknown(t *testing.T) {
 		t.Fatalf("err = %v, want ErrLinkType", err)
 	}
 }
+
+// TestStreamReaderMatchesReadPcap pins the single-code-path invariant:
+// iterating StreamReader.Next yields exactly the records, base time,
+// channel and encrypted flag that ReadPcap materialises, for both link
+// types.
+func TestStreamReaderMatchesReadPcap(t *testing.T) {
+	t.Parallel()
+	tr := sampleTrace()
+	tr.Records[3].Protected = true // exercise the encrypted flag
+	for _, linkType := range []uint32{pcap.LinkTypeRadiotap, pcap.LinkTypePrism} {
+		var buf bytes.Buffer
+		if err := WritePcapLinkType(&buf, tr, linkType); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+
+		want, err := ReadPcap(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := NewStreamReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		for {
+			rec, err := sr.Next()
+			if err != nil {
+				break
+			}
+			got = append(got, rec)
+		}
+		if len(got) != len(want.Records) {
+			t.Fatalf("link %d: streamed %d records, batch %d", linkType, len(got), len(want.Records))
+		}
+		for i := range got {
+			if got[i] != want.Records[i] {
+				t.Fatalf("link %d record %d:\n stream %+v\n batch  %+v", linkType, i, got[i], want.Records[i])
+			}
+		}
+		if !sr.Base().Equal(want.Base) || sr.Channel() != want.Channel || sr.Encrypted() != want.Encrypted {
+			t.Fatalf("link %d metadata: stream (%v, %d, %v) vs batch (%v, %d, %v)",
+				linkType, sr.Base(), sr.Channel(), sr.Encrypted(), want.Base, want.Channel, want.Encrypted)
+		}
+	}
+}
+
+// TestStreamReaderWrongLinkType mirrors the batch reader's link-type
+// rejection.
+func TestStreamReaderWrongLinkType(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	pw := pcap.NewWriter(&buf, pcap.LinkTypeIEEE80211)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamReader(&buf); !errors.Is(err, ErrLinkType) {
+		t.Fatalf("error = %v, want ErrLinkType", err)
+	}
+}

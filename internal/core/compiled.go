@@ -273,12 +273,19 @@ func (c *CompiledDB) Above(candidate *Signature, threshold float64) []Score {
 // computed independently and written at its own index. All rows share
 // one backing allocation.
 func (c *CompiledDB) MatchAll(cands []Candidate) [][]Score {
+	return c.MatchAllWorkers(cands, 0)
+}
+
+// MatchAllWorkers is MatchAll with an explicit worker cap (0 selects
+// GOMAXPROCS, 1 forces the serial path). Results are identical for
+// every worker count.
+func (c *CompiledDB) MatchAllWorkers(cands []Candidate, workers int) [][]Score {
 	out := make([][]Score, len(cands))
 	if len(cands) == 0 {
 		return out
 	}
 	backing := make([]Score, len(cands)*len(c.addrs))
-	ForEachIndex(len(cands), 0, func(scratch *MatchScratch, i int) {
+	ForEachIndex(len(cands), workers, func(scratch *MatchScratch, i int) {
 		row := backing[i*len(c.addrs) : (i+1)*len(c.addrs) : (i+1)*len(c.addrs)]
 		copy(row, c.MatchInto(cands[i].Sig, scratch))
 		out[i] = row

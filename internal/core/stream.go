@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+)
+
+// WindowResult is one closed detection window as seen by a streaming
+// consumer: the candidates that cleared the minimum-observation rule
+// (ascending address order, as CandidatesIn emits them) plus the
+// senders that were observed but dropped below the minimum.
+//
+// The result and everything it references is handed off to the
+// consumer: the accumulator keeps no alias after emitting it, so
+// signatures and slices may be retained or mutated freely.
+type WindowResult struct {
+	// Index is the window ordinal among non-empty windows, exactly as
+	// Windows and CandidatesIn number them.
+	Index int
+	// Start and End bound the window in trace time [Start, End) µs.
+	// For a non-positive window size the whole stream is one window
+	// and End is the last record's timestamp plus one.
+	Start, End int64
+	// Frames is the number of records scanned in the window, whether
+	// or not they were attributed to a sender.
+	Frames int
+	// Candidates are the senders that cleared MinObservations.
+	Candidates []Candidate
+	// Dropped are the senders that did not.
+	Dropped []DroppedSender
+}
+
+// DroppedSender is a sender observed in a window whose signature stayed
+// below the minimum-observation rule.
+type DroppedSender struct {
+	Addr         dot11.Addr
+	Observations uint64
+}
+
+// WindowAccumulator is the incremental form of CandidatesIn: records
+// are pushed one at a time, per-sender signatures accumulate in the
+// current detection window, and each window is emitted to the callback
+// as soon as a record crosses its boundary (or Flush is called). The
+// window grid is anchored at the first pushed record, windows are
+// numbered among non-empty windows, and the inter-arrival context
+// resets at each boundary — byte-for-byte the semantics of the batch
+// path, which is itself implemented on top of this type.
+//
+// Push and Flush must be called from a single goroutine; LiveSenders
+// and WindowsClosed are safe to read from any goroutine.
+type WindowAccumulator struct {
+	cfg  Config
+	w    int64 // window size in µs; <= 0 means one window for the stream
+	emit func(*WindowResult)
+
+	sigs    map[dot11.Addr]*Signature
+	started bool  // anchor captured
+	anchor  int64 // T of the first pushed record: the window-grid origin
+	open    bool  // a window is currently accumulating
+	bucket  int64 // current window ordinal relative to the anchor
+	wi      int   // index among non-empty windows
+	prevT   int64 // previous record's T; -1 at each window start
+	frames  int
+
+	live    atomic.Int64 // senders in the open window, for concurrent stats
+	windows atomic.Int64 // windows emitted so far
+}
+
+// NewWindowAccumulator creates an accumulator emitting each closed
+// window to emit (which may be nil to discard results — useful only
+// for measurement). The config's zero fields are materialised exactly
+// as the batch extraction paths do.
+func NewWindowAccumulator(window time.Duration, cfg Config, emit func(*WindowResult)) *WindowAccumulator {
+	return &WindowAccumulator{
+		cfg:  cfg.withDefaults(),
+		w:    window.Microseconds(),
+		emit: emit,
+		sigs: make(map[dot11.Addr]*Signature),
+		wi:   -1,
+	}
+}
+
+// Config returns the extraction configuration with defaults materialised.
+func (a *WindowAccumulator) Config() Config { return a.cfg }
+
+// LiveSenders returns the number of distinct senders with observations
+// in the currently open window.
+func (a *WindowAccumulator) LiveSenders() int { return int(a.live.Load()) }
+
+// WindowsClosed returns the number of windows emitted so far.
+func (a *WindowAccumulator) WindowsClosed() int { return int(a.windows.Load()) }
+
+// Push scans one record. The record is not retained. Crossing a window
+// boundary closes the previous window (emitting its WindowResult)
+// before the record is accounted to the new one.
+func (a *WindowAccumulator) Push(rec *capture.Record) {
+	if !a.started {
+		a.started = true
+		a.anchor = rec.T
+	}
+	var b int64
+	if a.w > 0 {
+		b = (rec.T - a.anchor) / a.w
+	}
+	if !a.open || b != a.bucket {
+		if a.open {
+			a.close()
+		}
+		a.open = true
+		a.bucket = b
+		a.wi++
+		a.prevT = -1 // each window starts a fresh inter-arrival context
+	}
+	a.frames++
+	if !rec.Sender.IsZero() && (rec.FCSOK || a.cfg.KeepBadFCS) {
+		if v, ok := a.cfg.Param.Value(rec, a.prevT); ok {
+			sig, have := a.sigs[rec.Sender]
+			if !have {
+				sig = NewSignature(a.cfg.Param, a.cfg.Bins)
+				a.sigs[rec.Sender] = sig
+				a.live.Add(1)
+			}
+			sig.Add(rec.Class, v)
+		}
+	}
+	a.prevT = rec.T
+}
+
+// Flush closes the currently open window, if any. The next pushed
+// record opens a fresh window on the same grid; flushing at stream end
+// (the batch paths' usage) leaves streaming output identical to
+// windowing the materialised trace.
+func (a *WindowAccumulator) Flush() {
+	if a.open {
+		a.close()
+		a.open = false
+	}
+}
+
+// close emits the accumulated window and resets the per-window state.
+func (a *WindowAccumulator) close() {
+	res := &WindowResult{Index: a.wi, Frames: a.frames}
+	if a.w > 0 {
+		res.Start = a.anchor + a.bucket*a.w
+		res.End = res.Start + a.w
+	} else {
+		res.Start = a.anchor
+		res.End = a.prevT + 1
+	}
+	for _, addr := range sortedAddrs(a.sigs) {
+		sig := a.sigs[addr]
+		if sig.Observations() >= uint64(a.cfg.MinObservations) {
+			res.Candidates = append(res.Candidates, Candidate{Addr: addr, Window: a.wi, Sig: sig})
+		} else {
+			res.Dropped = append(res.Dropped, DroppedSender{Addr: addr, Observations: sig.Observations()})
+		}
+	}
+	clear(a.sigs)
+	a.live.Store(0)
+	a.frames = 0
+	a.windows.Add(1)
+	if a.emit != nil {
+		a.emit(res)
+	}
+}

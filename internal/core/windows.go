@@ -4,17 +4,22 @@ import (
 	"time"
 
 	"dot11fp/internal/capture"
-	"dot11fp/internal/dot11"
 )
 
 // DefaultWindow is the paper's detection window size (§V-A).
 const DefaultWindow = 5 * time.Minute
 
 // Split divides a trace into the training prefix (the reference trace)
-// and the validation remainder, at refDur from the trace start.
+// and the validation remainder, at refDur from the trace start. The cut
+// is anchored at the first record's timestamp, not at absolute zero, so
+// traces carrying wall-clock timestamps (every real pcap) split exactly
+// like ones rebased to zero.
 func Split(tr *capture.Trace, refDur time.Duration) (train, validation *capture.Trace) {
 	cut := refDur.Microseconds()
-	return tr.Slice(0, cut), tr.Slice(cut, 1<<62)
+	if len(tr.Records) > 0 {
+		cut += tr.Records[0].T
+	}
+	return tr.Slice(-1<<62, cut), tr.Slice(cut, 1<<62)
 }
 
 // Windows partitions a trace into consecutive detection windows of the
@@ -51,61 +56,21 @@ type Candidate struct {
 // window (the matching unit of §V-A: every candidate device is matched
 // against the reference database for each detection window).
 //
-// The trace is streamed in a single pass: records are bucketed into
-// their window as they are scanned, instead of materialising one
-// sub-trace per window and re-extracting it. Output is identical to
-// windowing first — window indices count non-empty windows in time
-// order, the inter-arrival context resets at each window boundary
-// (mirroring per-window extraction), and candidates within a window are
-// emitted in ascending address order after the minimum-observation rule.
+// It is a thin batch adapter over WindowAccumulator — the single
+// extraction code path shared with the streaming engine. The trace is
+// scanned in one pass; output is identical to windowing first: window
+// indices count non-empty windows in time order, the inter-arrival
+// context resets at each window boundary (mirroring per-window
+// extraction), and candidates within a window are emitted in ascending
+// address order after the minimum-observation rule.
 func CandidatesIn(validation *capture.Trace, window time.Duration, cfg Config) []Candidate {
-	recs := validation.Records
-	if len(recs) == 0 {
-		return nil
-	}
-	cfg = cfg.withDefaults()
-	w := window.Microseconds()
-	start := recs[0].T
-
 	var out []Candidate
-	sigs := make(map[dot11.Addr]*Signature)
-	wi := -1            // index among non-empty windows, as Windows numbers them
-	bucket := int64(-1) // current window ordinal relative to the trace start
-	var prevT int64 = -1
-	flush := func() {
-		for _, addr := range sortedAddrs(sigs) {
-			if sig := sigs[addr]; sig.Observations() >= uint64(cfg.MinObservations) {
-				out = append(out, Candidate{Addr: addr, Window: wi, Sig: sig})
-			}
-		}
-		clear(sigs)
+	acc := NewWindowAccumulator(window, cfg, func(w *WindowResult) {
+		out = append(out, w.Candidates...)
+	})
+	for i := range validation.Records {
+		acc.Push(&validation.Records[i])
 	}
-	for i := range recs {
-		rec := &recs[i]
-		b := int64(0)
-		if w > 0 {
-			b = (rec.T - start) / w
-		}
-		if b != bucket {
-			if wi >= 0 {
-				flush()
-			}
-			bucket = b
-			wi++
-			prevT = -1 // each window starts a fresh inter-arrival context
-		}
-		if !rec.Sender.IsZero() && (rec.FCSOK || cfg.KeepBadFCS) {
-			if v, ok := cfg.Param.Value(rec, prevT); ok {
-				sig, have := sigs[rec.Sender]
-				if !have {
-					sig = NewSignature(cfg.Param, cfg.Bins)
-					sigs[rec.Sender] = sig
-				}
-				sig.Add(rec.Class, v)
-			}
-		}
-		prevT = rec.T
-	}
-	flush()
+	acc.Flush()
 	return out
 }

@@ -142,6 +142,96 @@ func TestWindowsBoundaryRecord(t *testing.T) {
 	}
 }
 
+// TestSplitWallClockAnchor pins the anchoring fix: a trace whose
+// timestamps start at a large wall-clock µs value (every real pcap)
+// must still get a refDur-long training prefix, not an empty one.
+func TestSplitWallClockAnchor(t *testing.T) {
+	t.Parallel()
+	const base = int64(1_700_000_000_000_000) // ≈ 2023 in unix µs
+	tr := &capture.Trace{Records: []capture.Record{
+		{T: base}, {T: base + 30_000_000}, {T: base + 59_999_999},
+		{T: base + 60_000_000}, {T: base + 90_000_000},
+	}}
+	train, valid := Split(tr, time.Minute)
+	if len(train.Records) != 3 {
+		t.Fatalf("train records = %d, want 3 (prefix anchored at the first record)", len(train.Records))
+	}
+	if len(valid.Records) != 2 || valid.Records[0].T != base+60_000_000 {
+		t.Fatalf("validation records = %+v", valid.Records)
+	}
+	// Rebasing the same trace to zero must split identically.
+	zero := &capture.Trace{Records: make([]capture.Record, len(tr.Records))}
+	for i, r := range tr.Records {
+		r.T -= base
+		zero.Records[i] = r
+	}
+	ztrain, zvalid := Split(zero, time.Minute)
+	if len(ztrain.Records) != len(train.Records) || len(zvalid.Records) != len(valid.Records) {
+		t.Fatalf("rebased split differs: %d/%d vs %d/%d",
+			len(ztrain.Records), len(zvalid.Records), len(train.Records), len(valid.Records))
+	}
+}
+
+// TestWindowAccumulatorResults checks the streaming window metadata the
+// batch adapter discards: indices, bounds, frame counts and the
+// below-minimum drop reporting.
+func TestWindowAccumulatorResults(t *testing.T) {
+	t.Parallel()
+	tr := gapTrace()
+	cfg := Config{Param: ParamSize, MinObservations: 10}
+	var results []*WindowResult
+	acc := NewWindowAccumulator(time.Minute, cfg, func(w *WindowResult) {
+		results = append(results, w)
+	})
+	for i := range tr.Records {
+		acc.Push(&tr.Records[i])
+	}
+	if got := acc.LiveSenders(); got != 2 {
+		t.Fatalf("live senders before flush = %d, want 2 (A and C active)", got)
+	}
+	acc.Flush()
+	if acc.LiveSenders() != 0 {
+		t.Fatalf("live senders after flush = %d", acc.LiveSenders())
+	}
+	if len(results) != 3 || acc.WindowsClosed() != 3 {
+		t.Fatalf("windows = %d (closed %d), want 3 non-empty windows", len(results), acc.WindowsClosed())
+	}
+	wantStarts := []int64{0, 60_000_000, 180_000_000}
+	for i, w := range results {
+		if w.Index != i {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+		if w.Start != wantStarts[i] || w.End != w.Start+60_000_000 {
+			t.Fatalf("window %d bounds [%d, %d), want start %d", i, w.Start, w.End, wantStarts[i])
+		}
+		if w.Frames == 0 {
+			t.Fatalf("window %d reports zero frames", i)
+		}
+	}
+	// Window 0: A clears the minimum; the bad-FCS frame and the ACK are
+	// scanned but never attributed, so no dropped senders appear.
+	if len(results[0].Candidates) != 1 || len(results[0].Dropped) != 0 {
+		t.Fatalf("window 0: %d candidates / %d dropped, want 1/0",
+			len(results[0].Candidates), len(results[0].Dropped))
+	}
+	// A sparse sender below the minimum must surface in Dropped.
+	short := &capture.Trace{Records: []capture.Record{
+		{T: 0, Sender: staA, Class: dot11.ClassData, Size: 100, RateMbps: 24, FCSOK: true},
+		{T: 1_000, Sender: staA, Class: dot11.ClassData, Size: 100, RateMbps: 24, FCSOK: true},
+	}}
+	var dropped []DroppedSender
+	acc = NewWindowAccumulator(time.Minute, cfg, func(w *WindowResult) {
+		dropped = append(dropped, w.Dropped...)
+	})
+	for i := range short.Records {
+		acc.Push(&short.Records[i])
+	}
+	acc.Flush()
+	if len(dropped) != 1 || dropped[0].Addr != staA || dropped[0].Observations != 2 {
+		t.Fatalf("dropped = %+v, want staA with 2 observations", dropped)
+	}
+}
+
 func TestSplitEdgeCases(t *testing.T) {
 	t.Parallel()
 	empty := &capture.Trace{}

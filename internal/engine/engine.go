@@ -1,0 +1,256 @@
+// Package engine is the streaming-first form of the paper's method: a
+// push-based fingerprinting pipeline for live monitor feeds.
+//
+// The paper's detection loop is inherently online — a passive monitor
+// watches frames arrive and re-identifies every candidate device once
+// per 5-minute detection window (§V-A). Engine implements exactly that
+// loop without ever materialising a trace: each pushed record updates
+// the current window's per-sender signature accumulation (shared with
+// the batch paths via core.WindowAccumulator, so streaming and batch
+// extraction are one code path); when a record crosses a window
+// boundary the closed window's candidates are matched against the
+// compiled reference database and typed events are emitted to the
+// caller's sink. Memory is O(live senders + references), independent of
+// stream length, and the push path is allocation-light at steady state.
+//
+// The reference database is hot-swappable (SetDB), so references can be
+// retrained — e.g. from a fresher training window — without dropping
+// the stream.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+)
+
+// Options parameterises an Engine.
+type Options struct {
+	// Window is the detection window size. Zero selects the paper's
+	// 5 minutes (core.DefaultWindow); a negative value accumulates the
+	// whole stream as a single window.
+	Window time.Duration
+	// Threshold is the identification acceptance threshold: a candidate
+	// whose best similarity reaches it is emitted as CandidateMatched,
+	// otherwise as UnknownDevice. The zero value accepts any best match
+	// (all similarity measures are non-negative), i.e. pure arg-max
+	// identification.
+	Threshold float64
+	// Workers caps the per-window matching fan-out, like eval.Spec:
+	// 0 selects GOMAXPROCS, 1 forces the serial path. Results are
+	// identical for every worker count.
+	Workers int
+	// Sink receives the engine's events; nil discards them (statistics
+	// are still maintained).
+	Sink Sink
+}
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	// Frames is the number of records pushed.
+	Frames uint64
+	// WindowsClosed is the number of detection windows emitted.
+	WindowsClosed uint64
+	// LiveSenders is the number of distinct senders with observations
+	// in the currently open window.
+	LiveSenders int
+	// Candidates, Matched, Unknown and Dropped count the per-window
+	// verdicts emitted so far. Candidates is by definition
+	// Matched + Unknown, so the invariant holds in every snapshot,
+	// even one taken mid-window-close.
+	Candidates, Matched, Unknown, Dropped uint64
+	// Elapsed is the wall-clock time since the first push;
+	// FramesPerSec is Frames over Elapsed.
+	Elapsed      time.Duration
+	FramesPerSec float64
+}
+
+// Engine is a push-based fingerprinting pipeline. Push, PushTrace,
+// Flush and Close must be called from a single goroutine; SetDB, DB and
+// Stats are safe from any goroutine at any time.
+type Engine struct {
+	cfg  core.Config
+	opts Options
+	acc  *core.WindowAccumulator
+	db   atomic.Pointer[core.CompiledDB]
+
+	closed  bool
+	startNs atomic.Int64 // wall clock of the first push, unix ns
+
+	frames  atomic.Uint64
+	windows atomic.Uint64
+	matched atomic.Uint64
+	unknown atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// New creates an engine extracting signatures under cfg and matching
+// each window's candidates against db (which may be nil to run
+// extraction-only: every candidate is emitted as UnknownDevice until a
+// database is installed with SetDB). A non-nil db must have been
+// compiled from the same parameter and bin shape as cfg.
+func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
+	if opts.Window == 0 {
+		opts.Window = core.DefaultWindow
+	}
+	e := &Engine{opts: opts}
+	e.acc = core.NewWindowAccumulator(opts.Window, cfg, e.handleWindow)
+	e.cfg = e.acc.Config() // defaults materialised
+	if err := e.SetDB(db); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the extraction configuration with defaults materialised.
+func (e *Engine) Config() core.Config { return e.cfg }
+
+// SetDB atomically swaps the reference database the next closed window
+// is matched against — live retraining without dropping the stream. A
+// nil db switches the engine to extraction-only. The database must
+// share the engine's parameter and bin shape; on mismatch the previous
+// database stays installed.
+func (e *Engine) SetDB(db *core.CompiledDB) error {
+	if db != nil {
+		if c := db.Config(); c.Param != e.cfg.Param || c.Bins != e.cfg.Bins {
+			return fmt.Errorf("engine: database shape %v/%v does not match engine %v/%v",
+				c.Param, c.Bins, e.cfg.Param, e.cfg.Bins)
+		}
+	}
+	e.db.Store(db)
+	return nil
+}
+
+// DB returns the currently installed reference database, or nil.
+func (e *Engine) DB() *core.CompiledDB { return e.db.Load() }
+
+// Push ingests one record. The record is not retained. Crossing a
+// window boundary synchronously matches and emits the completed window
+// before the record is accounted to the new one. Push panics after
+// Close.
+func (e *Engine) Push(rec *capture.Record) {
+	if e.closed {
+		panic("engine: Push after Close")
+	}
+	if e.frames.Add(1) == 1 {
+		e.startNs.Store(time.Now().UnixNano())
+	}
+	e.acc.Push(rec)
+}
+
+// PushTrace replays a materialised trace through the push path — the
+// batch adapter. Output is bit-identical to pushing the records one at
+// a time.
+func (e *Engine) PushTrace(tr *capture.Trace) {
+	for i := range tr.Records {
+		e.Push(&tr.Records[i])
+	}
+}
+
+// Flush closes the currently open detection window early, emitting its
+// events. The next pushed record opens a fresh window on the same grid.
+// Flushing exactly once, at stream end, keeps the event stream
+// bit-identical to the batch pipeline over the same records.
+func (e *Engine) Flush() {
+	e.acc.Flush()
+}
+
+// Close flushes the open window and seals the engine; further pushes
+// panic. Close is idempotent.
+func (e *Engine) Close() {
+	if !e.closed {
+		e.acc.Flush()
+		e.closed = true
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Frames:        e.frames.Load(),
+		WindowsClosed: e.windows.Load(),
+		LiveSenders:   e.acc.LiveSenders(),
+		Matched:       e.matched.Load(),
+		Unknown:       e.unknown.Load(),
+		Dropped:       e.dropped.Load(),
+	}
+	s.Candidates = s.Matched + s.Unknown
+	if ns := e.startNs.Load(); ns != 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - ns)
+		if s.Elapsed > 0 {
+			s.FramesPerSec = float64(s.Frames) / s.Elapsed.Seconds()
+		}
+	}
+	return s
+}
+
+// handleWindow matches one closed window's candidates and emits its
+// events. It runs on the pushing goroutine.
+func (e *Engine) handleWindow(w *core.WindowResult) {
+	e.windows.Add(1)
+	e.dropped.Add(uint64(len(w.Dropped)))
+
+	db := e.db.Load()
+	var rows [][]core.Score
+	if db != nil && db.Len() > 0 && len(w.Candidates) > 0 {
+		// Rows share one backing allocation per window and are handed
+		// off to the events, never reused, so receivers may retain them.
+		rows = db.MatchAllWorkers(w.Candidates, e.opts.Workers)
+	}
+
+	sink := e.opts.Sink
+	matchedN, unknownN := 0, 0
+	for i := range w.Candidates {
+		c := &w.Candidates[i]
+		var scores []core.Score
+		if rows != nil {
+			scores = rows[i]
+		}
+		best := core.Score{Sim: -1}
+		for _, sc := range scores {
+			if sc.Sim > best.Sim {
+				best = sc
+			}
+		}
+		if hasBest := len(scores) > 0; hasBest && best.Sim >= e.opts.Threshold {
+			matchedN++
+			if sink != nil {
+				sink.HandleEvent(CandidateMatched{
+					Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig,
+					Scores: scores, Best: best,
+				})
+			}
+		} else {
+			unknownN++
+			if sink != nil {
+				ev := UnknownDevice{Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig, Scores: scores}
+				if hasBest {
+					ev.Best, ev.HasBest = best, true
+				}
+				sink.HandleEvent(ev)
+			}
+		}
+	}
+	e.matched.Add(uint64(matchedN))
+	e.unknown.Add(uint64(unknownN))
+
+	if sink == nil {
+		return
+	}
+	for _, d := range w.Dropped {
+		sink.HandleEvent(CandidateDropped{
+			Window: w.Index, Addr: d.Addr,
+			Observations: d.Observations, Minimum: e.cfg.MinObservations,
+		})
+	}
+	sink.HandleEvent(WindowClosed{
+		Window: w.Index, Start: w.Start, End: w.End, Frames: w.Frames,
+		Senders:    len(w.Candidates) + len(w.Dropped),
+		Candidates: len(w.Candidates),
+		Matched:    matchedN, Unknown: unknownN, Dropped: len(w.Dropped),
+	})
+}

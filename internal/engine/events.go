@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+)
+
+// Event is the sealed interface over the engine's typed events. Events
+// are delivered synchronously, on the pushing goroutine, in a fixed
+// per-window order: one CandidateMatched or UnknownDevice per candidate
+// (ascending address), then one CandidateDropped per below-minimum
+// sender (ascending address), then the WindowClosed summary. Everything
+// an event references is owned by the receiver — the engine keeps no
+// alias, so events may be retained, sent across channels or mutated.
+type Event interface{ event() }
+
+// WindowClosed summarises one completed detection window. It is the
+// last event of its window.
+type WindowClosed struct {
+	// Window is the window index among non-empty windows.
+	Window int
+	// Start and End bound the window in trace time [Start, End) µs.
+	Start, End int64
+	// Frames is the number of records scanned in the window.
+	Frames int
+	// Senders counts distinct senders with attributed observations.
+	Senders int
+	// Candidates counts senders that cleared the minimum-observation
+	// rule (Candidates = Matched + Unknown).
+	Candidates int
+	// Matched and Unknown partition the candidates by the acceptance
+	// threshold; Dropped counts the below-minimum senders.
+	Matched, Unknown, Dropped int
+}
+
+// CandidateMatched reports a candidate whose best reference similarity
+// reached the acceptance threshold — the identification test's verdict
+// for one (device, window) instance.
+type CandidateMatched struct {
+	Window int
+	Addr   dot11.Addr
+	// Sig is the candidate's window signature.
+	Sig *core.Signature
+	// Scores is the full similarity vector (Algorithm 1), in the
+	// reference database's insertion order.
+	Scores []core.Score
+	// Best is the arg-max entry of Scores.
+	Best core.Score
+}
+
+// UnknownDevice reports a candidate that cleared the minimum-observation
+// rule but matched no reference: either its best similarity stayed
+// below the acceptance threshold, or no reference database is installed
+// (Scores nil, HasBest false).
+type UnknownDevice struct {
+	Window int
+	Addr   dot11.Addr
+	Sig    *core.Signature
+	Scores []core.Score
+	// Best is the arg-max entry of Scores when HasBest is true.
+	Best    core.Score
+	HasBest bool
+}
+
+// CandidateDropped reports a sender observed in the window whose
+// signature stayed below the minimum-observation rule (§V-C) and was
+// therefore never matched.
+type CandidateDropped struct {
+	Window       int
+	Addr         dot11.Addr
+	Observations uint64
+	// Minimum is the rule's threshold, for self-contained reporting.
+	Minimum int
+}
+
+func (WindowClosed) event()     {}
+func (CandidateMatched) event() {}
+func (UnknownDevice) event()    {}
+func (CandidateDropped) event() {}
+
+// Sink receives engine events. HandleEvent is called synchronously on
+// the pushing goroutine; a slow sink backpressures the stream, which is
+// the intended flow control.
+type Sink interface {
+	HandleEvent(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// HandleEvent implements Sink.
+func (f SinkFunc) HandleEvent(ev Event) { f(ev) }
+
+// ChannelSink forwards events into a channel, for consumers that want
+// to select on the stream instead of registering a callback. Sends
+// block when the channel is full, backpressuring the engine.
+type ChannelSink struct {
+	// C carries the events. The engine never closes it; the owner of
+	// the stream calls Close after Engine.Close has returned.
+	C chan Event
+}
+
+// NewChannelSink creates a sink buffering up to buffer events.
+func NewChannelSink(buffer int) *ChannelSink {
+	return &ChannelSink{C: make(chan Event, buffer)}
+}
+
+// HandleEvent implements Sink.
+func (s *ChannelSink) HandleEvent(ev Event) { s.C <- ev }
+
+// Close closes the event channel, releasing range loops over C.
+func (s *ChannelSink) Close() { close(s.C) }

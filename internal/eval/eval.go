@@ -26,6 +26,7 @@ import (
 	"dot11fp/internal/capture"
 	"dot11fp/internal/core"
 	"dot11fp/internal/dot11"
+	"dot11fp/internal/engine"
 	"dot11fp/internal/stats"
 )
 
@@ -92,20 +93,41 @@ func Run(tr *capture.Trace, spec Spec) (*Result, error) {
 	if err := db.Train(train); err != nil {
 		return nil, fmt.Errorf("eval: training: %w", err)
 	}
-	cands := core.CandidatesIn(valid, spec.Window, db.Config())
+
+	// The candidate loop is a thin adapter over the streaming engine:
+	// the validation trace is replayed through the push path, and each
+	// window's candidates arrive as events carrying their similarity
+	// vectors (one extraction and matching code path with live
+	// monitoring; scores are bit-identical to matching the batch
+	// CandidatesIn output). Both event kinds carry the full vector, so
+	// the engine's acceptance threshold is irrelevant here.
+	var states []candidate
+	collect := engine.SinkFunc(func(ev engine.Event) {
+		switch ev := ev.(type) {
+		case engine.CandidateMatched:
+			states = append(states, candidateState(ev.Scores, ev.Addr))
+		case engine.UnknownDevice:
+			states = append(states, candidateState(ev.Scores, ev.Addr))
+		}
+	})
+	eng, err := engine.New(db.Config(), db.Compile(), engine.Options{
+		Window:  spec.Window,
+		Workers: spec.Workers,
+		Sink:    collect,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	eng.PushTrace(valid)
+	eng.Close()
 
 	res := &Result{
 		TraceName:  tr.Name,
 		Param:      spec.Config.Param,
 		RefDevices: db.Len(),
-		Candidates: len(cands),
+		Candidates: len(states),
 		IdentAtFPR: make(map[float64]float64),
 	}
-	cdb := db.Compile()
-	states := make([]candidate, len(cands))
-	core.ForEachIndex(len(cands), spec.Workers, func(scratch *core.MatchScratch, i int) {
-		states[i] = candidateState(cdb.MatchInto(cands[i].Sig, scratch), dot11.Addr(cands[i].Addr))
-	})
 	for i := range states {
 		if states[i].known {
 			res.KnownCandidates++

@@ -158,7 +158,14 @@ func (r *Reader) LinkType() uint32 { return r.linkType }
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
 // Next returns the next record, or io.EOF at clean end of file.
-func (r *Reader) Next() (Packet, error) {
+func (r *Reader) Next() (Packet, error) { return r.NextInto(nil) }
+
+// NextInto is Next with a caller-recycled buffer: when buf has the
+// capacity for the record, the returned Packet.Data aliases it instead
+// of allocating — the streaming reader's steady state. Pass the
+// previous packet's Data (resliced to capacity) to amortise the buffer
+// across a whole capture.
+func (r *Reader) NextInto(buf []byte) (Packet, error) {
 	var rec [16]byte
 	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
 		if err == io.EOF {
@@ -173,7 +180,12 @@ func (r *Reader) Next() (Packet, error) {
 	if incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen {
 		return Packet{}, fmt.Errorf("pcap: implausible record length %d", incl)
 	}
-	data := make([]byte, incl)
+	var data []byte
+	if int(incl) <= cap(buf) {
+		data = buf[:incl]
+	} else {
+		data = make([]byte, incl)
+	}
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		return Packet{}, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
 	}

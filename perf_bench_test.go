@@ -208,3 +208,87 @@ func BenchmarkPcapRoundTrip(b *testing.B) {
 	}
 	b.SetBytes(int64(buf.Len()))
 }
+
+// engineFixture builds a trained compiled database plus a flat record
+// slice for the push-path benchmarks.
+func engineFixture(tb testing.TB) (*dot11fp.CompiledDB, dot11fp.Config) {
+	tb.Helper()
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
+	if err := db.Train(microTrace); err != nil {
+		tb.Fatal(err)
+	}
+	return db.Compile(), cfg
+}
+
+// BenchmarkEnginePush measures the per-frame ingestion cost of the
+// streaming engine within a detection window (no rollover in the inner
+// loop): the steady state of a live monitor.
+func BenchmarkEnginePush(b *testing.B) {
+	cdb, cfg := engineFixture(b)
+	eng, err := dot11fp.NewEngine(cfg, cdb, dot11fp.EngineOptions{Window: 24 * time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := microTrace.Records
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := recs[i%len(recs)]
+		rec.T = recs[i%len(recs)].T % 3_600_000_000 // keep inside one huge window
+		eng.Push(&rec)
+	}
+	b.StopTimer()
+	eng.Close()
+}
+
+// BenchmarkEngineStream measures the whole streaming pipeline — push,
+// window rollover, matching, event emission — over the micro trace.
+func BenchmarkEngineStream(b *testing.B) {
+	cdb, cfg := engineFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := 0
+		eng, err := dot11fp.NewEngine(cfg, cdb, dot11fp.EngineOptions{
+			Window: time.Minute,
+			Sink:   dot11fp.SinkFunc(func(dot11fp.Event) { events++ }),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.PushTrace(microTrace)
+		eng.Close()
+		if events == 0 {
+			b.Fatal("no events")
+		}
+	}
+	b.ReportMetric(float64(len(microTrace.Records)), "records/op")
+}
+
+// TestEnginePushZeroAllocs pins the redesign's acceptance criterion:
+// once a window's senders are established, pushing a frame allocates
+// nothing — no per-frame trace materialisation, no hidden buffering.
+func TestEnginePushZeroAllocs(t *testing.T) {
+	cdb, cfg := engineFixture(t)
+	eng, err := dot11fp.NewEngine(cfg, cdb, dot11fp.EngineOptions{Window: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the senders and histograms of the open window.
+	recs := make([]dot11fp.Record, len(microTrace.Records))
+	copy(recs, microTrace.Records)
+	for i := range recs {
+		recs[i].T %= 3_600_000_000
+		eng.Push(&recs[i])
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range recs {
+			eng.Push(&recs[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("engine push allocated %v times per %d-record sweep, want 0", allocs, len(recs))
+	}
+	eng.Close()
+}
