@@ -169,6 +169,42 @@ func NewEngine(cfg Config, db *CompiledDB, opts EngineOptions) (*Engine, error) 
 // NewChannelSink creates a channel-backed event sink for NewEngine.
 func NewChannelSink(buffer int) *ChannelSink { return engine.NewChannelSink(buffer) }
 
+// --- sharded engine ----------------------------------------------------------
+
+// Sharded engine types: the concurrent, shard-per-core form of the
+// streaming pipeline (see the doc.go "Scaling" section).
+type (
+	// ShardedEngine hash-partitions records by sender across per-core
+	// shards; the merged event stream is identical to Engine's.
+	ShardedEngine = engine.Sharded
+	// ShardedOptions parameterises NewShardedEngine.
+	ShardedOptions = engine.ShardedOptions
+	// Backpressure selects the full-queue policy (BackpressureBlock or
+	// BackpressureDrop).
+	Backpressure = engine.Backpressure
+	// SenderLimits bounds per-window sender state (max senders cap +
+	// idle eviction), for both Engine and ShardedEngine.
+	SenderLimits = core.SenderLimits
+	// SenderTable is the bounded per-sender signature accumulator the
+	// engines are built on.
+	SenderTable = core.SenderTable
+)
+
+// Backpressure policies for ShardedOptions.
+const (
+	// BackpressureBlock makes Push wait for queue space (lossless).
+	BackpressureBlock = engine.Block
+	// BackpressureDrop discards observations when a shard queue is full,
+	// counting them in Stats.DroppedFrames (bounded ingest latency).
+	BackpressureDrop = engine.Drop
+)
+
+// NewShardedEngine creates a sharded streaming engine (see
+// ShardedOptions; Shards 0 selects GOMAXPROCS).
+func NewShardedEngine(cfg Config, db *CompiledDB, opts ShardedOptions) (*ShardedEngine, error) {
+	return engine.NewSharded(cfg, db, opts)
+}
+
 // --- capture I/O -------------------------------------------------------------
 
 // Capture link types accepted by the pcap I/O functions — the two
@@ -188,6 +224,33 @@ type PcapStream = capture.StreamReader
 // ReadPcapStream opens a radiotap or AVS/Prism pcap stream for
 // record-at-a-time reading.
 func ReadPcapStream(r io.Reader) (*PcapStream, error) { return capture.NewStreamReader(r) }
+
+// Multi-source ingestion: several monitors (pcap files, FIFOs, stdin
+// feeds) merged into one record stream.
+type (
+	// MultiStream merges several record sources into one stream.
+	MultiStream = capture.MultiStream
+	// RecordSource is any record-at-a-time input (PcapStream implements it).
+	RecordSource = capture.RecordSource
+	// MergeMode selects the interleaving (MergeByTime or MergeArrival).
+	MergeMode = capture.MergeMode
+)
+
+// Merge modes for NewMultiStream.
+const (
+	// MergeByTime interleaves records in ascending timestamp order —
+	// deterministic for file inputs.
+	MergeByTime = capture.MergeByTime
+	// MergeArrival interleaves records as sources produce them — for
+	// unsynchronised live feeds.
+	MergeArrival = capture.MergeArrival
+)
+
+// NewMultiStream merges the given sources; rebase shifts each source's
+// clock so its first record lands at offset zero.
+func NewMultiStream(mode MergeMode, rebase bool, sources ...RecordSource) *MultiStream {
+	return capture.NewMultiStream(mode, rebase, sources...)
+}
 
 // WritePcap serialises a trace as a standard radiotap pcap stream.
 func WritePcap(w io.Writer, tr *Trace) error { return capture.WritePcap(w, tr) }

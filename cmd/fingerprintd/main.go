@@ -1,0 +1,208 @@
+// Command fingerprintd is the pipeline as a long-running service: a
+// fingerprinting daemon that ingests several concurrent monitor feeds —
+// pcap files, FIFOs fed by `tcpdump -w`, or stdin — merges them into
+// one record stream, and drives a sharded, shard-per-core engine that
+// re-identifies every candidate device once per detection window.
+//
+// Multiple sources model multiple monitors: each input decodes on its
+// own goroutine, and -merge picks the interleaving (time for synced or
+// rebased captures — deterministic; arrival for live unsynchronised
+// feeds). The engine partitions senders across -shards cores, bounds
+// per-shard sender state with -max-senders / -idle-evict (so MAC
+// randomization cannot grow memory without bound), and applies the
+// -drop backpressure policy when ingestion outruns matching.
+//
+// SIGINT/SIGTERM drain gracefully: sources stop, queued records are
+// processed, the open window is flushed and matched, and final
+// statistics are printed. -stats prints a periodic counters line to
+// stderr. Try it end to end:
+//
+//	go run ./cmd/tracegen -scenario office -duration 30m -stations 24 -o office.pcap
+//	go run ./cmd/fingerprintd -ref 5m -window 3m -stats 2s office.pcap
+//
+// Usage:
+//
+//	fingerprintd [-db ref.json | -ref 20m] [-param iat] [-measure cosine]
+//	             [-window 5m] [-threshold 0] [-shards 0] [-queue 8192]
+//	             [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
+//	             [-rebase] [-stats 10s] [-v] input.pcap [input2.pcap ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dot11fp"
+	"dot11fp/internal/cmdutil"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "reference database JSON (from fpanalyze); overrides -ref")
+	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the merged stream when no -db is given")
+	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
+	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
+	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
+	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
+	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "per-shard queue depth in observations (0 = default)")
+	drop := flag.Bool("drop", false, "drop observations instead of blocking when a shard queue is full")
+	maxSenders := flag.Int("max-senders", 0, "per-shard cap on tracked senders (0 = unbounded)")
+	idleEvict := flag.Duration("idle-evict", 0, "evict senders idle for this long in record time (0 = never)")
+	mergeFlag := flag.String("merge", "time", "source interleaving: time (deterministic) or arrival (live feeds)")
+	rebase := flag.Bool("rebase", false, "shift each source's clock so its first record lands at offset zero")
+	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 = off)")
+	verbose := flag.Bool("v", false, "also print below-minimum and evicted drops")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no inputs; usage: fingerprintd [flags] input.pcap [input2.pcap ...|-]"))
+	}
+	var mode dot11fp.MergeMode
+	switch *mergeFlag {
+	case "time":
+		mode = dot11fp.MergeByTime
+	case "arrival":
+		mode = dot11fp.MergeArrival
+	default:
+		fatal(fmt.Errorf("unknown -merge mode %q (want time or arrival)", *mergeFlag))
+	}
+
+	var sources []dot11fp.RecordSource
+	var closers []io.Closer
+	for _, name := range flag.Args() {
+		in := os.Stdin
+		if name != "-" {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			in = f
+		}
+		src, err := dot11fp.ReadPcapStream(in)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		sources = append(sources, src)
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	stream := dot11fp.NewMultiStream(mode, *rebase, sources...)
+	defer stream.Close()
+
+	// Graceful drain, armed before training so a signal at any phase is
+	// honoured: closing the merged stream makes both the training loop
+	// and the ingest loop fall out at EOF, and engine.Close flushes and
+	// matches the open window before the final stats line.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "fingerprintd: %v, draining\n", s)
+		interrupted.Store(true)
+		stream.Close()
+		signal.Stop(sigc)
+	}()
+
+	var db *dot11fp.Database
+	var pending *dot11fp.Record
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = dot11fp.LoadDatabase(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fingerprintd: loaded %d references (%s, %s)\n",
+			db.Len(), db.Config().Param, db.Measure())
+	} else {
+		var err error
+		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
+		if err != nil {
+			if interrupted.Load() {
+				fmt.Fprintln(os.Stderr, "fingerprintd: interrupted during training, nothing to drain")
+				return
+			}
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fingerprintd: trained %d references from the first %v of %d sources (%s)\n",
+			db.Len(), *ref, len(sources), db.Config().Param)
+	}
+
+	policy := dot11fp.BackpressureBlock
+	if *drop {
+		policy = dot11fp.BackpressureDrop
+	}
+	eng, err := dot11fp.NewShardedEngine(db.Config(), db.Compile(), dot11fp.ShardedOptions{
+		Window:       *window,
+		Threshold:    *threshold,
+		Shards:       *shards,
+		QueueLen:     *queue,
+		Backpressure: policy,
+		Limits:       dot11fp.SenderLimits{MaxSenders: *maxSenders, IdleEvict: *idleEvict},
+		Sink:         dot11fp.SinkFunc(cmdutil.Printer(offsetStamp, *verbose)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cmdutil.StatsLine(os.Stderr, "fingerprintd", eng.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	if pending != nil {
+		eng.Push(pending)
+	}
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		eng.Push(&rec)
+	}
+	eng.Close()
+	close(stop)
+	if err := stream.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "fingerprintd: source errors: %v\n", err)
+	}
+	cmdutil.StatsLine(os.Stderr, "fingerprintd", eng.Stats())
+}
+
+// offsetStamp renders a window bound as its offset into the merged
+// stream, which spans sources that need not share a wall clock.
+func offsetStamp(us int64) string {
+	return (time.Duration(us) * time.Microsecond).Round(time.Second).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fingerprintd:", err)
+	os.Exit(1)
+}

@@ -13,10 +13,17 @@
 //	go run ./cmd/tracegen -scenario office -duration 20m -stations 16 -o office.pcap
 //	go run ./cmd/livemon -ref 5m -window 3m office.pcap
 //
+// With -shards > 1 the stream drives the sharded concurrent engine —
+// same events, same order, across as many cores as asked for — and
+// -stats prints a periodic counters line to stderr. Several inputs at
+// once, bounded sender state and backpressure policy live in the
+// companion daemon, fingerprintd.
+//
 // Usage:
 //
 //	livemon [-db ref.json | -ref 20m] [-param iat] [-measure cosine]
-//	        [-window 5m] [-threshold 0] [-v] [capture.pcap | -]
+//	        [-window 5m] [-threshold 0] [-shards 1] [-stats 0]
+//	        [-v] [capture.pcap | -]
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"dot11fp"
+	"dot11fp/internal/cmdutil"
 )
 
 func main() {
@@ -36,6 +44,8 @@ func main() {
 	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
 	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
 	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
+	shards := flag.Int("shards", 1, "engine shards: 1 = serial engine, 0 = GOMAXPROCS, N = N shards")
+	statsEvery := flag.Duration("stats", 0, "periodic stats line interval on stderr (0 = off)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops")
 	flag.Parse()
 
@@ -68,7 +78,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "livemon: loaded %d references (%s, %s)\n",
 			db.Len(), db.Config().Param, db.Measure())
 	} else {
-		db, pending, err = trainFromStream(stream, *ref, *paramFlag, *measureFlag)
+		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
 		if err != nil {
 			fatal(err)
 		}
@@ -76,14 +86,47 @@ func main() {
 			db.Len(), *ref, db.Config().Param)
 	}
 
-	eng, err := dot11fp.NewEngine(db.Config(), db.Compile(), dot11fp.EngineOptions{
-		Window:    *window,
-		Threshold: *threshold,
-		Sink:      dot11fp.SinkFunc(printer(stream, *verbose)),
-	})
+	// The serial engine and the sharded engine share the push contract,
+	// so the monitoring loop is engine-agnostic.
+	var eng interface {
+		Push(*dot11fp.Record)
+		Close()
+		Stats() dot11fp.EngineStats
+	}
+	// Windows are stamped with the capture's wall clock.
+	clock := func(us int64) string {
+		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
+	}
+	sink := dot11fp.SinkFunc(cmdutil.Printer(clock, *verbose))
+	if *shards == 1 {
+		eng, err = dot11fp.NewEngine(db.Config(), db.Compile(), dot11fp.EngineOptions{
+			Window: *window, Threshold: *threshold, Sink: sink,
+		})
+	} else {
+		eng, err = dot11fp.NewShardedEngine(db.Config(), db.Compile(), dot11fp.ShardedOptions{
+			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink,
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	if pending != nil {
 		eng.Push(pending)
 	}
@@ -98,82 +141,8 @@ func main() {
 		eng.Push(&rec)
 	}
 	eng.Close()
-
-	st := eng.Stats()
-	fmt.Fprintf(os.Stderr,
-		"livemon: %d frames in %v (%.0f frames/s), %d windows, %d candidates (%d matched, %d unknown), %d dropped\n",
-		st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec,
-		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown, st.Dropped)
-}
-
-// trainFromStream materialises only the training prefix (records with
-// T within refDur of the first record), builds the reference database,
-// and hands back the boundary record so monitoring starts exactly where
-// training stopped — Split's anchoring, streamed.
-func trainFromStream(stream *dot11fp.PcapStream, refDur time.Duration, paramName, measureName string) (*dot11fp.Database, *dot11fp.Record, error) {
-	param, err := dot11fp.ParamByShortName(paramName)
-	if err != nil {
-		return nil, nil, err
-	}
-	measure, err := dot11fp.MeasureByName(measureName)
-	if err != nil {
-		return nil, nil, err
-	}
-	train := &dot11fp.Trace{}
-	var cut int64
-	for {
-		rec, err := stream.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(train.Records) == 0 {
-			cut = rec.T + refDur.Microseconds()
-		}
-		if rec.T >= cut {
-			db := dot11fp.NewDatabase(dot11fp.DefaultConfig(param), measure)
-			if err := db.Train(train); err != nil {
-				return nil, nil, err
-			}
-			return db, &rec, nil
-		}
-		train.Records = append(train.Records, rec)
-	}
-	return nil, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
-}
-
-// printer renders events as one line each, stamping windows with the
-// capture's wall clock.
-func printer(stream *dot11fp.PcapStream, verbose bool) func(dot11fp.Event) {
-	clock := func(us int64) string {
-		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
-	}
-	return func(ev dot11fp.Event) {
-		switch ev := ev.(type) {
-		case dot11fp.CandidateMatched:
-			fmt.Printf("w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
-				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
-		case dot11fp.UnknownDevice:
-			if ev.HasBest {
-				fmt.Printf("w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
-					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
-			} else {
-				fmt.Printf("w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
-					ev.Window, ev.Addr, ev.Sig.Observations())
-			}
-		case dot11fp.CandidateDropped:
-			if verbose {
-				fmt.Printf("w%03d  %s  dropped  %d/%d observations\n",
-					ev.Window, ev.Addr, ev.Observations, ev.Minimum)
-			}
-		case dot11fp.WindowClosed:
-			fmt.Printf("-- window %d [%s, %s): %d frames, %d senders, %d candidates (%d matched, %d unknown), %d dropped\n",
-				ev.Window, clock(ev.Start), clock(ev.End), ev.Frames,
-				ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped)
-		}
-	}
+	close(stop)
+	cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
 }
 
 func fatal(err error) {

@@ -69,6 +69,63 @@
 // a live monitoring service and examples/livestream for the API end to
 // end.
 //
+// # Scaling
+//
+// The detection loop is per-sender and windowed, which makes it
+// shardable by transmitter address. ShardedEngine is the concurrent
+// form of Engine: a router on the pushing goroutine applies the global
+// window clock and attribution rules, computes each observation's
+// parameter value against the stream-wide inter-arrival context, and
+// hash-partitions the observations across N shards (default
+// GOMAXPROCS). Each shard owns its accumulator and match scratch and is
+// fed through an SPSC batch queue; a merger joins per-shard results
+// back into one event stream. Because windowing and parameter values
+// are computed globally, the merged stream is identical to the serial
+// Engine's — same events, same order — for every shard count
+// (TestShardedIdenticalToSerial); shard count changes wall-clock
+// behaviour only.
+//
+//	eng, _ := dot11fp.NewShardedEngine(cfg, db.Compile(), dot11fp.ShardedOptions{
+//	    Shards:       0,                                   // one shard per core
+//	    Backpressure: dot11fp.BackpressureBlock,           // lossless flow control
+//	    Limits:       dot11fp.SenderLimits{MaxSenders: 10_000},
+//	    Sink:         sink,
+//	})
+//
+// Backpressure is explicit: Block (default) makes Push wait when a
+// shard queue fills, so a slow sink throttles the producer losslessly;
+// Drop bounds ingest latency instead, discarding observations under
+// pressure and counting them in Stats.DroppedFrames (window clocking is
+// never dropped). Events are delivered asynchronously on an internal
+// goroutine; Flush and Close block until every flushed window's events
+// have reached the sink.
+//
+// Sender state is boundable on both engines via SenderLimits: a
+// MaxSenders cap evicts least-recently-seen senders (batched, so the
+// scan amortises), and IdleEvict sweeps senders silent for longer than
+// the bound — under MAC randomization, apparent senders outnumber
+// physical devices by orders of magnitude, and an unbounded map grows
+// with every address ever seen. Evicted senders surface as
+// CandidateDropped events with Evicted set, so the information loss is
+// explicit in the event stream (individually up to a per-window record
+// cap — beyond it evictions are counted, not listed, so even the
+// bookkeeping stays bounded under a MAC flood); with limits unset,
+// state is unbounded
+// and output stays bit-identical to the batch pipeline. Eviction is
+// deterministic given the record stream (per shard, once sharded).
+//
+// Stats snapshots are consistent: the window-scoped counters are
+// updated as one group, while Frames/DroppedFrames are monotonic
+// ingest-side counters that may run ahead of them by the records still
+// in flight.
+//
+// Multiple monitors feed one engine through capture.MultiStream
+// (NewMultiStream): each source decodes on its own goroutine and the
+// merge interleaves by timestamp (deterministic, for synced or rebased
+// captures) or by arrival (live FIFOs). cmd/fingerprintd packages the
+// whole stack as a daemon — multi-source ingest, sharded engine,
+// periodic stats, graceful drain on SIGINT/SIGTERM.
+//
 // # Performance
 //
 // Matching is the N×W×D hot loop of the methodology: every candidate

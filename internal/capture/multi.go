@@ -1,0 +1,210 @@
+package capture
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// MergeMode selects how MultiStream interleaves its sources.
+type MergeMode uint8
+
+const (
+	// MergeByTime interleaves records in ascending timestamp order (a
+	// k-way merge over the per-source heads) — deterministic for file
+	// inputs whose sources share a timebase (or are rebased). A stalled
+	// source stalls the merge, so use MergeArrival for unsynchronised
+	// live feeds.
+	MergeByTime MergeMode = iota
+	// MergeArrival interleaves records as they become available from
+	// any source — the right mode for live FIFOs and stdin feeds, at
+	// the cost of a nondeterministic (arrival-dependent) interleaving.
+	MergeArrival
+)
+
+// RecordSource is anything that yields capture records one at a time,
+// ending with io.EOF. StreamReader implements it.
+type RecordSource interface {
+	Next() (Record, error)
+}
+
+// MultiStream merges several record sources into one stream — several
+// monitors (or several pcap files / FIFOs) feeding one fingerprinting
+// engine. Each source is decoded on its own goroutine with a small
+// prefetch buffer, so slow inputs overlap; the merge itself preserves
+// each source's internal order.
+//
+// With Rebase, each source's timestamps are shifted so its first record
+// lands at offset zero — aligning captures whose clocks never shared an
+// epoch. Without it, sources are assumed to share a timebase.
+//
+// Next must be called from a single goroutine. Close may be called from
+// any goroutine to stop the stream early: pending sources are released
+// and Next returns io.EOF once the buffered records run out.
+type MultiStream struct {
+	mode    MergeMode
+	heads   []multiHead   // MergeByTime: one pending record per live source
+	shared  chan srcEvent // MergeArrival: fan-in of every source
+	stop    chan struct{}
+	stopped sync.Once
+	live    int
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// multiHead is one source's prefetch state in by-time mode.
+type multiHead struct {
+	ch  chan srcEvent
+	rec Record
+	ok  bool
+}
+
+// srcEvent is one decoded record or a source's terminal error.
+type srcEvent struct {
+	rec Record
+	err error // io.EOF for clean end of source
+}
+
+// multiPrefetch is the per-source decode depth. Large enough to keep
+// decode goroutines busy across merge scheduling, small enough that
+// Close never strands much work.
+const multiPrefetch = 512
+
+// NewMultiStream merges the given sources. rebase shifts each source's
+// timestamps so its first record is at offset zero.
+func NewMultiStream(mode MergeMode, rebase bool, sources ...RecordSource) *MultiStream {
+	m := &MultiStream{
+		mode: mode,
+		stop: make(chan struct{}),
+		live: len(sources),
+	}
+	if mode == MergeArrival {
+		m.shared = make(chan srcEvent, multiPrefetch)
+		for _, src := range sources {
+			go m.pump(src, m.shared, rebase)
+		}
+		return m
+	}
+	m.heads = make([]multiHead, len(sources))
+	for i, src := range sources {
+		ch := make(chan srcEvent, multiPrefetch)
+		m.heads[i] = multiHead{ch: ch}
+		go m.pump(src, ch, rebase)
+	}
+	return m
+}
+
+// pump decodes one source into its channel until EOF, error, or Close.
+func (m *MultiStream) pump(src RecordSource, ch chan srcEvent, rebase bool) {
+	var offset int64
+	first := true
+	for {
+		rec, err := src.Next()
+		if err == nil && rebase {
+			if first {
+				offset = rec.T
+				first = false
+			}
+			rec.T -= offset
+		}
+		select {
+		case ch <- srcEvent{rec: rec, err: err}:
+		case <-m.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fill tops up a by-time head, retiring the source at EOF, error, or
+// Close (buffered records are drained first). Reports whether the head
+// holds a record.
+func (m *MultiStream) fill(h *multiHead) bool {
+	if h.ok || h.ch == nil {
+		return h.ok
+	}
+	var ev srcEvent
+	select {
+	case ev = <-h.ch:
+	default:
+		select {
+		case ev = <-h.ch:
+		case <-m.stop:
+			h.ch = nil
+			return false
+		}
+	}
+	if ev.err != nil {
+		if ev.err != io.EOF {
+			m.mu.Lock()
+			m.errs = append(m.errs, ev.err)
+			m.mu.Unlock()
+		}
+		h.ch = nil
+		m.live--
+		return false
+	}
+	h.rec, h.ok = ev.rec, true
+	return true
+}
+
+// Next returns the next merged record, or io.EOF when every source has
+// ended (check Err for per-source failures — a failed source retires,
+// it does not abort the merge).
+func (m *MultiStream) Next() (Record, error) {
+	if m.mode == MergeArrival {
+		for m.live > 0 {
+			var ev srcEvent
+			select {
+			case ev = <-m.shared:
+			default:
+				select {
+				case ev = <-m.shared:
+				case <-m.stop:
+					return Record{}, io.EOF
+				}
+			}
+			if ev.err != nil {
+				if ev.err != io.EOF {
+					m.mu.Lock()
+					m.errs = append(m.errs, ev.err)
+					m.mu.Unlock()
+				}
+				m.live--
+				continue
+			}
+			return ev.rec, nil
+		}
+		return Record{}, io.EOF
+	}
+	best := -1
+	for i := range m.heads {
+		if !m.fill(&m.heads[i]) {
+			continue
+		}
+		if best < 0 || m.heads[i].rec.T < m.heads[best].rec.T {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Record{}, io.EOF
+	}
+	m.heads[best].ok = false
+	return m.heads[best].rec, nil
+}
+
+// Close stops the stream: decode goroutines are released and Next
+// drains to io.EOF. Safe to call from any goroutine, more than once.
+func (m *MultiStream) Close() {
+	m.stopped.Do(func() { close(m.stop) })
+}
+
+// Err returns the accumulated per-source decode errors, joined, or nil.
+func (m *MultiStream) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return errors.Join(m.errs...)
+}

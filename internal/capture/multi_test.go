@@ -1,0 +1,243 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/pcap"
+)
+
+// multiFixture builds a trace of n records from k senders and splits it
+// round-robin into parts, each serialised as its own pcap stream.
+func multiFixture(t *testing.T, n, senders, parts int) (*Trace, []*StreamReader) {
+	t.Helper()
+	tr := &Trace{Base: time.Unix(1700000000, 0).UTC(), Channel: 6}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, Record{
+			T:      int64(i) * 1000,
+			Sender: dot11.LocalAddr(uint64(i%senders + 1)),
+			Class:  dot11.ClassData, Size: 300, RateMbps: 24, FCSOK: true,
+		})
+	}
+	split := make([]*Trace, parts)
+	for p := range split {
+		split[p] = &Trace{Base: tr.Base, Channel: tr.Channel}
+	}
+	for i := range tr.Records {
+		p := i % parts
+		split[p].Records = append(split[p].Records, tr.Records[i])
+	}
+	var readers []*StreamReader
+	for _, part := range split {
+		var buf bytes.Buffer
+		if err := WritePcap(&buf, part); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers = append(readers, sr)
+	}
+	return tr, readers
+}
+
+// TestMultiStreamByTime pins the deterministic merge: records from
+// three interleaved pcap parts come back in ascending timestamp order,
+// and the merged stream carries exactly the records of the original
+// trace.
+func TestMultiStreamByTime(t *testing.T) {
+	t.Parallel()
+	tr, readers := multiFixture(t, 600, 6, 3)
+	srcs := make([]RecordSource, len(readers))
+	for i, r := range readers {
+		srcs[i] = r
+	}
+	ms := NewMultiStream(MergeByTime, false, srcs...)
+	defer ms.Close()
+	var got []Record
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Records) {
+		t.Fatalf("merged %d records, want %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		if got[i].T != tr.Records[i].T || got[i].Sender != tr.Records[i].Sender {
+			t.Fatalf("record %d: T=%d sender=%v, want T=%d sender=%v",
+				i, got[i].T, got[i].Sender, tr.Records[i].T, tr.Records[i].Sender)
+		}
+		if i > 0 && got[i].T < got[i-1].T {
+			t.Fatalf("merge out of order at %d: %d after %d", i, got[i].T, got[i-1].T)
+		}
+	}
+}
+
+// TestMultiStreamArrival pins the live-feed mode: every record arrives
+// exactly once (order unspecified), and EOF follows the last source.
+func TestMultiStreamArrival(t *testing.T) {
+	t.Parallel()
+	tr, readers := multiFixture(t, 400, 4, 4)
+	srcs := make([]RecordSource, len(readers))
+	for i, r := range readers {
+		srcs[i] = r
+	}
+	ms := NewMultiStream(MergeArrival, false, srcs...)
+	defer ms.Close()
+	seen := make(map[int64]int)
+	n := 0
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[rec.T]++
+		n++
+	}
+	if n != len(tr.Records) {
+		t.Fatalf("arrival merge yielded %d records, want %d", n, len(tr.Records))
+	}
+	for _, c := range seen {
+		if c != 1 {
+			t.Fatal("a record arrived more than once")
+		}
+	}
+}
+
+// TestMultiStreamRebase pins the clock alignment: two sources with
+// wildly different epochs merge into one zero-based stream.
+func TestMultiStreamRebase(t *testing.T) {
+	t.Parallel()
+	mk := func(epoch int64, n int) *StreamReader {
+		tr := &Trace{Base: time.Unix(1700000000, 0).UTC(), Channel: 6}
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, Record{
+				T: epoch + int64(i)*1000, Sender: dot11.LocalAddr(uint64(epoch%97 + 1)),
+				Class: dot11.ClassData, Size: 300, RateMbps: 24, FCSOK: true,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WritePcap(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	ms := NewMultiStream(MergeByTime, true, mk(0, 50), mk(9_000_000_000, 50))
+	defer ms.Close()
+	n, maxT := 0, int64(0)
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.T > maxT {
+			maxT = rec.T
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("merged %d records, want 100", n)
+	}
+	if maxT >= 9_000_000_000 {
+		t.Fatalf("rebase left an epoch offset: max T = %d", maxT)
+	}
+}
+
+// TestMultiStreamClose pins early shutdown: Close releases the decode
+// goroutines and Next drains to io.EOF instead of blocking.
+func TestMultiStreamClose(t *testing.T) {
+	t.Parallel()
+	_, readers := multiFixture(t, 10_000, 4, 2)
+	srcs := make([]RecordSource, len(readers))
+	for i, r := range readers {
+		srcs[i] = r
+	}
+	ms := NewMultiStream(MergeByTime, false, srcs...)
+	for i := 0; i < 10; i++ {
+		if _, err := ms.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.Close()
+	for {
+		_, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.Close() // idempotent
+}
+
+// TestStreamReaderTruncatedRecord pins the defined behaviour on a pcap
+// whose final record is cut mid-body (a capture interrupted by a crash
+// or a still-being-written file): every complete record is yielded,
+// then the stream ends with pcap.ErrTruncated — not a silent EOF, and
+// not a hang.
+func TestStreamReaderTruncatedRecord(t *testing.T) {
+	t.Parallel()
+	tr := &Trace{Base: time.Unix(1700000000, 0).UTC(), Channel: 6}
+	for i := 0; i < 20; i++ {
+		tr.Records = append(tr.Records, Record{
+			T: int64(i) * 1000, Sender: dot11.LocalAddr(uint64(i + 1)),
+			Class: dot11.ClassData, Size: 300, RateMbps: 24, FCSOK: true,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	sr, err := NewStreamReader(bytes.NewReader(raw[:len(raw)-7])) // cut the last record's body
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := sr.Next()
+		if err == nil {
+			n++
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("truncated record surfaced as clean EOF")
+		}
+		if !errors.Is(err, pcap.ErrTruncated) {
+			t.Fatalf("truncated record surfaced as %v, want pcap.ErrTruncated", err)
+		}
+		break
+	}
+	if n != len(tr.Records)-1 {
+		t.Fatalf("%d records decoded before the truncation, want %d", n, len(tr.Records)-1)
+	}
+	// The batch adapter surfaces the same error.
+	if _, err := ReadPcap(bytes.NewReader(raw[:len(raw)-7])); !errors.Is(err, pcap.ErrTruncated) {
+		t.Fatalf("ReadPcap on truncated stream: %v, want pcap.ErrTruncated", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cmdutil holds the helpers the monitoring commands — livemon
+// and fingerprintd — share, so training and stats reporting cannot
+// drift between the two binaries.
+package cmdutil
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dot11fp"
+)
+
+// TrainFromStream materialises only the training prefix of a record
+// stream (records with T within refDur of the first record), builds
+// the reference database, and hands back the boundary record so
+// monitoring starts exactly where training stopped — Split's
+// anchoring, streamed. Works over any record source: a single pcap
+// stream or a multi-source merge.
+func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, paramName, measureName string) (*dot11fp.Database, *dot11fp.Record, error) {
+	param, err := dot11fp.ParamByShortName(paramName)
+	if err != nil {
+		return nil, nil, err
+	}
+	measure, err := dot11fp.MeasureByName(measureName)
+	if err != nil {
+		return nil, nil, err
+	}
+	train := &dot11fp.Trace{}
+	var cut int64
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(train.Records) == 0 {
+			cut = rec.T + refDur.Microseconds()
+		}
+		if rec.T >= cut {
+			db := dot11fp.NewDatabase(dot11fp.DefaultConfig(param), measure)
+			if err := db.Train(train); err != nil {
+				return nil, nil, err
+			}
+			return db, &rec, nil
+		}
+		train.Records = append(train.Records, rec)
+	}
+	return nil, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
+}
+
+// Printer renders engine events as one line each on stdout — the
+// monitoring commands' shared output format. stamp renders a window
+// bound (trace-time µs) the way the command's clock works: wall time
+// for a single capture, stream offset for a multi-source merge.
+// verbose also prints below-minimum and evicted drops.
+func Printer(stamp func(us int64) string, verbose bool) func(dot11fp.Event) {
+	return func(ev dot11fp.Event) {
+		switch ev := ev.(type) {
+		case dot11fp.CandidateMatched:
+			fmt.Printf("w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
+				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+		case dot11fp.UnknownDevice:
+			if ev.HasBest {
+				fmt.Printf("w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
+					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+			} else {
+				fmt.Printf("w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
+					ev.Window, ev.Addr, ev.Sig.Observations())
+			}
+		case dot11fp.CandidateDropped:
+			if verbose {
+				if ev.Evicted {
+					fmt.Printf("w%03d  %s  evicted  %d observations\n",
+						ev.Window, ev.Addr, ev.Observations)
+				} else {
+					fmt.Printf("w%03d  %s  dropped  %d/%d observations\n",
+						ev.Window, ev.Addr, ev.Observations, ev.Minimum)
+				}
+			}
+		case dot11fp.WindowClosed:
+			fmt.Printf("-- window %d [%s, %s): %d frames, %d senders, %d candidates (%d matched, %d unknown), %d dropped\n",
+				ev.Window, stamp(ev.Start), stamp(ev.End), ev.Frames,
+				ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped)
+		}
+	}
+}
+
+// StatsLine prints one operator-readable counters snapshot, prefixed
+// with the command name.
+func StatsLine(w io.Writer, prefix string, st dot11fp.EngineStats) {
+	fmt.Fprintf(w,
+		"%s: %d frames in %v (%.0f frames/s), %d live senders, %d windows, %d candidates (%d matched, %d unknown), %d dropped senders (%d evicted), %d dropped frames\n",
+		prefix, st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec, st.LiveSenders,
+		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown,
+		st.Dropped, st.Evicted, st.DroppedFrames)
+}

@@ -293,6 +293,26 @@ func (c *CompiledDB) MatchAllWorkers(cands []Candidate, workers int) [][]Score {
 	return out
 }
 
+// MatchAllScratch is the serial, caller-scratch form of MatchAll, built
+// for per-shard reuse: one long-lived scratch per shard amortises the
+// internal buffers across every window, while the returned rows (one
+// backing allocation per call) are handed off to the caller and never
+// aliased again. Row i is exactly Match(cands[i].Sig).
+func (c *CompiledDB) MatchAllScratch(cands []Candidate, scratch *MatchScratch) [][]Score {
+	out := make([][]Score, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	n := len(c.addrs)
+	backing := make([]Score, len(cands)*n)
+	for i := range cands {
+		row := backing[i*n : (i+1)*n : (i+1)*n]
+		copy(row, c.MatchInto(cands[i].Sig, scratch))
+		out[i] = row
+	}
+	return out
+}
+
 // ForEachIndex runs fn(scratch, i) for every i in [0, n) across the
 // given number of workers (0 ⇒ GOMAXPROCS, 1 ⇒ inline serial). Each
 // worker owns one MatchScratch, so fn can use the zero-allocation

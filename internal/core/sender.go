@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dot11fp/internal/dot11"
+)
+
+// SenderLimits bounds the per-window sender state of a SenderTable (and
+// with it a WindowAccumulator or engine). The zero value imposes no
+// bounds — memory then grows with the number of distinct senders seen
+// in a window, which under MAC randomization can be orders of magnitude
+// larger than the number of physical devices.
+type SenderLimits struct {
+	// MaxSenders caps the number of concurrently tracked senders.
+	// Inserting a sender beyond the cap evicts the least-recently-seen
+	// senders first (a deterministic function of the record stream), so
+	// signature memory is O(MaxSenders) instead of O(distinct MACs).
+	// Zero means unbounded.
+	MaxSenders int
+	// IdleEvict evicts senders that have not transmitted for at least
+	// this long (in record time, not wall clock). Zero disables idle
+	// eviction. Eviction sweeps are triggered from the observation path,
+	// so they too are a deterministic function of the record stream.
+	IdleEvict time.Duration
+}
+
+// senderEntry is one tracked sender: its accumulating signature and the
+// record time it was last seen, for recency-based eviction.
+type senderEntry struct {
+	sig   *Signature
+	lastT int64
+}
+
+// SenderTable accumulates per-sender signatures for one detection
+// window with optionally bounded state. It is the sender-map core of
+// WindowAccumulator, split out so a sharded engine can own one table
+// per shard and clock them externally.
+//
+// Observe and Drain must be called from a single goroutine;
+// LiveSenders is safe to read from any goroutine.
+type SenderTable struct {
+	cfg     Config
+	limits  SenderLimits
+	idleUs  int64
+	entries map[dot11.Addr]*senderEntry
+	evicted []DroppedSender
+	silent  uint64 // evictions beyond the per-window record cap
+
+	sweepT  int64 // record time of the last idle sweep
+	scratch []evictCand
+
+	live         atomic.Int64
+	evictedTotal atomic.Uint64
+}
+
+// evictRecordFloor bounds the per-window detailed eviction records (see
+// recordCap): without a cap the evicted list itself would grow with the
+// number of distinct MACs churned through a window, re-creating exactly
+// the unbounded memory SenderLimits exists to prevent.
+const evictRecordFloor = 4096
+
+// recordCap is the most per-window eviction records the table retains;
+// evictions beyond it are tallied in WindowResult.EvictedSilently.
+func (t *SenderTable) recordCap() int {
+	if c := 4 * t.limits.MaxSenders; c > evictRecordFloor {
+		return c
+	}
+	return evictRecordFloor
+}
+
+// evictCand is the reusable sort record of the eviction scan.
+type evictCand struct {
+	addr  dot11.Addr
+	lastT int64
+}
+
+// NewSenderTable creates a table extracting signatures under cfg (zero
+// fields materialised as everywhere else) with the given bounds.
+func NewSenderTable(cfg Config, limits SenderLimits) *SenderTable {
+	return &SenderTable{
+		cfg:     cfg.withDefaults(),
+		limits:  limits,
+		idleUs:  limits.IdleEvict.Microseconds(),
+		entries: make(map[dot11.Addr]*senderEntry),
+		sweepT:  -1,
+	}
+}
+
+// Config returns the extraction configuration with defaults materialised.
+func (t *SenderTable) Config() Config { return t.cfg }
+
+// SetLimits replaces the table's bounds. Existing state is kept; the
+// new bounds apply from the next observation.
+func (t *SenderTable) SetLimits(l SenderLimits) {
+	t.limits = l
+	t.idleUs = l.IdleEvict.Microseconds()
+}
+
+// Len returns the number of currently tracked senders.
+func (t *SenderTable) Len() int { return len(t.entries) }
+
+// LiveSenders returns the number of currently tracked senders; unlike
+// Len it is safe to call from any goroutine.
+func (t *SenderTable) LiveSenders() int { return int(t.live.Load()) }
+
+// EvictedTotal returns the number of senders evicted so far over the
+// table's lifetime (cap plus idle evictions, across every window). Safe
+// from any goroutine.
+func (t *SenderTable) EvictedTotal() uint64 { return t.evictedTotal.Load() }
+
+// Observe adds one attributed observation: the value v of class,
+// transmitted by addr in the record whose end of reception is now (µs,
+// record time). Callers have already applied the attribution rules and
+// computed the parameter value — WindowAccumulator for the serial
+// paths, the sharded engine's router for the concurrent one.
+func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now int64) {
+	if t.idleUs > 0 {
+		// Sweep at most once per idle period, on whichever observation
+		// crosses it — a stable sender population still ages out its
+		// one-time visitors, at an amortised O(1) per observation.
+		if t.sweepT < 0 {
+			t.sweepT = now
+		} else if now-t.sweepT >= t.idleUs {
+			t.sweepIdle(now)
+		}
+	}
+	e, ok := t.entries[addr]
+	if !ok {
+		if t.limits.MaxSenders > 0 && len(t.entries) >= t.limits.MaxSenders {
+			t.evictOldest()
+		}
+		e = &senderEntry{sig: NewSignature(t.cfg.Param, t.cfg.Bins)}
+		t.entries[addr] = e
+		t.live.Store(int64(len(t.entries)))
+	}
+	e.lastT = now
+	e.sig.Add(class, v)
+}
+
+// sweepIdle evicts every sender whose last observation is at least the
+// idle bound behind now.
+func (t *SenderTable) sweepIdle(now int64) {
+	t.sweepT = now
+	cut := now - t.idleUs
+	for addr, e := range t.entries {
+		if e.lastT <= cut {
+			t.evict(addr, e)
+		}
+	}
+	t.live.Store(int64(len(t.entries)))
+}
+
+// evictOldest removes the least-recently-seen eighth of the cap (at
+// least one sender) so the O(n log n) scan amortises to O(log n) per
+// over-cap insertion. Ties on last-seen time break by ascending
+// address, keeping eviction a deterministic function of the stream.
+func (t *SenderTable) evictOldest() {
+	cands := t.scratch[:0]
+	for addr, e := range t.entries {
+		cands = append(cands, evictCand{addr: addr, lastT: e.lastT})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lastT != cands[j].lastT {
+			return cands[i].lastT < cands[j].lastT
+		}
+		return lessAddr(cands[i].addr, cands[j].addr)
+	})
+	k := t.limits.MaxSenders / 8
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for _, c := range cands[:k] {
+		t.evict(c.addr, t.entries[c.addr])
+	}
+	t.scratch = cands[:0] // keep the grown buffer
+	t.live.Store(int64(len(t.entries)))
+}
+
+// evict removes one sender, recording it for the window's Dropped list.
+// Only the address and observation count survive eviction — the
+// signature memory is released, which is the point of the bound. An
+// evicted sender that transmits again starts a fresh signature and may
+// therefore be reported twice for the same window; the information loss
+// is explicit in the event stream. Detailed records are themselves
+// capped per window (recordCap): under a MAC-randomization flood the
+// evictions beyond the cap are only counted, keeping the table's whole
+// footprint O(MaxSenders), not O(churn).
+func (t *SenderTable) evict(addr dot11.Addr, e *senderEntry) {
+	if len(t.evicted) < t.recordCap() {
+		t.evicted = append(t.evicted, DroppedSender{
+			Addr:         addr,
+			Observations: e.sig.Observations(),
+			Evicted:      true,
+		})
+	} else {
+		t.silent++
+	}
+	t.evictedTotal.Add(1)
+	delete(t.entries, addr)
+}
+
+// Drain moves the table's state into res: senders that cleared the
+// minimum-observation rule become res.Candidates (ascending address,
+// with res.Index as their window), the rest plus every evicted sender
+// become res.Dropped (ascending address; below-minimum entries sort
+// before evicted ones at equal addresses). The table is reset for the
+// next window; everything in res is handed off without aliasing.
+func (t *SenderTable) Drain(res *WindowResult) {
+	for _, addr := range sortedAddrs(t.entries) {
+		e := t.entries[addr]
+		if e.sig.Observations() >= uint64(t.cfg.MinObservations) {
+			res.Candidates = append(res.Candidates, Candidate{Addr: addr, Window: res.Index, Sig: e.sig})
+		} else {
+			res.Dropped = append(res.Dropped, DroppedSender{Addr: addr, Observations: e.sig.Observations()})
+		}
+	}
+	if len(t.evicted) > 0 {
+		res.Dropped = append(res.Dropped, t.evicted...)
+		sort.SliceStable(res.Dropped, func(i, j int) bool {
+			return lessAddr(res.Dropped[i].Addr, res.Dropped[j].Addr)
+		})
+		t.evicted = t.evicted[:0]
+	}
+	res.EvictedSilently = t.silent
+	t.silent = 0
+	clear(t.entries)
+	t.sweepT = -1
+	t.live.Store(0)
+}

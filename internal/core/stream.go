@@ -31,13 +31,114 @@ type WindowResult struct {
 	Candidates []Candidate
 	// Dropped are the senders that did not.
 	Dropped []DroppedSender
+	// EvictedSilently counts evictions beyond the per-window record
+	// cap: they are tallied (here and in the engines' counters) but
+	// carry no individual Dropped entry, so eviction bookkeeping stays
+	// O(SenderLimits.MaxSenders) under unbounded MAC churn.
+	EvictedSilently uint64
 }
 
-// DroppedSender is a sender observed in a window whose signature stayed
-// below the minimum-observation rule.
+// DroppedSender is a sender observed in a window that was never
+// matched: its signature stayed below the minimum-observation rule, or
+// it was evicted by the table's SenderLimits before the window closed.
 type DroppedSender struct {
 	Addr         dot11.Addr
 	Observations uint64
+	// Evicted distinguishes a bounded-state eviction (cap or idle) from
+	// the ordinary below-minimum drop.
+	Evicted bool
+}
+
+// WindowMeta is the bookkeeping of one closed detection window, as
+// produced by WindowClock.
+type WindowMeta struct {
+	// Index is the window ordinal among non-empty windows.
+	Index int
+	// Start and End bound the window in trace time [Start, End) µs.
+	Start, End int64
+	// Frames is the number of records scanned in the window.
+	Frames int
+}
+
+// WindowClock is the detection-window bookkeeping shared by
+// WindowAccumulator and the sharded engine's router — one
+// implementation of the grid anchoring, non-empty-window numbering,
+// per-window frame counting and inter-arrival context reset, so the
+// serial and sharded paths cannot drift apart. The grid is anchored at
+// the first record; a non-positive window size keeps the whole stream
+// as one window (closed only by CloseOpen).
+type WindowClock struct {
+	w       int64 // window size in µs; <= 0 means one window for the stream
+	started bool  // anchor captured
+	anchor  int64 // T of the first record: the window-grid origin
+	open    bool  // a window is currently accumulating
+	bucket  int64 // current window ordinal relative to the anchor
+	index   int   // index among non-empty windows
+	prevT   int64 // previous record's T; -1 at each window start
+	frames  int
+}
+
+// NewWindowClock creates a clock for the given window size.
+func NewWindowClock(window time.Duration) WindowClock {
+	return WindowClock{w: window.Microseconds(), index: -1, prevT: -1}
+}
+
+// Advance accounts one record at time t: if t falls outside the open
+// window, that window closes — its metadata is returned with
+// closed=true — before the record is counted to the freshly opened
+// one. Call Mark(t) after processing the record.
+func (c *WindowClock) Advance(t int64) (closed bool, meta WindowMeta) {
+	if !c.started {
+		c.started = true
+		c.anchor = t
+	}
+	var b int64
+	if c.w > 0 {
+		b = (t - c.anchor) / c.w
+	}
+	if !c.open || b != c.bucket {
+		if c.open {
+			closed, meta = true, c.meta()
+		}
+		c.open = true
+		c.bucket = b
+		c.index++
+		c.prevT = -1 // each window starts a fresh inter-arrival context
+		c.frames = 0
+	}
+	c.frames++
+	return closed, meta
+}
+
+// CloseOpen closes the currently open window early (the Flush path);
+// the next Advance opens a fresh window on the same grid.
+func (c *WindowClock) CloseOpen() (closed bool, meta WindowMeta) {
+	if !c.open {
+		return false, WindowMeta{}
+	}
+	meta = c.meta()
+	c.open = false
+	return true, meta
+}
+
+// PrevT returns the previous record's end of reception — the
+// inter-arrival context — or -1 at a window start.
+func (c *WindowClock) PrevT() int64 { return c.prevT }
+
+// Mark records t as the new inter-arrival context.
+func (c *WindowClock) Mark(t int64) { c.prevT = t }
+
+// meta captures the open window's bookkeeping.
+func (c *WindowClock) meta() WindowMeta {
+	m := WindowMeta{Index: c.index, Frames: c.frames}
+	if c.w > 0 {
+		m.Start = c.anchor + c.bucket*c.w
+		m.End = m.Start + c.w
+	} else {
+		m.Start = c.anchor
+		m.End = c.prevT + 1
+	}
+	return m
 }
 
 // WindowAccumulator is the incremental form of CandidatesIn: records
@@ -52,20 +153,11 @@ type DroppedSender struct {
 // Push and Flush must be called from a single goroutine; LiveSenders
 // and WindowsClosed are safe to read from any goroutine.
 type WindowAccumulator struct {
-	cfg  Config
-	w    int64 // window size in µs; <= 0 means one window for the stream
-	emit func(*WindowResult)
+	cfg   Config
+	clock WindowClock
+	emit  func(*WindowResult)
+	table *SenderTable
 
-	sigs    map[dot11.Addr]*Signature
-	started bool  // anchor captured
-	anchor  int64 // T of the first pushed record: the window-grid origin
-	open    bool  // a window is currently accumulating
-	bucket  int64 // current window ordinal relative to the anchor
-	wi      int   // index among non-empty windows
-	prevT   int64 // previous record's T; -1 at each window start
-	frames  int
-
-	live    atomic.Int64 // senders in the open window, for concurrent stats
 	windows atomic.Int64 // windows emitted so far
 }
 
@@ -74,21 +166,32 @@ type WindowAccumulator struct {
 // for measurement). The config's zero fields are materialised exactly
 // as the batch extraction paths do.
 func NewWindowAccumulator(window time.Duration, cfg Config, emit func(*WindowResult)) *WindowAccumulator {
-	return &WindowAccumulator{
-		cfg:  cfg.withDefaults(),
-		w:    window.Microseconds(),
-		emit: emit,
-		sigs: make(map[dot11.Addr]*Signature),
-		wi:   -1,
+	a := &WindowAccumulator{
+		clock: NewWindowClock(window),
+		emit:  emit,
 	}
+	a.table = NewSenderTable(cfg, SenderLimits{})
+	a.cfg = a.table.Config()
+	return a
 }
 
 // Config returns the extraction configuration with defaults materialised.
 func (a *WindowAccumulator) Config() Config { return a.cfg }
 
+// SetLimits bounds the accumulator's per-window sender state (see
+// SenderLimits). With the zero value — the default — state is unbounded
+// and output is byte-for-byte the batch pipeline's; with bounds in
+// place, evicted senders surface in WindowResult.Dropped with Evicted
+// set. Call before the first Push.
+func (a *WindowAccumulator) SetLimits(l SenderLimits) { a.table.SetLimits(l) }
+
 // LiveSenders returns the number of distinct senders with observations
 // in the currently open window.
-func (a *WindowAccumulator) LiveSenders() int { return int(a.live.Load()) }
+func (a *WindowAccumulator) LiveSenders() int { return a.table.LiveSenders() }
+
+// EvictedSenders returns the number of senders evicted under the
+// accumulator's SenderLimits so far, across all windows.
+func (a *WindowAccumulator) EvictedSenders() uint64 { return a.table.EvictedTotal() }
 
 // WindowsClosed returns the number of windows emitted so far.
 func (a *WindowAccumulator) WindowsClosed() int { return int(a.windows.Load()) }
@@ -97,36 +200,15 @@ func (a *WindowAccumulator) WindowsClosed() int { return int(a.windows.Load()) }
 // boundary closes the previous window (emitting its WindowResult)
 // before the record is accounted to the new one.
 func (a *WindowAccumulator) Push(rec *capture.Record) {
-	if !a.started {
-		a.started = true
-		a.anchor = rec.T
+	if closed, meta := a.clock.Advance(rec.T); closed {
+		a.close(meta)
 	}
-	var b int64
-	if a.w > 0 {
-		b = (rec.T - a.anchor) / a.w
-	}
-	if !a.open || b != a.bucket {
-		if a.open {
-			a.close()
-		}
-		a.open = true
-		a.bucket = b
-		a.wi++
-		a.prevT = -1 // each window starts a fresh inter-arrival context
-	}
-	a.frames++
 	if !rec.Sender.IsZero() && (rec.FCSOK || a.cfg.KeepBadFCS) {
-		if v, ok := a.cfg.Param.Value(rec, a.prevT); ok {
-			sig, have := a.sigs[rec.Sender]
-			if !have {
-				sig = NewSignature(a.cfg.Param, a.cfg.Bins)
-				a.sigs[rec.Sender] = sig
-				a.live.Add(1)
-			}
-			sig.Add(rec.Class, v)
+		if v, ok := a.cfg.Param.Value(rec, a.clock.PrevT()); ok {
+			a.table.Observe(rec.Sender, rec.Class, v, rec.T)
 		}
 	}
-	a.prevT = rec.T
+	a.clock.Mark(rec.T)
 }
 
 // Flush closes the currently open window, if any. The next pushed
@@ -134,33 +216,15 @@ func (a *WindowAccumulator) Push(rec *capture.Record) {
 // (the batch paths' usage) leaves streaming output identical to
 // windowing the materialised trace.
 func (a *WindowAccumulator) Flush() {
-	if a.open {
-		a.close()
-		a.open = false
+	if closed, meta := a.clock.CloseOpen(); closed {
+		a.close(meta)
 	}
 }
 
-// close emits the accumulated window and resets the per-window state.
-func (a *WindowAccumulator) close() {
-	res := &WindowResult{Index: a.wi, Frames: a.frames}
-	if a.w > 0 {
-		res.Start = a.anchor + a.bucket*a.w
-		res.End = res.Start + a.w
-	} else {
-		res.Start = a.anchor
-		res.End = a.prevT + 1
-	}
-	for _, addr := range sortedAddrs(a.sigs) {
-		sig := a.sigs[addr]
-		if sig.Observations() >= uint64(a.cfg.MinObservations) {
-			res.Candidates = append(res.Candidates, Candidate{Addr: addr, Window: a.wi, Sig: sig})
-		} else {
-			res.Dropped = append(res.Dropped, DroppedSender{Addr: addr, Observations: sig.Observations()})
-		}
-	}
-	clear(a.sigs)
-	a.live.Store(0)
-	a.frames = 0
+// close emits the accumulated window.
+func (a *WindowAccumulator) close(meta WindowMeta) {
+	res := &WindowResult{Index: meta.Index, Start: meta.Start, End: meta.End, Frames: meta.Frames}
+	a.table.Drain(res)
 	a.windows.Add(1)
 	if a.emit != nil {
 		a.emit(res)

@@ -8,7 +8,7 @@ import (
 
 // sortedAddrs returns map keys in ascending byte order for deterministic
 // iteration.
-func sortedAddrs(m map[dot11.Addr]*Signature) []dot11.Addr {
+func sortedAddrs[V any](m map[dot11.Addr]V) []dot11.Addr {
 	out := make([]dot11.Addr, 0, len(m))
 	for a := range m {
 		out = append(out, a)

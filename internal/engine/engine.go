@@ -20,12 +20,12 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dot11fp/internal/capture"
 	"dot11fp/internal/core"
-	"dot11fp/internal/dot11"
 )
 
 // Options parameterises an Engine.
@@ -44,25 +44,47 @@ type Options struct {
 	// 0 selects GOMAXPROCS, 1 forces the serial path. Results are
 	// identical for every worker count.
 	Workers int
+	// Limits bounds the per-window sender state (see core.SenderLimits).
+	// The zero value is unbounded — bit-identical to the batch pipeline;
+	// with bounds set, evicted senders surface as CandidateDropped
+	// events with Evicted set and memory stays O(MaxSenders).
+	Limits core.SenderLimits
 	// Sink receives the engine's events; nil discards them (statistics
 	// are still maintained).
 	Sink Sink
 }
 
 // Stats is a point-in-time snapshot of an engine's counters.
+//
+// Snapshot semantics: the window-scoped counters — WindowsClosed,
+// Candidates, Matched, Unknown, Dropped and Evicted — are updated as
+// one group under a lock when a window's events have been emitted, so
+// within any snapshot they are mutually consistent (Candidates is
+// always Matched + Unknown, and all six describe the same set of
+// closed windows). Frames and DroppedFrames are lock-free monotonic
+// counters updated on the ingest path; they may run ahead of the
+// window counters by the records still in flight (queued but not yet
+// windowed, or in the currently open window). LiveSenders is an
+// instantaneous gauge.
 type Stats struct {
 	// Frames is the number of records pushed.
 	Frames uint64
+	// DroppedFrames is the number of observations discarded by the
+	// sharded engine's Drop backpressure policy. Always 0 for the
+	// serial Engine.
+	DroppedFrames uint64
 	// WindowsClosed is the number of detection windows emitted.
 	WindowsClosed uint64
 	// LiveSenders is the number of distinct senders with observations
-	// in the currently open window.
+	// in the currently open window (summed across shards).
 	LiveSenders int
 	// Candidates, Matched, Unknown and Dropped count the per-window
-	// verdicts emitted so far. Candidates is by definition
-	// Matched + Unknown, so the invariant holds in every snapshot,
-	// even one taken mid-window-close.
+	// verdicts emitted so far; Candidates = Matched + Unknown in every
+	// snapshot. Dropped counts below-minimum and evicted senders.
 	Candidates, Matched, Unknown, Dropped uint64
+	// Evicted counts the senders evicted under Options.Limits (a subset
+	// of Dropped).
+	Evicted uint64
 	// Elapsed is the wall-clock time since the first push;
 	// FramesPerSec is Frames over Elapsed.
 	Elapsed      time.Duration
@@ -81,11 +103,16 @@ type Engine struct {
 	closed  bool
 	startNs atomic.Int64 // wall clock of the first push, unix ns
 
-	frames  atomic.Uint64
-	windows atomic.Uint64
-	matched atomic.Uint64
-	unknown atomic.Uint64
-	dropped atomic.Uint64
+	frames atomic.Uint64
+
+	// The window-scoped counters form one consistent snapshot group
+	// (see Stats); they are only touched under mu.
+	mu      sync.Mutex
+	windows uint64
+	matched uint64
+	unknown uint64
+	dropped uint64
+	evicted uint64
 }
 
 // New creates an engine extracting signatures under cfg and matching
@@ -99,6 +126,7 @@ func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts}
 	e.acc = core.NewWindowAccumulator(opts.Window, cfg, e.handleWindow)
+	e.acc.SetLimits(opts.Limits)
 	e.cfg = e.acc.Config() // defaults materialised
 	if err := e.SetDB(db); err != nil {
 		return nil, err
@@ -109,17 +137,26 @@ func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
 // Config returns the extraction configuration with defaults materialised.
 func (e *Engine) Config() core.Config { return e.cfg }
 
+// checkShape verifies a database was compiled from the engine's
+// parameter and bin shape.
+func checkShape(cfg core.Config, db *core.CompiledDB) error {
+	if db != nil {
+		if c := db.Config(); c.Param != cfg.Param || c.Bins != cfg.Bins {
+			return fmt.Errorf("engine: database shape %v/%v does not match engine %v/%v",
+				c.Param, c.Bins, cfg.Param, cfg.Bins)
+		}
+	}
+	return nil
+}
+
 // SetDB atomically swaps the reference database the next closed window
 // is matched against — live retraining without dropping the stream. A
 // nil db switches the engine to extraction-only. The database must
 // share the engine's parameter and bin shape; on mismatch the previous
 // database stays installed.
 func (e *Engine) SetDB(db *core.CompiledDB) error {
-	if db != nil {
-		if c := db.Config(); c.Param != e.cfg.Param || c.Bins != e.cfg.Bins {
-			return fmt.Errorf("engine: database shape %v/%v does not match engine %v/%v",
-				c.Param, c.Bins, e.cfg.Param, e.cfg.Bins)
-		}
+	if err := checkShape(e.cfg, db); err != nil {
+		return err
 	}
 	e.db.Store(db)
 	return nil
@@ -168,17 +205,21 @@ func (e *Engine) Close() {
 	}
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters (see the Stats type
+// for the consistency semantics).
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
 	s := Stats{
-		Frames:        e.frames.Load(),
-		WindowsClosed: e.windows.Load(),
-		LiveSenders:   e.acc.LiveSenders(),
-		Matched:       e.matched.Load(),
-		Unknown:       e.unknown.Load(),
-		Dropped:       e.dropped.Load(),
+		WindowsClosed: e.windows,
+		Matched:       e.matched,
+		Unknown:       e.unknown,
+		Dropped:       e.dropped,
+		Evicted:       e.evicted,
 	}
+	e.mu.Unlock()
 	s.Candidates = s.Matched + s.Unknown
+	s.Frames = e.frames.Load()
+	s.LiveSenders = e.acc.LiveSenders()
 	if ns := e.startNs.Load(); ns != 0 {
 		s.Elapsed = time.Duration(time.Now().UnixNano() - ns)
 		if s.Elapsed > 0 {
@@ -191,9 +232,6 @@ func (e *Engine) Stats() Stats {
 // handleWindow matches one closed window's candidates and emits its
 // events. It runs on the pushing goroutine.
 func (e *Engine) handleWindow(w *core.WindowResult) {
-	e.windows.Add(1)
-	e.dropped.Add(uint64(len(w.Dropped)))
-
 	db := e.db.Load()
 	var rows [][]core.Score
 	if db != nil && db.Len() > 0 && len(w.Candidates) > 0 {
@@ -205,52 +243,48 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 	sink := e.opts.Sink
 	matchedN, unknownN := 0, 0
 	for i := range w.Candidates {
-		c := &w.Candidates[i]
 		var scores []core.Score
 		if rows != nil {
 			scores = rows[i]
 		}
-		best := core.Score{Sim: -1}
-		for _, sc := range scores {
-			if sc.Sim > best.Sim {
-				best = sc
-			}
-		}
-		if hasBest := len(scores) > 0; hasBest && best.Sim >= e.opts.Threshold {
+		if emitVerdict(sink, e.opts.Threshold, &w.Candidates[i], scores) {
 			matchedN++
-			if sink != nil {
-				sink.HandleEvent(CandidateMatched{
-					Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig,
-					Scores: scores, Best: best,
-				})
-			}
 		} else {
 			unknownN++
-			if sink != nil {
-				ev := UnknownDevice{Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig, Scores: scores}
-				if hasBest {
-					ev.Best, ev.HasBest = best, true
-				}
-				sink.HandleEvent(ev)
-			}
 		}
 	}
-	e.matched.Add(uint64(matchedN))
-	e.unknown.Add(uint64(unknownN))
 
-	if sink == nil {
-		return
-	}
+	evictedN := 0
 	for _, d := range w.Dropped {
-		sink.HandleEvent(CandidateDropped{
-			Window: w.Index, Addr: d.Addr,
-			Observations: d.Observations, Minimum: e.cfg.MinObservations,
+		if d.Evicted {
+			evictedN++
+		}
+		if sink != nil {
+			sink.HandleEvent(CandidateDropped{
+				Window: w.Index, Addr: d.Addr,
+				Observations: d.Observations, Minimum: e.cfg.MinObservations,
+				Evicted: d.Evicted,
+			})
+		}
+	}
+	// Evictions beyond the per-window record cap carry no individual
+	// event but count everywhere a total does.
+	droppedN := len(w.Dropped) + int(w.EvictedSilently)
+	evictedN += int(w.EvictedSilently)
+	if sink != nil {
+		sink.HandleEvent(WindowClosed{
+			Window: w.Index, Start: w.Start, End: w.End, Frames: w.Frames,
+			Senders:    len(w.Candidates) + droppedN,
+			Candidates: len(w.Candidates),
+			Matched:    matchedN, Unknown: unknownN, Dropped: droppedN,
 		})
 	}
-	sink.HandleEvent(WindowClosed{
-		Window: w.Index, Start: w.Start, End: w.End, Frames: w.Frames,
-		Senders:    len(w.Candidates) + len(w.Dropped),
-		Candidates: len(w.Candidates),
-		Matched:    matchedN, Unknown: unknownN, Dropped: len(w.Dropped),
-	})
+
+	e.mu.Lock()
+	e.windows++
+	e.matched += uint64(matchedN)
+	e.unknown += uint64(unknownN)
+	e.dropped += uint64(droppedN)
+	e.evicted += uint64(evictedN)
+	e.mu.Unlock()
 }

@@ -29,7 +29,10 @@ type WindowClosed struct {
 	// rule (Candidates = Matched + Unknown).
 	Candidates int
 	// Matched and Unknown partition the candidates by the acceptance
-	// threshold; Dropped counts the below-minimum senders.
+	// threshold; Dropped counts the below-minimum and evicted senders.
+	// Under extreme MAC churn, per-sender CandidateDropped events are
+	// capped per window (the eviction record cap), so Dropped may
+	// exceed the number of CandidateDropped events delivered.
 	Matched, Unknown, Dropped int
 }
 
@@ -62,21 +65,56 @@ type UnknownDevice struct {
 	HasBest bool
 }
 
-// CandidateDropped reports a sender observed in the window whose
-// signature stayed below the minimum-observation rule (§V-C) and was
-// therefore never matched.
+// CandidateDropped reports a sender observed in the window that was
+// never matched: its signature stayed below the minimum-observation
+// rule (§V-C), or — when sender bounds are configured — it was evicted
+// before the window closed.
 type CandidateDropped struct {
 	Window       int
 	Addr         dot11.Addr
 	Observations uint64
 	// Minimum is the rule's threshold, for self-contained reporting.
 	Minimum int
+	// Evicted marks a bounded-state eviction (SenderLimits cap or idle
+	// timeout) rather than an ordinary below-minimum drop.
+	Evicted bool
 }
 
 func (WindowClosed) event()     {}
 func (CandidateMatched) event() {}
 func (UnknownDevice) event()    {}
 func (CandidateDropped) event() {}
+
+// emitVerdict delivers the per-candidate verdict event — the single
+// event-construction path shared by the serial and sharded engines, so
+// their streams cannot drift apart — and reports whether the candidate
+// matched. A nil sink still computes the verdict, keeping counters
+// exact.
+func emitVerdict(sink Sink, threshold float64, c *core.Candidate, scores []core.Score) bool {
+	best := core.Score{Sim: -1}
+	for _, sc := range scores {
+		if sc.Sim > best.Sim {
+			best = sc
+		}
+	}
+	if hasBest := len(scores) > 0; hasBest && best.Sim >= threshold {
+		if sink != nil {
+			sink.HandleEvent(CandidateMatched{
+				Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig,
+				Scores: scores, Best: best,
+			})
+		}
+		return true
+	}
+	if sink != nil {
+		ev := UnknownDevice{Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig, Scores: scores}
+		if len(scores) > 0 {
+			ev.Best, ev.HasBest = best, true
+		}
+		sink.HandleEvent(ev)
+	}
+	return false
+}
 
 // Sink receives engine events. HandleEvent is called synchronously on
 // the pushing goroutine; a slow sink backpressures the stream, which is

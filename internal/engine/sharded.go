@@ -1,0 +1,556 @@
+package engine
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+)
+
+// Backpressure selects what the sharded engine does when a shard queue
+// is full.
+type Backpressure uint8
+
+const (
+	// Block makes Push wait for queue space — lossless, end-to-end flow
+	// control: a slow sink ultimately slows the producer, exactly like
+	// the serial Engine's synchronous delivery.
+	Block Backpressure = iota
+	// Drop makes Push discard observations instead of waiting, counting
+	// them in Stats.DroppedFrames — bounded ingest latency under load
+	// bursts for live feeds that must not stall the radio. Window
+	// clocking is never dropped (dropping a close control would corrupt
+	// the shard merge), so windows still close on the right boundaries;
+	// dropped observations are simply missing from that window's
+	// signatures (output is then no longer equivalent to the serial
+	// engine). The lossless control path means a sink that stops
+	// returning altogether still stalls Push at the next window
+	// boundary — Drop bounds loss to data, it does not make a
+	// permanently wedged sink survivable; a sink with its own overflow
+	// policy (e.g. draining a ChannelSink) is the tool for that.
+	Drop
+)
+
+// ShardedOptions parameterises a Sharded engine.
+type ShardedOptions struct {
+	// Window, Threshold and Sink mean exactly what they do in Options.
+	Window    time.Duration
+	Threshold float64
+	Sink      Sink
+	// Shards is the number of independent partitions records are hashed
+	// into by sender address; 0 selects GOMAXPROCS. Each shard owns its
+	// accumulator, match scratch and queue, so ingestion and matching
+	// scale across cores. Shard count changes wall-clock behaviour only:
+	// the merged event stream is identical for every value.
+	Shards int
+	// QueueLen is the per-shard queue depth in observations (rounded up
+	// to whole batches); 0 selects 8192. Deeper queues absorb larger
+	// bursts before the Backpressure policy engages.
+	QueueLen int
+	// Backpressure picks the full-queue policy: Block (default,
+	// lossless) or Drop (bounded latency, counted loss).
+	Backpressure Backpressure
+	// Limits bounds each shard's sender state (see core.SenderLimits).
+	// The cap applies per shard, so total signature memory is
+	// O(Shards × MaxSenders); eviction is deterministic per shard but —
+	// unlike everything else about shard count — which senders are
+	// evicted depends on the partitioning.
+	Limits core.SenderLimits
+}
+
+// shardBatch is the router→shard transfer granularity: big enough to
+// amortise queue synchronisation to well under a nanosecond per frame,
+// small enough that a window close never waits long for stragglers.
+const shardBatch = 256
+
+// shardObs is one attributed observation, routed to the sender's shard.
+// The router has already applied the attribution rules and computed the
+// parameter value against the global inter-arrival context, so sharding
+// cannot change any observation's value.
+type shardObs struct {
+	addr  dot11.Addr
+	class dot11.Class
+	v     float64
+	t     int64
+}
+
+// shardMsg is the SPSC queue element: a batch of observations, plus an
+// optional close-window control processed after them. The close carries
+// the router's core.WindowMeta — the one global window clock — so
+// window indices, bounds and frame counts stay consistent across
+// shards. Messages are recycled through a per-shard free list, so the
+// steady state moves no memory to the garbage collector.
+type shardMsg struct {
+	n        int
+	closeWin bool
+	meta     core.WindowMeta
+	entries  [shardBatch]shardObs
+}
+
+// shard is one partition: an SPSC queue pair (ch carries filled
+// messages to the shard goroutine, free returns drained ones) and the
+// state owned exclusively by that goroutine.
+type shard struct {
+	ch    chan *shardMsg
+	free  chan *shardMsg
+	cur   *shardMsg // batch being filled by the router
+	table *core.SenderTable
+}
+
+// shardSegment is one shard's slice of a closed window, sent to the
+// merger: candidates and dropped senders (each sorted by address) plus
+// the shard-local match rows.
+type shardSegment struct {
+	meta core.WindowMeta
+	res  core.WindowResult
+	rows [][]core.Score
+}
+
+// Sharded is the concurrent form of Engine: records are hash-
+// partitioned by sender address across N independent shards, each
+// owning its accumulator and match scratch, fed through per-shard
+// SPSC batch queues; a merger joins the per-shard results back into
+// one deterministic event stream.
+//
+// The contract is the serial Engine's: Push, PushTrace, Flush and
+// Close from a single goroutine; SetDB, DB and Stats from any
+// goroutine. Unlike Engine, events are delivered asynchronously on an
+// internal goroutine — Flush and Close block until every event for the
+// flushed windows has been handed to the sink, and the sink must not
+// call back into Push.
+//
+// Because the router computes each observation's parameter value
+// against the global inter-arrival context and broadcasts one global
+// window clock, the merged event stream is identical to the serial
+// Engine's over the same records — same events, same order — for every
+// shard count, as long as no observations are dropped (Block policy,
+// no SenderLimits).
+type Sharded struct {
+	cfg  core.Config
+	opts ShardedOptions
+	db   atomic.Pointer[core.CompiledDB]
+
+	shards []*shard
+	segCh  chan shardSegment
+
+	// Router state, owned by the pushing goroutine. The clock is the
+	// same implementation WindowAccumulator runs on, so serial and
+	// sharded windowing cannot drift apart.
+	closed bool
+	clock  core.WindowClock
+	closes uint64 // window closes broadcast so far
+
+	startNs       atomic.Int64
+	frames        atomic.Uint64
+	droppedFrames atomic.Uint64
+
+	// Window-scoped counters: one consistent snapshot group (see
+	// Stats), updated by the merger under mu. emitted drives the
+	// Flush/Close rendezvous via cond.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	emitted uint64
+	windows uint64
+	matched uint64
+	unknown uint64
+	dropped uint64
+	evicted uint64
+
+	shardWG  sync.WaitGroup
+	mergerWG sync.WaitGroup
+}
+
+// NewSharded creates a sharded engine extracting signatures under cfg
+// and matching each closed window against db (nil runs extraction-only
+// until SetDB installs one). A non-nil db must share cfg's parameter
+// and bin shape.
+func NewSharded(cfg core.Config, db *core.CompiledDB, opts ShardedOptions) (*Sharded, error) {
+	if opts.Window == 0 {
+		opts.Window = core.DefaultWindow
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 8192
+	}
+	s := &Sharded{
+		opts:  opts,
+		clock: core.NewWindowClock(opts.Window),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	batches := (opts.QueueLen + shardBatch - 1) / shardBatch
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			ch:    make(chan *shardMsg, batches),
+			free:  make(chan *shardMsg, batches+2),
+			table: core.NewSenderTable(cfg, opts.Limits),
+		}
+		// One message per queue slot, plus one for the router to fill
+		// and one for the shard goroutine to drain.
+		for j := 0; j < batches+2; j++ {
+			sh.free <- &shardMsg{}
+		}
+		s.shards[i] = sh
+	}
+	s.cfg = s.shards[0].table.Config() // defaults materialised
+	if err := s.SetDB(db); err != nil {
+		return nil, err
+	}
+
+	s.segCh = make(chan shardSegment, opts.Shards*2)
+	for _, sh := range s.shards {
+		s.shardWG.Add(1)
+		go s.runShard(sh)
+	}
+	go func() {
+		s.shardWG.Wait()
+		close(s.segCh)
+	}()
+	s.mergerWG.Add(1)
+	go s.runMerger()
+	return s, nil
+}
+
+// Config returns the extraction configuration with defaults materialised.
+func (s *Sharded) Config() core.Config { return s.cfg }
+
+// SetDB atomically swaps the reference database, exactly like
+// Engine.SetDB. Each shard picks the new database up at its next window
+// close; a swap that races a closing window may match that window's
+// shards against different databases, so swap between windows when the
+// distinction matters.
+func (s *Sharded) SetDB(db *core.CompiledDB) error {
+	if err := checkShape(s.cfg, db); err != nil {
+		return err
+	}
+	s.db.Store(db)
+	return nil
+}
+
+// DB returns the currently installed reference database, or nil.
+func (s *Sharded) DB() *core.CompiledDB { return s.db.Load() }
+
+// shardOf hashes a sender address to its shard: a fixed multiplicative
+// hash over the 48 address bits, so partitioning is deterministic
+// across runs and processes.
+func (s *Sharded) shardOf(addr dot11.Addr) int {
+	x := uint64(addr[0])<<40 | uint64(addr[1])<<32 | uint64(addr[2])<<24 |
+		uint64(addr[3])<<16 | uint64(addr[4])<<8 | uint64(addr[5])
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return int(x % uint64(len(s.shards)))
+}
+
+// Push ingests one record; the record is not retained. The router
+// applies the global window clock and attribution rules, computes the
+// parameter value against the stream-wide inter-arrival context, and
+// forwards the observation to its sender's shard. Push panics after
+// Close.
+func (s *Sharded) Push(rec *capture.Record) {
+	if s.closed {
+		panic("engine: Push after Close")
+	}
+	if s.frames.Add(1) == 1 {
+		s.startNs.Store(time.Now().UnixNano())
+	}
+	if closed, meta := s.clock.Advance(rec.T); closed {
+		s.broadcastClose(meta)
+	}
+	if !rec.Sender.IsZero() && (rec.FCSOK || s.cfg.KeepBadFCS) {
+		if v, ok := s.cfg.Param.Value(rec, s.clock.PrevT()); ok {
+			s.route(rec.Sender, rec.Class, v, rec.T)
+		}
+	}
+	s.clock.Mark(rec.T)
+}
+
+// PushTrace replays a materialised trace through the push path.
+func (s *Sharded) PushTrace(tr *capture.Trace) {
+	for i := range tr.Records {
+		s.Push(&tr.Records[i])
+	}
+}
+
+// route appends one observation to its shard's current batch, sending
+// the batch when full. Under the Drop policy a full queue costs only
+// the observations that arrive while it stays full — a filled batch is
+// retained and retried on the next call, never discarded wholesale —
+// and Push never stalls.
+func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) {
+	sh := s.shards[s.shardOf(addr)]
+	cur := sh.cur
+	if cur != nil && cur.n == shardBatch {
+		// A full batch is waiting for queue space (Drop policy only).
+		select {
+		case sh.ch <- cur:
+			cur = nil
+			sh.cur = nil
+		default:
+			s.droppedFrames.Add(1) // queue still full: lose this observation only
+			return
+		}
+	}
+	if cur == nil {
+		if s.opts.Backpressure == Drop {
+			select {
+			case cur = <-sh.free:
+			default:
+				s.droppedFrames.Add(1)
+				return
+			}
+		} else {
+			cur = <-sh.free
+		}
+		sh.cur = cur
+	}
+	cur.entries[cur.n] = shardObs{addr: addr, class: class, v: v, t: t}
+	cur.n++
+	if cur.n == shardBatch {
+		if s.opts.Backpressure == Drop {
+			select {
+			case sh.ch <- cur:
+				sh.cur = nil
+			default:
+				// Queue full: keep the batch current and retry above.
+			}
+			return
+		}
+		sh.ch <- cur
+		sh.cur = nil
+	}
+}
+
+// broadcastClose flushes every shard's partial batch and appends the
+// close-window control carrying the global window metadata. Controls
+// are never dropped — window clocking survives the Drop policy — and
+// per-shard FIFO order guarantees each shard sees all of a window's
+// observations before its close.
+func (s *Sharded) broadcastClose(meta core.WindowMeta) {
+	for _, sh := range s.shards {
+		msg := sh.cur
+		sh.cur = nil
+		if msg == nil {
+			msg = <-sh.free
+		}
+		msg.closeWin = true
+		msg.meta = meta
+		sh.ch <- msg
+	}
+	s.closes++
+}
+
+// Flush closes the currently open detection window early and blocks
+// until its events (and those of every earlier window) have been
+// delivered to the sink. The next pushed record opens a fresh window on
+// the same grid.
+func (s *Sharded) Flush() {
+	if closed, meta := s.clock.CloseOpen(); closed {
+		s.broadcastClose(meta)
+	}
+	target := s.closes
+	s.mu.Lock()
+	for s.emitted < target {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes the open window, waits for every event to be delivered,
+// and stops the shard and merger goroutines; further pushes panic.
+// Close is idempotent.
+func (s *Sharded) Close() {
+	if s.closed {
+		return
+	}
+	s.Flush()
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.shardWG.Wait()
+	s.mergerWG.Wait()
+}
+
+// runShard is one shard goroutine: it drains the queue, accumulates
+// observations into the shard's sender table, and on each close control
+// drains the table, matches the shard's candidates with its private
+// scratch, and ships the segment to the merger.
+func (s *Sharded) runShard(sh *shard) {
+	defer s.shardWG.Done()
+	var scratch core.MatchScratch
+	for msg := range sh.ch {
+		for i := 0; i < msg.n; i++ {
+			o := &msg.entries[i]
+			sh.table.Observe(o.addr, o.class, o.v, o.t)
+		}
+		if msg.closeWin {
+			seg := shardSegment{meta: msg.meta}
+			seg.res.Index = msg.meta.Index
+			seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
+			seg.res.Frames = msg.meta.Frames
+			sh.table.Drain(&seg.res)
+			if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+				seg.rows = db.MatchAllScratch(seg.res.Candidates, &scratch)
+			}
+			s.segCh <- seg
+		}
+		msg.n = 0
+		msg.closeWin = false
+		sh.free <- msg
+	}
+}
+
+// runMerger joins shard segments back into whole windows. Every shard
+// contributes exactly one segment per close, and each shard emits its
+// windows in close order through one FIFO channel, so the final segment
+// of window k always arrives before the final segment of window k+1 —
+// windows complete, and are emitted, in index order.
+func (s *Sharded) runMerger() {
+	defer s.mergerWG.Done()
+	n := len(s.shards)
+	pending := make(map[int][]shardSegment)
+	for seg := range s.segCh {
+		idx := seg.meta.Index
+		pending[idx] = append(pending[idx], seg)
+		if len(pending[idx]) == n {
+			segs := pending[idx]
+			delete(pending, idx)
+			s.emitWindow(segs)
+		}
+	}
+}
+
+// addrLess orders candidates and drops across shard segments.
+func addrLess(a, b [6]byte) bool { return bytes.Compare(a[:], b[:]) < 0 }
+
+// mergeByAddr walks per-segment sorted slices in one global ascending
+// address order: n(k) is segment k's length, addr(k, i) its i-th
+// address, and emit is called once per element in merged order. Shard
+// address sets are disjoint and each segment is already sorted, so the
+// N-way head merge reproduces the serial engine's per-window order
+// exactly.
+func mergeByAddr(segs int, n func(int) int, addr func(k, i int) [6]byte, emit func(k, i int)) {
+	pos := make([]int, segs)
+	for {
+		best := -1
+		for k := 0; k < segs; k++ {
+			if pos[k] >= n(k) {
+				continue
+			}
+			if best < 0 || addrLess(addr(k, pos[k]), addr(best, pos[best])) {
+				best = k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		emit(best, pos[best])
+		pos[best]++
+	}
+}
+
+// emitWindow merges one window's shard segments into the serial
+// engine's event order — verdicts ascending by address, then drops
+// ascending by address, then the WindowClosed summary — and updates the
+// snapshot counters.
+func (s *Sharded) emitWindow(segs []shardSegment) {
+	meta := segs[0].meta
+	sink := s.opts.Sink
+
+	matchedN, unknownN, candsN := 0, 0, 0
+	mergeByAddr(len(segs),
+		func(k int) int { return len(segs[k].res.Candidates) },
+		func(k, i int) [6]byte { return segs[k].res.Candidates[i].Addr },
+		func(k, i int) {
+			var scores []core.Score
+			if segs[k].rows != nil {
+				scores = segs[k].rows[i]
+			}
+			candsN++
+			if emitVerdict(sink, s.opts.Threshold, &segs[k].res.Candidates[i], scores) {
+				matchedN++
+			} else {
+				unknownN++
+			}
+		})
+
+	droppedN, evictedN := 0, 0
+	mergeByAddr(len(segs),
+		func(k int) int { return len(segs[k].res.Dropped) },
+		func(k, i int) [6]byte { return segs[k].res.Dropped[i].Addr },
+		func(k, i int) {
+			d := segs[k].res.Dropped[i]
+			droppedN++
+			if d.Evicted {
+				evictedN++
+			}
+			if sink != nil {
+				sink.HandleEvent(CandidateDropped{
+					Window: meta.Index, Addr: d.Addr,
+					Observations: d.Observations, Minimum: s.cfg.MinObservations,
+					Evicted: d.Evicted,
+				})
+			}
+		})
+	// Evictions beyond the per-shard record cap carry no individual
+	// event but count everywhere a total does.
+	for k := range segs {
+		droppedN += int(segs[k].res.EvictedSilently)
+		evictedN += int(segs[k].res.EvictedSilently)
+	}
+
+	if sink != nil {
+		sink.HandleEvent(WindowClosed{
+			Window: meta.Index, Start: meta.Start, End: meta.End, Frames: meta.Frames,
+			Senders:    candsN + droppedN,
+			Candidates: candsN,
+			Matched:    matchedN, Unknown: unknownN, Dropped: droppedN,
+		})
+	}
+
+	s.mu.Lock()
+	s.windows++
+	s.matched += uint64(matchedN)
+	s.unknown += uint64(unknownN)
+	s.dropped += uint64(droppedN)
+	s.evicted += uint64(evictedN)
+	s.emitted++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the engine's counters. The window-scoped
+// counters are one consistent group (see Stats); Frames and
+// DroppedFrames may run ahead by the records still queued in shards.
+func (s *Sharded) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		WindowsClosed: s.windows,
+		Matched:       s.matched,
+		Unknown:       s.unknown,
+		Dropped:       s.dropped,
+		Evicted:       s.evicted,
+	}
+	s.mu.Unlock()
+	st.Candidates = st.Matched + st.Unknown
+	st.Frames = s.frames.Load()
+	st.DroppedFrames = s.droppedFrames.Load()
+	for _, sh := range s.shards {
+		st.LiveSenders += sh.table.LiveSenders()
+	}
+	if ns := s.startNs.Load(); ns != 0 {
+		st.Elapsed = time.Duration(time.Now().UnixNano() - ns)
+		if st.Elapsed > 0 {
+			st.FramesPerSec = float64(st.Frames) / st.Elapsed.Seconds()
+		}
+	}
+	return st
+}

@@ -1,0 +1,54 @@
+package prism
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParse hammers Decode with arbitrary bytes: the AVS header parser
+// sits directly behind pcap input, so it must reject or decode every
+// byte sequence without panicking or over-reading, and every
+// successful decode must be self-consistent under re-encoding.
+func FuzzParse(f *testing.F) {
+	f.Add((&Header{}).Encode())
+	full := &Header{
+		MACTime: 123456789, HostTime: 987654321,
+		PhyType: PhyTypeOFDM, Channel: 11,
+		Antenna: 1, Priority: 0,
+		SSIType: SSITypeDBm, SSISignal: -40, SSINoise: -92,
+		Preamble: 2, Encoding: 3,
+	}
+	full.SetRateMbps(54)
+	f.Add(full.Encode())
+	enc := full.Encode()
+	f.Add(enc[:7])
+	f.Add(enc[:HeaderLen-1])
+	// Bad magic and an over-long declared header.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	long := append([]byte(nil), enc...)
+	binary.BigEndian.PutUint32(long[4:8], 80)
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, n, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		if n < HeaderLen || n > len(raw) {
+			t.Fatalf("decoded length %d outside [%d, %d]", n, HeaderLen, len(raw))
+		}
+		re := h.Encode()
+		h2, n2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded header does not decode: %v", err)
+		}
+		if n2 != HeaderLen {
+			t.Fatalf("re-encoded header length %d, want %d", n2, HeaderLen)
+		}
+		if h2 != h {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", h2, h)
+		}
+	})
+}
