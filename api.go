@@ -93,6 +93,18 @@ func NewDatabase(cfg Config, m Measure) *Database { return core.NewDatabase(cfg,
 // LoadDatabase reads a database previously written with Database.Save.
 func LoadDatabase(r io.Reader) (*Database, error) { return core.Load(r) }
 
+// LoadBinaryDatabase reads a database written with Database.SaveBinary —
+// the fast checkpoint codec (JSON stays the interop format).
+func LoadBinaryDatabase(r io.Reader) (*Database, error) { return core.LoadBinary(r) }
+
+// Binary-codec errors, for errors.Is on LoadBinaryDatabase failures.
+var (
+	// ErrBinaryDatabase reports corrupt or truncated checkpoint bytes.
+	ErrBinaryDatabase = core.ErrBinaryDatabase
+	// ErrBinaryVersion reports a checkpoint from a newer format version.
+	ErrBinaryVersion = core.ErrBinaryVersion
+)
+
 // Extract builds signatures for every sender in a trace under the
 // Figure-1 attribution rules.
 func Extract(tr *Trace, cfg Config) map[Addr]*Signature { return core.Extract(tr, cfg) }
@@ -146,6 +158,15 @@ type (
 	UnknownDevice = engine.UnknownDevice
 	// CandidateDropped reports a sender below the minimum-observation rule.
 	CandidateDropped = engine.CandidateDropped
+	// EnrollmentProgress reports a pending sender advancing toward the
+	// enrollment horizon.
+	EnrollmentProgress = engine.EnrollmentProgress
+	// DeviceEnrolled reports a sender promoted into the references by
+	// the online trainer.
+	DeviceEnrolled = engine.DeviceEnrolled
+	// DBSwapped reports a trainer-driven reference hot-swap — exactly
+	// one per promotion batch.
+	DBSwapped = engine.DBSwapped
 	// Sink receives engine events.
 	Sink = engine.Sink
 	// SinkFunc adapts a function to Sink.
@@ -168,6 +189,54 @@ func NewEngine(cfg Config, db *CompiledDB, opts EngineOptions) (*Engine, error) 
 
 // NewChannelSink creates a channel-backed event sink for NewEngine.
 func NewChannelSink(buffer int) *ChannelSink { return engine.NewChannelSink(buffer) }
+
+// --- online enrollment -------------------------------------------------------
+
+// Online-enrollment types: the trainer that closes the loop from live
+// streams back into the reference database (see the doc.go "Online
+// enrollment" section).
+type (
+	// Trainer is the online-enrollment subsystem: it accumulates
+	// unknown candidates over an enrollment horizon and hot-swaps
+	// completed signatures into the engine's references.
+	Trainer = engine.Trainer
+	// TrainerOptions parameterises NewTrainer / NewTrainerFrom.
+	TrainerOptions = engine.TrainerOptions
+	// TrainerStats is a snapshot of a trainer's counters.
+	TrainerStats = engine.TrainerStats
+	// EnrollPolicy selects what happens when a sender completes the
+	// horizon (EnrollAuto or EnrollConfirm).
+	EnrollPolicy = engine.EnrollPolicy
+	// PendingEnrollment is the trainer's view of a not-yet-enrolled
+	// sender, handed to the Confirm callback.
+	PendingEnrollment = engine.PendingEnrollment
+	// DBSetter is the hot-swap half of an engine as the trainer sees
+	// it; Engine and ShardedEngine both implement it.
+	DBSetter = engine.DBSetter
+)
+
+// Enrollment policies for TrainerOptions.
+const (
+	// EnrollAuto promotes every sender that completes the horizon.
+	EnrollAuto = engine.EnrollAuto
+	// EnrollConfirm asks TrainerOptions.Confirm before promoting.
+	EnrollConfirm = engine.EnrollConfirm
+)
+
+// NewTrainer creates a cold-start trainer: references begin empty and
+// are populated entirely by enrollment. Attach it with
+// EngineOptions.Trainer or ShardedOptions.Trainer (the engine's db
+// argument must then be nil).
+func NewTrainer(cfg Config, m Measure, opts TrainerOptions) *Trainer {
+	return engine.NewTrainer(cfg, m, opts)
+}
+
+// NewTrainerFrom creates a trainer seeded with an existing database
+// (deep-copied): known references keep matching while unknown senders
+// enroll around them.
+func NewTrainerFrom(seed *Database, opts TrainerOptions) *Trainer {
+	return engine.NewTrainerFrom(seed, opts)
+}
 
 // --- sharded engine ----------------------------------------------------------
 

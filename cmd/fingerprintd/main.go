@@ -12,17 +12,28 @@
 // randomization cannot grow memory without bound), and applies the
 // -drop backpressure policy when ingestion outruns matching.
 //
+// References can be loaded (-db, JSON or binary checkpoint), trained
+// from the stream's first -ref minutes, or learned entirely online:
+// -enroll turns on the live trainer, which promotes every sender that
+// has been a candidate for -enroll-windows detection windows into the
+// reference set and hot-swaps the engine — a cold start with -ref 0
+// begins with zero references and self-populates. -save checkpoints
+// the reference database (atomic rename; binary codec unless the path
+// ends in .json) on SIGHUP and at shutdown, so a daemon restart
+// resumes from the learned references instead of relearning.
+//
 // SIGINT/SIGTERM drain gracefully: sources stop, queued records are
 // processed, the open window is flushed and matched, and final
 // statistics are printed. -stats prints a periodic counters line to
 // stderr. Try it end to end:
 //
 //	go run ./cmd/tracegen -scenario office -duration 30m -stations 24 -o office.pcap
-//	go run ./cmd/fingerprintd -ref 5m -window 3m -stats 2s office.pcap
+//	go run ./cmd/fingerprintd -ref 0 -enroll -enroll-windows 2 -window 3m -save office.fpdb office.pcap
 //
 // Usage:
 //
-//	fingerprintd [-db ref.json | -ref 20m] [-param iat] [-measure cosine]
+//	fingerprintd [-db ref.fpdb | -ref 20m] [-param iat] [-measure cosine]
+//	             [-enroll] [-enroll-windows 1] [-save ref.fpdb]
 //	             [-window 5m] [-threshold 0] [-shards 0] [-queue 8192]
 //	             [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
 //	             [-rebase] [-stats 10s] [-v] input.pcap [input2.pcap ...]
@@ -43,12 +54,15 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "reference database JSON (from fpanalyze); overrides -ref")
-	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the merged stream when no -db is given")
+	dbPath := flag.String("db", "", "reference database (JSON or binary checkpoint); overrides -ref")
+	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the merged stream when no -db is given (0 with -enroll = cold start)")
 	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
 	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
 	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
 	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
+	enroll := flag.Bool("enroll", false, "enroll unknown senders into the references while monitoring")
+	enrollWindows := flag.Int("enroll-windows", 1, "enrollment horizon: windows a sender must be a candidate in before enrolling")
+	savePath := flag.String("save", "", "checkpoint the references here on SIGHUP and at shutdown (binary codec unless .json)")
 	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "per-shard queue depth in observations (0 = default)")
 	drop := flag.Bool("drop", false, "drop observations instead of blocking when a shard queue is full")
@@ -57,20 +71,27 @@ func main() {
 	mergeFlag := flag.String("merge", "time", "source interleaving: time (deterministic) or arrival (live feeds)")
 	rebase := flag.Bool("rebase", false, "shift each source's clock so its first record lands at offset zero")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 = off)")
-	verbose := flag.Bool("v", false, "also print below-minimum and evicted drops")
+	verbose := flag.Bool("v", false, "also print below-minimum drops, evictions and enrollment progress")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fatal(fmt.Errorf("no inputs; usage: fingerprintd [flags] input.pcap [input2.pcap ...|-]"))
 	}
-	var mode dot11fp.MergeMode
-	switch *mergeFlag {
-	case "time":
-		mode = dot11fp.MergeByTime
-	case "arrival":
-		mode = dot11fp.MergeArrival
-	default:
-		fatal(fmt.Errorf("unknown -merge mode %q (want time or arrival)", *mergeFlag))
+	enrollFlags := cmdutil.EnrollFlags{Enroll: *enroll, Windows: *enrollWindows}
+	if err := enrollFlags.Validate(); err != nil {
+		fatal(err)
+	}
+	mode, err := cmdutil.ParseMergeMode(*mergeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	param, err := dot11fp.ParamByShortName(*paramFlag)
+	if err != nil {
+		fatal(err)
+	}
+	measure, err := dot11fp.MeasureByName(*measureFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	var sources []dot11fp.RecordSource
@@ -116,20 +137,23 @@ func main() {
 
 	var db *dot11fp.Database
 	var pending *dot11fp.Record
-	if *dbPath != "" {
-		f, err := os.Open(*dbPath)
+	cfg := dot11fp.DefaultConfig(param)
+	switch {
+	case *dbPath != "":
+		db, err = cmdutil.LoadDatabaseFile(*dbPath)
 		if err != nil {
 			fatal(err)
 		}
-		db, err = dot11fp.LoadDatabase(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		cfg, measure = db.Config(), db.Measure()
 		fmt.Fprintf(os.Stderr, "fingerprintd: loaded %d references (%s, %s)\n",
-			db.Len(), db.Config().Param, db.Measure())
-	} else {
-		var err error
+			db.Len(), cfg.Param, measure)
+	case *ref <= 0 && *enroll:
+		// Cold start: zero references, the trainer learns them all.
+		fmt.Fprintf(os.Stderr, "fingerprintd: cold start (%s, %s), enrolling after %d windows\n",
+			param, measure, *enrollWindows)
+	case *ref <= 0:
+		fatal(fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db"))
+	default:
 		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
 		if err != nil {
 			if interrupted.Load() {
@@ -138,26 +162,68 @@ func main() {
 			}
 			fatal(err)
 		}
+		cfg = db.Config()
 		fmt.Fprintf(os.Stderr, "fingerprintd: trained %d references from the first %v of %d sources (%s)\n",
-			db.Len(), *ref, len(sources), db.Config().Param)
+			db.Len(), *ref, len(sources), cfg.Param)
+	}
+
+	var trainer *dot11fp.Trainer
+	var cdb *dot11fp.CompiledDB
+	if *enroll {
+		trainer = enrollFlags.NewTrainer(cfg, measure, db) // the trainer owns the references
+	} else if db != nil {
+		cdb = db.Compile()
 	}
 
 	policy := dot11fp.BackpressureBlock
 	if *drop {
 		policy = dot11fp.BackpressureDrop
 	}
-	eng, err := dot11fp.NewShardedEngine(db.Config(), db.Compile(), dot11fp.ShardedOptions{
+	eng, err := dot11fp.NewShardedEngine(cfg, cdb, dot11fp.ShardedOptions{
 		Window:       *window,
 		Threshold:    *threshold,
 		Shards:       *shards,
 		QueueLen:     *queue,
 		Backpressure: policy,
 		Limits:       dot11fp.SenderLimits{MaxSenders: *maxSenders, IdleEvict: *idleEvict},
-		Sink:         dot11fp.SinkFunc(cmdutil.Printer(offsetStamp, *verbose)),
+		Sink:         dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose)),
+		Trainer:      trainer,
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	// checkpoint writes the current references to -save: the trainer's
+	// live copy when enrolling, the static set otherwise. The write is
+	// atomic (temp + rename), so a SIGHUP checkpoint racing the final
+	// one can never leave a torn file.
+	checkpoint := func(reason string) {
+		if *savePath == "" {
+			return
+		}
+		snap := db
+		if trainer != nil {
+			snap = trainer.Database()
+		}
+		if snap == nil {
+			fmt.Fprintf(os.Stderr, "fingerprintd: %s: no references to checkpoint yet\n", reason)
+			return
+		}
+		if err := cmdutil.SaveDatabaseFile(*savePath, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "fingerprintd: %s checkpoint failed: %v\n", reason, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "fingerprintd: %s: checkpointed %d references to %s\n",
+			reason, snap.Len(), *savePath)
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			checkpoint("SIGHUP")
+		}
+	}()
 
 	stop := make(chan struct{})
 	if *statsEvery > 0 {
@@ -168,6 +234,9 @@ func main() {
 				select {
 				case <-tick.C:
 					cmdutil.StatsLine(os.Stderr, "fingerprintd", eng.Stats())
+					if trainer != nil {
+						cmdutil.TrainerLine(os.Stderr, "fingerprintd", trainer.Stats())
+					}
 				case <-stop:
 					return
 				}
@@ -194,6 +263,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fingerprintd: source errors: %v\n", err)
 	}
 	cmdutil.StatsLine(os.Stderr, "fingerprintd", eng.Stats())
+	if trainer != nil {
+		cmdutil.TrainerLine(os.Stderr, "fingerprintd", trainer.Stats())
+	}
+	checkpoint("shutdown")
 }
 
 // offsetStamp renders a window bound as its offset into the merged

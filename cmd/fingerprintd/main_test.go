@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"dot11fp/internal/cmdutil"
+)
+
+// TestOffsetStamp pins the window-bound rendering of the multi-source
+// daemon, which stamps offsets into the merged stream rather than wall
+// time.
+func TestOffsetStamp(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0s",
+		1_000_000:     "1s",
+		90_000_000:    "1m30s",
+		90_400_000:    "1m30s", // sub-second offsets round to whole seconds
+		3_600_000_000: "1h0m0s",
+	}
+	for us, want := range cases {
+		if got := offsetStamp(us); got != want {
+			t.Errorf("offsetStamp(%d) = %q, want %q", us, got, want)
+		}
+	}
+}
+
+// TestFlagValidation is the table-driven check of the daemon's flag
+// cluster semantics, via the shared validators the main wires together.
+func TestFlagValidation(t *testing.T) {
+	if err := (cmdutil.EnrollFlags{Enroll: true, Windows: 2}).Validate(); err != nil {
+		t.Errorf("-enroll -enroll-windows 2 rejected: %v", err)
+	}
+	if err := (cmdutil.EnrollFlags{Enroll: false, Windows: 2}).Validate(); err == nil {
+		t.Error("-enroll-windows without -enroll accepted")
+	}
+	if _, err := cmdutil.ParseMergeMode("time"); err != nil {
+		t.Errorf("-merge time rejected: %v", err)
+	}
+	if _, err := cmdutil.ParseMergeMode("never"); err == nil {
+		t.Error("-merge never accepted")
+	}
+}

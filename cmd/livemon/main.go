@@ -5,10 +5,12 @@
 // closes — the paper's monitoring loop as a continuous service instead
 // of a batch replay.
 //
-// References come from a saved database (-db, see fpanalyze) or are
-// learned live from the stream's first -ref minutes; after training the
-// remainder of the stream is monitored. Try it end to end with the
-// bundled generator:
+// References come from a saved database (-db, JSON or binary
+// checkpoint), are learned from the stream's first -ref minutes, or —
+// with -enroll — are learned continuously: unknown senders that stay
+// candidates for a full detection window are promoted into the
+// reference set and hot-swapped live, so a cold start (-ref 0 -enroll)
+// self-populates. Try it end to end with the bundled generator:
 //
 //	go run ./cmd/tracegen -scenario office -duration 20m -stations 16 -o office.pcap
 //	go run ./cmd/livemon -ref 5m -window 3m office.pcap
@@ -16,13 +18,13 @@
 // With -shards > 1 the stream drives the sharded concurrent engine —
 // same events, same order, across as many cores as asked for — and
 // -stats prints a periodic counters line to stderr. Several inputs at
-// once, bounded sender state and backpressure policy live in the
-// companion daemon, fingerprintd.
+// once, bounded sender state, backpressure policy and reference
+// checkpointing live in the companion daemon, fingerprintd.
 //
 // Usage:
 //
-//	livemon [-db ref.json | -ref 20m] [-param iat] [-measure cosine]
-//	        [-window 5m] [-threshold 0] [-shards 1] [-stats 0]
+//	livemon [-db ref.fpdb | -ref 20m] [-param iat] [-measure cosine]
+//	        [-enroll] [-window 5m] [-threshold 0] [-shards 1] [-stats 0]
 //	        [-v] [capture.pcap | -]
 package main
 
@@ -38,16 +40,26 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "reference database JSON (from fpanalyze); overrides -ref")
-	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the stream when no -db is given")
+	dbPath := flag.String("db", "", "reference database (JSON or binary checkpoint); overrides -ref")
+	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the stream when no -db is given (0 with -enroll = cold start)")
 	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
 	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
 	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
 	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
+	enroll := flag.Bool("enroll", false, "enroll unknown senders into the references while monitoring")
 	shards := flag.Int("shards", 1, "engine shards: 1 = serial engine, 0 = GOMAXPROCS, N = N shards")
 	statsEvery := flag.Duration("stats", 0, "periodic stats line interval on stderr (0 = off)")
-	verbose := flag.Bool("v", false, "also print below-minimum drops")
+	verbose := flag.Bool("v", false, "also print below-minimum drops and enrollment progress")
 	flag.Parse()
+
+	param, err := dot11fp.ParamByShortName(*paramFlag)
+	if err != nil {
+		fatal(err)
+	}
+	measure, err := dot11fp.MeasureByName(*measureFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	in := os.Stdin
 	if name := flag.Arg(0); name != "" && name != "-" {
@@ -65,25 +77,36 @@ func main() {
 
 	var db *dot11fp.Database
 	var pending *dot11fp.Record // first record past the training prefix
-	if *dbPath != "" {
-		f, err := os.Open(*dbPath)
+	cfg := dot11fp.DefaultConfig(param)
+	switch {
+	case *dbPath != "":
+		db, err = cmdutil.LoadDatabaseFile(*dbPath)
 		if err != nil {
 			fatal(err)
 		}
-		db, err = dot11fp.LoadDatabase(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		cfg, measure = db.Config(), db.Measure()
 		fmt.Fprintf(os.Stderr, "livemon: loaded %d references (%s, %s)\n",
-			db.Len(), db.Config().Param, db.Measure())
-	} else {
+			db.Len(), cfg.Param, measure)
+	case *ref <= 0 && *enroll:
+		fmt.Fprintf(os.Stderr, "livemon: cold start (%s, %s), enrolling\n", param, measure)
+	case *ref <= 0:
+		fatal(fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db"))
+	default:
 		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
 		if err != nil {
 			fatal(err)
 		}
+		cfg = db.Config()
 		fmt.Fprintf(os.Stderr, "livemon: trained %d references from the first %v (%s)\n",
-			db.Len(), *ref, db.Config().Param)
+			db.Len(), *ref, cfg.Param)
+	}
+
+	var trainer *dot11fp.Trainer
+	var cdb *dot11fp.CompiledDB
+	if *enroll {
+		trainer = cmdutil.EnrollFlags{Enroll: true, Windows: 1}.NewTrainer(cfg, measure, db)
+	} else if db != nil {
+		cdb = db.Compile()
 	}
 
 	// The serial engine and the sharded engine share the push contract,
@@ -97,14 +120,14 @@ func main() {
 	clock := func(us int64) string {
 		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
 	}
-	sink := dot11fp.SinkFunc(cmdutil.Printer(clock, *verbose))
+	sink := dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, clock, *verbose))
 	if *shards == 1 {
-		eng, err = dot11fp.NewEngine(db.Config(), db.Compile(), dot11fp.EngineOptions{
-			Window: *window, Threshold: *threshold, Sink: sink,
+		eng, err = dot11fp.NewEngine(cfg, cdb, dot11fp.EngineOptions{
+			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer,
 		})
 	} else {
-		eng, err = dot11fp.NewShardedEngine(db.Config(), db.Compile(), dot11fp.ShardedOptions{
-			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink,
+		eng, err = dot11fp.NewShardedEngine(cfg, cdb, dot11fp.ShardedOptions{
+			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer,
 		})
 	}
 	if err != nil {
@@ -120,6 +143,9 @@ func main() {
 				select {
 				case <-tick.C:
 					cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
+					if trainer != nil {
+						cmdutil.TrainerLine(os.Stderr, "livemon", trainer.Stats())
+					}
 				case <-stop:
 					return
 				}
@@ -143,6 +169,9 @@ func main() {
 	eng.Close()
 	close(stop)
 	cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
+	if trainer != nil {
+		cmdutil.TrainerLine(os.Stderr, "livemon", trainer.Stats())
+	}
 }
 
 func fatal(err error) {

@@ -119,6 +119,53 @@
 // ingest-side counters that may run ahead of them by the records still
 // in flight.
 //
+// # Online enrollment
+//
+// The paper trains references offline, on a captured prefix. A monitor
+// that serves live feeds must also learn while it watches: Trainer
+// closes the loop from the event stream back into the reference set.
+// Attached to either engine (EngineOptions.Trainer /
+// ShardedOptions.Trainer — the engine's db argument is then nil, the
+// trainer owns the references), it accumulates each unknown sender's
+// window signatures over an enrollment horizon (TrainerOptions.Horizon
+// windows and MinObservations observations), applies the enrollment
+// policy — EnrollAuto, EnrollConfirm with a callback, a deny-list —
+// and promotes completed signatures into its private copy-on-write
+// Database, compiling and hot-swapping the engine so the next window
+// matches against the grown reference set. Promotions surface as typed
+// events: EnrollmentProgress per pending sender, DeviceEnrolled per
+// promotion, and exactly one DBSwapped per promotion batch.
+//
+//	trainer := dot11fp.NewTrainer(cfg, dot11fp.MeasureCosine, dot11fp.TrainerOptions{
+//	    Horizon: 2,          // windows a sender must be a candidate in
+//	    MaxPending: 10_000,  // bound accumulation state under MAC churn
+//	})
+//	eng, _ := dot11fp.NewEngine(cfg, nil, dot11fp.EngineOptions{
+//	    Sink: sink, Trainer: trainer, // cold start: refs learned live
+//	})
+//
+// Because accumulation reuses the same window signatures the engines
+// extract, live enrollment is exact, not approximate: a database
+// enrolled over the first K windows of a stream (Horizon 1, Update on)
+// is bit-identical — same references, same insertion order, same
+// MatchAll scores — to one batch-trained per window on the same
+// prefix, on both the serial and the sharded engine
+// (TestTrainerLiveEqualsBatch). NewTrainerFrom seeds a warm start from
+// an existing database (deep-copied); TrainerOptions.Update keeps
+// enrolled references learning from re-observations.
+//
+// Trainer.Database() snapshots the working references under the
+// trainer's lock for checkpointing. Database.SaveBinary/LoadBinary is
+// the checkpoint codec — a versioned binary format roughly an order of
+// magnitude faster and smaller than the JSON interop path (which Save/
+// Load keep serving), so SIGHUP-triggered checkpoints do not stall
+// ingestion; corrupt or truncated checkpoints surface as typed errors
+// (ErrBinaryDatabase, ErrBinaryVersion; fuzzed). cmd/fingerprintd
+// wires the whole loop: -enroll / -enroll-windows turn on live
+// enrollment (cold start with -ref 0), -save checkpoints atomically
+// (temp file + rename) on SIGHUP and at shutdown, and -db restores
+// either codec; cmd/livemon takes -enroll for single-feed monitoring.
+//
 // Multiple monitors feed one engine through capture.MultiStream
 // (NewMultiStream): each source decodes on its own goroutine and the
 // merge interleaves by timestamp (deterministic, for synced or rebased

@@ -1,0 +1,113 @@
+// Enroll: online enrollment end to end — a cold-started monitor on a
+// conference-scenario stream with zero references that learns them all
+// live. The Trainer watches the engine's windows, accumulates unknown
+// senders over a two-window horizon, and hot-swaps each promotion
+// batch into the engine, so devices flip from UNKNOWN to identified
+// while the stream keeps flowing.
+//
+// The second half sweeps the enrollment horizon: the first K-window
+// prefix of the stream enrolls under each horizon, and the remainder
+// is scored against the resulting references — the
+// horizon-vs-accuracy trade-off recorded in EXPERIMENTS.md.
+//
+// Run with:
+//
+//	go run ./examples/enroll
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dot11fp"
+)
+
+const window = 2 * time.Minute
+
+func main() {
+	// A 20-minute open-network conference channel: churny associations,
+	// a homogeneous fleet — the hard case for cold-start learning.
+	trace, err := dot11fp.GenerateConference("enroll", 7, 20*time.Minute, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+
+	// Cold start: no database at all. The trainer owns the references;
+	// auto-enroll after a sender has been a candidate in 2 windows.
+	trainer := dot11fp.NewTrainer(cfg, dot11fp.MeasureCosine, dot11fp.TrainerOptions{
+		Horizon: 2,
+	})
+	eng, err := dot11fp.NewEngine(cfg, nil, dot11fp.EngineOptions{
+		Window:  window,
+		Trainer: trainer,
+		Sink: dot11fp.SinkFunc(func(ev dot11fp.Event) {
+			switch ev := ev.(type) {
+			case dot11fp.DeviceEnrolled:
+				fmt.Printf("  + %s enrolled (%d observations over %d windows)\n",
+					ev.Addr, ev.Observations, ev.Windows)
+			case dot11fp.DBSwapped:
+				fmt.Printf("  references v%d installed: %d devices\n\n", ev.Version, ev.Refs)
+			case dot11fp.CandidateMatched:
+				if ev.Best.Addr == ev.Addr {
+					return // self-identification is the quiet steady state
+				}
+				fmt.Printf("  %s -> %s  sim=%.4f  MISMATCH\n", ev.Addr, ev.Best.Addr, ev.Best.Sim)
+			case dot11fp.WindowClosed:
+				fmt.Printf("window %d: %d candidates, %d matched, %d still unknown\n",
+					ev.Window, ev.Candidates, ev.Matched, ev.Unknown)
+			}
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cold start: 0 references, enrolling live")
+	eng.PushTrace(trace)
+	eng.Close()
+
+	st, ts := eng.Stats(), trainer.Stats()
+	fmt.Printf("\nstream done: %d frames, %d windows; %d references enrolled in %d swaps\n",
+		st.Frames, st.WindowsClosed, ts.Refs, ts.Swaps)
+
+	// Horizon sweep: enroll on the first 6 windows, validate on the rest.
+	const prefixWindows = 6
+	cut := trace.Records[0].T + prefixWindows*window.Microseconds()
+	prefix := trace.Slice(-1<<62, cut)
+	remainder := trace.Slice(cut, 1<<62)
+	fmt.Printf("\nenrollment horizon sweep (enroll on first %d windows, validate on the rest):\n", prefixWindows)
+	fmt.Println("  horizon  refs  validation-accuracy")
+	for horizon := 1; horizon <= 4; horizon++ {
+		tr := dot11fp.NewTrainer(cfg, dot11fp.MeasureCosine, dot11fp.TrainerOptions{
+			Horizon: horizon,
+			Update:  true,
+		})
+		e, err := dot11fp.NewEngine(cfg, nil, dot11fp.EngineOptions{Window: window, Trainer: tr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.PushTrace(prefix)
+		e.Close()
+
+		// Score the remainder against the live-enrolled references.
+		db := tr.Database()
+		correct, total := 0, 0
+		cdb := db.Compile()
+		for _, cand := range dot11fp.CandidatesIn(remainder, window, cfg) {
+			var addr dot11fp.Addr = cand.Addr
+			best := dot11fp.Score{Sim: -1}
+			for _, sc := range cdb.Match(cand.Sig) {
+				if sc.Sim > best.Sim {
+					best = sc
+				}
+			}
+			total++
+			if best.Addr == addr {
+				correct++
+			}
+		}
+		fmt.Printf("  %7d  %4d  %d/%d (%.1f%%)\n",
+			horizon, db.Len(), correct, total, 100*float64(correct)/float64(total))
+	}
+}

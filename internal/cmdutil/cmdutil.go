@@ -1,11 +1,15 @@
 // Package cmdutil holds the helpers the monitoring commands — livemon
-// and fingerprintd — share, so training and stats reporting cannot
-// drift between the two binaries.
+// and fingerprintd — share, so training, flag validation, database I/O
+// and stats reporting cannot drift between the two binaries.
 package cmdutil
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"dot11fp"
@@ -51,37 +55,156 @@ func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, paramNam
 	return nil, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
 }
 
-// Printer renders engine events as one line each on stdout — the
-// monitoring commands' shared output format. stamp renders a window
-// bound (trace-time µs) the way the command's clock works: wall time
-// for a single capture, stream offset for a multi-source merge.
-// verbose also prints below-minimum and evicted drops.
-func Printer(stamp func(us int64) string, verbose bool) func(dot11fp.Event) {
+// ParseMergeMode maps the -merge flag to a merge mode.
+func ParseMergeMode(s string) (dot11fp.MergeMode, error) {
+	switch s {
+	case "time":
+		return dot11fp.MergeByTime, nil
+	case "arrival":
+		return dot11fp.MergeArrival, nil
+	default:
+		return 0, fmt.Errorf("unknown -merge mode %q (want time or arrival)", s)
+	}
+}
+
+// EnrollFlags is the shared -enroll flag cluster of the monitoring
+// commands.
+type EnrollFlags struct {
+	// Enroll enables online enrollment (-enroll).
+	Enroll bool
+	// Windows is the enrollment horizon in detection windows
+	// (-enroll-windows).
+	Windows int
+}
+
+// Validate rejects inconsistent flag combinations before any work
+// starts.
+func (f EnrollFlags) Validate() error {
+	if f.Windows < 1 {
+		return fmt.Errorf("-enroll-windows must be at least 1 (got %d)", f.Windows)
+	}
+	if !f.Enroll && f.Windows != 1 {
+		return fmt.Errorf("-enroll-windows requires -enroll")
+	}
+	return nil
+}
+
+// NewTrainer builds the trainer the flags describe: auto-enrollment
+// over the given horizon, references frozen once enrolled. seed may be
+// nil for a cold start.
+func (f EnrollFlags) NewTrainer(cfg dot11fp.Config, measure dot11fp.Measure, seed *dot11fp.Database) *dot11fp.Trainer {
+	opts := dot11fp.TrainerOptions{Horizon: f.Windows}
+	if seed != nil {
+		return dot11fp.NewTrainerFrom(seed, opts)
+	}
+	return dot11fp.NewTrainer(cfg, measure, opts)
+}
+
+// LoadDatabaseFile reads a reference database from disk in either
+// codec, sniffing the first non-whitespace byte: JSON documents open
+// with '{' (possibly after indentation a hand edit left behind),
+// binary checkpoints with their magic.
+func LoadDatabaseFile(path string) (*dot11fp.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		head, err := br.Peek(1)
+		switch {
+		case err == io.EOF:
+			return nil, fmt.Errorf("%s: empty database file", path)
+		case err != nil:
+			return nil, fmt.Errorf("%s: %w", path, err)
+		case head[0] == ' ' || head[0] == '\t' || head[0] == '\n' || head[0] == '\r':
+			br.Discard(1) // the binary magic never starts with whitespace
+			continue
+		}
+		var db *dot11fp.Database
+		if head[0] == '{' {
+			db, err = dot11fp.LoadDatabase(br)
+		} else {
+			db, err = dot11fp.LoadBinaryDatabase(br)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return db, nil
+	}
+}
+
+// SaveDatabaseFile checkpoints a database to disk atomically: the
+// bytes land in a temporary file in the target directory which is then
+// renamed over path, so a reader (or a crash) never observes a torn
+// checkpoint — hot-swap persistence. The codec follows the extension:
+// .json writes the interop JSON document, everything else the fast
+// binary format.
+func SaveDatabaseFile(path string, db *dot11fp.Database) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = db.Save(tmp)
+	} else {
+		err = db.SaveBinary(tmp)
+	}
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Printer renders engine events as one line each on w — the monitoring
+// commands' shared output format. stamp renders a window bound
+// (trace-time µs) the way the command's clock works: wall time for a
+// single capture, stream offset for a multi-source merge. verbose also
+// prints below-minimum and evicted drops and enrollment progress.
+func Printer(w io.Writer, stamp func(us int64) string, verbose bool) func(dot11fp.Event) {
 	return func(ev dot11fp.Event) {
 		switch ev := ev.(type) {
 		case dot11fp.CandidateMatched:
-			fmt.Printf("w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
+			fmt.Fprintf(w, "w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
 				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
 		case dot11fp.UnknownDevice:
 			if ev.HasBest {
-				fmt.Printf("w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
+				fmt.Fprintf(w, "w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
 					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
 			} else {
-				fmt.Printf("w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
+				fmt.Fprintf(w, "w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
 					ev.Window, ev.Addr, ev.Sig.Observations())
 			}
 		case dot11fp.CandidateDropped:
 			if verbose {
 				if ev.Evicted {
-					fmt.Printf("w%03d  %s  evicted  %d observations\n",
+					fmt.Fprintf(w, "w%03d  %s  evicted  %d observations\n",
 						ev.Window, ev.Addr, ev.Observations)
 				} else {
-					fmt.Printf("w%03d  %s  dropped  %d/%d observations\n",
+					fmt.Fprintf(w, "w%03d  %s  dropped  %d/%d observations\n",
 						ev.Window, ev.Addr, ev.Observations, ev.Minimum)
 				}
 			}
+		case dot11fp.EnrollmentProgress:
+			if verbose {
+				fmt.Fprintf(w, "w%03d  %s  enrolling  %d/%d windows, %d observations\n",
+					ev.Window, ev.Addr, ev.Windows, ev.Horizon, ev.Observations)
+			}
+		case dot11fp.DeviceEnrolled:
+			fmt.Fprintf(w, "w%03d  %s  ENROLLED  after %d windows, %d observations (%d references)\n",
+				ev.Window, ev.Addr, ev.Windows, ev.Observations, ev.Refs)
+		case dot11fp.DBSwapped:
+			fmt.Fprintf(w, "-- references v%d installed: %d devices (%d enrolled, %d updated)\n",
+				ev.Version, ev.Refs, ev.Enrolled, ev.Updated)
 		case dot11fp.WindowClosed:
-			fmt.Printf("-- window %d [%s, %s): %d frames, %d senders, %d candidates (%d matched, %d unknown), %d dropped\n",
+			fmt.Fprintf(w, "-- window %d [%s, %s): %d frames, %d senders, %d candidates (%d matched, %d unknown), %d dropped\n",
 				ev.Window, stamp(ev.Start), stamp(ev.End), ev.Frames,
 				ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped)
 		}
@@ -96,4 +219,11 @@ func StatsLine(w io.Writer, prefix string, st dot11fp.EngineStats) {
 		prefix, st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec, st.LiveSenders,
 		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown,
 		st.Dropped, st.Evicted, st.DroppedFrames)
+}
+
+// TrainerLine prints one operator-readable enrollment snapshot.
+func TrainerLine(w io.Writer, prefix string, st dot11fp.TrainerStats) {
+	fmt.Fprintf(w,
+		"%s: enrollment: %d references (%d enrolled live, %d updates, %d swaps), %d pending, %d denied\n",
+		prefix, st.Refs, st.Enrolled, st.Updated, st.Swaps, st.Pending, st.Denied+st.Rejected)
 }

@@ -1,0 +1,293 @@
+package cmdutil
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dot11fp"
+)
+
+// sliceSource replays a fixed record slice as a RecordSource.
+type sliceSource struct {
+	recs []dot11fp.Record
+	i    int
+}
+
+func (s *sliceSource) Next() (dot11fp.Record, error) {
+	if s.i >= len(s.recs) {
+		return dot11fp.Record{}, io.EOF
+	}
+	s.i++
+	return s.recs[s.i-1], nil
+}
+
+// trainRecords synthesises a stream with two dense senders spanning
+// spanSec seconds.
+func trainRecords(t *testing.T, spanSec int) []dot11fp.Record {
+	t.Helper()
+	a, err := dot11fp.ParseAddr("02:00:00:00:00:01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dot11fp.ParseAddr("02:00:00:00:00:02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []dot11fp.Record
+	for i := 0; i < spanSec*100; i++ {
+		sender, size := a, 200
+		if i%2 == 1 {
+			sender, size = b, 900
+		}
+		recs = append(recs, dot11fp.Record{
+			T: int64(i) * 10_000, Sender: sender,
+			Size: size, RateMbps: 24, FCSOK: true,
+		})
+	}
+	return recs
+}
+
+func TestTrainFromStream(t *testing.T) {
+	t.Parallel()
+	recs := trainRecords(t, 120)
+	db, pending, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute, "size", "cosine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("trained %d references, want 2", db.Len())
+	}
+	if pending == nil {
+		t.Fatal("no boundary record returned")
+	}
+	// The boundary record is the first past the prefix: nothing inside
+	// the prefix may leak into monitoring, nothing past it into training.
+	if cut := recs[0].T + time.Minute.Microseconds(); pending.T < cut {
+		t.Fatalf("boundary record at %d is inside the %d prefix", pending.T, cut)
+	}
+}
+
+func TestTrainFromStreamErrors(t *testing.T) {
+	t.Parallel()
+	cases := map[string]struct {
+		recs    []dot11fp.Record
+		param   string
+		measure string
+		want    string
+	}{
+		"empty stream":      {nil, "size", "cosine", "training prefix"},
+		"truncated stream":  {trainRecords(t, 30), "size", "cosine", "training prefix"},
+		"unknown parameter": {trainRecords(t, 120), "nope", "cosine", "parameter"},
+		"unknown measure":   {trainRecords(t, 120), "size", "nope", "measure"},
+	}
+	for name, tc := range cases {
+		_, _, err := TrainFromStream(&sliceSource{recs: tc.recs}, time.Minute, tc.param, tc.measure)
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestParseMergeMode(t *testing.T) {
+	t.Parallel()
+	if m, err := ParseMergeMode("time"); err != nil || m != dot11fp.MergeByTime {
+		t.Fatalf("time: %v, %v", m, err)
+	}
+	if m, err := ParseMergeMode("arrival"); err != nil || m != dot11fp.MergeArrival {
+		t.Fatalf("arrival: %v, %v", m, err)
+	}
+	if _, err := ParseMergeMode("chronological"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestEnrollFlagsValidate is the table-driven flag-validation test for
+// the shared -enroll cluster.
+func TestEnrollFlagsValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name  string
+		flags EnrollFlags
+		ok    bool
+	}{
+		{"disabled default", EnrollFlags{Enroll: false, Windows: 1}, true},
+		{"enabled default horizon", EnrollFlags{Enroll: true, Windows: 1}, true},
+		{"enabled multi-window", EnrollFlags{Enroll: true, Windows: 5}, true},
+		{"zero horizon", EnrollFlags{Enroll: true, Windows: 0}, false},
+		{"negative horizon", EnrollFlags{Enroll: true, Windows: -2}, false},
+		{"horizon without enroll", EnrollFlags{Enroll: false, Windows: 3}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.flags.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestEnrollFlagsNewTrainer(t *testing.T) {
+	t.Parallel()
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamSize)
+	f := EnrollFlags{Enroll: true, Windows: 3}
+	cold := f.NewTrainer(cfg, dot11fp.MeasureCosine, nil)
+	if cold.Stats().Refs != 0 {
+		t.Fatalf("cold trainer starts with %d refs", cold.Stats().Refs)
+	}
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, "size", "cosine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := f.NewTrainer(cfg, dot11fp.MeasureCosine, seed)
+	if warm.Stats().Refs != seed.Len() {
+		t.Fatalf("warm trainer has %d refs, want %d", warm.Stats().Refs, seed.Len())
+	}
+}
+
+// TestDatabaseFileRoundTrip covers SaveDatabaseFile/LoadDatabaseFile:
+// codec selection by extension, codec sniffing on load, and atomic
+// replacement of an existing checkpoint.
+func TestDatabaseFileRoundTrip(t *testing.T) {
+	t.Parallel()
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, "size", "cosine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"ref.json", "ref.db"} {
+		path := filepath.Join(dir, name)
+		// Twice: the second save must atomically replace the first.
+		for i := 0; i < 2; i++ {
+			if err := SaveDatabaseFile(path, seed); err != nil {
+				t.Fatalf("%s save %d: %v", name, i, err)
+			}
+		}
+		loaded, err := LoadDatabaseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if loaded.Len() != seed.Len() {
+			t.Fatalf("%s: %d references, want %d", name, loaded.Len(), seed.Len())
+		}
+		left, err := filepath.Glob(filepath.Join(dir, name+".tmp*"))
+		if err != nil || len(left) != 0 {
+			t.Fatalf("%s: temp files left behind: %v (%v)", name, left, err)
+		}
+	}
+	head, err := os.ReadFile(filepath.Join(dir, "ref.json"))
+	if err != nil || head[0] != '{' {
+		t.Fatalf(".json checkpoint is not JSON (%v)", err)
+	}
+	if head, err = os.ReadFile(filepath.Join(dir, "ref.db")); err != nil || head[0] != 'D' {
+		t.Fatalf(".db checkpoint is not binary (%v)", err)
+	}
+	// JSON with leading whitespace (a hand edit, a pretty-printer) must
+	// still sniff as JSON, not fail as corrupt binary.
+	raw, err := os.ReadFile(filepath.Join(dir, "ref.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := filepath.Join(dir, "padded.json")
+	if err := os.WriteFile(padded, append([]byte("\n  \t"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, err := LoadDatabaseFile(padded); err != nil || loaded.Len() != seed.Len() {
+		t.Fatalf("whitespace-padded JSON rejected: %v", err)
+	}
+	if _, err := LoadDatabaseFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.db")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatabaseFile(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+// TestPrinterShape pins the one-line-per-event output contract the
+// operators' tooling greps.
+func TestPrinterShape(t *testing.T) {
+	t.Parallel()
+	addr, _ := dot11fp.ParseAddr("02:00:00:00:00:01")
+	best, _ := dot11fp.ParseAddr("02:00:00:00:00:02")
+	sig := dot11fp.ExtractOne(&dot11fp.Trace{Records: []dot11fp.Record{
+		{T: 1, Sender: addr, Size: 200, RateMbps: 24, FCSOK: true},
+	}}, addr, dot11fp.DefaultConfig(dot11fp.ParamSize))
+	stamp := func(us int64) string { return time.Duration(us * 1000).String() }
+
+	events := []struct {
+		ev      dot11fp.Event
+		want    []string
+		verbose bool // emitted only under -v
+	}{
+		{dot11fp.CandidateMatched{Window: 1, Addr: addr, Sig: sig, Best: dot11fp.Score{Addr: best, Sim: 0.5}},
+			[]string{"w001", "matched", "02:00:00:00:00:02", "sim=0.5000"}, false},
+		{dot11fp.UnknownDevice{Window: 2, Addr: addr, Sig: sig},
+			[]string{"w002", "UNKNOWN", "no references"}, false},
+		{dot11fp.UnknownDevice{Window: 2, Addr: addr, Sig: sig, Best: dot11fp.Score{Addr: best, Sim: 0.25}, HasBest: true},
+			[]string{"UNKNOWN", "best 02:00:00:00:00:02", "sim=0.2500"}, false},
+		{dot11fp.CandidateDropped{Window: 3, Addr: addr, Observations: 7, Minimum: 50},
+			[]string{"dropped", "7/50"}, true},
+		{dot11fp.CandidateDropped{Window: 3, Addr: addr, Observations: 7, Evicted: true},
+			[]string{"evicted"}, true},
+		{dot11fp.EnrollmentProgress{Window: 4, Addr: addr, Windows: 1, Horizon: 3, Observations: 80},
+			[]string{"enrolling", "1/3"}, true},
+		{dot11fp.DeviceEnrolled{Window: 5, Addr: addr, Windows: 3, Observations: 240, Refs: 9},
+			[]string{"ENROLLED", "3 windows", "9 references"}, false},
+		{dot11fp.DBSwapped{Window: 5, Version: 2, Refs: 9, Enrolled: 1},
+			[]string{"references v2", "9 devices", "1 enrolled"}, false},
+		{dot11fp.WindowClosed{Window: 5, Start: 0, End: 1000, Frames: 10, Senders: 2, Candidates: 1, Matched: 1},
+			[]string{"window 5", "10 frames", "2 senders"}, false},
+	}
+	for _, tc := range events {
+		for _, verbose := range []bool{false, true} {
+			var buf bytes.Buffer
+			Printer(&buf, stamp, verbose)(tc.ev)
+			out := buf.String()
+			if tc.verbose && !verbose {
+				if out != "" {
+					t.Errorf("%T printed %q without -v", tc.ev, out)
+				}
+				continue
+			}
+			if n := strings.Count(out, "\n"); n != 1 {
+				t.Errorf("%T printed %d lines: %q", tc.ev, n, out)
+				continue
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("%T line %q is missing %q", tc.ev, out, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsLines pins the operator stats formats.
+func TestStatsLines(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	StatsLine(&buf, "livemon", dot11fp.EngineStats{
+		Frames: 1000, Elapsed: time.Second, FramesPerSec: 1000,
+		WindowsClosed: 2, Matched: 3, Unknown: 1, Candidates: 4,
+	})
+	for _, want := range []string{"livemon:", "1000 frames", "2 windows", "4 candidates", "3 matched"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stats line %q is missing %q", buf.String(), want)
+		}
+	}
+	buf.Reset()
+	TrainerLine(&buf, "fingerprintd", dot11fp.TrainerStats{Refs: 12, Enrolled: 12, Swaps: 4, Pending: 3})
+	for _, want := range []string{"fingerprintd:", "12 references", "4 swaps", "3 pending"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trainer line %q is missing %q", buf.String(), want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/histogram"
+)
+
+// Binary database codec. The JSON codec (Save/Load) stays the interop
+// format — readable, diffable, stable — but it is far too slow and too
+// large for the online trainer's checkpoint path, where a SIGHUP (or a
+// graceful shutdown) must serialise thousands of references without
+// stalling ingestion. SaveBinary/LoadBinary are the checkpoint codec:
+// a versioned, length-delimited layout with varint-packed histogram
+// counts, written and parsed in one streaming pass.
+//
+// Layout (version 1, little-endian, varints are unsigned LEB128):
+//
+//	magic   [7]byte "D11FPDB"
+//	version u8      (1)
+//	param   u8 len + bytes (short name, e.g. "iat")
+//	measure u8 len + bytes (e.g. "cosine")
+//	bins    u32     histogram bin count
+//	width   f64     histogram bin width (IEEE-754 bits)
+//	knee    f64     logarithmic-binning knee (0 = pure linear)
+//	minObs  u32     minimum-observation rule
+//	devices u32     reference count
+//	  per device: addr [6]byte, classes u8,
+//	    per class: class u8, dropped uvarint, bins × count uvarint
+//
+// Devices are written in insertion order and loaded back in that same
+// order, so a binary round trip reproduces the similarity-vector order
+// (and with it MatchAll output) bit-identically.
+
+// binaryMagic identifies a binary reference database stream.
+var binaryMagic = [7]byte{'D', '1', '1', 'F', 'P', 'D', 'B'}
+
+// binaryVersion is the current format version.
+const binaryVersion = 1
+
+// ErrBinaryDatabase reports a corrupt or truncated binary database.
+// All LoadBinary corruption errors wrap it, so callers can distinguish
+// bad bytes from I/O failures with errors.Is.
+var ErrBinaryDatabase = errors.New("core: corrupt binary database")
+
+// ErrBinaryVersion reports a well-formed binary database written by a
+// newer format version than this build understands.
+var ErrBinaryVersion = errors.New("core: unsupported binary database version")
+
+// corruptf wraps a corruption detail in ErrBinaryDatabase.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBinaryDatabase, fmt.Sprintf(format, args...))
+}
+
+// Decode-time sanity bounds: a hostile header must not be able to make
+// the loader allocate more than a handful of bytes before the stream
+// proves it actually carries that much data.
+const (
+	maxBinaryBins    = 1 << 20 // 8 MiB of counts per histogram, far above any real shape
+	maxBinaryNameLen = 64
+)
+
+// SaveBinary serialises the database in the binary checkpoint format.
+func (db *Database) SaveBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(binaryMagic[:])
+	bw.WriteByte(binaryVersion)
+	writeBinaryString(bw, db.cfg.Param.ShortName())
+	writeBinaryString(bw, db.measure.String())
+
+	var fixed [8]byte
+	binary.LittleEndian.PutUint32(fixed[:4], uint32(db.cfg.Bins.Bins))
+	bw.Write(fixed[:4])
+	binary.LittleEndian.PutUint64(fixed[:], math.Float64bits(db.cfg.Bins.Width))
+	bw.Write(fixed[:8])
+	binary.LittleEndian.PutUint64(fixed[:], math.Float64bits(db.cfg.Bins.LogKnee))
+	bw.Write(fixed[:8])
+	binary.LittleEndian.PutUint32(fixed[:4], uint32(db.cfg.MinObservations))
+	bw.Write(fixed[:4])
+	binary.LittleEndian.PutUint32(fixed[:4], uint32(len(db.order)))
+	bw.Write(fixed[:4])
+
+	var varint [binary.MaxVarintLen64]byte
+	for _, addr := range db.order {
+		sig := db.refs[addr]
+		bw.Write(addr[:])
+		classes := sig.Classes()
+		bw.WriteByte(byte(len(classes)))
+		for _, class := range classes {
+			h := sig.Hist(class)
+			bw.WriteByte(byte(class))
+			bw.Write(varint[:binary.PutUvarint(varint[:], h.Dropped())])
+			for _, c := range h.CountsView() {
+				bw.Write(varint[:binary.PutUvarint(varint[:], c)])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeBinaryString writes a u8-length-prefixed string.
+func writeBinaryString(bw *bufio.Writer, s string) {
+	bw.WriteByte(byte(len(s)))
+	bw.WriteString(s)
+}
+
+// LoadBinary reads a database written by SaveBinary. Corrupt input is
+// reported as a typed error (ErrBinaryDatabase or ErrBinaryVersion) —
+// the loader never panics and never trusts a header field it has not
+// bounded, since checkpoints cross a trust boundary like every file.
+func LoadBinary(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, corruptf("reading header: %v", err)
+	}
+	if [7]byte(magic[:7]) != binaryMagic {
+		return nil, corruptf("bad magic %q", magic[:7])
+	}
+	if magic[7] != binaryVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads version %d)", ErrBinaryVersion, magic[7], binaryVersion)
+	}
+	paramName, err := readBinaryString(br, "parameter name")
+	if err != nil {
+		return nil, err
+	}
+	measureName, err := readBinaryString(br, "measure name")
+	if err != nil {
+		return nil, err
+	}
+	param, err := ParamByShortName(paramName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBinaryDatabase, err)
+	}
+	measure, err := MeasureByName(measureName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBinaryDatabase, err)
+	}
+
+	var fixed [8]byte
+	if _, err := io.ReadFull(br, fixed[:4]); err != nil {
+		return nil, corruptf("reading bin count: %v", err)
+	}
+	bins := int(binary.LittleEndian.Uint32(fixed[:4]))
+	if bins <= 0 || bins > maxBinaryBins {
+		return nil, corruptf("bin count %d out of range", bins)
+	}
+	if _, err := io.ReadFull(br, fixed[:8]); err != nil {
+		return nil, corruptf("reading bin width: %v", err)
+	}
+	width := math.Float64frombits(binary.LittleEndian.Uint64(fixed[:8]))
+	if !(width > 0) || math.IsInf(width, 0) { // rejects NaN, zero, negatives
+		return nil, corruptf("bin width %v out of range", width)
+	}
+	if _, err := io.ReadFull(br, fixed[:8]); err != nil {
+		return nil, corruptf("reading log knee: %v", err)
+	}
+	knee := math.Float64frombits(binary.LittleEndian.Uint64(fixed[:8]))
+	if !(knee >= 0) || math.IsInf(knee, 0) { // rejects NaN, negatives
+		return nil, corruptf("log knee %v out of range", knee)
+	}
+	if _, err := io.ReadFull(br, fixed[:4]); err != nil {
+		return nil, corruptf("reading minimum observations: %v", err)
+	}
+	minObs := int(binary.LittleEndian.Uint32(fixed[:4]))
+	if minObs < 0 || minObs > 1<<30 {
+		return nil, corruptf("minimum observations %d out of range", minObs)
+	}
+	if _, err := io.ReadFull(br, fixed[:4]); err != nil {
+		return nil, corruptf("reading device count: %v", err)
+	}
+	devices := int(binary.LittleEndian.Uint32(fixed[:4]))
+	if devices < 0 {
+		return nil, corruptf("device count %d out of range", devices)
+	}
+
+	cfg := Config{Param: param, Bins: BinSpec{Bins: bins, Width: width, LogKnee: knee}, MinObservations: minObs}
+	db := NewDatabase(cfg, measure)
+	// The device loop allocates per device actually present in the
+	// stream, never from the claimed count alone: a huge count over a
+	// short stream fails at the first missing byte.
+	for d := 0; d < devices; d++ {
+		var addr dot11.Addr
+		if _, err := io.ReadFull(br, addr[:]); err != nil {
+			return nil, corruptf("device %d address: %v", d, err)
+		}
+		if db.refs[addr] != nil {
+			return nil, corruptf("duplicate device %v", addr)
+		}
+		nClasses, err := br.ReadByte()
+		if err != nil {
+			return nil, corruptf("device %v class count: %v", addr, err)
+		}
+		if int(nClasses) > dot11.NumClasses {
+			return nil, corruptf("device %v claims %d frame classes (max %d)", addr, nClasses, dot11.NumClasses)
+		}
+		sig := NewSignature(param, cfg.Bins)
+		for k := 0; k < int(nClasses); k++ {
+			cb, err := br.ReadByte()
+			if err != nil {
+				return nil, corruptf("device %v class id: %v", addr, err)
+			}
+			class := dot11.Class(cb)
+			if int(cb) >= dot11.NumClasses {
+				return nil, corruptf("device %v: unknown frame class %d", addr, cb)
+			}
+			if sig.Hist(class) != nil {
+				return nil, corruptf("device %v: duplicate frame class %v", addr, class)
+			}
+			dropped, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, corruptf("device %v class %v dropped count: %v", addr, class, err)
+			}
+			snap := histogram.Snapshot{BinWidth: width, Counts: make([]uint64, bins), Dropped: dropped}
+			for i := 0; i < bins; i++ {
+				if snap.Counts[i], err = binary.ReadUvarint(br); err != nil {
+					return nil, corruptf("device %v class %v bin %d: %v", addr, class, i, err)
+				}
+			}
+			h, err := histogram.FromSnapshot(snap)
+			if err != nil {
+				return nil, fmt.Errorf("%w: device %v class %v: %v", ErrBinaryDatabase, addr, class, err)
+			}
+			sig.hists[class] = h
+			sig.total += h.Total()
+		}
+		if err := db.Add(addr, sig); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBinaryDatabase, err)
+		}
+	}
+	return db, nil
+}
+
+// readBinaryString reads a u8-length-prefixed string.
+func readBinaryString(br *bufio.Reader, what string) (string, error) {
+	n, err := br.ReadByte()
+	if err != nil {
+		return "", corruptf("reading %s length: %v", what, err)
+	}
+	if int(n) > maxBinaryNameLen {
+		return "", corruptf("%s length %d out of range", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", corruptf("reading %s: %v", what, err)
+	}
+	return string(buf), nil
+}

@@ -87,6 +87,21 @@ func (db *Database) Add(addr dot11.Addr, sig *Signature) error {
 	return nil
 }
 
+// Clone returns a deep copy of the database: signatures are cloned, so
+// the copy can be trained or mutated without touching the original.
+// This is the copy-on-write idiom of the online trainer — it clones the
+// seed database once and thereafter mutates only its private copy,
+// publishing immutable Compile() snapshots to the engines.
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.cfg, db.measure)
+	out.order = make([]dot11.Addr, len(db.order))
+	copy(out.order, db.order)
+	for addr, sig := range db.refs {
+		out.refs[addr] = sig.Clone()
+	}
+	return out
+}
+
 // Train populates the database from a training trace, keeping only
 // senders that clear the minimum-observation rule. Existing entries for
 // the same address are merged, so several training windows can be folded

@@ -70,6 +70,22 @@ func (s *Signature) Weight(class dot11.Class) float64 {
 	return float64(h.Total()) / float64(s.total)
 }
 
+// Clone returns a deep copy of the signature. Used by the online
+// trainer to snapshot enrollment state without aliasing live
+// histograms.
+func (s *Signature) Clone() *Signature {
+	c := &Signature{
+		param: s.param,
+		bins:  s.bins,
+		total: s.total,
+		hists: make(map[dot11.Class]*histogram.Histogram, len(s.hists)),
+	}
+	for class, h := range s.hists {
+		c.hists[class] = h.Clone()
+	}
+	return c
+}
+
 // Merge folds other into s (same parameter and bin shape required).
 // Used to extend reference signatures with additional training windows.
 func (s *Signature) Merge(other *Signature) error {

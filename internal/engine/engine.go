@@ -52,6 +52,14 @@ type Options struct {
 	// Sink receives the engine's events; nil discards them (statistics
 	// are still maintained).
 	Sink Sink
+	// Trainer, when set, closes the loop from the stream back into the
+	// reference set: after each window's events the trainer accumulates
+	// that window's candidates, promotes completed enrollments and
+	// hot-swaps the engine's database, so the next window matches
+	// against the grown reference set (see Trainer). The engine must
+	// then be created with a nil db — the trainer owns the references
+	// (seed a warm start with NewTrainerFrom).
+	Trainer *Trainer
 }
 
 // Stats is a point-in-time snapshot of an engine's counters.
@@ -128,6 +136,15 @@ func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
 	e.acc = core.NewWindowAccumulator(opts.Window, cfg, e.handleWindow)
 	e.acc.SetLimits(opts.Limits)
 	e.cfg = e.acc.Config() // defaults materialised
+	if opts.Trainer != nil {
+		if db != nil {
+			return nil, fmt.Errorf("engine: both db and Options.Trainer set — the trainer owns the reference set (seed it with NewTrainerFrom)")
+		}
+		if err := opts.Trainer.bind(e, e.cfg); err != nil {
+			return nil, err
+		}
+		db = opts.Trainer.Compiled()
+	}
 	if err := e.SetDB(db); err != nil {
 		return nil, err
 	}
@@ -287,4 +304,15 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 	e.dropped += uint64(droppedN)
 	e.evicted += uint64(evictedN)
 	e.mu.Unlock()
+
+	// Enrollment happens after the window's own events: the trainer's
+	// promotions swap the database the *next* window is matched against,
+	// which is exactly per-window batch training's visibility.
+	if tr := e.opts.Trainer; tr != nil {
+		tr.observeWindow(w.Index, w.Candidates, func(ev Event) {
+			if sink != nil {
+				sink.HandleEvent(ev)
+			}
+		})
+	}
 }

@@ -80,10 +80,53 @@ type CandidateDropped struct {
 	Evicted bool
 }
 
-func (WindowClosed) event()     {}
-func (CandidateMatched) event() {}
-func (UnknownDevice) event()    {}
-func (CandidateDropped) event() {}
+// EnrollmentProgress reports a pending sender advancing toward the
+// enrollment horizon — one event per (pending sender, window) while a
+// Trainer is attached. Trainer events follow their window's
+// WindowClosed summary, in ascending address order.
+type EnrollmentProgress struct {
+	Window int
+	Addr   dot11.Addr
+	// Windows counts the detection windows the sender has been a
+	// candidate in so far, against the trainer's Horizon.
+	Windows, Horizon int
+	// Observations counts the accumulated observations, against the
+	// trainer's MinObservations bar (0 = no extra bar).
+	Observations, Required uint64
+}
+
+// DeviceEnrolled reports a sender promoted into the reference database
+// by the online trainer.
+type DeviceEnrolled struct {
+	Window int
+	Addr   dot11.Addr
+	// Windows and Observations describe the accumulated training
+	// signature that became the reference.
+	Windows      int
+	Observations uint64
+	// Refs is the reference count after this enrollment.
+	Refs int
+}
+
+// DBSwapped reports a reference-database hot-swap pushed to the engine
+// by the online trainer — exactly one per promotion batch (a window
+// whose enrollments or reference updates changed the database).
+type DBSwapped struct {
+	Window int
+	// Version numbers the swaps monotonically from 1.
+	Version uint64
+	// Refs is the reference count after the swap; Enrolled and Updated
+	// the newly promoted and refreshed references in this batch.
+	Refs, Enrolled, Updated int
+}
+
+func (WindowClosed) event()       {}
+func (CandidateMatched) event()   {}
+func (UnknownDevice) event()      {}
+func (CandidateDropped) event()   {}
+func (EnrollmentProgress) event() {}
+func (DeviceEnrolled) event()     {}
+func (DBSwapped) event()          {}
 
 // emitVerdict delivers the per-candidate verdict event — the single
 // event-construction path shared by the serial and sharded engines, so

@@ -1,0 +1,155 @@
+package engine_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dot11fp/internal/core"
+	"dot11fp/internal/engine"
+)
+
+// Golden conformance tests: the full event streams of the office and
+// conference scenarios — event type, sender, best match and exact
+// score, under fixed seeds — are frozen as testdata files, so any
+// refactor of the extraction or match path that shifts a single event,
+// order, or score bit shows up as a readable diff instead of silent
+// drift. Regenerate deliberately with:
+//
+//	go test ./internal/engine -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden event-stream files")
+
+// fexact renders a similarity with the shortest representation that
+// round-trips the exact float64 bits — a digit of drift anywhere is a
+// conformance failure.
+func fexact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// eventLine renders one event in the frozen line format.
+func eventLine(ev engine.Event) string {
+	switch ev := ev.(type) {
+	case engine.CandidateMatched:
+		return fmt.Sprintf("w%03d match   %s best=%s sim=%s obs=%d",
+			ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Sig.Observations())
+	case engine.UnknownDevice:
+		if ev.HasBest {
+			return fmt.Sprintf("w%03d unknown %s best=%s sim=%s obs=%d",
+				ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Sig.Observations())
+		}
+		return fmt.Sprintf("w%03d unknown %s best=- obs=%d", ev.Window, ev.Addr, ev.Sig.Observations())
+	case engine.CandidateDropped:
+		kind := "dropped"
+		if ev.Evicted {
+			kind = "evicted"
+		}
+		return fmt.Sprintf("w%03d %s %s obs=%d/%d", ev.Window, kind, ev.Addr, ev.Observations, ev.Minimum)
+	case engine.WindowClosed:
+		return fmt.Sprintf("w%03d closed  frames=%d senders=%d cands=%d matched=%d unknown=%d dropped=%d",
+			ev.Window, ev.Frames, ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped)
+	case engine.EnrollmentProgress:
+		return fmt.Sprintf("w%03d pending %s windows=%d/%d obs=%d", ev.Window, ev.Addr, ev.Windows, ev.Horizon, ev.Observations)
+	case engine.DeviceEnrolled:
+		return fmt.Sprintf("w%03d enroll  %s windows=%d obs=%d refs=%d", ev.Window, ev.Addr, ev.Windows, ev.Observations, ev.Refs)
+	case engine.DBSwapped:
+		return fmt.Sprintf("w%03d swap    v%d refs=%d enrolled=%d updated=%d", ev.Window, ev.Version, ev.Refs, ev.Enrolled, ev.Updated)
+	default:
+		return fmt.Sprintf("unhandled event %T", ev)
+	}
+}
+
+// checkGolden compares the rendered stream against its testdata file,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name string, lines []string) {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty event stream")
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", path, len(lines))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Point at the first drifting line, not just "files differ".
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s drifted at line %d:\n  got:  %s\n  want: %s", name, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s drifted in length: got %d lines, want %d", name, len(gl), len(wl))
+}
+
+// streamScenario replays a scenario through the serial engine —
+// trained on the first 3 minutes, monitored on the rest — and renders
+// every event.
+func streamScenario(t *testing.T, conference bool) []string {
+	t.Helper()
+	tr := buildScenario(t, conference) // fixed seeds inside
+	cfg := core.DefaultConfig(core.ParamInterArrival)
+	train, valid := core.Split(tr, 3*time.Minute)
+	db := core.NewDatabase(cfg, core.MeasureCosine)
+	if err := db.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	eng, err := engine.New(cfg, db.Compile(), engine.Options{
+		Window: 2 * time.Minute,
+		Sink:   engine.SinkFunc(func(ev engine.Event) { lines = append(lines, eventLine(ev)) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(valid)
+	eng.Close()
+	return lines
+}
+
+// TestGoldenOfficeStream freezes the office-scenario event stream.
+func TestGoldenOfficeStream(t *testing.T) {
+	checkGolden(t, "office_stream.golden", streamScenario(t, false))
+}
+
+// TestGoldenConferenceStream freezes the conference-scenario stream.
+func TestGoldenConferenceStream(t *testing.T) {
+	checkGolden(t, "conference_stream.golden", streamScenario(t, true))
+}
+
+// TestGoldenEnrollStream freezes the online-enrollment event stream:
+// a cold-started conference monitor self-populating its references
+// (horizon 2, frozen after enrollment). Covers the trainer's event
+// order and swap batching against drift.
+func TestGoldenEnrollStream(t *testing.T) {
+	tr := buildScenario(t, true)
+	cfg := core.DefaultConfig(core.ParamInterArrival)
+	trainer := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{Horizon: 2})
+	var lines []string
+	eng, err := engine.New(cfg, nil, engine.Options{
+		Window:  2 * time.Minute,
+		Sink:    engine.SinkFunc(func(ev engine.Event) { lines = append(lines, eventLine(ev)) }),
+		Trainer: trainer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(tr)
+	eng.Close()
+	checkGolden(t, "conference_enroll.golden", lines)
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,16 @@ type ShardedOptions struct {
 	// unlike everything else about shard count — which senders are
 	// evicted depends on the partitioning.
 	Limits core.SenderLimits
+	// Trainer enables online enrollment, exactly like Options.Trainer
+	// (the engine must then be created with a nil db). Enrollment needs
+	// strict window ordering — window k's promotions must be installed
+	// before window k+1 is matched — and per-shard matching runs ahead
+	// of the merger, so with a Trainer attached the shards skip
+	// matching and the merger matches each merged window against the
+	// freshly swapped database instead (fanning out across workers).
+	// The event stream stays identical to the serial engine's with the
+	// same Trainer settings, at every shard count.
+	Trainer *Trainer
 }
 
 // shardBatch is the router→shard transfer granularity: big enough to
@@ -138,6 +149,10 @@ type Sharded struct {
 	shards []*shard
 	segCh  chan shardSegment
 
+	// deferMatch moves window matching from the shards to the merger
+	// (set when a Trainer is attached — see ShardedOptions.Trainer).
+	deferMatch bool
+
 	// Router state, owned by the pushing goroutine. The clock is the
 	// same implementation WindowAccumulator runs on, so serial and
 	// sharded windowing cannot drift apart.
@@ -201,6 +216,16 @@ func NewSharded(cfg core.Config, db *core.CompiledDB, opts ShardedOptions) (*Sha
 		s.shards[i] = sh
 	}
 	s.cfg = s.shards[0].table.Config() // defaults materialised
+	if opts.Trainer != nil {
+		if db != nil {
+			return nil, fmt.Errorf("engine: both db and ShardedOptions.Trainer set — the trainer owns the reference set (seed it with NewTrainerFrom)")
+		}
+		if err := opts.Trainer.bind(s, s.cfg); err != nil {
+			return nil, err
+		}
+		db = opts.Trainer.Compiled()
+		s.deferMatch = true
+	}
 	if err := s.SetDB(db); err != nil {
 		return nil, err
 	}
@@ -397,7 +422,10 @@ func (s *Sharded) runShard(sh *shard) {
 			seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
 			seg.res.Frames = msg.meta.Frames
 			sh.table.Drain(&seg.res)
-			if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+			// With a trainer attached matching is deferred to the merger,
+			// so window k's enrollment swap is installed before window
+			// k+1's candidates are matched (see ShardedOptions.Trainer).
+			if db := s.db.Load(); !s.deferMatch && db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
 				seg.rows = db.MatchAllScratch(seg.res.Candidates, &scratch)
 			}
 			s.segCh <- seg
@@ -466,21 +494,56 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 	sink := s.opts.Sink
 
 	matchedN, unknownN, candsN := 0, 0, 0
-	mergeByAddr(len(segs),
-		func(k int) int { return len(segs[k].res.Candidates) },
-		func(k, i int) [6]byte { return segs[k].res.Candidates[i].Addr },
-		func(k, i int) {
+	var trainCands []core.Candidate // the merged window, for the trainer
+	if s.deferMatch {
+		// Trainer mode: the shards shipped unmatched candidates. Merge
+		// them into the serial engine's ascending-address window order,
+		// then match the whole window here — after any swap the previous
+		// window's enrollment installed — fanning out across workers
+		// exactly like the serial engine's window matching.
+		total := 0
+		for k := range segs {
+			total += len(segs[k].res.Candidates)
+		}
+		merged := make([]core.Candidate, 0, total)
+		mergeByAddr(len(segs),
+			func(k int) int { return len(segs[k].res.Candidates) },
+			func(k, i int) [6]byte { return segs[k].res.Candidates[i].Addr },
+			func(k, i int) { merged = append(merged, segs[k].res.Candidates[i]) })
+		var rows [][]core.Score
+		if db := s.db.Load(); db != nil && db.Len() > 0 && len(merged) > 0 {
+			rows = db.MatchAll(merged)
+		}
+		for i := range merged {
 			var scores []core.Score
-			if segs[k].rows != nil {
-				scores = segs[k].rows[i]
+			if rows != nil {
+				scores = rows[i]
 			}
 			candsN++
-			if emitVerdict(sink, s.opts.Threshold, &segs[k].res.Candidates[i], scores) {
+			if emitVerdict(sink, s.opts.Threshold, &merged[i], scores) {
 				matchedN++
 			} else {
 				unknownN++
 			}
-		})
+		}
+		trainCands = merged
+	} else {
+		mergeByAddr(len(segs),
+			func(k int) int { return len(segs[k].res.Candidates) },
+			func(k, i int) [6]byte { return segs[k].res.Candidates[i].Addr },
+			func(k, i int) {
+				var scores []core.Score
+				if segs[k].rows != nil {
+					scores = segs[k].rows[i]
+				}
+				candsN++
+				if emitVerdict(sink, s.opts.Threshold, &segs[k].res.Candidates[i], scores) {
+					matchedN++
+				} else {
+					unknownN++
+				}
+			})
+	}
 
 	droppedN, evictedN := 0, 0
 	mergeByAddr(len(segs),
@@ -513,6 +576,17 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 			Senders:    candsN + droppedN,
 			Candidates: candsN,
 			Matched:    matchedN, Unknown: unknownN, Dropped: droppedN,
+		})
+	}
+
+	// Enrollment runs after the window's own events and before emitted
+	// is advanced, so Flush/Close returning guarantees the flushed
+	// windows' promotions (and their events) have landed.
+	if tr := s.opts.Trainer; tr != nil {
+		tr.observeWindow(meta.Index, trainCands, func(ev Event) {
+			if sink != nil {
+				sink.HandleEvent(ev)
+			}
 		})
 	}
 

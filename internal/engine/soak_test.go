@@ -1,0 +1,179 @@
+package engine_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/engine"
+)
+
+// churnStream synthesises the soak workload: a 60-second (record time)
+// channel where a small stable population transmits steadily while
+// 100k single-shot randomized MACs churn through — the
+// MAC-randomization regime SenderLimits and MaxPending exist for.
+// Deterministic (fixed seed), time-sorted.
+func churnStream(stable, churn int) []capture.Record {
+	const span = 60_000_000 // 60 s in µs
+	rng := rand.New(rand.NewSource(7))
+	total := stable*2000 + churn
+	recs := make([]capture.Record, 0, total)
+	step := int64(span / total)
+	t := int64(0)
+	churnLeft := churn
+	for i := 0; i < total; i++ {
+		t += step + int64(rng.Intn(int(step)+1)) - step/2
+		rec := capture.Record{
+			T: t, Receiver: apX, Class: dot11.ClassData,
+			RateMbps: 24, FCSOK: true,
+		}
+		// Interleave: every (total/churn)-ish record is a churn MAC.
+		if churnLeft > 0 && rng.Intn(total-i) < churnLeft {
+			churnLeft--
+			var addr dot11.Addr
+			addr[0] = 0x02 // locally administered, like real randomization
+			for b := 1; b < 6; b++ {
+				addr[b] = byte(rng.Intn(256))
+			}
+			rec.Sender = addr
+			rec.Size = 100 + rng.Intn(1000)
+		} else {
+			s := rng.Intn(stable)
+			rec.Sender = dot11.LocalAddr(uint64(s + 1))
+			rec.Size = 200 + 16*s + rng.Intn(32) // size fingerprint per sender
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestSoakShardedEnrollChurn is the soak satellite: a 60s-equivalent
+// sharded run under 100k randomized-MAC churn with bounded sender
+// state AND live enrollment active, asserting bounded sender counts,
+// monotonic and internally consistent Stats under concurrent
+// scraping, and zero dropped frames in Block mode. Runs under -race in
+// CI; skipped with -short.
+func TestSoakShardedEnrollChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		stable     = 24
+		churn      = 100_000
+		shards     = 4
+		maxSenders = 512
+		maxPending = 1024
+	)
+	recs := churnStream(stable, churn)
+	cfg := core.Config{Param: core.ParamSize, MinObservations: 50}
+	trainer := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{
+		Horizon:    2,
+		MaxPending: maxPending,
+	})
+
+	var swapsSeen atomic.Uint64
+	perWindowSwaps := make(map[int]int)
+	var sinkMu sync.Mutex
+	sink := engine.SinkFunc(func(ev engine.Event) {
+		if sw, ok := ev.(engine.DBSwapped); ok {
+			swapsSeen.Add(1)
+			sinkMu.Lock()
+			perWindowSwaps[sw.Window]++
+			sinkMu.Unlock()
+		}
+	})
+
+	eng, err := engine.NewSharded(cfg, nil, engine.ShardedOptions{
+		Window:       10 * time.Second,
+		Shards:       shards,
+		Backpressure: engine.Block,
+		Limits:       core.SenderLimits{MaxSenders: maxSenders, IdleEvict: 5 * time.Second},
+		Sink:         sink,
+		Trainer:      trainer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent scrapers: Stats must stay monotonic in its monotone
+	// counters and internally consistent in every snapshot, while the
+	// push path runs full speed.
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			var prev engine.Stats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				if st.Frames < prev.Frames || st.WindowsClosed < prev.WindowsClosed ||
+					st.Candidates < prev.Candidates || st.Dropped < prev.Dropped {
+					t.Errorf("stats went backwards: %+v after %+v", st, prev)
+					return
+				}
+				if st.Candidates != st.Matched+st.Unknown {
+					t.Errorf("inconsistent snapshot: %d candidates != %d matched + %d unknown",
+						st.Candidates, st.Matched, st.Unknown)
+					return
+				}
+				if st.LiveSenders > shards*maxSenders {
+					t.Errorf("live senders %d exceed bound %d", st.LiveSenders, shards*maxSenders)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+
+	for i := range recs {
+		eng.Push(&recs[i])
+	}
+	eng.Close()
+	close(stop)
+	scrapeWG.Wait()
+
+	st := eng.Stats()
+	if st.Frames != uint64(len(recs)) {
+		t.Fatalf("frames = %d, want %d", st.Frames, len(recs))
+	}
+	if st.DroppedFrames != 0 {
+		t.Fatalf("%d frames dropped in Block mode, want 0", st.DroppedFrames)
+	}
+	if st.WindowsClosed == 0 || st.Evicted == 0 {
+		t.Fatalf("soak run degenerate: %+v", st)
+	}
+	if st.LiveSenders != 0 {
+		t.Fatalf("%d live senders after Close", st.LiveSenders)
+	}
+
+	ts := trainer.Stats()
+	if ts.Pending > maxPending {
+		t.Fatalf("pending enrollment state %d exceeds MaxPending %d", ts.Pending, maxPending)
+	}
+	// Single-shot churn MACs never clear the per-window minimum, so the
+	// reference set must stay at the stable-population scale.
+	if ts.Refs == 0 || ts.Refs > 2*stable {
+		t.Fatalf("reference count %d departed from the stable population %d: %+v", ts.Refs, stable, ts)
+	}
+	if ts.Swaps != swapsSeen.Load() {
+		t.Fatalf("%d swaps counted, %d DBSwapped events", ts.Swaps, swapsSeen.Load())
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	for win, n := range perWindowSwaps {
+		if n != 1 {
+			t.Fatalf("window %d emitted %d DBSwapped events, want at most 1 per promotion batch", win, n)
+		}
+	}
+}

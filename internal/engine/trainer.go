@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+)
+
+// Trainer is the online-enrollment subsystem: it closes the loop from
+// candidates observed in the live stream back into the reference
+// database, so a cold-started monitor populates its own references
+// without ever materialising a training trace.
+//
+// The trainer consumes closed detection windows — inline via
+// Options.Trainer / ShardedOptions.Trainer (the precise mode: window k's
+// promotions are visible to window k+1's matching on both engines), or
+// from an engine's event stream via Tap — and accumulates each unknown
+// sender's window signatures over the enrollment horizon. When a sender
+// completes the horizon, the enrollment policy (auto, confirm-callback,
+// deny-list) decides its fate; completed signatures are promoted into
+// the trainer's private copy-on-write core.Database, compiled, and
+// hot-swapped into the bound engine with SetDB. Each promotion batch
+// emits DeviceEnrolled events (one per device), EnrollmentProgress for
+// senders still accumulating, and exactly one DBSwapped.
+//
+// Accumulation reuses the window signatures produced by
+// core.WindowAccumulator / core.SenderTable, so extraction stays a
+// single code path: a database enrolled live over the first K windows of
+// a stream (Horizon 1, Update true) is bit-identical — same references,
+// same MatchAll scores — to one batch-trained per window on the same
+// prefix (TestTrainerLiveEqualsBatch).
+//
+// A Trainer serves one engine at a time. Its mutating entry points run
+// on the engine's event-delivery goroutine; Stats, Database and
+// Compiled are safe from any goroutine.
+type Trainer struct {
+	mu      sync.Mutex
+	cfg     core.Config
+	opts    TrainerOptions
+	db      *core.Database // private working copy; engines only ever see Compile() snapshots
+	pending map[dot11.Addr]*pendingEnroll
+	denied  map[dot11.Addr]bool
+	target  DBSetter
+	stats   TrainerStats
+}
+
+// DBSetter is the hot-swap half of an engine as the trainer sees it;
+// *Engine and *Sharded both implement it.
+type DBSetter interface {
+	SetDB(*core.CompiledDB) error
+}
+
+// EnrollPolicy selects what the trainer does with a sender that has
+// completed its enrollment horizon.
+type EnrollPolicy uint8
+
+const (
+	// EnrollAuto promotes every completed sender into the references.
+	EnrollAuto EnrollPolicy = iota
+	// EnrollConfirm asks TrainerOptions.Confirm before promoting. A
+	// rejected sender is remembered and never offered again; with a nil
+	// Confirm callback nothing is ever promoted.
+	EnrollConfirm
+)
+
+// PendingEnrollment is the trainer's view of one not-yet-enrolled
+// sender, handed to the Confirm callback.
+type PendingEnrollment struct {
+	Addr dot11.Addr
+	// Windows is the number of detection windows the sender has been a
+	// candidate in; Observations the observations accumulated across
+	// them.
+	Windows      int
+	Observations uint64
+	// Sig is the accumulated training signature. The callback may
+	// inspect it but must not retain or mutate it — on approval it
+	// becomes the reference.
+	Sig *core.Signature
+}
+
+// TrainerOptions parameterises a Trainer.
+type TrainerOptions struct {
+	// Horizon is the enrollment horizon in detection windows: a sender
+	// must have been a candidate (cleared the per-window
+	// minimum-observation rule) in at least this many windows before it
+	// is promoted. Zero selects 1 — enroll at the first window.
+	Horizon int
+	// MinObservations additionally requires this many observations
+	// accumulated across the horizon before promotion. Zero imposes no
+	// bar beyond the per-window rule candidates already cleared.
+	MinObservations uint64
+	// Policy selects auto-enrollment (default) or confirm-before-enroll.
+	Policy EnrollPolicy
+	// Confirm decides EnrollConfirm promotions. It is called
+	// synchronously on the engine's event-delivery goroutine and must
+	// not call back into the trainer or the engine. A false return is
+	// remembered: the sender is dropped from pending and never offered
+	// again.
+	Confirm func(PendingEnrollment) bool
+	// Deny lists senders that must never be enrolled (nor merged into
+	// existing references) — e.g. the monitor's own infrastructure.
+	Deny []dot11.Addr
+	// Update keeps enrolled references learning: every window an
+	// already-enrolled sender appears as a candidate, its window
+	// signature is merged into the reference and the refresh is included
+	// in that window's swap. Off (the default), references freeze at
+	// enrollment.
+	Update bool
+	// MaxPending bounds the not-yet-enrolled accumulation state: beyond
+	// the cap, the pending sender not seen for the most windows (ties by
+	// ascending address) is evicted — under MAC randomization the
+	// pending set would otherwise grow with every address that ever
+	// cleared one window. Zero is unbounded.
+	MaxPending int
+}
+
+// TrainerStats is a point-in-time snapshot of a trainer's counters.
+type TrainerStats struct {
+	// Refs is the current reference count; Pending the senders still
+	// accumulating toward the horizon.
+	Refs, Pending int
+	// Enrolled counts promotions, Updated reference refreshes (Update
+	// mode), Swaps the database promotions pushed to the engine (the
+	// DBSwapped version number).
+	Enrolled, Updated, Swaps uint64
+	// Denied counts candidate observations skipped for deny-listed or
+	// confirm-rejected senders; Rejected the Confirm refusals;
+	// EvictedPending the pending senders dropped by MaxPending.
+	Denied, Rejected, EvictedPending uint64
+}
+
+// pendingEnroll is one sender accumulating toward the horizon.
+type pendingEnroll struct {
+	sig        *core.Signature
+	windows    int
+	lastWindow int
+}
+
+// NewTrainer creates a cold-start trainer: the reference set begins
+// empty and is populated entirely by enrollment. The configuration and
+// measure must match the engine the trainer is attached to.
+func NewTrainer(cfg core.Config, measure core.Measure, opts TrainerOptions) *Trainer {
+	return newTrainer(core.NewDatabase(cfg, measure), opts)
+}
+
+// NewTrainerFrom creates a trainer seeded with an existing database —
+// warm start: known references keep matching while unknown senders
+// enroll around them. The seed is deep-copied (copy-on-write); the
+// caller's database is never touched.
+func NewTrainerFrom(seed *core.Database, opts TrainerOptions) *Trainer {
+	return newTrainer(seed.Clone(), opts)
+}
+
+func newTrainer(db *core.Database, opts TrainerOptions) *Trainer {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 1
+	}
+	t := &Trainer{
+		cfg:     db.Config(),
+		opts:    opts,
+		db:      db,
+		pending: make(map[dot11.Addr]*pendingEnroll),
+		denied:  make(map[dot11.Addr]bool),
+	}
+	for _, addr := range opts.Deny {
+		t.denied[addr] = true
+	}
+	return t
+}
+
+// Config returns the trainer's extraction configuration.
+func (t *Trainer) Config() core.Config { return t.cfg }
+
+// bind attaches the trainer to the engine it hot-swaps. One engine per
+// trainer: a second bind to a different target fails.
+func (t *Trainer) bind(target DBSetter, cfg core.Config) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Param != cfg.Param || t.cfg.Bins != cfg.Bins {
+		return fmt.Errorf("engine: trainer shape %v/%v does not match engine %v/%v",
+			t.cfg.Param, t.cfg.Bins, cfg.Param, cfg.Bins)
+	}
+	if t.target != nil && t.target != target {
+		return fmt.Errorf("engine: trainer is already attached to another engine")
+	}
+	t.target = target
+	return nil
+}
+
+// Bind attaches the trainer to the engine it should hot-swap, for the
+// Tap (event-stream) mode, and installs the trainer's current compiled
+// references into it — which also validates the shapes for real: a
+// trainer whose parameter or bins mismatch the engine fails here, at
+// attach time, instead of silently failing every later swap. The
+// inline mode — Options.Trainer / ShardedOptions.Trainer — binds
+// automatically.
+func (t *Trainer) Bind(target DBSetter) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.target != nil && t.target != target {
+		return fmt.Errorf("engine: trainer is already attached to another engine")
+	}
+	if err := target.SetDB(t.db.Compile()); err != nil {
+		return err
+	}
+	t.target = target
+	return nil
+}
+
+// Compiled returns the latest compiled snapshot of the trainer's
+// reference database (possibly empty, for a cold start).
+func (t *Trainer) Compiled() *core.CompiledDB {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.db.Compile()
+}
+
+// Database returns a deep copy of the trainer's working database — the
+// checkpoint entry point. The clone is taken under the trainer's lock,
+// so it is a consistent snapshot even while enrollment is running;
+// serialise it with Database.SaveBinary (fast) or Save (interop JSON).
+func (t *Trainer) Database() *core.Database {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.db.Clone()
+}
+
+// Stats returns a snapshot of the trainer's counters.
+func (t *Trainer) Stats() TrainerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Refs = t.db.Len()
+	st.Pending = len(t.pending)
+	return st
+}
+
+// observeWindow folds one closed window's candidates into the
+// enrollment state, promotes completed senders under the policy, swaps
+// the bound engine's database if anything changed, and emits the
+// trainer's events (progress, enrollments, then exactly one DBSwapped)
+// through emit. Candidates must arrive in ascending address order —
+// both engines and the batch paths emit them that way — which makes
+// promotion order, and with it the reference insertion order, a
+// deterministic function of the stream.
+func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Event)) {
+	t.mu.Lock()
+	// Refresh recency for every pending sender that is a candidate in
+	// this window before any MaxPending eviction runs: without this, an
+	// eviction triggered early in the window would target senders whose
+	// lastWindow is one behind merely because they sort later in the
+	// same window's candidate list — cascading into resetting live
+	// senders' accumulation instead of shedding genuinely stale ones.
+	if t.opts.MaxPending > 0 {
+		for i := range cands {
+			if p := t.pending[dot11.Addr(cands[i].Addr)]; p != nil {
+				p.lastWindow = window
+			}
+		}
+	}
+	var evs []Event
+	var promote []dot11.Addr
+	updated := 0
+	for i := range cands {
+		addr := dot11.Addr(cands[i].Addr)
+		if t.denied[addr] {
+			t.stats.Denied++
+			continue
+		}
+		if ref := t.db.Signature(addr); ref != nil {
+			if t.opts.Update {
+				// Shapes always match: the candidate came from an engine
+				// bound to this trainer's configuration.
+				if err := ref.Merge(cands[i].Sig); err == nil {
+					updated++
+					t.stats.Updated++
+				}
+			}
+			continue
+		}
+		p := t.pending[addr]
+		if p == nil {
+			if t.opts.MaxPending > 0 && len(t.pending) >= t.opts.MaxPending {
+				t.evictPending()
+			}
+			p = &pendingEnroll{sig: core.NewSignature(t.cfg.Param, t.cfg.Bins)}
+			t.pending[addr] = p
+		}
+		p.windows++
+		p.lastWindow = window
+		if err := p.sig.Merge(cands[i].Sig); err != nil {
+			continue // impossible by construction; never corrupt state on it
+		}
+		obs := p.sig.Observations()
+		if p.windows < t.opts.Horizon || obs < t.opts.MinObservations {
+			evs = append(evs, EnrollmentProgress{
+				Window: window, Addr: addr,
+				Windows: p.windows, Horizon: t.opts.Horizon,
+				Observations: obs, Required: t.opts.MinObservations,
+			})
+			continue
+		}
+		approved := true
+		if t.opts.Policy == EnrollConfirm {
+			approved = false
+			if cb := t.opts.Confirm; cb != nil {
+				approved = cb(PendingEnrollment{Addr: addr, Windows: p.windows, Observations: obs, Sig: p.sig})
+			}
+		}
+		if approved {
+			promote = append(promote, addr)
+		} else {
+			delete(t.pending, addr)
+			t.denied[addr] = true
+			t.stats.Rejected++
+		}
+	}
+
+	for _, addr := range promote {
+		p := t.pending[addr]
+		delete(t.pending, addr)
+		if err := t.db.Add(addr, p.sig); err != nil {
+			continue // impossible by construction (shape-checked at bind)
+		}
+		t.stats.Enrolled++
+		evs = append(evs, DeviceEnrolled{
+			Window: window, Addr: addr,
+			Windows: p.windows, Observations: p.sig.Observations(),
+			Refs: t.db.Len(),
+		})
+	}
+
+	if len(promote) > 0 || updated > 0 {
+		cdb := t.db.Compile()
+		t.stats.Swaps++
+		if t.target != nil {
+			t.target.SetDB(cdb) // shape-checked at bind; cannot fail
+		}
+		evs = append(evs, DBSwapped{
+			Window: window, Version: t.stats.Swaps,
+			Refs: t.db.Len(), Enrolled: len(promote), Updated: updated,
+		})
+	}
+	t.mu.Unlock()
+
+	// Events are delivered outside the lock, so a sink may call Stats,
+	// Database or Compiled without deadlocking.
+	if emit != nil {
+		for _, ev := range evs {
+			emit(ev)
+		}
+	}
+}
+
+// evictPending drops the pending sender not seen for the most windows
+// (ties by ascending address) — deterministic, like every other
+// bounded-state decision in the pipeline.
+func (t *Trainer) evictPending() {
+	var victim dot11.Addr
+	found := false
+	oldest := 0
+	for addr, p := range t.pending {
+		if !found || p.lastWindow < oldest ||
+			(p.lastWindow == oldest && addrLess([6]byte(addr), [6]byte(victim))) {
+			victim, oldest, found = addr, p.lastWindow, true
+		}
+	}
+	if found {
+		delete(t.pending, victim)
+		t.stats.EvictedPending++
+	}
+}
+
+// Tap returns a sink that feeds the trainer from an engine's event
+// stream and forwards every event — the engine's first, then the
+// trainer's own — to next (which may be nil to consume silently). Use
+// Bind to point the trainer at the engine to hot-swap. Unlike the
+// inline mode, the tap observes windows only as their events are
+// delivered; on the sharded engine, whose shards match ahead of event
+// delivery, a promotion may then reach matching one window later than
+// inline attachment would — prefer ShardedOptions.Trainer when the
+// exact swap boundary matters.
+func (t *Trainer) Tap(next Sink) Sink {
+	return &tapSink{t: t, next: next}
+}
+
+// tapSink reconstructs windows from the event stream: verdict events
+// carry the candidates (in ascending address order), WindowClosed marks
+// the boundary.
+type tapSink struct {
+	t    *Trainer
+	next Sink
+	buf  []core.Candidate
+}
+
+// HandleEvent implements Sink.
+func (s *tapSink) HandleEvent(ev Event) {
+	if s.next != nil {
+		s.next.HandleEvent(ev)
+	}
+	switch ev := ev.(type) {
+	case CandidateMatched:
+		s.buf = append(s.buf, core.Candidate{Addr: [6]byte(ev.Addr), Window: ev.Window, Sig: ev.Sig})
+	case UnknownDevice:
+		s.buf = append(s.buf, core.Candidate{Addr: [6]byte(ev.Addr), Window: ev.Window, Sig: ev.Sig})
+	case WindowClosed:
+		emit := func(Event) {}
+		if s.next != nil {
+			emit = s.next.HandleEvent
+		}
+		s.t.observeWindow(ev.Window, s.buf, emit)
+		s.buf = s.buf[:0]
+	}
+}

@@ -211,6 +211,86 @@ func BenchmarkPcapRoundTrip(b *testing.B) {
 	b.SetBytes(int64(buf.Len()))
 }
 
+// BenchmarkDBCodec compares the two checkpoint codecs over the micro
+// fixture's trained database — the JSON interop path against the
+// binary format the trainer's SIGHUP checkpoints use.
+func BenchmarkDBCodec(b *testing.B) {
+	db, _ := matchFixture(b)
+	var jsonBuf, binBuf bytes.Buffer
+	if err := db.Save(&jsonBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.SaveBinary(&binBuf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save-json", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := db.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	})
+	b.Run("save-binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := db.SaveBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	})
+	b.Run("load-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dot11fp.LoadDatabase(bytes.NewReader(jsonBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(jsonBuf.Len()))
+	})
+	b.Run("load-binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dot11fp.LoadBinaryDatabase(bytes.NewReader(binBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(binBuf.Len()))
+	})
+}
+
+// BenchmarkEngineEnroll measures the full online-enrollment loop: a
+// cold-started engine over the micro trace with the trainer promoting
+// every completed window — push, window rollover, matching, enrollment
+// accumulation, promotion and hot-swap included.
+func BenchmarkEngineEnroll(b *testing.B) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trainer := dot11fp.NewTrainer(cfg, dot11fp.MeasureCosine, dot11fp.TrainerOptions{Update: true})
+		eng, err := dot11fp.NewEngine(cfg, nil, dot11fp.EngineOptions{
+			Window:  time.Minute,
+			Trainer: trainer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.PushTrace(microTrace)
+		eng.Close()
+		if trainer.Stats().Refs == 0 {
+			b.Fatal("nothing enrolled")
+		}
+	}
+	b.ReportMetric(float64(len(microTrace.Records)), "records/op")
+}
+
 // engineFixture builds a trained compiled database plus a flat record
 // slice for the push-path benchmarks.
 func engineFixture(tb testing.TB) (*dot11fp.CompiledDB, dot11fp.Config) {

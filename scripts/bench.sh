@@ -15,7 +15,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip|BenchmarkEnginePush|BenchmarkEngineStream|BenchmarkShardedPush' \
+  -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip|BenchmarkEnginePush|BenchmarkEngineStream|BenchmarkShardedPush|BenchmarkDBCodec|BenchmarkEngineEnroll' \
   -benchmem -benchtime=2s . | tee "$raw"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
