@@ -85,15 +85,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	param, err := dot11fp.ParamByShortName(*paramFlag)
-	if err != nil {
-		fatal(err)
+	if *savePath != "" {
+		if err := cmdutil.CheckSavePath(*savePath); err != nil {
+			fatal(fmt.Errorf("-save %s: %w", *savePath, err))
+		}
 	}
-	measure, err := dot11fp.MeasureByName(*measureFlag)
-	if err != nil {
-		fatal(err)
-	}
-
+	// SIGHUP's default disposition would kill the daemon, so it is
+	// caught before anything that can block — opening a FIFO source
+	// stalls until its writer appears, and training runs for -ref of
+	// stream time. A checkpoint request arriving while there is nothing
+	// to checkpoint yet waits in the channel until the drainer starts.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 	var sources []dot11fp.RecordSource
 	var closers []io.Closer
 	for _, name := range flag.Args() {
@@ -134,46 +138,16 @@ func main() {
 		stream.Close()
 		signal.Stop(sigc)
 	}()
-
-	var db *dot11fp.Database
-	var pending *dot11fp.Record
-	cfg := dot11fp.DefaultConfig(param)
-	switch {
-	case *dbPath != "":
-		db, err = cmdutil.LoadDatabaseFile(*dbPath)
-		if err != nil {
-			fatal(err)
+	cfg, measure, db, pending, err := cmdutil.ResolveReferences(
+		"fingerprintd", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, len(sources))
+	if err != nil {
+		if interrupted.Load() {
+			fmt.Fprintln(os.Stderr, "fingerprintd: interrupted during training, nothing to drain")
+			return
 		}
-		cfg, measure = db.Config(), db.Measure()
-		fmt.Fprintf(os.Stderr, "fingerprintd: loaded %d references (%s, %s)\n",
-			db.Len(), cfg.Param, measure)
-	case *ref <= 0 && *enroll:
-		// Cold start: zero references, the trainer learns them all.
-		fmt.Fprintf(os.Stderr, "fingerprintd: cold start (%s, %s), enrolling after %d windows\n",
-			param, measure, *enrollWindows)
-	case *ref <= 0:
-		fatal(fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db"))
-	default:
-		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
-		if err != nil {
-			if interrupted.Load() {
-				fmt.Fprintln(os.Stderr, "fingerprintd: interrupted during training, nothing to drain")
-				return
-			}
-			fatal(err)
-		}
-		cfg = db.Config()
-		fmt.Fprintf(os.Stderr, "fingerprintd: trained %d references from the first %v of %d sources (%s)\n",
-			db.Len(), *ref, len(sources), cfg.Param)
+		fatal(err)
 	}
-
-	var trainer *dot11fp.Trainer
-	var cdb *dot11fp.CompiledDB
-	if *enroll {
-		trainer = enrollFlags.NewTrainer(cfg, measure, db) // the trainer owns the references
-	} else if db != nil {
-		cdb = db.Compile()
-	}
+	trainer, cdb := enrollFlags.EnrollOrCompile(cfg, measure, db) // when enrolling, the trainer owns the references
 
 	policy := dot11fp.BackpressureBlock
 	if *drop {
@@ -216,9 +190,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fingerprintd: %s: checkpointed %d references to %s\n",
 			reason, snap.Len(), *savePath)
 	}
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	defer signal.Stop(hup)
 	go func() {
 		for range hup {
 			checkpoint("SIGHUP")

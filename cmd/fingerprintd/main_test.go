@@ -39,4 +39,13 @@ func TestFlagValidation(t *testing.T) {
 	if _, err := cmdutil.ParseMergeMode("never"); err == nil {
 		t.Error("-merge never accepted")
 	}
+	if err := cmdutil.CheckSavePath(t.TempDir() + "/ck.fpdb"); err != nil {
+		t.Errorf("-save into a writable directory rejected: %v", err)
+	}
+	if err := cmdutil.CheckSavePath(t.TempDir() + "/no/such/dir/ck.fpdb"); err == nil {
+		t.Error("-save into a missing directory accepted")
+	}
+	if err := cmdutil.CheckSavePath(t.TempDir()); err == nil {
+		t.Error("-save pointing at a directory accepted")
+	}
 }

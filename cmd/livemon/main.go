@@ -52,15 +52,6 @@ func main() {
 	verbose := flag.Bool("v", false, "also print below-minimum drops and enrollment progress")
 	flag.Parse()
 
-	param, err := dot11fp.ParamByShortName(*paramFlag)
-	if err != nil {
-		fatal(err)
-	}
-	measure, err := dot11fp.MeasureByName(*measureFlag)
-	if err != nil {
-		fatal(err)
-	}
-
 	in := os.Stdin
 	if name := flag.Arg(0); name != "" && name != "-" {
 		f, err := os.Open(name)
@@ -75,39 +66,13 @@ func main() {
 		fatal(err)
 	}
 
-	var db *dot11fp.Database
-	var pending *dot11fp.Record // first record past the training prefix
-	cfg := dot11fp.DefaultConfig(param)
-	switch {
-	case *dbPath != "":
-		db, err = cmdutil.LoadDatabaseFile(*dbPath)
-		if err != nil {
-			fatal(err)
-		}
-		cfg, measure = db.Config(), db.Measure()
-		fmt.Fprintf(os.Stderr, "livemon: loaded %d references (%s, %s)\n",
-			db.Len(), cfg.Param, measure)
-	case *ref <= 0 && *enroll:
-		fmt.Fprintf(os.Stderr, "livemon: cold start (%s, %s), enrolling\n", param, measure)
-	case *ref <= 0:
-		fatal(fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db"))
-	default:
-		db, pending, err = cmdutil.TrainFromStream(stream, *ref, *paramFlag, *measureFlag)
-		if err != nil {
-			fatal(err)
-		}
-		cfg = db.Config()
-		fmt.Fprintf(os.Stderr, "livemon: trained %d references from the first %v (%s)\n",
-			db.Len(), *ref, cfg.Param)
+	enrollFlags := cmdutil.EnrollFlags{Enroll: *enroll, Windows: 1}
+	cfg, measure, db, pending, err := cmdutil.ResolveReferences(
+		"livemon", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, 1)
+	if err != nil {
+		fatal(err)
 	}
-
-	var trainer *dot11fp.Trainer
-	var cdb *dot11fp.CompiledDB
-	if *enroll {
-		trainer = cmdutil.EnrollFlags{Enroll: true, Windows: 1}.NewTrainer(cfg, measure, db)
-	} else if db != nil {
-		cdb = db.Compile()
-	}
+	trainer, cdb := enrollFlags.EnrollOrCompile(cfg, measure, db) // when enrolling, the trainer owns the references
 
 	// The serial engine and the sharded engine share the push contract,
 	// so the monitoring loop is engine-agnostic.

@@ -21,15 +21,7 @@ import (
 // monitoring starts exactly where training stopped — Split's
 // anchoring, streamed. Works over any record source: a single pcap
 // stream or a multi-source merge.
-func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, paramName, measureName string) (*dot11fp.Database, *dot11fp.Record, error) {
-	param, err := dot11fp.ParamByShortName(paramName)
-	if err != nil {
-		return nil, nil, err
-	}
-	measure, err := dot11fp.MeasureByName(measureName)
-	if err != nil {
-		return nil, nil, err
-	}
+func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, param dot11fp.Param, measure dot11fp.Measure) (*dot11fp.Database, *dot11fp.Record, error) {
 	train := &dot11fp.Trace{}
 	var cut int64
 	for {
@@ -100,6 +92,70 @@ func (f EnrollFlags) NewTrainer(cfg dot11fp.Config, measure dot11fp.Measure, see
 	return dot11fp.NewTrainer(cfg, measure, opts)
 }
 
+// EnrollOrCompile turns resolved references into the engine's inputs:
+// when enrolling, a live trainer that owns the references (warm-started
+// from db when one was resolved); otherwise the compiled database, nil
+// on a cold start. Exactly one of the two is non-nil unless neither
+// enrollment nor references were configured.
+func (f EnrollFlags) EnrollOrCompile(cfg dot11fp.Config, measure dot11fp.Measure, db *dot11fp.Database) (*dot11fp.Trainer, *dot11fp.CompiledDB) {
+	if f.Enroll {
+		return f.NewTrainer(cfg, measure, db), nil
+	}
+	if db != nil {
+		return nil, db.Compile()
+	}
+	return nil, nil
+}
+
+// ResolveReferences is the monitoring commands' shared reference
+// resolution: load a saved database (dbPath, either codec — the param
+// and measure names are ignored, both come from the file), train on the
+// stream's first ref duration, or accept a cold start when enrollment
+// will populate the references. pending is the first record past a
+// training prefix, nil otherwise. Progress is reported on stderr under
+// prefix; sources > 1 notes the multi-source merge.
+func ResolveReferences(prefix, dbPath string, ref time.Duration, paramName, measureName string, enroll EnrollFlags, stream dot11fp.RecordSource, sources int) (cfg dot11fp.Config, measure dot11fp.Measure, db *dot11fp.Database, pending *dot11fp.Record, err error) {
+	if dbPath != "" {
+		if db, err = LoadDatabaseFile(dbPath); err != nil {
+			return
+		}
+		cfg, measure = db.Config(), db.Measure()
+		fmt.Fprintf(os.Stderr, "%s: loaded %d references (%s, %s)\n", prefix, db.Len(), cfg.Param, measure)
+		return
+	}
+	// The param/measure flags only shape training and cold starts, so
+	// they are only parsed — and can only fail — on this path.
+	param, err := dot11fp.ParamByShortName(paramName)
+	if err != nil {
+		return
+	}
+	if measure, err = dot11fp.MeasureByName(measureName); err != nil {
+		return
+	}
+	cfg = dot11fp.DefaultConfig(param)
+	switch {
+	case ref <= 0 && enroll.Enroll:
+		after := ""
+		if enroll.Windows > 1 {
+			after = fmt.Sprintf(" after %d windows", enroll.Windows)
+		}
+		fmt.Fprintf(os.Stderr, "%s: cold start (%s, %s), enrolling%s\n", prefix, param, measure, after)
+	case ref <= 0:
+		err = fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db")
+	default:
+		if db, pending, err = TrainFromStream(stream, ref, param, measure); err != nil {
+			return
+		}
+		cfg = db.Config()
+		from := fmt.Sprintf("the first %v", ref)
+		if sources > 1 {
+			from += fmt.Sprintf(" of %d sources", sources)
+		}
+		fmt.Fprintf(os.Stderr, "%s: trained %d references from %s (%s)\n", prefix, db.Len(), from, cfg.Param)
+	}
+	return
+}
+
 // LoadDatabaseFile reads a reference database from disk in either
 // codec, sniffing the first non-whitespace byte: JSON documents open
 // with '{' (possibly after indentation a hand edit left behind),
@@ -148,10 +204,30 @@ func SaveDatabaseFile(path string, db *dot11fp.Database) error {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// CreateTemp's 0600 mode would survive the rename and lock other
+	// operators out of a previously readable checkpoint. An existing
+	// checkpoint keeps its permissions — an operator may have tightened
+	// them deliberately — and a fresh one gets ordinary database-file
+	// permissions.
+	mode := os.FileMode(0o644)
+	if info, statErr := os.Stat(path); statErr == nil {
+		mode = info.Mode().Perm()
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return err
+	}
 	if strings.EqualFold(filepath.Ext(path), ".json") {
 		err = db.Save(tmp)
 	} else {
 		err = db.SaveBinary(tmp)
+	}
+	if err == nil {
+		// Flush the data to stable storage before committing the name: a
+		// rename alone orders nothing, and a crash right after it could
+		// surface the new name over empty blocks — the torn checkpoint
+		// this function promises never to leave.
+		err = tmp.Sync()
 	}
 	if err != nil {
 		tmp.Close()
@@ -160,7 +236,33 @@ func SaveDatabaseFile(path string, db *dot11fp.Database) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself: fsync the directory entry.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// CheckSavePath fails fast when a checkpoint path is not writable — a
+// daemon that discovers a typo'd -save directory only at its first
+// SIGHUP (or at shutdown) has already lost everything it learned. The
+// probe creates and removes a temp file beside the target, the same
+// write SaveDatabaseFile will later perform.
+func CheckSavePath(path string) error {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return fmt.Errorf("checkpoint path %s is a directory", path)
+	}
+	probe, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".probe*")
+	if err != nil {
+		return fmt.Errorf("checkpoint path is not writable: %w", err)
+	}
+	probe.Close()
+	return os.Remove(probe.Name())
 }
 
 // Printer renders engine events as one line each on w — the monitoring
@@ -221,9 +323,12 @@ func StatsLine(w io.Writer, prefix string, st dot11fp.EngineStats) {
 		st.Dropped, st.Evicted, st.DroppedFrames)
 }
 
-// TrainerLine prints one operator-readable enrollment snapshot.
+// TrainerLine prints one operator-readable enrollment snapshot. Denied
+// counts skipped candidate observations (one per window a deny-listed
+// sender stays active) and Rejected counts confirm-refused senders —
+// different units, so they are reported separately.
 func TrainerLine(w io.Writer, prefix string, st dot11fp.TrainerStats) {
 	fmt.Fprintf(w,
-		"%s: enrollment: %d references (%d enrolled live, %d updates, %d swaps), %d pending, %d denied\n",
-		prefix, st.Refs, st.Enrolled, st.Updated, st.Swaps, st.Pending, st.Denied+st.Rejected)
+		"%s: enrollment: %d references (%d enrolled live, %d updates, %d swaps), %d pending, %d rejected, %d denied observations\n",
+		prefix, st.Refs, st.Enrolled, st.Updated, st.Swaps, st.Pending, st.Rejected, st.Denied)
 }

@@ -55,7 +55,7 @@ func trainRecords(t *testing.T, spanSec int) []dot11fp.Record {
 func TestTrainFromStream(t *testing.T) {
 	t.Parallel()
 	recs := trainRecords(t, 120)
-	db, pending, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute, "size", "cosine")
+	db, pending, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,18 +75,14 @@ func TestTrainFromStream(t *testing.T) {
 func TestTrainFromStreamErrors(t *testing.T) {
 	t.Parallel()
 	cases := map[string]struct {
-		recs    []dot11fp.Record
-		param   string
-		measure string
-		want    string
+		recs []dot11fp.Record
+		want string
 	}{
-		"empty stream":      {nil, "size", "cosine", "training prefix"},
-		"truncated stream":  {trainRecords(t, 30), "size", "cosine", "training prefix"},
-		"unknown parameter": {trainRecords(t, 120), "nope", "cosine", "parameter"},
-		"unknown measure":   {trainRecords(t, 120), "size", "nope", "measure"},
+		"empty stream":     {nil, "training prefix"},
+		"truncated stream": {trainRecords(t, 30), "training prefix"},
 	}
 	for name, tc := range cases {
-		_, _, err := TrainFromStream(&sliceSource{recs: tc.recs}, time.Minute, tc.param, tc.measure)
+		_, _, err := TrainFromStream(&sliceSource{recs: tc.recs}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
 		if err == nil {
 			t.Errorf("%s: no error", name)
 		} else if !strings.Contains(err.Error(), tc.want) {
@@ -139,7 +135,7 @@ func TestEnrollFlagsNewTrainer(t *testing.T) {
 	if cold.Stats().Refs != 0 {
 		t.Fatalf("cold trainer starts with %d refs", cold.Stats().Refs)
 	}
-	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, "size", "cosine")
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +150,7 @@ func TestEnrollFlagsNewTrainer(t *testing.T) {
 // replacement of an existing checkpoint.
 func TestDatabaseFileRoundTrip(t *testing.T) {
 	t.Parallel()
-	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, "size", "cosine")
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,6 +173,29 @@ func TestDatabaseFileRoundTrip(t *testing.T) {
 		left, err := filepath.Glob(filepath.Join(dir, name+".tmp*"))
 		if err != nil || len(left) != 0 {
 			t.Fatalf("%s: temp files left behind: %v (%v)", name, left, err)
+		}
+		// The temp file's restrictive 0600 mode must not survive the
+		// rename — checkpoints stay readable by other operator tooling.
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perm := info.Mode().Perm(); perm != 0o644 {
+			t.Fatalf("%s: checkpoint permissions %v, want 0644", name, perm)
+		}
+		// ...but permissions an operator tightened deliberately persist
+		// across rewrites.
+		if err := os.Chmod(path, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveDatabaseFile(path, seed); err != nil {
+			t.Fatal(err)
+		}
+		if info, err = os.Stat(path); err != nil {
+			t.Fatal(err)
+		}
+		if perm := info.Mode().Perm(); perm != 0o600 {
+			t.Fatalf("%s: rewrite widened tightened permissions to %v", name, perm)
 		}
 	}
 	head, err := os.ReadFile(filepath.Join(dir, "ref.json"))
@@ -208,6 +227,64 @@ func TestDatabaseFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadDatabaseFile(empty); err == nil {
 		t.Fatal("empty file accepted")
+	}
+}
+
+// TestResolveReferences covers the monitoring commands' shared
+// reference resolution: saved database, stream training, cold start,
+// and the rejected -ref 0 without -enroll or -db.
+func TestResolveReferences(t *testing.T) {
+	t.Parallel()
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.db")
+	if err := SaveDatabaseFile(path, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// -db: the file decides param and measure; bogus flag values are
+	// documented as ignored and must not fail.
+	cfg, measure, db, pending, err := ResolveReferences("test", path, 0, "bogus", "nope", EnrollFlags{}, nil, 1)
+	if err != nil {
+		t.Fatalf("-db with ignored bogus param/measure: %v", err)
+	}
+	if db == nil || db.Len() != seed.Len() || pending != nil {
+		t.Fatalf("-db resolution: db=%v pending=%v", db, pending)
+	}
+	if cfg.Param != dot11fp.ParamSize || measure != dot11fp.MeasureCosine {
+		t.Fatalf("-db resolution took shape %v/%v from the flags, not the file", cfg.Param, measure)
+	}
+	// ...but without -db the same bogus values are fatal.
+	if _, _, _, _, err := ResolveReferences("test", "", time.Minute, "bogus", "cosine", EnrollFlags{}, &sliceSource{}, 1); err == nil {
+		t.Fatal("bogus -param accepted on the training path")
+	}
+
+	// Stream training returns the boundary record.
+	_, _, db, pending, err = ResolveReferences("test", "", time.Minute, "size", "cosine",
+		EnrollFlags{}, &sliceSource{recs: trainRecords(t, 120)}, 1)
+	if err != nil || db == nil || pending == nil {
+		t.Fatalf("training resolution: db=%v pending=%v err=%v", db, pending, err)
+	}
+
+	// Cold start: no database, no error; rejected without -enroll.
+	if _, _, db, _, err = ResolveReferences("test", "", 0, "size", "cosine", EnrollFlags{Enroll: true, Windows: 1}, nil, 1); err != nil || db != nil {
+		t.Fatalf("cold start: db=%v err=%v", db, err)
+	}
+	if _, _, _, _, err = ResolveReferences("test", "", 0, "size", "cosine", EnrollFlags{}, nil, 1); err == nil {
+		t.Fatal("-ref 0 without -enroll or -db accepted")
+	}
+
+	// The trainer-vs-compiled split the commands feed engines with.
+	if tr, cdb := (EnrollFlags{Enroll: true, Windows: 1}).EnrollOrCompile(seed.Config(), seed.Measure(), seed); tr == nil || cdb != nil {
+		t.Fatal("enrolling resolution did not yield a trainer")
+	}
+	if tr, cdb := (EnrollFlags{}).EnrollOrCompile(seed.Config(), seed.Measure(), seed); tr != nil || cdb == nil {
+		t.Fatal("static resolution did not yield a compiled database")
+	}
+	if tr, cdb := (EnrollFlags{}).EnrollOrCompile(seed.Config(), seed.Measure(), nil); tr != nil || cdb != nil {
+		t.Fatal("empty resolution yielded references from nothing")
 	}
 }
 
@@ -284,8 +361,12 @@ func TestStatsLines(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	TrainerLine(&buf, "fingerprintd", dot11fp.TrainerStats{Refs: 12, Enrolled: 12, Swaps: 4, Pending: 3})
-	for _, want := range []string{"fingerprintd:", "12 references", "4 swaps", "3 pending"} {
+	TrainerLine(&buf, "fingerprintd", dot11fp.TrainerStats{
+		Refs: 12, Enrolled: 12, Swaps: 4, Pending: 3, Rejected: 2, Denied: 40,
+	})
+	// Rejected (senders) and Denied (per-window observations) are
+	// different units and must not be summed into one figure.
+	for _, want := range []string{"fingerprintd:", "12 references", "4 swaps", "3 pending", "2 rejected", "40 denied observations"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("trainer line %q is missing %q", buf.String(), want)
 		}

@@ -68,11 +68,30 @@ const (
 
 // SaveBinary serialises the database in the binary checkpoint format.
 func (db *Database) SaveBinary(w io.Writer) error {
+	// Save-side mirror of the loader's header bounds: the saver must
+	// never emit a checkpoint LoadBinary will reject, or the learned
+	// references are unrecoverable exactly when they are needed.
+	switch {
+	case db.cfg.Bins.Bins <= 0 || db.cfg.Bins.Bins > maxBinaryBins:
+		return fmt.Errorf("core: bin count %d outside the binary format's bounds", db.cfg.Bins.Bins)
+	case !(db.cfg.Bins.Width > 0) || math.IsInf(db.cfg.Bins.Width, 0):
+		return fmt.Errorf("core: bin width %v outside the binary format's bounds", db.cfg.Bins.Width)
+	case !(db.cfg.Bins.LogKnee >= 0) || math.IsInf(db.cfg.Bins.LogKnee, 0):
+		return fmt.Errorf("core: log knee %v outside the binary format's bounds", db.cfg.Bins.LogKnee)
+	case db.cfg.MinObservations < 0 || db.cfg.MinObservations > 1<<30:
+		return fmt.Errorf("core: minimum observations %d outside the binary format's bounds", db.cfg.MinObservations)
+	case len(db.order) > math.MaxUint32:
+		return fmt.Errorf("core: %d devices overflow the binary format's count field", len(db.order))
+	}
 	bw := bufio.NewWriter(w)
 	bw.Write(binaryMagic[:])
 	bw.WriteByte(binaryVersion)
-	writeBinaryString(bw, db.cfg.Param.ShortName())
-	writeBinaryString(bw, db.measure.String())
+	if err := writeBinaryString(bw, db.cfg.Param.ShortName()); err != nil {
+		return err
+	}
+	if err := writeBinaryString(bw, db.measure.String()); err != nil {
+		return err
+	}
 
 	var fixed [8]byte
 	binary.LittleEndian.PutUint32(fixed[:4], uint32(db.cfg.Bins.Bins))
@@ -104,10 +123,16 @@ func (db *Database) SaveBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// writeBinaryString writes a u8-length-prefixed string.
-func writeBinaryString(bw *bufio.Writer, s string) {
+// writeBinaryString writes a u8-length-prefixed string, enforcing the
+// same bound readBinaryString applies — the saver must never emit a
+// checkpoint the loader will reject.
+func writeBinaryString(bw *bufio.Writer, s string) error {
+	if len(s) > maxBinaryNameLen {
+		return fmt.Errorf("core: binary database name %q exceeds %d bytes", s, maxBinaryNameLen)
+	}
 	bw.WriteByte(byte(len(s)))
 	bw.WriteString(s)
+	return nil
 }
 
 // LoadBinary reads a database written by SaveBinary. Corrupt input is

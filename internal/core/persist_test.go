@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 
 	"dot11fp/internal/dot11"
@@ -146,6 +148,41 @@ func TestLoadBinaryRejectsCorruption(t *testing.T) {
 	future := mutate(func(b []byte) []byte { b[7] = binaryVersion + 1; return b })
 	if _, err := LoadBinary(bytes.NewReader(future)); !errors.Is(err, ErrBinaryVersion) {
 		t.Errorf("future version: error %v is not ErrBinaryVersion", err)
+	}
+}
+
+// TestWriteBinaryStringBound pins the save-side name bound: the saver
+// must reject a name longer than maxBinaryNameLen rather than truncate
+// its u8 length prefix into a checkpoint LoadBinary cannot parse.
+func TestWriteBinaryStringBound(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeBinaryString(bw, strings.Repeat("x", maxBinaryNameLen)); err != nil {
+		t.Fatalf("name at the bound rejected: %v", err)
+	}
+	if err := writeBinaryString(bw, strings.Repeat("x", maxBinaryNameLen+1)); err == nil {
+		t.Fatal("name over the bound accepted")
+	}
+}
+
+// TestSaveBinaryHeaderBounds pins the save-side mirror of the loader's
+// header bounds: a database whose configuration the loader would reject
+// must fail at save time, not strand an unreloadable checkpoint.
+func TestSaveBinaryHeaderBounds(t *testing.T) {
+	t.Parallel()
+	cases := map[string]Config{
+		"oversized bins": {Param: ParamSize, Bins: BinSpec{Bins: maxBinaryBins + 1, Width: 1}},
+		"zero width":     {Param: ParamSize, Bins: BinSpec{Bins: 8, Width: 0}},
+		"negative knee":  {Param: ParamSize, Bins: BinSpec{Bins: 8, Width: 1, LogKnee: -1}},
+		"huge min obs":   {Param: ParamSize, Bins: BinSpec{Bins: 8, Width: 1}, MinObservations: 1<<30 + 1},
+	}
+	for name, cfg := range cases {
+		db := NewDatabase(cfg, MeasureCosine)
+		var buf bytes.Buffer
+		if err := db.SaveBinary(&buf); err == nil {
+			t.Errorf("%s: SaveBinary wrote a checkpoint LoadBinary rejects", name)
+		}
 	}
 }
 

@@ -494,6 +494,17 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 	sink := s.opts.Sink
 
 	matchedN, unknownN, candsN := 0, 0, 0
+	// Both branches run every candidate through the same verdict
+	// accounting, so a change to it cannot drift the trainer-mode stream
+	// from the normal one.
+	verdict := func(c *core.Candidate, scores []core.Score) {
+		candsN++
+		if emitVerdict(sink, s.opts.Threshold, c, scores) {
+			matchedN++
+		} else {
+			unknownN++
+		}
+	}
 	var trainCands []core.Candidate // the merged window, for the trainer
 	if s.deferMatch {
 		// Trainer mode: the shards shipped unmatched candidates. Merge
@@ -519,12 +530,7 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 			if rows != nil {
 				scores = rows[i]
 			}
-			candsN++
-			if emitVerdict(sink, s.opts.Threshold, &merged[i], scores) {
-				matchedN++
-			} else {
-				unknownN++
-			}
+			verdict(&merged[i], scores)
 		}
 		trainCands = merged
 	} else {
@@ -536,12 +542,7 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 				if segs[k].rows != nil {
 					scores = segs[k].rows[i]
 				}
-				candsN++
-				if emitVerdict(sink, s.opts.Threshold, &segs[k].res.Candidates[i], scores) {
-					matchedN++
-				} else {
-					unknownN++
-				}
+				verdict(&segs[k].res.Candidates[i], scores)
 			})
 	}
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"dot11fp/internal/core"
@@ -39,11 +40,12 @@ type Trainer struct {
 	mu      sync.Mutex
 	cfg     core.Config
 	opts    TrainerOptions
-	db      *core.Database // private working copy; engines only ever see Compile() snapshots
-	pending map[dot11.Addr]*pendingEnroll
-	denied  map[dot11.Addr]bool
-	target  DBSetter
-	stats   TrainerStats
+	db           *core.Database // private working copy; engines only ever see Compile() snapshots
+	pending      map[dot11.Addr]*pendingEnroll
+	denied       map[dot11.Addr]bool
+	evictScratch []pendingEvictCand
+	target       DBSetter
+	stats        TrainerStats
 }
 
 // DBSetter is the hot-swap half of an engine as the trainer sees it;
@@ -261,7 +263,15 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 		}
 	}
 	var evs []Event
-	var promote []dot11.Addr
+	// Promoted senders leave t.pending the moment they are slated, and
+	// the promote list carries the *pendingEnroll itself: if a later new
+	// sender in this same window triggers evictPending, a promote-slated
+	// address must be neither an eviction victim nor re-looked-up as nil.
+	type promotion struct {
+		addr dot11.Addr
+		p    *pendingEnroll
+	}
+	var promote []promotion
 	updated := 0
 	for i := range cands {
 		addr := dot11.Addr(cands[i].Addr)
@@ -310,7 +320,8 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 			}
 		}
 		if approved {
-			promote = append(promote, addr)
+			delete(t.pending, addr)
+			promote = append(promote, promotion{addr: addr, p: p})
 		} else {
 			delete(t.pending, addr)
 			t.denied[addr] = true
@@ -318,26 +329,27 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 		}
 	}
 
-	for _, addr := range promote {
-		p := t.pending[addr]
-		delete(t.pending, addr)
-		if err := t.db.Add(addr, p.sig); err != nil {
+	for _, pr := range promote {
+		if err := t.db.Add(pr.addr, pr.p.sig); err != nil {
 			continue // impossible by construction (shape-checked at bind)
 		}
 		t.stats.Enrolled++
 		evs = append(evs, DeviceEnrolled{
-			Window: window, Addr: addr,
-			Windows: p.windows, Observations: p.sig.Observations(),
+			Window: window, Addr: pr.addr,
+			Windows: pr.p.windows, Observations: pr.p.sig.Observations(),
 			Refs: t.db.Len(),
 		})
 	}
 
-	if len(promote) > 0 || updated > 0 {
+	// A swap is claimed — Swaps counted, DBSwapped emitted — only when a
+	// database was actually pushed to an engine. A Tap-attached trainer
+	// whose Bind was never called still accumulates and promotes (Bind
+	// installs the current references when it eventually runs), but it
+	// must not report installations that never happened.
+	if (len(promote) > 0 || updated > 0) && t.target != nil {
 		cdb := t.db.Compile()
 		t.stats.Swaps++
-		if t.target != nil {
-			t.target.SetDB(cdb) // shape-checked at bind; cannot fail
-		}
+		t.target.SetDB(cdb) // shape-checked at bind; cannot fail
 		evs = append(evs, DBSwapped{
 			Window: window, Version: t.stats.Swaps,
 			Refs: t.db.Len(), Enrolled: len(promote), Updated: updated,
@@ -354,29 +366,50 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 	}
 }
 
-// evictPending drops the pending sender not seen for the most windows
-// (ties by ascending address) — deterministic, like every other
-// bounded-state decision in the pipeline.
+// pendingEvictCand is the reusable sort record of the pending-eviction
+// scan.
+type pendingEvictCand struct {
+	addr       dot11.Addr
+	lastWindow int
+}
+
+// evictPending drops the least-recently-seen eighth of MaxPending (at
+// least one pending sender) per scan — batched like core.SenderTable's
+// cap eviction, so MAC-randomization churn pays one O(n log n) scan per
+// batch instead of per over-cap insertion. Ties on last-seen window
+// break by ascending address, keeping eviction deterministic, like
+// every other bounded-state decision in the pipeline.
 func (t *Trainer) evictPending() {
-	var victim dot11.Addr
-	found := false
-	oldest := 0
+	cands := t.evictScratch[:0]
 	for addr, p := range t.pending {
-		if !found || p.lastWindow < oldest ||
-			(p.lastWindow == oldest && addrLess([6]byte(addr), [6]byte(victim))) {
-			victim, oldest, found = addr, p.lastWindow, true
-		}
+		cands = append(cands, pendingEvictCand{addr: addr, lastWindow: p.lastWindow})
 	}
-	if found {
-		delete(t.pending, victim)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lastWindow != cands[j].lastWindow {
+			return cands[i].lastWindow < cands[j].lastWindow
+		}
+		return addrLess([6]byte(cands[i].addr), [6]byte(cands[j].addr))
+	})
+	k := t.opts.MaxPending / 8
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for _, c := range cands[:k] {
+		delete(t.pending, c.addr)
 		t.stats.EvictedPending++
 	}
+	t.evictScratch = cands[:0] // keep the grown buffer
 }
 
 // Tap returns a sink that feeds the trainer from an engine's event
 // stream and forwards every event — the engine's first, then the
 // trainer's own — to next (which may be nil to consume silently). Use
-// Bind to point the trainer at the engine to hot-swap. Unlike the
+// Bind to point the trainer at the engine to hot-swap: until Bind runs
+// the trainer accumulates and promotes into its private database but
+// claims no swaps — no DBSwapped, Stats().Swaps stays zero. Unlike the
 // inline mode, the tap observes windows only as their events are
 // delivered; on the sharded engine, whose shards match ahead of event
 // delivery, a promotion may then reach matching one window later than

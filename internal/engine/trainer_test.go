@@ -332,6 +332,47 @@ func TestTrainerMaxPending(t *testing.T) {
 	}
 }
 
+// TestTrainerMaxPendingPromoteSameWindow pins the promote/evict
+// interaction inside a single window: with Horizon 1 a sender is slated
+// for promotion the moment it appears, and a later new sender in the
+// same window may push pending over MaxPending and trigger an eviction.
+// A promote-slated sender must be out of eviction's reach — evicting it
+// used to leave a nil pending entry for the promote loop to dereference,
+// crashing the engine's window goroutine.
+func TestTrainerMaxPendingPromoteSameWindow(t *testing.T) {
+	t.Parallel()
+	cfg := core.Config{Param: core.ParamSize, MinObservations: 10}
+	tr := &capture.Trace{Name: "promote-evict-race"}
+	// Three new senders, all candidates of the same 1-second window, in
+	// ascending address order — the promote-slated lowest address is the
+	// eviction tie-break victim if it is still visible to evictPending.
+	for s := 0; s < 3; s++ {
+		base := int64(s) * 50_000
+		for i := 0; i < 12; i++ {
+			tr.Records = append(tr.Records, capture.Record{
+				T: base + int64(i)*1_000, Sender: dot11.LocalAddr(uint64(s + 1)), Receiver: apX,
+				Class: dot11.ClassData, Size: 200 + 8*s, RateMbps: 24, FCSOK: true,
+			})
+		}
+	}
+	trainer := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{
+		Horizon: 1, MaxPending: 2,
+	})
+	eng, err := engine.New(cfg, nil, engine.Options{Window: time.Second, Trainer: trainer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(tr)
+	eng.Close()
+	st := trainer.Stats()
+	if st.Refs != 3 {
+		t.Fatalf("%d of 3 same-window senders enrolled at Horizon 1: %+v", st.Refs, st)
+	}
+	if st.EvictedPending != 0 {
+		t.Fatalf("promote-slated senders counted against MaxPending: %+v", st)
+	}
+}
+
 // TestTrainerMaxPendingNoCascade pins the mid-window eviction rule:
 // when pending senders are all candidates of the current window, one
 // new arrival over the cap must not cascade into resetting live
@@ -421,6 +462,34 @@ func TestTrainerTapMatchesInline(t *testing.T) {
 	defer eng3.Close()
 	if err := wrong.Bind(eng3); err == nil {
 		t.Fatal("Bind accepted a shape-mismatched trainer")
+	}
+}
+
+// TestTrainerTapUnboundClaimsNoSwaps pins the unbound tap: a trainer
+// fed through Tap without Bind still accumulates and promotes into its
+// private database, but must not claim installations that never
+// happened — no DBSwapped events, Stats().Swaps zero.
+func TestTrainerTapUnboundClaimsNoSwaps(t *testing.T) {
+	t.Parallel()
+	const window = 2 * time.Minute
+	cfg := core.DefaultConfig(core.ParamInterArrival)
+	tr := buildScenario(t, true)
+
+	unbound := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{Horizon: 2})
+	var te trainEvents
+	eng, err := engine.New(cfg, nil, engine.Options{Window: window, Sink: unbound.Tap(collectTrainer(&te))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(tr)
+	eng.Close()
+
+	st := unbound.Stats()
+	if st.Refs == 0 || st.Enrolled == 0 || len(te.enrolled) == 0 {
+		t.Fatalf("unbound tap stopped enrolling: %+v", st)
+	}
+	if st.Swaps != 0 || len(te.swapped) != 0 {
+		t.Fatalf("unbound tap claimed %d swaps (%d DBSwapped events) with no engine to swap", st.Swaps, len(te.swapped))
 	}
 }
 
