@@ -134,8 +134,46 @@ func CandidatesIn(tr *Trace, window time.Duration, cfg Config) []Candidate {
 	return core.CandidatesIn(tr, window, cfg)
 }
 
-// ParseAddr parses a textual MAC address.
+// ParseAddr parses a textual MAC address in canonical colon, dash or
+// bare-hex grouping.
 func ParseAddr(s string) (Addr, error) { return dot11.ParseAddr(s) }
+
+// --- multi-parameter fusion --------------------------------------------------
+
+// Fusion types: several network parameters combined into one
+// fingerprint (see the doc.go "Multi-parameter fusion" section).
+type (
+	// Ensemble combines several parameters' reference databases; a
+	// candidate's fused similarity is the mean of its per-parameter
+	// similarities.
+	Ensemble = core.Ensemble
+	// CompiledEnsemble is the immutable matching-optimised snapshot of
+	// an Ensemble, with zero-allocation and batched entry points.
+	CompiledEnsemble = core.CompiledEnsemble
+	// EnsembleScratch holds the reusable buffers of the zero-allocation
+	// fused match path; the zero value is ready to use.
+	EnsembleScratch = core.EnsembleScratch
+	// MultiCandidate is a device observed within one detection window,
+	// carrying one signature per member parameter.
+	MultiCandidate = core.MultiCandidate
+)
+
+// MaxEnsembleMembers bounds an ensemble's member count (the five
+// distinct parameters).
+const MaxEnsembleMembers = core.MaxEnsembleMembers
+
+// NewEnsemble creates an empty multi-parameter reference ensemble over
+// the given extraction configurations (distinct parameters; the zero
+// Measure selects cosine for every member).
+func NewEnsemble(m Measure, cfgs ...Config) (*Ensemble, error) { return core.NewEnsemble(m, cfgs...) }
+
+// NewEnsembleFrom assembles an ensemble from existing member databases
+// (distinct parameters, one shared measure; adopted, not copied).
+func NewEnsembleFrom(dbs ...*Database) (*Ensemble, error) { return core.NewEnsembleFrom(dbs...) }
+
+// LoadBinaryEnsemble reads an ensemble written with Ensemble.SaveBinary
+// — the versioned multi-database checkpoint container.
+func LoadBinaryEnsemble(r io.Reader) (*Ensemble, error) { return core.LoadBinaryEnsemble(r) }
 
 // --- streaming engine --------------------------------------------------------
 
@@ -187,6 +225,15 @@ func NewEngine(cfg Config, db *CompiledDB, opts EngineOptions) (*Engine, error) 
 	return engine.New(cfg, db, opts)
 }
 
+// NewEnsembleEngine creates a streaming multi-parameter engine: every
+// member parameter is extracted in one pass and each closed window is
+// fuse-matched against edb (nil runs extraction-only; install
+// references later with Engine.SetEnsembleDB). Verdict events carry
+// fused plus per-member score vectors.
+func NewEnsembleEngine(cfgs []Config, edb *CompiledEnsemble, opts EngineOptions) (*Engine, error) {
+	return engine.NewEnsemble(cfgs, edb, opts)
+}
+
 // NewChannelSink creates a channel-backed event sink for NewEngine.
 func NewChannelSink(buffer int) *ChannelSink { return engine.NewChannelSink(buffer) }
 
@@ -213,6 +260,9 @@ type (
 	// DBSetter is the hot-swap half of an engine as the trainer sees
 	// it; Engine and ShardedEngine both implement it.
 	DBSetter = engine.DBSetter
+	// EnsembleDBSetter is the hot-swap half of an ensemble engine;
+	// Engine and ShardedEngine both implement it.
+	EnsembleDBSetter = engine.EnsembleDBSetter
 )
 
 // Enrollment policies for TrainerOptions.
@@ -236,6 +286,22 @@ func NewTrainer(cfg Config, m Measure, opts TrainerOptions) *Trainer {
 // enroll around them.
 func NewTrainerFrom(seed *Database, opts TrainerOptions) *Trainer {
 	return engine.NewTrainerFrom(seed, opts)
+}
+
+// NewEnsembleTrainer creates a cold-start trainer for an ensemble
+// engine: member signatures are accumulated together and enrolled
+// atomically, so a live-enrolled ensemble never holds a
+// partially-known device.
+func NewEnsembleTrainer(cfgs []Config, m Measure, opts TrainerOptions) (*Trainer, error) {
+	return engine.NewEnsembleTrainer(cfgs, m, opts)
+}
+
+// NewEnsembleTrainerFrom creates an ensemble trainer seeded with an
+// existing ensemble (deep-copied). Seeds holding partially-enrolled
+// devices are refused — they can never match and enrollment cannot
+// repair them.
+func NewEnsembleTrainerFrom(seed *Ensemble, opts TrainerOptions) (*Trainer, error) {
+	return engine.NewEnsembleTrainerFrom(seed, opts)
 }
 
 // --- sharded engine ----------------------------------------------------------
@@ -272,6 +338,14 @@ const (
 // ShardedOptions; Shards 0 selects GOMAXPROCS).
 func NewShardedEngine(cfg Config, db *CompiledDB, opts ShardedOptions) (*ShardedEngine, error) {
 	return engine.NewSharded(cfg, db, opts)
+}
+
+// NewShardedEnsembleEngine creates a sharded multi-parameter engine:
+// the router computes every member's parameter value against the
+// global inter-arrival context, so the merged fused event stream is
+// identical to NewEnsembleEngine's at every shard count.
+func NewShardedEnsembleEngine(cfgs []Config, edb *CompiledEnsemble, opts ShardedOptions) (*ShardedEngine, error) {
+	return engine.NewShardedEnsemble(cfgs, edb, opts)
 }
 
 // --- capture I/O -------------------------------------------------------------

@@ -30,9 +30,16 @@
 //	go run ./cmd/tracegen -scenario office -duration 30m -stations 24 -o office.pcap
 //	go run ./cmd/fingerprintd -ref 0 -enroll -enroll-windows 2 -window 3m -save office.fpdb office.pcap
 //
+// A -param comma list (e.g. -param rate,size,iat) fuses several
+// network parameters into one fingerprint: every member is extracted
+// in one pass and each window is matched on the mean of the
+// per-parameter similarities; -save then checkpoints the whole fused
+// reference set in one versioned container.
+//
 // Usage:
 //
-//	fingerprintd [-db ref.fpdb | -ref 20m] [-param iat] [-measure cosine]
+//	fingerprintd [-db ref.fpdb | -ref 20m] [-param iat | -param rate,size,iat]
+//	             [-measure cosine]
 //	             [-enroll] [-enroll-windows 1] [-save ref.fpdb]
 //	             [-window 5m] [-threshold 0] [-shards 0] [-queue 8192]
 //	             [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
@@ -54,9 +61,9 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "reference database (JSON or binary checkpoint); overrides -ref")
+	dbPath := flag.String("db", "", "reference database (JSON, binary or ensemble checkpoint); overrides -ref")
 	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the merged stream when no -db is given (0 with -enroll = cold start)")
-	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
+	paramFlag := flag.String("param", "iat", "network parameter or comma list for fusion (rate,size,mtime,txtime,iat); ignored with -db")
 	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
 	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
 	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
@@ -88,6 +95,17 @@ func main() {
 	if *savePath != "" {
 		if err := cmdutil.CheckSavePath(*savePath); err != nil {
 			fatal(fmt.Errorf("-save %s: %w", *savePath, err))
+		}
+		// Fail fast on the flags path: fused references have no JSON
+		// form, and a daemon should learn that before it blocks on a
+		// FIFO, not at its first checkpoint. (-db resolutions re-check
+		// after the file reveals its member count.)
+		if *dbPath == "" {
+			if params, err := cmdutil.ParseParams(*paramFlag); err == nil && len(params) > 1 {
+				if err := cmdutil.CheckEnsembleSave(*savePath); err != nil {
+					fatal(fmt.Errorf("-save %s: %w", *savePath, err))
+				}
+			}
 		}
 	}
 	// SIGHUP's default disposition would kill the daemon, so it is
@@ -138,7 +156,7 @@ func main() {
 		stream.Close()
 		signal.Stop(sigc)
 	}()
-	cfg, measure, db, pending, err := cmdutil.ResolveReferences(
+	cfgs, measure, refs, pending, err := cmdutil.ResolveReferences(
 		"fingerprintd", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, len(sources))
 	if err != nil {
 		if interrupted.Load() {
@@ -147,13 +165,25 @@ func main() {
 		}
 		fatal(err)
 	}
-	trainer, cdb := enrollFlags.EnrollOrCompile(cfg, measure, db) // when enrolling, the trainer owns the references
+	// An ensemble reference set selects the fused engines even with one
+	// member — a 1-member ensemble checkpoint must drive the ensemble
+	// path, not silently fall back to an empty single-parameter engine.
+	fused := refs.Multi() || len(cfgs) > 1
+	if fused && *savePath != "" {
+		if err := cmdutil.CheckEnsembleSave(*savePath); err != nil {
+			fatal(fmt.Errorf("-save %s: %w", *savePath, err))
+		}
+	}
+	trainer, cdb, cedb, err := enrollFlags.EnrollOrCompile(cfgs, measure, refs) // when enrolling, the trainer owns the references
+	if err != nil {
+		fatal(err)
+	}
 
 	policy := dot11fp.BackpressureBlock
 	if *drop {
 		policy = dot11fp.BackpressureDrop
 	}
-	eng, err := dot11fp.NewShardedEngine(cfg, cdb, dot11fp.ShardedOptions{
+	opts := dot11fp.ShardedOptions{
 		Window:       *window,
 		Threshold:    *threshold,
 		Shards:       *shards,
@@ -162,7 +192,13 @@ func main() {
 		Limits:       dot11fp.SenderLimits{MaxSenders: *maxSenders, IdleEvict: *idleEvict},
 		Sink:         dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose)),
 		Trainer:      trainer,
-	})
+	}
+	var eng *dot11fp.ShardedEngine
+	if fused {
+		eng, err = dot11fp.NewShardedEnsembleEngine(cfgs, cedb, opts)
+	} else {
+		eng, err = dot11fp.NewShardedEngine(cfgs[0], cdb, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -170,20 +206,22 @@ func main() {
 	// checkpoint writes the current references to -save: the trainer's
 	// live copy when enrolling, the static set otherwise. The write is
 	// atomic (temp + rename), so a SIGHUP checkpoint racing the final
-	// one can never leave a torn file.
+	// one can never leave a torn file. Fused references land in the
+	// ensemble container; single-parameter ones keep the codec the
+	// extension selects.
 	checkpoint := func(reason string) {
 		if *savePath == "" {
 			return
 		}
-		snap := db
+		snap := refs
 		if trainer != nil {
-			snap = trainer.Database()
+			snap = cmdutil.References{DB: trainer.Database(), Ens: trainer.Ensemble()}
 		}
-		if snap == nil {
+		if snap.Empty() {
 			fmt.Fprintf(os.Stderr, "fingerprintd: %s: no references to checkpoint yet\n", reason)
 			return
 		}
-		if err := cmdutil.SaveDatabaseFile(*savePath, snap); err != nil {
+		if err := cmdutil.SaveReferencesFile(*savePath, snap); err != nil {
 			fmt.Fprintf(os.Stderr, "fingerprintd: %s checkpoint failed: %v\n", reason, err)
 			return
 		}

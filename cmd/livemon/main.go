@@ -17,15 +17,19 @@
 //
 // With -shards > 1 the stream drives the sharded concurrent engine —
 // same events, same order, across as many cores as asked for — and
-// -stats prints a periodic counters line to stderr. Several inputs at
-// once, bounded sender state, backpressure policy and reference
-// checkpointing live in the companion daemon, fingerprintd.
+// -stats prints a periodic counters line to stderr. A -param comma
+// list (e.g. -param rate,size,iat) fuses several network parameters
+// into one fingerprint: every member is extracted in one pass and each
+// window is matched on the mean of the per-parameter similarities.
+// Several inputs at once, bounded sender state, backpressure policy
+// and reference checkpointing live in the companion daemon,
+// fingerprintd.
 //
 // Usage:
 //
-//	livemon [-db ref.fpdb | -ref 20m] [-param iat] [-measure cosine]
-//	        [-enroll] [-window 5m] [-threshold 0] [-shards 1] [-stats 0]
-//	        [-v] [capture.pcap | -]
+//	livemon [-db ref.fpdb | -ref 20m] [-param iat | -param rate,size,iat]
+//	        [-measure cosine] [-enroll] [-window 5m] [-threshold 0]
+//	        [-shards 1] [-stats 0] [-v] [capture.pcap | -]
 package main
 
 import (
@@ -40,9 +44,9 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "", "reference database (JSON or binary checkpoint); overrides -ref")
+	dbPath := flag.String("db", "", "reference database (JSON, binary or ensemble checkpoint); overrides -ref")
 	ref := flag.Duration("ref", 20*time.Minute, "training prefix learned from the stream when no -db is given (0 with -enroll = cold start)")
-	paramFlag := flag.String("param", "iat", "network parameter (rate,size,mtime,txtime,iat); ignored with -db")
+	paramFlag := flag.String("param", "iat", "network parameter or comma list for fusion (rate,size,mtime,txtime,iat); ignored with -db")
 	measureFlag := flag.String("measure", "cosine", "similarity measure; ignored with -db")
 	window := flag.Duration("window", dot11fp.DefaultWindow, "detection window size")
 	threshold := flag.Float64("threshold", 0, "acceptance threshold on the best similarity")
@@ -67,15 +71,19 @@ func main() {
 	}
 
 	enrollFlags := cmdutil.EnrollFlags{Enroll: *enroll, Windows: 1}
-	cfg, measure, db, pending, err := cmdutil.ResolveReferences(
+	cfgs, measure, refs, pending, err := cmdutil.ResolveReferences(
 		"livemon", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, 1)
 	if err != nil {
 		fatal(err)
 	}
-	trainer, cdb := enrollFlags.EnrollOrCompile(cfg, measure, db) // when enrolling, the trainer owns the references
+	trainer, cdb, cedb, err := enrollFlags.EnrollOrCompile(cfgs, measure, refs) // when enrolling, the trainer owns the references
+	if err != nil {
+		fatal(err)
+	}
 
 	// The serial engine and the sharded engine share the push contract,
-	// so the monitoring loop is engine-agnostic.
+	// so the monitoring loop is engine-agnostic; a -param comma list
+	// selects the fused (multi-parameter) engines.
 	var eng interface {
 		Push(*dot11fp.Record)
 		Close()
@@ -86,12 +94,25 @@ func main() {
 		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
 	}
 	sink := dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, clock, *verbose))
-	if *shards == 1 {
-		eng, err = dot11fp.NewEngine(cfg, cdb, dot11fp.EngineOptions{
+	// An ensemble reference set selects the fused engines even with one
+	// member — a 1-member ensemble checkpoint must drive the ensemble
+	// path, not silently fall back to an empty single-parameter engine.
+	fused := refs.Multi() || len(cfgs) > 1
+	switch {
+	case *shards == 1 && fused:
+		eng, err = dot11fp.NewEnsembleEngine(cfgs, cedb, dot11fp.EngineOptions{
 			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer,
 		})
-	} else {
-		eng, err = dot11fp.NewShardedEngine(cfg, cdb, dot11fp.ShardedOptions{
+	case *shards == 1:
+		eng, err = dot11fp.NewEngine(cfgs[0], cdb, dot11fp.EngineOptions{
+			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer,
+		})
+	case fused:
+		eng, err = dot11fp.NewShardedEnsembleEngine(cfgs, cedb, dot11fp.ShardedOptions{
+			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer,
+		})
+	default:
+		eng, err = dot11fp.NewShardedEngine(cfgs[0], cdb, dot11fp.ShardedOptions{
 			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer,
 		})
 	}

@@ -173,6 +173,52 @@
 // whole stack as a daemon — multi-source ingest, sharded engine,
 // periodic stats, graceful drain on SIGINT/SIGTERM.
 //
+// # Multi-parameter fusion
+//
+// The paper's conclusion leaves open "whether the fingerprinting
+// method can be improved by combining several network parameters";
+// Ensemble is that combination: one reference database per member
+// parameter, a candidate's fused similarity the mean of its
+// per-parameter similarities — robust where a single parameter is
+// ambiguous (EXPERIMENTS.md records office identification reaching
+// 100% with all five members). An Ensemble trains, checkpoints
+// (SaveBinary — a versioned multi-database container —
+// LoadBinaryEnsemble) and compiles like a Database: Compile returns a
+// CompiledEnsemble with the member snapshots frozen and the
+// fully-known reference set resolved once per reference change, plus
+// zero-allocation (MatchInto + EnsembleScratch) and batched (MatchAll)
+// fused entry points.
+//
+// The streaming stack runs fused end to end. NewEnsembleEngine /
+// NewShardedEnsembleEngine extract every member parameter in one pass
+// — one window clock, one shared inter-arrival context, one signature
+// per member per sender — and match each closed window on the fused
+// score, emitting verdict events that carry the fused vector (Scores)
+// plus the per-member vectors and signatures (ParamScores, Sigs):
+//
+//	cfgs := []dot11fp.Config{
+//	    {Param: dot11fp.ParamRate}, {Param: dot11fp.ParamSize}, {Param: dot11fp.ParamInterArrival},
+//	}
+//	ens, _ := dot11fp.NewEnsemble(dot11fp.MeasureCosine, cfgs...)
+//	ens.Train(trainTrace)
+//	eng, _ := dot11fp.NewEnsembleEngine(cfgs, ens.Compile(), dot11fp.EngineOptions{Sink: sink})
+//
+// The fused streams are exact: TestEnsembleEngineBitIdenticalToBatch
+// pins serial and sharded fused scores bit-identical to the batch
+// Ensemble path at every shard count, TestEnsemblePushZeroAllocs keeps
+// the N-parameter push path allocation-free, and SetEnsembleDB
+// hot-swaps fused references exactly like SetDB. Online enrollment is
+// fused too: NewEnsembleTrainer accumulates one signature per member
+// per pending sender and promotes them atomically (Ensemble.Add), so a
+// live-enrolled ensemble never holds a device enrolled in some members
+// but not others; devices that end up partially known anyway (e.g.
+// separate member training) are reported by Ensemble.Partial — they
+// can never match, because matching requires every member, and
+// NewEnsembleTrainerFrom refuses such seeds. cmd/livemon and
+// cmd/fingerprintd select fusion with a -param comma list
+// (-param rate,size,iat); fingerprintd -save checkpoints the whole
+// fused reference set in one atomic container.
+//
 // # Performance
 //
 // Matching is the N×W×D hot loop of the methodology: every candidate

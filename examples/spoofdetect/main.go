@@ -1,13 +1,18 @@
 // Spoofdetect demonstrates the paper's §VII-B1 application: an access
 // point that routinely fingerprints its clients can detect MAC-address
-// spoofing, because forging an inter-arrival-time signature is much
-// harder than forging a MAC address.
+// spoofing, because forging a traffic signature is much harder than
+// forging a MAC address.
 //
-// The demo learns the legitimate device's signature, then replays a
-// validation period in which an attacker (a different physical device —
-// different card, driver and traffic stack) has taken over the victim's
-// MAC address. The fingerprint flags the session even though every
-// frame carries the "right" address.
+// The demo learns each legitimate device's fused signature — a
+// three-parameter ensemble over inter-arrival time, frame size and
+// transmission rate, the combination the paper's conclusion proposes —
+// then replays a validation period in which an attacker (a different
+// physical device: different card, driver and traffic stack) has taken
+// over the victim's MAC address. The fused fingerprint flags the
+// session even though every frame carries the "right" address, and the
+// per-parameter scores show which member raised the alarm: an attacker
+// can imitate one parameter (send the victim's frame sizes) far more
+// easily than all of them at once.
 //
 // Run with:
 //
@@ -29,19 +34,27 @@ func main() {
 	}
 	train, live := dot11fp.Split(trace, 5*time.Minute)
 
-	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
-	db := dot11fp.NewDatabase(cfg, dot11fp.MeasureCosine)
-	if err := db.Train(train); err != nil {
+	cfgs := []dot11fp.Config{
+		{Param: dot11fp.ParamInterArrival},
+		{Param: dot11fp.ParamSize},
+		{Param: dot11fp.ParamRate},
+	}
+	ens, err := dot11fp.NewEnsemble(dot11fp.MeasureCosine, cfgs...)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if err := ens.Train(train); err != nil {
+		log.Fatal(err)
+	}
+	ce := ens.Compile()
 
 	// Pick the two busiest reference devices: one victim, one "attacker"
 	// whose hardware will impersonate the victim's MAC.
-	devices := db.Devices()
+	devices := ce.Devices()
 	if len(devices) < 2 {
 		log.Fatal("need at least two reference devices")
 	}
-	victim, attacker := busiest(db, live, devices)
+	victim, attacker := busiest(live, devices)
 	fmt.Printf("victim:   %v\nattacker: %v (will spoof the victim's MAC)\n\n", victim, attacker)
 
 	// Forge the attack capture: the victim has left the hot-spot (its
@@ -62,27 +75,52 @@ func main() {
 		spoofed.Records = append(spoofed.Records, rec)
 	}
 
-	fmt.Printf("%-8s %-20s %-10s %-10s %s\n", "window", "claimed MAC", "self-sim", "best-sim", "verdict")
-	for _, cand := range dot11fp.CandidatesIn(spoofed, 5*time.Minute, cfg) {
+	fmt.Printf("%-8s %-20s %-10s %-22s %s\n", "window", "claimed MAC", "fused-self", "per-param self (iat/size/rate)", "verdict")
+	victimIdx := -1
+	for i, addr := range ce.Devices() {
+		if addr == victim {
+			victimIdx = i
+		}
+	}
+	for _, cand := range ens.CandidatesIn(spoofed, 5*time.Minute) {
 		if dot11fp.Addr(cand.Addr) != victim {
 			continue
 		}
 		// How well does the claimed identity's traffic match its own
-		// reference signature?
-		self := dot11fp.SimilarityOf(cand.Sig, db.Signature(victim), dot11fp.MeasureCosine)
-		best, _ := db.Best(cand.Sig)
+		// fused reference — and which member disagrees?
+		fused, perParam := ce.Match(cand)
+		self := fused[victimIdx].Sim
+		best, _ := ce.Best(cand)
 		verdict := "ok"
 		// The window now blends victim and attacker frames; the drop in
-		// self-similarity versus the learned signature raises the alarm.
+		// fused self-similarity versus the learned signature raises the
+		// alarm even when one member (e.g. frame size) still looks close.
 		if self < 0.80 || best.Addr != victim {
 			verdict = "SPOOFING SUSPECTED"
 		}
-		fmt.Printf("%-8d %-20s %-10.4f %-10.4f %s\n", cand.Window, victim, self, best.Sim, verdict)
+		members := ""
+		for m := range perParam {
+			if m > 0 {
+				members += "/"
+			}
+			members += fmt.Sprintf("%.2f", memberSelf(perParam[m], victim))
+		}
+		fmt.Printf("%-8d %-20s %-10.4f %-22s %s\n", cand.Window, victim.String(), self, members, verdict)
 	}
 }
 
+// memberSelf finds the victim's score in one member's vector.
+func memberSelf(scores []dot11fp.Score, victim dot11fp.Addr) float64 {
+	for _, sc := range scores {
+		if sc.Addr == victim {
+			return sc.Sim
+		}
+	}
+	return 0
+}
+
 // busiest returns the two devices with the most validation traffic.
-func busiest(db *dot11fp.Database, tr *dot11fp.Trace, devices []dot11fp.Addr) (a, b dot11fp.Addr) {
+func busiest(tr *dot11fp.Trace, devices []dot11fp.Addr) (a, b dot11fp.Addr) {
 	counts := tr.Senders()
 	for _, d := range devices {
 		switch {

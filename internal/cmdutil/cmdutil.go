@@ -15,13 +15,97 @@ import (
 	"dot11fp"
 )
 
+// ParseParams maps the -param flag — one short name or a comma list
+// ("iat", "rate,size,iat") — to the parameter set. More than one
+// parameter selects multi-parameter fusion; duplicates are rejected.
+func ParseParams(s string) ([]dot11fp.Param, error) {
+	parts := strings.Split(s, ",")
+	params := make([]dot11fp.Param, 0, len(parts))
+	seen := make(map[dot11fp.Param]bool, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty entry in -param %q", s)
+		}
+		p, err := dot11fp.ParamByShortName(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("duplicate parameter %q in -param %q", part, s)
+		}
+		seen[p] = true
+		params = append(params, p)
+	}
+	return params, nil
+}
+
+// References is a resolved reference set: a single-parameter database
+// or a multi-parameter ensemble — the monitoring commands treat both
+// through this one handle. The zero value is the cold start (no
+// references yet).
+type References struct {
+	DB  *dot11fp.Database
+	Ens *dot11fp.Ensemble
+}
+
+// Empty reports a cold start.
+func (r References) Empty() bool { return r.DB == nil && r.Ens == nil }
+
+// Multi reports a multi-parameter (ensemble) reference set.
+func (r References) Multi() bool { return r.Ens != nil }
+
+// Len returns the number of reference devices (fully-known ones, for
+// an ensemble).
+func (r References) Len() int {
+	switch {
+	case r.DB != nil:
+		return r.DB.Len()
+	case r.Ens != nil:
+		return r.Ens.Len()
+	}
+	return 0
+}
+
+// Configs returns the extraction configurations (one per member).
+func (r References) Configs() []dot11fp.Config {
+	switch {
+	case r.DB != nil:
+		return []dot11fp.Config{r.DB.Config()}
+	case r.Ens != nil:
+		return r.Ens.Configs()
+	}
+	return nil
+}
+
+// Measure returns the similarity measure.
+func (r References) Measure() dot11fp.Measure {
+	switch {
+	case r.DB != nil:
+		return r.DB.Measure()
+	case r.Ens != nil:
+		return r.Ens.Measure()
+	}
+	return 0
+}
+
+// defaultConfigs materialises the default extraction configuration per
+// parameter.
+func defaultConfigs(params []dot11fp.Param) []dot11fp.Config {
+	cfgs := make([]dot11fp.Config, len(params))
+	for i, p := range params {
+		cfgs[i] = dot11fp.DefaultConfig(p)
+	}
+	return cfgs
+}
+
 // TrainFromStream materialises only the training prefix of a record
 // stream (records with T within refDur of the first record), builds
-// the reference database, and hands back the boundary record so
-// monitoring starts exactly where training stopped — Split's
-// anchoring, streamed. Works over any record source: a single pcap
-// stream or a multi-source merge.
-func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, param dot11fp.Param, measure dot11fp.Measure) (*dot11fp.Database, *dot11fp.Record, error) {
+// the reference set — a database for one parameter, an ensemble for
+// several — and hands back the boundary record so monitoring starts
+// exactly where training stopped — Split's anchoring, streamed. Works
+// over any record source: a single pcap stream or a multi-source merge.
+func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, params []dot11fp.Param, measure dot11fp.Measure) (References, *dot11fp.Record, error) {
 	train := &dot11fp.Trace{}
 	var cut int64
 	for {
@@ -30,21 +114,41 @@ func TrainFromStream(stream dot11fp.RecordSource, refDur time.Duration, param do
 			break
 		}
 		if err != nil {
-			return nil, nil, err
+			return References{}, nil, err
 		}
 		if len(train.Records) == 0 {
 			cut = rec.T + refDur.Microseconds()
 		}
 		if rec.T >= cut {
-			db := dot11fp.NewDatabase(dot11fp.DefaultConfig(param), measure)
-			if err := db.Train(train); err != nil {
-				return nil, nil, err
+			refs, err := trainRefs(train, params, measure)
+			if err != nil {
+				return References{}, nil, err
 			}
-			return db, &rec, nil
+			return refs, &rec, nil
 		}
 		train.Records = append(train.Records, rec)
 	}
-	return nil, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
+	return References{}, nil, fmt.Errorf("stream ended inside the %v training prefix (%d records)", refDur, len(train.Records))
+}
+
+// trainRefs builds the reference set for the parameter list from a
+// materialised training trace.
+func trainRefs(train *dot11fp.Trace, params []dot11fp.Param, measure dot11fp.Measure) (References, error) {
+	if len(params) == 1 {
+		db := dot11fp.NewDatabase(dot11fp.DefaultConfig(params[0]), measure)
+		if err := db.Train(train); err != nil {
+			return References{}, err
+		}
+		return References{DB: db}, nil
+	}
+	ens, err := dot11fp.NewEnsemble(measure, defaultConfigs(params)...)
+	if err != nil {
+		return References{}, err
+	}
+	if err := ens.Train(train); err != nil {
+		return References{}, err
+	}
+	return References{Ens: ens}, nil
 }
 
 // ParseMergeMode maps the -merge flag to a merge mode.
@@ -83,87 +187,133 @@ func (f EnrollFlags) Validate() error {
 
 // NewTrainer builds the trainer the flags describe: auto-enrollment
 // over the given horizon, references frozen once enrolled. seed may be
-// nil for a cold start.
-func (f EnrollFlags) NewTrainer(cfg dot11fp.Config, measure dot11fp.Measure, seed *dot11fp.Database) *dot11fp.Trainer {
+// empty for a cold start; a multi-parameter seed (or cfgs list) yields
+// an ensemble trainer.
+func (f EnrollFlags) NewTrainer(cfgs []dot11fp.Config, measure dot11fp.Measure, seed References) (*dot11fp.Trainer, error) {
 	opts := dot11fp.TrainerOptions{Horizon: f.Windows}
-	if seed != nil {
-		return dot11fp.NewTrainerFrom(seed, opts)
+	switch {
+	case seed.DB != nil:
+		return dot11fp.NewTrainerFrom(seed.DB, opts), nil
+	case seed.Ens != nil:
+		return dot11fp.NewEnsembleTrainerFrom(seed.Ens, opts)
+	case len(cfgs) > 1:
+		return dot11fp.NewEnsembleTrainer(cfgs, measure, opts)
 	}
-	return dot11fp.NewTrainer(cfg, measure, opts)
+	return dot11fp.NewTrainer(cfgs[0], measure, opts), nil
 }
 
 // EnrollOrCompile turns resolved references into the engine's inputs:
 // when enrolling, a live trainer that owns the references (warm-started
-// from db when one was resolved); otherwise the compiled database, nil
-// on a cold start. Exactly one of the two is non-nil unless neither
-// enrollment nor references were configured.
-func (f EnrollFlags) EnrollOrCompile(cfg dot11fp.Config, measure dot11fp.Measure, db *dot11fp.Database) (*dot11fp.Trainer, *dot11fp.CompiledDB) {
+// from refs when they were resolved); otherwise the compiled database
+// or ensemble, nil on a cold start. At most one of the three results is
+// non-nil.
+func (f EnrollFlags) EnrollOrCompile(cfgs []dot11fp.Config, measure dot11fp.Measure, refs References) (trainer *dot11fp.Trainer, cdb *dot11fp.CompiledDB, cedb *dot11fp.CompiledEnsemble, err error) {
 	if f.Enroll {
-		return f.NewTrainer(cfg, measure, db), nil
+		trainer, err = f.NewTrainer(cfgs, measure, refs)
+		return
 	}
-	if db != nil {
-		return nil, db.Compile()
+	switch {
+	case refs.DB != nil:
+		cdb = refs.DB.Compile()
+	case refs.Ens != nil:
+		cedb = refs.Ens.Compile()
 	}
-	return nil, nil
+	return
 }
 
 // ResolveReferences is the monitoring commands' shared reference
-// resolution: load a saved database (dbPath, either codec — the param
-// and measure names are ignored, both come from the file), train on the
-// stream's first ref duration, or accept a cold start when enrollment
-// will populate the references. pending is the first record past a
-// training prefix, nil otherwise. Progress is reported on stderr under
-// prefix; sources > 1 notes the multi-source merge.
-func ResolveReferences(prefix, dbPath string, ref time.Duration, paramName, measureName string, enroll EnrollFlags, stream dot11fp.RecordSource, sources int) (cfg dot11fp.Config, measure dot11fp.Measure, db *dot11fp.Database, pending *dot11fp.Record, err error) {
+// resolution: load a saved reference set (dbPath, any codec — the
+// param and measure names are ignored, both come from the file), train
+// on the stream's first ref duration, or accept a cold start when
+// enrollment will populate the references. paramList takes the -param
+// comma syntax; more than one parameter resolves a multi-parameter
+// ensemble. pending is the first record past a training prefix, nil
+// otherwise. Progress is reported on stderr under prefix; sources > 1
+// notes the multi-source merge.
+func ResolveReferences(prefix, dbPath string, ref time.Duration, paramList, measureName string, enroll EnrollFlags, stream dot11fp.RecordSource, sources int) (cfgs []dot11fp.Config, measure dot11fp.Measure, refs References, pending *dot11fp.Record, err error) {
 	if dbPath != "" {
-		if db, err = LoadDatabaseFile(dbPath); err != nil {
+		if refs, err = LoadReferencesFile(dbPath); err != nil {
 			return
 		}
-		cfg, measure = db.Config(), db.Measure()
-		fmt.Fprintf(os.Stderr, "%s: loaded %d references (%s, %s)\n", prefix, db.Len(), cfg.Param, measure)
+		cfgs, measure = refs.Configs(), refs.Measure()
+		fmt.Fprintf(os.Stderr, "%s: loaded %d references (%s, %s)\n", prefix, refs.Len(), paramsLabel(cfgs), measure)
 		return
 	}
 	// The param/measure flags only shape training and cold starts, so
 	// they are only parsed — and can only fail — on this path.
-	param, err := dot11fp.ParamByShortName(paramName)
+	params, err := ParseParams(paramList)
 	if err != nil {
 		return
 	}
 	if measure, err = dot11fp.MeasureByName(measureName); err != nil {
 		return
 	}
-	cfg = dot11fp.DefaultConfig(param)
+	cfgs = defaultConfigs(params)
 	switch {
 	case ref <= 0 && enroll.Enroll:
 		after := ""
 		if enroll.Windows > 1 {
 			after = fmt.Sprintf(" after %d windows", enroll.Windows)
 		}
-		fmt.Fprintf(os.Stderr, "%s: cold start (%s, %s), enrolling%s\n", prefix, param, measure, after)
+		fmt.Fprintf(os.Stderr, "%s: cold start (%s, %s), enrolling%s\n", prefix, paramsLabel(cfgs), measure, after)
 	case ref <= 0:
 		err = fmt.Errorf("-ref 0 needs -enroll (nothing would ever match) or -db")
 	default:
-		if db, pending, err = TrainFromStream(stream, ref, param, measure); err != nil {
+		if refs, pending, err = TrainFromStream(stream, ref, params, measure); err != nil {
 			return
 		}
-		cfg = db.Config()
+		cfgs = refs.Configs()
 		from := fmt.Sprintf("the first %v", ref)
 		if sources > 1 {
 			from += fmt.Sprintf(" of %d sources", sources)
 		}
-		fmt.Fprintf(os.Stderr, "%s: trained %d references from %s (%s)\n", prefix, db.Len(), from, cfg.Param)
+		fmt.Fprintf(os.Stderr, "%s: trained %d references from %s (%s)\n", prefix, refs.Len(), from, paramsLabel(cfgs))
+		if refs.Ens != nil {
+			if partial := refs.Ens.Partial(); len(partial) > 0 {
+				// The operator hears about enrolled-yet-unmatchable
+				// devices instead of wondering why they never match.
+				fmt.Fprintf(os.Stderr, "%s: %d devices cleared only some parameters and will never match: %v\n",
+					prefix, len(partial), partial)
+			}
+		}
 	}
 	return
 }
 
-// LoadDatabaseFile reads a reference database from disk in either
-// codec, sniffing the first non-whitespace byte: JSON documents open
-// with '{' (possibly after indentation a hand edit left behind),
-// binary checkpoints with their magic.
+// paramsLabel renders the parameter set for progress lines.
+func paramsLabel(cfgs []dot11fp.Config) string {
+	if len(cfgs) == 1 {
+		return cfgs[0].Param.String()
+	}
+	names := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		names[i] = cfg.Param.ShortName()
+	}
+	return "fused " + strings.Join(names, "+")
+}
+
+// LoadDatabaseFile reads a single-parameter reference database from
+// disk in either codec; an ensemble checkpoint is rejected (use
+// LoadReferencesFile when fusion may be in play).
 func LoadDatabaseFile(path string) (*dot11fp.Database, error) {
-	f, err := os.Open(path)
+	refs, err := LoadReferencesFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if refs.Ens != nil {
+		return nil, fmt.Errorf("%s: multi-parameter ensemble checkpoint where a single database was expected", path)
+	}
+	return refs.DB, nil
+}
+
+// LoadReferencesFile reads a reference set from disk in any codec,
+// sniffing the leading bytes: JSON documents open with '{' (possibly
+// after indentation a hand edit left behind), binary database
+// checkpoints with "D11FPDB", ensemble containers with "D11FPENS".
+func LoadReferencesFile(path string) (References, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return References{}, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -171,23 +321,32 @@ func LoadDatabaseFile(path string) (*dot11fp.Database, error) {
 		head, err := br.Peek(1)
 		switch {
 		case err == io.EOF:
-			return nil, fmt.Errorf("%s: empty database file", path)
+			return References{}, fmt.Errorf("%s: empty database file", path)
 		case err != nil:
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return References{}, fmt.Errorf("%s: %w", path, err)
 		case head[0] == ' ' || head[0] == '\t' || head[0] == '\n' || head[0] == '\r':
-			br.Discard(1) // the binary magic never starts with whitespace
+			br.Discard(1) // neither binary magic starts with whitespace
 			continue
 		}
-		var db *dot11fp.Database
-		if head[0] == '{' {
-			db, err = dot11fp.LoadDatabase(br)
-		} else {
-			db, err = dot11fp.LoadBinaryDatabase(br)
+		var refs References
+		switch {
+		case head[0] == '{':
+			refs.DB, err = dot11fp.LoadDatabase(br)
+		default:
+			// Both binary magics share the "D11FP" prefix; the extra
+			// bytes decide. A short file fails the Peek and falls through
+			// to the single-database loader's typed corruption error.
+			magic, _ := br.Peek(8)
+			if string(magic) == "D11FPENS" {
+				refs.Ens, err = dot11fp.LoadBinaryEnsemble(br)
+			} else {
+				refs.DB, err = dot11fp.LoadBinaryDatabase(br)
+			}
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return References{}, fmt.Errorf("%s: %w", path, err)
 		}
-		return db, nil
+		return refs, nil
 	}
 }
 
@@ -198,6 +357,47 @@ func LoadDatabaseFile(path string) (*dot11fp.Database, error) {
 // .json writes the interop JSON document, everything else the fast
 // binary format.
 func SaveDatabaseFile(path string, db *dot11fp.Database) error {
+	return saveAtomic(path, func(w io.Writer, asJSON bool) error {
+		if asJSON {
+			return db.Save(w)
+		}
+		return db.SaveBinary(w)
+	})
+}
+
+// SaveReferencesFile is SaveDatabaseFile for a resolved reference set:
+// a single database checkpoints in either codec by extension; an
+// ensemble always writes the versioned binary container (there is no
+// JSON interop form for fused references — a .json path is rejected up
+// front rather than silently writing binary bytes under a lying name).
+func SaveReferencesFile(path string, refs References) error {
+	if refs.Ens != nil {
+		if err := CheckEnsembleSave(path); err != nil {
+			return err
+		}
+		return saveAtomic(path, func(w io.Writer, _ bool) error { return refs.Ens.SaveBinary(w) })
+	}
+	if refs.DB == nil {
+		return fmt.Errorf("no references to checkpoint")
+	}
+	return SaveDatabaseFile(path, refs.DB)
+}
+
+// CheckEnsembleSave rejects a checkpoint path that cannot hold fused
+// references: there is no JSON interop form for ensembles, so a .json
+// path would either lie about its contents or fail at checkpoint time
+// — after the daemon has learned everything it is about to lose. One
+// policy, shared by the save path and the commands' fail-fast checks.
+func CheckEnsembleSave(path string) error {
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		return fmt.Errorf("multi-parameter references checkpoint in the binary container; use a non-.json path for %s", path)
+	}
+	return nil
+}
+
+// saveAtomic runs the temp-file + fsync + rename checkpoint dance
+// around write, which receives whether the extension selected JSON.
+func saveAtomic(path string, write func(w io.Writer, asJSON bool) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -217,11 +417,7 @@ func SaveDatabaseFile(path string, db *dot11fp.Database) error {
 		tmp.Close()
 		return err
 	}
-	if strings.EqualFold(filepath.Ext(path), ".json") {
-		err = db.Save(tmp)
-	} else {
-		err = db.SaveBinary(tmp)
-	}
+	err = write(tmp, strings.EqualFold(filepath.Ext(path), ".json"))
 	if err == nil {
 		// Flush the data to stable storage before committing the name: a
 		// rename alone orders nothing, and a crash right after it could
@@ -275,14 +471,14 @@ func Printer(w io.Writer, stamp func(us int64) string, verbose bool) func(dot11f
 		switch ev := ev.(type) {
 		case dot11fp.CandidateMatched:
 			fmt.Fprintf(w, "w%03d  %s  matched  %s  sim=%.4f  obs=%d\n",
-				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+				ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Observations())
 		case dot11fp.UnknownDevice:
 			if ev.HasBest {
 				fmt.Fprintf(w, "w%03d  %s  UNKNOWN  (best %s sim=%.4f)  obs=%d\n",
-					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Sig.Observations())
+					ev.Window, ev.Addr, ev.Best.Addr, ev.Best.Sim, ev.Observations())
 			} else {
 				fmt.Fprintf(w, "w%03d  %s  UNKNOWN  (no references)  obs=%d\n",
-					ev.Window, ev.Addr, ev.Sig.Observations())
+					ev.Window, ev.Addr, ev.Observations())
 			}
 		case dot11fp.CandidateDropped:
 			if verbose {

@@ -52,15 +52,18 @@ func trainRecords(t *testing.T, spanSec int) []dot11fp.Record {
 	return recs
 }
 
+// singleParam is the single-parameter training shorthand of the tests.
+var singleParam = []dot11fp.Param{dot11fp.ParamSize}
+
 func TestTrainFromStream(t *testing.T) {
 	t.Parallel()
 	recs := trainRecords(t, 120)
-	db, pending, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+	refs, pending, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute, singleParam, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db.Len() != 2 {
-		t.Fatalf("trained %d references, want 2", db.Len())
+	if refs.DB == nil || refs.Len() != 2 {
+		t.Fatalf("trained %d references, want 2 (db=%v)", refs.Len(), refs.DB)
 	}
 	if pending == nil {
 		t.Fatal("no boundary record returned")
@@ -69,6 +72,18 @@ func TestTrainFromStream(t *testing.T) {
 	// the prefix may leak into monitoring, nothing past it into training.
 	if cut := recs[0].T + time.Minute.Microseconds(); pending.T < cut {
 		t.Fatalf("boundary record at %d is inside the %d prefix", pending.T, cut)
+	}
+	// A parameter list trains a fused ensemble over the same prefix.
+	fused, _, err := TrainFromStream(&sliceSource{recs: recs}, time.Minute,
+		[]dot11fp.Param{dot11fp.ParamSize, dot11fp.ParamRate}, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Ens == nil || !fused.Multi() || fused.Len() != 2 {
+		t.Fatalf("fused training: multi=%v len=%d", fused.Multi(), fused.Len())
+	}
+	if got := fused.Configs(); len(got) != 2 || got[0].Param != dot11fp.ParamSize || got[1].Param != dot11fp.ParamRate {
+		t.Fatalf("fused configs = %v", got)
 	}
 }
 
@@ -82,11 +97,37 @@ func TestTrainFromStreamErrors(t *testing.T) {
 		"truncated stream": {trainRecords(t, 30), "training prefix"},
 	}
 	for name, tc := range cases {
-		_, _, err := TrainFromStream(&sliceSource{recs: tc.recs}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+		_, _, err := TrainFromStream(&sliceSource{recs: tc.recs}, time.Minute, singleParam, dot11fp.MeasureCosine)
 		if err == nil {
 			t.Errorf("%s: no error", name)
 		} else if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestParseParams pins the -param comma syntax.
+func TestParseParams(t *testing.T) {
+	t.Parallel()
+	got, err := ParseParams("rate,size,iat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dot11fp.Param{dot11fp.ParamRate, dot11fp.ParamSize, dot11fp.ParamInterArrival}
+	if len(got) != len(want) {
+		t.Fatalf("ParseParams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseParams[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got, err := ParseParams(" size "); err != nil || len(got) != 1 || got[0] != dot11fp.ParamSize {
+		t.Fatalf("single padded name: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "size,", "size,size", "size,bogus", ",iat"} {
+		if _, err := ParseParams(bad); err == nil {
+			t.Errorf("ParseParams(%q) accepted", bad)
 		}
 	}
 }
@@ -129,19 +170,50 @@ func TestEnrollFlagsValidate(t *testing.T) {
 
 func TestEnrollFlagsNewTrainer(t *testing.T) {
 	t.Parallel()
-	cfg := dot11fp.DefaultConfig(dot11fp.ParamSize)
+	cfgs := []dot11fp.Config{dot11fp.DefaultConfig(dot11fp.ParamSize)}
 	f := EnrollFlags{Enroll: true, Windows: 3}
-	cold := f.NewTrainer(cfg, dot11fp.MeasureCosine, nil)
-	if cold.Stats().Refs != 0 {
-		t.Fatalf("cold trainer starts with %d refs", cold.Stats().Refs)
-	}
-	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+	cold, err := f.NewTrainer(cfgs, dot11fp.MeasureCosine, References{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm := f.NewTrainer(cfg, dot11fp.MeasureCosine, seed)
+	if cold.Stats().Refs != 0 {
+		t.Fatalf("cold trainer starts with %d refs", cold.Stats().Refs)
+	}
+	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, singleParam, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := f.NewTrainer(cfgs, dot11fp.MeasureCosine, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if warm.Stats().Refs != seed.Len() {
 		t.Fatalf("warm trainer has %d refs, want %d", warm.Stats().Refs, seed.Len())
+	}
+	// Fused flavours: cold ensemble trainer, and a warm one from an
+	// ensemble seed.
+	fusedCfgs := []dot11fp.Config{
+		dot11fp.DefaultConfig(dot11fp.ParamSize),
+		dot11fp.DefaultConfig(dot11fp.ParamRate),
+	}
+	fusedCold, err := f.NewTrainer(fusedCfgs, dot11fp.MeasureCosine, References{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedCold.Ensemble() == nil {
+		t.Fatal("fused cold trainer is not an ensemble trainer")
+	}
+	fusedSeed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute,
+		[]dot11fp.Param{dot11fp.ParamSize, dot11fp.ParamRate}, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedWarm, err := f.NewTrainer(fusedCfgs, dot11fp.MeasureCosine, fusedSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedWarm.Stats().Refs != fusedSeed.Len() {
+		t.Fatalf("fused warm trainer has %d refs, want %d", fusedWarm.Stats().Refs, fusedSeed.Len())
 	}
 }
 
@@ -150,10 +222,11 @@ func TestEnrollFlagsNewTrainer(t *testing.T) {
 // replacement of an existing checkpoint.
 func TestDatabaseFileRoundTrip(t *testing.T) {
 	t.Parallel()
-	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+	refs, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, singleParam, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
+	seed := refs.DB
 	dir := t.TempDir()
 	for _, name := range []string{"ref.json", "ref.db"} {
 		path := filepath.Join(dir, name)
@@ -235,10 +308,11 @@ func TestDatabaseFileRoundTrip(t *testing.T) {
 // and the rejected -ref 0 without -enroll or -db.
 func TestResolveReferences(t *testing.T) {
 	t.Parallel()
-	seed, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, dot11fp.ParamSize, dot11fp.MeasureCosine)
+	seedRefs, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute, singleParam, dot11fp.MeasureCosine)
 	if err != nil {
 		t.Fatal(err)
 	}
+	seed := seedRefs.DB
 	path := filepath.Join(t.TempDir(), "ref.db")
 	if err := SaveDatabaseFile(path, seed); err != nil {
 		t.Fatal(err)
@@ -246,45 +320,103 @@ func TestResolveReferences(t *testing.T) {
 
 	// -db: the file decides param and measure; bogus flag values are
 	// documented as ignored and must not fail.
-	cfg, measure, db, pending, err := ResolveReferences("test", path, 0, "bogus", "nope", EnrollFlags{}, nil, 1)
+	cfgs, measure, refs, pending, err := ResolveReferences("test", path, 0, "bogus", "nope", EnrollFlags{}, nil, 1)
 	if err != nil {
 		t.Fatalf("-db with ignored bogus param/measure: %v", err)
 	}
-	if db == nil || db.Len() != seed.Len() || pending != nil {
-		t.Fatalf("-db resolution: db=%v pending=%v", db, pending)
+	if refs.Empty() || refs.Len() != seed.Len() || pending != nil {
+		t.Fatalf("-db resolution: refs=%+v pending=%v", refs, pending)
 	}
-	if cfg.Param != dot11fp.ParamSize || measure != dot11fp.MeasureCosine {
-		t.Fatalf("-db resolution took shape %v/%v from the flags, not the file", cfg.Param, measure)
+	if len(cfgs) != 1 || cfgs[0].Param != dot11fp.ParamSize || measure != dot11fp.MeasureCosine {
+		t.Fatalf("-db resolution took shape %v/%v from the flags, not the file", cfgs, measure)
 	}
 	// ...but without -db the same bogus values are fatal.
 	if _, _, _, _, err := ResolveReferences("test", "", time.Minute, "bogus", "cosine", EnrollFlags{}, &sliceSource{}, 1); err == nil {
 		t.Fatal("bogus -param accepted on the training path")
 	}
 
-	// Stream training returns the boundary record.
-	_, _, db, pending, err = ResolveReferences("test", "", time.Minute, "size", "cosine",
+	// Stream training returns the boundary record; a comma list trains
+	// a fused ensemble.
+	_, _, refs, pending, err = ResolveReferences("test", "", time.Minute, "size", "cosine",
 		EnrollFlags{}, &sliceSource{recs: trainRecords(t, 120)}, 1)
-	if err != nil || db == nil || pending == nil {
-		t.Fatalf("training resolution: db=%v pending=%v err=%v", db, pending, err)
+	if err != nil || refs.Empty() || pending == nil {
+		t.Fatalf("training resolution: refs=%+v pending=%v err=%v", refs, pending, err)
+	}
+	cfgs, _, refs, _, err = ResolveReferences("test", "", time.Minute, "size,rate", "cosine",
+		EnrollFlags{}, &sliceSource{recs: trainRecords(t, 120)}, 1)
+	if err != nil || !refs.Multi() || len(cfgs) != 2 {
+		t.Fatalf("fused training resolution: refs=%+v cfgs=%v err=%v", refs, cfgs, err)
 	}
 
 	// Cold start: no database, no error; rejected without -enroll.
-	if _, _, db, _, err = ResolveReferences("test", "", 0, "size", "cosine", EnrollFlags{Enroll: true, Windows: 1}, nil, 1); err != nil || db != nil {
-		t.Fatalf("cold start: db=%v err=%v", db, err)
+	if _, _, refs, _, err = ResolveReferences("test", "", 0, "size", "cosine", EnrollFlags{Enroll: true, Windows: 1}, nil, 1); err != nil || !refs.Empty() {
+		t.Fatalf("cold start: refs=%+v err=%v", refs, err)
 	}
 	if _, _, _, _, err = ResolveReferences("test", "", 0, "size", "cosine", EnrollFlags{}, nil, 1); err == nil {
 		t.Fatal("-ref 0 without -enroll or -db accepted")
 	}
 
 	// The trainer-vs-compiled split the commands feed engines with.
-	if tr, cdb := (EnrollFlags{Enroll: true, Windows: 1}).EnrollOrCompile(seed.Config(), seed.Measure(), seed); tr == nil || cdb != nil {
+	singleCfgs := []dot11fp.Config{seed.Config()}
+	if tr, cdb, cedb, err := (EnrollFlags{Enroll: true, Windows: 1}).EnrollOrCompile(singleCfgs, seed.Measure(), seedRefs); err != nil || tr == nil || cdb != nil || cedb != nil {
 		t.Fatal("enrolling resolution did not yield a trainer")
 	}
-	if tr, cdb := (EnrollFlags{}).EnrollOrCompile(seed.Config(), seed.Measure(), seed); tr != nil || cdb == nil {
+	if tr, cdb, cedb, err := (EnrollFlags{}).EnrollOrCompile(singleCfgs, seed.Measure(), seedRefs); err != nil || tr != nil || cdb == nil || cedb != nil {
 		t.Fatal("static resolution did not yield a compiled database")
 	}
-	if tr, cdb := (EnrollFlags{}).EnrollOrCompile(seed.Config(), seed.Measure(), nil); tr != nil || cdb != nil {
+	if tr, cdb, cedb, err := (EnrollFlags{}).EnrollOrCompile(singleCfgs, seed.Measure(), References{}); err != nil || tr != nil || cdb != nil || cedb != nil {
 		t.Fatal("empty resolution yielded references from nothing")
+	}
+	fused, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute,
+		[]dot11fp.Param{dot11fp.ParamSize, dot11fp.ParamRate}, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr, cdb, cedb, err := (EnrollFlags{}).EnrollOrCompile(fused.Configs(), fused.Measure(), fused); err != nil || tr != nil || cdb != nil || cedb == nil {
+		t.Fatal("fused static resolution did not yield a compiled ensemble")
+	}
+	if tr, _, _, err := (EnrollFlags{Enroll: true, Windows: 1}).EnrollOrCompile(fused.Configs(), fused.Measure(), fused); err != nil || tr == nil || tr.Ensemble() == nil {
+		t.Fatal("fused enrolling resolution did not yield an ensemble trainer")
+	}
+}
+
+// TestEnsembleReferencesFileRoundTrip covers the fused checkpoint path
+// end to end: SaveReferencesFile writes the binary container, codec
+// sniffing restores it, and the .json extension is rejected up front.
+func TestEnsembleReferencesFileRoundTrip(t *testing.T) {
+	t.Parallel()
+	fused, _, err := TrainFromStream(&sliceSource{recs: trainRecords(t, 120)}, time.Minute,
+		[]dot11fp.Param{dot11fp.ParamSize, dot11fp.ParamRate}, dot11fp.MeasureCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fused.fpdb")
+	if err := SaveReferencesFile(path, fused); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReferencesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Multi() || loaded.Len() != fused.Len() {
+		t.Fatalf("loaded refs: multi=%v len=%d, want multi len=%d", loaded.Multi(), loaded.Len(), fused.Len())
+	}
+	if got := loaded.Configs(); got[0].Param != dot11fp.ParamSize || got[1].Param != dot11fp.ParamRate {
+		t.Fatalf("loaded configs = %v", got)
+	}
+	// The single-database loader refuses an ensemble container rather
+	// than misparsing it.
+	if _, err := LoadDatabaseFile(path); err == nil {
+		t.Fatal("LoadDatabaseFile accepted an ensemble container")
+	}
+	// No JSON interop form for ensembles: fail fast, write nothing.
+	jsonPath := filepath.Join(dir, "fused.json")
+	if err := SaveReferencesFile(jsonPath, fused); err == nil {
+		t.Fatal(".json ensemble checkpoint accepted")
+	}
+	if _, err := os.Stat(jsonPath); !os.IsNotExist(err) {
+		t.Fatalf("rejected checkpoint left a file behind (%v)", err)
 	}
 }
 

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Ensemble binary checkpoint container. A fused reference set is N
+// member databases that must be restored together — checkpointing them
+// as N loose files invites exactly the partial-restore skew Partial
+// exists to report. The container is a thin versioned envelope around
+// the member databases' own binary codec (SaveBinary/LoadBinary are
+// reused verbatim for each member), so the member format evolves in one
+// place and the fuzz/corruption hardening of the single-database loader
+// covers the container's payload too.
+//
+// Layout (version 1):
+//
+//	magic   [8]byte "D11FPENS"
+//	version u8      (1)
+//	members u8      member count (1..MaxEnsembleMembers)
+//	  per member: one complete SaveBinary stream (self-delimiting)
+//
+// Members are written in parameter order and restored in that order, so
+// a round trip reproduces Params() and the fused similarity-vector
+// order bit-identically.
+
+// ensembleMagic identifies a binary ensemble container stream. It
+// shares the "D11FP" prefix with the single-database magic, so codec
+// sniffing reads one 8-byte prefix for both.
+var ensembleMagic = [8]byte{'D', '1', '1', 'F', 'P', 'E', 'N', 'S'}
+
+// ensembleBinaryVersion is the current container version.
+const ensembleBinaryVersion = 1
+
+// SaveBinary serialises the ensemble in the binary checkpoint
+// container: the envelope header followed by every member database in
+// its own binary format.
+func (e *Ensemble) SaveBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(ensembleMagic[:])
+	bw.WriteByte(ensembleBinaryVersion)
+	bw.WriteByte(byte(len(e.dbs)))
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for _, db := range e.dbs {
+		if err := db.SaveBinary(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBinaryEnsemble reads an ensemble written by Ensemble.SaveBinary.
+// Corrupt input is reported as a typed error (ErrBinaryDatabase or
+// ErrBinaryVersion), exactly like the single-database loader; the
+// member set is re-validated (distinct parameters, one measure), so a
+// hand-assembled container cannot smuggle in an ensemble the
+// constructors would reject.
+func LoadBinaryEnsemble(r io.Reader) (*Ensemble, error) {
+	br := bufio.NewReader(r)
+	var head [10]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, corruptf("reading ensemble header: %v", err)
+	}
+	if [8]byte(head[:8]) != ensembleMagic {
+		return nil, corruptf("bad ensemble magic %q", head[:8])
+	}
+	if head[8] != ensembleBinaryVersion {
+		return nil, fmt.Errorf("%w: ensemble container %d (this build reads version %d)",
+			ErrBinaryVersion, head[8], ensembleBinaryVersion)
+	}
+	n := int(head[9])
+	if n < 1 || n > MaxEnsembleMembers {
+		return nil, corruptf("ensemble member count %d out of range", n)
+	}
+	dbs := make([]*Database, n)
+	for i := range dbs {
+		// LoadBinary consumes exactly its member's bytes: the shared
+		// *bufio.Reader is passed through (bufio does not re-wrap an
+		// existing reader of sufficient size), so members parse
+		// back-to-back.
+		db, err := LoadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: ensemble member %d: %w", i, err)
+		}
+		dbs[i] = db
+	}
+	e, err := NewEnsembleFrom(dbs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBinaryDatabase, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dot11fp/internal/dot11"
+)
+
+// CompiledEnsemble is an immutable, matching-optimised snapshot of an
+// Ensemble: every member frozen as its CompiledDB, the fully-known
+// reference set (devices present in every member) resolved once with
+// per-member row indices precomputed, so fused matching costs one
+// member MatchInto per member plus one float add per (reference,
+// member) pair — no map lookups, no per-candidate freshness checks, no
+// allocation with a caller-owned EnsembleScratch.
+//
+// Fused scores are bit-identical to averaging per-pair Similarity
+// calls: each member contributes through the same compiled kernel as
+// its standalone CompiledDB, members are summed in member order, and
+// the mean is taken by the same division.
+//
+// A CompiledEnsemble is safe for concurrent use; each goroutine needs
+// its own EnsembleScratch for the zero-allocation entry points.
+type CompiledEnsemble struct {
+	members []*CompiledDB
+	addrs   []dot11.Addr       // fully-known references, member-0 insertion order
+	index   map[dot11.Addr]int // addr → position in addrs
+	rowIdx  [][]int            // [member][i] = addrs[i]'s row in members[member]
+	partial []dot11.Addr       // known to ≥1 member but not all (ascending)
+
+	scratch sync.Pool // *EnsembleScratch, for the scratchless conveniences
+}
+
+// EnsembleScratch holds the reusable buffers of the zero-allocation
+// fused match path: one MatchScratch per member plus the fused score
+// vector. The zero value is ready to use; buffers grow on first use and
+// are retained across calls. A scratch must not be shared between
+// concurrent MatchInto calls.
+type EnsembleScratch struct {
+	member []MatchScratch
+	rows   [][]Score
+	fused  []Score
+}
+
+// grow sizes the scratch for ce.
+func (s *EnsembleScratch) grow(ce *CompiledEnsemble) {
+	if cap(s.member) < len(ce.members) {
+		s.member = make([]MatchScratch, len(ce.members))
+		s.rows = make([][]Score, len(ce.members))
+	}
+	s.member = s.member[:len(ce.members)]
+	s.rows = s.rows[:len(ce.members)]
+	if cap(s.fused) < len(ce.addrs) {
+		s.fused = make([]Score, len(ce.addrs))
+	}
+}
+
+// Compile freezes the ensemble's current references into a
+// CompiledEnsemble. The snapshot is cached: as long as every member's
+// own Compile returns its cached snapshot (references unchanged), the
+// fused snapshot is reused too — one O(members × references) freshness
+// check per call, performed once per reference swap by the engines, not
+// per candidate.
+func (e *Ensemble) Compile() *CompiledEnsemble {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	members := make([]*CompiledDB, len(e.dbs))
+	fresh := e.compiled != nil
+	for i, db := range e.dbs {
+		members[i] = db.Compile()
+		if fresh && e.compiled.members[i] != members[i] {
+			fresh = false // a member recompiled: the fused snapshot is stale
+		}
+	}
+	if !fresh {
+		e.compiled = compileEnsemble(members)
+	}
+	return e.compiled
+}
+
+// compileEnsemble resolves the fused reference set from frozen member
+// snapshots.
+func compileEnsemble(members []*CompiledDB) *CompiledEnsemble {
+	ce := &CompiledEnsemble{
+		members: members,
+		index:   make(map[dot11.Addr]int),
+		rowIdx:  make([][]int, len(members)),
+	}
+	// Fully-known set: member 0's insertion order filtered to devices
+	// present in every member — the same order Ensemble.Match has always
+	// emitted.
+	for _, addr := range members[0].addrs {
+		known := true
+		for _, m := range members[1:] {
+			if _, ok := m.index[addr]; !ok {
+				known = false
+				break
+			}
+		}
+		if known {
+			ce.index[addr] = len(ce.addrs)
+			ce.addrs = append(ce.addrs, addr)
+		}
+	}
+	for mi, m := range members {
+		rows := make([]int, len(ce.addrs))
+		for i, addr := range ce.addrs {
+			rows[i] = m.index[addr]
+		}
+		ce.rowIdx[mi] = rows
+	}
+	// Partially-known devices, for operator reporting.
+	seen := make(map[dot11.Addr]bool)
+	for _, m := range members {
+		for _, addr := range m.addrs {
+			if _, full := ce.index[addr]; !full && !seen[addr] {
+				seen[addr] = true
+				ce.partial = append(ce.partial, addr)
+			}
+		}
+	}
+	sortAddrs(ce.partial)
+	return ce
+}
+
+// Members returns the frozen member snapshots in parameter order.
+func (ce *CompiledEnsemble) Members() []*CompiledDB {
+	out := make([]*CompiledDB, len(ce.members))
+	copy(out, ce.members)
+	return out
+}
+
+// Params returns the member parameters in order.
+func (ce *CompiledEnsemble) Params() []Param {
+	out := make([]Param, len(ce.members))
+	for i, m := range ce.members {
+		out[i] = m.Config().Param
+	}
+	return out
+}
+
+// Configs returns the member extraction configurations in order.
+func (ce *CompiledEnsemble) Configs() []Config {
+	out := make([]Config, len(ce.members))
+	for i, m := range ce.members {
+		out[i] = m.Config()
+	}
+	return out
+}
+
+// Measure returns the similarity measure shared by every member.
+func (ce *CompiledEnsemble) Measure() Measure { return ce.members[0].Measure() }
+
+// Len returns the number of fully-known (matchable) reference devices.
+func (ce *CompiledEnsemble) Len() int { return len(ce.addrs) }
+
+// Devices returns the fully-known reference addresses in the fused
+// vector order.
+func (ce *CompiledEnsemble) Devices() []dot11.Addr {
+	out := make([]dot11.Addr, len(ce.addrs))
+	copy(out, ce.addrs)
+	return out
+}
+
+// Partial returns the devices known to at least one member but not all
+// at compile time (never matchable; see Ensemble.Partial). Ascending
+// address order.
+func (ce *CompiledEnsemble) Partial() []dot11.Addr {
+	out := make([]dot11.Addr, len(ce.partial))
+	copy(out, ce.partial)
+	return out
+}
+
+// MatchInto computes the fused similarity vector of a multi-parameter
+// candidate against every fully-known reference into the scratch
+// buffers: fused[i] is the mean of the member similarities for
+// Devices()[i], and perParam[m] is member m's full similarity vector
+// (that member's own reference order — partially-known devices score in
+// their members but never fuse). It performs no allocation once the
+// scratch has warmed up; both results are only valid until the
+// scratch's next use. A candidate whose member count mismatches returns
+// nil, nil.
+func (ce *CompiledEnsemble) MatchInto(c MultiCandidate, s *EnsembleScratch) (fused []Score, perParam [][]Score) {
+	if len(c.Sigs) != len(ce.members) {
+		return nil, nil
+	}
+	s.grow(ce)
+	for m, cdb := range ce.members {
+		s.rows[m] = cdb.MatchInto(c.Sigs[m], &s.member[m])
+	}
+	fused = s.fused[:len(ce.addrs)]
+	div := float64(len(ce.members))
+	for i, addr := range ce.addrs {
+		sum := 0.0
+		for m := range ce.members {
+			sum += s.rows[m][ce.rowIdx[m][i]].Sim
+		}
+		fused[i] = Score{Addr: addr, Sim: sum / div}
+	}
+	return fused, s.rows
+}
+
+// getScratch pops a pooled scratch for the scratchless conveniences.
+func (ce *CompiledEnsemble) getScratch() *EnsembleScratch {
+	if s, ok := ce.scratch.Get().(*EnsembleScratch); ok {
+		return s
+	}
+	return &EnsembleScratch{}
+}
+
+// Match computes the fused and per-member similarity vectors into
+// freshly allocated slices.
+func (ce *CompiledEnsemble) Match(c MultiCandidate) (fused []Score, perParam [][]Score) {
+	s := ce.getScratch()
+	defer ce.scratch.Put(s)
+	f, rows := ce.MatchInto(c, s)
+	if f == nil {
+		return nil, nil
+	}
+	fused = append(make([]Score, 0, len(f)), f...)
+	perParam = make([][]Score, len(rows))
+	for m, row := range rows {
+		perParam[m] = append(make([]Score, 0, len(row)), row...)
+	}
+	return fused, perParam
+}
+
+// Best returns the arg-max fused reference, with ok=false for an empty
+// (or mismatched) candidate or reference set.
+func (ce *CompiledEnsemble) Best(c MultiCandidate) (Score, bool) {
+	s := ce.getScratch()
+	defer ce.scratch.Put(s)
+	fused, _ := ce.MatchInto(c, s)
+	best := Score{Sim: -1}
+	for _, sc := range fused {
+		if sc.Sim > best.Sim {
+			best = sc
+		}
+	}
+	return best, best.Sim >= 0
+}
+
+// MatchAll fuse-matches a batch of candidates across GOMAXPROCS
+// workers; see MatchAllWorkers.
+func (ce *CompiledEnsemble) MatchAll(cands []MultiCandidate) (fused [][]Score, perParam [][][]Score) {
+	return ce.MatchAllWorkers(cands, 0)
+}
+
+// MatchAllWorkers fuse-matches a batch of candidates with an explicit
+// worker cap (0 selects GOMAXPROCS, 1 forces the serial path). Row i of
+// fused (and perParam[i][m] per member) is exactly Match(cands[i]) —
+// every row is computed independently and written at its own index, so
+// worker scheduling cannot affect the output. Rows share per-call
+// backing allocations and are handed off to the caller, never reused.
+func (ce *CompiledEnsemble) MatchAllWorkers(cands []MultiCandidate, workers int) (fused [][]Score, perParam [][][]Score) {
+	fused = make([][]Score, len(cands))
+	perParam = make([][][]Score, len(cands))
+	if len(cands) == 0 {
+		return fused, perParam
+	}
+	n := len(ce.addrs)
+	fusedBacking := make([]Score, len(cands)*n)
+	memberBacking := make([][]Score, len(ce.members))
+	rowBacking := make([][]Score, len(cands)*len(ce.members))
+	for m, cdb := range ce.members {
+		memberBacking[m] = make([]Score, len(cands)*cdb.Len())
+	}
+	forEachEnsembleIndex(len(cands), workers, func(s *EnsembleScratch, i int) {
+		f, rows := ce.MatchInto(cands[i], s)
+		frow := fusedBacking[i*n : (i+1)*n : (i+1)*n]
+		copy(frow, f)
+		fused[i] = frow
+		prows := rowBacking[i*len(ce.members) : (i+1)*len(ce.members) : (i+1)*len(ce.members)]
+		for m, cdb := range ce.members {
+			k := cdb.Len()
+			mrow := memberBacking[m][i*k : (i+1)*k : (i+1)*k]
+			copy(mrow, rows[m])
+			prows[m] = mrow
+		}
+		perParam[i] = prows
+	})
+	return fused, perParam
+}
+
+// MatchAllScratch is the serial, caller-scratch form of MatchAll, built
+// for per-shard reuse: one long-lived scratch amortises the internal
+// buffers across every window, while the returned rows (per-call
+// backing) are handed off to the caller and never aliased again.
+func (ce *CompiledEnsemble) MatchAllScratch(cands []MultiCandidate, s *EnsembleScratch) (fused [][]Score, perParam [][][]Score) {
+	fused = make([][]Score, len(cands))
+	perParam = make([][][]Score, len(cands))
+	if len(cands) == 0 {
+		return fused, perParam
+	}
+	n := len(ce.addrs)
+	fusedBacking := make([]Score, len(cands)*n)
+	memberBacking := make([][]Score, len(ce.members))
+	rowBacking := make([][]Score, len(cands)*len(ce.members))
+	for m, cdb := range ce.members {
+		memberBacking[m] = make([]Score, len(cands)*cdb.Len())
+	}
+	for i := range cands {
+		f, rows := ce.MatchInto(cands[i], s)
+		frow := fusedBacking[i*n : (i+1)*n : (i+1)*n]
+		copy(frow, f)
+		fused[i] = frow
+		prows := rowBacking[i*len(ce.members) : (i+1)*len(ce.members) : (i+1)*len(ce.members)]
+		for m, cdb := range ce.members {
+			k := cdb.Len()
+			mrow := memberBacking[m][i*k : (i+1)*k : (i+1)*k]
+			copy(mrow, rows[m])
+			prows[m] = mrow
+		}
+		perParam[i] = prows
+	}
+	return fused, perParam
+}
+
+// forEachEnsembleIndex is ForEachIndex with a per-worker
+// EnsembleScratch: fn(scratch, i) runs for every i in [0, n) across the
+// given number of workers (0 ⇒ GOMAXPROCS, 1 ⇒ inline serial), each
+// index exactly once; index-disjoint writes make the aggregate effect
+// identical for any worker count.
+func forEachEnsembleIndex(n, workers int, fn func(s *EnsembleScratch, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var s EnsembleScratch
+		for i := 0; i < n; i++ {
+			fn(&s, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s EnsembleScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(&s, i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -27,10 +27,11 @@ type SenderLimits struct {
 	IdleEvict time.Duration
 }
 
-// senderEntry is one tracked sender: its accumulating signature and the
+// senderEntry is one tracked sender: its accumulating signatures (one
+// per ensemble member; a single-parameter table holds one) and the
 // record time it was last seen, for recency-based eviction.
 type senderEntry struct {
-	sig   *Signature
+	sigs  []*Signature
 	lastT int64
 }
 
@@ -39,10 +40,19 @@ type senderEntry struct {
 // WindowAccumulator, split out so a sharded engine can own one table
 // per shard and clock them externally.
 //
-// Observe and Drain must be called from a single goroutine;
+// A table runs in one of two modes, fixed at construction. The
+// single-parameter mode (NewSenderTable) keeps one signature per sender
+// and drains candidates into WindowResult.Candidates. The ensemble mode
+// (NewEnsembleSenderTable) keeps one signature per member parameter per
+// sender — all members share the sender's eviction recency, so bounded
+// state evicts a sender whole, never one member of it — and drains
+// multi-parameter candidates into WindowResult.Multi.
+//
+// Observe, ObserveN and Drain must be called from a single goroutine;
 // LiveSenders is safe to read from any goroutine.
 type SenderTable struct {
-	cfg     Config
+	cfgs    []Config // one per member; single-parameter tables hold one
+	multi   bool     // drain into WindowResult.Multi instead of Candidates
 	limits  SenderLimits
 	idleUs  int64
 	entries map[dot11.Addr]*senderEntry
@@ -77,20 +87,49 @@ type evictCand struct {
 	lastT int64
 }
 
-// NewSenderTable creates a table extracting signatures under cfg (zero
-// fields materialised as everywhere else) with the given bounds.
+// NewSenderTable creates a single-parameter table extracting signatures
+// under cfg (zero fields materialised as everywhere else) with the
+// given bounds.
 func NewSenderTable(cfg Config, limits SenderLimits) *SenderTable {
-	return &SenderTable{
-		cfg:     cfg.withDefaults(),
+	return newSenderTable([]Config{cfg}, false, limits)
+}
+
+// NewEnsembleSenderTable creates an ensemble table accumulating one
+// signature per member configuration per sender. Member configurations
+// must carry distinct parameters (at most MaxEnsembleMembers).
+func NewEnsembleSenderTable(cfgs []Config, limits SenderLimits) (*SenderTable, error) {
+	if err := validateEnsembleConfigs(cfgs); err != nil {
+		return nil, err
+	}
+	return newSenderTable(cfgs, true, limits), nil
+}
+
+func newSenderTable(cfgs []Config, multi bool, limits SenderLimits) *SenderTable {
+	t := &SenderTable{
+		cfgs:    make([]Config, len(cfgs)),
+		multi:   multi,
 		limits:  limits,
 		idleUs:  limits.IdleEvict.Microseconds(),
 		entries: make(map[dot11.Addr]*senderEntry),
 		sweepT:  -1,
 	}
+	for i, cfg := range cfgs {
+		t.cfgs[i] = cfg.withDefaults()
+	}
+	return t
 }
 
-// Config returns the extraction configuration with defaults materialised.
-func (t *SenderTable) Config() Config { return t.cfg }
+// Config returns the extraction configuration with defaults
+// materialised (the first member's, for ensemble tables).
+func (t *SenderTable) Config() Config { return t.cfgs[0] }
+
+// Configs returns every member configuration with defaults
+// materialised, in member order. Single-parameter tables return one.
+func (t *SenderTable) Configs() []Config {
+	out := make([]Config, len(t.cfgs))
+	copy(out, t.cfgs)
+	return out
+}
 
 // SetLimits replaces the table's bounds. Existing state is kept; the
 // new bounds apply from the next observation.
@@ -111,12 +150,11 @@ func (t *SenderTable) LiveSenders() int { return int(t.live.Load()) }
 // from any goroutine.
 func (t *SenderTable) EvictedTotal() uint64 { return t.evictedTotal.Load() }
 
-// Observe adds one attributed observation: the value v of class,
-// transmitted by addr in the record whose end of reception is now (µs,
-// record time). Callers have already applied the attribution rules and
-// computed the parameter value — WindowAccumulator for the serial
-// paths, the sharded engine's router for the concurrent one.
-func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now int64) {
+// entry returns addr's live entry, creating it (and applying the
+// bounded-state rules in the exact order the record stream dictates:
+// idle sweep, cap eviction, insert) when the sender is new. now is the
+// record's end of reception.
+func (t *SenderTable) entry(addr dot11.Addr, now int64) *senderEntry {
 	if t.idleUs > 0 {
 		// Sweep at most once per idle period, on whichever observation
 		// crosses it — a stable sender population still ages out its
@@ -132,12 +170,40 @@ func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now
 		if t.limits.MaxSenders > 0 && len(t.entries) >= t.limits.MaxSenders {
 			t.evictOldest()
 		}
-		e = &senderEntry{sig: NewSignature(t.cfg.Param, t.cfg.Bins)}
+		e = &senderEntry{sigs: make([]*Signature, len(t.cfgs))}
+		for i, cfg := range t.cfgs {
+			e.sigs[i] = NewSignature(cfg.Param, cfg.Bins)
+		}
 		t.entries[addr] = e
 		t.live.Store(int64(len(t.entries)))
 	}
 	e.lastT = now
-	e.sig.Add(class, v)
+	return e
+}
+
+// Observe adds one attributed observation: the value v of class,
+// transmitted by addr in the record whose end of reception is now (µs,
+// record time). Callers have already applied the attribution rules and
+// computed the parameter value — WindowAccumulator for the serial
+// paths, the sharded engine's router for the concurrent one.
+func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now int64) {
+	t.entry(addr, now).sigs[0].Add(class, v)
+}
+
+// ObserveN adds one record's attributed observations for every ensemble
+// member at once: vals[m] is member m's parameter value, applied only
+// where valid[m] is true (a parameter can be undefined for a record —
+// e.g. inter-arrival at a window start — without hiding the record from
+// the members where it is defined). Call only when at least one member
+// is valid, so sender recency, eviction and entry creation stay a
+// deterministic function of the attributed record stream.
+func (t *SenderTable) ObserveN(addr dot11.Addr, class dot11.Class, vals []float64, valid []bool, now int64) {
+	e := t.entry(addr, now)
+	for m := range t.cfgs {
+		if valid[m] {
+			e.sigs[m].Add(class, vals[m])
+		}
+	}
 }
 
 // sweepIdle evicts every sender whose last observation is at least the
@@ -182,6 +248,20 @@ func (t *SenderTable) evictOldest() {
 	t.live.Store(int64(len(t.entries)))
 }
 
+// maxObs returns the largest observation count across member
+// signatures — the ensemble reporting convention: how much traffic was
+// attributed to the sender under its best-covered parameter (members
+// differ only through per-parameter value validity).
+func maxObs(sigs []*Signature) uint64 {
+	var max uint64
+	for _, sig := range sigs {
+		if n := sig.Observations(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
 // evict removes one sender, recording it for the window's Dropped list.
 // Only the address and observation count survive eviction — the
 // signature memory is released, which is the point of the bound. An
@@ -195,7 +275,7 @@ func (t *SenderTable) evict(addr dot11.Addr, e *senderEntry) {
 	if len(t.evicted) < t.recordCap() {
 		t.evicted = append(t.evicted, DroppedSender{
 			Addr:         addr,
-			Observations: e.sig.Observations(),
+			Observations: maxObs(e.sigs),
 			Evicted:      true,
 		})
 	} else {
@@ -205,19 +285,38 @@ func (t *SenderTable) evict(addr dot11.Addr, e *senderEntry) {
 	delete(t.entries, addr)
 }
 
+// qualifies reports whether an entry clears the minimum-observation
+// rule — for an ensemble, of every member (a sender clearing some
+// members but not all stays a Dropped sender, never a candidate: the
+// all-members requirement is explicit here).
+func (t *SenderTable) qualifies(e *senderEntry) bool {
+	for m, cfg := range t.cfgs {
+		if e.sigs[m].Observations() < uint64(cfg.MinObservations) {
+			return false
+		}
+	}
+	return true
+}
+
 // Drain moves the table's state into res: senders that cleared the
-// minimum-observation rule become res.Candidates (ascending address,
-// with res.Index as their window), the rest plus every evicted sender
-// become res.Dropped (ascending address; below-minimum entries sort
-// before evicted ones at equal addresses). The table is reset for the
-// next window; everything in res is handed off without aliasing.
+// minimum-observation rule — of every member, for ensemble tables —
+// become res.Candidates (single-parameter mode) or res.Multi (ensemble
+// mode), ascending by address with res.Index as their window; the rest
+// plus every evicted sender become res.Dropped (ascending address;
+// below-minimum entries sort before evicted ones at equal addresses).
+// A dropped ensemble sender reports its best member's observation
+// count. The table is reset for the next window; everything in res is
+// handed off without aliasing.
 func (t *SenderTable) Drain(res *WindowResult) {
 	for _, addr := range sortedAddrs(t.entries) {
 		e := t.entries[addr]
-		if e.sig.Observations() >= uint64(t.cfg.MinObservations) {
-			res.Candidates = append(res.Candidates, Candidate{Addr: addr, Window: res.Index, Sig: e.sig})
-		} else {
-			res.Dropped = append(res.Dropped, DroppedSender{Addr: addr, Observations: e.sig.Observations()})
+		switch {
+		case !t.qualifies(e):
+			res.Dropped = append(res.Dropped, DroppedSender{Addr: addr, Observations: maxObs(e.sigs)})
+		case t.multi:
+			res.Multi = append(res.Multi, MultiCandidate{Addr: addr, Window: res.Index, Sigs: e.sigs})
+		default:
+			res.Candidates = append(res.Candidates, Candidate{Addr: addr, Window: res.Index, Sig: e.sigs[0]})
 		}
 	}
 	if len(t.evicted) > 0 {

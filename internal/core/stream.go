@@ -27,9 +27,16 @@ type WindowResult struct {
 	// Frames is the number of records scanned in the window, whether
 	// or not they were attributed to a sender.
 	Frames int
-	// Candidates are the senders that cleared MinObservations.
+	// Candidates are the senders that cleared MinObservations
+	// (single-parameter pipelines; empty in ensemble mode).
 	Candidates []Candidate
-	// Dropped are the senders that did not.
+	// Multi are the multi-parameter candidates of an ensemble pipeline:
+	// senders that cleared every member's minimum-observation rule, one
+	// signature per member (empty in single-parameter mode).
+	Multi []MultiCandidate
+	// Dropped are the senders that did not clear the rule — for an
+	// ensemble, senders that cleared some members but not all are
+	// dropped too, reported with their best member's observation count.
 	Dropped []DroppedSender
 	// EvictedSilently counts evictions beyond the per-window record
 	// cap: they are tallied (here and in the engines' counters) but
@@ -154,9 +161,15 @@ func (c *WindowClock) meta() WindowMeta {
 // and WindowsClosed are safe to read from any goroutine.
 type WindowAccumulator struct {
 	cfg   Config
+	cfgs  []Config // ensemble members; nil in single-parameter mode
 	clock WindowClock
 	emit  func(*WindowResult)
 	table *SenderTable
+
+	// Reusable per-record member value buffers (ensemble mode only), so
+	// the multi-parameter push path allocates nothing per frame.
+	vals  []float64
+	valid []bool
 
 	windows atomic.Int64 // windows emitted so far
 }
@@ -175,8 +188,46 @@ func NewWindowAccumulator(window time.Duration, cfg Config, emit func(*WindowRes
 	return a
 }
 
-// Config returns the extraction configuration with defaults materialised.
+// NewEnsembleAccumulator creates a multi-parameter accumulator: one
+// window clock and one shared inter-arrival context drive the
+// extraction of every member parameter in a single pass over the
+// record stream, so each sender accumulates one signature per member
+// per window. Closed windows emit their fully-qualified senders as
+// WindowResult.Multi (all members' minimum-observation rules cleared);
+// senders clearing only some members surface in WindowResult.Dropped
+// instead of silently vanishing. Member configurations must carry
+// distinct parameters.
+func NewEnsembleAccumulator(window time.Duration, cfgs []Config, emit func(*WindowResult)) (*WindowAccumulator, error) {
+	table, err := NewEnsembleSenderTable(cfgs, SenderLimits{})
+	if err != nil {
+		return nil, err
+	}
+	a := &WindowAccumulator{
+		clock: NewWindowClock(window),
+		emit:  emit,
+		table: table,
+		vals:  make([]float64, len(cfgs)),
+		valid: make([]bool, len(cfgs)),
+	}
+	a.cfgs = table.Configs()
+	a.cfg = a.cfgs[0]
+	return a, nil
+}
+
+// Config returns the extraction configuration with defaults materialised
+// (the first member's, in ensemble mode).
 func (a *WindowAccumulator) Config() Config { return a.cfg }
+
+// Configs returns every member configuration with defaults
+// materialised, or nil for a single-parameter accumulator.
+func (a *WindowAccumulator) Configs() []Config {
+	if a.cfgs == nil {
+		return nil
+	}
+	out := make([]Config, len(a.cfgs))
+	copy(out, a.cfgs)
+	return out
+}
 
 // SetLimits bounds the accumulator's per-window sender state (see
 // SenderLimits). With the zero value — the default — state is unbounded
@@ -203,12 +254,50 @@ func (a *WindowAccumulator) Push(rec *capture.Record) {
 	if closed, meta := a.clock.Advance(rec.T); closed {
 		a.close(meta)
 	}
-	if !rec.Sender.IsZero() && (rec.FCSOK || a.cfg.KeepBadFCS) {
+	if a.cfgs != nil {
+		a.pushMulti(rec)
+	} else if !rec.Sender.IsZero() && (rec.FCSOK || a.cfg.KeepBadFCS) {
 		if v, ok := a.cfg.Param.Value(rec, a.clock.PrevT()); ok {
 			a.table.Observe(rec.Sender, rec.Class, v, rec.T)
 		}
 	}
 	a.clock.Mark(rec.T)
+}
+
+// pushMulti applies the ensemble attribution: one pass computes every
+// member's parameter value against the shared inter-arrival context; a
+// record reaches the sender table when at least one member's value is
+// defined, so sender recency (and with it bounded-state eviction) stays
+// a deterministic function of the attributed record stream. MemberValues
+// is the same computation, exported for the sharded engine's router.
+func (a *WindowAccumulator) pushMulti(rec *capture.Record) {
+	if rec.Sender.IsZero() {
+		return
+	}
+	if MemberValues(a.cfgs, rec, a.clock.PrevT(), a.vals, a.valid) {
+		a.table.ObserveN(rec.Sender, rec.Class, a.vals, a.valid, rec.T)
+	}
+}
+
+// MemberValues computes every member's parameter value for one
+// attributable record against the shared inter-arrival context prevT,
+// writing into the caller's vals/valid buffers (len(cfgs) each) and
+// reporting whether any member's value is defined. A member whose
+// configuration keeps bad-FCS frames sees them; the others skip them —
+// per-member attribution, shared context, exactly as per-member
+// extraction over the same records behaves.
+func MemberValues(cfgs []Config, rec *capture.Record, prevT int64, vals []float64, valid []bool) bool {
+	any := false
+	for m := range cfgs {
+		ok := rec.FCSOK || cfgs[m].KeepBadFCS
+		var v float64
+		if ok {
+			v, ok = cfgs[m].Param.Value(rec, prevT)
+		}
+		vals[m], valid[m] = v, ok
+		any = any || ok
+	}
+	return any
 }
 
 // Flush closes the currently open window, if any. The next pushed

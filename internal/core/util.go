@@ -19,6 +19,13 @@ func sortedAddrs[V any](m map[dot11.Addr]V) []dot11.Addr {
 	return out
 }
 
+// sortAddrs sorts an address slice ascending in place.
+func sortAddrs(addrs []dot11.Addr) {
+	sort.Slice(addrs, func(i, j int) bool {
+		return lessAddr(addrs[i], addrs[j])
+	})
+}
+
 func lessAddr(a, b dot11.Addr) bool {
 	for k := 0; k < len(a); k++ {
 		if a[k] != b[k] {

@@ -4,7 +4,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"strings"
 )
 
 // Addr is a 48-bit IEEE 802 MAC address.
@@ -24,12 +23,38 @@ var (
 // ErrBadAddr reports that a textual MAC address could not be parsed.
 var ErrBadAddr = errors.New("dot11: malformed MAC address")
 
-// ParseAddr parses a colon- or dash-separated hexadecimal MAC address,
-// e.g. "00:1f:3c:51:ae:90".
+// ParseAddr parses a textual MAC address in one of the three canonical
+// groupings: colon-separated ("00:1f:3c:51:ae:90"), dash-separated
+// ("00-1f-3c-51-ae-90"), or bare hexadecimal ("001f3c51ae90"). The
+// separator must be uniform and sit between every octet pair — inputs
+// whose separators are misplaced, mixed or trailing (e.g.
+// "001f3c51ae90::::::" or "0-0:1f3c51ae90") are rejected, not silently
+// normalised.
 func ParseAddr(s string) (Addr, error) {
 	var a Addr
-	norm := strings.NewReplacer("-", "", ":", "").Replace(s)
-	if len(norm) != 12 {
+	var norm string
+	switch len(s) {
+	case 12: // bare hex
+		norm = s
+	case 17: // separated: xx?xx?xx?xx?xx?xx with one uniform separator
+		sep := s[2]
+		if sep != ':' && sep != '-' {
+			return a, fmt.Errorf("%w: %q", ErrBadAddr, s)
+		}
+		var b [12]byte
+		n := 0
+		for i := 0; i < len(s); i++ {
+			if i%3 == 2 {
+				if s[i] != sep {
+					return a, fmt.Errorf("%w: %q", ErrBadAddr, s)
+				}
+				continue
+			}
+			b[n] = s[i]
+			n++
+		}
+		norm = string(b[:])
+	default:
 		return a, fmt.Errorf("%w: %q", ErrBadAddr, s)
 	}
 	raw, err := hex.DecodeString(norm)

@@ -17,10 +17,25 @@ func TestParseAddr(t *testing.T) {
 	}{
 		{name: "colons", in: "00:1f:3c:51:ae:90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
 		{name: "dashes", in: "00-1F-3C-51-AE-90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
+		{name: "bare hex", in: "001f3c51ae90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
+		{name: "bare hex upper", in: "001F3C51AE90", want: Addr{0x00, 0x1f, 0x3c, 0x51, 0xae, 0x90}},
 		{name: "broadcast", in: "ff:ff:ff:ff:ff:ff", want: Broadcast},
 		{name: "short", in: "00:1f:3c", wantErr: true},
 		{name: "junk", in: "zz:zz:zz:zz:zz:zz", wantErr: true},
 		{name: "empty", in: "", wantErr: true},
+		// Misplaced, trailing or mixed separators must be rejected, not
+		// stripped: each of these used to parse because separators were
+		// removed before the length check.
+		{name: "trailing separators", in: "001f3c51ae90::::::", wantErr: true},
+		{name: "misplaced separators", in: "0-0:1f3c51ae90", wantErr: true},
+		{name: "mixed separators", in: "00:1f-3c:51-ae:90", wantErr: true},
+		{name: "leading separator", in: ":001f3c51ae90::::", wantErr: true},
+		{name: "double separator", in: "00::1f:3c:51:ae90", wantErr: true},
+		{name: "dot separator", in: "00.1f.3c.51.ae.90", wantErr: true},
+		{name: "separators only", in: "::::::::::::", wantErr: true},
+		{name: "bare hex too long", in: "001f3c51ae9000", wantErr: true},
+		{name: "bare hex bad digit", in: "001f3c51ae9g", wantErr: true},
+		{name: "separated bad digit", in: "00:1f:3c:51:ae:9g", wantErr: true},
 	}
 	for _, tt := range tests {
 		tt := tt

@@ -102,11 +102,21 @@ type Stats struct {
 // Engine is a push-based fingerprinting pipeline. Push, PushTrace,
 // Flush and Close must be called from a single goroutine; SetDB, DB and
 // Stats are safe from any goroutine at any time.
+//
+// An engine runs in one of two modes, fixed at construction: the
+// single-parameter mode (New) matches each window against a CompiledDB,
+// the ensemble mode (NewEnsemble) extracts every member parameter in
+// one pass and matches against a CompiledEnsemble, emitting fused plus
+// per-member score vectors. Apart from the database type the contract
+// is identical.
 type Engine struct {
-	cfg  core.Config
-	opts Options
-	acc  *core.WindowAccumulator
-	db   atomic.Pointer[core.CompiledDB]
+	cfg   core.Config
+	cfgs  []core.Config // ensemble members; nil in single-parameter mode
+	multi bool
+	opts  Options
+	acc   *core.WindowAccumulator
+	db    atomic.Pointer[core.CompiledDB]
+	edb   atomic.Pointer[core.CompiledEnsemble]
 
 	closed  bool
 	startNs atomic.Int64 // wall clock of the first push, unix ns
@@ -151,8 +161,51 @@ func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Config returns the extraction configuration with defaults materialised.
+// NewEnsemble creates a multi-parameter engine: every member parameter
+// is extracted in one pass over the stream (one window clock, one
+// shared inter-arrival context, one signature per member per sender)
+// and each closed window's candidates are fuse-matched against edb
+// (which may be nil to run extraction-only until SetEnsembleDB installs
+// one). Member configurations must carry distinct parameters; a
+// non-nil edb must have been compiled from the same parameters and bin
+// shapes. Verdict events carry the fused score vector plus the
+// per-member vectors (Scores / ParamScores) and per-member signatures
+// (Sigs).
+func NewEnsemble(cfgs []core.Config, edb *core.CompiledEnsemble, opts Options) (*Engine, error) {
+	if opts.Window == 0 {
+		opts.Window = core.DefaultWindow
+	}
+	e := &Engine{opts: opts, multi: true}
+	acc, err := core.NewEnsembleAccumulator(opts.Window, cfgs, e.handleWindow)
+	if err != nil {
+		return nil, err
+	}
+	e.acc = acc
+	e.acc.SetLimits(opts.Limits)
+	e.cfgs = e.acc.Configs() // defaults materialised
+	e.cfg = e.cfgs[0]
+	if opts.Trainer != nil {
+		if edb != nil {
+			return nil, fmt.Errorf("engine: both db and Options.Trainer set — the trainer owns the reference set (seed it with NewEnsembleTrainerFrom)")
+		}
+		if err := opts.Trainer.bindEnsemble(e, e.cfgs); err != nil {
+			return nil, err
+		}
+		edb = opts.Trainer.CompiledEnsemble()
+	}
+	if err := e.SetEnsembleDB(edb); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the extraction configuration with defaults materialised
+// (the first member's, in ensemble mode).
 func (e *Engine) Config() core.Config { return e.cfg }
+
+// Configs returns every member configuration with defaults
+// materialised, or nil for a single-parameter engine.
+func (e *Engine) Configs() []core.Config { return e.acc.Configs() }
 
 // checkShape verifies a database was compiled from the engine's
 // parameter and bin shape.
@@ -170,8 +223,12 @@ func checkShape(cfg core.Config, db *core.CompiledDB) error {
 // is matched against — live retraining without dropping the stream. A
 // nil db switches the engine to extraction-only. The database must
 // share the engine's parameter and bin shape; on mismatch the previous
-// database stays installed.
+// database stays installed. Ensemble engines swap through
+// SetEnsembleDB instead.
 func (e *Engine) SetDB(db *core.CompiledDB) error {
+	if e.multi {
+		return fmt.Errorf("engine: ensemble engine takes a compiled ensemble (SetEnsembleDB)")
+	}
 	if err := checkShape(e.cfg, db); err != nil {
 		return err
 	}
@@ -179,8 +236,47 @@ func (e *Engine) SetDB(db *core.CompiledDB) error {
 	return nil
 }
 
-// DB returns the currently installed reference database, or nil.
+// DB returns the currently installed reference database, or nil (always
+// nil on an ensemble engine; see EnsembleDB).
 func (e *Engine) DB() *core.CompiledDB { return e.db.Load() }
+
+// checkEnsembleShape verifies a compiled ensemble was built from the
+// engine's member parameters and bin shapes.
+func checkEnsembleShape(cfgs []core.Config, edb *core.CompiledEnsemble) error {
+	if edb == nil {
+		return nil
+	}
+	got := edb.Configs()
+	if len(got) != len(cfgs) {
+		return fmt.Errorf("engine: ensemble of %d members does not match engine's %d", len(got), len(cfgs))
+	}
+	for i := range cfgs {
+		if got[i].Param != cfgs[i].Param || got[i].Bins != cfgs[i].Bins {
+			return fmt.Errorf("engine: ensemble member %d shape %v/%v does not match engine %v/%v",
+				i, got[i].Param, got[i].Bins, cfgs[i].Param, cfgs[i].Bins)
+		}
+	}
+	return nil
+}
+
+// SetEnsembleDB atomically swaps the compiled ensemble the next closed
+// window is fuse-matched against — SetDB for the ensemble mode. A nil
+// edb switches the engine to extraction-only; a mismatched one leaves
+// the previous ensemble installed.
+func (e *Engine) SetEnsembleDB(edb *core.CompiledEnsemble) error {
+	if !e.multi {
+		return fmt.Errorf("engine: single-parameter engine takes a compiled database (SetDB)")
+	}
+	if err := checkEnsembleShape(e.cfgs, edb); err != nil {
+		return err
+	}
+	e.edb.Store(edb)
+	return nil
+}
+
+// EnsembleDB returns the currently installed compiled ensemble, or nil
+// (always nil on a single-parameter engine).
+func (e *Engine) EnsembleDB() *core.CompiledEnsemble { return e.edb.Load() }
 
 // Push ingests one record. The record is not retained. Crossing a
 // window boundary synchronously matches and emits the completed window
@@ -246,28 +342,52 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// handleWindow matches one closed window's candidates and emits its
-// events. It runs on the pushing goroutine.
+// handleWindow matches one closed window's candidates — fused in
+// ensemble mode — and emits its events. It runs on the pushing
+// goroutine.
 func (e *Engine) handleWindow(w *core.WindowResult) {
-	db := e.db.Load()
-	var rows [][]core.Score
-	if db != nil && db.Len() > 0 && len(w.Candidates) > 0 {
-		// Rows share one backing allocation per window and are handed
-		// off to the events, never reused, so receivers may retain them.
-		rows = db.MatchAllWorkers(w.Candidates, e.opts.Workers)
-	}
-
 	sink := e.opts.Sink
 	matchedN, unknownN := 0, 0
-	for i := range w.Candidates {
-		var scores []core.Score
-		if rows != nil {
-			scores = rows[i]
+	if e.multi {
+		edb := e.edb.Load()
+		var fused [][]core.Score
+		var perParam [][][]core.Score
+		if edb != nil && edb.Len() > 0 && len(w.Multi) > 0 {
+			// Rows share per-window backing allocations and are handed
+			// off to the events, never reused, so receivers may retain
+			// them.
+			fused, perParam = edb.MatchAllWorkers(w.Multi, e.opts.Workers)
 		}
-		if emitVerdict(sink, e.opts.Threshold, &w.Candidates[i], scores) {
-			matchedN++
-		} else {
-			unknownN++
+		for i := range w.Multi {
+			var f []core.Score
+			var pp [][]core.Score
+			if fused != nil {
+				f, pp = fused[i], perParam[i]
+			}
+			if emitVerdictMulti(sink, e.opts.Threshold, &w.Multi[i], f, pp) {
+				matchedN++
+			} else {
+				unknownN++
+			}
+		}
+	} else {
+		db := e.db.Load()
+		var rows [][]core.Score
+		if db != nil && db.Len() > 0 && len(w.Candidates) > 0 {
+			// Rows share one backing allocation per window and are handed
+			// off to the events, never reused, so receivers may retain them.
+			rows = db.MatchAllWorkers(w.Candidates, e.opts.Workers)
+		}
+		for i := range w.Candidates {
+			var scores []core.Score
+			if rows != nil {
+				scores = rows[i]
+			}
+			if emitVerdict(sink, e.opts.Threshold, &w.Candidates[i], scores) {
+				matchedN++
+			} else {
+				unknownN++
+			}
 		}
 	}
 
@@ -286,13 +406,14 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 	}
 	// Evictions beyond the per-window record cap carry no individual
 	// event but count everywhere a total does.
+	candsN := len(w.Candidates) + len(w.Multi)
 	droppedN := len(w.Dropped) + int(w.EvictedSilently)
 	evictedN += int(w.EvictedSilently)
 	if sink != nil {
 		sink.HandleEvent(WindowClosed{
 			Window: w.Index, Start: w.Start, End: w.End, Frames: w.Frames,
-			Senders:    len(w.Candidates) + droppedN,
-			Candidates: len(w.Candidates),
+			Senders:    candsN + droppedN,
+			Candidates: candsN,
 			Matched:    matchedN, Unknown: unknownN, Dropped: droppedN,
 		})
 	}
@@ -309,10 +430,15 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 	// promotions swap the database the *next* window is matched against,
 	// which is exactly per-window batch training's visibility.
 	if tr := e.opts.Trainer; tr != nil {
-		tr.observeWindow(w.Index, w.Candidates, func(ev Event) {
+		emit := func(ev Event) {
 			if sink != nil {
 				sink.HandleEvent(ev)
 			}
-		})
+		}
+		if e.multi {
+			tr.observeWindowMulti(w.Index, w.Multi, emit)
+		} else {
+			tr.observeWindow(w.Index, w.Candidates, emit)
+		}
 	}
 }

@@ -42,14 +42,32 @@ type WindowClosed struct {
 type CandidateMatched struct {
 	Window int
 	Addr   dot11.Addr
-	// Sig is the candidate's window signature.
+	// Sig is the candidate's window signature (single-parameter
+	// engines; nil in ensemble mode, which carries Sigs instead).
 	Sig *core.Signature
+	// Sigs are the candidate's per-member window signatures in an
+	// ensemble engine, aligned with the ensemble's Params (nil on
+	// single-parameter engines).
+	Sigs []*core.Signature
 	// Scores is the full similarity vector (Algorithm 1), in the
-	// reference database's insertion order.
+	// reference database's insertion order. On an ensemble engine it is
+	// the fused vector — the mean of the member similarities — over the
+	// fully-known reference set.
 	Scores []core.Score
+	// ParamScores are the per-member similarity vectors behind a fused
+	// Scores, aligned with the ensemble's Params; each member's vector
+	// runs over that member's own reference order (nil on
+	// single-parameter engines).
+	ParamScores [][]core.Score
 	// Best is the arg-max entry of Scores.
 	Best core.Score
 }
+
+// Observations returns the candidate's observation count: the single
+// signature's on a single-parameter engine, the maximum across member
+// signatures in ensemble mode (members differ only through
+// per-parameter value validity).
+func (ev CandidateMatched) Observations() uint64 { return eventObs(ev.Sig, ev.Sigs) }
 
 // UnknownDevice reports a candidate that cleared the minimum-observation
 // rule but matched no reference: either its best similarity stayed
@@ -58,11 +76,29 @@ type CandidateMatched struct {
 type UnknownDevice struct {
 	Window int
 	Addr   dot11.Addr
-	Sig    *core.Signature
-	Scores []core.Score
+	// Sig and Sigs carry the window signature(s), exactly as on
+	// CandidateMatched (Sig single-parameter, Sigs ensemble).
+	Sig  *core.Signature
+	Sigs []*core.Signature
+	// Scores is the similarity vector (fused on an ensemble engine);
+	// ParamScores the per-member vectors behind it (ensemble only).
+	Scores      []core.Score
+	ParamScores [][]core.Score
 	// Best is the arg-max entry of Scores when HasBest is true.
 	Best    core.Score
 	HasBest bool
+}
+
+// Observations returns the candidate's observation count (see
+// CandidateMatched.Observations).
+func (ev UnknownDevice) Observations() uint64 { return eventObs(ev.Sig, ev.Sigs) }
+
+// eventObs implements the verdict events' Observations convention.
+func eventObs(sig *core.Signature, sigs []*core.Signature) uint64 {
+	if sig != nil {
+		return sig.Observations()
+	}
+	return maxSigObs(sigs)
 }
 
 // CandidateDropped reports a sender observed in the window that was
@@ -152,6 +188,35 @@ func emitVerdict(sink Sink, threshold float64, c *core.Candidate, scores []core.
 	if sink != nil {
 		ev := UnknownDevice{Window: c.Window, Addr: dot11.Addr(c.Addr), Sig: c.Sig, Scores: scores}
 		if len(scores) > 0 {
+			ev.Best, ev.HasBest = best, true
+		}
+		sink.HandleEvent(ev)
+	}
+	return false
+}
+
+// emitVerdictMulti is emitVerdict for an ensemble engine's fused
+// verdicts — the same single event-construction path, shared by the
+// serial and sharded engines, over the fused score vector.
+func emitVerdictMulti(sink Sink, threshold float64, c *core.MultiCandidate, fused []core.Score, perParam [][]core.Score) bool {
+	best := core.Score{Sim: -1}
+	for _, sc := range fused {
+		if sc.Sim > best.Sim {
+			best = sc
+		}
+	}
+	if hasBest := len(fused) > 0; hasBest && best.Sim >= threshold {
+		if sink != nil {
+			sink.HandleEvent(CandidateMatched{
+				Window: c.Window, Addr: dot11.Addr(c.Addr), Sigs: c.Sigs,
+				Scores: fused, ParamScores: perParam, Best: best,
+			})
+		}
+		return true
+	}
+	if sink != nil {
+		ev := UnknownDevice{Window: c.Window, Addr: dot11.Addr(c.Addr), Sigs: c.Sigs, Scores: fused, ParamScores: perParam}
+		if len(fused) > 0 {
 			ev.Best, ev.HasBest = best, true
 		}
 		sink.HandleEvent(ev)

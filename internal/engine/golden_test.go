@@ -29,18 +29,20 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden event-stream f
 // conformance failure.
 func fexact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// eventLine renders one event in the frozen line format.
+// eventLine renders one event in the frozen line format. Verdict
+// events use Observations(), which covers both the single-parameter
+// and the ensemble shape.
 func eventLine(ev engine.Event) string {
 	switch ev := ev.(type) {
 	case engine.CandidateMatched:
 		return fmt.Sprintf("w%03d match   %s best=%s sim=%s obs=%d",
-			ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Sig.Observations())
+			ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Observations())
 	case engine.UnknownDevice:
 		if ev.HasBest {
 			return fmt.Sprintf("w%03d unknown %s best=%s sim=%s obs=%d",
-				ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Sig.Observations())
+				ev.Window, ev.Addr, ev.Best.Addr, fexact(ev.Best.Sim), ev.Observations())
 		}
-		return fmt.Sprintf("w%03d unknown %s best=- obs=%d", ev.Window, ev.Addr, ev.Sig.Observations())
+		return fmt.Sprintf("w%03d unknown %s best=- obs=%d", ev.Window, ev.Addr, ev.Observations())
 	case engine.CandidateDropped:
 		kind := "dropped"
 		if ev.Evicted {
@@ -130,6 +132,48 @@ func TestGoldenOfficeStream(t *testing.T) {
 // TestGoldenConferenceStream freezes the conference-scenario stream.
 func TestGoldenConferenceStream(t *testing.T) {
 	checkGolden(t, "conference_stream.golden", streamScenario(t, true))
+}
+
+// streamEnsembleScenario replays a scenario through the serial fused
+// engine — a three-parameter ensemble trained on the first 3 minutes,
+// monitored on the rest — and renders every event. The frozen fused
+// scores pin the whole multi-parameter path: one-pass member
+// extraction, compiled-ensemble matching, mean fusion.
+func streamEnsembleScenario(t *testing.T, conference bool) []string {
+	t.Helper()
+	tr := buildScenario(t, conference) // fixed seeds inside
+	cfgs := ensembleCfgs(0)            // paper defaults per member
+	ens, err := core.NewEnsemble(core.MeasureCosine, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := core.Split(tr, 3*time.Minute)
+	if err := ens.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	eng, err := engine.NewEnsemble(cfgs, ens.Compile(), engine.Options{
+		Window: 2 * time.Minute,
+		Sink:   engine.SinkFunc(func(ev engine.Event) { lines = append(lines, eventLine(ev)) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(valid)
+	eng.Close()
+	return lines
+}
+
+// TestGoldenOfficeEnsembleStream freezes the office-scenario fused
+// event stream.
+func TestGoldenOfficeEnsembleStream(t *testing.T) {
+	checkGolden(t, "office_ensemble.golden", streamEnsembleScenario(t, false))
+}
+
+// TestGoldenConferenceEnsembleStream freezes the conference-scenario
+// fused stream.
+func TestGoldenConferenceEnsembleStream(t *testing.T) {
+	checkGolden(t, "conference_ensemble.golden", streamEnsembleScenario(t, true))
 }
 
 // TestGoldenEnrollStream freezes the online-enrollment event stream:

@@ -90,17 +90,32 @@ type shardObs struct {
 	t     int64
 }
 
+// shardMultiObs is shardObs for an ensemble engine: one record's
+// parameter values for every member, computed by the router against the
+// shared inter-arrival context. The value arrays are sized by
+// core.MaxEnsembleMembers so batches stay flat, recycled memory.
+type shardMultiObs struct {
+	addr  dot11.Addr
+	class dot11.Class
+	t     int64
+	vals  [core.MaxEnsembleMembers]float64
+	valid [core.MaxEnsembleMembers]bool
+}
+
 // shardMsg is the SPSC queue element: a batch of observations, plus an
 // optional close-window control processed after them. The close carries
 // the router's core.WindowMeta — the one global window clock — so
 // window indices, bounds and frame counts stay consistent across
 // shards. Messages are recycled through a per-shard free list, so the
-// steady state moves no memory to the garbage collector.
+// steady state moves no memory to the garbage collector. Ensemble
+// engines batch into mentries (allocated once per message at
+// construction); single-parameter engines into entries.
 type shardMsg struct {
 	n        int
 	closeWin bool
 	meta     core.WindowMeta
 	entries  [shardBatch]shardObs
+	mentries []shardMultiObs // ensemble mode only; len shardBatch
 }
 
 // shard is one partition: an SPSC queue pair (ch carries filled
@@ -115,11 +130,13 @@ type shard struct {
 
 // shardSegment is one shard's slice of a closed window, sent to the
 // merger: candidates and dropped senders (each sorted by address) plus
-// the shard-local match rows.
+// the shard-local match rows (fused + per-member in ensemble mode).
 type shardSegment struct {
-	meta core.WindowMeta
-	res  core.WindowResult
-	rows [][]core.Score
+	meta     core.WindowMeta
+	res      core.WindowResult
+	rows     [][]core.Score
+	fused    [][]core.Score
+	perParam [][][]core.Score
 }
 
 // Sharded is the concurrent form of Engine: records are hash-
@@ -142,9 +159,12 @@ type shardSegment struct {
 // shard count, as long as no observations are dropped (Block policy,
 // no SenderLimits).
 type Sharded struct {
-	cfg  core.Config
-	opts ShardedOptions
-	db   atomic.Pointer[core.CompiledDB]
+	cfg   core.Config
+	cfgs  []core.Config // ensemble members; nil in single-parameter mode
+	multi bool
+	opts  ShardedOptions
+	db    atomic.Pointer[core.CompiledDB]
+	edb   atomic.Pointer[core.CompiledEnsemble]
 
 	shards []*shard
 	segCh  chan shardSegment
@@ -155,10 +175,13 @@ type Sharded struct {
 
 	// Router state, owned by the pushing goroutine. The clock is the
 	// same implementation WindowAccumulator runs on, so serial and
-	// sharded windowing cannot drift apart.
+	// sharded windowing cannot drift apart. vals/valid are the reusable
+	// per-record member value buffers of the ensemble mode.
 	closed bool
 	clock  core.WindowClock
 	closes uint64 // window closes broadcast so far
+	vals   []float64
+	valid  []bool
 
 	startNs       atomic.Int64
 	frames        atomic.Uint64
@@ -185,37 +208,10 @@ type Sharded struct {
 // until SetDB installs one). A non-nil db must share cfg's parameter
 // and bin shape.
 func NewSharded(cfg core.Config, db *core.CompiledDB, opts ShardedOptions) (*Sharded, error) {
-	if opts.Window == 0 {
-		opts.Window = core.DefaultWindow
+	s, err := newSharded([]core.Config{cfg}, false, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Shards <= 0 {
-		opts.Shards = runtime.GOMAXPROCS(0)
-	}
-	if opts.QueueLen <= 0 {
-		opts.QueueLen = 8192
-	}
-	s := &Sharded{
-		opts:  opts,
-		clock: core.NewWindowClock(opts.Window),
-	}
-	s.cond = sync.NewCond(&s.mu)
-
-	batches := (opts.QueueLen + shardBatch - 1) / shardBatch
-	s.shards = make([]*shard, opts.Shards)
-	for i := range s.shards {
-		sh := &shard{
-			ch:    make(chan *shardMsg, batches),
-			free:  make(chan *shardMsg, batches+2),
-			table: core.NewSenderTable(cfg, opts.Limits),
-		}
-		// One message per queue slot, plus one for the router to fill
-		// and one for the shard goroutine to drain.
-		for j := 0; j < batches+2; j++ {
-			sh.free <- &shardMsg{}
-		}
-		s.shards[i] = sh
-	}
-	s.cfg = s.shards[0].table.Config() // defaults materialised
 	if opts.Trainer != nil {
 		if db != nil {
 			return nil, fmt.Errorf("engine: both db and ShardedOptions.Trainer set — the trainer owns the reference set (seed it with NewTrainerFrom)")
@@ -229,8 +225,99 @@ func NewSharded(cfg core.Config, db *core.CompiledDB, opts ShardedOptions) (*Sha
 	if err := s.SetDB(db); err != nil {
 		return nil, err
 	}
+	s.start()
+	return s, nil
+}
 
-	s.segCh = make(chan shardSegment, opts.Shards*2)
+// NewShardedEnsemble creates a sharded multi-parameter engine: the
+// router computes every member's parameter value against the global
+// inter-arrival context (so sharding cannot change any value), shards
+// accumulate one signature per member per sender, and each closed
+// window's candidates are fuse-matched against edb (nil runs
+// extraction-only until SetEnsembleDB installs one). The merged event
+// stream is identical to the serial ensemble engine's at every shard
+// count, exactly like the single-parameter engines.
+func NewShardedEnsemble(cfgs []core.Config, edb *core.CompiledEnsemble, opts ShardedOptions) (*Sharded, error) {
+	s, err := newSharded(cfgs, true, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trainer != nil {
+		if edb != nil {
+			return nil, fmt.Errorf("engine: both db and ShardedOptions.Trainer set — the trainer owns the reference set (seed it with NewEnsembleTrainerFrom)")
+		}
+		if err := opts.Trainer.bindEnsemble(s, s.cfgs); err != nil {
+			return nil, err
+		}
+		edb = opts.Trainer.CompiledEnsemble()
+		s.deferMatch = true
+	}
+	if err := s.SetEnsembleDB(edb); err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newSharded builds the router, shards and queues shared by both modes.
+func newSharded(cfgs []core.Config, multi bool, opts ShardedOptions) (*Sharded, error) {
+	if opts.Window == 0 {
+		opts.Window = core.DefaultWindow
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 8192
+	}
+	s := &Sharded{
+		opts:  opts,
+		multi: multi,
+		clock: core.NewWindowClock(opts.Window),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	batches := (opts.QueueLen + shardBatch - 1) / shardBatch
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		var table *core.SenderTable
+		if multi {
+			var err error
+			if table, err = core.NewEnsembleSenderTable(cfgs, opts.Limits); err != nil {
+				return nil, err
+			}
+		} else {
+			table = core.NewSenderTable(cfgs[0], opts.Limits)
+		}
+		sh := &shard{
+			ch:    make(chan *shardMsg, batches),
+			free:  make(chan *shardMsg, batches+2),
+			table: table,
+		}
+		// One message per queue slot, plus one for the router to fill
+		// and one for the shard goroutine to drain.
+		for j := 0; j < batches+2; j++ {
+			msg := &shardMsg{}
+			if multi {
+				msg.mentries = make([]shardMultiObs, shardBatch)
+			}
+			sh.free <- msg
+		}
+		s.shards[i] = sh
+	}
+	s.cfg = s.shards[0].table.Config() // defaults materialised
+	if multi {
+		s.cfgs = s.shards[0].table.Configs()
+		s.vals = make([]float64, len(s.cfgs))
+		s.valid = make([]bool, len(s.cfgs))
+	}
+	return s, nil
+}
+
+// start launches the shard and merger goroutines once the reference
+// set is installed.
+func (s *Sharded) start() {
+	s.segCh = make(chan shardSegment, len(s.shards)*2)
 	for _, sh := range s.shards {
 		s.shardWG.Add(1)
 		go s.runShard(sh)
@@ -241,11 +328,22 @@ func NewSharded(cfg core.Config, db *core.CompiledDB, opts ShardedOptions) (*Sha
 	}()
 	s.mergerWG.Add(1)
 	go s.runMerger()
-	return s, nil
 }
 
-// Config returns the extraction configuration with defaults materialised.
+// Config returns the extraction configuration with defaults materialised
+// (the first member's, in ensemble mode).
 func (s *Sharded) Config() core.Config { return s.cfg }
+
+// Configs returns every member configuration with defaults
+// materialised, or nil for a single-parameter engine.
+func (s *Sharded) Configs() []core.Config {
+	if !s.multi {
+		return nil
+	}
+	out := make([]core.Config, len(s.cfgs))
+	copy(out, s.cfgs)
+	return out
+}
 
 // SetDB atomically swaps the reference database, exactly like
 // Engine.SetDB. Each shard picks the new database up at its next window
@@ -253,6 +351,9 @@ func (s *Sharded) Config() core.Config { return s.cfg }
 // shards against different databases, so swap between windows when the
 // distinction matters.
 func (s *Sharded) SetDB(db *core.CompiledDB) error {
+	if s.multi {
+		return fmt.Errorf("engine: ensemble engine takes a compiled ensemble (SetEnsembleDB)")
+	}
 	if err := checkShape(s.cfg, db); err != nil {
 		return err
 	}
@@ -260,8 +361,27 @@ func (s *Sharded) SetDB(db *core.CompiledDB) error {
 	return nil
 }
 
-// DB returns the currently installed reference database, or nil.
+// DB returns the currently installed reference database, or nil (always
+// nil on an ensemble engine; see EnsembleDB).
 func (s *Sharded) DB() *core.CompiledDB { return s.db.Load() }
+
+// SetEnsembleDB atomically swaps the compiled ensemble, exactly like
+// Engine.SetEnsembleDB; the swap-vs-closing-window caveat of SetDB
+// applies.
+func (s *Sharded) SetEnsembleDB(edb *core.CompiledEnsemble) error {
+	if !s.multi {
+		return fmt.Errorf("engine: single-parameter engine takes a compiled database (SetDB)")
+	}
+	if err := checkEnsembleShape(s.cfgs, edb); err != nil {
+		return err
+	}
+	s.edb.Store(edb)
+	return nil
+}
+
+// EnsembleDB returns the currently installed compiled ensemble, or nil
+// (always nil on a single-parameter engine).
+func (s *Sharded) EnsembleDB() *core.CompiledEnsemble { return s.edb.Load() }
 
 // shardOf hashes a sender address to its shard: a fixed multiplicative
 // hash over the 48 address bits, so partitioning is deterministic
@@ -289,7 +409,14 @@ func (s *Sharded) Push(rec *capture.Record) {
 	if closed, meta := s.clock.Advance(rec.T); closed {
 		s.broadcastClose(meta)
 	}
-	if !rec.Sender.IsZero() && (rec.FCSOK || s.cfg.KeepBadFCS) {
+	if s.multi {
+		// Every member's value is computed here, against the global
+		// inter-arrival context, exactly as the serial ensemble
+		// accumulator computes them — sharding cannot change a value.
+		if !rec.Sender.IsZero() && core.MemberValues(s.cfgs, rec, s.clock.PrevT(), s.vals, s.valid) {
+			s.routeMulti(rec.Sender, rec.Class, rec.T)
+		}
+	} else if !rec.Sender.IsZero() && (rec.FCSOK || s.cfg.KeepBadFCS) {
 		if v, ok := s.cfg.Param.Value(rec, s.clock.PrevT()); ok {
 			s.route(rec.Sender, rec.Class, v, rec.T)
 		}
@@ -304,13 +431,13 @@ func (s *Sharded) PushTrace(tr *capture.Trace) {
 	}
 }
 
-// route appends one observation to its shard's current batch, sending
-// the batch when full. Under the Drop policy a full queue costs only
-// the observations that arrive while it stays full — a filled batch is
-// retained and retried on the next call, never discarded wholesale —
-// and Push never stalls.
-func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) {
-	sh := s.shards[s.shardOf(addr)]
+// slot returns the shard's current batch with space for one more
+// observation, applying the Backpressure policy: under Drop a full
+// queue costs only the observations that arrive while it stays full —
+// a filled batch is retained and retried on the next call, never
+// discarded wholesale — and Push never stalls. A nil return means the
+// observation was dropped (and counted).
+func (s *Sharded) slot(sh *shard) *shardMsg {
 	cur := sh.cur
 	if cur != nil && cur.n == shardBatch {
 		// A full batch is waiting for queue space (Drop policy only).
@@ -320,7 +447,7 @@ func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) 
 			sh.cur = nil
 		default:
 			s.droppedFrames.Add(1) // queue still full: lose this observation only
-			return
+			return nil
 		}
 	}
 	if cur == nil {
@@ -329,14 +456,19 @@ func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) 
 			case cur = <-sh.free:
 			default:
 				s.droppedFrames.Add(1)
-				return
+				return nil
 			}
 		} else {
 			cur = <-sh.free
 		}
 		sh.cur = cur
 	}
-	cur.entries[cur.n] = shardObs{addr: addr, class: class, v: v, t: t}
+	return cur
+}
+
+// commit accounts one appended observation, sending the batch when
+// full (per the Backpressure policy).
+func (s *Sharded) commit(sh *shard, cur *shardMsg) {
 	cur.n++
 	if cur.n == shardBatch {
 		if s.opts.Backpressure == Drop {
@@ -344,13 +476,39 @@ func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) 
 			case sh.ch <- cur:
 				sh.cur = nil
 			default:
-				// Queue full: keep the batch current and retry above.
+				// Queue full: keep the batch current and retry in slot.
 			}
 			return
 		}
 		sh.ch <- cur
 		sh.cur = nil
 	}
+}
+
+// route appends one observation to its shard's current batch.
+func (s *Sharded) route(addr dot11.Addr, class dot11.Class, v float64, t int64) {
+	sh := s.shards[s.shardOf(addr)]
+	cur := s.slot(sh)
+	if cur == nil {
+		return
+	}
+	cur.entries[cur.n] = shardObs{addr: addr, class: class, v: v, t: t}
+	s.commit(sh, cur)
+}
+
+// routeMulti appends one multi-parameter observation (the router's
+// vals/valid buffers) to its shard's current batch.
+func (s *Sharded) routeMulti(addr dot11.Addr, class dot11.Class, t int64) {
+	sh := s.shards[s.shardOf(addr)]
+	cur := s.slot(sh)
+	if cur == nil {
+		return
+	}
+	o := &cur.mentries[cur.n]
+	o.addr, o.class, o.t = addr, class, t
+	copy(o.vals[:len(s.vals)], s.vals)
+	copy(o.valid[:len(s.valid)], s.valid)
+	s.commit(sh, cur)
 }
 
 // broadcastClose flushes every shard's partial batch and appends the
@@ -411,10 +569,19 @@ func (s *Sharded) Close() {
 func (s *Sharded) runShard(sh *shard) {
 	defer s.shardWG.Done()
 	var scratch core.MatchScratch
+	var escratch core.EnsembleScratch
+	nm := len(s.cfgs)
 	for msg := range sh.ch {
-		for i := 0; i < msg.n; i++ {
-			o := &msg.entries[i]
-			sh.table.Observe(o.addr, o.class, o.v, o.t)
+		if s.multi {
+			for i := 0; i < msg.n; i++ {
+				o := &msg.mentries[i]
+				sh.table.ObserveN(o.addr, o.class, o.vals[:nm], o.valid[:nm], o.t)
+			}
+		} else {
+			for i := 0; i < msg.n; i++ {
+				o := &msg.entries[i]
+				sh.table.Observe(o.addr, o.class, o.v, o.t)
+			}
 		}
 		if msg.closeWin {
 			seg := shardSegment{meta: msg.meta}
@@ -425,8 +592,14 @@ func (s *Sharded) runShard(sh *shard) {
 			// With a trainer attached matching is deferred to the merger,
 			// so window k's enrollment swap is installed before window
 			// k+1's candidates are matched (see ShardedOptions.Trainer).
-			if db := s.db.Load(); !s.deferMatch && db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
-				seg.rows = db.MatchAllScratch(seg.res.Candidates, &scratch)
+			if !s.deferMatch {
+				if s.multi {
+					if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
+						seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, &escratch)
+					}
+				} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+					seg.rows = db.MatchAllScratch(seg.res.Candidates, &scratch)
+				}
 			}
 			s.segCh <- seg
 		}
@@ -494,7 +667,7 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 	sink := s.opts.Sink
 
 	matchedN, unknownN, candsN := 0, 0, 0
-	// Both branches run every candidate through the same verdict
+	// Every branch runs every candidate through the same verdict
 	// accounting, so a change to it cannot drift the trainer-mode stream
 	// from the normal one.
 	verdict := func(c *core.Candidate, scores []core.Score) {
@@ -505,8 +678,45 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 			unknownN++
 		}
 	}
-	var trainCands []core.Candidate // the merged window, for the trainer
-	if s.deferMatch {
+	verdictMulti := func(c *core.MultiCandidate, fused []core.Score, perParam [][]core.Score) {
+		candsN++
+		if emitVerdictMulti(sink, s.opts.Threshold, c, fused, perParam) {
+			matchedN++
+		} else {
+			unknownN++
+		}
+	}
+	var trainCands []core.Candidate      // the merged window, for the trainer
+	var trainMulti []core.MultiCandidate // ensemble-mode form
+	switch {
+	case s.deferMatch && s.multi:
+		// Trainer mode, fused: merge the shards' unmatched candidates
+		// into the serial window order, then fuse-match here — after any
+		// swap the previous window's enrollment installed.
+		total := 0
+		for k := range segs {
+			total += len(segs[k].res.Multi)
+		}
+		merged := make([]core.MultiCandidate, 0, total)
+		mergeByAddr(len(segs),
+			func(k int) int { return len(segs[k].res.Multi) },
+			func(k, i int) [6]byte { return segs[k].res.Multi[i].Addr },
+			func(k, i int) { merged = append(merged, segs[k].res.Multi[i]) })
+		var fused [][]core.Score
+		var perParam [][][]core.Score
+		if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(merged) > 0 {
+			fused, perParam = edb.MatchAll(merged)
+		}
+		for i := range merged {
+			var f []core.Score
+			var pp [][]core.Score
+			if fused != nil {
+				f, pp = fused[i], perParam[i]
+			}
+			verdictMulti(&merged[i], f, pp)
+		}
+		trainMulti = merged
+	case s.deferMatch:
 		// Trainer mode: the shards shipped unmatched candidates. Merge
 		// them into the serial engine's ascending-address window order,
 		// then match the whole window here — after any swap the previous
@@ -533,7 +743,19 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 			verdict(&merged[i], scores)
 		}
 		trainCands = merged
-	} else {
+	case s.multi:
+		mergeByAddr(len(segs),
+			func(k int) int { return len(segs[k].res.Multi) },
+			func(k, i int) [6]byte { return segs[k].res.Multi[i].Addr },
+			func(k, i int) {
+				var f []core.Score
+				var pp [][]core.Score
+				if segs[k].fused != nil {
+					f, pp = segs[k].fused[i], segs[k].perParam[i]
+				}
+				verdictMulti(&segs[k].res.Multi[i], f, pp)
+			})
+	default:
 		mergeByAddr(len(segs),
 			func(k int) int { return len(segs[k].res.Candidates) },
 			func(k, i int) [6]byte { return segs[k].res.Candidates[i].Addr },
@@ -584,11 +806,16 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 	// is advanced, so Flush/Close returning guarantees the flushed
 	// windows' promotions (and their events) have landed.
 	if tr := s.opts.Trainer; tr != nil {
-		tr.observeWindow(meta.Index, trainCands, func(ev Event) {
+		emit := func(ev Event) {
 			if sink != nil {
 				sink.HandleEvent(ev)
 			}
-		})
+		}
+		if s.multi {
+			tr.observeWindowMulti(meta.Index, trainMulti, emit)
+		} else {
+			tr.observeWindow(meta.Index, trainCands, emit)
+		}
 	}
 
 	s.mu.Lock()

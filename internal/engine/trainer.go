@@ -26,6 +26,13 @@ import (
 // emits DeviceEnrolled events (one per device), EnrollmentProgress for
 // senders still accumulating, and exactly one DBSwapped.
 //
+// A trainer created with NewEnsembleTrainer / NewEnsembleTrainerFrom
+// serves an ensemble engine instead: it accumulates one signature per
+// member parameter per pending sender and promotes all member
+// signatures atomically (Ensemble.Add — a live-enrolled ensemble can
+// never hold a partially-known device), hot-swapping one compiled
+// ensemble per promotion batch through SetEnsembleDB.
+//
 // Accumulation reuses the window signatures produced by
 // core.WindowAccumulator / core.SenderTable, so extraction stays a
 // single code path: a database enrolled live over the first K windows of
@@ -37,14 +44,18 @@ import (
 // on the engine's event-delivery goroutine; Stats, Database and
 // Compiled are safe from any goroutine.
 type Trainer struct {
-	mu      sync.Mutex
-	cfg     core.Config
-	opts    TrainerOptions
-	db           *core.Database // private working copy; engines only ever see Compile() snapshots
+	mu           sync.Mutex
+	cfg          core.Config
+	cfgs         []core.Config // ensemble members; nil in single mode
+	multi        bool
+	opts         TrainerOptions
+	db           *core.Database // single mode: private working copy
+	ens          *core.Ensemble // ensemble mode: private working copy
 	pending      map[dot11.Addr]*pendingEnroll
 	denied       map[dot11.Addr]bool
 	evictScratch []pendingEvictCand
-	target       DBSetter
+	target       DBSetter         // single mode engine
+	etarget      EnsembleDBSetter // ensemble mode engine
 	stats        TrainerStats
 }
 
@@ -52,6 +63,13 @@ type Trainer struct {
 // *Engine and *Sharded both implement it.
 type DBSetter interface {
 	SetDB(*core.CompiledDB) error
+}
+
+// EnsembleDBSetter is the hot-swap half of an ensemble engine; *Engine
+// and *Sharded both implement it (the call fails on engines built in
+// single-parameter mode).
+type EnsembleDBSetter interface {
+	SetEnsembleDB(*core.CompiledEnsemble) error
 }
 
 // EnrollPolicy selects what the trainer does with a sender that has
@@ -73,13 +91,18 @@ type PendingEnrollment struct {
 	Addr dot11.Addr
 	// Windows is the number of detection windows the sender has been a
 	// candidate in; Observations the observations accumulated across
-	// them.
+	// them (the weakest member's count for an ensemble trainer — the
+	// same count the MinObservations bar gates on).
 	Windows      int
 	Observations uint64
-	// Sig is the accumulated training signature. The callback may
-	// inspect it but must not retain or mutate it — on approval it
+	// Sig is the accumulated training signature (single-parameter
+	// trainers; an ensemble trainer hands Sigs instead). The callback
+	// may inspect it but must not retain or mutate it — on approval it
 	// becomes the reference.
 	Sig *core.Signature
+	// Sigs are the per-member training signatures of an ensemble
+	// trainer, aligned with the ensemble's parameters (nil otherwise).
+	Sigs []*core.Signature
 }
 
 // TrainerOptions parameterises a Trainer.
@@ -91,7 +114,10 @@ type TrainerOptions struct {
 	Horizon int
 	// MinObservations additionally requires this many observations
 	// accumulated across the horizon before promotion. Zero imposes no
-	// bar beyond the per-window rule candidates already cleared.
+	// bar beyond the per-window rule candidates already cleared. An
+	// ensemble trainer applies the bar to every member — the weakest
+	// member's count must clear it, so a fused reference is never
+	// promoted on the strength of one parameter alone.
 	MinObservations uint64
 	// Policy selects auto-enrollment (default) or confirm-before-enroll.
 	Policy EnrollPolicy
@@ -120,8 +146,9 @@ type TrainerOptions struct {
 
 // TrainerStats is a point-in-time snapshot of a trainer's counters.
 type TrainerStats struct {
-	// Refs is the current reference count; Pending the senders still
-	// accumulating toward the horizon.
+	// Refs is the current reference count (fully-known devices, for an
+	// ensemble trainer); Pending the senders still accumulating toward
+	// the horizon.
 	Refs, Pending int
 	// Enrolled counts promotions, Updated reference refreshes (Update
 	// mode), Swaps the database promotions pushed to the engine (the
@@ -133,11 +160,37 @@ type TrainerStats struct {
 	Denied, Rejected, EvictedPending uint64
 }
 
-// pendingEnroll is one sender accumulating toward the horizon.
+// pendingEnroll is one sender accumulating toward the horizon: one
+// signature per member (single-parameter trainers hold one).
 type pendingEnroll struct {
-	sig        *core.Signature
+	sigs       []*core.Signature
 	windows    int
 	lastWindow int
+}
+
+// minSigObs returns the smallest observation count across member
+// signatures — the enrollment bar's view: every member must clear it.
+func minSigObs(sigs []*core.Signature) uint64 {
+	min := sigs[0].Observations()
+	for _, sig := range sigs[1:] {
+		if n := sig.Observations(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// maxSigObs returns the largest observation count across member
+// signatures — the reporting convention shared with the engines' drop
+// and verdict events.
+func maxSigObs(sigs []*core.Signature) uint64 {
+	var max uint64
+	for _, sig := range sigs {
+		if n := sig.Observations(); n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // NewTrainer creates a cold-start trainer: the reference set begins
@@ -156,13 +209,53 @@ func NewTrainerFrom(seed *core.Database, opts TrainerOptions) *Trainer {
 }
 
 func newTrainer(db *core.Database, opts TrainerOptions) *Trainer {
+	t := newTrainerCommon(opts)
+	t.cfg = db.Config()
+	t.db = db
+	return t
+}
+
+// NewEnsembleTrainer creates a cold-start trainer for an ensemble
+// engine: one member database per configuration, all beginning empty,
+// populated by atomic multi-parameter enrollment. Member configurations
+// must carry distinct parameters.
+func NewEnsembleTrainer(cfgs []core.Config, measure core.Measure, opts TrainerOptions) (*Trainer, error) {
+	ens, err := core.NewEnsemble(measure, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	return newEnsembleTrainer(ens, opts), nil
+}
+
+// NewEnsembleTrainerFrom creates an ensemble trainer seeded with an
+// existing ensemble — warm start, deep-copied. A seed holding
+// partially-known devices (enrolled in some members but not all — see
+// Ensemble.Partial) is refused: such devices can never match, and the
+// trainer would never repair them either, because their addresses are
+// already "known" to some member and so never re-enter enrollment.
+func NewEnsembleTrainerFrom(seed *core.Ensemble, opts TrainerOptions) (*Trainer, error) {
+	if partial := seed.Partial(); len(partial) > 0 {
+		return nil, fmt.Errorf("engine: ensemble seed holds %d partially-enrolled devices (first %v) — not matchable and not repairable; re-train or drop them first",
+			len(partial), partial[0])
+	}
+	return newEnsembleTrainer(seed.Clone(), opts), nil
+}
+
+func newEnsembleTrainer(ens *core.Ensemble, opts TrainerOptions) *Trainer {
+	t := newTrainerCommon(opts)
+	t.multi = true
+	t.ens = ens
+	t.cfgs = ens.Configs()
+	t.cfg = t.cfgs[0]
+	return t
+}
+
+func newTrainerCommon(opts TrainerOptions) *Trainer {
 	if opts.Horizon <= 0 {
 		opts.Horizon = 1
 	}
 	t := &Trainer{
-		cfg:     db.Config(),
 		opts:    opts,
-		db:      db,
 		pending: make(map[dot11.Addr]*pendingEnroll),
 		denied:  make(map[dot11.Addr]bool),
 	}
@@ -172,14 +265,29 @@ func newTrainer(db *core.Database, opts TrainerOptions) *Trainer {
 	return t
 }
 
-// Config returns the trainer's extraction configuration.
+// Config returns the trainer's extraction configuration (the first
+// member's, for an ensemble trainer).
 func (t *Trainer) Config() core.Config { return t.cfg }
+
+// Configs returns the member configurations of an ensemble trainer, or
+// nil for a single-parameter one.
+func (t *Trainer) Configs() []core.Config {
+	if !t.multi {
+		return nil
+	}
+	out := make([]core.Config, len(t.cfgs))
+	copy(out, t.cfgs)
+	return out
+}
 
 // bind attaches the trainer to the engine it hot-swaps. One engine per
 // trainer: a second bind to a different target fails.
 func (t *Trainer) bind(target DBSetter, cfg core.Config) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.multi {
+		return fmt.Errorf("engine: ensemble trainer attached to a single-parameter engine")
+	}
 	if t.cfg.Param != cfg.Param || t.cfg.Bins != cfg.Bins {
 		return fmt.Errorf("engine: trainer shape %v/%v does not match engine %v/%v",
 			t.cfg.Param, t.cfg.Bins, cfg.Param, cfg.Bins)
@@ -191,16 +299,55 @@ func (t *Trainer) bind(target DBSetter, cfg core.Config) error {
 	return nil
 }
 
+// bindEnsemble is bind for the ensemble mode.
+func (t *Trainer) bindEnsemble(target EnsembleDBSetter, cfgs []core.Config) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.multi {
+		return fmt.Errorf("engine: single-parameter trainer attached to an ensemble engine")
+	}
+	if len(t.cfgs) != len(cfgs) {
+		return fmt.Errorf("engine: trainer ensemble of %d members does not match engine's %d", len(t.cfgs), len(cfgs))
+	}
+	for i := range cfgs {
+		if t.cfgs[i].Param != cfgs[i].Param || t.cfgs[i].Bins != cfgs[i].Bins {
+			return fmt.Errorf("engine: trainer member %d shape %v/%v does not match engine %v/%v",
+				i, t.cfgs[i].Param, t.cfgs[i].Bins, cfgs[i].Param, cfgs[i].Bins)
+		}
+	}
+	if t.etarget != nil && t.etarget != target {
+		return fmt.Errorf("engine: trainer is already attached to another engine")
+	}
+	t.etarget = target
+	return nil
+}
+
 // Bind attaches the trainer to the engine it should hot-swap, for the
 // Tap (event-stream) mode, and installs the trainer's current compiled
 // references into it — which also validates the shapes for real: a
 // trainer whose parameter or bins mismatch the engine fails here, at
-// attach time, instead of silently failing every later swap. The
-// inline mode — Options.Trainer / ShardedOptions.Trainer — binds
-// automatically.
+// attach time, instead of silently failing every later swap. An
+// ensemble trainer's target must implement EnsembleDBSetter (both
+// engines do; the ensemble-mode SetEnsembleDB is the call that must
+// succeed). The inline mode — Options.Trainer / ShardedOptions.Trainer
+// — binds automatically.
 func (t *Trainer) Bind(target DBSetter) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.multi {
+		et, ok := target.(EnsembleDBSetter)
+		if !ok {
+			return fmt.Errorf("engine: ensemble trainer needs an engine with SetEnsembleDB")
+		}
+		if t.etarget != nil && t.etarget != et {
+			return fmt.Errorf("engine: trainer is already attached to another engine")
+		}
+		if err := et.SetEnsembleDB(t.ens.Compile()); err != nil {
+			return err
+		}
+		t.etarget = et
+		return nil
+	}
 	if t.target != nil && t.target != target {
 		return fmt.Errorf("engine: trainer is already attached to another engine")
 	}
@@ -212,21 +359,52 @@ func (t *Trainer) Bind(target DBSetter) error {
 }
 
 // Compiled returns the latest compiled snapshot of the trainer's
-// reference database (possibly empty, for a cold start).
+// reference database (possibly empty, for a cold start; nil for an
+// ensemble trainer, which compiles through CompiledEnsemble).
 func (t *Trainer) Compiled() *core.CompiledDB {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.multi {
+		return nil
+	}
 	return t.db.Compile()
 }
 
+// CompiledEnsemble returns the latest compiled snapshot of an ensemble
+// trainer's references (nil for a single-parameter trainer).
+func (t *Trainer) CompiledEnsemble() *core.CompiledEnsemble {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.multi {
+		return nil
+	}
+	return t.ens.Compile()
+}
+
 // Database returns a deep copy of the trainer's working database — the
-// checkpoint entry point. The clone is taken under the trainer's lock,
-// so it is a consistent snapshot even while enrollment is running;
-// serialise it with Database.SaveBinary (fast) or Save (interop JSON).
+// checkpoint entry point (nil for an ensemble trainer; see Ensemble).
+// The clone is taken under the trainer's lock, so it is a consistent
+// snapshot even while enrollment is running; serialise it with
+// Database.SaveBinary (fast) or Save (interop JSON).
 func (t *Trainer) Database() *core.Database {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.multi {
+		return nil
+	}
 	return t.db.Clone()
+}
+
+// Ensemble returns a deep copy of an ensemble trainer's working
+// references — the fused checkpoint entry point (nil for a
+// single-parameter trainer); serialise it with Ensemble.SaveBinary.
+func (t *Trainer) Ensemble() *core.Ensemble {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.multi {
+		return nil
+	}
+	return t.ens.Clone()
 }
 
 // Stats returns a snapshot of the trainer's counters.
@@ -234,9 +412,21 @@ func (t *Trainer) Stats() TrainerStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st := t.stats
-	st.Refs = t.db.Len()
+	if t.multi {
+		st.Refs = t.ens.Len()
+	} else {
+		st.Refs = t.db.Len()
+	}
 	st.Pending = len(t.pending)
 	return st
+}
+
+// refsLocked returns the current reference count; call with mu held.
+func (t *Trainer) refsLocked() int {
+	if t.multi {
+		return t.ens.Len()
+	}
+	return t.db.Len()
 }
 
 // observeWindow folds one closed window's candidates into the
@@ -246,8 +436,34 @@ func (t *Trainer) Stats() TrainerStats {
 // through emit. Candidates must arrive in ascending address order —
 // both engines and the batch paths emit them that way — which makes
 // promotion order, and with it the reference insertion order, a
-// deterministic function of the stream.
+// deterministic function of the stream. observeWindowMulti is the
+// ensemble form over multi-parameter candidates; the two share every
+// policy decision through observeCommon.
 func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Event)) {
+	t.observeCommon(window, len(cands),
+		func(i int) (dot11.Addr, []*core.Signature) {
+			return dot11.Addr(cands[i].Addr), nil
+		},
+		func(i int) *core.Signature { return cands[i].Sig },
+		emit)
+}
+
+// observeWindowMulti is observeWindow for an ensemble trainer's
+// multi-parameter candidates.
+func (t *Trainer) observeWindowMulti(window int, cands []core.MultiCandidate, emit func(Event)) {
+	t.observeCommon(window, len(cands),
+		func(i int) (dot11.Addr, []*core.Signature) {
+			return dot11.Addr(cands[i].Addr), cands[i].Sigs
+		},
+		nil,
+		emit)
+}
+
+// observeCommon is the single enrollment pipeline behind both candidate
+// shapes: candAt yields candidate i's address and (ensemble mode) its
+// member signatures; sigAt yields the single-parameter signature (nil
+// function in ensemble mode).
+func (t *Trainer) observeCommon(window, n int, candAt func(int) (dot11.Addr, []*core.Signature), sigAt func(int) *core.Signature, emit func(Event)) {
 	t.mu.Lock()
 	// Refresh recency for every pending sender that is a candidate in
 	// this window before any MaxPending eviction runs: without this, an
@@ -256,8 +472,9 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 	// same window's candidate list — cascading into resetting live
 	// senders' accumulation instead of shedding genuinely stale ones.
 	if t.opts.MaxPending > 0 {
-		for i := range cands {
-			if p := t.pending[dot11.Addr(cands[i].Addr)]; p != nil {
+		for i := 0; i < n; i++ {
+			addr, _ := candAt(i)
+			if p := t.pending[addr]; p != nil {
 				p.lastWindow = window
 			}
 		}
@@ -273,21 +490,13 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 	}
 	var promote []promotion
 	updated := 0
-	for i := range cands {
-		addr := dot11.Addr(cands[i].Addr)
+	for i := 0; i < n; i++ {
+		addr, candSigs := candAt(i)
 		if t.denied[addr] {
 			t.stats.Denied++
 			continue
 		}
-		if ref := t.db.Signature(addr); ref != nil {
-			if t.opts.Update {
-				// Shapes always match: the candidate came from an engine
-				// bound to this trainer's configuration.
-				if err := ref.Merge(cands[i].Sig); err == nil {
-					updated++
-					t.stats.Updated++
-				}
-			}
+		if t.updateKnown(addr, candSigs, sigAt, i, &updated) {
 			continue
 		}
 		p := t.pending[addr]
@@ -295,20 +504,26 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 			if t.opts.MaxPending > 0 && len(t.pending) >= t.opts.MaxPending {
 				t.evictPending()
 			}
-			p = &pendingEnroll{sig: core.NewSignature(t.cfg.Param, t.cfg.Bins)}
+			p = &pendingEnroll{sigs: t.newPendingSigs()}
 			t.pending[addr] = p
 		}
 		p.windows++
 		p.lastWindow = window
-		if err := p.sig.Merge(cands[i].Sig); err != nil {
+		if !t.mergePending(p, candSigs, sigAt, i) {
 			continue // impossible by construction; never corrupt state on it
 		}
-		obs := p.sig.Observations()
-		if p.windows < t.opts.Horizon || obs < t.opts.MinObservations {
+		// The enrollment bar: every member must clear MinObservations
+		// (a single-parameter trainer has one member). Progress events
+		// and the Confirm callback report that same binding count — the
+		// weakest member's — so Observations is always comparable to
+		// Required; the enrolled/verdict events report the best-covered
+		// member instead (how much traffic the reference froze with).
+		barObs := minSigObs(p.sigs)
+		if p.windows < t.opts.Horizon || barObs < t.opts.MinObservations {
 			evs = append(evs, EnrollmentProgress{
 				Window: window, Addr: addr,
 				Windows: p.windows, Horizon: t.opts.Horizon,
-				Observations: obs, Required: t.opts.MinObservations,
+				Observations: barObs, Required: t.opts.MinObservations,
 			})
 			continue
 		}
@@ -316,7 +531,13 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 		if t.opts.Policy == EnrollConfirm {
 			approved = false
 			if cb := t.opts.Confirm; cb != nil {
-				approved = cb(PendingEnrollment{Addr: addr, Windows: p.windows, Observations: obs, Sig: p.sig})
+				pe := PendingEnrollment{Addr: addr, Windows: p.windows, Observations: barObs}
+				if t.multi {
+					pe.Sigs = p.sigs
+				} else {
+					pe.Sig = p.sigs[0]
+				}
+				approved = cb(pe)
 			}
 		}
 		if approved {
@@ -330,14 +551,20 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 	}
 
 	for _, pr := range promote {
-		if err := t.db.Add(pr.addr, pr.p.sig); err != nil {
+		var err error
+		if t.multi {
+			err = t.ens.Add(pr.addr, pr.p.sigs) // all members or none: never a partial reference
+		} else {
+			err = t.db.Add(pr.addr, pr.p.sigs[0])
+		}
+		if err != nil {
 			continue // impossible by construction (shape-checked at bind)
 		}
 		t.stats.Enrolled++
 		evs = append(evs, DeviceEnrolled{
 			Window: window, Addr: pr.addr,
-			Windows: pr.p.windows, Observations: pr.p.sig.Observations(),
-			Refs: t.db.Len(),
+			Windows: pr.p.windows, Observations: maxSigObs(pr.p.sigs),
+			Refs: t.refsLocked(),
 		})
 	}
 
@@ -346,13 +573,16 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 	// whose Bind was never called still accumulates and promotes (Bind
 	// installs the current references when it eventually runs), but it
 	// must not report installations that never happened.
-	if (len(promote) > 0 || updated > 0) && t.target != nil {
-		cdb := t.db.Compile()
+	if bound := t.target != nil || t.etarget != nil; (len(promote) > 0 || updated > 0) && bound {
+		if t.multi {
+			t.etarget.SetEnsembleDB(t.ens.Compile()) // shape-checked at bind; cannot fail
+		} else {
+			t.target.SetDB(t.db.Compile()) // shape-checked at bind; cannot fail
+		}
 		t.stats.Swaps++
-		t.target.SetDB(cdb) // shape-checked at bind; cannot fail
 		evs = append(evs, DBSwapped{
 			Window: window, Version: t.stats.Swaps,
-			Refs: t.db.Len(), Enrolled: len(promote), Updated: updated,
+			Refs: t.refsLocked(), Enrolled: len(promote), Updated: updated,
 		})
 	}
 	t.mu.Unlock()
@@ -364,6 +594,70 @@ func (t *Trainer) observeWindow(window int, cands []core.Candidate, emit func(Ev
 			emit(ev)
 		}
 	}
+}
+
+// newPendingSigs allocates the per-member accumulation signatures of a
+// fresh pending sender.
+func (t *Trainer) newPendingSigs() []*core.Signature {
+	if t.multi {
+		sigs := make([]*core.Signature, len(t.cfgs))
+		for i, cfg := range t.cfgs {
+			sigs[i] = core.NewSignature(cfg.Param, cfg.Bins)
+		}
+		return sigs
+	}
+	return []*core.Signature{core.NewSignature(t.cfg.Param, t.cfg.Bins)}
+}
+
+// updateKnown merges an already-enrolled candidate into its reference
+// under Update mode and reports whether the candidate was a known
+// reference (and so consumed). Shapes always match: the candidate came
+// from an engine bound to this trainer's configuration.
+func (t *Trainer) updateKnown(addr dot11.Addr, candSigs []*core.Signature, sigAt func(int) *core.Signature, i int, updated *int) bool {
+	if t.multi {
+		refs := t.ens.Signatures(addr)
+		if refs == nil {
+			return false
+		}
+		if t.opts.Update {
+			ok := true
+			for m := range refs {
+				if err := refs[m].Merge(candSigs[m]); err != nil {
+					ok = false
+				}
+			}
+			if ok {
+				*updated++
+				t.stats.Updated++
+			}
+		}
+		return true
+	}
+	ref := t.db.Signature(addr)
+	if ref == nil {
+		return false
+	}
+	if t.opts.Update {
+		if err := ref.Merge(sigAt(i)); err == nil {
+			*updated++
+			t.stats.Updated++
+		}
+	}
+	return true
+}
+
+// mergePending folds a candidate's window signature(s) into the pending
+// accumulation, reporting success.
+func (t *Trainer) mergePending(p *pendingEnroll, candSigs []*core.Signature, sigAt func(int) *core.Signature, i int) bool {
+	if t.multi {
+		for m := range p.sigs {
+			if err := p.sigs[m].Merge(candSigs[m]); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	return p.sigs[0].Merge(sigAt(i)) == nil
 }
 
 // pendingEvictCand is the reusable sort record of the pending-eviction
@@ -421,11 +715,13 @@ func (t *Trainer) Tap(next Sink) Sink {
 
 // tapSink reconstructs windows from the event stream: verdict events
 // carry the candidates (in ascending address order), WindowClosed marks
-// the boundary.
+// the boundary. Ensemble engines' verdicts carry Sigs and feed the
+// multi-parameter observation path.
 type tapSink struct {
 	t    *Trainer
 	next Sink
 	buf  []core.Candidate
+	mbuf []core.MultiCandidate
 }
 
 // HandleEvent implements Sink.
@@ -435,15 +731,34 @@ func (s *tapSink) HandleEvent(ev Event) {
 	}
 	switch ev := ev.(type) {
 	case CandidateMatched:
-		s.buf = append(s.buf, core.Candidate{Addr: [6]byte(ev.Addr), Window: ev.Window, Sig: ev.Sig})
+		s.buffer(ev.Window, ev.Addr, ev.Sig, ev.Sigs)
 	case UnknownDevice:
-		s.buf = append(s.buf, core.Candidate{Addr: [6]byte(ev.Addr), Window: ev.Window, Sig: ev.Sig})
+		s.buffer(ev.Window, ev.Addr, ev.Sig, ev.Sigs)
 	case WindowClosed:
 		emit := func(Event) {}
 		if s.next != nil {
 			emit = s.next.HandleEvent
 		}
-		s.t.observeWindow(ev.Window, s.buf, emit)
+		if s.t.multi {
+			s.t.observeWindowMulti(ev.Window, s.mbuf, emit)
+		} else {
+			s.t.observeWindow(ev.Window, s.buf, emit)
+		}
 		s.buf = s.buf[:0]
+		s.mbuf = s.mbuf[:0]
+	}
+}
+
+// buffer queues one verdict's candidate in the shape the trainer runs
+// in.
+func (s *tapSink) buffer(window int, addr dot11.Addr, sig *core.Signature, sigs []*core.Signature) {
+	if s.t.multi {
+		if sigs != nil {
+			s.mbuf = append(s.mbuf, core.MultiCandidate{Addr: [6]byte(addr), Window: window, Sigs: sigs})
+		}
+		return
+	}
+	if sig != nil {
+		s.buf = append(s.buf, core.Candidate{Addr: [6]byte(addr), Window: window, Sig: sig})
 	}
 }

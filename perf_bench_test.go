@@ -467,6 +467,75 @@ func TestShardedPushZeroAllocs(t *testing.T) {
 	eng.Close()
 }
 
+// ensembleFixture trains a three-parameter fused reference set over
+// the micro trace for the ensemble push benchmarks.
+func ensembleFixture(tb testing.TB) (*dot11fp.CompiledEnsemble, []dot11fp.Config) {
+	tb.Helper()
+	cfgs := []dot11fp.Config{
+		{Param: dot11fp.ParamInterArrival},
+		{Param: dot11fp.ParamSize},
+		{Param: dot11fp.ParamRate},
+	}
+	ens, err := dot11fp.NewEnsemble(dot11fp.MeasureCosine, cfgs...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := ens.Train(microTrace); err != nil {
+		tb.Fatal(err)
+	}
+	return ens.Compile(), cfgs
+}
+
+// BenchmarkEnsemblePush measures the per-frame ingestion cost of the
+// fused streaming engine within a detection window: every member
+// parameter extracted per frame against the shared inter-arrival
+// context — the steady state of a multi-parameter live monitor.
+func BenchmarkEnsemblePush(b *testing.B) {
+	ce, cfgs := ensembleFixture(b)
+	eng, err := dot11fp.NewEnsembleEngine(cfgs, ce, dot11fp.EngineOptions{Window: 24 * time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := microTrace.Records
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := recs[i%len(recs)]
+		rec.T = recs[i%len(recs)].T % 3_600_000_000 // keep inside one huge window
+		eng.Push(&rec)
+	}
+	b.StopTimer()
+	eng.Close()
+}
+
+// TestEnsemblePushZeroAllocs pins the fusion PR's acceptance criterion:
+// once a window's senders are established, pushing a frame through the
+// ensemble engine allocates nothing — N parameters per frame cost N
+// histogram increments, not N allocations.
+func TestEnsemblePushZeroAllocs(t *testing.T) {
+	ce, cfgs := ensembleFixture(t)
+	eng, err := dot11fp.NewEnsembleEngine(cfgs, ce, dot11fp.EngineOptions{Window: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the senders and histograms of the open window.
+	recs := make([]dot11fp.Record, len(microTrace.Records))
+	copy(recs, microTrace.Records)
+	for i := range recs {
+		recs[i].T %= 3_600_000_000
+		eng.Push(&recs[i])
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := range recs {
+			eng.Push(&recs[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ensemble push allocated %v times per %d-record sweep, want 0", allocs, len(recs))
+	}
+	eng.Close()
+}
+
 // TestEnginePushZeroAllocs pins the redesign's acceptance criterion:
 // once a window's senders are established, pushing a frame allocates
 // nothing — no per-frame trace materialisation, no hidden buffering.

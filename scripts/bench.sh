@@ -5,18 +5,23 @@
 #
 #   scripts/bench.sh [output.json]
 #
+# BENCHTIME overrides the per-benchmark budget (default 2s; CI's bench
+# smoke uses BENCHTIME=1x for a fast structural pass whose JSON is
+# uploaded as an artifact — numbers from 1x runs are not comparable).
+#
 # The JSON is a list of {name, ns_per_op, allocs_per_op, bytes_per_op}
 # objects plus a header with the commit and environment.
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+benchtime="${BENCHTIME:-2s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip|BenchmarkEnginePush|BenchmarkEngineStream|BenchmarkShardedPush|BenchmarkDBCodec|BenchmarkEngineEnroll' \
-  -benchmem -benchtime=2s . | tee "$raw"
+  -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip|BenchmarkEnginePush|BenchmarkEngineStream|BenchmarkEnsemblePush|BenchmarkShardedPush|BenchmarkDBCodec|BenchmarkEngineEnroll' \
+  -benchmem -benchtime="$benchtime" . | tee "$raw"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 awk -v commit="$commit" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
