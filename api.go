@@ -395,6 +395,56 @@ func NewMultiStream(mode MergeMode, rebase bool, sources ...RecordSource) *Multi
 	return capture.NewMultiStream(mode, rebase, sources...)
 }
 
+// --- fault tolerance ---------------------------------------------------------
+
+// Fault-tolerance types: per-source supervision for MultiStream and
+// engine health reporting (see the doc.go "Fault tolerance" section).
+type (
+	// MultiOptions parameterises NewMultiStreamOpts (merge mode, rebase,
+	// supervision).
+	MultiOptions = capture.MultiOptions
+	// Supervisor configures per-source reopen/retry/backoff and the
+	// decode-error circuit breaker; the zero value supervises nothing.
+	Supervisor = capture.Supervisor
+	// SourceEvent is a supervision event (SourceDown or SourceUp).
+	SourceEvent = capture.SourceEvent
+	// SourceDown reports a source failure — transient (about to retry)
+	// or permanent (attempts exhausted).
+	SourceDown = capture.SourceDown
+	// SourceUp reports a successful source reopen.
+	SourceUp = capture.SourceUp
+	// SourceStats is one source's supervision counters.
+	SourceStats = capture.SourceStats
+	// EngineHealth is a snapshot of an engine's supervision state:
+	// recovered panics, stalled shards, queue depths.
+	EngineHealth = engine.Health
+	// EngineHooks are the engines' fault-injection/test points.
+	EngineHooks = engine.Hooks
+	// ComponentPanicked is the health event for a recovered panic.
+	ComponentPanicked = engine.ComponentPanicked
+	// ShardStalled is the watchdog's health event for a wedged shard.
+	ShardStalled = engine.ShardStalled
+	// ShardResumed is the watchdog's all-clear for a stalled shard.
+	ShardResumed = engine.ShardResumed
+)
+
+// ErrBreakerTripped reports a source failed by its decode-error-rate
+// circuit breaker (see Supervisor.BreakerWindow).
+var ErrBreakerTripped = capture.ErrBreakerTripped
+
+// NewMultiStreamOpts merges the given sources with full options,
+// including per-source supervision.
+func NewMultiStreamOpts(opts MultiOptions, sources ...RecordSource) *MultiStream {
+	return capture.NewMultiStreamOpts(opts, sources...)
+}
+
+// WithCloser attaches a Closer to a RecordSource so MultiStream.Close
+// (and supervised reopens) can unblock a source wedged in a blocking
+// read — a PcapStream over a FIFO, closed via the underlying file.
+func WithCloser(src RecordSource, c io.Closer) RecordSource {
+	return capture.WithCloser(src, c)
+}
+
 // WritePcap serialises a trace as a standard radiotap pcap stream.
 func WritePcap(w io.Writer, tr *Trace) error { return capture.WritePcap(w, tr) }
 

@@ -22,10 +22,23 @@
 // ends in .json) on SIGHUP and at shutdown, so a daemon restart
 // resumes from the learned references instead of relearning.
 //
+// The daemon degrades instead of dying: -source-retry reopens a failed
+// source with exponential backoff (a FIFO whose writer restarts, a
+// file that reappears), logging SourceDown/SourceUp transitions, while
+// healthy sources keep flowing; engine shards recover panics and a
+// watchdog reports wedged shards; -checkpoint-every saves the
+// references periodically with bounded retry, and every save keeps the
+// previous generation on disk until the new one is written, fsync'd
+// and verified — a crash mid-save never costs the references (loads
+// fall back to <path>.1). A run that survived recovered faults exits
+// with status 3 so orchestrators can tell a clean run from a degraded
+// one.
+//
 // SIGINT/SIGTERM drain gracefully: sources stop, queued records are
 // processed, the open window is flushed and matched, and final
 // statistics are printed. -stats prints a periodic counters line to
-// stderr. Try it end to end:
+// stderr (plus a health line when anything has faulted). Try it end to
+// end:
 //
 //	go run ./cmd/tracegen -scenario office -duration 30m -stations 24 -o office.pcap
 //	go run ./cmd/fingerprintd -ref 0 -enroll -enroll-windows 2 -window 3m -save office.fpdb office.pcap
@@ -41,6 +54,7 @@
 //	fingerprintd [-db ref.fpdb | -ref 20m] [-param iat | -param rate,size,iat]
 //	             [-measure cosine]
 //	             [-enroll] [-enroll-windows 1] [-save ref.fpdb]
+//	             [-checkpoint-every 0] [-source-retry 0]
 //	             [-window 5m] [-threshold 0] [-shards 0] [-queue 8192]
 //	             [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
 //	             [-rebase] [-stats 10s] [-v] input.pcap [input2.pcap ...]
@@ -52,11 +66,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"dot11fp"
+	"dot11fp/internal/checkpoint"
 	"dot11fp/internal/cmdutil"
 )
 
@@ -77,6 +93,8 @@ func main() {
 	idleEvict := flag.Duration("idle-evict", 0, "evict senders idle for this long in record time (0 = never)")
 	mergeFlag := flag.String("merge", "time", "source interleaving: time (deterministic) or arrival (live feeds)")
 	rebase := flag.Bool("rebase", false, "shift each source's clock so its first record lands at offset zero")
+	sourceRetry := flag.Duration("source-retry", 0, "reopen failed sources, starting at this backoff and doubling (0 = a failed source retires)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "also checkpoint the references periodically at this interval (0 = only SIGHUP and shutdown)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 = off)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops, evictions and enrollment progress")
 	flag.Parse()
@@ -116,30 +134,75 @@ func main() {
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
-	var sources []dot11fp.RecordSource
-	var closers []io.Closer
-	for _, name := range flag.Args() {
-		in := os.Stdin
-		if name != "-" {
-			f, err := os.Open(name)
+	// openSource builds one input. File-backed sources carry their file
+	// as a Closer, so a supervised reopen (or shutdown) can unblock a
+	// read wedged on a FIFO whose writer went away.
+	names := flag.Args()
+	openSource := func(name string) (dot11fp.RecordSource, error) {
+		if name == "-" {
+			src, err := dot11fp.ReadPcapStream(os.Stdin)
 			if err != nil {
-				fatal(err)
+				return nil, fmt.Errorf("stdin: %w", err)
 			}
-			closers = append(closers, f)
-			in = f
+			return src, nil
 		}
-		src, err := dot11fp.ReadPcapStream(in)
+		f, err := os.Open(name)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			return nil, err
+		}
+		src, err := dot11fp.ReadPcapStream(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return dot11fp.WithCloser(src, f), nil
+	}
+	isFIFO := make([]bool, len(names))
+	var sources []dot11fp.RecordSource
+	for i, name := range names {
+		if name != "-" {
+			if info, err := os.Stat(name); err == nil {
+				isFIFO[i] = info.Mode()&os.ModeNamedPipe != 0
+			}
+		}
+		src, err := openSource(name)
+		if err != nil {
+			fatal(err)
 		}
 		sources = append(sources, src)
 	}
-	defer func() {
-		for _, c := range closers {
-			c.Close()
+	var sup dot11fp.Supervisor
+	if *sourceRetry > 0 {
+		sup = dot11fp.Supervisor{
+			Backoff: *sourceRetry,
+			Reopen: func(i int) (dot11fp.RecordSource, error) {
+				if names[i] == "-" {
+					return nil, fmt.Errorf("stdin is not reopenable")
+				}
+				return openSource(names[i])
+			},
+			// A FIFO's EOF only means its writer hung up — reopen and
+			// wait for the next one. A regular file's EOF is the end.
+			ReopenOnEOF: func(i int) bool { return isFIFO[i] },
+			Notify: func(ev dot11fp.SourceEvent) {
+				switch ev := ev.(type) {
+				case dot11fp.SourceDown:
+					if ev.Permanent {
+						fmt.Fprintf(os.Stderr, "fingerprintd: source %d (%s) permanently down: %v\n",
+							ev.Source, names[ev.Source], ev.Err)
+						return
+					}
+					fmt.Fprintf(os.Stderr, "fingerprintd: source %d (%s) down (%v), retrying in %v\n",
+						ev.Source, names[ev.Source], ev.Err, ev.Retry.Round(time.Millisecond))
+				case dot11fp.SourceUp:
+					fmt.Fprintf(os.Stderr, "fingerprintd: source %d (%s) reopened (attempt %d)\n",
+						ev.Source, names[ev.Source], ev.Attempts)
+				}
+			},
 		}
-	}()
-	stream := dot11fp.NewMultiStream(mode, *rebase, sources...)
+	}
+	stream := dot11fp.NewMultiStreamOpts(
+		dot11fp.MultiOptions{Mode: mode, Rebase: *rebase, Supervisor: sup}, sources...)
 	defer stream.Close()
 
 	// Graceful drain, armed before training so a signal at any phase is
@@ -192,6 +255,19 @@ func main() {
 		Limits:       dot11fp.SenderLimits{MaxSenders: *maxSenders, IdleEvict: *idleEvict},
 		Sink:         dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose)),
 		Trainer:      trainer,
+		Watchdog:     5 * time.Second,
+		HealthSink: dot11fp.SinkFunc(func(ev dot11fp.Event) {
+			switch ev := ev.(type) {
+			case dot11fp.ComponentPanicked:
+				fmt.Fprintf(os.Stderr, "fingerprintd: recovered %s panic (shard %d): %s\n",
+					ev.Component, ev.Shard, ev.Err)
+			case dot11fp.ShardStalled:
+				fmt.Fprintf(os.Stderr, "fingerprintd: shard %d stalled for %v (%d batches queued)\n",
+					ev.Shard, ev.For, ev.Queued)
+			case dot11fp.ShardResumed:
+				fmt.Fprintf(os.Stderr, "fingerprintd: shard %d resumed\n", ev.Shard)
+			}
+		}),
 	}
 	var eng *dot11fp.ShardedEngine
 	if fused {
@@ -203,16 +279,25 @@ func main() {
 		fatal(err)
 	}
 
-	// checkpoint writes the current references to -save: the trainer's
-	// live copy when enrolling, the static set otherwise. The write is
-	// atomic (temp + rename), so a SIGHUP checkpoint racing the final
-	// one can never leave a torn file. Fused references land in the
-	// ensemble container; single-parameter ones keep the codec the
-	// extension selects.
-	checkpoint := func(reason string) {
+	// saveCheckpoint writes the current references to -save: the
+	// trainer's live copy when enrolling, the static set otherwise. The
+	// write is generation-chained (temp + fsync + verify + rotate +
+	// rename) with bounded retry, so a SIGHUP checkpoint racing the
+	// final one can never leave a torn file, a transient write failure
+	// costs a delay instead of the checkpoint, and the previous good
+	// generation survives at <path>.1 until the new one is verified on
+	// disk. A failed save is logged and counted — never fatal — and the
+	// next trigger (SIGHUP, -checkpoint-every tick, shutdown) tries
+	// again. Fused references land in the ensemble container;
+	// single-parameter ones keep the codec the extension selects.
+	var ckptMu sync.Mutex
+	var ckptFailures atomic.Uint64
+	saveCheckpoint := func(reason string) {
 		if *savePath == "" {
 			return
 		}
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
 		snap := refs
 		if trainer != nil {
 			snap = cmdutil.References{DB: trainer.Database(), Ens: trainer.Ensemble()}
@@ -221,8 +306,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fingerprintd: %s: no references to checkpoint yet\n", reason)
 			return
 		}
-		if err := cmdutil.SaveReferencesFile(*savePath, snap); err != nil {
-			fmt.Fprintf(os.Stderr, "fingerprintd: %s checkpoint failed: %v\n", reason, err)
+		if err := cmdutil.SaveReferencesCheckpoint(*savePath, snap, checkpoint.Options{}); err != nil {
+			ckptFailures.Add(1)
+			fmt.Fprintf(os.Stderr, "fingerprintd: %s checkpoint failed (previous generation intact, will retry at next trigger): %v\n",
+				reason, err)
 			return
 		}
 		fmt.Fprintf(os.Stderr, "fingerprintd: %s: checkpointed %d references to %s\n",
@@ -230,7 +317,7 @@ func main() {
 	}
 	go func() {
 		for range hup {
-			checkpoint("SIGHUP")
+			saveCheckpoint("SIGHUP")
 		}
 	}()
 
@@ -246,6 +333,21 @@ func main() {
 					if trainer != nil {
 						cmdutil.TrainerLine(os.Stderr, "fingerprintd", trainer.Stats())
 					}
+					cmdutil.HealthLine(os.Stderr, "fingerprintd", eng.Health(), stream.SourceStats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	if *checkpointEvery > 0 && *savePath != "" {
+		go func() {
+			tick := time.NewTicker(*checkpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					saveCheckpoint("periodic")
 				case <-stop:
 					return
 				}
@@ -275,7 +377,23 @@ func main() {
 	if trainer != nil {
 		cmdutil.TrainerLine(os.Stderr, "fingerprintd", trainer.Stats())
 	}
-	checkpoint("shutdown")
+	cmdutil.HealthLine(os.Stderr, "fingerprintd", eng.Health(), stream.SourceStats())
+	saveCheckpoint("shutdown")
+
+	// Degraded-mode exit: the run completed, but only because
+	// supervision absorbed faults — recovered panics, a permanently
+	// down source, or failed checkpoint saves. Exit 3 so orchestrators
+	// can tell this run from a clean one (1 stays "fatal error").
+	degraded := eng.Health().Panics() > 0 || ckptFailures.Load() > 0
+	for _, s := range stream.SourceStats() {
+		if s.Permanent {
+			degraded = true
+		}
+	}
+	if degraded {
+		fmt.Fprintln(os.Stderr, "fingerprintd: run degraded by recovered faults, exiting 3")
+		os.Exit(3)
+	}
 }
 
 // offsetStamp renders a window bound as its offset into the merged

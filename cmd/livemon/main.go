@@ -88,6 +88,7 @@ func main() {
 		Push(*dot11fp.Record)
 		Close()
 		Stats() dot11fp.EngineStats
+		Health() dot11fp.EngineHealth
 	}
 	// Windows are stamped with the capture's wall clock.
 	clock := func(us int64) string {
@@ -129,6 +130,7 @@ func main() {
 				select {
 				case <-tick.C:
 					cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
+					cmdutil.HealthLine(os.Stderr, "livemon", eng.Health(), nil)
 					if trainer != nil {
 						cmdutil.TrainerLine(os.Stderr, "livemon", trainer.Stats())
 					}
@@ -155,6 +157,7 @@ func main() {
 	eng.Close()
 	close(stop)
 	cmdutil.StatsLine(os.Stderr, "livemon", eng.Stats())
+	cmdutil.HealthLine(os.Stderr, "livemon", eng.Health(), nil)
 	if trainer != nil {
 		cmdutil.TrainerLine(os.Stderr, "livemon", trainer.Stats())
 	}

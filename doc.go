@@ -162,9 +162,10 @@
 // ingestion; corrupt or truncated checkpoints surface as typed errors
 // (ErrBinaryDatabase, ErrBinaryVersion; fuzzed). cmd/fingerprintd
 // wires the whole loop: -enroll / -enroll-windows turn on live
-// enrollment (cold start with -ref 0), -save checkpoints atomically
-// (temp file + rename) on SIGHUP and at shutdown, and -db restores
-// either codec; cmd/livemon takes -enroll for single-feed monitoring.
+// enrollment (cold start with -ref 0), -save checkpoints on SIGHUP,
+// periodically (-checkpoint-every) and at shutdown — generation-chained
+// writes, see Fault tolerance — and -db restores either codec;
+// cmd/livemon takes -enroll for single-feed monitoring.
 //
 // Multiple monitors feed one engine through capture.MultiStream
 // (NewMultiStream): each source decodes on its own goroutine and the
@@ -172,6 +173,58 @@
 // captures) or by arrival (live FIFOs). cmd/fingerprintd packages the
 // whole stack as a daemon — multi-source ingest, sharded engine,
 // periodic stats, graceful drain on SIGINT/SIGTERM.
+//
+// # Fault tolerance
+//
+// A passive monitor's failure modes are mundane and constant: radios
+// unplug, drivers wedge, tcpdump writers hang up mid-record, disks
+// fill during a checkpoint. The pipeline treats each as a degradation,
+// never a termination.
+//
+// Ingest: NewMultiStreamOpts takes a Supervisor that puts every source
+// under per-source supervision. A source error (or, per ReopenOnEOF, a
+// FIFO's writer hang-up) triggers the Reopen factory with exponential
+// backoff and seeded jitter, up to MaxAttempts before the source is
+// declared permanently down; a decode-error storm trips a per-source
+// circuit breaker (BreakerWindow/BreakerRate) and degrades the source
+// through the same path instead of spinning on garbage. A supervised
+// reopen under MergeByTime rebases the new generation onto the merged
+// clock, so timestamps stay monotonic across restarts. Throughout, a
+// failing source only thins the merge: healthy sources keep streaming,
+// and the dead lane's retirement is visible as SourceDown/SourceUp
+// events (Supervisor.Notify) and per-source SourceStats counters
+// (records, decode errors, failures, reopens, state).
+//
+// Compute: both engines recover panics in shard, merger, and sink code
+// — a poisoned frame costs its own batch, not the process, with the
+// recovery surfaced as a ComponentPanicked event on
+// ShardedOptions.HealthSink and counted in Engine/Sharded Health()
+// snapshots. ShardedOptions.Watchdog arms a stall detector that emits
+// ShardStalled/ShardResumed as shards stop and resume draining.
+// Supervision lives entirely off the per-frame path: the fault-free
+// hot loops stay allocation-free and lock-free
+// (TestShardedPushZeroAllocs is unchanged by all of this).
+//
+// Checkpoints: reference saves are generation-chained — the previous
+// good checkpoint (path, path.1, …) is kept until the new file is
+// fully written, fsynced, and header-verified, so a crash, ENOSPC, or
+// torn write anywhere in the sequence leaves a loadable chain. Loads
+// fall back generation by generation. cmd/fingerprintd wires the whole
+// posture: -source-retry supervises its inputs, -checkpoint-every adds
+// periodic saves with bounded retry to the SIGHUP/shutdown triggers, a
+// failed save logs and keeps the previous generation, -stats lines
+// include engine health and per-source state, and a run that survived
+// faults (recovered panics, permanently-down sources, failed saves)
+// exits 3 — degraded — instead of 0.
+//
+// All of it is testable on demand: internal/faultinject provides the
+// seeded, schedule-driven fault wrappers (erroring/stalling/corrupting
+// sources, ENOSPC/torn-write/crash filesystems, shard panic hooks) the
+// chaos soak uses to replay exact failure sequences; the soak pins the
+// end-to-end guarantee that senders on healthy sources produce
+// bit-identical verdicts under fault injection (TestChaosSoakDeterminism)
+// and that every checkpoint chain stays loadable after every failed
+// save (TestChaosSoakCheckpoints).
 //
 // # Multi-parameter fusion
 //

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"dot11fp/internal/dot11"
@@ -315,6 +316,7 @@ type StreamReader struct {
 	base      time.Time
 	channel   int
 	encrypted bool
+	skipped   atomic.Uint64
 }
 
 // NewStreamReader parses the pcap file header and returns a reader
@@ -354,6 +356,7 @@ func (s *StreamReader) Next() (Record, error) {
 		if s.isPrism {
 			ph, hn, err := prism.Decode(p.Data)
 			if err != nil {
+				s.skipped.Add(1)
 				continue
 			}
 			n = hn
@@ -367,6 +370,7 @@ func (s *StreamReader) Next() (Record, error) {
 		} else {
 			rt, hn, err := radiotap.Decode(p.Data)
 			if err != nil {
+				s.skipped.Add(1)
 				continue
 			}
 			n = hn
@@ -380,6 +384,7 @@ func (s *StreamReader) Next() (Record, error) {
 		}
 		frame, err := dot11.Decode(p.Data[n:], false)
 		if err != nil {
+			s.skipped.Add(1)
 			continue
 		}
 		if s.first {
@@ -428,6 +433,12 @@ func (s *StreamReader) Channel() int { return s.channel }
 // Encrypted reports whether any record decoded so far had the
 // protected bit set.
 func (s *StreamReader) Encrypted() bool { return s.encrypted }
+
+// Skipped reports how many records were consumed as decode failures
+// (capture metadata or 802.11 header that did not parse) — the
+// skip-and-count counter MultiStream's per-source circuit breaker and
+// stats read. Safe from any goroutine.
+func (s *StreamReader) Skipped() uint64 { return s.skipped.Load() }
 
 // captureMeta is the link-type-independent view of capture metadata.
 type captureMeta struct {

@@ -1,0 +1,68 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"dot11fp/internal/pcap"
+)
+
+// FuzzStreamReader feeds arbitrary bytes to the full capture input
+// stack — pcap framing, then radiotap or Prism metadata, then the
+// 802.11 header — which is exactly what a live `tcpdump -w -` pipe can
+// deliver after a driver glitch. Every input must stream, skip, or
+// error; never panic. The record/skip totals are bounded by the input
+// size, since every parsed packet costs at least a 16-byte record
+// header.
+func FuzzStreamReader(f *testing.F) {
+	tr := sampleTrace()
+	var rt bytes.Buffer
+	if err := WritePcap(&rt, tr); err != nil {
+		f.Fatal(err)
+	}
+	enc := rt.Bytes()
+	f.Add(enc)
+	var avs bytes.Buffer
+	if err := WritePcapLinkType(&avs, tr, pcap.LinkTypePrism); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(avs.Bytes())
+	// Truncations at the header, mid stream, and one byte short.
+	f.Add(enc[:24])
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[:len(enc)-1])
+	// A corrupted radiotap/802.11 region mid stream.
+	bad := append([]byte(nil), enc...)
+	for i := 44; i < 52 && i < len(bad); i++ {
+		bad[i] ^= 0xFF
+	}
+	f.Add(bad)
+	// An unsupported link type in an otherwise valid file.
+	wrongLink := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(wrongLink[20:24], pcap.LinkTypeIEEE80211)
+	f.Add(wrongLink)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var n uint64
+		for {
+			rec, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // corrupt tail surfaces as an error, not a panic
+			}
+			_ = rec
+			n++
+		}
+		if total := n + sr.Skipped(); total > uint64(len(raw))/16+1 {
+			t.Fatalf("%d records+skips out of %d input bytes", total, len(raw))
+		}
+	})
+}

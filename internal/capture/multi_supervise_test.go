@@ -1,0 +1,388 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/pcap"
+)
+
+// scriptSource yields a fixed record slice, then a terminal error
+// (io.EOF when Err is nil).
+type scriptSource struct {
+	recs []Record
+	err  error
+	i    int
+}
+
+func (s *scriptSource) Next() (Record, error) {
+	if s.i < len(s.recs) {
+		r := s.recs[s.i]
+		s.i++
+		return r, nil
+	}
+	if s.err != nil {
+		return Record{}, s.err
+	}
+	return Record{}, io.EOF
+}
+
+// stallSource blocks every Next until closed — a FIFO with a wedged
+// writer.
+type stallSource struct {
+	unblock chan struct{}
+	closed  atomic.Bool
+}
+
+func newStallSource() *stallSource { return &stallSource{unblock: make(chan struct{})} }
+
+func (s *stallSource) Next() (Record, error) {
+	<-s.unblock
+	return Record{}, io.EOF
+}
+
+func (s *stallSource) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.unblock)
+	}
+	return nil
+}
+
+func seqRecords(epoch int64, n int, sender uint64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			T: epoch + int64(i)*1000, Sender: dot11.LocalAddr(sender),
+			Class: dot11.ClassData, Size: 300, RateMbps: 24, FCSOK: true,
+		}
+	}
+	return recs
+}
+
+// TestMultiStreamCloseStalledSource is the regression test for the
+// shutdown deadlock: Close while the consumer is blocked in Next on a
+// stalled source must unblock both the consumer and the pump (via the
+// source's Closer) — no deadlock, no leaked goroutine.
+func TestMultiStreamCloseStalledSource(t *testing.T) {
+	stalled := newStallSource()
+	ms := NewMultiStream(MergeByTime, false,
+		stalled,
+		&scriptSource{recs: seqRecords(0, 3, 1)},
+	)
+	// The by-time merge blocks on the stalled head before yielding
+	// anything; the consumer goroutine drains whatever Close releases
+	// and reports the terminal error.
+	got := make(chan error, 1)
+	go func() {
+		for {
+			_, err := ms.Next()
+			if err != nil {
+				got <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Next returned %v while a source was stalled", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	ms.Close()
+	select {
+	case err := <-got:
+		if err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after Close: shutdown deadlock")
+	}
+	if !stalled.closed.Load() {
+		t.Fatal("Close did not close the stalled source, leaking its pump goroutine")
+	}
+}
+
+// TestMultiStreamSourceErrorMidStream pins degraded-mode semantics
+// without supervision: a source erroring mid-stream retires, its error
+// lands in Err, and the other source's records still all arrive.
+func TestMultiStreamSourceErrorMidStream(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("monitor interface vanished")
+	ms := NewMultiStream(MergeByTime, false,
+		&scriptSource{recs: seqRecords(0, 5, 1), err: boom},
+		&scriptSource{recs: seqRecords(500, 20, 2)},
+	)
+	defer ms.Close()
+	var n, fromHealthy int
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if rec.Sender == dot11.LocalAddr(2) {
+			fromHealthy++
+		}
+	}
+	if fromHealthy != 20 {
+		t.Fatalf("healthy source delivered %d of 20 records", fromHealthy)
+	}
+	if n != 25 {
+		t.Fatalf("merged %d records, want 25", n)
+	}
+	if err := ms.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want the source failure", err)
+	}
+}
+
+// TestMultiStreamTruncatedFinalRecord runs a truncated pcap through
+// the merge: complete records from both sources arrive, the
+// truncation surfaces via Err as pcap.ErrTruncated, and the merge
+// still ends in a clean io.EOF.
+func TestMultiStreamTruncatedFinalRecord(t *testing.T) {
+	t.Parallel()
+	tr := &Trace{Base: time.Unix(1700000000, 0).UTC(), Channel: 6}
+	tr.Records = seqRecords(0, 20, 1)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	truncated, err := NewStreamReader(bytes.NewReader(raw[:len(raw)-7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMultiStream(MergeByTime, false,
+		truncated,
+		&scriptSource{recs: seqRecords(500, 10, 2)},
+	)
+	defer ms.Close()
+	n := 0
+	for {
+		_, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 19+10 {
+		t.Fatalf("merged %d records, want 29 (19 complete + 10 healthy)", n)
+	}
+	if err := ms.Err(); !errors.Is(err, pcap.ErrTruncated) {
+		t.Fatalf("Err = %v, want pcap.ErrTruncated", err)
+	}
+}
+
+// restartSource builds generations of a source that dies after its
+// records run out; Reopen hands out the next generation.
+type restartSource struct {
+	mu   sync.Mutex
+	gens [][]Record
+	errs []error
+	next int
+}
+
+func (r *restartSource) reopen(int) (RecordSource, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next >= len(r.gens) {
+		return nil, fmt.Errorf("no more generations")
+	}
+	g := &scriptSource{recs: r.gens[r.next], err: r.errs[r.next]}
+	r.next++
+	return g, nil
+}
+
+// TestMultiStreamSupervisedReopen pins the supervision happy path: a
+// source that dies mid-stream is reopened and every record of every
+// generation arrives exactly once, with SourceDown/SourceUp events and
+// counters telling the story. With Rebase, the reopened generation —
+// a fresh epoch — splices onto the stream at the last delivered
+// timestamp + 1 µs, staying monotonic across the restart.
+func TestMultiStreamSupervisedReopen(t *testing.T) {
+	t.Parallel()
+	rs := &restartSource{
+		// Generation 2 starts at a wildly different epoch, as a restarted
+		// capture process would.
+		gens: [][]Record{seqRecords(7_000_000_000, 10, 1)},
+		errs: []error{nil},
+	}
+	var mu sync.Mutex
+	var events []SourceEvent
+	sup := Supervisor{
+		Reopen:  rs.reopen,
+		Backoff: time.Millisecond,
+		Notify: func(ev SourceEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	first := &scriptSource{recs: seqRecords(0, 10, 1), err: errors.New("capture died")}
+	ms := NewMultiStreamOpts(MultiOptions{Mode: MergeByTime, Rebase: true, Supervisor: sup}, RecordSource(first))
+	defer ms.Close()
+
+	var ts []int64
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, rec.T)
+	}
+	// Generation 2 ends in a clean io.EOF; with ReopenOnEOF unset the
+	// source retires normally and the merge ends.
+	if len(ts) != 20 {
+		t.Fatalf("delivered %d records across the restart, want 20", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("timestamps not monotonic across restart: %d then %d", ts[i-1], ts[i])
+		}
+	}
+	if ts[10] != ts[9]+1 {
+		t.Fatalf("reopened generation spliced at %d, want lastT+1 = %d", ts[10], ts[9]+1)
+	}
+
+	stats := ms.SourceStats()[0]
+	if stats.Records != 20 || stats.Reopens != 1 {
+		t.Fatalf("stats = %+v, want 20 records, 1 reopen", stats)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var downs, ups int
+	for _, ev := range events {
+		switch ev := ev.(type) {
+		case SourceDown:
+			downs++
+			if ev.Source != 0 {
+				t.Fatalf("SourceDown for source %d, want 0", ev.Source)
+			}
+		case SourceUp:
+			ups++
+			if ev.Attempts < 1 {
+				t.Fatalf("SourceUp with %d attempts", ev.Attempts)
+			}
+		}
+	}
+	if downs == 0 || ups != 1 {
+		t.Fatalf("saw %d SourceDown and %d SourceUp events, want ≥1 and exactly 1", downs, ups)
+	}
+}
+
+// TestMultiStreamPermanentDown pins give-up semantics: a source whose
+// reopens keep failing is retired with a Permanent SourceDown after
+// MaxAttempts, its terminal error lands in Err, and the healthy
+// source is never disturbed.
+func TestMultiStreamPermanentDown(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("interface gone for good")
+	var permanents atomic.Int32
+	sup := Supervisor{
+		Reopen:      func(int) (RecordSource, error) { return nil, boom },
+		MaxAttempts: 2,
+		Backoff:     time.Millisecond,
+		Notify: func(ev SourceEvent) {
+			if d, ok := ev.(SourceDown); ok && d.Permanent {
+				permanents.Add(1)
+			}
+		},
+	}
+	ms := NewMultiStreamOpts(MultiOptions{Mode: MergeByTime, Supervisor: sup},
+		&scriptSource{recs: seqRecords(0, 3, 1), err: boom},
+		&scriptSource{recs: seqRecords(500, 30, 2)},
+	)
+	defer ms.Close()
+	var healthy int
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Sender == dot11.LocalAddr(2) {
+			healthy++
+		}
+	}
+	if healthy != 30 {
+		t.Fatalf("healthy source delivered %d of 30 records alongside a permanently down peer", healthy)
+	}
+	if err := ms.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want the terminal failure", err)
+	}
+	if permanents.Load() != 1 {
+		t.Fatalf("saw %d permanent SourceDown events, want 1", permanents.Load())
+	}
+	stats := ms.SourceStats()
+	if !stats[0].Permanent || !stats[0].Down {
+		t.Fatalf("source 0 stats = %+v, want Down and Permanent", stats[0])
+	}
+	if stats[1].Permanent || stats[1].Failures != 0 {
+		t.Fatalf("healthy source stats = %+v, want clean", stats[1])
+	}
+}
+
+// skippySource reports a decode skip on every read — a monitor feeding
+// 50% garbage.
+type skippySource struct {
+	t       int64
+	skipped atomic.Uint64
+}
+
+func (s *skippySource) Next() (Record, error) {
+	s.t += 1000
+	s.skipped.Add(1)
+	return Record{T: s.t, Sender: dot11.LocalAddr(1), Class: dot11.ClassData,
+		Size: 300, RateMbps: 24, FCSOK: true}, nil
+}
+
+func (s *skippySource) Skipped() uint64 { return s.skipped.Load() }
+
+// TestMultiStreamBreakerTrips pins the circuit breaker: a source whose
+// decode-error rate crosses the threshold is failed with
+// ErrBreakerTripped instead of spinning on garbage forever.
+func TestMultiStreamBreakerTrips(t *testing.T) {
+	t.Parallel()
+	sup := Supervisor{BreakerWindow: 10}
+	ms := NewMultiStreamOpts(MultiOptions{Mode: MergeByTime, Supervisor: sup},
+		&skippySource{})
+	defer ms.Close()
+	n := 0
+	for {
+		_, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 1000 {
+			t.Fatal("breaker never tripped")
+		}
+	}
+	if err := ms.Err(); !errors.Is(err, ErrBreakerTripped) {
+		t.Fatalf("Err = %v, want ErrBreakerTripped", err)
+	}
+	stats := ms.SourceStats()[0]
+	if stats.DecodeErrors == 0 {
+		t.Fatalf("stats = %+v, want decode errors counted", stats)
+	}
+}

@@ -1,0 +1,283 @@
+// Package checkpoint implements generation-chained atomic file
+// checkpoints: the durability layer under fingerprintd's reference
+// saves (and anything else that must survive crashes, full disks and
+// torn writes).
+//
+// A checkpoint path names a chain of generations: the current file at
+// path, the previous good one at path.1, an older one at path.2, and
+// so on up to Options.Generations. Save never touches the last good
+// generation until the replacement is fully on disk — written to a
+// temp file, fsync'd, re-opened and verified — and only then rotates
+// the chain and renames the new file into place. A crash, an ENOSPC,
+// a partial write or a failure between the rotation renames therefore
+// always leaves at least one loadable generation, and Load walks the
+// chain newest-first until one loads.
+//
+// Every filesystem touch goes through the FS interface so fault
+// injection (internal/faultinject) can exercise each failure point
+// deterministically; OS is the real filesystem.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// File is the writable half of FS: what Save needs from a temp file.
+// *os.File implements it.
+type File interface {
+	io.Writer
+	Name() string
+	Chmod(os.FileMode) error
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the checkpoint path, so a
+// fault injector can fail any of them on schedule. All methods have
+// the semantics of their os counterparts.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Stat(name string) (os.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, persisting renames within it.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Open(name string) (io.ReadCloser, error)      { return os.Open(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// OS is the real filesystem, the default for a zero Options.
+var OS FS = osFS{}
+
+// Options parameterises Save, SaveRetry and Load. The zero value is
+// ready to use: real filesystem, one previous generation, three save
+// attempts 100 ms apart (doubling).
+type Options struct {
+	// FS is the filesystem; nil selects OS.
+	FS FS
+	// Generations is the number of previous generations kept next to
+	// the current file (path.1 … path.N). 0 selects 1; negative keeps
+	// none (plain atomic replace, no fallback).
+	Generations int
+	// Retries is the number of extra attempts SaveRetry makes after a
+	// failed save. 0 selects 2 (three attempts total); negative
+	// disables retrying.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt up to MaxBackoff. 0 selects 100 ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. 0 selects 5 s.
+	MaxBackoff time.Duration
+	// Sleep is the retry delay function, for tests; nil selects
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o Options) fs() FS {
+	if o.FS == nil {
+		return OS
+	}
+	return o.FS
+}
+
+func (o Options) generations() int {
+	switch {
+	case o.Generations == 0:
+		return 1
+	case o.Generations < 0:
+		return 0
+	}
+	return o.Generations
+}
+
+func (o Options) retries() int {
+	switch {
+	case o.Retries == 0:
+		return 2
+	case o.Retries < 0:
+		return 0
+	}
+	return o.Retries
+}
+
+func (o Options) backoff() time.Duration {
+	if o.Backoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Backoff
+}
+
+func (o Options) maxBackoff() time.Duration {
+	if o.MaxBackoff <= 0 {
+		return 5 * time.Second
+	}
+	return o.MaxBackoff
+}
+
+func (o Options) sleep(d time.Duration) {
+	if o.Sleep != nil {
+		o.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// GenPath returns the path of generation gen in path's chain:
+// generation 0 is path itself, generation g > 0 is path.g (the g-th
+// previous good checkpoint).
+func GenPath(path string, gen int) string {
+	if gen <= 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, gen)
+}
+
+// Save writes one checkpoint generation: write streams the content
+// into a temp file in path's directory, the file is fsync'd, re-opened
+// and passed to verify (nil skips verification), and only then is the
+// generation chain rotated (path → path.1 → …) and the temp file
+// renamed over path. On any failure the chain is left as it was — the
+// last good generation survives everything up to and including a
+// failure between the two renames (Load finds it at path.1).
+func Save(path string, opts Options, write func(io.Writer) error, verify func(io.Reader) error) error {
+	fs := opts.fs()
+	dir := filepath.Dir(path)
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { fs.Remove(tmpName) }
+	// CreateTemp's 0600 mode would survive the rename and lock other
+	// operators out of a previously readable checkpoint. An existing
+	// checkpoint keeps its permissions — an operator may have tightened
+	// them deliberately — and a fresh one gets ordinary database-file
+	// permissions.
+	mode := os.FileMode(0o644)
+	if info, statErr := fs.Stat(path); statErr == nil {
+		mode = info.Mode().Perm()
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	err = write(tmp)
+	if err == nil {
+		// Flush the data to stable storage before committing any name:
+		// a rename alone orders nothing, and a crash right after it
+		// could surface the new name over empty blocks.
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: %s: writing: %w", path, err)
+	}
+	if verify != nil {
+		r, err := fs.Open(tmpName)
+		if err == nil {
+			err = verify(r)
+			if cerr := r.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("checkpoint: %s: verifying: %w", path, err)
+		}
+	}
+	// The new generation is durable and verified: rotate the chain.
+	// Renames of missing generations are fine (a fresh chain), and a
+	// failure anywhere below leaves the last good file at path or
+	// path.1 — never gone.
+	gens := opts.generations()
+	for g := gens; g >= 1; g-- {
+		if err := fs.Rename(GenPath(path, g-1), GenPath(path, g)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			cleanup()
+			return fmt.Errorf("checkpoint: %s: rotating generation %d: %w", path, g, err)
+		}
+	}
+	if err := fs.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: %s: committing: %w", path, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: %s: syncing directory: %w", path, err)
+	}
+	return nil
+}
+
+// SaveRetry is Save with bounded retry and doubling backoff on
+// failure — the periodic-checkpoint entry point, where a transient
+// write failure (full disk being cleaned, NFS hiccup) should cost a
+// delay, not the checkpoint.
+func SaveRetry(path string, opts Options, write func(io.Writer) error, verify func(io.Reader) error) error {
+	backoff := opts.backoff()
+	var errs []error
+	for attempt := 0; ; attempt++ {
+		err := Save(path, opts, write, verify)
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, err)
+		if attempt >= opts.retries() {
+			return errors.Join(errs...)
+		}
+		opts.sleep(backoff)
+		if backoff *= 2; backoff > opts.maxBackoff() {
+			backoff = opts.maxBackoff()
+		}
+	}
+}
+
+// Load opens the newest loadable generation in path's chain: path
+// first, then path.1 and so on up to Options.Generations. load is
+// called once per candidate; any error (missing file, corrupt bytes)
+// moves on to the next generation. It returns the generation that
+// loaded (0 = current) or, when every generation fails, the joined
+// per-generation errors.
+func Load(path string, opts Options, load func(r io.Reader) error) (gen int, err error) {
+	fs := opts.fs()
+	var errs []error
+	for g := 0; g <= opts.generations(); g++ {
+		p := GenPath(path, g)
+		r, err := fs.Open(p)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		lerr := load(r)
+		if cerr := r.Close(); lerr == nil {
+			lerr = cerr
+		}
+		if lerr == nil {
+			return g, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", p, lerr))
+	}
+	return 0, errors.Join(errs...)
+}

@@ -1,0 +1,281 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dot11fp/internal/checkpoint"
+	"dot11fp/internal/faultinject"
+)
+
+// writeString returns a write func emitting s.
+func writeString(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+// readAll loads a file's content or fails the test.
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// loadString is a load func capturing the stream into dst.
+func loadString(dst *string) func(io.Reader) error {
+	return func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		*dst = string(b)
+		return nil
+	}
+}
+
+func TestSaveLoadChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	opts := checkpoint.Options{Generations: 2}
+
+	for i, content := range []string{"gen-a", "gen-b", "gen-c", "gen-d"} {
+		if err := checkpoint.Save(path, opts, writeString(content), nil); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	if got := readAll(t, path); got != "gen-d" {
+		t.Fatalf("current generation = %q, want gen-d", got)
+	}
+	if got := readAll(t, checkpoint.GenPath(path, 1)); got != "gen-c" {
+		t.Fatalf("generation 1 = %q, want gen-c", got)
+	}
+	if got := readAll(t, checkpoint.GenPath(path, 2)); got != "gen-b" {
+		t.Fatalf("generation 2 = %q, want gen-b", got)
+	}
+	if _, err := os.Stat(checkpoint.GenPath(path, 3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("generation 3 should not exist, stat err = %v", err)
+	}
+
+	var got string
+	gen, err := checkpoint.Load(path, opts, loadString(&got))
+	if err != nil || gen != 0 || got != "gen-d" {
+		t.Fatalf("Load = gen %d, %q, %v; want 0, gen-d, nil", gen, got, err)
+	}
+
+	// Corrupt the current generation: Load falls back to generation 1.
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gen, err = checkpoint.Load(path, opts, func(r io.Reader) error {
+		b, rerr := io.ReadAll(r)
+		if rerr != nil {
+			return rerr
+		}
+		if string(b) == "torn" {
+			return fmt.Errorf("corrupt checkpoint")
+		}
+		got = string(b)
+		return nil
+	})
+	if err != nil || gen != 1 || got != "gen-c" {
+		t.Fatalf("fallback Load = gen %d, %q, %v; want 1, gen-c, nil", gen, got, err)
+	}
+}
+
+func TestSaveNoGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	opts := checkpoint.Options{Generations: -1}
+	for _, content := range []string{"one", "two"} {
+		if err := checkpoint.Save(path, opts, writeString(content), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := readAll(t, path); got != "two" {
+		t.Fatalf("current = %q, want two", got)
+	}
+	if _, err := os.Stat(checkpoint.GenPath(path, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("generation 1 should not exist with Generations < 0, stat err = %v", err)
+	}
+}
+
+func TestSavePreservesPermissions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	if err := os.WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.Save(path, checkpoint.Options{}, writeString("new"), nil); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o600 {
+		t.Fatalf("permissions = %v, want 0600 preserved from the previous checkpoint", got)
+	}
+}
+
+func TestSaveVerifyFailureLeavesChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	if err := checkpoint.Save(path, checkpoint.Options{}, writeString("good"), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := checkpoint.Save(path, checkpoint.Options{}, writeString("bad"),
+		func(io.Reader) error { return fmt.Errorf("header mismatch") })
+	if err == nil || !strings.Contains(err.Error(), "verifying") {
+		t.Fatalf("Save with failing verify = %v, want verifying error", err)
+	}
+	if got := readAll(t, path); got != "good" {
+		t.Fatalf("current generation = %q after failed verify, want good untouched", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after failed save, want only the checkpoint (temp cleaned up)", len(ents))
+	}
+}
+
+func TestSaveVerifyReadsWrittenBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	var seen string
+	err := checkpoint.Save(path, checkpoint.Options{}, writeString("payload"), loadString(&seen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != "payload" {
+		t.Fatalf("verify saw %q, want payload", seen)
+	}
+}
+
+// TestSaveCrashBeforeCommit kills the commit rename (rename #2: the
+// rotation rename is #1) the way a crash between the two renames
+// would: the old checkpoint has already moved to path.1, and Load must
+// find it there.
+func TestSaveCrashBeforeCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	if err := checkpoint.Save(path, checkpoint.Options{}, writeString("good"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultinject.NewFS(nil, faultinject.FSFaults{RenameErrAt: 2})
+	opts := checkpoint.Options{FS: ffs}
+	err := checkpoint.Save(path, opts, writeString("lost"), nil)
+	if !errors.Is(err, faultinject.ErrCrash) {
+		t.Fatalf("Save = %v, want ErrCrash", err)
+	}
+	if ffs.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", ffs.Injected())
+	}
+	var got string
+	gen, err := checkpoint.Load(path, checkpoint.Options{}, loadString(&got))
+	if err != nil || gen != 1 || got != "good" {
+		t.Fatalf("Load after crash = gen %d, %q, %v; want 1, good, nil", gen, got, err)
+	}
+}
+
+func TestSaveWriteFailureLeavesChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	if err := checkpoint.Save(path, checkpoint.Options{}, writeString("good"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		faults faultinject.FSFaults
+		want   error
+	}{
+		{"enospc-write", faultinject.FSFaults{WriteErrAt: 1}, syscall.ENOSPC},
+		{"partial-write", faultinject.FSFaults{PartialWriteAt: 1}, io.ErrShortWrite},
+		{"enospc-sync", faultinject.FSFaults{SyncErrAt: 1}, syscall.ENOSPC},
+		{"enospc-create", faultinject.FSFaults{CreateErrAt: 1}, syscall.ENOSPC},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ffs := faultinject.NewFS(nil, tc.faults)
+			err := checkpoint.Save(path, checkpoint.Options{FS: ffs}, writeString("lost"), nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Save = %v, want %v", err, tc.want)
+			}
+			if got := readAll(t, path); got != "good" {
+				t.Fatalf("current generation = %q after %s, want good untouched", got, tc.name)
+			}
+		})
+	}
+}
+
+func TestSaveRetryRecoversTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	// The first save dies at its data write; the second succeeds.
+	ffs := faultinject.NewFS(nil, faultinject.FSFaults{WriteErrAt: 1})
+	var slept []time.Duration
+	opts := checkpoint.Options{
+		FS:      ffs,
+		Retries: 2,
+		Backoff: time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := checkpoint.SaveRetry(path, opts, writeString("data"), nil); err != nil {
+		t.Fatalf("SaveRetry: %v", err)
+	}
+	if got := readAll(t, path); got != "data" {
+		t.Fatalf("content = %q, want data", got)
+	}
+	if len(slept) != 1 || slept[0] != time.Millisecond {
+		t.Fatalf("slept %v, want one 1ms backoff", slept)
+	}
+}
+
+func TestSaveRetryExhaustedJoinsErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	// Every attempt fails: the create of attempt 1 is killed by the
+	// schedule, and every later attempt by the writer itself.
+	ffs := faultinject.NewFS(nil, faultinject.FSFaults{CreateErrAt: 1})
+	opts := checkpoint.Options{
+		FS:      ffs,
+		Retries: 2,
+		Backoff: time.Microsecond,
+		Sleep:   func(time.Duration) {},
+	}
+	boom := errors.New("writer exploded")
+	err := checkpoint.SaveRetry(path, opts, func(io.Writer) error { return boom }, nil)
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, boom) {
+		t.Fatalf("joined error %v should carry both the ENOSPC create and the writer failure", err)
+	}
+	if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatalf("no checkpoint should exist after exhausted retries, stat err = %v", statErr)
+	}
+}
+
+func TestLoadAllGenerationsFailed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refs.db")
+	gen, err := checkpoint.Load(path, checkpoint.Options{}, func(io.Reader) error { return nil })
+	if err == nil {
+		t.Fatal("Load of a missing chain should fail")
+	}
+	if gen != 0 {
+		t.Fatalf("gen = %d on failure, want 0", gen)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("error %v should wrap os.ErrNotExist", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dot11fp"
+	"dot11fp/internal/checkpoint"
 )
 
 // ParseParams maps the -param flag — one short name or a comma list
@@ -310,20 +311,52 @@ func LoadDatabaseFile(path string) (*dot11fp.Database, error) {
 // sniffing the leading bytes: JSON documents open with '{' (possibly
 // after indentation a hand edit left behind), binary database
 // checkpoints with "D11FPDB", ensemble containers with "D11FPENS".
+//
+// The path names a checkpoint generation chain (see
+// internal/checkpoint): when the current file is missing or corrupt,
+// the previous good generation at path.1 loads instead, with a warning
+// on stderr — a crash mid-save or a torn disk never costs the daemon
+// its references. Use LoadReferencesChain to observe which generation
+// loaded.
 func LoadReferencesFile(path string) (References, error) {
-	f, err := os.Open(path)
+	refs, gen, err := LoadReferencesChain(path, checkpoint.Options{})
 	if err != nil {
 		return References{}, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+	if gen > 0 {
+		fmt.Fprintf(os.Stderr, "checkpoint: %s unreadable; recovered generation %d (%s)\n",
+			path, gen, checkpoint.GenPath(path, gen))
+	}
+	return refs, nil
+}
+
+// LoadReferencesChain is LoadReferencesFile with explicit checkpoint
+// options and the loaded generation (0 = the current file) reported —
+// the daemons' recovery-aware load.
+func LoadReferencesChain(path string, opts checkpoint.Options) (References, int, error) {
+	var refs References
+	gen, err := checkpoint.Load(path, opts, func(r io.Reader) error {
+		var lerr error
+		refs, lerr = loadReferencesReader(r)
+		return lerr
+	})
+	if err != nil {
+		return References{}, 0, err
+	}
+	return refs, gen, nil
+}
+
+// loadReferencesReader decodes one reference-set stream, sniffing the
+// codec from its leading bytes.
+func loadReferencesReader(r io.Reader) (References, error) {
+	br := bufio.NewReader(r)
 	for {
 		head, err := br.Peek(1)
 		switch {
 		case err == io.EOF:
-			return References{}, fmt.Errorf("%s: empty database file", path)
+			return References{}, fmt.Errorf("empty database file")
 		case err != nil:
-			return References{}, fmt.Errorf("%s: %w", path, err)
+			return References{}, err
 		case head[0] == ' ' || head[0] == '\t' || head[0] == '\n' || head[0] == '\r':
 			br.Discard(1) // neither binary magic starts with whitespace
 			continue
@@ -344,25 +377,49 @@ func LoadReferencesFile(path string) (References, error) {
 			}
 		}
 		if err != nil {
-			return References{}, fmt.Errorf("%s: %w", path, err)
+			return References{}, err
 		}
 		return refs, nil
 	}
 }
 
+// VerifyReferencesHeader checks that a stream opens like a loadable
+// reference checkpoint: a JSON document or one of the binary magics.
+// It is the checkpoint save path's verify step — cheap enough to run
+// on every save, strong enough to catch the failure it exists for (a
+// truncated or zero-filled file surfacing after a crash).
+func VerifyReferencesHeader(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for {
+		head, err := br.Peek(1)
+		switch {
+		case err != nil:
+			return fmt.Errorf("reference checkpoint header unreadable: %v", err)
+		case head[0] == ' ' || head[0] == '\t' || head[0] == '\n' || head[0] == '\r':
+			br.Discard(1)
+			continue
+		case head[0] == '{':
+			return nil
+		}
+		magic, err := br.Peek(8)
+		if err != nil {
+			return fmt.Errorf("reference checkpoint header unreadable: %v", err)
+		}
+		if string(magic) == "D11FPENS" || string(magic[:7]) == "D11FPDB" {
+			return nil
+		}
+		return fmt.Errorf("reference checkpoint header %q matches no codec", magic)
+	}
+}
+
 // SaveDatabaseFile checkpoints a database to disk atomically: the
 // bytes land in a temporary file in the target directory which is then
-// renamed over path, so a reader (or a crash) never observes a torn
-// checkpoint — hot-swap persistence. The codec follows the extension:
-// .json writes the interop JSON document, everything else the fast
-// binary format.
+// fsynced, header-verified by re-reading, and renamed over path, so a
+// reader (or a crash) never observes a torn checkpoint — hot-swap
+// persistence. The codec follows the extension: .json writes the
+// interop JSON document, everything else the fast binary format.
 func SaveDatabaseFile(path string, db *dot11fp.Database) error {
-	return saveAtomic(path, func(w io.Writer, asJSON bool) error {
-		if asJSON {
-			return db.Save(w)
-		}
-		return db.SaveBinary(w)
-	})
+	return SaveReferencesCheckpoint(path, References{DB: db}, checkpoint.Options{})
 }
 
 // SaveReferencesFile is SaveDatabaseFile for a resolved reference set:
@@ -371,16 +428,33 @@ func SaveDatabaseFile(path string, db *dot11fp.Database) error {
 // JSON interop form for fused references — a .json path is rejected up
 // front rather than silently writing binary bytes under a lying name).
 func SaveReferencesFile(path string, refs References) error {
-	if refs.Ens != nil {
+	return SaveReferencesCheckpoint(path, refs, checkpoint.Options{})
+}
+
+// SaveReferencesCheckpoint is SaveReferencesFile with explicit
+// checkpoint options — the daemons use it to keep a generation chain
+// (Options.Generations) and to retry transient write failures with
+// backoff (Options.Retries) instead of losing a SIGHUP save to one
+// full disk. The written file is verified by re-reading its header
+// before the previous generation is disturbed.
+func SaveReferencesCheckpoint(path string, refs References, opts checkpoint.Options) error {
+	var write func(w io.Writer) error
+	switch {
+	case refs.Ens != nil:
 		if err := CheckEnsembleSave(path); err != nil {
 			return err
 		}
-		return saveAtomic(path, func(w io.Writer, _ bool) error { return refs.Ens.SaveBinary(w) })
-	}
-	if refs.DB == nil {
+		write = refs.Ens.SaveBinary
+	case refs.DB != nil:
+		if strings.EqualFold(filepath.Ext(path), ".json") {
+			write = refs.DB.Save
+		} else {
+			write = refs.DB.SaveBinary
+		}
+	default:
 		return fmt.Errorf("no references to checkpoint")
 	}
-	return SaveDatabaseFile(path, refs.DB)
+	return checkpoint.SaveRetry(path, opts, write, VerifyReferencesHeader)
 }
 
 // CheckEnsembleSave rejects a checkpoint path that cannot hold fused
@@ -393,55 +467,6 @@ func CheckEnsembleSave(path string) error {
 		return fmt.Errorf("multi-parameter references checkpoint in the binary container; use a non-.json path for %s", path)
 	}
 	return nil
-}
-
-// saveAtomic runs the temp-file + fsync + rename checkpoint dance
-// around write, which receives whether the extension selected JSON.
-func saveAtomic(path string, write func(w io.Writer, asJSON bool) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	// CreateTemp's 0600 mode would survive the rename and lock other
-	// operators out of a previously readable checkpoint. An existing
-	// checkpoint keeps its permissions — an operator may have tightened
-	// them deliberately — and a fresh one gets ordinary database-file
-	// permissions.
-	mode := os.FileMode(0o644)
-	if info, statErr := os.Stat(path); statErr == nil {
-		mode = info.Mode().Perm()
-	}
-	if err := tmp.Chmod(mode); err != nil {
-		tmp.Close()
-		return err
-	}
-	err = write(tmp, strings.EqualFold(filepath.Ext(path), ".json"))
-	if err == nil {
-		// Flush the data to stable storage before committing the name: a
-		// rename alone orders nothing, and a crash right after it could
-		// surface the new name over empty blocks — the torn checkpoint
-		// this function promises never to leave.
-		err = tmp.Sync()
-	}
-	if err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	// Persist the rename itself: fsync the directory entry.
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // CheckSavePath fails fast when a checkpoint path is not writable — a
@@ -517,6 +542,45 @@ func StatsLine(w io.Writer, prefix string, st dot11fp.EngineStats) {
 		prefix, st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec, st.LiveSenders,
 		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown,
 		st.Dropped, st.Evicted, st.DroppedFrames)
+}
+
+// HealthLine prints one operator-readable supervision snapshot: engine
+// health (recovered panics, stalled shards) and per-source supervision
+// counters. It prints nothing when everything is clean and no source
+// has ever faulted — the common case stays quiet.
+func HealthLine(w io.Writer, prefix string, h dot11fp.EngineHealth, srcs []dot11fp.SourceStats) {
+	degraded := !h.Healthy()
+	for _, s := range srcs {
+		if s.Failures > 0 || s.Reopens > 0 || s.Down {
+			degraded = true
+		}
+	}
+	if !degraded {
+		return
+	}
+	fmt.Fprintf(w, "%s: health: %d recovered panics (%d shard, %d merger, %d trainer, %d engine)",
+		prefix, h.Panics(), h.ShardPanics, h.MergerPanics, h.TrainerPanics, h.EnginePanics)
+	if len(h.StalledShards) > 0 {
+		fmt.Fprintf(w, ", stalled shards %v", h.StalledShards)
+	}
+	if h.LastPanic != "" {
+		fmt.Fprintf(w, ", last panic: %s", h.LastPanic)
+	}
+	fmt.Fprintln(w)
+	for i, s := range srcs {
+		if s.Failures == 0 && s.Reopens == 0 && !s.Down {
+			continue
+		}
+		state := "up"
+		switch {
+		case s.Permanent:
+			state = "permanently down"
+		case s.Down:
+			state = "down, reopening"
+		}
+		fmt.Fprintf(w, "%s: source %d: %s, %d records, %d decode errors, %d failures, %d reopens\n",
+			prefix, i, state, s.Records, s.DecodeErrors, s.Failures, s.Reopens)
+	}
 }
 
 // TrainerLine prints one operator-readable enrollment snapshot. Denied

@@ -1,0 +1,370 @@
+package engine_test
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/checkpoint"
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/engine"
+	"dot11fp/internal/faultinject"
+)
+
+// chaosSeed makes every chaos schedule in this file replayable: a
+// failure reproduces by re-running with the logged seed.
+const chaosSeed = 20260807
+
+// cursorSource yields records from a shared position over a slice, so
+// a supervised reopen that wraps the same cursor resumes exactly where
+// the dead generation stopped — no record is lost or replayed across
+// restarts.
+type cursorSource struct {
+	mu   sync.Mutex
+	recs []capture.Record
+	i    int
+}
+
+func (c *cursorSource) Next() (capture.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.i >= len(c.recs) {
+		return capture.Record{}, io.EOF
+	}
+	r := c.recs[c.i]
+	c.i++
+	return r, nil
+}
+
+// verdictString renders a verdict event exactly — hex floats, so two
+// runs compare bit-identical, not merely close.
+func verdictString(ev engine.Event) (dot11.Addr, string, bool) {
+	switch ev := ev.(type) {
+	case engine.CandidateMatched:
+		return ev.Addr, fmt.Sprintf("w%d matched %v sim=%s obs=%d",
+			ev.Window, ev.Best.Addr, strconv.FormatFloat(ev.Best.Sim, 'x', -1, 64), ev.Observations()), true
+	case engine.UnknownDevice:
+		s := fmt.Sprintf("w%d unknown obs=%d", ev.Window, ev.Observations())
+		if ev.HasBest {
+			s += fmt.Sprintf(" best=%v sim=%s", ev.Best.Addr, strconv.FormatFloat(ev.Best.Sim, 'x', -1, 64))
+		}
+		return ev.Addr, s, true
+	}
+	return dot11.Addr{}, "", false
+}
+
+// verdictSink collects per-sender verdict strings.
+type verdictSink struct {
+	mu  sync.Mutex
+	per map[dot11.Addr][]string
+}
+
+func newVerdictSink() *verdictSink { return &verdictSink{per: map[dot11.Addr][]string{}} }
+
+func (v *verdictSink) HandleEvent(ev engine.Event) {
+	if addr, s, ok := verdictString(ev); ok {
+		v.mu.Lock()
+		v.per[addr] = append(v.per[addr], s)
+		v.mu.Unlock()
+	}
+}
+
+// chaosRecords builds each source's record stream: srcSenders[s] emit
+// round-robin on source s, phase-shifted so no two sources ever share
+// a timestamp (the by-time merge stays tie-free and deterministic).
+func chaosRecords(srcSenders [][]dot11.Addr, total time.Duration) [][]capture.Record {
+	const step = 400 // µs between records on one source
+	out := make([][]capture.Record, len(srcSenders))
+	for s, senders := range srcSenders {
+		n := int(total.Microseconds()) / step
+		recs := make([]capture.Record, n)
+		for i := range recs {
+			sender := senders[i%len(senders)]
+			recs[i] = capture.Record{
+				T: int64(i)*step + int64(s)*100 + 1, Sender: sender, Receiver: apX,
+				Class: dot11.ClassData, Size: 200 + 20*int(sender[5]), RateMbps: 24, FCSOK: true,
+			}
+		}
+		out[s] = recs
+	}
+	return out
+}
+
+// chaosDB trains one reference per sender on its deterministic size
+// signature, so verdicts carry real similarity scores.
+func chaosDB(t *testing.T, cfg core.Config, senders []dot11.Addr) *core.CompiledDB {
+	t.Helper()
+	tr := &capture.Trace{Base: time.Unix(1700000000, 0).UTC(), Channel: 6}
+	for i := 0; i < 2000; i++ {
+		sender := senders[i%len(senders)]
+		tr.Records = append(tr.Records, capture.Record{
+			T: int64(i) * 500, Sender: sender, Receiver: apX,
+			Class: dot11.ClassData, Size: 200 + 20*int(sender[5]), RateMbps: 24, FCSOK: true,
+		})
+	}
+	db := core.NewDatabase(cfg, core.MeasureCosine)
+	if err := db.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	return db.Compile()
+}
+
+// runChaosStream pumps a MultiStream into a sharded engine until EOF
+// and closes both, returning collected verdicts.
+func runChaosStream(t *testing.T, ms *capture.MultiStream, eng *engine.Sharded, sink *verdictSink) {
+	t.Helper()
+	for {
+		rec, err := ms.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Push(&rec)
+	}
+	ms.Close()
+	eng.Close()
+}
+
+// TestChaosSoakDeterminism is the fault-tolerance acceptance test: a
+// run with a randomized (but seeded, replayable) fault schedule — a
+// capture source that keeps dying and reopening, decode-error storms,
+// corrupted payloads, a panicking shard, a watchdog sampling
+// throughout — must terminate (no deadlock), survive every injected
+// fault, and emit verdicts for senders on healthy sources that are
+// BIT-IDENTICAL to a fault-free run. Faulty senders are confined to
+// source 0 and shard 0; every other sender's event stream may not
+// change by one bit.
+func TestChaosSoakDeterminism(t *testing.T) {
+	t.Parallel()
+	total := 60 * time.Second // trace time, not wall time
+	if testing.Short() {
+		total = 12 * time.Second
+	}
+	plan := faultinject.NewPlan(chaosSeed)
+	const shards = 4
+	cfg := core.Config{Param: core.ParamSize, MinObservations: 1}
+
+	// Partition senders by shard, using a probe engine's ShardOf: the
+	// faulty source carries only shard-0 senders, so the injected shard
+	// panics and source faults touch the same blast radius.
+	probe, err := engine.NewSharded(cfg, nil, engine.ShardedOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faulty, healthy []dot11.Addr
+	for seed := uint64(1); len(faulty) < 3 || len(healthy) < 6; seed++ {
+		a := dot11.LocalAddr(seed)
+		if probe.ShardOf(a) == 0 {
+			if len(faulty) < 3 {
+				faulty = append(faulty, a)
+			}
+		} else if len(healthy) < 6 {
+			healthy = append(healthy, a)
+		}
+	}
+	probe.Close()
+	cdb := chaosDB(t, cfg, append(append([]dot11.Addr{}, faulty...), healthy...))
+	streams := chaosRecords([][]dot11.Addr{faulty, healthy}, total)
+
+	run := func(inject bool) (*verdictSink, *engine.Sharded, *capture.MultiStream) {
+		sink := newVerdictSink()
+		opts := engine.ShardedOptions{
+			Window: time.Second, Threshold: 0.2, Shards: shards, Sink: sink,
+		}
+		var sup capture.Supervisor
+		var srcs []capture.RecordSource
+		if inject {
+			opts.Watchdog = 5 * time.Millisecond
+			opts.Hooks = engine.Hooks{
+				ShardBatch: faultinject.ShardFaults{
+					Shard: 0, PanicAt: plan.N(2, 10), PanicEvery: plan.N(40, 90),
+				}.Hook(),
+			}
+			cursor := &cursorSource{recs: streams[0]}
+			nextGen := func() capture.RecordSource {
+				return faultinject.NewSource(cursor, faultinject.SourceFaults{
+					ErrAfter:       plan.N(500, 4000),
+					DecodeErrEvery: plan.N(150, 400),
+					CorruptEvery:   plan.N(100, 300),
+					Seed:           chaosSeed,
+				})
+			}
+			sup = capture.Supervisor{
+				Reopen:      func(int) (capture.RecordSource, error) { return nextGen(), nil },
+				MaxAttempts: -1, // the source must always come back: no record may be lost
+				Backoff:     200 * time.Microsecond,
+				MaxBackoff:  2 * time.Millisecond,
+				Seed:        chaosSeed,
+			}
+			srcs = []capture.RecordSource{nextGen(), &cursorSource{recs: streams[1]}}
+		} else {
+			srcs = []capture.RecordSource{
+				&cursorSource{recs: streams[0]},
+				&cursorSource{recs: streams[1]},
+			}
+		}
+		eng, err := engine.NewSharded(cfg, cdb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := capture.NewMultiStreamOpts(capture.MultiOptions{Mode: capture.MergeByTime, Supervisor: sup}, srcs...)
+		runChaosStream(t, ms, eng, sink)
+		return sink, eng, ms
+	}
+
+	cleanSink, _, _ := run(false)
+	chaosSink, chaosEng, chaosMS := run(true)
+
+	// The faults must actually have fired — a chaos test whose schedule
+	// never triggers proves nothing.
+	h := chaosEng.Health()
+	if h.ShardPanics == 0 {
+		t.Fatalf("no shard panics fired (health %+v); the schedule is dead", h)
+	}
+	st := chaosMS.SourceStats()[0]
+	if st.Reopens == 0 || st.DecodeErrors == 0 {
+		t.Fatalf("source faults never fired: %+v", st)
+	}
+	if err := chaosMS.Err(); err != nil {
+		t.Fatalf("the supervised merge surfaced a terminal error: %v", err)
+	}
+
+	// Healthy senders: bit-identical verdict streams.
+	for _, a := range healthy {
+		clean, chaos := cleanSink.per[a], chaosSink.per[a]
+		if len(clean) == 0 {
+			t.Fatalf("sender %v produced no verdicts in the fault-free run", a)
+		}
+		if len(chaos) != len(clean) {
+			t.Fatalf("sender %v: %d verdicts under chaos, %d fault-free", a, len(chaos), len(clean))
+		}
+		for i := range clean {
+			if chaos[i] != clean[i] {
+				t.Fatalf("sender %v verdict %d diverged under chaos:\n  chaos: %s\n  clean: %s",
+					a, i, chaos[i], clean[i])
+			}
+		}
+	}
+	// Faulty senders still produce verdicts — degraded, not silenced.
+	var faultyVerdicts int
+	for _, a := range faulty {
+		faultyVerdicts += len(chaosSink.per[a])
+	}
+	if faultyVerdicts == 0 {
+		t.Fatal("faulty-source senders vanished entirely; supervision should degrade them, not erase them")
+	}
+	var healthyVerdicts int
+	for _, a := range healthy {
+		healthyVerdicts += len(chaosSink.per[a])
+	}
+	var records int
+	for _, s := range streams {
+		records += len(s)
+	}
+	t.Logf("chaos soak: %d records over %v trace time, %d shard panics, %d reopens, %d decode errors; "+
+		"%d healthy-sender verdicts bit-identical to fault-free, %d faulty-sender verdicts delivered",
+		records, total, h.ShardPanics, st.Reopens, st.DecodeErrors, healthyVerdicts, faultyVerdicts)
+}
+
+// TestChaosSoakCheckpoints tortures the checkpoint path while a live
+// trainer grows references: every save attempt runs against a fresh
+// randomized filesystem fault schedule (failed creates, ENOSPC writes
+// and fsyncs, torn writes, crashes between renames), and after EVERY
+// attempt — succeeded or not — the checkpoint chain must load, and
+// what loads must be a database the trainer actually held (current or
+// previous good generation, never torn bytes).
+func TestChaosSoakCheckpoints(t *testing.T) {
+	t.Parallel()
+	saves := 40
+	if testing.Short() {
+		saves = 12
+	}
+	plan := faultinject.NewPlan(chaosSeed + 1)
+	path := filepath.Join(t.TempDir(), "refs.db")
+	cfg := core.Config{Param: core.ParamSize, MinObservations: 1}
+	trainer := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{Horizon: 1, Update: true})
+	eng, err := engine.New(cfg, nil, engine.Options{Window: 200 * time.Millisecond, Trainer: trainer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	goodLens := map[int]bool{} // reference counts of successfully saved snapshots
+	verify := func(r io.Reader) error {
+		_, err := core.LoadBinary(r)
+		return err
+	}
+	assertLoadable := func(attempt int) {
+		t.Helper()
+		var db *core.Database
+		gen, err := checkpoint.Load(path, checkpoint.Options{}, func(r io.Reader) error {
+			var lerr error
+			db, lerr = core.LoadBinary(r)
+			return lerr
+		})
+		if err != nil {
+			t.Fatalf("attempt %d left no loadable generation: %v", attempt, err)
+		}
+		if !goodLens[db.Len()] {
+			t.Fatalf("attempt %d: generation %d holds %d references, matching no snapshot ever saved (%v)",
+				attempt, gen, db.Len(), goodLens)
+		}
+	}
+
+	recIdx := 0
+	firstSaved := false
+	failed, injected := 0, uint64(0)
+	for attempt := 1; attempt <= saves; attempt++ {
+		// Grow the reference set between saves: each attempt introduces
+		// new senders, so successive snapshots hold more references and
+		// the loadability check can tell generations apart.
+		pool := attempt * 4
+		for i := 0; i < 2000; i++ {
+			s := recIdx % pool
+			rec := capture.Record{
+				T: int64(recIdx) * 200, Sender: dot11.LocalAddr(uint64(s + 1)), Receiver: apX,
+				Class: dot11.ClassData, Size: 200 + 10*s, RateMbps: 24, FCSOK: true,
+			}
+			eng.Push(&rec)
+			recIdx++
+		}
+		db := trainer.Database()
+		ffs := faultinject.NewFS(nil, faultinject.FSFaults{
+			CreateErrAt:    plan.N(0, 3),
+			WriteErrAt:     plan.N(0, 4),
+			PartialWriteAt: plan.N(0, 4),
+			SyncErrAt:      plan.N(0, 3),
+			RenameErrAt:    plan.N(0, 5),
+		})
+		err := checkpoint.SaveRetry(path, checkpoint.Options{
+			FS: ffs, Retries: 2, Backoff: time.Microsecond, Sleep: func(time.Duration) {},
+		}, db.SaveBinary, verify)
+		if err == nil {
+			goodLens[db.Len()] = true
+			firstSaved = true
+		} else {
+			failed++
+		}
+		injected += ffs.Injected()
+		if firstSaved {
+			assertLoadable(attempt)
+		}
+	}
+	if !firstSaved {
+		t.Fatal("no save attempt ever succeeded; the schedule is over-aggressive")
+	}
+	if len(goodLens) < 2 {
+		t.Fatalf("only %d distinct snapshots saved across %d attempts", len(goodLens), saves)
+	}
+	t.Logf("checkpoint soak: %d save attempts, %d failed, %d filesystem faults injected; "+
+		"%d distinct snapshots saved, chain loadable after every attempt",
+		saves, failed, injected, len(goodLens))
+}

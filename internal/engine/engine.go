@@ -60,6 +60,12 @@ type Options struct {
 	// then be created with a nil db — the trainer owns the references
 	// (seed a warm start with NewTrainerFrom).
 	Trainer *Trainer
+	// HealthSink receives supervision events (ComponentPanicked). On
+	// the serial engine it is called on the pushing goroutine, but
+	// never interleaved with the main event stream; it must not call
+	// back into the engine. nil discards the events (Health still
+	// counts everything).
+	HealthSink Sink
 }
 
 // Stats is a point-in-time snapshot of an engine's counters.
@@ -131,6 +137,8 @@ type Engine struct {
 	unknown uint64
 	dropped uint64
 	evicted uint64
+
+	health healthState
 }
 
 // New creates an engine extracting signatures under cfg and matching
@@ -342,10 +350,22 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// Health snapshots the engine's supervision state (recovered panics in
+// window delivery and trainer steps). Safe from any goroutine.
+func (e *Engine) Health() Health { return e.health.snapshot() }
+
 // handleWindow matches one closed window's candidates — fused in
 // ensemble mode — and emits its events. It runs on the pushing
-// goroutine.
+// goroutine, under panic supervision: a panic — a faulting sink, a
+// matching fault — loses that window's remaining events (counted in
+// Health as an engine panic) but not the stream; the accumulator has
+// already rolled to the next window and Push keeps working.
 func (e *Engine) handleWindow(w *core.WindowResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.health.recordPanic(e.opts.HealthSink, "engine", -1, r)
+		}
+	}()
 	sink := e.opts.Sink
 	matchedN, unknownN := 0, 0
 	if e.multi {
@@ -428,17 +448,26 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 
 	// Enrollment happens after the window's own events: the trainer's
 	// promotions swap the database the *next* window is matched against,
-	// which is exactly per-window batch training's visibility.
+	// which is exactly per-window batch training's visibility. The
+	// trainer step is supervised separately, so a panic in it loses this
+	// window's enrollment (a trainer fault in Health) but not the window.
 	if tr := e.opts.Trainer; tr != nil {
-		emit := func(ev Event) {
-			if sink != nil {
-				sink.HandleEvent(ev)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.health.recordPanic(e.opts.HealthSink, "trainer", -1, r)
+				}
+			}()
+			emit := func(ev Event) {
+				if sink != nil {
+					sink.HandleEvent(ev)
+				}
 			}
-		}
-		if e.multi {
-			tr.observeWindowMulti(w.Index, w.Multi, emit)
-		} else {
-			tr.observeWindow(w.Index, w.Candidates, emit)
-		}
+			if e.multi {
+				tr.observeWindowMulti(w.Index, w.Multi, emit)
+			} else {
+				tr.observeWindow(w.Index, w.Candidates, emit)
+			}
+		}()
 	}
 }

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is a point-in-time snapshot of an engine's supervision state,
+// from Engine.Health or Sharded.Health. The zero value — no panics, no
+// stalls — is a healthy engine.
+//
+// A recovered panic means the faulting unit of work was lost (a shard's
+// batch, a merged window's events, or one trainer step) but the engine
+// keeps running: window clocking, the other shards, and Flush/Close
+// semantics all survive. The stream is then degraded — no longer
+// bit-identical to a fault-free run — which is why the counters exist:
+// an operator (or fingerprintd's degraded-mode exit) can tell a clean
+// run from a survived one.
+type Health struct {
+	// ShardPanics, MergerPanics, TrainerPanics and EnginePanics count
+	// recovered panics per component (EnginePanics is the serial
+	// engine's window-delivery path).
+	ShardPanics   uint64
+	MergerPanics  uint64
+	TrainerPanics uint64
+	EnginePanics  uint64
+	// LastPanic describes the most recent recovered panic, "" if none.
+	LastPanic string
+	// StalledShards lists shards the watchdog currently considers
+	// stalled (queued work, no progress across a sampling interval).
+	StalledShards []int
+	// QueueDepths is each shard's queued batch count at snapshot time
+	// (nil on the serial engine, which has no queues).
+	QueueDepths []int
+}
+
+// Panics returns the total recovered panic count.
+func (h Health) Panics() uint64 {
+	return h.ShardPanics + h.MergerPanics + h.TrainerPanics + h.EnginePanics
+}
+
+// Healthy reports a fault-free engine: no recovered panics, no stalled
+// shards.
+func (h Health) Healthy() bool {
+	return h.Panics() == 0 && len(h.StalledShards) == 0
+}
+
+// ComponentPanicked is the health event for a recovered panic.
+type ComponentPanicked struct {
+	// Component is "shard", "merger", "trainer" or "engine".
+	Component string
+	// Shard is the shard index for Component "shard", -1 otherwise.
+	Shard int
+	// Err is the panic value, stringified.
+	Err string
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// ShardStalled is the watchdog's health event for a shard with queued
+// work and no progress across at least one sampling interval.
+type ShardStalled struct {
+	Shard int
+	// Queued is the shard's queued batch count at detection time.
+	Queued int
+	// For is how long the shard has made no progress (a multiple of the
+	// watchdog interval).
+	For time.Duration
+}
+
+// ShardResumed is the watchdog's all-clear for a previously stalled
+// shard.
+type ShardResumed struct {
+	Shard int
+}
+
+func (ComponentPanicked) event() {}
+func (ShardStalled) event()      {}
+func (ShardResumed) event()      {}
+
+// Hooks are the engine's fault-injection/test points, called on the
+// internal goroutines they name. Production engines leave them nil —
+// a nil hook is a single predictable branch per batch, never per
+// frame, so the zero-allocation push path is untouched.
+type Hooks struct {
+	// ShardBatch runs on the shard goroutine before each queued batch
+	// (window-close controls included) is processed. shard is the shard
+	// index, batchLen the batch's observation count. A panic it raises
+	// is recovered and counted exactly like a shard fault.
+	ShardBatch func(shard, batchLen int)
+	// MergerWindow runs on the merger goroutine before each completed
+	// window is merged and emitted; window is the window index. A panic
+	// it raises is recovered and counted as a merger fault.
+	MergerWindow func(window int)
+}
+
+// healthState aggregates recovered-panic and stall accounting for one
+// engine. Writers are internal goroutines (shards, merger, watchdog,
+// or the pushing goroutine on the serial engine); snapshot may be
+// called from any goroutine.
+type healthState struct {
+	mu       sync.Mutex
+	shards   uint64
+	mergers  uint64
+	trainers uint64
+	engines  uint64
+	last     string
+	stalled  map[int]bool
+}
+
+// recordPanic counts one recovered panic and, when a health sink is
+// configured, delivers the ComponentPanicked event (on the recovering
+// goroutine).
+func (h *healthState) recordPanic(sink Sink, component string, shard int, r any) {
+	stack := string(debug.Stack())
+	h.mu.Lock()
+	switch component {
+	case "shard":
+		h.shards++
+	case "merger":
+		h.mergers++
+	case "trainer":
+		h.trainers++
+	default:
+		h.engines++
+	}
+	h.last = fmt.Sprintf("%s: %v", component, r)
+	h.mu.Unlock()
+	if sink != nil {
+		sink.HandleEvent(ComponentPanicked{
+			Component: component, Shard: shard,
+			Err: fmt.Sprint(r), Stack: stack,
+		})
+	}
+}
+
+// setStalled updates one shard's stall flag, reporting whether the
+// flag changed (the event edge).
+func (h *healthState) setStalled(shard int, stalled bool) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stalled == nil {
+		h.stalled = make(map[int]bool)
+	}
+	if h.stalled[shard] == stalled {
+		return false
+	}
+	h.stalled[shard] = stalled
+	return true
+}
+
+// snapshot builds the exported Health view.
+func (h *healthState) snapshot() Health {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := Health{
+		ShardPanics:   h.shards,
+		MergerPanics:  h.mergers,
+		TrainerPanics: h.trainers,
+		EnginePanics:  h.engines,
+		LastPanic:     h.last,
+	}
+	for i, st := range h.stalled {
+		if st {
+			out.StalledShards = append(out.StalledShards, i)
+		}
+	}
+	sort.Ints(out.StalledShards)
+	return out
+}

@@ -72,6 +72,21 @@ type ShardedOptions struct {
 	// The event stream stays identical to the serial engine's with the
 	// same Trainer settings, at every shard count.
 	Trainer *Trainer
+	// HealthSink receives supervision events (ComponentPanicked,
+	// ShardStalled, ShardResumed). Unlike Sink it is called from
+	// internal goroutines — shards, the merger, the watchdog — possibly
+	// concurrently, and never interleaved with the main event stream;
+	// it must not call back into the engine. nil discards the events
+	// (Health still counts everything).
+	HealthSink Sink
+	// Watchdog enables the stall detector at this sampling interval: a
+	// shard with queued batches that processes nothing across an
+	// interval is reported ShardStalled (and ShardResumed when it moves
+	// again). 0 disables.
+	Watchdog time.Duration
+	// Hooks are fault-injection/test points (see Hooks); nil — the
+	// production value — costs one branch per batch.
+	Hooks Hooks
 }
 
 // shardBatch is the router→shard transfer granularity: big enough to
@@ -126,6 +141,9 @@ type shard struct {
 	free  chan *shardMsg
 	cur   *shardMsg // batch being filled by the router
 	table *core.SenderTable
+	// processed counts drained messages — the watchdog's progress
+	// signal. Incremented once per batch, never per frame.
+	processed atomic.Uint64
 }
 
 // shardSegment is one shard's slice of a closed window, sent to the
@@ -201,6 +219,10 @@ type Sharded struct {
 
 	shardWG  sync.WaitGroup
 	mergerWG sync.WaitGroup
+
+	health    healthState
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
 }
 
 // NewSharded creates a sharded engine extracting signatures under cfg
@@ -318,9 +340,9 @@ func newSharded(cfgs []core.Config, multi bool, opts ShardedOptions) (*Sharded, 
 // set is installed.
 func (s *Sharded) start() {
 	s.segCh = make(chan shardSegment, len(s.shards)*2)
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		s.shardWG.Add(1)
-		go s.runShard(sh)
+		go s.runShard(i, sh)
 	}
 	go func() {
 		s.shardWG.Wait()
@@ -328,6 +350,11 @@ func (s *Sharded) start() {
 	}()
 	s.mergerWG.Add(1)
 	go s.runMerger()
+	if s.opts.Watchdog > 0 {
+		s.watchStop = make(chan struct{})
+		s.watchWG.Add(1)
+		go s.runWatchdog(s.opts.Watchdog)
+	}
 }
 
 // Config returns the extraction configuration with defaults materialised
@@ -393,6 +420,12 @@ func (s *Sharded) shardOf(addr dot11.Addr) int {
 	x ^= x >> 29
 	return int(x % uint64(len(s.shards)))
 }
+
+// ShardOf reports which shard owns a sender address — the partitioning
+// is deterministic across runs and processes, so an operator can
+// attribute a ShardStalled or shard ComponentPanicked event to the
+// senders it affects (and chaos tests can place faults precisely).
+func (s *Sharded) ShardOf(addr dot11.Addr) int { return s.shardOf(addr) }
 
 // Push ingests one record; the record is not retained. The router
 // applies the global window clock and attribution rules, computes the
@@ -560,52 +593,139 @@ func (s *Sharded) Close() {
 	}
 	s.shardWG.Wait()
 	s.mergerWG.Wait()
+	if s.watchStop != nil {
+		close(s.watchStop)
+		s.watchWG.Wait()
+	}
+}
+
+// runWatchdog samples each shard's progress counter every interval: a
+// shard with queued batches that drained none since the last sample is
+// stalled — wedged on a slow sink, a livelocked table, an injected
+// fault — and is reported once per stall edge (ShardStalled, then
+// ShardResumed when it moves again). Reads are two atomic loads per
+// shard per tick; the push path is never touched.
+func (s *Sharded) runWatchdog(interval time.Duration) {
+	defer s.watchWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	last := make([]uint64, len(s.shards))
+	ticks := make([]int, len(s.shards))
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-tick.C:
+		}
+		for i, sh := range s.shards {
+			cur := sh.processed.Load()
+			queued := len(sh.ch)
+			if cur == last[i] && queued > 0 {
+				ticks[i]++
+				if s.health.setStalled(i, true) {
+					if hs := s.opts.HealthSink; hs != nil {
+						hs.HandleEvent(ShardStalled{Shard: i, Queued: queued, For: time.Duration(ticks[i]) * interval})
+					}
+				}
+			} else {
+				ticks[i] = 0
+				if s.health.setStalled(i, false) {
+					if hs := s.opts.HealthSink; hs != nil {
+						hs.HandleEvent(ShardResumed{Shard: i})
+					}
+				}
+			}
+			last[i] = cur
+		}
+	}
+}
+
+// Health snapshots the engine's supervision state: recovered panics,
+// stalled shards, and per-shard queue depths. Safe from any goroutine.
+func (s *Sharded) Health() Health {
+	h := s.health.snapshot()
+	h.QueueDepths = make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		h.QueueDepths[i] = len(sh.ch)
+	}
+	return h
 }
 
 // runShard is one shard goroutine: it drains the queue, accumulates
 // observations into the shard's sender table, and on each close control
 // drains the table, matches the shard's candidates with its private
 // scratch, and ships the segment to the merger.
-func (s *Sharded) runShard(sh *shard) {
+func (s *Sharded) runShard(id int, sh *shard) {
 	defer s.shardWG.Done()
 	var scratch core.MatchScratch
 	var escratch core.EnsembleScratch
-	nm := len(s.cfgs)
 	for msg := range sh.ch {
-		if s.multi {
-			for i := 0; i < msg.n; i++ {
-				o := &msg.mentries[i]
-				sh.table.ObserveN(o.addr, o.class, o.vals[:nm], o.valid[:nm], o.t)
-			}
-		} else {
-			for i := 0; i < msg.n; i++ {
-				o := &msg.entries[i]
-				sh.table.Observe(o.addr, o.class, o.v, o.t)
-			}
-		}
-		if msg.closeWin {
-			seg := shardSegment{meta: msg.meta}
-			seg.res.Index = msg.meta.Index
-			seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
-			seg.res.Frames = msg.meta.Frames
-			sh.table.Drain(&seg.res)
-			// With a trainer attached matching is deferred to the merger,
-			// so window k's enrollment swap is installed before window
-			// k+1's candidates are matched (see ShardedOptions.Trainer).
-			if !s.deferMatch {
-				if s.multi {
-					if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
-						seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, &escratch)
-					}
-				} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
-					seg.rows = db.MatchAllScratch(seg.res.Candidates, &scratch)
-				}
-			}
-			s.segCh <- seg
-		}
+		s.shardProcess(id, sh, msg, &scratch, &escratch)
+		sh.processed.Add(1)
 		msg.n = 0
 		msg.closeWin = false
 		sh.free <- msg
+	}
+}
+
+// shardProcess handles one queued message under panic supervision: a
+// panic — from the batch hook, the sender table, or matching — loses
+// that message's observations (and, on a close control, the shard's
+// slice of the window) but never the shard goroutine, and never the
+// window protocol: the merger still receives a segment for every
+// (shard, window) pair, so windows keep completing and Flush/Close
+// keep returning. The loss is counted in Health as a shard panic.
+func (s *Sharded) shardProcess(id int, sh *shard, msg *shardMsg, scratch *core.MatchScratch, escratch *core.EnsembleScratch) {
+	sent := false
+	defer func() {
+		if r := recover(); r != nil {
+			s.health.recordPanic(s.opts.HealthSink, "shard", id, r)
+			if msg.closeWin && !sent {
+				// Ship the close control's segment even though its content
+				// was lost: an empty segment keeps the merge complete.
+				seg := shardSegment{meta: msg.meta}
+				seg.res.Index = msg.meta.Index
+				seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
+				seg.res.Frames = msg.meta.Frames
+				s.segCh <- seg
+			}
+		}
+	}()
+	if h := s.opts.Hooks.ShardBatch; h != nil {
+		h(id, msg.n)
+	}
+	nm := len(s.cfgs)
+	if s.multi {
+		for i := 0; i < msg.n; i++ {
+			o := &msg.mentries[i]
+			sh.table.ObserveN(o.addr, o.class, o.vals[:nm], o.valid[:nm], o.t)
+		}
+	} else {
+		for i := 0; i < msg.n; i++ {
+			o := &msg.entries[i]
+			sh.table.Observe(o.addr, o.class, o.v, o.t)
+		}
+	}
+	if msg.closeWin {
+		seg := shardSegment{meta: msg.meta}
+		seg.res.Index = msg.meta.Index
+		seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
+		seg.res.Frames = msg.meta.Frames
+		sh.table.Drain(&seg.res)
+		// With a trainer attached matching is deferred to the merger,
+		// so window k's enrollment swap is installed before window
+		// k+1's candidates are matched (see ShardedOptions.Trainer).
+		if !s.deferMatch {
+			if s.multi {
+				if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
+					seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, escratch)
+				}
+			} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+				seg.rows = db.MatchAllScratch(seg.res.Candidates, scratch)
+			}
+		}
+		sent = true
+		s.segCh <- seg
 	}
 }
 
@@ -624,9 +744,43 @@ func (s *Sharded) runMerger() {
 		if len(pending[idx]) == n {
 			segs := pending[idx]
 			delete(pending, idx)
-			s.emitWindow(segs)
+			s.emitWindowSafe(segs)
 		}
 	}
+}
+
+// emitWindowSafe runs one window's merge-and-emit under panic
+// supervision. Whatever happens inside — a panicking sink, a merger
+// hook fault, a trainer fault — the window is always accounted as
+// emitted and cond is always broadcast, so Flush and Close can never
+// deadlock on a lost window; the loss is counted in Health instead.
+func (s *Sharded) emitWindowSafe(segs []shardSegment) {
+	var c windowCounts
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.health.recordPanic(s.opts.HealthSink, "merger", -1, r)
+			}
+		}()
+		if h := s.opts.Hooks.MergerWindow; h != nil {
+			h(segs[0].meta.Index)
+		}
+		c = s.emitWindow(segs)
+	}()
+	s.mu.Lock()
+	s.windows++
+	s.matched += uint64(c.matched)
+	s.unknown += uint64(c.unknown)
+	s.dropped += uint64(c.dropped)
+	s.evicted += uint64(c.evicted)
+	s.emitted++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// windowCounts is emitWindow's contribution to the snapshot counters.
+type windowCounts struct {
+	matched, unknown, dropped, evicted int
 }
 
 // addrLess orders candidates and drops across shard segments.
@@ -660,9 +814,9 @@ func mergeByAddr(segs int, n func(int) int, addr func(k, i int) [6]byte, emit fu
 
 // emitWindow merges one window's shard segments into the serial
 // engine's event order — verdicts ascending by address, then drops
-// ascending by address, then the WindowClosed summary — and updates the
-// snapshot counters.
-func (s *Sharded) emitWindow(segs []shardSegment) {
+// ascending by address, then the WindowClosed summary — and returns the
+// window's counter contributions (accounted by emitWindowSafe).
+func (s *Sharded) emitWindow(segs []shardSegment) windowCounts {
 	meta := segs[0].meta
 	sink := s.opts.Sink
 
@@ -804,29 +958,30 @@ func (s *Sharded) emitWindow(segs []shardSegment) {
 
 	// Enrollment runs after the window's own events and before emitted
 	// is advanced, so Flush/Close returning guarantees the flushed
-	// windows' promotions (and their events) have landed.
+	// windows' promotions (and their events) have landed. The trainer
+	// step is supervised separately: a panic in it loses this window's
+	// enrollment (counted as a trainer fault) but not the window.
 	if tr := s.opts.Trainer; tr != nil {
-		emit := func(ev Event) {
-			if sink != nil {
-				sink.HandleEvent(ev)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.health.recordPanic(s.opts.HealthSink, "trainer", -1, r)
+				}
+			}()
+			emit := func(ev Event) {
+				if sink != nil {
+					sink.HandleEvent(ev)
+				}
 			}
-		}
-		if s.multi {
-			tr.observeWindowMulti(meta.Index, trainMulti, emit)
-		} else {
-			tr.observeWindow(meta.Index, trainCands, emit)
-		}
+			if s.multi {
+				tr.observeWindowMulti(meta.Index, trainMulti, emit)
+			} else {
+				tr.observeWindow(meta.Index, trainCands, emit)
+			}
+		}()
 	}
 
-	s.mu.Lock()
-	s.windows++
-	s.matched += uint64(matchedN)
-	s.unknown += uint64(unknownN)
-	s.dropped += uint64(droppedN)
-	s.evicted += uint64(evictedN)
-	s.emitted++
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	return windowCounts{matched: matchedN, unknown: unknownN, dropped: droppedN, evicted: evictedN}
 }
 
 // Stats returns a snapshot of the engine's counters. The window-scoped

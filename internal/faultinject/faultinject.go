@@ -1,0 +1,336 @@
+// Package faultinject provides deterministic, seeded fault wrappers
+// for chaos-testing the streaming stack. Every fault fires on a fixed
+// schedule expressed in operation counts — "error after 500 records",
+// "fail the 3rd write", "panic on shard 2's 7th batch" — so a chaos
+// run that fails can be replayed exactly by re-running with the same
+// seed and schedule. Nothing in this package is randomized internally;
+// Plan derives randomized schedules from a seed up front, and the
+// wrappers then execute them mechanically.
+//
+// Three fault surfaces cover the pipeline:
+//
+//   - Source wraps a capture.RecordSource and errors, stalls, corrupts
+//     or drops (as decode-skips) records on schedule — the raw material
+//     for exercising MultiStream supervision.
+//   - FS wraps a checkpoint.FS and fails writes (ENOSPC), tears them
+//     (partial write), or crashes between rename and commit — the
+//     checkpoint-recovery torture kit.
+//   - ShardFaults builds an engine batch hook that panics or stalls a
+//     chosen shard — the engine-supervision counterpart.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/checkpoint"
+)
+
+// Injected fault sentinels. Each wraps the closest real-world errno or
+// error where one exists so production error handling (errors.Is on
+// ENOSPC, say) sees what it would see in the field.
+var (
+	// ErrSource is the default error a Source returns when its
+	// ErrAfter schedule fires.
+	ErrSource = errors.New("faultinject: injected source failure")
+	// ErrNoSpace is the injected write failure; errors.Is matches
+	// syscall.ENOSPC.
+	ErrNoSpace = fmt.Errorf("faultinject: injected write failure: %w", syscall.ENOSPC)
+	// ErrPartialWrite is the error completing an injected torn write.
+	ErrPartialWrite = fmt.Errorf("faultinject: injected partial write: %w", io.ErrShortWrite)
+	// ErrCrash marks an injected crash-before-rename: the operation is
+	// abandoned as a killed process would abandon it.
+	ErrCrash = errors.New("faultinject: injected crash")
+	// PanicValue is what an injected shard panic panics with.
+	PanicValue = "faultinject: injected shard panic"
+)
+
+// SourceFaults schedules the faults of one Source. Counts are 1-based
+// over the records read from the wrapped source; zero fields disable
+// that fault.
+type SourceFaults struct {
+	// ErrAfter fails the source after it has delivered this many
+	// records: delivery N succeeds, the next call returns Err (and
+	// keeps returning it — the source is dead until reopened).
+	ErrAfter uint64
+	// Err is the error ErrAfter returns; nil selects ErrSource.
+	Err error
+	// EOFAfter ends the source cleanly (io.EOF) after this many
+	// delivered records, simulating a premature writer hangup.
+	EOFAfter uint64
+	// StallAt blocks the delivery of the Nth record until Release or
+	// Close, simulating a wedged FIFO writer. It fires once.
+	StallAt uint64
+	// DecodeErrEvery consumes every k-th read record as a decode
+	// failure: the record is dropped and the Skipped counter advances,
+	// exactly as StreamReader treats an undecodable frame.
+	DecodeErrEvery uint64
+	// CorruptEvery scrambles the payload fields (Size, RateMbps) of
+	// every k-th delivered record with seeded noise. Timestamps and
+	// addresses are left alone so stream ordering survives.
+	CorruptEvery uint64
+	// Seed seeds the corruption noise.
+	Seed int64
+}
+
+// Source wraps a capture.RecordSource with a deterministic fault
+// schedule. It implements capture.RecordSource, the Skipped counter
+// contract of capture.StreamReader, and io.Closer (Close releases a
+// stall and closes the wrapped source if it is closable).
+type Source struct {
+	src    capture.RecordSource
+	faults SourceFaults
+
+	read      uint64 // records pulled from src (schedules DecodeErrEvery)
+	delivered atomic.Uint64
+	skipped   atomic.Uint64
+	failed    error
+
+	release sync.Once
+	stallCh chan struct{}
+	rng     *rand.Rand
+}
+
+// NewSource wraps src with the given fault schedule.
+func NewSource(src capture.RecordSource, faults SourceFaults) *Source {
+	if faults.Err == nil {
+		faults.Err = ErrSource
+	}
+	return &Source{
+		src:     src,
+		faults:  faults,
+		stallCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(faults.Seed)),
+	}
+}
+
+// Next returns the next record, applying the fault schedule.
+func (s *Source) Next() (capture.Record, error) {
+	if s.failed != nil {
+		return capture.Record{}, s.failed
+	}
+	if s.faults.StallAt > 0 && s.delivered.Load()+1 == s.faults.StallAt {
+		<-s.stallCh // until Release or Close
+		s.faults.StallAt = 0
+	}
+	for {
+		if s.faults.ErrAfter > 0 && s.delivered.Load() >= s.faults.ErrAfter {
+			s.failed = s.faults.Err
+			return capture.Record{}, s.failed
+		}
+		if s.faults.EOFAfter > 0 && s.delivered.Load() >= s.faults.EOFAfter {
+			s.failed = io.EOF
+			return capture.Record{}, io.EOF
+		}
+		rec, err := s.src.Next()
+		if err != nil {
+			s.failed = err
+			return capture.Record{}, err
+		}
+		s.read++
+		if k := s.faults.DecodeErrEvery; k > 0 && s.read%k == 0 {
+			s.skipped.Add(1)
+			continue
+		}
+		n := s.delivered.Add(1)
+		if k := s.faults.CorruptEvery; k > 0 && n%k == 0 {
+			rec.Size = int(s.rng.Int31n(1 << 16))
+			rec.RateMbps = float64(s.rng.Int31n(1000))
+		}
+		return rec, nil
+	}
+}
+
+// Skipped reports records consumed as injected decode failures, the
+// same contract as capture.StreamReader.Skipped.
+func (s *Source) Skipped() uint64 { return s.skipped.Load() }
+
+// Delivered reports records successfully returned to the caller.
+func (s *Source) Delivered() uint64 { return s.delivered.Load() }
+
+// Release unblocks a stalled Next, which then proceeds normally.
+// Idempotent.
+func (s *Source) Release() {
+	s.release.Do(func() { close(s.stallCh) })
+}
+
+// Close releases any stall and closes the wrapped source when it is
+// closable, so Next unblocks and returns its error promptly.
+func (s *Source) Close() error {
+	s.Release()
+	if c, ok := s.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// FSFaults schedules the faults of one FS. Counts are 1-based over
+// that operation kind across all files; zero fields disable the fault.
+type FSFaults struct {
+	// CreateErrAt fails the Nth CreateTemp with ErrNoSpace.
+	CreateErrAt uint64
+	// WriteErrAt fails the Nth Write call with ErrNoSpace, writing
+	// nothing.
+	WriteErrAt uint64
+	// PartialWriteAt tears the Nth Write call: half the buffer is
+	// written, then ErrPartialWrite.
+	PartialWriteAt uint64
+	// SyncErrAt fails the Nth file Sync with ErrNoSpace (how full
+	// filesystems actually surface at fsync time).
+	SyncErrAt uint64
+	// RenameErrAt simulates a crash at the Nth Rename: the rename does
+	// not happen and ErrCrash is returned, leaving whatever the
+	// sequence had committed so far — exactly the on-disk state a kill
+	// between renames leaves behind.
+	RenameErrAt uint64
+}
+
+// FS wraps a checkpoint.FS with a deterministic fault schedule.
+type FS struct {
+	inner  checkpoint.FS
+	faults FSFaults
+
+	creates  atomic.Uint64
+	writes   atomic.Uint64
+	syncs    atomic.Uint64
+	renames  atomic.Uint64
+	injected atomic.Uint64
+}
+
+// NewFS wraps inner (nil selects checkpoint.OS) with the schedule.
+func NewFS(inner checkpoint.FS, faults FSFaults) *FS {
+	if inner == nil {
+		inner = checkpoint.OS
+	}
+	return &FS{inner: inner, faults: faults}
+}
+
+// Injected reports how many faults have fired so far.
+func (f *FS) Injected() uint64 { return f.injected.Load() }
+
+func (f *FS) CreateTemp(dir, pattern string) (checkpoint.File, error) {
+	if n := f.creates.Add(1); f.faults.CreateErrAt > 0 && n == f.faults.CreateErrAt {
+		f.injected.Add(1)
+		return nil, ErrNoSpace
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
+func (f *FS) Stat(name string) (os.FileInfo, error)   { return f.inner.Stat(name) }
+func (f *FS) Remove(name string) error                { return f.inner.Remove(name) }
+func (f *FS) SyncDir(dir string) error                { return f.inner.SyncDir(dir) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if n := f.renames.Add(1); f.faults.RenameErrAt > 0 && n == f.faults.RenameErrAt {
+		f.injected.Add(1)
+		return ErrCrash
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// faultFile interposes on the write path of one temp file.
+type faultFile struct {
+	checkpoint.File
+	fs *FS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	fs := w.fs
+	n := fs.writes.Add(1)
+	if fs.faults.WriteErrAt > 0 && n == fs.faults.WriteErrAt {
+		fs.injected.Add(1)
+		return 0, ErrNoSpace
+	}
+	if fs.faults.PartialWriteAt > 0 && n == fs.faults.PartialWriteAt {
+		fs.injected.Add(1)
+		written, err := w.File.Write(p[:len(p)/2])
+		if err != nil {
+			return written, err
+		}
+		return written, ErrPartialWrite
+	}
+	return w.File.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	fs := w.fs
+	if n := fs.syncs.Add(1); fs.faults.SyncErrAt > 0 && n == fs.faults.SyncErrAt {
+		fs.injected.Add(1)
+		return ErrNoSpace
+	}
+	return w.File.Sync()
+}
+
+// ShardFaults schedules the faults of one engine shard, applied
+// through the batch hook. Counts are 1-based over the shard's
+// processed batches (window-close controls included).
+type ShardFaults struct {
+	// Shard is the target shard index; other shards pass through.
+	Shard int
+	// PanicAt panics on the shard's Nth batch.
+	PanicAt uint64
+	// PanicEvery panics on every k-th batch (composable with PanicAt).
+	PanicEvery uint64
+	// SlowEvery sleeps SlowFor before every k-th batch, simulating a
+	// shard wedged on a slow dependency (for watchdog tests).
+	SlowEvery uint64
+	// SlowFor is the injected delay; zero selects 1 ms.
+	SlowFor time.Duration
+}
+
+// Hook builds the engine batch hook implementing the schedule. The
+// returned function is safe for concurrent use by multiple shards.
+func (f ShardFaults) Hook() func(shard, batchLen int) {
+	if f.SlowFor <= 0 {
+		f.SlowFor = time.Millisecond
+	}
+	var batches atomic.Uint64
+	return func(shard, batchLen int) {
+		if shard != f.Shard {
+			return
+		}
+		n := batches.Add(1)
+		if f.SlowEvery > 0 && n%f.SlowEvery == 0 {
+			time.Sleep(f.SlowFor)
+		}
+		if f.PanicAt > 0 && n == f.PanicAt {
+			panic(PanicValue)
+		}
+		if f.PanicEvery > 0 && n%f.PanicEvery == 0 {
+			panic(PanicValue)
+		}
+	}
+}
+
+// Plan derives reproducible randomized fault schedules from one seed,
+// so a chaos test can vary its schedule per run while staying
+// replayable from the logged seed.
+type Plan struct {
+	rng *rand.Rand
+}
+
+// NewPlan returns a Plan seeded with seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// N returns a uniform count in [lo, hi], for filling schedule fields.
+func (p *Plan) N(lo, hi uint64) uint64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + uint64(p.rng.Int63n(int64(hi-lo+1)))
+}

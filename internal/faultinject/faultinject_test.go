@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+)
+
+// seqSource yields records with consecutive timestamps forever.
+type seqSource struct{ t int64 }
+
+func (s *seqSource) Next() (capture.Record, error) {
+	s.t++
+	return capture.Record{T: s.t, Size: 100, RateMbps: 11}, nil
+}
+
+func TestSourceErrAfter(t *testing.T) {
+	src := NewSource(&seqSource{}, SourceFaults{ErrAfter: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ { // sticky: dead until reopened
+		if _, err := src.Next(); !errors.Is(err, ErrSource) {
+			t.Fatalf("call %d after schedule = %v, want ErrSource", i, err)
+		}
+	}
+	if src.Delivered() != 3 {
+		t.Fatalf("Delivered = %d, want 3", src.Delivered())
+	}
+}
+
+func TestSourceEOFAfter(t *testing.T) {
+	src := NewSource(&seqSource{}, SourceFaults{EOFAfter: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after schedule = %v, want io.EOF", err)
+	}
+}
+
+func TestSourceDecodeErrEvery(t *testing.T) {
+	src := NewSource(&seqSource{}, SourceFaults{DecodeErrEvery: 3})
+	var ts []int64
+	for i := 0; i < 5; i++ {
+		rec, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, rec.T)
+	}
+	// Reads 3 and 6 are consumed as decode failures.
+	want := []int64{1, 2, 4, 5, 7}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("delivered timestamps %v, want %v", ts, want)
+		}
+	}
+	if src.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", src.Skipped())
+	}
+}
+
+func TestSourceCorruptEveryDeterministic(t *testing.T) {
+	run := func() []int {
+		src := NewSource(&seqSource{}, SourceFaults{CorruptEvery: 2, Seed: 7})
+		var sizes []int
+		for i := 0; i < 6; i++ {
+			rec, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, rec.Size)
+		}
+		return sizes
+	}
+	a, b := run(), run()
+	corrupted := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different corruption: %v vs %v", a, b)
+		}
+		if a[i] != 100 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("CorruptEvery never changed a record")
+	}
+}
+
+func TestSourceStallAndRelease(t *testing.T) {
+	src := NewSource(&seqSource{}, SourceFaults{StallAt: 2})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := src.Next()
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Next returned %v during scheduled stall", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	src.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Next after Release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next still blocked after Release")
+	}
+	src.Release() // idempotent
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("stall must fire once: %v", err)
+	}
+}
+
+func TestShardFaultsHook(t *testing.T) {
+	hook := ShardFaults{Shard: 1, PanicAt: 2}.Hook()
+	hook(0, 5) // other shard: never counted
+	hook(1, 5)
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		hook(1, 5)
+		return false
+	}()
+	if !panicked {
+		t.Fatal("hook did not panic on the scheduled batch")
+	}
+	hook(1, 5) // past the schedule: passes through
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, b := NewPlan(42), NewPlan(42)
+	for i := 0; i < 100; i++ {
+		x, y := a.N(10, 500), b.N(10, 500)
+		if x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
+		if x < 10 || x > 500 {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+	if p := NewPlan(1); p.N(7, 7) != 7 {
+		t.Fatal("degenerate range must return lo")
+	}
+}

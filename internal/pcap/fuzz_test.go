@@ -1,0 +1,118 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// fuzzSeedCapture builds a small well-formed capture to mutate from.
+func fuzzSeedCapture() []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRadiotap)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		_ = w.WritePacket(Packet{
+			Time:    base.Add(time.Duration(i) * 1500 * time.Microsecond),
+			Data:    bytes.Repeat([]byte{byte(i + 1)}, 20+7*i),
+			OrigLen: 20 + 7*i,
+		})
+	}
+	_ = w.Flush()
+	return buf.Bytes()
+}
+
+// FuzzReader hammers the pcap parser with arbitrary bytes — this is the
+// outermost parser on every capture path, so any input must either
+// stream records or error, never panic or allocate unboundedly from a
+// hostile length field. Inputs that read to a clean EOF must survive a
+// write/re-read round trip with payloads intact.
+func FuzzReader(f *testing.F) {
+	enc := fuzzSeedCapture()
+	var empty bytes.Buffer
+	{
+		w := NewWriter(&empty, LinkTypeRadiotap)
+		_ = w.Flush()
+	}
+	f.Add(empty.Bytes())
+	f.Add(enc)
+	// Truncations: header only, mid record header, mid final body.
+	f.Add(enc[:24])
+	f.Add(enc[:30])
+	f.Add(enc[:len(enc)-3])
+	// Bad magic.
+	f.Add([]byte("this is not a pcap capture at all..."))
+	// Byte-swapped and nanosecond magics over the same body.
+	swapped := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(swapped[0:4], magicMicrosSwapped)
+	f.Add(swapped)
+	nanos := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(nanos[0:4], magicNanos)
+	f.Add(nanos)
+	// A record header claiming a 4 GiB body.
+	huge := append([]byte(nil), enc[:24]...)
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], 0xFFFFFFF0)
+	f.Add(append(huge, rec[:]...))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("NewReader error is neither bad-magic nor truncated: %v", err)
+			}
+			return
+		}
+		var pkts []Packet
+		var buf []byte
+		for {
+			p, err := r.NextInto(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // corrupt tail: fine, as long as it is an error
+			}
+			if len(p.Data) > 1<<26 {
+				t.Fatalf("record of %d bytes slipped past the length check", len(p.Data))
+			}
+			pkts = append(pkts, Packet{
+				Time:    p.Time,
+				Data:    append([]byte(nil), p.Data...),
+				OrigLen: p.OrigLen,
+			})
+			buf = p.Data[:cap(p.Data)]
+		}
+		// Clean EOF: the stream is a valid capture, so writing it back
+		// out and re-reading must preserve count and payload bytes.
+		var out bytes.Buffer
+		w := NewWriter(&out, r.LinkType())
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				t.Fatalf("rewriting parsed packet: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("rewritten capture does not parse: %v", err)
+		}
+		got, err := rr.ReadAll()
+		if err != nil {
+			t.Fatalf("rewritten capture does not re-read: %v", err)
+		}
+		if len(got) != len(pkts) {
+			t.Fatalf("round trip: %d packets, want %d", len(got), len(pkts))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Data, pkts[i].Data) {
+				t.Fatalf("packet %d payload drifted on round trip", i)
+			}
+		}
+	})
+}

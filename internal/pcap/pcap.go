@@ -177,7 +177,10 @@ func (r *Reader) NextInto(buf []byte) (Packet, error) {
 	sub := int64(r.byteOrder.Uint32(rec[4:8]))
 	incl := r.byteOrder.Uint32(rec[8:12])
 	orig := r.byteOrder.Uint32(rec[12:16])
-	if incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen {
+	// Bound the allocation before trusting incl: a corrupt or hostile
+	// header must not make a 4 GiB buffer out of 16 bytes of input.
+	const maxRecord = 1 << 26
+	if incl > maxRecord || (incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen) {
 		return Packet{}, fmt.Errorf("pcap: implausible record length %d", incl)
 	}
 	var data []byte

@@ -4,7 +4,9 @@ package dot11fp_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -561,4 +563,76 @@ func TestEnginePushZeroAllocs(t *testing.T) {
 		t.Fatalf("engine push allocated %v times per %d-record sweep, want 0", allocs, len(recs))
 	}
 	eng.Close()
+}
+
+// benchSource replays a fixed record slice — the cheapest possible
+// RecordSource, so MultiStream's own merge and supervision overhead
+// dominates the measurement.
+type benchSource struct {
+	recs []dot11fp.Record
+	pos  int
+}
+
+func (s *benchSource) Next() (dot11fp.Record, error) {
+	if s.pos >= len(s.recs) {
+		return dot11fp.Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// deadSource is the permanently unplugged radio: every read fails.
+type deadSource struct{}
+
+func (deadSource) Next() (dot11fp.Record, error) {
+	return dot11fp.Record{}, errors.New("radio unplugged")
+}
+
+// BenchmarkMultiStreamDegraded measures the merged-stream drain with
+// every lane healthy against the degraded steady state where one lane
+// is permanently down — the cost a dead radio imposes on the survivors,
+// which supervision promises is a retirement, not a tax.
+func BenchmarkMultiStreamDegraded(b *testing.B) {
+	const lanes = 4
+	perLane := make([][]dot11fp.Record, lanes)
+	for i, r := range microTrace.Records {
+		perLane[i%lanes] = append(perLane[i%lanes], r)
+	}
+	sup := dot11fp.Supervisor{
+		Reopen:      func(int) (dot11fp.RecordSource, error) { return nil, errors.New("still unplugged") },
+		MaxAttempts: 1,
+		Backoff:     time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+	}
+	run := func(b *testing.B, degraded bool) {
+		b.ReportAllocs()
+		var total int
+		for i := 0; i < b.N; i++ {
+			srcs := make([]dot11fp.RecordSource, 0, lanes)
+			for l := 0; l < lanes-1; l++ {
+				srcs = append(srcs, &benchSource{recs: perLane[l]})
+			}
+			if degraded {
+				srcs = append(srcs, deadSource{})
+			} else {
+				srcs = append(srcs, &benchSource{recs: perLane[lanes-1]})
+			}
+			stream := dot11fp.NewMultiStreamOpts(dot11fp.MultiOptions{
+				Mode: dot11fp.MergeByTime, Supervisor: sup,
+			}, srcs...)
+			n := 0
+			for {
+				if _, err := stream.Next(); err != nil {
+					break
+				}
+				n++
+			}
+			stream.Close()
+			total += n
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "records/op")
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, false) })
+	b.Run("one-source-down", func(b *testing.B) { run(b, true) })
 }
