@@ -234,8 +234,14 @@ func NewEnsembleEngine(cfgs []Config, edb *CompiledEnsemble, opts EngineOptions)
 	return engine.NewEnsemble(cfgs, edb, opts)
 }
 
-// NewChannelSink creates a channel-backed event sink for NewEngine.
+// NewChannelSink creates a channel-backed event sink for NewEngine; a
+// full buffer backpressures the engine (lossless).
 func NewChannelSink(buffer int) *ChannelSink { return engine.NewChannelSink(buffer) }
+
+// NewDroppingChannelSink creates a channel-backed event sink whose full
+// buffer drops events (counted in ChannelSink.Dropped) instead of
+// stalling the engine.
+func NewDroppingChannelSink(buffer int) *ChannelSink { return engine.NewDroppingChannelSink(buffer) }
 
 // --- online enrollment -------------------------------------------------------
 
@@ -255,8 +261,11 @@ type (
 	// horizon (EnrollAuto or EnrollConfirm).
 	EnrollPolicy = engine.EnrollPolicy
 	// PendingEnrollment is the trainer's view of a not-yet-enrolled
-	// sender, handed to the Confirm callback.
+	// sender, handed to the Confirm/Decide callbacks.
 	PendingEnrollment = engine.PendingEnrollment
+	// EnrollDecision is the three-way verdict of TrainerOptions.Decide
+	// (DecideApprove, DecideReject, DecideDefer).
+	EnrollDecision = engine.EnrollDecision
 	// DBSetter is the hot-swap half of an engine as the trainer sees
 	// it; Engine and ShardedEngine both implement it.
 	DBSetter = engine.DBSetter
@@ -269,8 +278,19 @@ type (
 const (
 	// EnrollAuto promotes every sender that completes the horizon.
 	EnrollAuto = engine.EnrollAuto
-	// EnrollConfirm asks TrainerOptions.Confirm before promoting.
+	// EnrollConfirm asks TrainerOptions.Decide (or Confirm) first.
 	EnrollConfirm = engine.EnrollConfirm
+)
+
+// Decisions for TrainerOptions.Decide under EnrollConfirm.
+const (
+	// DecideDefer keeps the sender pending; it is offered again at its
+	// next candidate window.
+	DecideDefer = engine.DecideDefer
+	// DecideApprove promotes the sender into the references now.
+	DecideApprove = engine.DecideApprove
+	// DecideReject permanently denies the sender.
+	DecideReject = engine.DecideReject
 )
 
 // NewTrainer creates a cold-start trainer: references begin empty and

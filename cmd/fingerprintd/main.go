@@ -34,6 +34,15 @@
 // with status 3 so orchestrators can tell a clean run from a degraded
 // one.
 //
+// -listen serves fingerprinting as a service on a trusted network: a
+// JSON query API (/api/v1/sites/{site}/senders/{mac} answers "who is
+// sender X"), a server-sent-events verdict feed, batch pcap scoring,
+// remote checkpoint save/load against the -save path, and Prometheus
+// metrics at /metrics (-pprof adds /debug/pprof). -site names this
+// daemon's tenant. With -enroll-confirm, senders that complete the
+// enrollment horizon wait for an operator verdict posted over the API
+// instead of auto-enrolling.
+//
 // SIGINT/SIGTERM drain gracefully: sources stop, queued records are
 // processed, the open window is flushed and matched, and final
 // statistics are printed. -stats prints a periodic counters line to
@@ -57,10 +66,12 @@
 //	             [-checkpoint-every 0] [-source-retry 0]
 //	             [-window 5m] [-threshold 0] [-shards 0] [-queue 8192]
 //	             [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
+//	             [-listen :9077] [-pprof] [-site default] [-enroll-confirm]
 //	             [-rebase] [-stats 10s] [-v] input.pcap [input2.pcap ...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -74,6 +85,7 @@ import (
 	"dot11fp"
 	"dot11fp/internal/checkpoint"
 	"dot11fp/internal/cmdutil"
+	"dot11fp/internal/server"
 )
 
 func main() {
@@ -97,6 +109,10 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "also checkpoint the references periodically at this interval (0 = only SIGHUP and shutdown)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 = off)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops, evictions and enrollment progress")
+	listen := flag.String("listen", "", "serve the HTTP API, SSE verdict feed and /metrics on this address (trusted networks only; empty = off)")
+	pprofFlag := flag.Bool("pprof", false, "with -listen, also mount /debug/pprof")
+	siteName := flag.String("site", "default", "site name this daemon serves under /api/v1/sites/{site}")
+	enrollConfirm := flag.Bool("enroll-confirm", false, "with -enroll and -listen, hold completed senders for operator approval over the API instead of auto-enrolling")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -105,6 +121,12 @@ func main() {
 	enrollFlags := cmdutil.EnrollFlags{Enroll: *enroll, Windows: *enrollWindows}
 	if err := enrollFlags.Validate(); err != nil {
 		fatal(err)
+	}
+	if *enrollConfirm && (!*enroll || *listen == "") {
+		fatal(fmt.Errorf("-enroll-confirm needs -enroll and -listen (approvals arrive over the API)"))
+	}
+	if *pprofFlag && *listen == "" {
+		fatal(fmt.Errorf("-pprof needs -listen"))
 	}
 	mode, err := cmdutil.ParseMergeMode(*mergeFlag)
 	if err != nil {
@@ -237,6 +259,22 @@ func main() {
 			fatal(fmt.Errorf("-save %s: %w", *savePath, err))
 		}
 	}
+	// The site is created before the engine because the engine's Sink
+	// is fixed at construction and must run through the site's taps
+	// (verdict cache + SSE fanout); the engine itself is attached after
+	// it exists. The enrollment gate's Decide likewise has to be in the
+	// trainer's options from birth.
+	var site *server.Site
+	if *listen != "" {
+		site = server.NewSite(*siteName, server.SiteOptions{
+			Window:         *window,
+			Threshold:      *threshold,
+			CheckpointPath: *savePath,
+		})
+		if *enrollConfirm {
+			enrollFlags.Decide = site.Gate().Decide
+		}
+	}
 	trainer, cdb, cedb, err := enrollFlags.EnrollOrCompile(cfgs, measure, refs) // when enrolling, the trainer owns the references
 	if err != nil {
 		fatal(err)
@@ -246,6 +284,25 @@ func main() {
 	if *drop {
 		policy = dot11fp.BackpressureDrop
 	}
+	var sink dot11fp.Sink = dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose))
+	var healthSink dot11fp.Sink = dot11fp.SinkFunc(func(ev dot11fp.Event) {
+		switch ev := ev.(type) {
+		case dot11fp.ComponentPanicked:
+			fmt.Fprintf(os.Stderr, "fingerprintd: recovered %s panic (shard %d): %s\n",
+				ev.Component, ev.Shard, ev.Err)
+		case dot11fp.ShardStalled:
+			fmt.Fprintf(os.Stderr, "fingerprintd: shard %d stalled for %v (%d batches queued)\n",
+				ev.Shard, ev.For, ev.Queued)
+		case dot11fp.ShardResumed:
+			fmt.Fprintf(os.Stderr, "fingerprintd: shard %d resumed\n", ev.Shard)
+		}
+	})
+	if site != nil {
+		// Verdicts and health events alike flow through the site's taps
+		// into the verdict cache and the SSE feed, then on to the
+		// printers.
+		sink, healthSink = site.Sink(sink), site.Sink(healthSink)
+	}
 	opts := dot11fp.ShardedOptions{
 		Window:       *window,
 		Threshold:    *threshold,
@@ -253,21 +310,10 @@ func main() {
 		QueueLen:     *queue,
 		Backpressure: policy,
 		Limits:       dot11fp.SenderLimits{MaxSenders: *maxSenders, IdleEvict: *idleEvict},
-		Sink:         dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose)),
+		Sink:         sink,
 		Trainer:      trainer,
 		Watchdog:     5 * time.Second,
-		HealthSink: dot11fp.SinkFunc(func(ev dot11fp.Event) {
-			switch ev := ev.(type) {
-			case dot11fp.ComponentPanicked:
-				fmt.Fprintf(os.Stderr, "fingerprintd: recovered %s panic (shard %d): %s\n",
-					ev.Component, ev.Shard, ev.Err)
-			case dot11fp.ShardStalled:
-				fmt.Fprintf(os.Stderr, "fingerprintd: shard %d stalled for %v (%d batches queued)\n",
-					ev.Shard, ev.For, ev.Queued)
-			case dot11fp.ShardResumed:
-				fmt.Fprintf(os.Stderr, "fingerprintd: shard %d resumed\n", ev.Shard)
-			}
-		}),
+		HealthSink:   healthSink,
 	}
 	var eng *dot11fp.ShardedEngine
 	if fused {
@@ -277,6 +323,19 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	var srv *server.Server
+	if site != nil {
+		site.Attach(eng, trainer, stream.SourceStats, refs)
+		reg := server.NewRegistry()
+		if err := reg.Add(site); err != nil {
+			fatal(err)
+		}
+		srv, err = server.Start(*listen, reg, server.Options{Pprof: *pprofFlag})
+		if err != nil {
+			fatal(fmt.Errorf("-listen %s: %w", *listen, err))
+		}
+		fmt.Fprintf(os.Stderr, "fingerprintd: serving HTTP on %s (site %q)\n", srv.Addr(), *siteName)
 	}
 
 	// saveCheckpoint writes the current references to -save: the
@@ -379,17 +438,20 @@ func main() {
 	}
 	cmdutil.HealthLine(os.Stderr, "fingerprintd", eng.Health(), stream.SourceStats())
 	saveCheckpoint("shutdown")
+	// The HTTP server drains last, joined to the same graceful path: the
+	// API stays queryable until the final checkpoint is on disk, then
+	// SSE feeds are released and in-flight requests get a bounded grace.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
 
 	// Degraded-mode exit: the run completed, but only because
 	// supervision absorbed faults — recovered panics, a permanently
 	// down source, or failed checkpoint saves. Exit 3 so orchestrators
 	// can tell this run from a clean one (1 stays "fatal error").
-	degraded := eng.Health().Panics() > 0 || ckptFailures.Load() > 0
-	for _, s := range stream.SourceStats() {
-		if s.Permanent {
-			degraded = true
-		}
-	}
+	degraded := cmdutil.Degraded(eng.Health(), stream.SourceStats()) || ckptFailures.Load() > 0
 	if degraded {
 		fmt.Fprintln(os.Stderr, "fingerprintd: run degraded by recovered faults, exiting 3")
 		os.Exit(3)

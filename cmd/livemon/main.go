@@ -29,10 +29,12 @@
 //
 //	livemon [-db ref.fpdb | -ref 20m] [-param iat | -param rate,size,iat]
 //	        [-measure cosine] [-enroll] [-window 5m] [-threshold 0]
-//	        [-shards 1] [-stats 0] [-v] [capture.pcap | -]
+//	        [-shards 1] [-stats 0] [-listen :9077] [-site default]
+//	        [-v] [capture.pcap | -]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,7 @@ import (
 
 	"dot11fp"
 	"dot11fp/internal/cmdutil"
+	"dot11fp/internal/server"
 )
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 	shards := flag.Int("shards", 1, "engine shards: 1 = serial engine, 0 = GOMAXPROCS, N = N shards")
 	statsEvery := flag.Duration("stats", 0, "periodic stats line interval on stderr (0 = off)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops and enrollment progress")
+	listen := flag.String("listen", "", "serve the HTTP API, SSE verdict feed and /metrics on this address (trusted networks only; empty = off)")
+	siteName := flag.String("site", "default", "site name under /api/v1/sites/{site} with -listen")
 	flag.Parse()
 
 	in := os.Stdin
@@ -87,14 +92,20 @@ func main() {
 	var eng interface {
 		Push(*dot11fp.Record)
 		Close()
-		Stats() dot11fp.EngineStats
-		Health() dot11fp.EngineHealth
+		server.EngineHandle
 	}
 	// Windows are stamped with the capture's wall clock.
 	clock := func(us int64) string {
 		return stream.Base().Add(time.Duration(us) * time.Microsecond).Format("15:04:05")
 	}
-	sink := dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, clock, *verbose))
+	var sink dot11fp.Sink = dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, clock, *verbose))
+	// The site wraps the sink before the engine exists (the engine's
+	// Sink is fixed at construction); the engine attaches afterwards.
+	var site *server.Site
+	if *listen != "" {
+		site = server.NewSite(*siteName, server.SiteOptions{Window: *window, Threshold: *threshold})
+		sink = site.Sink(sink)
+	}
 	// An ensemble reference set selects the fused engines even with one
 	// member — a 1-member ensemble checkpoint must drive the ensemble
 	// path, not silently fall back to an empty single-parameter engine.
@@ -119,6 +130,19 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	var srv *server.Server
+	if site != nil {
+		site.Attach(eng, trainer, nil, refs)
+		reg := server.NewRegistry()
+		if err := reg.Add(site); err != nil {
+			fatal(err)
+		}
+		srv, err = server.Start(*listen, reg, server.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("-listen %s: %w", *listen, err))
+		}
+		fmt.Fprintf(os.Stderr, "livemon: serving HTTP on %s (site %q)\n", srv.Addr(), *siteName)
 	}
 
 	stop := make(chan struct{})
@@ -160,6 +184,11 @@ func main() {
 	cmdutil.HealthLine(os.Stderr, "livemon", eng.Health(), nil)
 	if trainer != nil {
 		cmdutil.TrainerLine(os.Stderr, "livemon", trainer.Stats())
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
 	}
 }
 

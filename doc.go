@@ -272,6 +272,60 @@
 // (-param rate,size,iat); fingerprintd -save checkpoints the whole
 // fused reference set in one atomic container.
 //
+// # Serving
+//
+// internal/server packages the pipeline as fingerprinting as a
+// service: an HTTP face (stdlib only) the daemons mount with -listen.
+// The API is multi-tenant over named sites — one site per engine plus
+// its references, trainer and capture sources — rooted at
+// /api/v1/sites/{site}:
+//
+//	GET  .../senders            last verdict per sender (bounded cache)
+//	GET  .../senders/{mac}      "who is sender X": verdict + full score vector
+//	GET  .../references         enrolled reference addresses
+//	GET  .../references/{mac}   one reference's per-parameter observations
+//	GET  .../enroll             pending enrollments + unanswered offers
+//	POST .../enroll/{mac}       {"decision":"approve"|"reject"} (confirm mode)
+//	POST .../score              score an uploaded pcap against the references
+//	POST .../checkpoint         save the references (generation-chained)
+//	POST .../checkpoint/load    hot-swap references from the checkpoint chain
+//	GET  .../feed               server-sent-events verdict stream
+//	GET  /metrics               Prometheus text over every site's snapshot
+//	GET  /healthz               200 clean / 503 degraded, per-site detail
+//
+// Serving never touches the hot path: everything comes from the
+// engines' snapshot surfaces, from a verdict cache fed at window close
+// (bounded like every other per-sender map, so MAC randomization
+// cannot grow the server), or from a one-shot batch engine running the
+// site's own window/threshold — so a sender query answers with exactly
+// the scores the batch path produces (TestSenderQueryMatchesBatch).
+// The SSE feed fans events out through per-client buffers with
+// non-blocking sends: a slow or dead client loses frames (counted per
+// client and in /metrics), never stalls the pipeline, while a client
+// that keeps up sees the engine's exact event sequence
+// (TestFeedStreamsEventSequence); with no clients connected events are
+// never even encoded. TestEnginePushZeroAllocs holds with the server's
+// taps attached and a feed subscribed.
+//
+// Enrollment closes its loop over the wire: TrainerOptions.Decide is
+// the three-way form of Confirm (approve / reject / defer keeps the
+// sender pending and asks again next window), and the server's
+// EnrollGate implements it — fingerprintd -enroll-confirm holds each
+// completed sender until an operator posts the verdict. Checkpoint
+// endpoints reuse the generation-chained save/load against the
+// server-side -save path (clients never name paths); a trainer-owned
+// site refuses loads rather than diverge from its trainer.
+//
+// The server is built for trusted monitoring networks: there is no
+// authentication, no TLS, and the API exposes observed MAC addresses
+// and traffic metadata — bind -listen to loopback or a management
+// network, never a public interface (-pprof additionally mounts
+// /debug/pprof). cmd/fingerprintd wires the whole face (-listen,
+// -site, -pprof, -enroll-confirm) with shutdown joined to the
+// SIGINT/SIGTERM drain — the API stays queryable until the final
+// checkpoint is on disk, then feeds are flushed and released;
+// cmd/livemon takes -listen/-site for single-feed monitoring.
+//
 // # Performance
 //
 // Matching is the N×W×D hot loop of the methodology: every candidate

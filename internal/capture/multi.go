@@ -154,21 +154,23 @@ func (SourceUp) sourceEvent() {}
 
 // SourceStats is one source's supervision counters, a snapshot from
 // MultiStream.SourceStats.
+// The JSON field names are a stable API surface shared by the HTTP
+// server and the /metrics encoder (TestSnapshotJSONStable pins them).
 type SourceStats struct {
 	// Records delivered into the merge.
-	Records uint64
+	Records uint64 `json:"records"`
 	// DecodeErrors skipped-and-counted by the source (undecodable
 	// frames; see StreamReader.Skipped).
-	DecodeErrors uint64
+	DecodeErrors uint64 `json:"decode_errors"`
 	// Failures is source errors plus failed reopen attempts.
-	Failures uint64
+	Failures uint64 `json:"failures"`
 	// Reopens is successful reopens.
-	Reopens uint64
+	Reopens uint64 `json:"reopens"`
 	// Down reports the source is currently failed (reopening or
 	// retired).
-	Down bool
+	Down bool `json:"down"`
 	// Permanent reports the source exhausted its reopen attempts.
-	Permanent bool
+	Permanent bool `json:"permanent"`
 }
 
 // srcState is one source's supervision state. Counters are atomics so

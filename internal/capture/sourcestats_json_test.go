@@ -1,0 +1,47 @@
+package capture_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dot11fp/internal/capture"
+)
+
+// TestSourceStatsJSONStable pins SourceStats' JSON shape — the capture
+// half of the canonical snapshot surface shared by the HTTP API and
+// the /metrics encoder (the engine half lives in
+// engine.TestSnapshotJSONStable). Every field carries a distinct
+// non-zero value so a dropped tag cannot round-trip silently.
+func TestSourceStatsJSONStable(t *testing.T) {
+	t.Parallel()
+	st := capture.SourceStats{
+		Records: 1, DecodeErrors: 2, Failures: 3, Reopens: 4,
+		Down: true, Permanent: true,
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 capture.SourceStats
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st {
+		t.Fatalf("round trip drifted: got %+v, want %+v", st2, st)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"decode_errors", "down", "failures", "permanent", "records", "reopens"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("SourceStats JSON keys drifted:\n got  %v\n want %v", keys, want)
+	}
+}

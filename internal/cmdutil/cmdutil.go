@@ -172,6 +172,11 @@ type EnrollFlags struct {
 	// Windows is the enrollment horizon in detection windows
 	// (-enroll-windows).
 	Windows int
+	// Decide, when non-nil, switches the trainer to confirm mode with
+	// this three-way callback (approve/reject/defer) deciding each
+	// completed sender — the HTTP server's enrollment gate plugs in
+	// here (fingerprintd -enroll-confirm).
+	Decide func(dot11fp.PendingEnrollment) dot11fp.EnrollDecision
 }
 
 // Validate rejects inconsistent flag combinations before any work
@@ -187,11 +192,15 @@ func (f EnrollFlags) Validate() error {
 }
 
 // NewTrainer builds the trainer the flags describe: auto-enrollment
-// over the given horizon, references frozen once enrolled. seed may be
+// over the given horizon (confirm mode when Decide is set), references
+// frozen once enrolled. seed may be
 // empty for a cold start; a multi-parameter seed (or cfgs list) yields
 // an ensemble trainer.
 func (f EnrollFlags) NewTrainer(cfgs []dot11fp.Config, measure dot11fp.Measure, seed References) (*dot11fp.Trainer, error) {
 	opts := dot11fp.TrainerOptions{Horizon: f.Windows}
+	if f.Decide != nil {
+		opts.Policy, opts.Decide = dot11fp.EnrollConfirm, f.Decide
+	}
 	switch {
 	case seed.DB != nil:
 		return dot11fp.NewTrainerFrom(seed.DB, opts), nil
@@ -542,6 +551,24 @@ func StatsLine(w io.Writer, prefix string, st dot11fp.EngineStats) {
 		prefix, st.Frames, st.Elapsed.Round(time.Millisecond), st.FramesPerSec, st.LiveSenders,
 		st.WindowsClosed, st.Candidates, st.Matched, st.Unknown,
 		st.Dropped, st.Evicted, st.DroppedFrames)
+}
+
+// Degraded reports a run that only kept going because supervision
+// absorbed unrecoverable faults: recovered panics, or a source that
+// exhausted its reopen attempts. One definition, shared by
+// fingerprintd's exit-3 policy and the HTTP server's per-site status —
+// transient faults (a source down but still reopening, reopens that
+// succeeded) do not count; HealthLine still reports them.
+func Degraded(h dot11fp.EngineHealth, srcs []dot11fp.SourceStats) bool {
+	if h.Panics() > 0 {
+		return true
+	}
+	for _, s := range srcs {
+		if s.Permanent {
+			return true
+		}
+	}
+	return false
 }
 
 // HealthLine prints one operator-readable supervision snapshot: engine

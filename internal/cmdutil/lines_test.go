@@ -1,0 +1,100 @@
+package cmdutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dot11fp"
+)
+
+// TestStatsLineFormat pins the operator stats line: every counter
+// present, in the documented order, under the command prefix.
+func TestStatsLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	StatsLine(&buf, "testd", dot11fp.EngineStats{
+		Frames: 1000, DroppedFrames: 7, WindowsClosed: 4, LiveSenders: 12,
+		Candidates: 40, Matched: 30, Unknown: 10, Dropped: 5, Evicted: 2,
+		Elapsed: 1500 * time.Millisecond, FramesPerSec: 666.7,
+	})
+	want := "testd: 1000 frames in 1.5s (667 frames/s), 12 live senders, 4 windows, 40 candidates (30 matched, 10 unknown), 5 dropped senders (2 evicted), 7 dropped frames\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("stats line drifted:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestTrainerLineFormat pins the enrollment line.
+func TestTrainerLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	TrainerLine(&buf, "testd", dot11fp.TrainerStats{
+		Refs: 9, Pending: 3, Enrolled: 8, Updated: 20, Swaps: 6,
+		Denied: 11, Rejected: 2,
+	})
+	want := "testd: enrollment: 9 references (8 enrolled live, 20 updates, 6 swaps), 3 pending, 2 rejected, 11 denied observations\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("trainer line drifted:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestHealthLineQuietWhenClean pins the common case: a clean engine
+// over sources that never faulted prints nothing at all.
+func TestHealthLineQuietWhenClean(t *testing.T) {
+	var buf bytes.Buffer
+	HealthLine(&buf, "testd", dot11fp.EngineHealth{}, []dot11fp.SourceStats{
+		{Records: 100}, {Records: 200},
+	})
+	if buf.Len() != 0 {
+		t.Fatalf("clean health printed %q, want nothing", buf.String())
+	}
+}
+
+// TestHealthLineFormat pins the degraded report: the panic breakdown,
+// stalled shards and last panic on the first line, then one line per
+// source that ever faulted (quiet sources stay quiet).
+func TestHealthLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	h := dot11fp.EngineHealth{
+		ShardPanics: 2, TrainerPanics: 1,
+		LastPanic:     "shard: boom",
+		StalledShards: []int{3},
+	}
+	srcs := []dot11fp.SourceStats{
+		{Records: 100}, // never faulted: no line
+		{Records: 50, DecodeErrors: 4, Failures: 2, Reopens: 1, Down: true},
+		{Records: 10, Failures: 5, Permanent: true},
+	}
+	HealthLine(&buf, "testd", h, srcs)
+	want := strings.Join([]string{
+		"testd: health: 3 recovered panics (2 shard, 0 merger, 1 trainer, 0 engine), stalled shards [3], last panic: shard: boom",
+		"testd: source 1: down, reopening, 50 records, 4 decode errors, 2 failures, 1 reopens",
+		"testd: source 2: permanently down, 10 records, 0 decode errors, 5 failures, 0 reopens",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("health line drifted:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestDegraded pins the shared degraded-run definition: unrecoverable
+// faults only — recovered panics or a permanently down source count,
+// transient downs and successful reopens do not.
+func TestDegraded(t *testing.T) {
+	cases := []struct {
+		name string
+		h    dot11fp.EngineHealth
+		srcs []dot11fp.SourceStats
+		want bool
+	}{
+		{"clean", dot11fp.EngineHealth{}, []dot11fp.SourceStats{{Records: 1}}, false},
+		{"panic", dot11fp.EngineHealth{MergerPanics: 1}, nil, true},
+		{"permanent source", dot11fp.EngineHealth{}, []dot11fp.SourceStats{{Permanent: true}}, true},
+		{"transient down", dot11fp.EngineHealth{}, []dot11fp.SourceStats{{Down: true, Failures: 3}}, false},
+		{"survived reopen", dot11fp.EngineHealth{}, []dot11fp.SourceStats{{Reopens: 2, Failures: 2}}, false},
+	}
+	for _, tc := range cases {
+		if got := Degraded(tc.h, tc.srcs); got != tc.want {
+			t.Errorf("%s: Degraded = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -80,29 +80,37 @@ type Options struct {
 // window counters by the records still in flight (queued but not yet
 // windowed, or in the currently open window). LiveSenders is an
 // instantaneous gauge.
+//
+// The JSON field names are a stable API surface: the HTTP server and
+// the /metrics encoder both serve this snapshot shape, so renaming a
+// tag is a breaking change for API consumers (TestSnapshotJSONStable
+// pins them).
 type Stats struct {
 	// Frames is the number of records pushed.
-	Frames uint64
+	Frames uint64 `json:"frames"`
 	// DroppedFrames is the number of observations discarded by the
 	// sharded engine's Drop backpressure policy. Always 0 for the
 	// serial Engine.
-	DroppedFrames uint64
+	DroppedFrames uint64 `json:"dropped_frames"`
 	// WindowsClosed is the number of detection windows emitted.
-	WindowsClosed uint64
+	WindowsClosed uint64 `json:"windows_closed"`
 	// LiveSenders is the number of distinct senders with observations
 	// in the currently open window (summed across shards).
-	LiveSenders int
+	LiveSenders int `json:"live_senders"`
 	// Candidates, Matched, Unknown and Dropped count the per-window
 	// verdicts emitted so far; Candidates = Matched + Unknown in every
 	// snapshot. Dropped counts below-minimum and evicted senders.
-	Candidates, Matched, Unknown, Dropped uint64
+	Candidates uint64 `json:"candidates"`
+	Matched    uint64 `json:"matched"`
+	Unknown    uint64 `json:"unknown"`
+	Dropped    uint64 `json:"dropped"`
 	// Evicted counts the senders evicted under Options.Limits (a subset
 	// of Dropped).
-	Evicted uint64
-	// Elapsed is the wall-clock time since the first push;
-	// FramesPerSec is Frames over Elapsed.
-	Elapsed      time.Duration
-	FramesPerSec float64
+	Evicted uint64 `json:"evicted"`
+	// Elapsed is the wall-clock time since the first push, in
+	// nanoseconds on the wire; FramesPerSec is Frames over Elapsed.
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	FramesPerSec float64       `json:"frames_per_sec"`
 }
 
 // Engine is a push-based fingerprinting pipeline. Push, PushTrace,

@@ -1,0 +1,77 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"dot11fp/internal/engine"
+)
+
+// TestChannelSinkBlockingBackpressures pins the default full-buffer
+// policy: a blocking sink's send into a full channel waits for the
+// consumer, losing nothing and counting nothing.
+func TestChannelSinkBlockingBackpressures(t *testing.T) {
+	t.Parallel()
+	sink := engine.NewChannelSink(1)
+	sink.HandleEvent(engine.WindowClosed{Window: 0})
+
+	// The second send must block until the consumer drains one event.
+	sent := make(chan struct{})
+	go func() {
+		sink.HandleEvent(engine.WindowClosed{Window: 1})
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("send into a full blocking sink did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if ev := (<-sink.C).(engine.WindowClosed); ev.Window != 0 {
+		t.Fatalf("drained window %d, want 0", ev.Window)
+	}
+	select {
+	case <-sent:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked send never completed after a drain")
+	}
+	if ev := (<-sink.C).(engine.WindowClosed); ev.Window != 1 {
+		t.Fatalf("drained window %d, want 1", ev.Window)
+	}
+	if n := sink.Dropped(); n != 0 {
+		t.Fatalf("blocking sink counted %d drops, want 0", n)
+	}
+}
+
+// TestChannelSinkDroppingCounts pins the dropping policy: a full buffer
+// discards the event immediately — never stalling the caller — and
+// every discard is visible in Dropped; delivered events keep their
+// order.
+func TestChannelSinkDroppingCounts(t *testing.T) {
+	t.Parallel()
+	sink := engine.NewDroppingChannelSink(2)
+	for i := 0; i < 5; i++ {
+		done := make(chan struct{})
+		go func(i int) {
+			sink.HandleEvent(engine.WindowClosed{Window: i})
+			close(done)
+		}(i)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("send %d blocked on a dropping sink", i)
+		}
+	}
+	if n := sink.Dropped(); n != 3 {
+		t.Fatalf("counted %d drops, want 3", n)
+	}
+	sink.Close()
+	var got []int
+	for ev := range sink.C {
+		got = append(got, ev.(engine.WindowClosed).Window)
+	}
+	// The first two sends fit the buffer; the rest dropped. Order of
+	// the delivered prefix is preserved.
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("delivered %v, want [0 1]", got)
+	}
+}

@@ -19,22 +19,24 @@ import (
 // bit-identical to a fault-free run — which is why the counters exist:
 // an operator (or fingerprintd's degraded-mode exit) can tell a clean
 // run from a survived one.
+// The JSON field names are a stable API surface shared by the HTTP
+// server and the /metrics encoder (TestSnapshotJSONStable pins them).
 type Health struct {
 	// ShardPanics, MergerPanics, TrainerPanics and EnginePanics count
 	// recovered panics per component (EnginePanics is the serial
 	// engine's window-delivery path).
-	ShardPanics   uint64
-	MergerPanics  uint64
-	TrainerPanics uint64
-	EnginePanics  uint64
+	ShardPanics   uint64 `json:"shard_panics"`
+	MergerPanics  uint64 `json:"merger_panics"`
+	TrainerPanics uint64 `json:"trainer_panics"`
+	EnginePanics  uint64 `json:"engine_panics"`
 	// LastPanic describes the most recent recovered panic, "" if none.
-	LastPanic string
+	LastPanic string `json:"last_panic,omitempty"`
 	// StalledShards lists shards the watchdog currently considers
 	// stalled (queued work, no progress across a sampling interval).
-	StalledShards []int
+	StalledShards []int `json:"stalled_shards,omitempty"`
 	// QueueDepths is each shard's queued batch count at snapshot time
 	// (nil on the serial engine, which has no queues).
-	QueueDepths []int
+	QueueDepths []int `json:"queue_depths,omitempty"`
 }
 
 // Panics returns the total recovered panic count.

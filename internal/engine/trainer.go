@@ -79,10 +79,28 @@ type EnrollPolicy uint8
 const (
 	// EnrollAuto promotes every completed sender into the references.
 	EnrollAuto EnrollPolicy = iota
-	// EnrollConfirm asks TrainerOptions.Confirm before promoting. A
-	// rejected sender is remembered and never offered again; with a nil
-	// Confirm callback nothing is ever promoted.
+	// EnrollConfirm asks TrainerOptions.Decide (or the boolean Confirm)
+	// before promoting. A rejected sender is remembered and never
+	// offered again; a deferred one stays pending. With neither callback
+	// set nothing is ever promoted.
 	EnrollConfirm
+)
+
+// EnrollDecision is the three-way verdict of TrainerOptions.Decide on a
+// sender that completed its enrollment horizon.
+type EnrollDecision uint8
+
+const (
+	// DecideDefer keeps the sender pending: it continues accumulating
+	// and is offered again at its next candidate window. This is the
+	// natural return for an out-of-band approval flow (e.g. an operator
+	// confirming over the HTTP API) that has not answered yet.
+	DecideDefer EnrollDecision = iota
+	// DecideApprove promotes the sender into the references now.
+	DecideApprove
+	// DecideReject permanently denies the sender: dropped from pending,
+	// never offered again (same memory as the deny list).
+	DecideReject
 )
 
 // PendingEnrollment is the trainer's view of one not-yet-enrolled
@@ -127,6 +145,13 @@ type TrainerOptions struct {
 	// remembered: the sender is dropped from pending and never offered
 	// again.
 	Confirm func(PendingEnrollment) bool
+	// Decide is the three-way form of Confirm — approve, reject, or
+	// defer (keep pending and ask again next window). When set it takes
+	// precedence over Confirm. Same calling contract: synchronous on the
+	// event-delivery goroutine, no re-entry into trainer or engine. A
+	// deferred sender emits EnrollmentProgress for the window, so the
+	// stream still accounts for it.
+	Decide func(PendingEnrollment) EnrollDecision
 	// Deny lists senders that must never be enrolled (nor merged into
 	// existing references) — e.g. the monitor's own infrastructure.
 	Deny []dot11.Addr
@@ -145,19 +170,27 @@ type TrainerOptions struct {
 }
 
 // TrainerStats is a point-in-time snapshot of a trainer's counters.
+//
+// The JSON field names are a stable API surface shared by the HTTP
+// server and the /metrics encoder (TestSnapshotJSONStable pins them).
 type TrainerStats struct {
 	// Refs is the current reference count (fully-known devices, for an
 	// ensemble trainer); Pending the senders still accumulating toward
 	// the horizon.
-	Refs, Pending int
+	Refs    int `json:"refs"`
+	Pending int `json:"pending"`
 	// Enrolled counts promotions, Updated reference refreshes (Update
 	// mode), Swaps the database promotions pushed to the engine (the
 	// DBSwapped version number).
-	Enrolled, Updated, Swaps uint64
+	Enrolled uint64 `json:"enrolled"`
+	Updated  uint64 `json:"updated"`
+	Swaps    uint64 `json:"swaps"`
 	// Denied counts candidate observations skipped for deny-listed or
 	// confirm-rejected senders; Rejected the Confirm refusals;
 	// EvictedPending the pending senders dropped by MaxPending.
-	Denied, Rejected, EvictedPending uint64
+	Denied         uint64 `json:"denied"`
+	Rejected       uint64 `json:"rejected"`
+	EvictedPending uint64 `json:"evicted_pending"`
 }
 
 // pendingEnroll is one sender accumulating toward the horizon: one
@@ -421,6 +454,27 @@ func (t *Trainer) Stats() TrainerStats {
 	return st
 }
 
+// PendingList returns a snapshot of the senders still accumulating
+// toward the enrollment horizon, in ascending address order — the HTTP
+// API's view of the enrollment queue. Entries carry address, window
+// count and the binding (weakest-member) observation count only: Sig
+// and Sigs stay nil, because the live accumulation signatures belong to
+// the trainer's goroutine and must not escape. Safe from any goroutine.
+func (t *Trainer) PendingList() []PendingEnrollment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PendingEnrollment, 0, len(t.pending))
+	for addr, p := range t.pending {
+		out = append(out, PendingEnrollment{
+			Addr: addr, Windows: p.windows, Observations: minSigObs(p.sigs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return addrLess([6]byte(out[i].Addr), [6]byte(out[j].Addr))
+	})
+	return out
+}
+
 // refsLocked returns the current reference count; call with mu held.
 func (t *Trainer) refsLocked() int {
 	if t.multi {
@@ -527,23 +581,36 @@ func (t *Trainer) observeCommon(window, n int, candAt func(int) (dot11.Addr, []*
 			})
 			continue
 		}
-		approved := true
+		decision := DecideApprove
 		if t.opts.Policy == EnrollConfirm {
-			approved = false
-			if cb := t.opts.Confirm; cb != nil {
-				pe := PendingEnrollment{Addr: addr, Windows: p.windows, Observations: barObs}
-				if t.multi {
-					pe.Sigs = p.sigs
-				} else {
-					pe.Sig = p.sigs[0]
+			decision = DecideReject
+			pe := PendingEnrollment{Addr: addr, Windows: p.windows, Observations: barObs}
+			if t.multi {
+				pe.Sigs = p.sigs
+			} else {
+				pe.Sig = p.sigs[0]
+			}
+			if cb := t.opts.Decide; cb != nil {
+				decision = cb(pe)
+			} else if cb := t.opts.Confirm; cb != nil {
+				if cb(pe) {
+					decision = DecideApprove
 				}
-				approved = cb(pe)
 			}
 		}
-		if approved {
+		switch decision {
+		case DecideApprove:
 			delete(t.pending, addr)
 			promote = append(promote, promotion{addr: addr, p: p})
-		} else {
+		case DecideDefer:
+			// Still pending: keep accumulating, report progress so the
+			// window's event stream accounts for the sender.
+			evs = append(evs, EnrollmentProgress{
+				Window: window, Addr: addr,
+				Windows: p.windows, Horizon: t.opts.Horizon,
+				Observations: barObs, Required: t.opts.MinObservations,
+			})
+		default: // DecideReject
 			delete(t.pending, addr)
 			t.denied[addr] = true
 			t.stats.Rejected++

@@ -1,0 +1,154 @@
+package engine_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dot11fp/internal/core"
+	"dot11fp/internal/dot11"
+	"dot11fp/internal/engine"
+)
+
+// TestTrainerDecideDefer pins the three-way Decide callback: a
+// deferred sender stays pending — re-offered at its next candidate
+// window, reported as EnrollmentProgress meanwhile — and can be
+// approved later, unlike Confirm's permanent false. This is the seam
+// the HTTP API's confirm-over-the-wire flow stands on: "no answer yet"
+// must not mean "never".
+func TestTrainerDecideDefer(t *testing.T) {
+	t.Parallel()
+	const window = 2 * time.Minute
+	cfg := core.DefaultConfig(core.ParamInterArrival)
+	tr := buildScenario(t, false)
+
+	// Pass 1: defer everything, forever. Nothing enrolls, nothing is
+	// rejected, and each sender is re-offered every candidate window
+	// past its horizon — the call counts prove re-offering.
+	offers := make(map[dot11.Addr]int)
+	deferAll := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{
+		Policy: engine.EnrollConfirm,
+		Decide: func(p engine.PendingEnrollment) engine.EnrollDecision {
+			offers[p.Addr]++
+			return engine.DecideDefer
+		},
+	})
+	var te trainEvents
+	eng, err := engine.New(cfg, nil, engine.Options{Window: window, Sink: collectTrainer(&te), Trainer: deferAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(tr)
+	eng.Close()
+
+	st := deferAll.Stats()
+	if st.Refs != 0 || st.Enrolled != 0 || st.Swaps != 0 || st.Rejected != 0 {
+		t.Fatalf("defer-all trainer promoted or rejected: %+v", st)
+	}
+	if st.Pending == 0 {
+		t.Fatal("defer-all trainer holds no pending senders")
+	}
+	var deferAddr dot11.Addr
+	reoffers := 0
+	for addr, n := range offers {
+		if n > reoffers {
+			deferAddr, reoffers = addr, n
+		}
+	}
+	if reoffers < 2 {
+		t.Fatalf("no sender was re-offered after a defer (max offers %d)", reoffers)
+	}
+	// A deferred completion is reported as progress, so the window's
+	// event stream still accounts for the sender.
+	progressed := false
+	for _, p := range te.progress {
+		if p.Addr == deferAddr && p.Windows >= p.Horizon {
+			progressed = true
+			break
+		}
+	}
+	if !progressed {
+		t.Fatal("deferred sender emitted no EnrollmentProgress past its horizon")
+	}
+
+	// PendingList is the API's view of the queue: every deferred sender
+	// present, ascending address order, accumulation state summarised
+	// without leaking the live signatures.
+	pending := deferAll.PendingList()
+	if len(pending) != st.Pending {
+		t.Fatalf("PendingList has %d entries, Stats.Pending %d", len(pending), st.Pending)
+	}
+	found := false
+	for i, pe := range pending {
+		if pe.Windows == 0 || pe.Observations == 0 {
+			t.Fatalf("pending entry %d has empty accumulation: %+v", i, pe)
+		}
+		if pe.Sig != nil || pe.Sigs != nil {
+			t.Fatalf("pending entry %d leaks live signatures", i)
+		}
+		if i > 0 {
+			prev, cur := pending[i-1].Addr, pe.Addr
+			if bytes.Compare(prev[:], cur[:]) >= 0 {
+				t.Fatalf("PendingList not in ascending address order: %v before %v", prev, cur)
+			}
+		}
+		if pe.Addr == deferAddr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deferred sender %v missing from PendingList", deferAddr)
+	}
+
+	// Pass 2: defer deferAddr once then approve it; reject another
+	// sender outright. Decide takes precedence over Confirm.
+	var rejectAddr dot11.Addr
+	for addr := range offers {
+		if addr != deferAddr {
+			rejectAddr = addr
+			break
+		}
+	}
+	calls := make(map[dot11.Addr]int)
+	trainer := engine.NewTrainer(cfg, core.MeasureCosine, engine.TrainerOptions{
+		Policy: engine.EnrollConfirm,
+		Confirm: func(engine.PendingEnrollment) bool {
+			t.Error("Confirm called although Decide is set")
+			return false
+		},
+		Decide: func(p engine.PendingEnrollment) engine.EnrollDecision {
+			calls[p.Addr]++
+			switch {
+			case p.Addr == rejectAddr:
+				return engine.DecideReject
+			case p.Addr == deferAddr && calls[p.Addr] == 1:
+				return engine.DecideDefer
+			default:
+				return engine.DecideApprove
+			}
+		},
+	})
+	eng, err = engine.New(cfg, nil, engine.Options{Window: window, Trainer: trainer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(tr)
+	eng.Close()
+
+	if calls[deferAddr] != 2 {
+		t.Fatalf("deferred sender offered %d times, want 2 (defer, then approve)", calls[deferAddr])
+	}
+	if calls[rejectAddr] != 1 {
+		t.Fatalf("rejected sender offered %d times, want exactly 1", calls[rejectAddr])
+	}
+	db := trainer.Database()
+	if db.Signature(deferAddr) == nil {
+		t.Fatal("deferred-then-approved sender missing from the references")
+	}
+	if db.Signature(rejectAddr) != nil {
+		t.Fatal("rejected sender present in the references")
+	}
+	if st := trainer.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected counter %d, want 1", st.Rejected)
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dot11fp"
+)
+
+// Fanout broadcasts engine events to any number of SSE subscribers
+// without ever blocking the publisher. Each event is encoded once —
+// and only when at least one client is connected — then offered to
+// every subscriber's buffered channel with a non-blocking send: a
+// client that cannot keep up loses events (counted per client and in
+// the fanout total) instead of stalling the engine's event delivery.
+type Fanout struct {
+	buffer int
+
+	mu      sync.RWMutex
+	clients map[*Subscription]struct{}
+
+	nclients atomic.Int64
+	events   atomic.Uint64
+	dropped  atomic.Uint64
+	seq      atomic.Uint64
+}
+
+// Subscription is one subscriber's event queue. Frames arrive on C as
+// complete SSE wire frames ("id: …\nevent: …\ndata: …\n\n"); the
+// channel closes when the subscription is closed.
+type Subscription struct {
+	// C carries encoded SSE frames.
+	C <-chan []byte
+
+	f       *Fanout
+	ch      chan []byte
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// NewFanout creates a fanout whose subscribers buffer up to buffer
+// frames each.
+func NewFanout(buffer int) *Fanout {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	return &Fanout{buffer: buffer, clients: make(map[*Subscription]struct{})}
+}
+
+// Subscribe attaches a new client. Close the subscription when done.
+func (f *Fanout) Subscribe() *Subscription {
+	ch := make(chan []byte, f.buffer)
+	sub := &Subscription{C: ch, f: f, ch: ch}
+	f.mu.Lock()
+	f.clients[sub] = struct{}{}
+	f.mu.Unlock()
+	f.nclients.Add(1)
+	return sub
+}
+
+// Close detaches the subscription and closes its channel. Safe to call
+// more than once.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.f.mu.Lock()
+		delete(s.f.clients, s)
+		s.f.mu.Unlock()
+		s.f.nclients.Add(-1)
+		// The publisher holds the read lock while sending, so by here no
+		// send to s.ch is in flight and closing is safe.
+		close(s.ch)
+	})
+}
+
+// Dropped returns the number of frames this subscription lost to a
+// full buffer.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Publish offers one event to every subscriber. Non-blocking: full
+// subscribers drop the frame (counted). With no subscribers only the
+// event counter moves — the event is never encoded.
+func (f *Fanout) Publish(ev dot11fp.Event) {
+	f.events.Add(1)
+	if f.nclients.Load() == 0 {
+		return
+	}
+	frame, ok := encodeSSE(f.seq.Add(1), ev)
+	if !ok {
+		return
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for sub := range f.clients {
+		select {
+		case sub.ch <- frame:
+		default:
+			sub.dropped.Add(1)
+			f.dropped.Add(1)
+		}
+	}
+}
+
+// Stats snapshots the fanout's counters.
+func (f *Fanout) Stats() FeedStats {
+	return FeedStats{
+		Clients: int(f.nclients.Load()),
+		Events:  f.events.Load(),
+		Dropped: f.dropped.Load(),
+	}
+}
+
+// feedScore is a Score rendered for the wire (addresses as canonical
+// MAC strings, not byte arrays).
+type feedScore struct {
+	Ref string  `json:"ref"`
+	Sim float64 `json:"sim"`
+}
+
+func feedScores(scores []dot11fp.Score) []feedScore {
+	if scores == nil {
+		return nil
+	}
+	out := make([]feedScore, len(scores))
+	for i, sc := range scores {
+		out[i] = feedScore{Ref: sc.Addr.String(), Sim: sc.Sim}
+	}
+	return out
+}
+
+// encodeSSE renders one engine event as a complete SSE frame. The
+// event name is the verdict kind; data is a flat JSON object with
+// addresses as canonical MAC strings. Health and verdict events share
+// the frame format, so one subscriber sees the whole stream in order.
+func encodeSSE(id uint64, ev dot11fp.Event) ([]byte, bool) {
+	var name string
+	var payload any
+	switch ev := ev.(type) {
+	case dot11fp.WindowClosed:
+		name = "window_closed"
+		payload = struct {
+			Window     int   `json:"window"`
+			Start      int64 `json:"start_us"`
+			End        int64 `json:"end_us"`
+			Frames     int   `json:"frames"`
+			Senders    int   `json:"senders"`
+			Candidates int   `json:"candidates"`
+			Matched    int   `json:"matched"`
+			Unknown    int   `json:"unknown"`
+			Dropped    int   `json:"dropped"`
+		}{ev.Window, ev.Start, ev.End, ev.Frames, ev.Senders, ev.Candidates, ev.Matched, ev.Unknown, ev.Dropped}
+	case dot11fp.CandidateMatched:
+		name = "matched"
+		payload = struct {
+			Window int         `json:"window"`
+			Addr   string      `json:"addr"`
+			Best   string      `json:"best"`
+			Sim    float64     `json:"sim"`
+			Obs    uint64      `json:"observations"`
+			Scores []feedScore `json:"scores,omitempty"`
+		}{ev.Window, ev.Addr.String(), ev.Best.Addr.String(), ev.Best.Sim, ev.Observations(), feedScores(ev.Scores)}
+	case dot11fp.UnknownDevice:
+		name = "unknown"
+		p := struct {
+			Window int         `json:"window"`
+			Addr   string      `json:"addr"`
+			Best   string      `json:"best,omitempty"`
+			Sim    float64     `json:"sim"`
+			Obs    uint64      `json:"observations"`
+			Scores []feedScore `json:"scores,omitempty"`
+		}{Window: ev.Window, Addr: ev.Addr.String(), Obs: ev.Observations(), Scores: feedScores(ev.Scores)}
+		if ev.HasBest {
+			p.Best, p.Sim = ev.Best.Addr.String(), ev.Best.Sim
+		}
+		payload = p
+	case dot11fp.CandidateDropped:
+		name = "dropped"
+		payload = struct {
+			Window  int    `json:"window"`
+			Addr    string `json:"addr"`
+			Obs     uint64 `json:"observations"`
+			Minimum int    `json:"minimum"`
+			Evicted bool   `json:"evicted"`
+		}{ev.Window, ev.Addr.String(), ev.Observations, ev.Minimum, ev.Evicted}
+	case dot11fp.EnrollmentProgress:
+		name = "enrolling"
+		payload = struct {
+			Window   int    `json:"window"`
+			Addr     string `json:"addr"`
+			Windows  int    `json:"windows"`
+			Horizon  int    `json:"horizon"`
+			Obs      uint64 `json:"observations"`
+			Required uint64 `json:"required"`
+		}{ev.Window, ev.Addr.String(), ev.Windows, ev.Horizon, ev.Observations, ev.Required}
+	case dot11fp.DeviceEnrolled:
+		name = "enrolled"
+		payload = struct {
+			Window  int    `json:"window"`
+			Addr    string `json:"addr"`
+			Windows int    `json:"windows"`
+			Obs     uint64 `json:"observations"`
+			Refs    int    `json:"refs"`
+		}{ev.Window, ev.Addr.String(), ev.Windows, ev.Observations, ev.Refs}
+	case dot11fp.DBSwapped:
+		name = "db_swapped"
+		payload = struct {
+			Window   int    `json:"window"`
+			Version  uint64 `json:"version"`
+			Refs     int    `json:"refs"`
+			Enrolled int    `json:"enrolled"`
+			Updated  int    `json:"updated"`
+		}{ev.Window, ev.Version, ev.Refs, ev.Enrolled, ev.Updated}
+	case dot11fp.ComponentPanicked:
+		name = "component_panicked"
+		payload = struct {
+			Component string `json:"component"`
+			Shard     int    `json:"shard"`
+			Err       string `json:"err"`
+		}{ev.Component, ev.Shard, ev.Err}
+	case dot11fp.ShardStalled:
+		name = "shard_stalled"
+		payload = struct {
+			Shard  int   `json:"shard"`
+			Queued int   `json:"queued"`
+			ForNS  int64 `json:"for_ns"`
+		}{ev.Shard, ev.Queued, ev.For.Nanoseconds()}
+	case dot11fp.ShardResumed:
+		name = "shard_resumed"
+		payload = struct {
+			Shard int `json:"shard"`
+		}{ev.Shard}
+	default:
+		return nil, false
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, false
+	}
+	return []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", id, name, data)), true
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dot11fp"
+)
+
+// EnrollGate bridges the trainer's synchronous Decide callback to the
+// asynchronous HTTP confirm flow. The trainer offers a completed
+// sender once per candidate window; the gate answers with whatever the
+// operator has posted — approve, reject — or defers when no answer has
+// arrived yet, which keeps the sender pending and re-offered. Offers
+// the gate has seen but not answered are listed for the API.
+type EnrollGate struct {
+	mu sync.Mutex
+	// offers holds the latest unanswered offer per sender (without the
+	// live signatures — those belong to the trainer's goroutine).
+	offers map[dot11fp.Addr]dot11fp.PendingEnrollment
+	// answers holds operator verdicts awaiting pickup at the sender's
+	// next completed window.
+	answers map[dot11fp.Addr]dot11fp.EnrollDecision
+}
+
+// NewEnrollGate creates an empty gate.
+func NewEnrollGate() *EnrollGate {
+	return &EnrollGate{
+		offers:  make(map[dot11fp.Addr]dot11fp.PendingEnrollment),
+		answers: make(map[dot11fp.Addr]dot11fp.EnrollDecision),
+	}
+}
+
+// Decide implements TrainerOptions.Decide. Called on the engine's
+// event-delivery goroutine.
+func (g *EnrollGate) Decide(p dot11fp.PendingEnrollment) dot11fp.EnrollDecision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d, ok := g.answers[p.Addr]; ok {
+		delete(g.answers, p.Addr)
+		delete(g.offers, p.Addr)
+		return d
+	}
+	// Record the offer without the signatures: the Decide contract
+	// forbids retaining them past the callback.
+	g.offers[p.Addr] = dot11fp.PendingEnrollment{
+		Addr: p.Addr, Windows: p.Windows, Observations: p.Observations,
+	}
+	return dot11fp.DecideDefer
+}
+
+// Offers returns the unanswered offers in ascending address order —
+// the senders waiting on an operator verdict.
+func (g *EnrollGate) Offers() []dot11fp.PendingEnrollment {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]dot11fp.PendingEnrollment, 0, len(g.offers))
+	for _, p := range g.offers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return addrBytesLess(out[i].Addr, out[j].Addr) })
+	return out
+}
+
+// Resolve records the operator's verdict for a sender. The verdict is
+// applied at the sender's next completed candidate window (the trainer
+// asks again; the gate answers). Resolving a sender the gate has not
+// offered yet is allowed — the answer waits for the offer — so a
+// pre-approval posted from the trainer's PendingList also works.
+func (g *EnrollGate) Resolve(addr dot11fp.Addr, approve bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.answers[addr]; dup {
+		return fmt.Errorf("sender %s already has a pending verdict", addr)
+	}
+	if approve {
+		g.answers[addr] = dot11fp.DecideApprove
+	} else {
+		g.answers[addr] = dot11fp.DecideReject
+	}
+	return nil
+}
