@@ -37,6 +37,12 @@ type (
 	// CompiledDB is an immutable matching-optimised database snapshot
 	// with zero-allocation and batched entry points.
 	CompiledDB = core.CompiledDB
+	// IndexMode selects whether Compile builds the sublinear match
+	// index (see the doc.go "Indexed matching" section).
+	IndexMode = core.IndexMode
+	// IndexStats describes a compiled snapshot's match index, as
+	// surfaced by engine stats and the /metrics endpoint.
+	IndexStats = core.IndexStats
 	// MatchScratch holds the reusable buffers of the zero-allocation
 	// match path; the zero value is ready to use.
 	MatchScratch = core.MatchScratch
@@ -70,6 +76,20 @@ const (
 	MeasureBhattacharyya = core.MeasureBhattacharyya
 	MeasureL1            = core.MeasureL1
 )
+
+// Match-index modes for Database.SetIndexing / Ensemble.SetIndexing.
+const (
+	// IndexAuto builds the index once the reference set is large
+	// enough for pruning to pay for itself (the default).
+	IndexAuto = core.IndexAuto
+	// IndexOn always builds the index.
+	IndexOn = core.IndexOn
+	// IndexOff never builds it — the exhaustive dense baseline.
+	IndexOff = core.IndexOff
+)
+
+// ParseIndexMode resolves "auto", "on" or "off" — the -index cmd flag.
+func ParseIndexMode(s string) (IndexMode, error) { return core.ParseIndexMode(s) }
 
 // DefaultWindow is the paper's 5-minute detection window.
 const DefaultWindow = core.DefaultWindow

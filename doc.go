@@ -353,4 +353,48 @@
 // candidate matching out across EvalSpec.Workers (default GOMAXPROCS)
 // with results bit-identical to the serial path. EXPERIMENTS.md records
 // the measured numbers.
+//
+// # Indexed matching
+//
+// The dense compiled kernels are linear in the reference count: every
+// candidate touches every reference row. At fleet scale (tens of
+// thousands of enrolled devices) that linear sweep is the entire
+// matching cost, yet a detection verdict only ever consumes the best
+// few scores. Compile therefore also builds a sparse match index —
+// per-class inverted postings over the non-zero signature bins, plus
+// per-reference norm bounds grouped into coarse blocks — and Best,
+// Above and the TopK entry points run a best-first term walk over it:
+// postings are opened shortest-first, an admissible upper bound on
+// every unseen reference shrinks as terms are consumed, and the walk
+// stops as soon as no unseen reference can displace the current top-k.
+// Candidates are scored against far fewer than N references while the
+// returned scores, ranks and ties stay bit-identical to the exhaustive
+// sweep — the pruning bound is inflated by a hair above the kernels'
+// rounding, so a reference is only skipped when it provably cannot
+// matter (TestIndexedBitIdentical and TestEnsembleIndexBitIdentical pin
+// all four measures, adversarial near-ties included).
+//
+// IndexMode controls construction: IndexAuto (the default) builds the
+// index once the reference set is large enough for pruning to pay for
+// itself and skips the dense matrices' memory when it does; IndexOn
+// forces it; IndexOff keeps the exhaustive dense baseline
+// (Database.SetIndexing / Ensemble.SetIndexing, or -index auto|on|off
+// on livemon and fingerprintd — trainers forward the mode to their
+// working references via Trainer.SetIndexing). CompiledEnsemble prunes
+// on the fused score directly: member bounds combine into one fused
+// upper bound, so a multi-parameter top-k visits only references
+// competitive under the mean, not the union of per-member candidates.
+//
+// The full MatchInto/MatchAll vector is inherently Ω(N) — it returns N
+// scores — so the engines expose the sublinear path as
+// EngineOptions.TopK / ShardedOptions.TopK: verdict events then carry
+// the ranked k best scores instead of the full vector, with verdicts,
+// Best and window summaries unchanged (TestEngineTopKVerdictsIdentical
+// pins them bit-identical at every shard count). Index shape and cost —
+// entries, postings, bytes, and the dense bytes forgone — surface in
+// Engine/Sharded Stats().Index, the HTTP API's site snapshot and the
+// dot11fp_index_* Prometheus families. EXPERIMENTS.md records the
+// measured curve: at 10k references an indexed top-k window costs
+// under 0.1% of the dense sweep, and a 10× larger reference set
+// (10k → 100k) costs only ~1.3× more.
 package dot11fp

@@ -252,8 +252,7 @@ func LoadBinary(r io.Reader) (*Database, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: device %v class %v: %v", ErrBinaryDatabase, addr, class, err)
 			}
-			sig.hists[class] = h
-			sig.total += h.Total()
+			sig.setHist(class, h)
 		}
 		if err := db.Add(addr, sig); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBinaryDatabase, err)

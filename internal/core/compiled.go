@@ -29,6 +29,7 @@ type CompiledDB struct {
 	totals  []uint64           // per reference: observation total at compile time
 	bins    int
 	classes [dot11.NumClasses]compiledClass
+	idx     *matchIndex // sparse match index (see index.go); nil on the dense path
 
 	scratch sync.Pool // *MatchScratch, for the scratchless conveniences
 }
@@ -42,7 +43,7 @@ type CompiledDB struct {
 type compiledClass struct {
 	present bool      // at least one reference carries this class
 	has     []bool    // per reference: class present in its signature
-	rows    []float64 // N×bins row-major matrix: float64 counts (cosine) or frequencies
+	rows    []float64 // N×bins row-major matrix: float64 counts (cosine) or frequencies; nil when indexed
 	norms   []float64 // per reference: Euclidean norm of its count row (cosine only)
 	weights []float64 // per reference: weight^ftype (Definition 1)
 }
@@ -54,6 +55,8 @@ type compiledClass struct {
 type MatchScratch struct {
 	freqs  []float64
 	scores []Score
+	l1nz   []int32      // candidate support scratch for the indexed L1 kernel
+	search *searchState // pruned-search buffers, allocated on first TopK/Best/Above
 }
 
 // Compile freezes the database's current references into a CompiledDB.
@@ -85,10 +88,15 @@ func (c *CompiledDB) fresh(db *Database) bool {
 	return true
 }
 
-// compile builds the frozen matrices from the live reference map.
+// compile builds the frozen matrices from the live reference map. When
+// the database's IndexMode selects indexing (explicitly, or automatically
+// at indexAutoMin references), the dense row matrices are not built at
+// all: the sparse index carries the same values and the indexed kernels
+// reproduce the dense results bit for bit at a fraction of the memory.
 func compile(db *Database) *CompiledDB {
 	n := len(db.order)
 	cosine := db.measure.isCosine()
+	indexed := db.indexing == IndexOn || (db.indexing == IndexAuto && n >= indexAutoMin)
 	c := &CompiledDB{
 		cfg:     db.cfg,
 		measure: db.measure,
@@ -115,16 +123,23 @@ func compile(db *Database) *CompiledDB {
 				cc.present = true
 				cc.has = make([]bool, n)
 				cc.weights = make([]float64, n)
-				cc.rows = make([]float64, n*c.bins)
+				if !indexed {
+					cc.rows = make([]float64, n*c.bins)
+				}
 				if cosine {
 					cc.norms = make([]float64, n)
 				}
 			}
 			cc.has[r] = true
 			cc.weights[r] = sig.Weight(class)
-			row := cc.rows[r*c.bins : (r+1)*c.bins]
 			if cosine {
 				cc.norms[r] = histogram.CountNorm(h.CountsView())
+			}
+			if indexed {
+				continue
+			}
+			row := cc.rows[r*c.bins : (r+1)*c.bins]
+			if cosine {
 				for i, v := range h.CountsView() {
 					row[i] = float64(v)
 				}
@@ -132,6 +147,9 @@ func compile(db *Database) *CompiledDB {
 				h.AppendFreqs(row[:0:c.bins])
 			}
 		}
+	}
+	if indexed {
+		c.idx = buildIndex(db, c)
 	}
 	return c
 }
@@ -161,6 +179,9 @@ func (c *CompiledDB) MatchInto(candidate *Signature, scratch *MatchScratch) []Sc
 	n := len(c.addrs)
 	if cap(scratch.scores) < n {
 		scratch.scores = make([]Score, n)
+	}
+	if c.idx != nil {
+		return c.matchIndexed(candidate, scratch)
 	}
 	scores := scratch.scores[:n]
 	for r, addr := range c.addrs {
@@ -232,18 +253,35 @@ func (c *CompiledDB) getScratch() *MatchScratch {
 
 // Match computes the similarity vector into a freshly allocated slice.
 func (c *CompiledDB) Match(candidate *Signature) []Score {
+	return c.MatchAppend(candidate, make([]Score, 0, len(c.addrs)))
+}
+
+// MatchAppend appends the similarity vector to dst and returns the
+// extended slice — the allocation-free form of Match for callers that
+// reuse a result buffer across windows (append-style, like
+// histogram.AppendFreqs). It routes through the pooled scratch, so a
+// warmed dst[:0] with capacity ≥ Len() makes the call allocation-free.
+func (c *CompiledDB) MatchAppend(candidate *Signature, dst []Score) []Score {
 	s := c.getScratch()
-	out := make([]Score, 0, len(c.addrs))
-	out = append(out, c.MatchInto(candidate, s)...)
+	dst = append(dst, c.MatchInto(candidate, s)...)
 	c.scratch.Put(s)
-	return out
+	return dst
 }
 
 // Best returns the arg-max reference for the identification test, with
-// ok=false for an empty database.
+// ok=false for an empty database. With the index enabled this is a
+// pruned top-1 search; the result is bit-identical to the full scan.
 func (c *CompiledDB) Best(candidate *Signature) (Score, bool) {
 	s := c.getScratch()
 	defer c.scratch.Put(s)
+	if c.idx != nil {
+		top := c.topKIndexed(candidate, 1, s.ensureSearch(len(c.addrs)))
+		if len(top) == 0 {
+			return Score{Sim: -1}, false
+		}
+		best := Score{Addr: c.addrs[top[0].ref], Sim: top[0].sim}
+		return best, best.Sim >= 0
+	}
 	best := Score{Sim: -1}
 	for _, sc := range c.MatchInto(candidate, s) {
 		if sc.Sim > best.Sim {
@@ -254,10 +292,15 @@ func (c *CompiledDB) Best(candidate *Signature) (Score, bool) {
 }
 
 // Above returns the references whose similarity is at least the
-// threshold — the similarity test's returned set.
+// threshold — the similarity test's returned set, in insertion order.
+// A positive threshold with the index enabled takes the pruned walk;
+// the returned set, order and scores are bit-identical either way.
 func (c *CompiledDB) Above(candidate *Signature, threshold float64) []Score {
 	s := c.getScratch()
 	defer c.scratch.Put(s)
+	if c.idx != nil && threshold > 0 {
+		return c.aboveIndexed(candidate, threshold, s.ensureSearch(len(c.addrs)))
+	}
 	var out []Score
 	for _, sc := range c.MatchInto(candidate, s) {
 		if sc.Sim >= threshold {
@@ -265,6 +308,112 @@ func (c *CompiledDB) Above(candidate *Signature, threshold float64) []Score {
 		}
 	}
 	return out
+}
+
+// TopKInto returns the k best-matching references ranked by similarity
+// (ties broken toward the earlier insertion index — the same reference
+// Best would pick), writing into the scratch's buffers; the result is
+// only valid until the scratch's next use. With the index enabled the
+// search is pruned; scores, order and ties are bit-identical to ranking
+// the exhaustive similarity vector. k is clamped to Len(); k <= 0
+// returns nil.
+func (c *CompiledDB) TopKInto(candidate *Signature, k int, scratch *MatchScratch) []Score {
+	n := len(c.addrs)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	st := scratch.ensureSearch(n)
+	var top []topEntry
+	if c.idx != nil {
+		top = c.topKIndexed(candidate, k, st)
+	} else {
+		st.top = st.top[:0]
+		for r, sc := range c.MatchInto(candidate, scratch) {
+			st.top, _ = offerTop(st.top, k, sc.Sim, int32(r))
+		}
+		top = st.top
+	}
+	out := st.out[:0]
+	for _, e := range top {
+		out = append(out, Score{Addr: c.addrs[e.ref], Sim: e.sim})
+	}
+	st.out = out
+	return out
+}
+
+// TopK is the allocating convenience form of TopKInto.
+func (c *CompiledDB) TopK(candidate *Signature, k int) []Score {
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	res := c.TopKInto(candidate, k, s)
+	if res == nil {
+		return nil
+	}
+	out := make([]Score, len(res))
+	copy(out, res)
+	return out
+}
+
+// TopKAllScratch ranks a batch of candidates through one long-lived
+// scratch, returning min(k, Len()) scores per candidate in one backing
+// allocation. Row i is exactly TopK(cands[i].Sig, k).
+func (c *CompiledDB) TopKAllScratch(cands []Candidate, k int, scratch *MatchScratch) [][]Score {
+	out := make([][]Score, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	kk := min(k, len(c.addrs))
+	if kk <= 0 {
+		return out
+	}
+	backing := make([]Score, len(cands)*kk)
+	for i := range cands {
+		res := c.TopKInto(cands[i].Sig, k, scratch)
+		row := backing[i*kk : i*kk+len(res) : (i+1)*kk]
+		copy(row, res)
+		out[i] = row
+	}
+	return out
+}
+
+// TopKAllWorkers is TopKAllScratch fanned out across workers (0 selects
+// GOMAXPROCS, 1 forces the serial path); results are identical for
+// every worker count.
+func (c *CompiledDB) TopKAllWorkers(cands []Candidate, k, workers int) [][]Score {
+	out := make([][]Score, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	kk := min(k, len(c.addrs))
+	if kk <= 0 {
+		return out
+	}
+	backing := make([]Score, len(cands)*kk)
+	ForEachIndex(len(cands), workers, func(scratch *MatchScratch, i int) {
+		res := c.TopKInto(cands[i].Sig, k, scratch)
+		row := backing[i*kk : i*kk+len(res) : (i+1)*kk]
+		copy(row, res)
+		out[i] = row
+	})
+	return out
+}
+
+// IndexStats describes the snapshot's match index; Enabled is false on
+// the dense path, where DenseBytes reports the matrices actually held.
+func (c *CompiledDB) IndexStats() IndexStats {
+	if c.idx != nil {
+		return c.idx.stats
+	}
+	st := IndexStats{References: len(c.addrs)}
+	for ci := range c.classes {
+		if c.classes[ci].present {
+			st.DenseBytes += int64(len(c.addrs)) * int64(c.bins) * 8
+		}
+	}
+	return st
 }
 
 // MatchAll matches a batch of candidates, fanning the work out across

@@ -19,10 +19,11 @@ import (
 // CompiledDB) that is built lazily and invalidated by Add/Train, so
 // steady-state matching never re-derives reference frequency vectors.
 type Database struct {
-	cfg     Config
-	measure Measure
-	refs    map[dot11.Addr]*Signature
-	order   []dot11.Addr // insertion order for deterministic iteration
+	cfg      Config
+	measure  Measure
+	indexing IndexMode // whether Compile builds the match index
+	refs     map[dot11.Addr]*Signature
+	order    []dot11.Addr // insertion order for deterministic iteration
 
 	mu       sync.Mutex  // guards compiled
 	compiled *CompiledDB // lazily built matching snapshot; nil after mutation
@@ -46,6 +47,28 @@ func (db *Database) Config() Config { return db.cfg }
 
 // Measure returns the similarity measure in use.
 func (db *Database) Measure() Measure { return db.measure }
+
+// SetIndexing selects whether Compile builds the match index (see
+// IndexMode; the default IndexAuto builds it for large reference sets).
+// Changing the mode invalidates the cached snapshot.
+func (db *Database) SetIndexing(mode IndexMode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.indexing != mode {
+		db.indexing = mode
+		db.compiled = nil
+	}
+}
+
+// Indexing returns the database's index mode.
+func (db *Database) Indexing() IndexMode {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.indexing
+}
+
+// IndexStats describes the compiled snapshot's match index.
+func (db *Database) IndexStats() IndexStats { return db.Compile().IndexStats() }
 
 // Len returns the number of reference devices.
 func (db *Database) Len() int { return len(db.refs) }
@@ -94,6 +117,7 @@ func (db *Database) Add(addr dot11.Addr, sig *Signature) error {
 // publishing immutable Compile() snapshots to the engines.
 func (db *Database) Clone() *Database {
 	out := NewDatabase(db.cfg, db.measure)
+	out.indexing = db.indexing
 	out.order = make([]dot11.Addr, len(db.order))
 	copy(out.order, db.order)
 	for addr, sig := range db.refs {
@@ -132,6 +156,18 @@ func (db *Database) Match(candidate *Signature) []Score {
 	return db.Compile().Match(candidate)
 }
 
+// MatchAppend appends the similarity vector to dst and returns the
+// extended slice; with a reused buffer the call is allocation-free.
+func (db *Database) MatchAppend(candidate *Signature, dst []Score) []Score {
+	return db.Compile().MatchAppend(candidate, dst)
+}
+
+// TopK returns the k best-matching references, ranked by similarity
+// with ties broken toward the earlier insertion index.
+func (db *Database) TopK(candidate *Signature, k int) []Score {
+	return db.Compile().TopK(candidate, k)
+}
+
 // Best returns the arg-max reference for the identification test, with
 // ok=false for an empty database.
 func (db *Database) Best(candidate *Signature) (Score, bool) {
@@ -165,7 +201,7 @@ func (db *Database) Save(w io.Writer) error {
 		Devices: make(map[string]map[string]histogram.Snapshot, len(db.refs)),
 	}
 	for addr, sig := range db.refs {
-		classes := make(map[string]histogram.Snapshot, len(sig.hists))
+		classes := make(map[string]histogram.Snapshot, dot11.NumClasses)
 		for _, class := range sig.Classes() {
 			classes[class.String()] = sig.Hist(class).Snapshot()
 		}
@@ -222,8 +258,7 @@ func Load(r io.Reader) (*Database, error) {
 				return nil, fmt.Errorf("core: device %s class %s: histogram shape %d×%v does not match database %v",
 					as, cs, h.Bins(), h.BinWidth(), cfg.Bins)
 			}
-			sig.hists[class] = h
-			sig.total += h.Total()
+			sig.setHist(class, h)
 		}
 		if err := db.Add(addr, sig); err != nil {
 			return nil, err

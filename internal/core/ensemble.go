@@ -276,3 +276,23 @@ func (e *Ensemble) Match(c MultiCandidate) []Score {
 func (e *Ensemble) Best(c MultiCandidate) (Score, bool) {
 	return e.Compile().Best(c)
 }
+
+// TopK returns the k best fused references; see CompiledEnsemble.TopK.
+func (e *Ensemble) TopK(c MultiCandidate, k int) []Score {
+	return e.Compile().TopK(c, k)
+}
+
+// SetIndexing forwards the index mode to every member database; see
+// Database.SetIndexing. The fused pruned search engages only when every
+// member ends up indexed.
+func (e *Ensemble) SetIndexing(mode IndexMode) {
+	for _, db := range e.dbs {
+		db.SetIndexing(mode)
+	}
+}
+
+// IndexStats aggregates the members' compiled index stats; see
+// CompiledEnsemble.IndexStats.
+func (e *Ensemble) IndexStats() IndexStats {
+	return e.Compile().IndexStats()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ type CompiledEnsemble struct {
 	addrs   []dot11.Addr       // fully-known references, member-0 insertion order
 	index   map[dot11.Addr]int // addr → position in addrs
 	rowIdx  [][]int            // [member][i] = addrs[i]'s row in members[member]
+	fusedOf [][]int32          // [member][row] = fused index of that member row, -1 if not fully known
 	partial []dot11.Addr       // known to ≥1 member but not all (ascending)
 
 	scratch sync.Pool // *EnsembleScratch, for the scratchless conveniences
@@ -42,6 +44,13 @@ type EnsembleScratch struct {
 	member []MatchScratch
 	rows   [][]Score
 	fused  []Score
+
+	// Fused pruned-search state (TopK/Best over indexed members); the
+	// per-member candidate prep lives in the member scratches above.
+	fstamp []int32
+	fepoch int32
+	ftop   []topEntry
+	fout   []Score
 }
 
 // grow sizes the scratch for ce.
@@ -104,12 +113,19 @@ func compileEnsemble(members []*CompiledDB) *CompiledEnsemble {
 			ce.addrs = append(ce.addrs, addr)
 		}
 	}
+	ce.fusedOf = make([][]int32, len(members))
 	for mi, m := range members {
 		rows := make([]int, len(ce.addrs))
+		of := make([]int32, m.Len())
+		for r := range of {
+			of[r] = -1
+		}
 		for i, addr := range ce.addrs {
 			rows[i] = m.index[addr]
+			of[rows[i]] = int32(i)
 		}
 		ce.rowIdx[mi] = rows
+		ce.fusedOf[mi] = of
 	}
 	// Partially-known devices, for operator reporting.
 	seen := make(map[dot11.Addr]bool)
@@ -228,18 +244,18 @@ func (ce *CompiledEnsemble) Match(c MultiCandidate) (fused []Score, perParam [][
 }
 
 // Best returns the arg-max fused reference, with ok=false for an empty
-// (or mismatched) candidate or reference set.
+// (or mismatched) candidate or reference set. With every member indexed
+// this is a pruned top-1 search; the result is bit-identical to the
+// full fused scan (ties resolve to the earliest fused index, exactly as
+// the first-strict-max scan did).
 func (ce *CompiledEnsemble) Best(c MultiCandidate) (Score, bool) {
 	s := ce.getScratch()
 	defer ce.scratch.Put(s)
-	fused, _ := ce.MatchInto(c, s)
-	best := Score{Sim: -1}
-	for _, sc := range fused {
-		if sc.Sim > best.Sim {
-			best = sc
-		}
+	res := ce.TopKInto(c, 1, s)
+	if len(res) == 0 {
+		return Score{Sim: -1}, false
 	}
-	return best, best.Sim >= 0
+	return res[0], res[0].Sim >= 0
 }
 
 // MatchAll fuse-matches a batch of candidates across GOMAXPROCS
@@ -316,6 +332,268 @@ func (ce *CompiledEnsemble) MatchAllScratch(cands []MultiCandidate, s *EnsembleS
 		perParam[i] = prows
 	}
 	return fused, perParam
+}
+
+// ensureFused sizes the fused pruned-search buffers and opens a new
+// stamp epoch, mirroring MatchScratch.ensureSearch.
+func (s *EnsembleScratch) ensureFused(n int) {
+	if len(s.fstamp) < n {
+		s.fstamp = make([]int32, n)
+		s.fepoch = 0
+	}
+	if s.fepoch == math.MaxInt32 {
+		clear(s.fstamp)
+		s.fepoch = 0
+	}
+	s.fepoch++
+}
+
+// indexedAll reports whether every member snapshot carries a match
+// index — the precondition of the fused pruned search.
+func (ce *CompiledEnsemble) indexedAll() bool {
+	for _, m := range ce.members {
+		if m.idx == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreFused computes the exact fused similarity of fully-known
+// reference i: each member's sparse exact kernel in member order, then
+// the same division MatchInto performs — bit-identical to fusing the
+// members' full vectors.
+func (ce *CompiledEnsemble) scoreFused(i int, s *EnsembleScratch, div float64) float64 {
+	sum := 0.0
+	for m, cdb := range ce.members {
+		sum += cdb.scoreRef(ce.rowIdx[m][i], s.member[m].search)
+	}
+	return sum / div
+}
+
+// boundFused upper-bounds scoreFused(i) by summing the members' coarse
+// bounds; exact in real arithmetic, callers compare through
+// inflateBound.
+func (ce *CompiledEnsemble) boundFused(i int, s *EnsembleScratch, div float64) float64 {
+	sum := 0.0
+	for m, cdb := range ce.members {
+		sum += cdb.coarseBound(ce.rowIdx[m][i], s.member[m].search)
+	}
+	return sum / div
+}
+
+// topKFused runs the pruned fused search over the fully-known reference
+// set: every member's term walk shares one fused budget (the fused
+// score of an unseen reference is at most the sum of all unopened term
+// bounds across members, divided by the member count), fused stamps
+// deduplicate across members, and survivors are scored exactly through
+// scoreFused. Requires indexedAll; results land in s.ftop ranked by the
+// exhaustive fused order.
+func (ce *CompiledEnsemble) topKFused(c MultiCandidate, k int, s *EnsembleScratch) []topEntry {
+	div := float64(len(ce.members))
+	s.ensureFused(len(ce.addrs))
+	for m, cdb := range ce.members {
+		st := s.member[m].ensureSearch(cdb.Len())
+		cdb.prepCandidate(c.Sigs[m], st)
+	}
+	s.ftop = s.ftop[:0]
+	stopped := false
+	visit := func(fi int32) {
+		if s.fstamp[fi] == s.fepoch {
+			return
+		}
+		s.fstamp[fi] = s.fepoch
+		if len(s.ftop) == k && !s.ftop[k-1].better(inflateBound(ce.boundFused(int(fi), s, div)), fi) {
+			return // coarse bound can't displace the k-th entry
+		}
+		s.ftop, _ = offerTop(s.ftop, k, ce.scoreFused(int(fi), s, div), fi)
+	}
+	if ce.Measure() == MeasureL1 {
+		// Class-overlap shortlist per member; no early stop (see
+		// topKIndexed). A reference fused from any member's shortlist is
+		// scored across all members at once.
+		for m, cdb := range ce.members {
+			st := s.member[m].search
+			for ci := range cdb.classes {
+				if !st.prepped[ci] {
+					continue
+				}
+				for _, r := range cdb.idx.classes[ci].classRefs {
+					if fi := ce.fusedOf[m][r]; fi >= 0 {
+						visit(fi)
+					}
+				}
+			}
+		}
+	} else {
+		remaining := 0.0
+		for m, cdb := range ce.members {
+			remaining += cdb.buildTerms(s.member[m].search)
+		}
+		for m, cdb := range ce.members {
+			st := s.member[m].search
+			for _, t := range st.terms {
+				if len(s.ftop) == k && !s.ftop[k-1].better(inflateBound(remaining/div), math.MaxInt32) {
+					stopped = true
+					break
+				}
+				cx := &cdb.idx.classes[t.class]
+				for _, r := range cx.postRef[cx.postStart[t.bin]:cx.postStart[t.bin+1]] {
+					if fi := ce.fusedOf[m][r]; fi >= 0 {
+						visit(fi)
+					}
+				}
+				remaining -= t.bound
+			}
+			if stopped {
+				break
+			}
+		}
+	}
+	if !stopped {
+		// Unseen fused references score exactly +0 in every member (no
+		// shared support anywhere), hence exactly 0 fused.
+		for fi := 0; fi < len(ce.addrs); fi++ {
+			if s.fstamp[fi] == s.fepoch {
+				continue
+			}
+			var ok bool
+			if s.ftop, ok = offerTop(s.ftop, k, 0, int32(fi)); !ok {
+				break
+			}
+		}
+	}
+	for m, cdb := range ce.members {
+		cdb.cleanupCandidate(s.member[m].search)
+	}
+	return s.ftop
+}
+
+// TopKInto returns the k best fused references (ties toward the earlier
+// fused index, as Best picks), writing into the scratch's buffers; the
+// result is only valid until the scratch's next use. When every member
+// is indexed the search is pruned, touching far fewer than Len()
+// references; scores, order and ties are bit-identical to ranking the
+// fused MatchInto vector either way. k is clamped to Len(); k <= 0 or a
+// member-count mismatch returns nil.
+func (ce *CompiledEnsemble) TopKInto(c MultiCandidate, k int, s *EnsembleScratch) []Score {
+	if len(c.Sigs) != len(ce.members) {
+		return nil
+	}
+	n := len(ce.addrs)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	s.grow(ce)
+	var top []topEntry
+	if ce.indexedAll() {
+		top = ce.topKFused(c, k, s)
+	} else {
+		fused, _ := ce.MatchInto(c, s)
+		s.ftop = s.ftop[:0]
+		for i, sc := range fused {
+			s.ftop, _ = offerTop(s.ftop, k, sc.Sim, int32(i))
+		}
+		top = s.ftop
+	}
+	out := s.fout[:0]
+	for _, e := range top {
+		out = append(out, Score{Addr: ce.addrs[e.ref], Sim: e.sim})
+	}
+	s.fout = out
+	return out
+}
+
+// TopK is the allocating convenience form of TopKInto.
+func (ce *CompiledEnsemble) TopK(c MultiCandidate, k int) []Score {
+	s := ce.getScratch()
+	defer ce.scratch.Put(s)
+	res := ce.TopKInto(c, k, s)
+	if res == nil {
+		return nil
+	}
+	out := make([]Score, len(res))
+	copy(out, res)
+	return out
+}
+
+// TopKAllScratch ranks a batch of multi-parameter candidates through
+// one long-lived scratch, returning min(k, Len()) fused scores per
+// candidate in one backing allocation. Row i is exactly
+// TopK(cands[i], k); a mismatched candidate yields a nil row.
+func (ce *CompiledEnsemble) TopKAllScratch(cands []MultiCandidate, k int, s *EnsembleScratch) [][]Score {
+	out := make([][]Score, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	kk := min(k, len(ce.addrs))
+	if kk <= 0 {
+		return out
+	}
+	backing := make([]Score, len(cands)*kk)
+	for i := range cands {
+		res := ce.TopKInto(cands[i], k, s)
+		if res == nil {
+			continue
+		}
+		row := backing[i*kk : i*kk+len(res) : (i+1)*kk]
+		copy(row, res)
+		out[i] = row
+	}
+	return out
+}
+
+// TopKAllWorkers is TopKAllScratch fanned out across workers (0 selects
+// GOMAXPROCS, 1 forces the serial path); results are identical for
+// every worker count.
+func (ce *CompiledEnsemble) TopKAllWorkers(cands []MultiCandidate, k, workers int) [][]Score {
+	out := make([][]Score, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	kk := min(k, len(ce.addrs))
+	if kk <= 0 {
+		return out
+	}
+	backing := make([]Score, len(cands)*kk)
+	forEachEnsembleIndex(len(cands), workers, func(s *EnsembleScratch, i int) {
+		res := ce.TopKInto(cands[i], k, s)
+		if res == nil {
+			return
+		}
+		row := backing[i*kk : i*kk+len(res) : (i+1)*kk]
+		copy(row, res)
+		out[i] = row
+	})
+	return out
+}
+
+// IndexStats aggregates the members' index stats: Enabled only when
+// every member carries an index (the fused pruned search's
+// precondition), sizes summed across members.
+func (ce *CompiledEnsemble) IndexStats() IndexStats {
+	agg := IndexStats{Enabled: len(ce.members) > 0}
+	for _, m := range ce.members {
+		st := m.IndexStats()
+		if !st.Enabled {
+			agg.Enabled = false
+		}
+		agg.References += st.References
+		agg.Entries += st.Entries
+		agg.Postings += st.Postings
+		agg.IndexBytes += st.IndexBytes
+		agg.DenseBytes += st.DenseBytes
+		if st.Classes > agg.Classes {
+			agg.Classes = st.Classes
+		}
+		if st.Coarse > agg.Coarse {
+			agg.Coarse = st.Coarse
+		}
+	}
+	return agg
 }
 
 // forEachEnsembleIndex is ForEachIndex with a per-worker

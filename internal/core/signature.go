@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"dot11fp/internal/capture"
 	"dot11fp/internal/dot11"
@@ -12,20 +11,23 @@ import (
 // Signature is a device signature per Definition 1: one
 // percentage-frequency histogram per frame type, each weighted by the
 // frame type's share of the device's observations.
+//
+// The per-class histograms live inline in a fixed array indexed by
+// frame class (a slot with zero bins is absent), so the extraction hot
+// path costs an array index per observation instead of a map lookup,
+// and a signature needs one allocation for itself plus one count slice
+// per class actually observed.
 type Signature struct {
 	param Param
 	bins  BinSpec
-	hists map[dot11.Class]*histogram.Histogram
+	hists [dot11.NumClasses]histogram.Histogram // value slots; Bins()==0 marks an absent class
+	nhist int                                   // number of present classes
 	total uint64
 }
 
 // NewSignature creates an empty signature for a parameter and bin shape.
 func NewSignature(param Param, bins BinSpec) *Signature {
-	return &Signature{
-		param: param,
-		bins:  bins,
-		hists: make(map[dot11.Class]*histogram.Histogram),
-	}
+	return &Signature{param: param, bins: bins}
 }
 
 // Param returns the parameter the signature is built from.
@@ -34,10 +36,10 @@ func (s *Signature) Param() Param { return s.param }
 // Add records one observation for a frame class, applying the bin
 // spec's scale transform.
 func (s *Signature) Add(class dot11.Class, v float64) {
-	h, ok := s.hists[class]
-	if !ok {
-		h = histogram.New(s.bins.Bins, s.bins.Width)
-		s.hists[class] = h
+	h := &s.hists[class]
+	if h.Bins() == 0 {
+		h.Init(s.bins.Bins, s.bins.Width)
+		s.nhist++
 	}
 	before := h.Total()
 	h.Add(s.bins.Transform(v))
@@ -50,21 +52,39 @@ func (s *Signature) Observations() uint64 { return s.total }
 
 // Classes returns the frame classes present, in stable order.
 func (s *Signature) Classes() []dot11.Class {
-	out := make([]dot11.Class, 0, len(s.hists))
+	out := make([]dot11.Class, 0, s.nhist)
 	for c := range s.hists {
-		out = append(out, c)
+		if s.hists[c].Bins() != 0 {
+			out = append(out, dot11.Class(c))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Hist returns the histogram for a class, or nil if absent.
-func (s *Signature) Hist(class dot11.Class) *histogram.Histogram { return s.hists[class] }
+func (s *Signature) Hist(class dot11.Class) *histogram.Histogram {
+	if int(class) >= len(s.hists) {
+		return nil
+	}
+	h := &s.hists[class]
+	if h.Bins() == 0 {
+		return nil
+	}
+	return h
+}
+
+// setHist installs a decoded histogram for a class the signature does
+// not yet carry; the persistence loaders validate class and shape first.
+func (s *Signature) setHist(class dot11.Class, h *histogram.Histogram) {
+	s.hists[class] = *h
+	s.nhist++
+	s.total += h.Total()
+}
 
 // Weight returns weight_ftype = |P^ftype| / Σ|P^ftype| (Definition 1).
 func (s *Signature) Weight(class dot11.Class) float64 {
-	h, ok := s.hists[class]
-	if !ok || s.total == 0 {
+	h := s.Hist(class)
+	if h == nil || s.total == 0 {
 		return 0
 	}
 	return float64(h.Total()) / float64(s.total)
@@ -77,11 +97,13 @@ func (s *Signature) Clone() *Signature {
 	c := &Signature{
 		param: s.param,
 		bins:  s.bins,
+		nhist: s.nhist,
 		total: s.total,
-		hists: make(map[dot11.Class]*histogram.Histogram, len(s.hists)),
 	}
-	for class, h := range s.hists {
-		c.hists[class] = h.Clone()
+	for i := range s.hists {
+		if s.hists[i].Bins() != 0 {
+			c.hists[i] = *s.hists[i].Clone()
+		}
 	}
 	return c
 }
@@ -96,10 +118,15 @@ func (s *Signature) Merge(other *Signature) error {
 		return fmt.Errorf("core: signature shape mismatch: %v/%v vs %v/%v",
 			s.param, s.bins, other.param, other.bins)
 	}
-	for class, oh := range other.hists {
-		h, ok := s.hists[class]
-		if !ok {
-			s.hists[class] = oh.Clone()
+	for class := range other.hists {
+		oh := &other.hists[class]
+		if oh.Bins() == 0 {
+			continue
+		}
+		h := &s.hists[class]
+		if h.Bins() == 0 {
+			s.hists[class] = *oh.Clone()
+			s.nhist++
 			s.total += oh.Total()
 			continue
 		}
@@ -149,16 +176,27 @@ func DefaultConfig(p Param) Config {
 // senders with fewer than MinObservations observations are dropped.
 func Extract(tr *capture.Trace, cfg Config) map[dot11.Addr]*Signature {
 	cfg = cfg.withDefaults()
-	sigs := make(map[dot11.Addr]*Signature)
+	// Sized from the record count: real traces carry thousands of frames
+	// per sender, so this hint avoids rehashing without overshooting.
+	sigs := make(map[dot11.Addr]*Signature, 4+len(tr.Records)/2048)
 	var prevT int64 = -1
+	// Frames arrive in bursts from one transmitter, so a one-entry cache
+	// in front of the sender map absorbs most lookups.
+	var lastAddr dot11.Addr
+	var lastSig *Signature
 	for i := range tr.Records {
 		rec := &tr.Records[i]
 		if !rec.Sender.IsZero() && (rec.FCSOK || cfg.KeepBadFCS) {
 			if v, ok := cfg.Param.Value(rec, prevT); ok {
-				sig, have := sigs[rec.Sender]
-				if !have {
-					sig = NewSignature(cfg.Param, cfg.Bins)
-					sigs[rec.Sender] = sig
+				sig := lastSig
+				if sig == nil || rec.Sender != lastAddr {
+					var have bool
+					sig, have = sigs[rec.Sender]
+					if !have {
+						sig = NewSignature(cfg.Param, cfg.Bins)
+						sigs[rec.Sender] = sig
+					}
+					lastAddr, lastSig = rec.Sender, sig
 				}
 				sig.Add(rec.Class, v)
 			}

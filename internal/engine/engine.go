@@ -44,6 +44,16 @@ type Options struct {
 	// 0 selects GOMAXPROCS, 1 forces the serial path. Results are
 	// identical for every worker count.
 	Workers int
+	// TopK, when positive, trims the per-candidate verdict events to the
+	// k best-matching references (ranked, ties toward the earlier
+	// reference) instead of the full similarity vector. Verdicts and
+	// Best are bit-identical to the full-vector run — the ranked row's
+	// first entry is exactly the full scan's arg-max — while the match
+	// cost becomes sublinear in the reference count once the database
+	// index is enabled (see core.IndexMode). In ensemble mode the events'
+	// ParamScores are omitted (the fused pruned search never materialises
+	// the per-member vectors). 0 keeps the full vector.
+	TopK int
 	// Limits bounds the per-window sender state (see core.SenderLimits).
 	// The zero value is unbounded — bit-identical to the batch pipeline;
 	// with bounds set, evicted senders surface as CandidateDropped
@@ -111,6 +121,10 @@ type Stats struct {
 	// nanoseconds on the wire; FramesPerSec is Frames over Elapsed.
 	Elapsed      time.Duration `json:"elapsed_ns"`
 	FramesPerSec float64       `json:"frames_per_sec"`
+	// Index describes the installed database's compiled match index
+	// (aggregated across members on an ensemble engine); Enabled false
+	// means matching runs the dense exhaustive kernels.
+	Index core.IndexStats `json:"index"`
 }
 
 // Engine is a push-based fingerprinting pipeline. Push, PushTrace,
@@ -349,6 +363,13 @@ func (e *Engine) Stats() Stats {
 	s.Candidates = s.Matched + s.Unknown
 	s.Frames = e.frames.Load()
 	s.LiveSenders = e.acc.LiveSenders()
+	if e.multi {
+		if edb := e.edb.Load(); edb != nil {
+			s.Index = edb.IndexStats()
+		}
+	} else if db := e.db.Load(); db != nil {
+		s.Index = db.IndexStats()
+	}
 	if ns := e.startNs.Load(); ns != 0 {
 		s.Elapsed = time.Duration(time.Now().UnixNano() - ns)
 		if s.Elapsed > 0 {
@@ -384,13 +405,20 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 			// Rows share per-window backing allocations and are handed
 			// off to the events, never reused, so receivers may retain
 			// them.
-			fused, perParam = edb.MatchAllWorkers(w.Multi, e.opts.Workers)
+			if e.opts.TopK > 0 {
+				fused = edb.TopKAllWorkers(w.Multi, e.opts.TopK, e.opts.Workers)
+			} else {
+				fused, perParam = edb.MatchAllWorkers(w.Multi, e.opts.Workers)
+			}
 		}
 		for i := range w.Multi {
 			var f []core.Score
 			var pp [][]core.Score
 			if fused != nil {
-				f, pp = fused[i], perParam[i]
+				f = fused[i]
+			}
+			if perParam != nil {
+				pp = perParam[i]
 			}
 			if emitVerdictMulti(sink, e.opts.Threshold, &w.Multi[i], f, pp) {
 				matchedN++
@@ -404,7 +432,11 @@ func (e *Engine) handleWindow(w *core.WindowResult) {
 		if db != nil && db.Len() > 0 && len(w.Candidates) > 0 {
 			// Rows share one backing allocation per window and are handed
 			// off to the events, never reused, so receivers may retain them.
-			rows = db.MatchAllWorkers(w.Candidates, e.opts.Workers)
+			if e.opts.TopK > 0 {
+				rows = db.TopKAllWorkers(w.Candidates, e.opts.TopK, e.opts.Workers)
+			} else {
+				rows = db.MatchAllWorkers(w.Candidates, e.opts.Workers)
+			}
 		}
 		for i := range w.Candidates {
 			var scores []core.Score

@@ -56,6 +56,12 @@ type ShardedOptions struct {
 	// Backpressure picks the full-queue policy: Block (default,
 	// lossless) or Drop (bounded latency, counted loss).
 	Backpressure Backpressure
+	// TopK trims verdict events to the k best references, exactly like
+	// Options.TopK: verdicts and Best stay bit-identical to the full
+	// vector at every shard count, per-window match cost becomes
+	// sublinear with the index enabled, and ensemble ParamScores are
+	// omitted. 0 keeps the full vector.
+	TopK int
 	// Limits bounds each shard's sender state (see core.SenderLimits).
 	// The cap applies per shard, so total signature memory is
 	// O(Shards × MaxSenders); eviction is deterministic per shard but —
@@ -718,10 +724,18 @@ func (s *Sharded) shardProcess(id int, sh *shard, msg *shardMsg, scratch *core.M
 		if !s.deferMatch {
 			if s.multi {
 				if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
-					seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, escratch)
+					if s.opts.TopK > 0 {
+						seg.fused = edb.TopKAllScratch(seg.res.Multi, s.opts.TopK, escratch)
+					} else {
+						seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, escratch)
+					}
 				}
 			} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
-				seg.rows = db.MatchAllScratch(seg.res.Candidates, scratch)
+				if s.opts.TopK > 0 {
+					seg.rows = db.TopKAllScratch(seg.res.Candidates, s.opts.TopK, scratch)
+				} else {
+					seg.rows = db.MatchAllScratch(seg.res.Candidates, scratch)
+				}
 			}
 		}
 		sent = true
@@ -859,13 +873,20 @@ func (s *Sharded) emitWindow(segs []shardSegment) windowCounts {
 		var fused [][]core.Score
 		var perParam [][][]core.Score
 		if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(merged) > 0 {
-			fused, perParam = edb.MatchAll(merged)
+			if s.opts.TopK > 0 {
+				fused = edb.TopKAllWorkers(merged, s.opts.TopK, 0)
+			} else {
+				fused, perParam = edb.MatchAll(merged)
+			}
 		}
 		for i := range merged {
 			var f []core.Score
 			var pp [][]core.Score
 			if fused != nil {
-				f, pp = fused[i], perParam[i]
+				f = fused[i]
+			}
+			if perParam != nil {
+				pp = perParam[i]
 			}
 			verdictMulti(&merged[i], f, pp)
 		}
@@ -887,7 +908,11 @@ func (s *Sharded) emitWindow(segs []shardSegment) windowCounts {
 			func(k, i int) { merged = append(merged, segs[k].res.Candidates[i]) })
 		var rows [][]core.Score
 		if db := s.db.Load(); db != nil && db.Len() > 0 && len(merged) > 0 {
-			rows = db.MatchAll(merged)
+			if s.opts.TopK > 0 {
+				rows = db.TopKAllWorkers(merged, s.opts.TopK, 0)
+			} else {
+				rows = db.MatchAll(merged)
+			}
 		}
 		for i := range merged {
 			var scores []core.Score
@@ -905,7 +930,10 @@ func (s *Sharded) emitWindow(segs []shardSegment) windowCounts {
 				var f []core.Score
 				var pp [][]core.Score
 				if segs[k].fused != nil {
-					f, pp = segs[k].fused[i], segs[k].perParam[i]
+					f = segs[k].fused[i]
+				}
+				if segs[k].perParam != nil {
+					pp = segs[k].perParam[i]
 				}
 				verdictMulti(&segs[k].res.Multi[i], f, pp)
 			})
@@ -1002,6 +1030,13 @@ func (s *Sharded) Stats() Stats {
 	st.DroppedFrames = s.droppedFrames.Load()
 	for _, sh := range s.shards {
 		st.LiveSenders += sh.table.LiveSenders()
+	}
+	if s.multi {
+		if edb := s.edb.Load(); edb != nil {
+			st.Index = edb.IndexStats()
+		}
+	} else if db := s.db.Load(); db != nil {
+		st.Index = db.IndexStats()
 	}
 	if ns := s.startNs.Load(); ns != 0 {
 		st.Elapsed = time.Duration(time.Now().UnixNano() - ns)

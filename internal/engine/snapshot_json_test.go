@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dot11fp/internal/core"
 	"dot11fp/internal/engine"
 )
 
@@ -58,16 +59,27 @@ func TestSnapshotJSONStable(t *testing.T) {
 		Frames: 1, DroppedFrames: 2, WindowsClosed: 3, LiveSenders: 4,
 		Candidates: 5, Matched: 6, Unknown: 7, Dropped: 8, Evicted: 9,
 		Elapsed: 10 * time.Second, FramesPerSec: 11.5,
+		Index: core.IndexStats{
+			Enabled: true, References: 12, Classes: 13, Coarse: 14,
+			Entries: 15, Postings: 16, IndexBytes: 17, DenseBytes: 18,
+		},
 	}
 	var stats2 engine.Stats
 	roundTrip(t, "Stats", stats, &stats2)
 	wantStats := []string{
 		"candidates", "dropped", "dropped_frames", "elapsed_ns", "evicted",
-		"frames", "frames_per_sec", "live_senders", "matched",
+		"frames", "frames_per_sec", "index", "live_senders", "matched",
 		"unknown", "windows_closed",
 	}
 	if got := jsonKeys(t, stats); !reflect.DeepEqual(got, wantStats) {
 		t.Fatalf("Stats JSON keys drifted:\n got  %v\n want %v", got, wantStats)
+	}
+	wantIndex := []string{
+		"classes", "coarse", "dense_bytes", "enabled", "entries",
+		"index_bytes", "postings", "references",
+	}
+	if got := jsonKeys(t, stats.Index); !reflect.DeepEqual(got, wantIndex) {
+		t.Fatalf("IndexStats JSON keys drifted:\n got  %v\n want %v", got, wantIndex)
 	}
 
 	health := engine.Health{

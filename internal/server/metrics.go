@@ -60,6 +60,11 @@ func WriteMetrics(w io.Writer, snaps []SiteSnapshot) {
 		{name: "dot11fp_source_reopens_total", typ: "counter", help: "Successful source reopens."},
 		{name: "dot11fp_source_down", typ: "gauge", help: "1 while the source is failed (reopening or retired)."},
 		{name: "dot11fp_source_permanent_down", typ: "gauge", help: "1 when the source exhausted its reopen attempts."},
+		{name: "dot11fp_index_enabled", typ: "gauge", help: "1 when the compiled match index backs the site's matching."},
+		{name: "dot11fp_index_entries", typ: "gauge", help: "Non-zero (reference, bin) cells in the match index."},
+		{name: "dot11fp_index_postings", typ: "gauge", help: "Inverted-index entries in the match index."},
+		{name: "dot11fp_index_bytes", typ: "gauge", help: "Approximate match-index memory footprint."},
+		{name: "dot11fp_index_dense_bytes", typ: "gauge", help: "Memory the dense row matrices would occupy (held when the index is off)."},
 		{name: "dot11fp_feed_clients", typ: "gauge", help: "Connected SSE feed subscribers."},
 		{name: "dot11fp_feed_events_total", typ: "counter", help: "Events published to the SSE feed."},
 		{name: "dot11fp_feed_dropped_total", typ: "counter", help: "SSE frames dropped into full client buffers."},
@@ -121,6 +126,11 @@ func WriteMetrics(w io.Writer, snaps []SiteSnapshot) {
 			add("dot11fp_source_down", labels, b01(src.Down))
 			add("dot11fp_source_permanent_down", labels, b01(src.Permanent))
 		}
+		add("dot11fp_index_enabled", site, b01(s.Stats.Index.Enabled))
+		add("dot11fp_index_entries", site, float64(s.Stats.Index.Entries))
+		add("dot11fp_index_postings", site, float64(s.Stats.Index.Postings))
+		add("dot11fp_index_bytes", site, float64(s.Stats.Index.IndexBytes))
+		add("dot11fp_index_dense_bytes", site, float64(s.Stats.Index.DenseBytes))
 		add("dot11fp_feed_clients", site, float64(s.Feed.Clients))
 		add("dot11fp_feed_events_total", site, float64(s.Feed.Events))
 		add("dot11fp_feed_dropped_total", site, float64(s.Feed.Dropped))

@@ -442,6 +442,11 @@ func TestTwoSitesIsolated(t *testing.T) {
 		!strings.Contains(text, `dot11fp_refs{site="beta"} 0`) {
 		t.Fatal("metrics reference gauges not per-site")
 	}
+	// Index gauges are emitted per site from the engines' Stats.Index.
+	if !strings.Contains(text, `dot11fp_index_enabled{site="alpha"}`) ||
+		!strings.Contains(text, `dot11fp_index_enabled{site="beta"}`) {
+		t.Fatal("metrics missing per-site index gauges")
+	}
 }
 
 // TestEnrollConfirmOverAPI drives the whole confirm-over-the-wire loop:

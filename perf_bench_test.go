@@ -91,6 +91,24 @@ func BenchmarkDatabaseMatch(b *testing.B) {
 	}
 }
 
+// BenchmarkDatabaseMatchAppend measures the append-style form of Match:
+// the same compiled fast path, but the caller recycles the result
+// buffer across windows, so the steady state is allocation-free without
+// owning a MatchScratch.
+func BenchmarkDatabaseMatchAppend(b *testing.B) {
+	db, cands := matchFixture(b)
+	dst := db.MatchAppend(cands[0].Sig, nil) // warm the buffer to Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		dst = db.MatchAppend(c.Sig, dst[:0])
+		if len(dst) != db.Len() {
+			b.Fatal("bad match vector")
+		}
+	}
+}
+
 // BenchmarkDatabaseMatchCompiled measures the zero-allocation steady
 // state: compiled snapshot + caller-owned scratch.
 func BenchmarkDatabaseMatchCompiled(b *testing.B) {

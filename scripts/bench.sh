@@ -9,6 +9,10 @@
 # smoke uses BENCHTIME=1x for a fast structural pass whose JSON is
 # uploaded as an artifact — numbers from 1x runs are not comparable).
 #
+# SCALE_N selects the BenchmarkMatchAllScale reference counts (default
+# "1000|10000"; the 100000 fixture's raw signatures need ~13 GB to
+# build, so the full curve is an opt-in: SCALE_N='1000|10000|100000').
+#
 # The JSON is a list of {name, ns_per_op, allocs_per_op, bytes_per_op}
 # objects plus a header with the commit and environment.
 set -eu
@@ -19,9 +23,17 @@ benchtime="${BENCHTIME:-2s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+scale_n="${SCALE_N:-1000|10000}"
+
 go test -run '^$' \
   -bench 'BenchmarkDatabaseMatch|BenchmarkCandidatesIn|BenchmarkExtract|BenchmarkCosine512|BenchmarkPcapRoundTrip|BenchmarkEnginePush|BenchmarkEngineStream|BenchmarkEnsemblePush|BenchmarkShardedPush|BenchmarkDBCodec|BenchmarkEngineEnroll|BenchmarkMultiStreamDegraded|BenchmarkServerQuery|BenchmarkSSEFanout|BenchmarkServedStream' \
   -benchmem -benchtime="$benchtime" . ./internal/server | tee "$raw"
+
+# The indexed-matching scale curve; its own invocation so the N filter
+# (an anchored second path element) cannot touch other benchmarks' subs.
+go test -run '^$' \
+  -bench "BenchmarkMatchAllScale/N=(${scale_n})\$" \
+  -benchmem -benchtime="$benchtime" ./internal/core | tee -a "$raw"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 awk -v commit="$commit" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
