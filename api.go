@@ -63,8 +63,20 @@ const (
 	ParamInterArrival = core.ParamInterArrival
 )
 
+// The probe-content parameters: address-independent fingerprints of
+// the management-frame element list, the handle on MAC-randomizing
+// devices (see the doc.go "MAC randomization" section).
+const (
+	ParamProbeIE   = core.ParamProbeIE
+	ParamProbeCap  = core.ParamProbeCap
+	ParamProbeSSID = core.ParamProbeSSID
+)
+
 // Params lists all five network parameters in the paper's order.
 var Params = core.Params
+
+// ContentParams lists the probe-content parameters.
+var ContentParams = core.ContentParams
 
 // Measures lists all similarity measures.
 var Measures = core.Measures
@@ -101,7 +113,8 @@ func DefaultConfig(p Param) Config { return core.DefaultConfig(p) }
 // DefaultBins returns the paper-calibrated histogram shape for a parameter.
 func DefaultBins(p Param) BinSpec { return core.DefaultBins(p) }
 
-// ParamByShortName resolves "rate", "size", "mtime", "txtime" or "iat".
+// ParamByShortName resolves "rate", "size", "mtime", "txtime", "iat",
+// "probe-ie", "probe-cap" or "probe-ssid".
 func ParamByShortName(s string) (Param, error) { return core.ParamByShortName(s) }
 
 // MeasureByName resolves "cosine", "intersection", "bhattacharyya" or "l1".
@@ -178,9 +191,24 @@ type (
 	MultiCandidate = core.MultiCandidate
 )
 
-// MaxEnsembleMembers bounds an ensemble's member count (the five
-// distinct parameters).
+// MaxEnsembleMembers bounds an ensemble's member count (the paper's
+// five parameters plus the three probe-content parameters).
 const MaxEnsembleMembers = core.MaxEnsembleMembers
+
+// Clusterer merges MAC-randomizing senders into one logical device by
+// probe-content fingerprint, rewriting rotated addresses to a stable
+// canonical address before sender-table admission (see the doc.go
+// "MAC randomization" section).
+type Clusterer = core.Clusterer
+
+// DefaultClusterBindings is NewClusterer's default bound on remembered
+// address→device bindings.
+const DefaultClusterBindings = core.DefaultClusterBindings
+
+// NewClusterer creates a clustering stage remembering at most
+// maxBindings rotated-address bindings (0 = DefaultClusterBindings,
+// negative = unbounded).
+func NewClusterer(maxBindings int) *Clusterer { return core.NewClusterer(maxBindings) }
 
 // NewEnsemble creates an empty multi-parameter reference ensemble over
 // the given extraction configurations (distinct parameters; the zero

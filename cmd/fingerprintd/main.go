@@ -67,7 +67,7 @@
 //	             [-window 5m] [-threshold 0] [-index auto] [-shards 0]
 //	             [-queue 8192] [-drop] [-max-senders 0] [-idle-evict 0] [-merge time]
 //	             [-listen :9077] [-pprof] [-site default] [-enroll-confirm]
-//	             [-rebase] [-stats 10s] [-v] input.pcap [input2.pcap ...]
+//	             [-rebase] [-cluster] [-stats 10s] [-v] input.pcap [input2.pcap ...]
 package main
 
 import (
@@ -108,6 +108,7 @@ func main() {
 	rebase := flag.Bool("rebase", false, "shift each source's clock so its first record lands at offset zero")
 	sourceRetry := flag.Duration("source-retry", 0, "reopen failed sources, starting at this backoff and doubling (0 = a failed source retires)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "also checkpoint the references periodically at this interval (0 = only SIGHUP and shutdown)")
+	cluster := flag.Bool("cluster", false, "merge MAC-randomizing senders by probe content before attribution (training and monitoring)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 = off)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops, evictions and enrollment progress")
 	listen := flag.String("listen", "", "serve the HTTP API, SSE verdict feed and /metrics on this address (trusted networks only; empty = off)")
@@ -246,8 +247,18 @@ func main() {
 		stream.Close()
 		signal.Stop(sigc)
 	}()
+	// With -cluster, one Clusterer spans training and monitoring: the
+	// training prefix is read through it (canonical senders in the
+	// references) and the engine's router resolves live frames through
+	// the same instance.
+	var cl *dot11fp.Clusterer
+	var trainStream dot11fp.RecordSource = stream
+	if *cluster {
+		cl = dot11fp.NewClusterer(0)
+		trainStream = cmdutil.NewClusterSource(stream, cl)
+	}
 	cfgs, measure, refs, pending, err := cmdutil.ResolveReferences(
-		"fingerprintd", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, len(sources))
+		"fingerprintd", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, trainStream, len(sources))
 	if err != nil {
 		if interrupted.Load() {
 			fmt.Fprintln(os.Stderr, "fingerprintd: interrupted during training, nothing to drain")
@@ -325,6 +336,7 @@ func main() {
 		Trainer:      trainer,
 		Watchdog:     5 * time.Second,
 		HealthSink:   healthSink,
+		Cluster:      cl,
 	}
 	var eng *dot11fp.ShardedEngine
 	if fused {

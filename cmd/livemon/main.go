@@ -30,7 +30,7 @@
 //	livemon [-db ref.fpdb | -ref 20m] [-param iat | -param rate,size,iat]
 //	        [-measure cosine] [-enroll] [-window 5m] [-threshold 0]
 //	        [-index auto] [-shards 1] [-stats 0] [-listen :9077]
-//	        [-site default] [-v] [capture.pcap | -]
+//	        [-site default] [-cluster] [-v] [capture.pcap | -]
 package main
 
 import (
@@ -57,6 +57,7 @@ func main() {
 	shards := flag.Int("shards", 1, "engine shards: 1 = serial engine, 0 = GOMAXPROCS, N = N shards")
 	statsEvery := flag.Duration("stats", 0, "periodic stats line interval on stderr (0 = off)")
 	indexFlag := flag.String("index", "auto", "match index: auto (build for large reference sets), on, or off (exhaustive dense matching)")
+	cluster := flag.Bool("cluster", false, "merge MAC-randomizing senders by probe content before attribution (training and monitoring)")
 	verbose := flag.Bool("v", false, "also print below-minimum drops and enrollment progress")
 	listen := flag.String("listen", "", "serve the HTTP API, SSE verdict feed and /metrics on this address (trusted networks only; empty = off)")
 	siteName := flag.String("site", "default", "site name under /api/v1/sites/{site} with -listen")
@@ -80,9 +81,18 @@ func main() {
 		fatal(err)
 	}
 
+	// With -cluster, one Clusterer spans training and monitoring: the
+	// training prefix is read through it (canonical senders in the
+	// references) and the engine resolves live frames through it.
+	var cl *dot11fp.Clusterer
+	var trainStream dot11fp.RecordSource = stream
+	if *cluster {
+		cl = dot11fp.NewClusterer(0)
+		trainStream = cmdutil.NewClusterSource(stream, cl)
+	}
 	enrollFlags := cmdutil.EnrollFlags{Enroll: *enroll, Windows: 1}
 	cfgs, measure, refs, pending, err := cmdutil.ResolveReferences(
-		"livemon", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, stream, 1)
+		"livemon", *dbPath, *ref, *paramFlag, *measureFlag, enrollFlags, trainStream, 1)
 	if err != nil {
 		fatal(err)
 	}
@@ -124,19 +134,19 @@ func main() {
 	switch {
 	case *shards == 1 && fused:
 		eng, err = dot11fp.NewEnsembleEngine(cfgs, cedb, dot11fp.EngineOptions{
-			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer,
+			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer, Cluster: cl,
 		})
 	case *shards == 1:
 		eng, err = dot11fp.NewEngine(cfgs[0], cdb, dot11fp.EngineOptions{
-			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer,
+			Window: *window, Threshold: *threshold, Sink: sink, Trainer: trainer, Cluster: cl,
 		})
 	case fused:
 		eng, err = dot11fp.NewShardedEnsembleEngine(cfgs, cedb, dot11fp.ShardedOptions{
-			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer,
+			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer, Cluster: cl,
 		})
 	default:
 		eng, err = dot11fp.NewShardedEngine(cfgs[0], cdb, dot11fp.ShardedOptions{
-			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer,
+			Window: *window, Threshold: *threshold, Shards: *shards, Sink: sink, Trainer: trainer, Cluster: cl,
 		})
 	}
 	if err != nil {

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("scenario", "office", "office or conference")
+	kind := flag.String("scenario", "office", "office, conference or randomized")
 	duration := flag.Duration("duration", 20*time.Minute, "trace duration")
 	stations := flag.Int("stations", 25, "resident station count")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -36,6 +36,8 @@ func main() {
 		p = scenario.Office(*kind, *seed, *duration, *stations)
 	case "conference":
 		p = scenario.Conference(*kind, *seed, *duration, *stations)
+	case "randomized":
+		p = scenario.RandomizedOffice(*kind, *seed, *duration, *stations)
 	default:
 		fatal(fmt.Errorf("unknown scenario %q", *kind))
 	}
@@ -66,8 +68,8 @@ func main() {
 		}
 		defer mf.Close()
 		for _, si := range infos {
-			fmt.Fprintf(mf, "%s\tprofile=%s\tapp=%s\tservices=%v\tsnr=%.1f\tjoin=%dus\tleave=%dus\n",
-				si.Addr, si.Profile, si.App, si.Services, si.SNRBaseDB, si.JoinUs, si.LeaveUs)
+			fmt.Fprintf(mf, "%s\tprofile=%s\tapp=%s\tservices=%v\tsnr=%.1f\tjoin=%dus\tleave=%dus\trandomized=%t\n",
+				si.Addr, si.Profile, si.App, si.Services, si.SNRBaseDB, si.JoinUs, si.LeaveUs, si.Randomized)
 		}
 	}
 }

@@ -197,7 +197,7 @@ func TestDeterministicGeneration(t *testing.T) {
 		t.Fatalf("same seed, different record counts: %d vs %d", len(a.Records), len(b.Records))
 	}
 	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
+		if !a.Records[i].Equal(b.Records[i]) {
 			t.Fatalf("same seed diverged at record %d", i)
 		}
 	}
@@ -208,7 +208,7 @@ func TestDeterministicGeneration(t *testing.T) {
 	if len(a.Records) == len(c.Records) {
 		same := true
 		for i := range a.Records {
-			if a.Records[i] != c.Records[i] {
+			if !a.Records[i].Equal(c.Records[i]) {
 				same = false
 				break
 			}

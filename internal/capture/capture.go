@@ -12,6 +12,7 @@
 package capture
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,23 @@ type Record struct {
 	SignalDBm int8
 	// Protected reports the frame-body encryption bit.
 	Protected bool
+	// ProbeIEs is the raw information-element list of a probe request
+	// body — the address-independent content the probe-content
+	// parameters and the MAC-randomization clusterer fingerprint. It is
+	// nil for every other class and for probe requests captured without
+	// a body. Producers must store a stable slice (never one aliasing a
+	// recycled decode buffer): records outlive the next read.
+	ProbeIEs []byte
+}
+
+// Equal reports whether two records carry identical observations,
+// comparing probe content by value. (Record itself is not
+// ==-comparable: ProbeIEs is a slice.)
+func (r Record) Equal(o Record) bool {
+	return r.T == o.T && r.Sender == o.Sender && r.Receiver == o.Receiver &&
+		r.Class == o.Class && r.Size == o.Size && r.RateMbps == o.RateMbps &&
+		r.Retry == o.Retry && r.FCSOK == o.FCSOK && r.SignalDBm == o.SignalDBm &&
+		r.Protected == o.Protected && bytes.Equal(r.ProbeIEs, o.ProbeIEs)
 }
 
 // Trace is an ordered sequence of records from one monitoring session.
@@ -114,7 +132,9 @@ var ErrLinkType = errors.New("capture: unsupported pcap link type")
 
 // WritePcap serialises the trace as a standard radiotap pcap stream.
 // Frame bodies are zero-filled and truncated (size information is kept
-// in the record length fields), exactly like a snaplen-limited capture.
+// in the record length fields), exactly like a snaplen-limited capture —
+// except probe-request content (Record.ProbeIEs), which is written
+// verbatim so content fingerprints survive the round trip.
 func WritePcap(w io.Writer, tr *Trace) error {
 	return WritePcapLinkType(w, tr, pcap.LinkTypeRadiotap)
 }
@@ -230,6 +250,14 @@ func frameFor(rec *Record) dot11.Frame {
 	}
 	if f.FC.Type == dot11.TypeData {
 		f.FC.ToDS = true
+	}
+	if rec.Class == dot11.ClassProbeReq && len(rec.ProbeIEs) > 0 {
+		// Probe-request content round-trips verbatim and is never
+		// zero-padded: padding would parse as a run of empty SSID
+		// elements and corrupt the content fingerprint. The on-air size
+		// is preserved via OrigLen regardless of the body length.
+		f.Body = rec.ProbeIEs
+		return f
 	}
 	if pad := rec.Size - f.Size(); pad > 0 {
 		f.Body = make([]byte, pad)
@@ -414,6 +442,13 @@ func (s *StreamReader) Next() (Record, error) {
 		}
 		if meta.hasSig {
 			rec.SignalDBm = meta.sig
+		}
+		// Copy-on-retain: frame.Body aliases the recycled packet buffer,
+		// and the record outlives the next NextInto call. Probe-request
+		// content is the one body downstream keeps, so it is the one
+		// body that must be copied out of the buffer here.
+		if rec.Class == dot11.ClassProbeReq && len(frame.Body) > 0 {
+			rec.ProbeIEs = append([]byte(nil), frame.Body...)
 		}
 		if rec.Protected {
 			s.encrypted = true

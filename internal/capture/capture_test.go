@@ -324,7 +324,7 @@ func TestStreamReaderMatchesReadPcap(t *testing.T) {
 			t.Fatalf("link %d: streamed %d records, batch %d", linkType, len(got), len(want.Records))
 		}
 		for i := range got {
-			if got[i] != want.Records[i] {
+			if !got[i].Equal(want.Records[i]) {
 				t.Fatalf("link %d record %d:\n stream %+v\n batch  %+v", linkType, i, got[i], want.Records[i])
 			}
 		}

@@ -1,0 +1,100 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dot11fp/internal/dot11"
+)
+
+// probeTrace builds a trace whose probe requests carry distinct IE
+// content per station.
+func probeTrace() *Trace {
+	tr := &Trace{
+		Name:    "probes",
+		Base:    time.Date(2026, 6, 11, 9, 0, 0, 0, time.UTC),
+		Channel: 6,
+	}
+	for i := 0; i < 4; i++ {
+		sta := dot11.LocalAddr(uint64(i + 1))
+		extra := dot11.AppendIE(nil, dot11.IEVendor, []byte{0x00, 0x50, 0xf2, byte(i), byte(i * 3)})
+		body := dot11.BuildProbeBody([]byte("corpnet"), nil, extra)
+		tr.Records = append(tr.Records, Record{
+			T: int64(i+1) * 1000, Sender: sta, Receiver: dot11.Broadcast,
+			Class: dot11.ClassProbeReq, Size: 70, RateMbps: 1, FCSOK: true,
+			ProbeIEs: body,
+		})
+	}
+	return tr
+}
+
+func TestProbeIEsPcapRoundTrip(t *testing.T) {
+	t.Parallel()
+	tr := probeTrace()
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatalf("ReadPcap: %v", err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		want, rec := &tr.Records[i], &got.Records[i]
+		if !bytes.Equal(rec.ProbeIEs, want.ProbeIEs) {
+			t.Errorf("record %d: ProbeIEs = %x, want %x", i, rec.ProbeIEs, want.ProbeIEs)
+		}
+		if rec.Size != want.Size {
+			t.Errorf("record %d: Size = %d, want %d (OrigLen must carry the on-air size)", i, rec.Size, want.Size)
+		}
+		// The content must still parse to the exact fingerprint: no
+		// zero-padding smuggled in as empty SSID elements.
+		we := dot11.ParseElems(want.ProbeIEs)
+		ge := dot11.ParseElems(rec.ProbeIEs)
+		if we.NumIEs != ge.NumIEs || we.ContentKey() != ge.ContentKey() {
+			t.Errorf("record %d: content fingerprint changed across round trip", i)
+		}
+	}
+}
+
+// Regression for the recycled-buffer aliasing bug: StreamReader reuses
+// one packet buffer across NextInto calls, so a record's ProbeIEs must
+// be a copy — reading the next record must not corrupt the previous
+// record's content features.
+func TestStreamReaderProbeIEsStableAcrossRecycle(t *testing.T) {
+	t.Parallel()
+	tr := probeTrace()
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr); err != nil {
+		t.Fatalf("WritePcap: %v", err)
+	}
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatalf("NewStreamReader: %v", err)
+	}
+	first, err := sr.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	wantElems := dot11.ParseElems(tr.Records[0].ProbeIEs)
+	wantKey := wantElems.ContentKey()
+	snapshot := append([]byte(nil), first.ProbeIEs...)
+	// Drain the rest of the stream: every read recycles the buffer the
+	// first record's body was decoded from.
+	for {
+		if _, err := sr.Next(); err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(first.ProbeIEs, snapshot) {
+		t.Fatalf("ProbeIEs mutated by later reads: %x != %x", first.ProbeIEs, snapshot)
+	}
+	gotElems := dot11.ParseElems(first.ProbeIEs)
+	if got := gotElems.ContentKey(); got != wantKey {
+		t.Fatalf("content key drifted after buffer recycle: %x != %x", got, wantKey)
+	}
+}

@@ -165,6 +165,39 @@ func trainRefs(train *dot11fp.Trace, params []dot11fp.Param, measure dot11fp.Mea
 	return References{Ens: ens}, nil
 }
 
+// ClusterSource wraps a record stream with the clustering stage:
+// every record's sender is resolved through cl before the consumer
+// sees it, so a training prefix read through the wrapper learns
+// canonical cluster addresses — the same addresses the engine's own
+// Cluster option resolves at monitoring time (canonical addresses are
+// a pure function of probe content, and re-resolving one is a no-op,
+// so sharing cl between the wrapper and the engine is safe and keeps
+// the binding table warm across the train/monitor boundary).
+type ClusterSource struct {
+	src dot11fp.RecordSource
+	cl  *dot11fp.Clusterer
+}
+
+// NewClusterSource wraps src so every record is sender-resolved
+// through cl. A nil cl returns src unchanged.
+func NewClusterSource(src dot11fp.RecordSource, cl *dot11fp.Clusterer) dot11fp.RecordSource {
+	if cl == nil {
+		return src
+	}
+	return &ClusterSource{src: src, cl: cl}
+}
+
+// Next reads the next record and rewrites its sender to the canonical
+// cluster address.
+func (s *ClusterSource) Next() (dot11fp.Record, error) {
+	rec, err := s.src.Next()
+	if err != nil {
+		return rec, err
+	}
+	rec.Sender = s.cl.Resolve(&rec)
+	return rec, nil
+}
+
 // ParseMergeMode maps the -merge flag to a merge mode.
 func ParseMergeMode(s string) (dot11fp.MergeMode, error) {
 	switch s {

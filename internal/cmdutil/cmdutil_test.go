@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dot11fp"
+	"dot11fp/internal/dot11"
 )
 
 // sliceSource replays a fixed record slice as a RecordSource.
@@ -502,5 +503,62 @@ func TestStatsLines(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("trainer line %q is missing %q", buf.String(), want)
 		}
+	}
+}
+
+func TestClusterSource(t *testing.T) {
+	t.Parallel()
+	// Two rotated MACs carrying the same probe content, plus the data
+	// frames they send afterwards: the wrapped stream must hand every
+	// one of them to training under the single canonical identity.
+	body := dot11.BuildProbeBody(nil, nil, []byte{0xdd, 0x05, 0x00, 0x50, 0xf2, 0x04, 0x99})
+	mac1 := dot11.Addr{0x06, 1, 2, 3, 4, 5}
+	mac2 := dot11.Addr{0x06, 9, 8, 7, 6, 5}
+	probe := func(t0 int64, sa dot11.Addr) dot11fp.Record {
+		return dot11fp.Record{
+			T: t0, Sender: sa, Receiver: dot11.Broadcast,
+			Class: dot11.ClassProbeReq, ProbeIEs: body, Size: 60, FCSOK: true,
+		}
+	}
+	data := func(t0 int64, sa dot11.Addr) dot11fp.Record {
+		return dot11fp.Record{
+			T: t0, Sender: sa, Receiver: dot11.LocalAddr(99),
+			Class: dot11.ClassData, Size: 200, FCSOK: true,
+		}
+	}
+	recs := []dot11fp.Record{
+		probe(0, mac1), data(1_000, mac1),
+		probe(2_000_000, mac2), data(2_001_000, mac2),
+	}
+
+	cl := dot11fp.NewClusterer(0)
+	src := NewClusterSource(&sliceSource{recs: recs}, cl)
+	var senders []dot11.Addr
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders = append(senders, rec.Sender)
+	}
+	if len(senders) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(senders), len(recs))
+	}
+	for i, sa := range senders {
+		if sa != senders[0] {
+			t.Fatalf("record %d sender %v, want canonical %v for all records", i, sa, senders[0])
+		}
+	}
+	if senders[0] == mac1 || senders[0] == mac2 {
+		t.Fatalf("canonical sender %v should differ from the rotated MACs", senders[0])
+	}
+
+	// A nil Clusterer is a passthrough: the source comes back unwrapped.
+	plain := &sliceSource{recs: recs}
+	if got := NewClusterSource(plain, nil); got != dot11fp.RecordSource(plain) {
+		t.Fatal("nil Clusterer should return the source unchanged")
 	}
 }

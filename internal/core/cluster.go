@@ -1,0 +1,149 @@
+package core
+
+import (
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+)
+
+// DefaultClusterBindings bounds the raw-MAC → device binding table when
+// NewClusterer is given no explicit cap. Randomizing clients mint a
+// fresh address per probe burst, so the binding table — unlike the
+// device table — grows with time, not with population.
+const DefaultClusterBindings = 1 << 16
+
+// Clusterer merges randomized-MAC senders into one logical device by
+// probe-request content, upstream of sender-table admission: every
+// FCS-valid probe request with a body is fingerprinted
+// (dot11.Elems.ContentKey — IE order, rates, capability; deliberately
+// not the SSID), and its sender address is bound to a canonical device
+// address derived from that fingerprint. Subsequent frames from the
+// same (rotated) address — data, nulls, further probes — resolve to the
+// canonical address, so the window accumulator and the reference
+// databases see one stable device where the air shows a parade of
+// random MACs.
+//
+// The canonical address is a pure function of the content key, so the
+// serial engine, every shard router, training and batch application all
+// agree on it without coordination. Devices with byte-identical probe
+// content (same model, driver and configuration) are inherently merged
+// — the resolution limit of content-based clustering.
+//
+// A Clusterer is NOT safe for concurrent use: each engine owns one and
+// calls it from its single ingest/router goroutine.
+type Clusterer struct {
+	devices map[uint64]dot11.Addr     // content key → canonical device address
+	macs    map[dot11.Addr]dot11.Addr // raw sender → canonical device address
+	// FIFO over macs insertions for bounded eviction; head indexes the
+	// oldest live entry and the slice is compacted when it drifts.
+	order   []dot11.Addr
+	head    int
+	maxMACs int
+
+	rebound uint64 // bindings that moved to a different device
+	evicted uint64 // bindings dropped by the FIFO bound
+}
+
+// NewClusterer returns a clusterer bounding the raw-MAC binding table
+// at maxBindings (0 selects DefaultClusterBindings; negative means
+// unbounded). The device table is unbounded: it grows with distinct
+// probe-content fingerprints, i.e. with the real device population.
+func NewClusterer(maxBindings int) *Clusterer {
+	if maxBindings == 0 {
+		maxBindings = DefaultClusterBindings
+	}
+	if maxBindings < 0 {
+		maxBindings = 0
+	}
+	return &Clusterer{
+		devices: make(map[uint64]dot11.Addr),
+		macs:    make(map[dot11.Addr]dot11.Addr),
+		maxMACs: maxBindings,
+	}
+}
+
+// CanonicalAddr derives the canonical device address for a content key:
+// locally administered, unicast, with a first octet (0x0a) no real
+// vendor OUI and no simulator address (0x02) uses, so canonical
+// addresses can never collide with observed senders.
+func CanonicalAddr(key uint64) dot11.Addr {
+	return dot11.Addr{0x0a, byte(key >> 32), byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key)}
+}
+
+// Resolve returns the address the record's sender should be attributed
+// to: the canonical device address when the sender is (or just became)
+// bound to a clustered device, the raw sender otherwise. An FCS-valid
+// probe request with content establishes or refreshes the binding; the
+// record itself is not retained or mutated.
+func (c *Clusterer) Resolve(rec *capture.Record) dot11.Addr {
+	if rec.Class == dot11.ClassProbeReq && len(rec.ProbeIEs) > 0 && rec.FCSOK && !rec.Sender.IsZero() {
+		e := dot11.ParseElems(rec.ProbeIEs)
+		key := e.ContentKey()
+		canon, ok := c.devices[key]
+		if !ok {
+			canon = CanonicalAddr(key)
+			c.devices[key] = canon
+		}
+		c.bind(rec.Sender, canon)
+		return canon
+	}
+	if canon, ok := c.macs[rec.Sender]; ok {
+		return canon
+	}
+	return rec.Sender
+}
+
+// bind records raw → canon, evicting the oldest binding at the cap.
+func (c *Clusterer) bind(raw, canon dot11.Addr) {
+	if prev, ok := c.macs[raw]; ok {
+		if prev != canon {
+			// Content drift (or a fingerprint collision breaking up):
+			// the newest observation wins.
+			c.macs[raw] = canon
+			c.rebound++
+		}
+		return
+	}
+	if c.maxMACs > 0 && len(c.macs) >= c.maxMACs {
+		old := c.order[c.head]
+		c.order[c.head] = dot11.Addr{}
+		c.head++
+		delete(c.macs, old)
+		c.evicted++
+		if c.head > len(c.order)/2 {
+			c.order = append(c.order[:0], c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.macs[raw] = canon
+	c.order = append(c.order, raw)
+}
+
+// Apply rewrites a trace's senders through the clusterer, in record
+// order, returning a new trace that shares everything but the rewritten
+// records. It is the batch adapter over Resolve: training and
+// evaluation on an Apply'd trace see exactly the senders the streaming
+// engines would attribute.
+func (c *Clusterer) Apply(tr *capture.Trace) *capture.Trace {
+	out := &capture.Trace{
+		Name: tr.Name, Base: tr.Base, Channel: tr.Channel, Encrypted: tr.Encrypted,
+		Records: make([]capture.Record, len(tr.Records)),
+	}
+	for i := range tr.Records {
+		rec := tr.Records[i]
+		rec.Sender = c.Resolve(&tr.Records[i])
+		out.Records[i] = rec
+	}
+	return out
+}
+
+// Devices returns the number of distinct clustered devices seen.
+func (c *Clusterer) Devices() int { return len(c.devices) }
+
+// Bindings returns the number of live raw-MAC → device bindings.
+func (c *Clusterer) Bindings() int { return len(c.macs) }
+
+// Rebound returns how many bindings moved between devices.
+func (c *Clusterer) Rebound() uint64 { return c.rebound }
+
+// Evicted returns how many bindings the FIFO bound dropped.
+func (c *Clusterer) Evicted() uint64 { return c.evicted }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
+)
+
+// probeRec builds an FCS-valid probe request record with the given
+// sender and content.
+func probeRec(t int64, sender dot11.Addr, ies []byte) capture.Record {
+	return capture.Record{
+		T: t, Sender: sender, Receiver: dot11.Broadcast,
+		Class: dot11.ClassProbeReq, Size: 70, RateMbps: 1, FCSOK: true,
+		ProbeIEs: ies,
+	}
+}
+
+func dataRec(t int64, sender dot11.Addr) capture.Record {
+	return capture.Record{
+		T: t, Sender: sender, Receiver: dot11.Broadcast,
+		Class: dot11.ClassData, Size: 500, RateMbps: 54, FCSOK: true,
+	}
+}
+
+func TestClustererMergesRotatedMACs(t *testing.T) {
+	t.Parallel()
+	c := NewClusterer(0)
+	contentA := dot11.BuildProbeBody([]byte("corp"), nil, dot11.AppendIE(nil, dot11.IEVendor, []byte{1, 2, 3, 4}))
+	contentB := dot11.BuildProbeBody([]byte("corp"), nil, dot11.AppendIE(nil, dot11.IEVendor, []byte{9, 9, 9, 9}))
+
+	mac1, mac2 := dot11.LocalAddr(100), dot11.LocalAddr(101)
+	r1, r2 := probeRec(0, mac1, contentA), probeRec(1000, mac2, contentA)
+	canon1, canon2 := c.Resolve(&r1), c.Resolve(&r2)
+	if canon1 != canon2 {
+		t.Fatalf("same content, rotated MACs: %v vs %v", canon1, canon2)
+	}
+	if canon1 == mac1 || canon1 == mac2 {
+		t.Fatal("canonical address must differ from raw senders")
+	}
+	// Data frames from either rotated MAC now resolve to the device.
+	d := dataRec(2000, mac1)
+	if got := c.Resolve(&d); got != canon1 {
+		t.Fatalf("bound data frame resolved to %v, want %v", got, canon1)
+	}
+	// A different device's content makes a different cluster.
+	r3 := probeRec(3000, dot11.LocalAddr(102), contentB)
+	if got := c.Resolve(&r3); got == canon1 {
+		t.Fatal("distinct content merged into one device")
+	}
+	if c.Devices() != 2 || c.Bindings() != 3 {
+		t.Fatalf("Devices = %d, Bindings = %d, want 2, 3", c.Devices(), c.Bindings())
+	}
+}
+
+func TestClustererPassThrough(t *testing.T) {
+	t.Parallel()
+	c := NewClusterer(0)
+	// Unbound senders, bodyless probes and bad-FCS probes pass through.
+	d := dataRec(0, dot11.LocalAddr(7))
+	if got := c.Resolve(&d); got != d.Sender {
+		t.Fatalf("unbound sender rewritten to %v", got)
+	}
+	p := probeRec(1, dot11.LocalAddr(8), nil)
+	if got := c.Resolve(&p); got != p.Sender {
+		t.Fatal("bodyless probe clustered")
+	}
+	bad := probeRec(2, dot11.LocalAddr(9), dot11.BuildProbeBody(nil, nil, nil))
+	bad.FCSOK = false
+	if got := c.Resolve(&bad); got != bad.Sender {
+		t.Fatal("corrupt probe clustered")
+	}
+	if c.Devices() != 0 || c.Bindings() != 0 {
+		t.Fatalf("state leaked: %d devices, %d bindings", c.Devices(), c.Bindings())
+	}
+}
+
+func TestClustererDeterministicCanonical(t *testing.T) {
+	t.Parallel()
+	// Two independent clusterers seeing the same content in different
+	// orders must agree on the canonical address — shard routers depend
+	// on it.
+	content := dot11.BuildProbeBody([]byte("x"), nil, nil)
+	a, b := NewClusterer(0), NewClusterer(0)
+	r1, r2 := probeRec(0, dot11.LocalAddr(1), content), probeRec(0, dot11.LocalAddr(2), content)
+	if a.Resolve(&r1) != b.Resolve(&r2) {
+		t.Fatal("canonical address depends on observation order or raw MAC")
+	}
+	// Resolving an already-canonical sender is idempotent.
+	canon := a.Resolve(&r1)
+	again := probeRec(10, canon, content)
+	if got := a.Resolve(&again); got != canon {
+		t.Fatalf("canonical sender re-resolved to %v", got)
+	}
+}
+
+func TestClustererBoundedBindings(t *testing.T) {
+	t.Parallel()
+	c := NewClusterer(4)
+	content := dot11.BuildProbeBody([]byte("net"), nil, nil)
+	for i := 0; i < 10; i++ {
+		r := probeRec(int64(i), dot11.LocalAddr(uint64(200+i)), content)
+		c.Resolve(&r)
+	}
+	if c.Bindings() != 4 {
+		t.Fatalf("Bindings = %d, want cap 4", c.Bindings())
+	}
+	if c.Evicted() != 6 {
+		t.Fatalf("Evicted = %d, want 6", c.Evicted())
+	}
+	if c.Devices() != 1 {
+		t.Fatalf("Devices = %d, want 1", c.Devices())
+	}
+	// The newest binding survives, the oldest is gone.
+	newest := dataRec(100, dot11.LocalAddr(209))
+	if got := c.Resolve(&newest); got == newest.Sender {
+		t.Fatal("newest binding evicted")
+	}
+	oldest := dataRec(101, dot11.LocalAddr(200))
+	if got := c.Resolve(&oldest); got != oldest.Sender {
+		t.Fatal("oldest binding survived the cap")
+	}
+}
+
+func TestClustererApply(t *testing.T) {
+	t.Parallel()
+	content := dot11.BuildProbeBody([]byte("corp"), nil, nil)
+	tr := &capture.Trace{Records: []capture.Record{
+		probeRec(0, dot11.LocalAddr(1), content),
+		dataRec(100, dot11.LocalAddr(1)),
+		probeRec(200, dot11.LocalAddr(2), content), // rotation
+		dataRec(300, dot11.LocalAddr(2)),
+		dataRec(400, dot11.LocalAddr(50)), // never probed: untouched
+	}}
+	c := NewClusterer(0)
+	out := c.Apply(tr)
+	if len(out.Records) != len(tr.Records) {
+		t.Fatalf("Apply changed record count")
+	}
+	canon := out.Records[0].Sender
+	for i := 0; i < 4; i++ {
+		if out.Records[i].Sender != canon {
+			t.Errorf("record %d sender = %v, want %v", i, out.Records[i].Sender, canon)
+		}
+	}
+	if out.Records[4].Sender != dot11.LocalAddr(50) {
+		t.Errorf("unprobed sender rewritten to %v", out.Records[4].Sender)
+	}
+	// The input trace is untouched.
+	if tr.Records[1].Sender != dot11.LocalAddr(1) {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestProbeParamValues(t *testing.T) {
+	t.Parallel()
+	content := dot11.BuildProbeBody([]byte("corp"), nil, nil)
+	p := probeRec(0, dot11.LocalAddr(1), content)
+	d := dataRec(1, dot11.LocalAddr(1))
+	for _, param := range ContentParams {
+		v, ok := param.Value(&p, -1)
+		if !ok {
+			t.Errorf("%s undefined for a probe with content", param)
+		}
+		if v < 0 || v >= contentBins {
+			t.Errorf("%s value %v outside [0, %d)", param, v, contentBins)
+		}
+		if _, ok := param.Value(&d, -1); ok {
+			t.Errorf("%s defined for a data frame", param)
+		}
+		bare := probeRec(2, dot11.LocalAddr(1), nil)
+		if _, ok := param.Value(&bare, -1); ok {
+			t.Errorf("%s defined for a bodyless probe", param)
+		}
+		// Resolvable by short name, with probe-tuned defaults.
+		got, err := ParamByShortName(param.ShortName())
+		if err != nil || got != param {
+			t.Errorf("ParamByShortName(%q) = %v, %v", param.ShortName(), got, err)
+		}
+		cfg := DefaultConfig(param)
+		if cfg.MinObservations != 8 {
+			t.Errorf("%s MinObservations = %d, want 8", param, cfg.MinObservations)
+		}
+		if cfg.Bins.Bins != contentBins || cfg.Bins.Width != 1 {
+			t.Errorf("%s bins = %+v", param, cfg.Bins)
+		}
+	}
+	// Same content, different rotated sender: identical values — the
+	// property that defeats randomization.
+	p2 := probeRec(5, dot11.LocalAddr(99), content)
+	for _, param := range ContentParams {
+		v1, _ := param.Value(&p, -1)
+		v2, _ := param.Value(&p2, -1)
+		if v1 != v2 {
+			t.Errorf("%s value depends on the sender address", param)
+		}
+	}
+}
+
+func TestAccumulatorWithClusterer(t *testing.T) {
+	t.Parallel()
+	content := dot11.BuildProbeBody([]byte("corp"), nil, nil)
+	var recs []capture.Record
+	// One logical device rotating its MAC every burst; enough frames to
+	// clear min-obs for the size parameter.
+	for burst := 0; burst < 4; burst++ {
+		mac := dot11.LocalAddr(uint64(300 + burst))
+		base := int64(burst) * 10_000
+		recs = append(recs, probeRec(base, mac, content))
+		for i := 0; i < 20; i++ {
+			recs = append(recs, dataRec(base+int64(i+1)*100, mac))
+		}
+	}
+	run := func(cl *Clusterer) map[dot11.Addr]bool {
+		senders := make(map[dot11.Addr]bool)
+		acc := NewWindowAccumulator(time.Minute, Config{Param: ParamSize, MinObservations: 10}, func(res *WindowResult) {
+			for _, c := range res.Candidates {
+				senders[c.Addr] = true
+			}
+		})
+		if cl != nil {
+			acc.SetClusterer(cl)
+		}
+		for i := range recs {
+			acc.Push(&recs[i])
+		}
+		acc.Flush()
+		return senders
+	}
+	if got := run(nil); len(got) != 0 {
+		// 21 frames per rotated MAC < min-obs 10? No: 21 > 10, so each
+		// rotated MAC qualifies separately without clustering.
+		if len(got) != 4 {
+			t.Fatalf("without clustering: %d senders, want 4 rotated MACs", len(got))
+		}
+	}
+	got := run(NewClusterer(0))
+	if len(got) != 1 {
+		t.Fatalf("with clustering: %d senders, want 1 device", len(got))
+	}
+	for s := range got {
+		if s[0] != 0x0a {
+			t.Fatalf("clustered sender %v is not a canonical device address", s)
+		}
+	}
+}

@@ -10,10 +10,10 @@ import (
 )
 
 // MaxEnsembleMembers bounds the member count of an ensemble: members
-// must carry distinct parameters and the paper defines five, so an
-// ensemble can never combine more. Fixed-size per-record buffers in the
-// streaming paths are sized by it.
-const MaxEnsembleMembers = 5
+// must carry distinct parameters — the paper's five plus the three
+// probe-content parameters — so an ensemble can never combine more.
+// Fixed-size per-record buffers in the streaming paths are sized by it.
+const MaxEnsembleMembers = 8
 
 // validateEnsembleConfigs applies the shared member rules: at least one
 // member, distinct parameters, at most MaxEnsembleMembers.

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"dot11fp/internal/capture"
+	"dot11fp/internal/dot11"
 )
 
 // Param selects which network parameter a signature is built from
@@ -40,8 +41,33 @@ const (
 	ParamInterArrival
 )
 
+// Probe-content parameters, beyond the paper's five: address-independent
+// features of probe-request bodies. The paper's parameters key on a
+// stable sender MAC; modern clients randomize theirs, and probe content
+// (information-element order, supported rates, capability, SSID) is the
+// driver/firmware artifact that stays stable across rotations. These
+// parameters histogram content fingerprints through the same
+// WindowAccumulator/ensemble path as the paper's five.
+const (
+	// ParamProbeIE is the IE id/order fingerprint of probe-request
+	// bodies, folded onto a fixed histogram domain.
+	ParamProbeIE Param = 6
+	// ParamProbeCap is the supported-rates + capability fingerprint.
+	ParamProbeCap Param = 7
+	// ParamProbeSSID is the directed-SSID fingerprint (bin 0 collects
+	// wildcard probes).
+	ParamProbeSSID Param = 8
+)
+
 // Params lists all five parameters in the paper's order.
 var Params = []Param{ParamRate, ParamSize, ParamMediumAccess, ParamTxTime, ParamInterArrival}
+
+// ContentParams lists the probe-content parameters.
+var ContentParams = []Param{ParamProbeIE, ParamProbeCap, ParamProbeSSID}
+
+// contentBins is the histogram domain probe fingerprints fold onto:
+// a prime modulus spreads the 64-bit hashes evenly across the bins.
+const contentBins = 251
 
 // String implements fmt.Stringer using the paper's names.
 func (p Param) String() string {
@@ -56,6 +82,12 @@ func (p Param) String() string {
 		return "transmission time"
 	case ParamInterArrival:
 		return "inter-arrival time"
+	case ParamProbeIE:
+		return "probe IE order"
+	case ParamProbeCap:
+		return "probe rates/capability"
+	case ParamProbeSSID:
+		return "probe SSID"
 	default:
 		return fmt.Sprintf("param(%d)", uint8(p))
 	}
@@ -74,6 +106,12 @@ func (p Param) ShortName() string {
 		return "txtime"
 	case ParamInterArrival:
 		return "iat"
+	case ParamProbeIE:
+		return "probe-ie"
+	case ParamProbeCap:
+		return "probe-cap"
+	case ParamProbeSSID:
+		return "probe-ssid"
 	default:
 		return "unknown"
 	}
@@ -82,6 +120,11 @@ func (p Param) ShortName() string {
 // ParamByShortName resolves a compact identifier.
 func ParamByShortName(s string) (Param, error) {
 	for _, p := range Params {
+		if p.ShortName() == s {
+			return p, nil
+		}
+	}
+	for _, p := range ContentParams {
 		if p.ShortName() == s {
 			return p, nil
 		}
@@ -126,6 +169,21 @@ func (p Param) Value(rec *capture.Record, prevT int64) (v float64, ok bool) {
 			return 0, false
 		}
 		return m, true
+	case ParamProbeIE, ParamProbeCap, ParamProbeSSID:
+		if rec.Class != dot11.ClassProbeReq || len(rec.ProbeIEs) == 0 {
+			return 0, false
+		}
+		e := dot11.ParseElems(rec.ProbeIEs)
+		var fp uint64
+		switch p {
+		case ParamProbeIE:
+			fp = e.OrderFP()
+		case ParamProbeCap:
+			fp = e.RatesFP()
+		default:
+			fp = e.SSIDFP() // 0 = wildcard; a real bin, not "undefined"
+		}
+		return float64(fp % contentBins), true
 	default:
 		return 0, false
 	}
@@ -166,6 +224,9 @@ func DefaultBins(p Param) BinSpec {
 		return BinSpec{Width: 0.5, Bins: 110}
 	case ParamSize:
 		return BinSpec{Width: 32, Bins: 74}
+	case ParamProbeIE, ParamProbeCap, ParamProbeSSID:
+		// One bin per folded fingerprint value.
+		return BinSpec{Width: 1, Bins: contentBins}
 	default:
 		// 250 linear bins to the 2.5 ms knee + ~260 log bins to ≈ 1 min.
 		return BinSpec{Width: 10, Bins: 512, LogKnee: 2_500}

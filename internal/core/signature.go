@@ -146,7 +146,10 @@ type Config struct {
 	// Bins shapes the histograms; the zero value selects DefaultBins.
 	Bins BinSpec
 	// MinObservations is the minimum |P(s)| for a signature to be
-	// emitted; the zero value selects the paper's 50.
+	// emitted; the zero value selects the paper's 50 — except for the
+	// probe-content parameters, where it selects 8: probe requests are
+	// orders of magnitude rarer than data frames, and 50 of them would
+	// disqualify every sender in a realistic window.
 	MinObservations int
 	// KeepBadFCS also attributes frames that failed their checksum.
 	// The default (false) matches a real tool: corrupt frames advance
@@ -161,6 +164,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinObservations == 0 {
 		c.MinObservations = 50
+		switch c.Param {
+		case ParamProbeIE, ParamProbeCap, ParamProbeSSID:
+			c.MinObservations = 8
+		}
 	}
 	return c
 }

@@ -160,11 +160,12 @@ func (c *WindowClock) meta() WindowMeta {
 // Push and Flush must be called from a single goroutine; LiveSenders
 // and WindowsClosed are safe to read from any goroutine.
 type WindowAccumulator struct {
-	cfg   Config
-	cfgs  []Config // ensemble members; nil in single-parameter mode
-	clock WindowClock
-	emit  func(*WindowResult)
-	table *SenderTable
+	cfg     Config
+	cfgs    []Config // ensemble members; nil in single-parameter mode
+	clock   WindowClock
+	emit    func(*WindowResult)
+	table   *SenderTable
+	cluster *Clusterer // nil = no MAC-randomization clustering
 
 	// Reusable per-record member value buffers (ensemble mode only), so
 	// the multi-parameter push path allocates nothing per frame.
@@ -229,6 +230,13 @@ func (a *WindowAccumulator) Configs() []Config {
 	return out
 }
 
+// SetClusterer routes attribution through a MAC-randomization
+// clusterer: every attributable record's sender is resolved to its
+// clustered device address before sender-table admission (nil disables,
+// the default — a single branch on the per-frame path). Call before the
+// first Push.
+func (a *WindowAccumulator) SetClusterer(c *Clusterer) { a.cluster = c }
+
 // SetLimits bounds the accumulator's per-window sender state (see
 // SenderLimits). With the zero value — the default — state is unbounded
 // and output is byte-for-byte the batch pipeline's; with bounds in
@@ -257,8 +265,12 @@ func (a *WindowAccumulator) Push(rec *capture.Record) {
 	if a.cfgs != nil {
 		a.pushMulti(rec)
 	} else if !rec.Sender.IsZero() && (rec.FCSOK || a.cfg.KeepBadFCS) {
+		sender := rec.Sender
+		if a.cluster != nil {
+			sender = a.cluster.Resolve(rec)
+		}
 		if v, ok := a.cfg.Param.Value(rec, a.clock.PrevT()); ok {
-			a.table.Observe(rec.Sender, rec.Class, v, rec.T)
+			a.table.Observe(sender, rec.Class, v, rec.T)
 		}
 	}
 	a.clock.Mark(rec.T)
@@ -274,8 +286,12 @@ func (a *WindowAccumulator) pushMulti(rec *capture.Record) {
 	if rec.Sender.IsZero() {
 		return
 	}
+	sender := rec.Sender
+	if a.cluster != nil {
+		sender = a.cluster.Resolve(rec)
+	}
 	if MemberValues(a.cfgs, rec, a.clock.PrevT(), a.vals, a.valid) {
-		a.table.ObserveN(rec.Sender, rec.Class, a.vals, a.valid, rec.T)
+		a.table.ObserveN(sender, rec.Class, a.vals, a.valid, rec.T)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"dot11fp/internal/dot11"
 	"dot11fp/internal/stats"
 )
 
@@ -125,6 +126,13 @@ type Profile struct {
 	ProbeBurst    int
 	ProbeGapUs    int64
 
+	// RandomizeMAC models a privacy-conscious client OS: the station
+	// mints a fresh locally-administered sender address at the start of
+	// every probe burst and keeps it until the next burst, so no stable
+	// MAC ever links its traffic. Probe content (ProbeIEs) is the only
+	// thread connecting the rotations.
+	RandomizeMAC bool
+
 	// ShortPreamble selects the short CCK PLCP preamble.
 	ShortPreamble bool
 }
@@ -176,6 +184,12 @@ type Spec struct {
 	NullPhaseUs int64
 	// ProbePhaseUs de-phases the scan schedule.
 	ProbePhaseUs int64
+	// ProbeIEs is the unit's probe-request body: the driver's element
+	// list (SSID, rates by PHY mode, DS parameter) plus a WPS-style
+	// vendor element carrying a per-unit UUID — the stable,
+	// address-independent content that probe-content fingerprinting
+	// keys on. Immutable after Instantiate.
+	ProbeIEs []byte
 }
 
 // Instantiate derives a per-unit Spec using the given source.
@@ -189,8 +203,44 @@ func (p Profile) Instantiate(unit int, r *rand.Rand) Spec {
 	if p.ProbePeriodUs > 0 {
 		s.ProbePhaseUs = r.Int64N(p.ProbePeriodUs)
 	}
+	// Per-unit probe content, drawn last so the per-unit variation
+	// stream above is untouched for existing units.
+	s.ProbeIEs = p.probeIEs(r.Uint64(), r.Uint64())
 	return s
 }
+
+// probeIEs builds the archetype's probe-request element list with the
+// unit's WPS UUID bytes mixed in.
+func (p Profile) probeIEs(uuidHi, uuidLo uint64) []byte {
+	rates, ext := probeRatesB, []byte(nil)
+	if p.Mode == ModeG {
+		rates, ext = probeRatesG, probeRatesGExt
+	}
+	body := dot11.AppendIE(nil, dot11.IESSID, nil) // wildcard scan
+	body = dot11.AppendIE(body, dot11.IESupportedRates, rates)
+	if ext != nil {
+		body = dot11.AppendIE(body, dot11.IEExtRates, ext)
+	}
+	body = dot11.AppendIE(body, dot11.IEDSParam, []byte{0})
+	// WPS vendor element (OUI 00:50:f2, type 4) carrying UUID-E.
+	wps := make([]byte, 0, 20)
+	wps = append(wps, 0x00, 0x50, 0xf2, 0x04)
+	for i := 0; i < 8; i++ {
+		wps = append(wps, byte(uuidHi>>(56-8*i)))
+	}
+	for i := 0; i < 8; i++ {
+		wps = append(wps, byte(uuidLo>>(56-8*i)))
+	}
+	return dot11.AppendIE(body, dot11.IEVendor, wps)
+}
+
+// Probe-body rate elements in wire encoding (Mb/s × 2; 0x80 marks a
+// basic rate).
+var (
+	probeRatesB    = []byte{0x82, 0x84, 0x8b, 0x96}
+	probeRatesG    = []byte{0x82, 0x84, 0x8b, 0x96, 0x0c, 0x12, 0x18, 0x24}
+	probeRatesGExt = []byte{0x30, 0x48, 0x60, 0x6c}
+)
 
 // SkewPeriod applies the unit's clock skew to a nominal period.
 func (s Spec) SkewPeriod(us int64) int64 {

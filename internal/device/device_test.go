@@ -1,6 +1,7 @@
 package device
 
 import (
+	"bytes"
 	"testing"
 
 	"dot11fp/internal/stats"
@@ -97,12 +98,17 @@ func TestInstantiateDeterministicAndVaried(t *testing.T) {
 	p := Catalog()[1] // has power save and probing
 	s1 := p.Instantiate(1, stats.NewRand(9, 1))
 	s2 := p.Instantiate(1, stats.NewRand(9, 1))
-	if s1 != s2 {
+	if s1.ClockSkewPPM != s2.ClockSkewPPM || s1.UnitDIFSUs != s2.UnitDIFSUs ||
+		s1.NullPhaseUs != s2.NullPhaseUs || s1.ProbePhaseUs != s2.ProbePhaseUs ||
+		!bytes.Equal(s1.ProbeIEs, s2.ProbeIEs) {
 		t.Fatal("Instantiate is not deterministic for equal sources")
 	}
 	s3 := p.Instantiate(2, stats.NewRand(9, 2))
 	if s1.ClockSkewPPM == s3.ClockSkewPPM && s1.NullPhaseUs == s3.NullPhaseUs {
 		t.Error("distinct units got identical variation, suspicious")
+	}
+	if bytes.Equal(s1.ProbeIEs, s3.ProbeIEs) {
+		t.Error("distinct units got identical probe content (UUID should differ)")
 	}
 	if s1.ClockSkewPPM < -40 || s1.ClockSkewPPM > 40 {
 		t.Errorf("clock skew %v out of tolerance", s1.ClockSkewPPM)

@@ -1,0 +1,96 @@
+package dot11
+
+import "testing"
+
+// TestClassifyExhaustive sweeps every type/subtype pair. The invariant:
+// every valid frame type classifies somewhere concrete — unknown
+// management subtypes land in ClassMgmtOther and unknown control
+// subtypes in ClassCtlOther, never ClassUnknown. Only the reserved
+// type 3 is ClassUnknown.
+func TestClassifyExhaustive(t *testing.T) {
+	t.Parallel()
+	mgmt := map[Subtype]Class{
+		SubtypeBeacon:    ClassBeacon,
+		SubtypeProbeReq:  ClassProbeReq,
+		SubtypeProbeResp: ClassProbeResp,
+	}
+	ctl := map[Subtype]Class{
+		SubtypeRTS:    ClassRTS,
+		SubtypeCTS:    ClassCTS,
+		SubtypeACK:    ClassACK,
+		SubtypePSPoll: ClassPSPoll,
+	}
+	data := map[Subtype]Class{
+		SubtypeNull:    ClassNull,
+		SubtypeQoSNull: ClassNull,
+		SubtypeQoSData: ClassQoSData,
+	}
+	for ty := Type(0); ty < 4; ty++ {
+		for st := Subtype(0); st < 16; st++ {
+			var want Class
+			switch ty {
+			case TypeManagement:
+				want = ClassMgmtOther
+				if c, ok := mgmt[st]; ok {
+					want = c
+				}
+			case TypeControl:
+				want = ClassCtlOther
+				if c, ok := ctl[st]; ok {
+					want = c
+				}
+			case TypeData:
+				want = ClassData
+				if c, ok := data[st]; ok {
+					want = c
+				}
+			default:
+				want = ClassUnknown
+			}
+			got := Classify(FrameControl{Type: ty, Subtype: st})
+			if got != want {
+				t.Errorf("Classify(type %d, subtype %d) = %s, want %s", ty, st, got, want)
+			}
+			if ty != 3 && got == ClassUnknown {
+				t.Errorf("valid type %d subtype %d classified ClassUnknown", ty, st)
+			}
+		}
+	}
+}
+
+// Regression: captures pad short control frames (radiotap vendor
+// trailers, minimum record lengths); Decode must not alias that tail as
+// a frame body — Frame documents Body as nil for control frames.
+func TestDecodeControlPaddedBody(t *testing.T) {
+	t.Parallel()
+	frames := map[string]Frame{
+		"cts": NewCTS(LocalAddr(1), 280),
+		"ack": NewACK(LocalAddr(1)),
+		"rts": NewRTS(LocalAddr(1), LocalAddr(2), 312),
+	}
+	for name, f := range frames {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			raw := f.Encode()
+			padded := append(append([]byte(nil), raw...), 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00)
+			got, err := Decode(padded, false)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Body != nil {
+				t.Fatalf("control frame Body = %x, want nil", got.Body)
+			}
+			// The unpadded frame decodes to a nil body too.
+			if got, err := Decode(raw, true); err != nil || got.Body != nil {
+				t.Fatalf("unpadded: Body = %x, err = %v", got.Body, err)
+			}
+		})
+	}
+	// Management frames keep the trailing bytes: there the tail is body.
+	b := NewBeacon(LocalAddr(9), make([]byte, 16))
+	got, err := Decode(b.Encode(), true)
+	if err != nil || len(got.Body) != 16 {
+		t.Fatalf("beacon Body = %d bytes, err = %v, want 16", len(got.Body), err)
+	}
+}

@@ -1,0 +1,274 @@
+package dot11
+
+import "encoding/binary"
+
+// Information-element ids used by the probe-content fingerprint. The
+// parser records every id it sees; these constants only name the ones
+// the package itself interprets.
+const (
+	IESSID           uint8 = 0
+	IESupportedRates uint8 = 1
+	IEDSParam        uint8 = 3
+	IETIM            uint8 = 5
+	IEHTCapabilities uint8 = 45
+	IEExtRates       uint8 = 50
+	IEExtCaps        uint8 = 127
+	IEVHTCaps        uint8 = 191
+	IEVendor         uint8 = 221
+)
+
+// Bounds on what Elems records. The fixed arrays keep parsing
+// allocation-free on the per-frame path; bodies with more elements than
+// MaxElemOrder still parse (the bitmap keeps counting), only the order
+// list is capped.
+const (
+	MaxElemOrder = 32 // IE ids kept in appearance order
+	MaxElemRates = 16 // supported + extended rates kept
+	MaxSSIDLen   = 32 // 802.11 maximum SSID length
+)
+
+// Elems is the decoded information-element list of a management-frame
+// body: the id sequence in order of appearance, a presence bitmap over
+// all 256 ids, the supported-rates set, the SSID, and the capability
+// field when the subtype carries one. It is the raw material of the
+// probe-content parameters that survive MAC randomization — the id
+// order and rate set are driver/firmware artifacts that stay stable
+// while the sender address rotates.
+//
+// The zero value means "no elements". SSID aliases the parsed body;
+// callers that retain an Elems past the life of the input must copy it.
+type Elems struct {
+	Order    [MaxElemOrder]uint8 // IE ids in appearance order
+	NumOrder int                 // entries used in Order (capped at MaxElemOrder)
+	NumIEs   int                 // total well-formed elements seen (not capped)
+	Bitmap   [4]uint64           // presence bitmap indexed by IE id
+	Rates    [MaxElemRates]uint8 // supported + extended rates, wire encoding
+	NumRates int                 // entries used in Rates
+	SSID     []byte              // SSID element value; nil if absent (aliases input)
+	HasSSID  bool                // SSID element present (may be zero length: wildcard)
+	Cap      uint16              // capability information field
+	HasCap   bool                // subtype carries a capability field and it was present
+	vendor   uint64              // running hash over vendor-IE payloads; 0 = none seen
+
+	// Truncated is set when the body ends mid-element (or before the
+	// subtype's fixed fields) — the norm for snap-length captures.
+	// Everything fully present before the cut is still recorded, so a
+	// truncated body yields a stable prefix fingerprint rather than
+	// nothing.
+	Truncated bool
+}
+
+// Has reports whether an element with the given id was seen.
+func (e *Elems) Has(id uint8) bool {
+	return e.Bitmap[id>>6]&(1<<(id&63)) != 0
+}
+
+// ParseElems parses a bare IE list (id, length, value triples) as found
+// after a management frame's fixed fields. It never fails: hostile or
+// truncated input yields whatever well-formed prefix exists, with
+// Truncated set if the body ended mid-element. The returned Elems
+// aliases body (SSID).
+func ParseElems(body []byte) Elems {
+	var e Elems
+	parseElemsInto(&e, body)
+	return e
+}
+
+func parseElemsInto(e *Elems, body []byte) {
+	for i := 0; i < len(body); {
+		if len(body)-i < 2 {
+			e.Truncated = true
+			return
+		}
+		id := body[i]
+		l := int(body[i+1])
+		if len(body)-i-2 < l {
+			e.Truncated = true
+			return
+		}
+		val := body[i+2 : i+2+l]
+		i += 2 + l
+
+		e.NumIEs++
+		if e.NumOrder < MaxElemOrder {
+			e.Order[e.NumOrder] = id
+			e.NumOrder++
+		}
+		e.Bitmap[id>>6] |= 1 << (id & 63)
+		switch id {
+		case IESSID:
+			if !e.HasSSID && len(val) <= MaxSSIDLen {
+				e.SSID = val
+				e.HasSSID = true
+			}
+		case IESupportedRates, IEExtRates:
+			for _, r := range val {
+				if e.NumRates == MaxElemRates {
+					break
+				}
+				e.Rates[e.NumRates] = r
+				e.NumRates++
+			}
+		case IEVendor:
+			// Vendor payloads carry the per-unit identifiers (WPS
+			// UUID-E and friends) that survive MAC randomization; fold
+			// them in order into one running hash.
+			if e.vendor == 0 {
+				e.vendor = fnvOffset
+			}
+			e.vendor = fnvBytes(e.vendor, val)
+		}
+	}
+}
+
+// mgmtFixedLen returns the length of the fixed (non-IE) fields that
+// precede the element list in a management frame body of the given
+// subtype, and the byte offset of the capability-information field
+// within them (-1 when the subtype carries none).
+func mgmtFixedLen(subtype Subtype) (fixed, capOff int) {
+	switch subtype {
+	case SubtypeProbeReq:
+		return 0, -1
+	case SubtypeBeacon, SubtypeProbeResp:
+		return 12, 10 // timestamp(8) + interval(2) + capability(2)
+	case SubtypeAssocReq:
+		return 4, 0 // capability(2) + listen interval(2)
+	case SubtypeReassocReq:
+		return 10, 0 // capability(2) + listen interval(2) + current AP(6)
+	case SubtypeAssocResp, SubtypeReassocResp:
+		return 6, 0 // capability(2) + status(2) + AID(2)
+	case SubtypeAuth:
+		return 6, -1 // algorithm(2) + seq(2) + status(2)
+	case SubtypeDeauth, SubtypeDisassoc:
+		return 2, -1 // reason code
+	default:
+		return 0, -1
+	}
+}
+
+// ParseMgmtBody parses a management frame body: it skips the subtype's
+// fixed fields (extracting the capability information where the subtype
+// carries it) and parses the trailing element list. Like ParseElems it
+// never fails; a body shorter than its fixed fields returns an empty
+// Elems with Truncated set.
+func ParseMgmtBody(subtype Subtype, body []byte) Elems {
+	var e Elems
+	fixed, capOff := mgmtFixedLen(subtype)
+	if len(body) < fixed {
+		e.Truncated = true
+		return e
+	}
+	if capOff >= 0 {
+		e.Cap = binary.LittleEndian.Uint16(body[capOff : capOff+2])
+		e.HasCap = true
+	}
+	parseElemsInto(&e, body[fixed:])
+	return e
+}
+
+// FNV-1a, inlined so fingerprinting stays allocation-free.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = fnvByte(h, b)
+	}
+	return h
+}
+
+// OrderFP hashes the IE id sequence in appearance order — the
+// driver-characteristic "IE fingerprint" of the probe-content
+// literature. Two bodies with the same elements in different order hash
+// differently.
+func (e *Elems) OrderFP() uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < e.NumOrder; i++ {
+		h = fnvByte(h, e.Order[i])
+	}
+	return h
+}
+
+// RatesFP hashes the supported-rates set (wire order, basic-rate flags
+// included), folding in the capability field when present.
+func (e *Elems) RatesFP() uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < e.NumRates; i++ {
+		h = fnvByte(h, e.Rates[i])
+	}
+	if e.HasCap {
+		h = fnvByte(h, byte(e.Cap))
+		h = fnvByte(h, byte(e.Cap>>8))
+	}
+	return h
+}
+
+// SSIDFP hashes the SSID value, or returns 0 for an absent or wildcard
+// (zero-length) SSID — the two cases that carry no directed-probe
+// information.
+func (e *Elems) SSIDFP() uint64 {
+	if !e.HasSSID || len(e.SSID) == 0 {
+		return 0
+	}
+	return fnvBytes(fnvOffset, e.SSID)
+}
+
+// VendorFP hashes the concatenated vendor-IE payloads in appearance
+// order — the home of per-unit identifiers like the WPS UUID-E — or
+// returns 0 when the body carries no vendor element.
+func (e *Elems) VendorFP() uint64 { return e.vendor }
+
+// ContentKey condenses the address-independent content fingerprint into
+// one value: IE order, rate set, capability, and the vendor-specific
+// payloads folded together. The SSID is deliberately excluded — a
+// device probing for several networks must collapse to one key. This is
+// the key the clustering stage merges randomized-MAC senders under.
+func (e *Elems) ContentKey() uint64 {
+	h := e.OrderFP()
+	h = mix64(h ^ e.RatesFP())
+	h = mix64(h ^ e.vendor)
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: full avalanche, so consecutive
+// content keys spread across the clusterer's canonical address space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// AppendIE appends one information element (id, length, value) to dst
+// and returns the extended slice. Values longer than 255 bytes are
+// truncated to 255 (the wire format's limit).
+func AppendIE(dst []byte, id uint8, val []byte) []byte {
+	if len(val) > 255 {
+		val = val[:255]
+	}
+	dst = append(dst, id, uint8(len(val)))
+	return append(dst, val...)
+}
+
+// DefaultRates is the 802.11b/g supported-rates element value used by
+// the builders: 1, 2, 5.5, 11 Mbps marked basic, then 6–54 Mbps.
+var DefaultRates = []byte{0x82, 0x84, 0x8b, 0x96, 0x0c, 0x12, 0x18, 0x24}
+
+// BuildProbeBody builds a well-formed probe-request body: an SSID
+// element (empty ssid = wildcard), a supported-rates element (nil rates
+// = DefaultRates), and any pre-encoded extra elements appended verbatim.
+func BuildProbeBody(ssid []byte, rates []byte, extra []byte) []byte {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	body := make([]byte, 0, 4+len(ssid)+len(rates)+len(extra))
+	body = AppendIE(body, IESSID, ssid)
+	body = AppendIE(body, IESupportedRates, rates)
+	return append(body, extra...)
+}

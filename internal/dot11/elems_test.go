@@ -1,0 +1,184 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseElemsProbeBody(t *testing.T) {
+	t.Parallel()
+	extra := AppendIE(nil, IEHTCapabilities, make([]byte, 26))
+	extra = AppendIE(extra, IEVendor, []byte{0x00, 0x50, 0xf2, 0x04, 0xde, 0xad})
+	body := BuildProbeBody([]byte("corpnet"), nil, extra)
+
+	e := ParseElems(body)
+	if e.Truncated {
+		t.Fatal("well-formed body reported truncated")
+	}
+	wantOrder := []uint8{IESSID, IESupportedRates, IEHTCapabilities, IEVendor}
+	if e.NumOrder != len(wantOrder) || e.NumIEs != len(wantOrder) {
+		t.Fatalf("NumOrder = %d, NumIEs = %d, want %d", e.NumOrder, e.NumIEs, len(wantOrder))
+	}
+	for i, id := range wantOrder {
+		if e.Order[i] != id {
+			t.Errorf("Order[%d] = %d, want %d", i, e.Order[i], id)
+		}
+		if !e.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	if e.Has(IETIM) {
+		t.Error("Has(TIM) = true for a body without it")
+	}
+	if !e.HasSSID || string(e.SSID) != "corpnet" {
+		t.Errorf("SSID = %q (has %v), want corpnet", e.SSID, e.HasSSID)
+	}
+	if e.NumRates != len(DefaultRates) || !bytes.Equal(e.Rates[:e.NumRates], DefaultRates) {
+		t.Errorf("Rates = %v, want %v", e.Rates[:e.NumRates], DefaultRates)
+	}
+	if e.HasCap {
+		t.Error("probe request body has no capability field, HasCap = true")
+	}
+}
+
+func TestParseMgmtBodyFixedFields(t *testing.T) {
+	t.Parallel()
+	ies := AppendIE(nil, IESSID, []byte("net"))
+	ies = AppendIE(ies, IESupportedRates, DefaultRates)
+
+	// Beacon: timestamp(8) + interval(2) + capability(2), then IEs.
+	beacon := make([]byte, 12)
+	beacon[10], beacon[11] = 0x31, 0x04 // capability 0x0431
+	beacon = append(beacon, ies...)
+	e := ParseMgmtBody(SubtypeBeacon, beacon)
+	if !e.HasCap || e.Cap != 0x0431 {
+		t.Errorf("beacon Cap = %#04x (has %v), want 0x0431", e.Cap, e.HasCap)
+	}
+	if !e.HasSSID || string(e.SSID) != "net" {
+		t.Errorf("beacon SSID = %q, want net", e.SSID)
+	}
+
+	// Association request: capability(2) + listen interval(2).
+	assoc := append([]byte{0x11, 0x00, 0x0a, 0x00}, ies...)
+	e = ParseMgmtBody(SubtypeAssocReq, assoc)
+	if !e.HasCap || e.Cap != 0x0011 {
+		t.Errorf("assoc Cap = %#04x (has %v), want 0x0011", e.Cap, e.HasCap)
+	}
+
+	// Probe request: no fixed fields at all.
+	e = ParseMgmtBody(SubtypeProbeReq, ies)
+	if e.HasCap {
+		t.Error("probe-req HasCap = true")
+	}
+	if e.NumIEs != 2 {
+		t.Errorf("probe-req NumIEs = %d, want 2", e.NumIEs)
+	}
+
+	// Body shorter than the fixed fields: empty and truncated, no panic.
+	e = ParseMgmtBody(SubtypeBeacon, make([]byte, 7))
+	if !e.Truncated || e.NumIEs != 0 || e.HasCap {
+		t.Errorf("short beacon body: %+v, want empty truncated", e)
+	}
+}
+
+func TestParseElemsTruncated(t *testing.T) {
+	t.Parallel()
+	body := BuildProbeBody([]byte("office"), nil, nil)
+	full := ParseElems(body)
+
+	// Cut inside the rates element: the SSID survives, the partial
+	// element is dropped, Truncated is set.
+	cut := ParseElems(body[:len(body)-3])
+	if !cut.Truncated {
+		t.Fatal("mid-element cut not reported truncated")
+	}
+	if !cut.HasSSID || string(cut.SSID) != "office" {
+		t.Errorf("truncated parse lost the SSID: %q", cut.SSID)
+	}
+	if cut.NumIEs != full.NumIEs-1 {
+		t.Errorf("NumIEs = %d, want %d", cut.NumIEs, full.NumIEs-1)
+	}
+	// A dangling single byte (id without length) is also truncation.
+	if e := ParseElems([]byte{IESSID}); !e.Truncated || e.NumIEs != 0 {
+		t.Errorf("dangling id byte: %+v", e)
+	}
+	// Empty body: cleanly empty, not truncated.
+	if e := ParseElems(nil); e.Truncated || e.NumIEs != 0 {
+		t.Errorf("nil body: %+v", e)
+	}
+}
+
+func TestContentKeyIgnoresSSID(t *testing.T) {
+	t.Parallel()
+	a := ParseElems(BuildProbeBody([]byte("home"), nil, nil))
+	b := ParseElems(BuildProbeBody([]byte("work"), nil, nil))
+	if a.ContentKey() != b.ContentKey() {
+		t.Error("ContentKey differs across SSIDs: one device probing two networks must collapse to one key")
+	}
+	if a.SSIDFP() == b.SSIDFP() {
+		t.Error("SSIDFP identical for different SSIDs")
+	}
+	c := ParseElems(BuildProbeBody([]byte("home"), []byte{0x82, 0x84}, nil))
+	if a.ContentKey() == c.ContentKey() {
+		t.Error("ContentKey identical for different rate sets")
+	}
+	d := ParseElems(BuildProbeBody([]byte("home"), nil, AppendIE(nil, IEHTCapabilities, nil)))
+	if a.ContentKey() == d.ContentKey() {
+		t.Error("ContentKey identical for different IE orders")
+	}
+	if w := ParseElems(BuildProbeBody(nil, nil, nil)); w.SSIDFP() != 0 {
+		t.Errorf("wildcard SSIDFP = %d, want 0", w.SSIDFP())
+	}
+}
+
+func TestNewProbeReqRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := NewProbeReq(LocalAddr(3), []byte("corpnet"))
+	got, err := Decode(f.Encode(), true)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	e := ParseMgmtBody(got.FC.Subtype, got.Body)
+	if e.Truncated {
+		t.Fatal("generated probe body reported truncated")
+	}
+	if !e.HasSSID || string(e.SSID) != "corpnet" {
+		t.Errorf("SSID = %q, want corpnet", e.SSID)
+	}
+	if !e.Has(IESupportedRates) || !bytes.Equal(e.Rates[:e.NumRates], DefaultRates) {
+		t.Errorf("rates = %v, want %v", e.Rates[:e.NumRates], DefaultRates)
+	}
+}
+
+// FuzzElems throws hostile bodies at the parser: it must never panic,
+// never read outside the body, and parse deterministically.
+func FuzzElems(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(BuildProbeBody([]byte("seed"), nil, nil))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0xff, 0x01})
+	f.Add([]byte{221, 255})
+	f.Add(bytes.Repeat([]byte{0x01, 0x01, 0x82}, 64))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, st := range []Subtype{SubtypeProbeReq, SubtypeBeacon, SubtypeAssocReq, SubtypeAuth, SubtypeDeauth} {
+			e := ParseMgmtBody(st, body)
+			if e.NumOrder < 0 || e.NumOrder > MaxElemOrder {
+				t.Fatalf("NumOrder = %d out of range", e.NumOrder)
+			}
+			if e.NumRates < 0 || e.NumRates > MaxElemRates {
+				t.Fatalf("NumRates = %d out of range", e.NumRates)
+			}
+			if e.NumIEs < e.NumOrder {
+				t.Fatalf("NumIEs = %d < NumOrder = %d", e.NumIEs, e.NumOrder)
+			}
+			if e.HasSSID && len(e.SSID) > MaxSSIDLen {
+				t.Fatalf("SSID longer than MaxSSIDLen: %d", len(e.SSID))
+			}
+			e2 := ParseMgmtBody(st, body)
+			if e.OrderFP() != e2.OrderFP() || e.RatesFP() != e2.RatesFP() ||
+				e.SSIDFP() != e2.SSIDFP() || e.ContentKey() != e2.ContentKey() {
+				t.Fatal("non-deterministic parse")
+			}
+		}
+	})
+}

@@ -189,7 +189,13 @@ func Decode(raw []byte, checkFCS bool) (Frame, error) {
 	if n >= hdrLenQoS {
 		f.QoSCtl = binary.LittleEndian.Uint16(raw[24:26])
 	}
-	f.Body = raw[n : len(raw)-fcsLen]
+	// Control frames carry no frame body (Frame documents Body as nil
+	// for them). Captures routinely pad short control frames — radiotap
+	// vendor trailers, driver padding to a minimum record length — and
+	// aliasing that tail as a Body would invent content downstream.
+	if f.FC.Type != TypeControl {
+		f.Body = raw[n : len(raw)-fcsLen]
+	}
 	if checkFCS {
 		want := binary.LittleEndian.Uint32(raw[len(raw)-fcsLen:])
 		got := crc32.ChecksumIEEE(raw[:len(raw)-fcsLen])
@@ -274,14 +280,18 @@ func NewBeacon(bssid Addr, body []byte) Frame {
 	}
 }
 
-// NewProbeReq builds a broadcast probe request from sa.
-func NewProbeReq(sa Addr, body []byte) Frame {
+// NewProbeReq builds a broadcast probe request from sa with a
+// well-formed body: an SSID element (empty ssid = wildcard probe) and a
+// DefaultRates supported-rates element, so generated frames round-trip
+// through ParseMgmtBody. Use BuildProbeBody directly for custom rates
+// or extra elements.
+func NewProbeReq(sa Addr, ssid []byte) Frame {
 	return Frame{
 		FC:    FrameControl{Type: TypeManagement, Subtype: SubtypeProbeReq},
 		Addr1: Broadcast,
 		Addr2: sa,
 		Addr3: Broadcast,
-		Body:  body,
+		Body:  BuildProbeBody(ssid, nil, nil),
 	}
 }
 

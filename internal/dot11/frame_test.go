@@ -165,7 +165,7 @@ func TestEncodeDecodeAllConstructors(t *testing.T) {
 		"cts":       NewCTS(sa, 280),
 		"ack":       NewACK(sa),
 		"beacon":    NewBeacon(ap, make([]byte, 64)),
-		"probe-req": NewProbeReq(sa, make([]byte, 30)),
+		"probe-req": NewProbeReq(sa, []byte("corpnet")),
 		"probe-rsp": NewProbeResp(ap, sa, make([]byte, 90)),
 	}
 	for name, f := range frames {

@@ -59,6 +59,13 @@ type Options struct {
 	// with bounds set, evicted senders surface as CandidateDropped
 	// events with Evicted set and memory stays O(MaxSenders).
 	Limits core.SenderLimits
+	// Cluster, when set, merges randomized-MAC senders into logical
+	// devices by probe-request content before sender-table admission
+	// (see core.Clusterer). The engine owns the clusterer from then on:
+	// it is driven from the push goroutine and must not be shared with
+	// another live engine. nil — the default — disables clustering at
+	// the cost of a single branch per frame.
+	Cluster *core.Clusterer
 	// Sink receives the engine's events; nil discards them (statistics
 	// are still maintained).
 	Sink Sink
@@ -175,6 +182,7 @@ func New(cfg core.Config, db *core.CompiledDB, opts Options) (*Engine, error) {
 	e := &Engine{opts: opts}
 	e.acc = core.NewWindowAccumulator(opts.Window, cfg, e.handleWindow)
 	e.acc.SetLimits(opts.Limits)
+	e.acc.SetClusterer(opts.Cluster)
 	e.cfg = e.acc.Config() // defaults materialised
 	if opts.Trainer != nil {
 		if db != nil {
@@ -212,6 +220,7 @@ func NewEnsemble(cfgs []core.Config, edb *core.CompiledEnsemble, opts Options) (
 	}
 	e.acc = acc
 	e.acc.SetLimits(opts.Limits)
+	e.acc.SetClusterer(opts.Cluster)
 	e.cfgs = e.acc.Configs() // defaults materialised
 	e.cfg = e.cfgs[0]
 	if opts.Trainer != nil {

@@ -12,6 +12,7 @@ import (
 
 	"dot11fp/internal/core"
 	"dot11fp/internal/engine"
+	"dot11fp/internal/scenario"
 )
 
 // Golden conformance tests: the full event streams of the office and
@@ -174,6 +175,53 @@ func TestGoldenOfficeEnsembleStream(t *testing.T) {
 // fused stream.
 func TestGoldenConferenceEnsembleStream(t *testing.T) {
 	checkGolden(t, "conference_ensemble.golden", streamEnsembleScenario(t, true))
+}
+
+// streamRandomizedScenario replays the MAC-randomizing office through
+// the fused engine with probe-content members and the clustering stage:
+// training sees the cluster-canonicalised first 3 minutes, monitoring
+// resolves rotated senders live through the same Clusterer. The frozen
+// stream pins the whole randomization-defeat path — content parsing,
+// canonical addressing, cluster-aware accumulation.
+func streamRandomizedScenario(t *testing.T) []string {
+	t.Helper()
+	p := scenario.RandomizedOffice("eng-rand", 43, 10*time.Minute, 8)
+	tr, _, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []core.Config{
+		{Param: core.ParamInterArrival},
+		{Param: core.ParamProbeIE},
+		{Param: core.ParamProbeCap},
+	}
+	cl := core.NewClusterer(0)
+	train, valid := core.Split(tr, 3*time.Minute)
+	ens, err := core.NewEnsemble(core.MeasureCosine, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Train(cl.Apply(train)); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	eng, err := engine.NewEnsemble(cfgs, ens.Compile(), engine.Options{
+		Window:  2 * time.Minute,
+		Sink:    engine.SinkFunc(func(ev engine.Event) { lines = append(lines, eventLine(ev)) }),
+		Cluster: cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.PushTrace(valid)
+	eng.Close()
+	return lines
+}
+
+// TestGoldenRandomizedStream freezes the randomized-office clustered
+// fused stream.
+func TestGoldenRandomizedStream(t *testing.T) {
+	checkGolden(t, "randomized_stream.golden", streamRandomizedScenario(t))
 }
 
 // TestGoldenEnrollStream freezes the online-enrollment event stream:

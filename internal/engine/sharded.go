@@ -68,6 +68,13 @@ type ShardedOptions struct {
 	// unlike everything else about shard count — which senders are
 	// evicted depends on the partitioning.
 	Limits core.SenderLimits
+	// Cluster merges randomized-MAC senders into logical devices by
+	// probe-request content, exactly like Options.Cluster. The router
+	// resolves every sender before shard hashing, so all of a device's
+	// rotated addresses land on — and accumulate in — one shard under
+	// the canonical device address. Driven only from the Push
+	// goroutine; nil disables.
+	Cluster *core.Clusterer
 	// Trainer enables online enrollment, exactly like Options.Trainer
 	// (the engine must then be created with a nil db). Enrollment needs
 	// strict window ordering — window k's promotions must be installed
@@ -453,14 +460,26 @@ func (s *Sharded) Push(rec *capture.Record) {
 		// inter-arrival context, exactly as the serial ensemble
 		// accumulator computes them — sharding cannot change a value.
 		if !rec.Sender.IsZero() && core.MemberValues(s.cfgs, rec, s.clock.PrevT(), s.vals, s.valid) {
-			s.routeMulti(rec.Sender, rec.Class, rec.T)
+			s.routeMulti(s.resolveSender(rec), rec.Class, rec.T)
 		}
 	} else if !rec.Sender.IsZero() && (rec.FCSOK || s.cfg.KeepBadFCS) {
 		if v, ok := s.cfg.Param.Value(rec, s.clock.PrevT()); ok {
-			s.route(rec.Sender, rec.Class, v, rec.T)
+			s.route(s.resolveSender(rec), rec.Class, v, rec.T)
 		}
 	}
 	s.clock.Mark(rec.T)
+}
+
+// resolveSender routes attribution through the MAC-randomization
+// clusterer when one is attached: the canonical device address — not
+// the raw (possibly rotated) sender — is what gets shard-hashed, so a
+// device's whole observation history accumulates in one shard. Runs on
+// the router goroutine, which is the clusterer's single owner.
+func (s *Sharded) resolveSender(rec *capture.Record) dot11.Addr {
+	if s.opts.Cluster == nil {
+		return rec.Sender
+	}
+	return s.opts.Cluster.Resolve(rec)
 }
 
 // PushTrace replays a materialised trace through the push path.

@@ -9,6 +9,7 @@ import (
 	"dot11fp/internal/core"
 	"dot11fp/internal/dot11"
 	"dot11fp/internal/engine"
+	"dot11fp/internal/scenario"
 )
 
 // collectSink gathers a full ordered event stream. The sharded engine
@@ -296,4 +297,60 @@ func TestShardedCloseIdempotent(t *testing.T) {
 		}
 	}()
 	eng.Push(&rec)
+}
+
+// TestShardedClusteredIdenticalToSerial extends the equivalence pin to
+// the clustering stage: over the MAC-randomizing office trace, the
+// sharded engine resolving rotated senders in its router produces the
+// same event stream as the serial engine resolving them in its
+// accumulator — canonical addressing is a pure function of content, so
+// the two paths must agree bit for bit at every shard count.
+func TestShardedClusteredIdenticalToSerial(t *testing.T) {
+	t.Parallel()
+	p := scenario.RandomizedOffice("shard-rand", 47, 8*time.Minute, 8)
+	tr, _, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := core.Split(tr, 3*time.Minute)
+	cfg := core.Config{Param: core.ParamProbeIE}
+	db := core.NewDatabase(cfg, core.MeasureCosine)
+	if err := db.Train(core.NewClusterer(0).Apply(train)); err != nil {
+		t.Fatal(err)
+	}
+	cdb := db.Compile()
+
+	for _, shards := range []int{1, 3, 5} {
+		want := &collectSink{}
+		serial, err := engine.New(cfg, cdb, engine.Options{
+			Window: 2 * time.Minute, Threshold: 0.2, Sink: want,
+			Cluster: core.NewClusterer(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &collectSink{}
+		sharded, err := engine.NewSharded(cfg, cdb, engine.ShardedOptions{
+			Window: 2 * time.Minute, Threshold: 0.2, Shards: shards, Sink: got,
+			Cluster: core.NewClusterer(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range valid.Records {
+			rec := valid.Records[i]
+			serial.Push(&rec)
+			rec = valid.Records[i]
+			sharded.Push(&rec)
+		}
+		serial.Close()
+		sharded.Close()
+
+		if len(got.events) != len(want.events) {
+			t.Fatalf("shards=%d: %d events, want %d", shards, len(got.events), len(want.events))
+		}
+		for i := range want.events {
+			sameEvent(t, "clustered", got.events[i], want.events[i])
+		}
+	}
 }

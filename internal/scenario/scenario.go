@@ -49,6 +49,10 @@ type Params struct {
 	ProfilePool int
 	// CaptureLossProb is the monitor's loss rate.
 	CaptureLossProb float64
+	// RandomizedFrac is the fraction of clients that randomize their MAC
+	// address (a fresh locally-administered sender per probe burst).
+	// 0 disables randomization and leaves existing traces bit-identical.
+	RandomizedFrac float64
 }
 
 // Office returns parameters mirroring the paper's office captures:
@@ -72,6 +76,15 @@ func Conference(name string, seed uint64, duration time.Duration, stations int) 
 	}
 }
 
+// RandomizedOffice returns an office whose entire client population
+// randomizes its MAC per probe burst — the adversarial setting for the
+// probe-content clustering experiments. Everything else matches Office.
+func RandomizedOffice(name string, seed uint64, duration time.Duration, stations int) Params {
+	p := Office(name, seed, duration, stations)
+	p.RandomizedFrac = 1.0
+	return p
+}
+
 // StationInfo is the ground truth of one synthesised station, for
 // experiment analysis (never consumed by the fingerprint pipeline).
 type StationInfo struct {
@@ -83,6 +96,9 @@ type StationInfo struct {
 	GapFactor float64
 	JoinUs    int64
 	LeaveUs   int64
+	// Randomized marks a MAC-randomizing client; its Addr is the logical
+	// base identity, never seen on the air for probe traffic.
+	Randomized bool
 }
 
 // Build synthesises the trace.
@@ -160,6 +176,20 @@ func addClient(s *sim.Simulator, p Params, r *rand.Rand, pool []device.Profile, 
 	}
 	prof := pool[pi]
 	spec := prof.Instantiate(unit+1, stats.NewRand(p.Seed, 0x100+uint64(unit)))
+
+	// Short-circuit keeps the shared stream r untouched when the
+	// scenario has no randomization, so existing traces stay identical.
+	randomized := p.RandomizedFrac > 0 && r.Float64() < p.RandomizedFrac
+	if randomized {
+		spec.RandomizeMAC = true
+		if spec.ProbePeriodUs <= 0 || spec.ProbeBurst <= 0 {
+			// Rotation happens at burst boundaries, so a randomizing OS
+			// always scans actively even on otherwise quiet drivers.
+			spec.ProbePeriodUs = 30_000_000
+			spec.ProbeBurst = 3
+			spec.ProbeGapUs = 20_000
+		}
+	}
 
 	srcRand := func(k uint64) *rand.Rand { return stats.NewRand(p.Seed, 0x10_000+uint64(unit)*31+k) }
 	var sources []traffic.Source
@@ -278,6 +308,7 @@ func addClient(s *sim.Simulator, p Params, r *rand.Rand, pool []device.Profile, 
 	return StationInfo{
 		Addr: addr, Profile: prof.Name, App: app, Services: svcNames,
 		SNRBaseDB: snr.BaseDB, GapFactor: gapFactor, JoinUs: joinUs, LeaveUs: leaveUs,
+		Randomized: randomized,
 	}
 }
 

@@ -66,7 +66,7 @@ func TestBuildDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic build: %d vs %d records", len(a.Records), len(b.Records))
 	}
 	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
+		if !a.Records[i].Equal(b.Records[i]) {
 			t.Fatalf("record %d differs", i)
 		}
 	}
@@ -146,5 +146,73 @@ func TestBuildTwins(t *testing.T) {
 	}
 	if bcast[addrs[0]] == 0 || bcast[addrs[1]] == 0 {
 		t.Fatalf("twin broadcast counts: %v", bcast)
+	}
+}
+
+func TestRandomizedOfficeBuild(t *testing.T) {
+	t.Parallel()
+	p := RandomizedOffice("rand-office", 31, 3*time.Minute, 6)
+	tr, _, manifest, err := BuildDetailed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range manifest {
+		if !info.Randomized {
+			t.Errorf("station %d not marked Randomized with frac 1.0", i)
+		}
+	}
+	rotated := make(map[dot11.Addr]bool)
+	withContent := 0
+	for _, r := range tr.Records {
+		if r.Class != dot11.ClassProbeReq {
+			continue
+		}
+		if r.Sender[0] == 0x06 {
+			rotated[r.Sender] = true
+		}
+		if len(r.ProbeIEs) > 0 {
+			withContent++
+		}
+	}
+	if len(rotated) < len(manifest) {
+		t.Fatalf("rotated probe senders = %d, want ≥ %d (every client rotates)",
+			len(rotated), len(manifest))
+	}
+	if withContent == 0 {
+		t.Fatal("no probe requests carried content")
+	}
+	// Base addresses must never appear as probe senders.
+	base := make(map[dot11.Addr]bool, len(manifest))
+	for _, info := range manifest {
+		base[info.Addr] = true
+	}
+	for _, r := range tr.Records {
+		if r.Class == dot11.ClassProbeReq && base[r.Sender] {
+			t.Fatalf("randomized client probed with its base address %v", r.Sender)
+		}
+	}
+}
+
+func TestRandomizedFracZeroUnchanged(t *testing.T) {
+	t.Parallel()
+	// Adding the randomization machinery must not perturb existing
+	// scenarios: frac 0 and the pre-feature builder agree bit for bit.
+	a, _, err := Build(Office("base", 33, 2*time.Minute, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Office("base", 33, 2*time.Minute, 5)
+	p.RandomizedFrac = 0
+	b, _, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if !a.Records[i].Equal(b.Records[i]) {
+			t.Fatalf("records diverge at %d", i)
+		}
 	}
 }

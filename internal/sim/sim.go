@@ -111,11 +111,15 @@ type station struct {
 	spec device.Spec
 	cfg  StationConfig
 	rng  *rand.Rand
-	src  traffic.Source
-	rc   rateController
-	snr  *snrProcess
-	isAP bool
-	ap   *station
+	// macRng drives per-burst MAC rotation (RandomizeMAC profiles only).
+	// It is a separate stream so enabling randomization never perturbs
+	// the behavioural draws of st.rng — existing traces stay identical.
+	macRng *rand.Rand
+	src    traffic.Source
+	rc     rateController
+	snr    *snrProcess
+	isAP   bool
+	ap     *station
 
 	queue          []mpdu
 	cw             int
@@ -215,6 +219,9 @@ func (s *Simulator) addStation(cfg StationConfig, isAP bool) *station {
 	}
 	if len(cfg.Sources) > 0 {
 		st.src = traffic.NewMerged(cfg.Sources...)
+	}
+	if !isAP && cfg.Spec.RandomizeMAC {
+		st.macRng = stats.NewRand(s.cfg.Seed, 0x20000+uint64(unit))
 	}
 	st.rc = newRateController(cfg.Spec, st.rng)
 	st.snr = newSNRProcess(cfg.SNR.BaseDB, cfg.SNR.SigmaDB, cfg.SNR.MoveProb, cfg.SNR.MoveLoDB, cfg.SNR.MoveHiDB, st.rng)
@@ -404,6 +411,12 @@ func (s *Simulator) scheduleProbeBurst(st *station, at int64) {
 	s.schedule(at, func() {
 		if st.left {
 			return
+		}
+		if st.macRng != nil {
+			// Privacy-conscious OS: mint a fresh locally-administered
+			// address for this burst; all traffic until the next burst
+			// uses it, so no stable MAC links the station's frames.
+			st.addr = randomizedMAC(st.macRng)
 		}
 		size := 24 + 26 + 4*st.spec.ProbeBurst + 4 // SSID+rates IEs vary per driver
 		for i := 0; i < st.spec.ProbeBurst; i++ {
@@ -754,6 +767,15 @@ func (s *Simulator) emit(c *station, rec capture.Record, delivered bool) {
 	s.emitRaw(c, rec)
 }
 
+// randomizedMAC draws a fresh locally-administered address. The 0x06
+// first byte (local bit set, distinct from both the simulator's base
+// 0x02 prefix and the clusterer's canonical 0x0a prefix) makes rotated
+// senders recognisable in traces.
+func randomizedMAC(r *rand.Rand) dot11.Addr {
+	v := r.Uint64()
+	return dot11.Addr{0x06, byte(v >> 32), byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
 // emitRaw stamps monitor-side fields and appends the record.
 func (s *Simulator) emitRaw(c *station, rec capture.Record) {
 	sig := c.cfg.MonitorSignalDBm
@@ -768,5 +790,10 @@ func (s *Simulator) emitRaw(c *station, rec capture.Record) {
 		sig = -20
 	}
 	rec.SignalDBm = int8(sig)
+	if rec.Class == dot11.ClassProbeReq && len(c.spec.ProbeIEs) > 0 {
+		// Spec.ProbeIEs is immutable after Instantiate, so sharing the
+		// slice across records is safe and allocation-free.
+		rec.ProbeIEs = c.spec.ProbeIEs
+	}
 	s.records = append(s.records, rec)
 }

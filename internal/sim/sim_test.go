@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("runs differ in length: %d vs %d", len(a.Records), len(b.Records))
 	}
 	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
+		if !a.Records[i].Equal(b.Records[i]) {
 			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
 		}
 	}
@@ -80,7 +81,7 @@ func TestDeterminism(t *testing.T) {
 	if len(a.Records) == len(c.Records) {
 		same := true
 		for i := range a.Records {
-			if a.Records[i] != c.Records[i] {
+			if !a.Records[i].Equal(c.Records[i]) {
 				same = false
 				break
 			}
@@ -565,5 +566,95 @@ func TestPcapRoundTripFromSim(t *testing.T) {
 	senders := tr.Senders()
 	if len(senders) == 0 {
 		t.Fatal("no senders in sim trace")
+	}
+}
+
+func TestMACRandomizationRotatesPerBurst(t *testing.T) {
+	t.Parallel()
+	run := func() *capture.Trace {
+		s := New(Config{Name: "rand", Seed: 21, DurationUs: 12_000_000})
+		ap := device.APProfile().Instantiate(0, stats.NewRand(21, 1000))
+		s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+		spec := mkSpec(t, "ralink-like", 1)
+		spec.ProbePeriodUs = 2_000_000
+		spec.PowerSave = false
+		spec.RandomizeMAC = true
+		s.AddStation(StationConfig{Spec: spec, SNR: SNRParams{BaseDB: 30}})
+		tr, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr := run()
+	probeSenders := make(map[dot11.Addr]bool)
+	var content []byte
+	for _, r := range tr.Records {
+		if r.Class != dot11.ClassProbeReq || !r.FCSOK {
+			continue
+		}
+		probeSenders[r.Sender] = true
+		if r.Sender[0] != 0x06 {
+			t.Fatalf("randomized probe sender %v lacks the 0x06 rotated prefix", r.Sender)
+		}
+		if len(r.ProbeIEs) == 0 {
+			t.Fatal("probe request without content despite Spec.ProbeIEs")
+		}
+		if content == nil {
+			content = r.ProbeIEs
+		} else if !bytes.Equal(content, r.ProbeIEs) {
+			t.Fatal("probe content changed across rotations; it must stay stable")
+		}
+	}
+	// ~6 bursts over 12 s at a 2 s period: each burst gets a fresh MAC.
+	if len(probeSenders) < 3 {
+		t.Fatalf("saw %d distinct rotated MACs, want ≥ 3 (one per burst)", len(probeSenders))
+	}
+	e := dot11.ParseElems(content)
+	if key := e.ContentKey(); key == 0 {
+		t.Fatal("probe content has zero ContentKey")
+	}
+
+	// Determinism: the rotation stream must be seed-stable.
+	tr2 := run()
+	if len(tr.Records) != len(tr2.Records) {
+		t.Fatalf("randomized runs differ in length: %d vs %d", len(tr.Records), len(tr2.Records))
+	}
+	for i := range tr.Records {
+		if !tr.Records[i].Equal(tr2.Records[i]) {
+			t.Fatalf("randomized runs diverge at record %d", i)
+		}
+	}
+}
+
+func TestProbeContentStampedWithoutRandomization(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Name: "stamp", Seed: 22, DurationUs: 8_000_000})
+	ap := device.APProfile().Instantiate(0, stats.NewRand(22, 1000))
+	s.AddAP(StationConfig{Spec: ap, SNR: SNRParams{BaseDB: 35}})
+	spec := mkSpec(t, "ralink-like", 1)
+	spec.ProbePeriodUs = 2_000_000
+	spec.PowerSave = false
+	s.AddStation(StationConfig{Spec: spec, SNR: SNRParams{BaseDB: 30}})
+	tr, _, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dot11.LocalAddr(2) // AP is unit 1
+	probes := 0
+	for _, r := range tr.Records {
+		if r.Class != dot11.ClassProbeReq {
+			continue
+		}
+		probes++
+		if r.Sender != base {
+			t.Fatalf("non-randomized probe sender = %v, want stable %v", r.Sender, base)
+		}
+		if len(r.ProbeIEs) == 0 {
+			t.Fatal("probe content missing on non-randomized station")
+		}
+	}
+	if probes == 0 {
+		t.Fatal("no probe requests captured")
 	}
 }

@@ -654,3 +654,53 @@ func BenchmarkMultiStreamDegraded(b *testing.B) {
 	b.Run("healthy", func(b *testing.B) { run(b, false) })
 	b.Run("one-source-down", func(b *testing.B) { run(b, true) })
 }
+
+// randomizedTrace is a MAC-randomizing office capture shared by the
+// clustering benchmarks: every client rotates its sender address per
+// probe burst, so the push path exercises the content-resolve branch.
+var randomizedTrace = func() *dot11fp.Trace {
+	p := dot11fp.ScenarioParams{
+		Name: "micro-rand", Seed: 5, Duration: 4 * time.Minute, Stations: 10,
+		Encrypted: true, CaptureLossProb: 0.01, RandomizedFrac: 1,
+	}
+	tr, _, err := dot11fp.GenerateScenario(p)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}()
+
+// BenchmarkClusterPush measures the per-frame ingestion cost of the
+// streaming engine with the clustering stage attached, against the
+// no-cluster baseline on the same randomized trace — the price of
+// resolving every sender through the content clusterer.
+func BenchmarkClusterPush(b *testing.B) {
+	cfg := dot11fp.DefaultConfig(dot11fp.ParamInterArrival)
+	for _, clustered := range []bool{false, true} {
+		name := "baseline"
+		var cl *dot11fp.Clusterer
+		if clustered {
+			name = "clustered"
+			cl = dot11fp.NewClusterer(0)
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := dot11fp.NewEngine(cfg, nil, dot11fp.EngineOptions{
+				Window:  24 * time.Hour,
+				Cluster: cl,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := randomizedTrace.Records
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := recs[i%len(recs)]
+				rec.T = rec.T % 3_600_000_000 // keep inside one huge window
+				eng.Push(&rec)
+			}
+			b.StopTimer()
+			eng.Close()
+		})
+	}
+}
