@@ -180,7 +180,7 @@ func main() {
 		}
 		src, err := dot11fp.ReadPcapStream(f)
 		if err != nil {
-			f.Close()
+			_ = f.Close() // read-only handle; the decode error is the one reported
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		return dot11fp.WithCloser(src, f), nil
@@ -307,6 +307,7 @@ func main() {
 		policy = dot11fp.BackpressureDrop
 	}
 	var sink dot11fp.Sink = dot11fp.SinkFunc(cmdutil.Printer(os.Stdout, offsetStamp, *verbose))
+	//fp:mayblock operator-facing stderr printer for rare health events (panics, stalls)
 	var healthSink dot11fp.Sink = dot11fp.SinkFunc(func(ev dot11fp.Event) {
 		switch ev := ev.(type) {
 		case dot11fp.ComponentPanicked:

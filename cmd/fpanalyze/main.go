@@ -52,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	tr, err := dot11fp.ReadPcap(f)
-	f.Close()
+	_ = f.Close() // read-only handle; the decode error is the one reported
 	if err != nil {
 		fatal(err)
 	}
@@ -103,8 +103,12 @@ func runTrain(tr *dot11fp.Trace, cfg dot11fp.Config, dbPath string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := db.Save(f); err != nil {
+		fatal(err)
+	}
+	// The Close error is the write-back verdict for everything buffered;
+	// checking it is what makes the success line below true.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("trained %d reference devices into %s\n", db.Len(), dbPath)
@@ -116,7 +120,7 @@ func runMatch(tr *dot11fp.Trace, dbPath string, window time.Duration, threshold 
 		fatal(err)
 	}
 	db, err := dot11fp.LoadDatabase(f)
-	f.Close()
+	_ = f.Close() // read-only handle; the load error is the one reported
 	if err != nil {
 		fatal(err)
 	}
@@ -148,7 +152,7 @@ func loadOrNew(path string, cfg dot11fp.Config) *dot11fp.Database {
 		}
 		fatal(err)
 	}
-	defer f.Close()
+	defer f.Close() //fp:closeok read-only handle; the load error is the one that matters
 	db, err := dot11fp.LoadDatabase(f)
 	if err != nil {
 		fatal(err)

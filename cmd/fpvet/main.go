@@ -1,0 +1,104 @@
+// Command fpvet runs dot11fp's project-invariant static-analysis suite
+// (internal/analysis) over the named packages — the repo's multichecker.
+//
+//	go run ./cmd/fpvet ./...
+//
+// Exit status is 0 when every package is clean, 1 when any analyzer
+// reports a diagnostic, 2 on loading/usage errors. CI runs it on every
+// push (the "Invariant lint" step).
+//
+// The -hotpath-ranges mode prints the source ranges of //fp:hotpath
+// functions, one "file:startLine:endLine name" per line, for
+// scripts/escape_gate.sh to intersect with `go build -gcflags=-m`
+// escape-analysis output.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	fpanalysis "dot11fp/internal/analysis"
+	"dot11fp/internal/analysis/driver"
+)
+
+func main() {
+	hotpathRanges := flag.Bool("hotpath-ranges", false,
+		"print //fp:hotpath function ranges (file:start:end name) instead of running analyzers")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fpvet [-hotpath-ranges] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	l := driver.New(".")
+	roots, err := l.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *hotpathRanges {
+		if err := printHotpathRanges(l, roots); err != nil {
+			fmt.Fprintf(os.Stderr, "fpvet: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	diags, err := driver.Run(l, roots, fpanalysis.All)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fpvet: %d finding(s) in %d package(s)\n", len(diags), len(roots))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fpvet: %d package(s) clean\n", len(roots))
+}
+
+func printHotpathRanges(l *driver.Loader, roots []string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	for _, root := range roots {
+		pkg, err := l.LoadSource(root)
+		if err != nil {
+			return err
+		}
+		for _, fd := range fpanalysis.HotPathFuncs(pkg.Files) {
+			start := pkg.Fset().Position(fd.Pos())
+			end := pkg.Fset().Position(fd.End())
+			file := start.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil {
+				file = rel
+			}
+			fmt.Printf("%s:%d:%d %s\n", file, start.Line, end.Line, funcLabel(fd))
+		}
+	}
+	return nil
+}
+
+// funcLabel renders "Name" or "(Recv).Name" for range output.
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), fd.Recv.List[0].Type)
+	return "(" + buf.String() + ")." + fd.Name.Name
+}

@@ -73,7 +73,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //fp:closeok read-only capture handle; decode errors are the signal
 		in = f
 	}
 	stream, err := dot11fp.ReadPcapStream(in)

@@ -57,8 +57,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := writePcap(f, tr, linkType); err != nil {
+		fatal(err)
+	}
+	// Close on the write side reports deferred write-back failures — an
+	// unchecked one here could hand the test suite a torn trace.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	if *manifest != "" {
@@ -66,10 +70,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer mf.Close()
 		for _, si := range infos {
 			fmt.Fprintf(mf, "%s\tprofile=%s\tapp=%s\tservices=%v\tsnr=%.1f\tjoin=%dus\tleave=%dus\trandomized=%t\n",
 				si.Addr, si.Profile, si.App, si.Services, si.SNRBaseDB, si.JoinUs, si.LeaveUs, si.Randomized)
+		}
+		if err := mf.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -432,4 +432,35 @@
 // measured curve: at 10k references an indexed top-k window costs
 // under 0.1% of the dense sweep, and a 10× larger reference set
 // (10k → 100k) costs only ~1.3× more.
+//
+// # Static analysis
+//
+// The guarantees above — zero allocations per frame on the push paths,
+// event streams bit-identical between the serial and sharded engines,
+// non-blocking verdict sinks, fsync'd checkpoint chains — are enforced
+// at compile review time, not just by the tests that measure them.
+// internal/analysis holds five go/analysis analyzers (fphotpath,
+// fpdeterminism, fpsinksafe, fpatomicfield, fpclosecheck) driven by
+// //fp: source annotations: //fp:hotpath test=TestName marks a
+// per-frame root, //fp:coldpath an amortised boundary,
+// //fp:deterministic (package doc) opts a package into the
+// bit-identical rules, and //fp:wallclock, //fp:unordered,
+// //fp:mayblock, //fp:allocok and //fp:closeok are per-line escapes
+// that each require a written justification (see
+// internal/analysis.Directive). `go run ./cmd/fpvet ./...` applies
+// the suite to every package and CI's invariant-lint step runs it on
+// every push, alongside scripts/escape_gate.sh, which intersects the
+// compiler's escape analysis with the //fp:hotpath ranges and diffs
+// the result against a checked-in expectation. Every //fp:hotpath
+// annotation must also name the testing.AllocsPerRun test that pins
+// its runtime behavior (enforced by a meta-test), so each hot-path
+// invariant is held three ways: statically by the analyzer, by the
+// compiler's escape analysis, and at runtime by the named test.
+//
+// This suite is why go.mod carries the module's only dependency,
+// golang.org/x/tools (vendored): the go/analysis framework is the
+// standard currency for Go static checks — the same interface vet
+// itself uses — and writing the analyzers against it keeps them usable
+// by any multichecker-style driver, not just cmd/fpvet's. Everything
+// else in the module remains stdlib-only.
 package dot11fp

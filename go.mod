@@ -1,3 +1,7 @@
 module dot11fp
 
 go 1.24
+
+// Vendored subset (go/analysis only); see doc.go "Static analysis" for
+// why this is the repo's sole dependency and how it is maintained.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

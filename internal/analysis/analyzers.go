@@ -1,0 +1,30 @@
+// Package analysis holds dot11fp's project-invariant static-analysis
+// suite: five golang.org/x/tools/go/analysis analyzers that turn the
+// system's headline guarantees — zero allocations per frame on the push
+// paths, event streams bit-identical between the serial and sharded
+// engines at every shard count, non-blocking verdict taps, fsync'd
+// checkpoint chains, no mixed atomic/plain field access — from
+// hand-written runtime tests into compile-time checks that run on every
+// package of every PR.
+//
+// The analyzers are driven by //fp: source annotations (see Directive)
+// rather than hard-coded symbol lists, so a new per-frame root, a new
+// deterministic package or a new documented-blocking sink is one
+// annotation away from full coverage, and every exception to a rule is
+// a grep-able, justified line in the diff that introduced it.
+//
+// Run the suite with `go run ./cmd/fpvet ./...`; CI runs it on every
+// push, together with scripts/escape_gate.sh (the compiler
+// escape-analysis gate over the same //fp:hotpath roots).
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// All is the fpvet suite, in report order.
+var All = []*analysis.Analyzer{
+	HotPath,
+	Determinism,
+	SinkSafe,
+	AtomicField,
+	CloseCheck,
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //fp: source annotation. The general form is
+//
+//	//fp:NAME key=value ... free-form justification
+//
+// where key=value fields (if any) come first and everything after the
+// last field is the human-readable reason. The suite's annotations:
+//
+//	//fp:hotpath test=TestName  — function is a per-frame root; its call
+//	                              graph is walked by fphotpath and the
+//	                              named testing.AllocsPerRun test pins it
+//	                              at zero allocations at runtime.
+//	//fp:coldpath reason        — function is reached from a hot root but
+//	                              runs amortised (per window, per sender
+//	                              admission, per eviction batch); the
+//	                              walk stops here.
+//	//fp:wallclock reason       — this line's (or function's) wall-clock
+//	                              read is an acknowledged, output-neutral
+//	                              exception (stats timing).
+//	//fp:unordered reason       — this map iteration is order-insensitive
+//	                              (or sorted before anything escapes).
+//	//fp:mayblock reason        — this sink is documented as blocking.
+//	//fp:allocok reason         — this allocation in a hot path is an
+//	                              acknowledged amortised exception.
+//	//fp:closeok reason         — this discarded Close/Sync error is an
+//	                              acknowledged no-data-at-risk exception.
+//	//fp:deterministic          — package-level (in the package doc):
+//	                              opts the package into fpdeterminism.
+//
+// Every escape annotation requires a non-empty reason; the analyzers
+// report annotations without one, so an exception can never be silent.
+type Directive struct {
+	Name   string
+	Args   map[string]string
+	Reason string
+	Pos    token.Pos
+}
+
+// parseDirective parses one comment line, returning ok=false when it is
+// not an //fp: directive.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, found := strings.CutPrefix(c.Text, "//fp:")
+	if !found {
+		return Directive{}, false
+	}
+	d := Directive{Pos: c.Pos()}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	d.Name = fields[0]
+	rest := fields[1:]
+	for len(rest) > 0 {
+		k, v, isKV := strings.Cut(rest[0], "=")
+		if !isKV || k == "" || strings.ContainsAny(k, " \t") {
+			break
+		}
+		if d.Args == nil {
+			d.Args = make(map[string]string)
+		}
+		d.Args[k] = v
+		rest = rest[1:]
+	}
+	d.Reason = strings.Join(rest, " ")
+	return d, true
+}
+
+// groupDirectives parses every directive in a comment group.
+func groupDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// funcDirective returns the named directive from a function's doc
+// comment, if present.
+func funcDirective(decl *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range groupDirectives(decl.Doc) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// lineIndex maps source lines to the directives written on them, for
+// line-scoped annotations (//fp:wallclock, //fp:allocok, //fp:closeok,
+// //fp:unordered). A directive governs its own line and, when written
+// as a standalone comment line, the line below it.
+type lineIndex map[int][]Directive
+
+// fileLines indexes every //fp: directive in a file by line.
+func fileLines(fset *token.FileSet, file *ast.File) lineIndex {
+	ix := make(lineIndex)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok {
+				line := fset.Position(c.Pos()).Line
+				ix[line] = append(ix[line], d)
+			}
+		}
+	}
+	return ix
+}
+
+// at reports the named directive governing pos: on the same line, or on
+// the line immediately above.
+func (ix lineIndex) at(fset *token.FileSet, pos token.Pos, name string) (Directive, bool) {
+	line := fset.Position(pos).Line
+	for _, d := range ix[line] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	for _, d := range ix[line-1] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// packageHasDirective reports whether any file's package doc carries the
+// named directive (package-level opt-ins like //fp:deterministic).
+func packageHasDirective(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, d := range groupDirectives(f.Doc) {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HotPathFuncs returns the function declarations annotated
+// //fp:hotpath, in file order. cmd/fpvet -hotpath-ranges prints their
+// source ranges for scripts/escape_gate.sh, which intersects them with
+// the compiler's escape-analysis output.
+func HotPathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if _, ok := funcDirective(fd, "hotpath"); ok {
+					out = append(out, fd)
+				}
+			}
+		}
+	}
+	return out
+}

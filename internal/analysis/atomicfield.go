@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AtomicField is the fpatomicfield analyzer: a variable or struct field
+// that is touched through sync/atomic function calls (atomic.AddUint64,
+// atomic.LoadInt64, ...) anywhere in the package must never be read or
+// written plainly elsewhere — the mixed-access class of data race that
+// the chaos soak can only catch probabilistically, and the race
+// detector only when both accesses happen to overlap in a run.
+//
+// The fix is either to route every access through sync/atomic, or —
+// preferred, and what this repo does throughout — to declare the field
+// with one of the typed atomics (atomic.Uint64, atomic.Pointer[T], ...)
+// so plain access is unrepresentable. Fields of typed atomic types are
+// exempt by construction; struct copies of them are already caught by
+// vet's copylocks.
+var AtomicField = &analysis.Analyzer{
+	Name: "fpatomicfield",
+	Doc:  "report plain accesses to variables also accessed via sync/atomic",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: every `&x` handed to a sync/atomic function marks x as an
+	// atomic variable; remember the sanctioned &x nodes.
+	atomicVars := make(map[types.Object]string) // var -> example op
+	sanctioned := make(map[*ast.UnaryExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !strings.HasPrefix(callee.Name(), "Add") && !strings.HasPrefix(callee.Name(), "Load") &&
+				!strings.HasPrefix(callee.Name(), "Store") && !strings.HasPrefix(callee.Name(), "Swap") &&
+				!strings.HasPrefix(callee.Name(), "CompareAndSwap") && !strings.HasPrefix(callee.Name(), "Or") &&
+				!strings.HasPrefix(callee.Name(), "And") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := referentOf(pass.TypesInfo, un.X); obj != nil {
+					if _, seen := atomicVars[obj]; !seen {
+						atomicVars[obj] = "atomic." + callee.Name()
+					}
+					sanctioned[un] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other use of those variables is a mixed access.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			var obj types.Object
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				obj = pass.TypesInfo.Uses[e.Sel]
+			case *ast.Ident:
+				// Only flag identifiers that are not the Sel of a
+				// selector (handled above) and resolve to a var.
+				if len(stack) >= 2 {
+					if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == e {
+						return true
+					}
+				}
+				obj = pass.TypesInfo.Uses[e]
+			default:
+				return true
+			}
+			op, isAtomic := atomicVars[obj]
+			if !isAtomic {
+				return true
+			}
+			// Field declarations and sanctioned &x-in-atomic-call uses
+			// are fine.
+			for _, anc := range stack {
+				if un, ok := anc.(*ast.UnaryExpr); ok && sanctioned[un] {
+					return true
+				}
+				if _, ok := anc.(*ast.Field); ok {
+					return true
+				}
+			}
+			pass.Reportf(n.Pos(), "plain access to %s, which is accessed via %s elsewhere in this package (mixed atomic/plain access races; use the typed atomics so this cannot compile)", objName(obj), op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// referentOf resolves the variable a unary & expression takes the
+// address of: a plain identifier or the field of a selector chain.
+func referentOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CloseCheck is the fpclosecheck analyzer: an error returned by Close
+// or Sync that is silently discarded. On the checkpoint/save path the
+// fsync discipline (temp + fsync + rename + dir-fsync) is only as
+// strong as its weakest unchecked return — a Close that reports the
+// deferred write-back failure of everything buffered is the last chance
+// to notice a torn checkpoint. Elsewhere it is still the difference
+// between "the trace was written" and "the trace was probably written".
+//
+// Flagged: statement-position calls `x.Close()` / `x.Sync()` (including
+// deferred and go'd ones) whose single error result vanishes.
+// Not flagged: `_ = x.Close()` (a visible, reviewable discard — use it
+// for read-only handles where the close error carries no data risk,
+// with a comment saying so) and lines annotated //fp:closeok with a
+// justification (for defers that cannot take an assignment).
+var CloseCheck = &analysis.Analyzer{
+	Name: "fpclosecheck",
+	Doc:  "report discarded Close/Sync error returns",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ix := fileLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, kind = n.Call, "deferred "
+			case *ast.GoStmt:
+				call, kind = n.Call, "go'd "
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Close" && name != "Sync" {
+				return true
+			}
+			callee := calleeOf(pass.TypesInfo, call)
+			var sig *types.Signature
+			if callee != nil {
+				sig = callee.Type().(*types.Signature)
+			} else if tv, ok := pass.TypesInfo.Types[call.Fun]; ok {
+				sig, _ = tv.Type.Underlying().(*types.Signature)
+			}
+			if sig == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				return true
+			}
+			if !isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+			if d, ok := ix.at(pass.Fset, call.Pos(), "closeok"); ok {
+				if d.Reason == "" {
+					pass.Reportf(d.Pos, "fp:closeok annotation requires a justification")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s%s error discarded (check it, or make the discard visible: `_ = x.%s()` for read-only handles, //fp:closeok on defers)", kind, name, name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(interface{ Obj() *types.TypeName })
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

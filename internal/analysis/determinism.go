@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Determinism is the fpdeterminism analyzer. It applies only to
+// packages that opt in with //fp:deterministic in their package doc —
+// the packages whose event streams and serialized artifacts must be
+// bit-identical between the serial and sharded engines at every shard
+// count (the property the identification-rate reproduction rests on).
+//
+// It reports:
+//
+//   - map iteration whose body lets map order escape: emitting events
+//     (emit*/Emit*/Handle* calls, channel sends), appending to a slice
+//     declared outside the loop, or writing serialized output
+//     (Write/Encode/Marshal/Fprint calls). Iterations that only build
+//     other maps or fold order-insensitive aggregates are fine, as is
+//     anything annotated //fp:unordered with a justification (e.g. the
+//     collected slice is sorted before it escapes).
+//   - wall-clock reads (time.Now/Since/Until) and global math/rand
+//     draws outside the //fp:wallclock allowlist: stats timing is
+//     acknowledged per-line, everything else is a reproducibility bug.
+var Determinism = &analysis.Analyzer{
+	Name: "fpdeterminism",
+	Doc:  "report map-order and wall-clock leaks in bit-identical packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	if !packageHasDirective(pass.Files, "deterministic") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ix := fileLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, ix, n)
+			case *ast.CallExpr:
+				checkWallClock(pass, ix, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWallClock flags unacknowledged wall-clock reads and global rand
+// draws.
+func checkWallClock(pass *analysis.Pass, ix lineIndex, call *ast.CallExpr) {
+	callee := calleeOf(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	qname := path + "." + callee.Name()
+	switch qname {
+	case "time.Now", "time.Since", "time.Until":
+		if _, ok := ix.at(pass.Fset, call.Pos(), "wallclock"); ok {
+			return
+		}
+		pass.Reportf(call.Pos(), "wall-clock read (%s) in a deterministic package; annotate //fp:wallclock with a justification if output-neutral", qname)
+	default:
+		if hotRandPkgs[path] && callee.Type().(*types.Signature).Recv() == nil {
+			if _, ok := ix.at(pass.Fset, call.Pos(), "wallclock"); ok {
+				return
+			}
+			pass.Reportf(call.Pos(), "global %s draw in a deterministic package (seed an explicit *rand.Rand instead)", qname)
+		}
+	}
+}
+
+// checkMapRange flags map iterations whose body lets iteration order
+// escape into events, outer slices or serialized output.
+func checkMapRange(pass *analysis.Pass, ix lineIndex, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if _, ok := ix.at(pass.Fset, rng.Pos(), "unordered"); ok {
+		if d, _ := ix.at(pass.Fset, rng.Pos(), "unordered"); d.Reason == "" {
+			pass.Reportf(d.Pos, "fp:unordered annotation requires a justification")
+		}
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration leaks map order into the event stream")
+			return true
+		case *ast.CallExpr:
+			if name, bad := orderEscapingCall(pass.TypesInfo, n); bad {
+				pass.Reportf(n.Pos(), "%s inside map iteration leaks map order (sort first, or annotate //fp:unordered with why order cannot escape)", name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if appendsToOuter(pass.TypesInfo, rng, lhs, n.Rhs[i]) {
+					pass.Reportf(n.Pos(), "append to a slice declared outside the loop records map order (sort afterwards and annotate //fp:unordered, or iterate sorted keys)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// orderEscapingCall reports calls that emit events or serialized bytes.
+func orderEscapingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	switch {
+	case strings.HasPrefix(name, "emit"), strings.HasPrefix(name, "Emit"),
+		strings.HasPrefix(name, "Handle"),
+		name == "Write", name == "WriteString", name == "WriteByte",
+		strings.HasPrefix(name, "Encode"), strings.HasPrefix(name, "Marshal"),
+		strings.HasPrefix(name, "Fprint"), strings.HasPrefix(name, "Print"):
+		return name + " call", true
+	}
+	return "", false
+}
+
+// appendsToOuter reports `x = append(x, ...)` where x is declared
+// outside the range statement.
+func appendsToOuter(info *types.Info, rng *ast.RangeStmt, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	base := baseIdent(lhs)
+	if base == nil {
+		return false
+	}
+	obj := info.Uses[base]
+	if obj == nil {
+		obj = info.Defs[base]
+	}
+	if obj == nil {
+		return false
+	}
+	// Declared outside the loop iff its declaration position precedes
+	// the range statement or follows its end.
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}

@@ -1,0 +1,567 @@
+// Package driver is an in-process loader/runner for go/analysis
+// analyzers: the minimal multichecker that cmd/fpvet is built on.
+//
+// The usual drivers — multichecker (via go/packages) and unitchecker
+// (via `go vet -vettool`) — live outside the vendored go/analysis
+// subset this repo carries, so the driver does the two jobs itself:
+//
+//   - Loading: `go list -e -export -deps -json` enumerates the target
+//     packages and the export-data files of everything they import.
+//     Target packages are type-checked from source (in dependency
+//     order, sharing one FileSet and importer, so a symbol is the same
+//     types.Object in every pass that sees it); imports resolve
+//     through compiler export data, which works offline because the go
+//     command builds it locally.
+//   - Running: analyzers run per package in dependency order, with an
+//     in-memory fact store — object identity is stable across the run,
+//     so facts need no serialization round-trip.
+//
+// The same loader backs the analysistest-style fixture harness
+// (internal/analysis/testkit): fixtures register as source packages via
+// AddFixture and resolve their stdlib imports through the same
+// export-data path.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one source-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Module  *analysis.Module
+
+	fset *token.FileSet
+}
+
+// Fset returns the FileSet the package was parsed into.
+func (p *Package) Fset() *token.FileSet { return p.fset }
+
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path, GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Loader loads packages from source (roots, fixtures) or export data
+// (everything they import), sharing one FileSet and type universe.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir       string
+	listed    map[string]*listedPkg
+	importMap map[string]string
+	fixtures  map[string]string // import path -> source dir
+	pkgs      map[string]*Package
+	checking  map[string]bool
+	gc        types.Importer
+}
+
+// New returns a loader running the go command in dir.
+func New(dir string) *Loader {
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		dir:       dir,
+		listed:    make(map[string]*listedPkg),
+		importMap: make(map[string]string),
+		fixtures:  make(map[string]string),
+		pkgs:      make(map[string]*Package),
+		checking:  make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		lp := l.listed[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	})
+	return l
+}
+
+// goList runs `go list -e -export -deps -json` over patterns, recording
+// every package (and its export data) in the loader.
+func (l *Loader) goList(patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var all []*listedPkg
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		all = append(all, lp)
+		l.listed[lp.ImportPath] = lp
+		for from, to := range lp.ImportMap {
+			l.importMap[from] = to
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return all, nil
+}
+
+// LoadPatterns lists patterns and returns the matched (non-dependency)
+// package paths, ready for LoadSource, in listing order.
+func (l *Loader) LoadPatterns(patterns ...string) ([]string, error) {
+	all, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	for _, lp := range all {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" && len(lp.GoFiles) == 0 {
+			continue
+		}
+		roots = append(roots, lp.ImportPath)
+	}
+	return roots, nil
+}
+
+// AddFixture registers a source directory as package importPath — the
+// testkit's entry point. Stdlib imports of fixtures must be made
+// available with EnsureListed.
+func (l *Loader) AddFixture(importPath, dir string) {
+	l.fixtures[importPath] = dir
+}
+
+// EnsureListed makes the named import paths (typically the stdlib
+// closure of fixture imports) importable via export data.
+func (l *Loader) EnsureListed(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" || l.listed[p] != nil || l.fixtures[p] != "" {
+			continue
+		}
+		missing = append(missing, p)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	_, err := l.goList(missing...)
+	return err
+}
+
+// Import implements types.Importer over the loader's world: fixtures
+// and module roots from source, everything else from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if to, ok := l.importMap[path]; ok {
+		path = to
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if _, isFixture := l.fixtures[path]; isFixture {
+		p, err := l.LoadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if lp := l.listed[path]; lp != nil && lp.Export == "" && !lp.DepOnly {
+		// A module root imported by another root: check it from source
+		// so object identity (and with it fact identity) is shared.
+		p, err := l.LoadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// LoadSource parses and type-checks one package from source. Roots come
+// from go list metadata, fixtures from AddFixture directories.
+func (l *Loader) LoadSource(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.checking[importPath] {
+		return nil, fmt.Errorf("import cycle through %q", importPath)
+	}
+	l.checking[importPath] = true
+	defer delete(l.checking, importPath)
+
+	var dir string
+	var goFiles []string
+	var mod *analysis.Module
+	if fdir, ok := l.fixtures[importPath]; ok {
+		dir = fdir
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				goFiles = append(goFiles, e.Name())
+			}
+		}
+	} else if lp := l.listed[importPath]; lp != nil {
+		dir = lp.Dir
+		goFiles = lp.GoFiles
+		if lp.Module != nil {
+			mod = &analysis.Module{Path: lp.Module.Path, GoVersion: lp.Module.GoVersion}
+		}
+	} else {
+		return nil, fmt.Errorf("package %q not listed (run LoadPatterns or AddFixture first)", importPath)
+	}
+	sort.Strings(goFiles)
+
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("package %q has no Go files", importPath)
+	}
+
+	// Resolve imports up front so fixture stdlib dependencies get listed
+	// lazily (roots are already fully listed by -deps).
+	if len(l.fixtures) > 0 {
+		var imps []string
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				imps = append(imps, strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+		if err := l.EnsureListed(imps); err != nil {
+			return nil, err
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, e := range typeErrs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-3))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s:\n  %s", importPath, strings.Join(msgs, "\n  "))
+	}
+	p := &Package{
+		PkgPath: importPath,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		GoFiles: goFiles,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Module:  mod,
+		fset:    l.Fset,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// Diagnostic is one analyzer finding, position-resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// factStore is the in-memory fact table: object identity is stable
+// across the run (one loader, one type universe), so facts are plain
+// map entries rather than gob round-trips.
+type factStore struct {
+	obj map[objKey]analysis.Fact
+	pkg map[pkgKey]analysis.Fact
+}
+
+type objKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+type pkgKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{obj: make(map[objKey]analysis.Fact), pkg: make(map[pkgKey]analysis.Fact)}
+}
+
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// Run loads each root package from source and applies the analyzers in
+// dependency order (packages topologically, analyzers by Requires),
+// returning position-sorted diagnostics.
+func Run(l *Loader, roots []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	order, err := topoOrder(l, roots)
+	if err != nil {
+		return nil, err
+	}
+	aorder, err := requiresOrder(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	facts := newFactStore()
+	var diags []Diagnostic
+	for _, path := range order {
+		pkg, err := l.LoadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		results := make(map[*analysis.Analyzer]interface{})
+		for _, a := range aorder {
+			pass := newPass(a, pkg, facts, results, &diags)
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, path, err)
+			}
+			results[a] = res
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+func newPass(a *analysis.Analyzer, pkg *Package, facts *factStore, results map[*analysis.Analyzer]interface{}, diags *[]Diagnostic) *analysis.Pass {
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset(),
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		Module:     pkg.Module,
+		ResultOf:   results,
+		ReadFile:   os.ReadFile,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: a.Name,
+			Pos:      pass.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		if f, ok := facts.obj[objKey{obj, reflect.TypeOf(fact)}]; ok {
+			copyFact(fact, f)
+			return true
+		}
+		return false
+	}
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		facts.obj[objKey{obj, reflect.TypeOf(fact)}] = fact
+	}
+	pass.ImportPackageFact = func(p *types.Package, fact analysis.Fact) bool {
+		if f, ok := facts.pkg[pkgKey{p, reflect.TypeOf(fact)}]; ok {
+			copyFact(fact, f)
+			return true
+		}
+		return false
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		facts.pkg[pkgKey{pkg.Types, reflect.TypeOf(fact)}] = fact
+	}
+	pass.AllObjectFacts = func() []analysis.ObjectFact {
+		var out []analysis.ObjectFact
+		for k, f := range facts.obj {
+			out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+		}
+		return out
+	}
+	pass.AllPackageFacts = func() []analysis.PackageFact {
+		var out []analysis.PackageFact
+		for k, f := range facts.pkg {
+			out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+		}
+		return out
+	}
+	return pass
+}
+
+// topoOrder orders the root set so that every root comes after the
+// roots it imports (facts flow forward).
+func topoOrder(l *Loader, roots []string) ([]string, error) {
+	rootSet := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %q", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		var imports []string
+		if lp := l.listed[path]; lp != nil {
+			imports = lp.Imports
+		} else if dir, ok := l.fixtures[path]; ok {
+			imports = fixtureImports(dir)
+		}
+		for _, imp := range imports {
+			if to, ok := l.importMap[imp]; ok {
+				imp = to
+			}
+			if rootSet[imp] || l.fixtures[imp] != "" {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// fixtureImports parses just the import clauses of a fixture directory.
+func fixtureImports(dir string) []string {
+	var out []string
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			continue
+		}
+		for _, imp := range f.Imports {
+			out = append(out, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	return out
+}
+
+// requiresOrder sorts analyzers so prerequisites run first.
+func requiresOrder(analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var order []*analysis.Analyzer
+	state := make(map[*analysis.Analyzer]int)
+	var visit func(*analysis.Analyzer) error
+	visit = func(a *analysis.Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

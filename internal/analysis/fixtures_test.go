@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	fpanalysis "dot11fp/internal/analysis"
+	"dot11fp/internal/analysis/testkit"
+)
+
+// Each fixture package under testdata/src carries one deliberate
+// violation of every diagnostic class its analyzer reports, plus the
+// sanctioned idioms and annotated escapes that must stay silent.
+
+func TestHotPathFixtures(t *testing.T) {
+	t.Parallel()
+	// hotpathdep is analyzed first so its //fp:hotpath///fp:coldpath
+	// facts are exported before the importing package is walked.
+	testkit.Run(t, "testdata", []*analysis.Analyzer{fpanalysis.HotPath},
+		"fpfix.test/hotpathdep", "fpfix.test/hotpath")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	t.Parallel()
+	testkit.Run(t, "testdata", []*analysis.Analyzer{fpanalysis.Determinism},
+		"fpfix.test/determinism", "fpfix.test/determinismoff")
+}
+
+func TestSinkSafeFixtures(t *testing.T) {
+	t.Parallel()
+	testkit.Run(t, "testdata", []*analysis.Analyzer{fpanalysis.SinkSafe},
+		"fpfix.test/engine")
+}
+
+func TestAtomicFieldFixtures(t *testing.T) {
+	t.Parallel()
+	testkit.Run(t, "testdata", []*analysis.Analyzer{fpanalysis.AtomicField},
+		"fpfix.test/atomicfield")
+}
+
+func TestCloseCheckFixtures(t *testing.T) {
+	t.Parallel()
+	testkit.Run(t, "testdata", []*analysis.Analyzer{fpanalysis.CloseCheck},
+		"fpfix.test/closecheck")
+}

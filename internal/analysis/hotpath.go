@@ -1,0 +1,675 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// HotFact marks a function annotated //fp:hotpath: it is a per-frame
+// root, checked in its own package, so callers in other packages may
+// call it without re-walking it.
+type HotFact struct{}
+
+// ColdFact marks a function annotated //fp:coldpath: it runs amortised
+// (per window, per admission, per eviction batch), so the hot-path walk
+// stops at its boundary.
+type ColdFact struct{}
+
+func (*HotFact) AFact()         {}
+func (*HotFact) String() string { return "fp:hotpath" }
+
+func (*ColdFact) AFact()         {}
+func (*ColdFact) String() string { return "fp:coldpath" }
+
+// HotPath is the fphotpath analyzer: it walks the static call graph
+// from every //fp:hotpath-annotated function and reports work that has
+// no business on a per-frame path — calls into a denylist of
+// allocating/formatting/syscalling packages, wall-clock reads, fresh
+// allocations (make/new/&composite, append growth of non-scratch
+// slices, string conversions), interface boxing at call sites, and
+// goroutine launches. Cross-package calls must target functions that
+// are themselves //fp:hotpath (checked in their own package) or
+// //fp:coldpath (amortised; the walk stops). The static pass is paired
+// with scripts/escape_gate.sh, which pins the same roots at zero heap
+// escapes via the compiler's escape analysis, and with the
+// testing.AllocsPerRun test each annotation is required to name
+// (test=...) — see TestHotpathAnnotationsBackedByAllocTests.
+var HotPath = &analysis.Analyzer{
+	Name:      "fphotpath",
+	Doc:       "report allocation and denylisted calls reachable from //fp:hotpath roots",
+	Run:       runHotPath,
+	FactTypes: []analysis.Fact{(*HotFact)(nil), (*ColdFact)(nil)},
+}
+
+// hotDenyPkgs lists package-path prefixes that are never acceptable on
+// a per-frame path: formatted output, logging, reflection, encoding,
+// direct I/O and the reflect-based sort entry points.
+var hotDenyPkgs = []string{
+	"fmt", "log", "reflect", "os", "io", "bufio", "net",
+	"encoding", "runtime/pprof", "runtime/trace", "testing",
+}
+
+// hotDenyFuncs lists individual denylisted functions in otherwise
+// acceptable packages.
+var hotDenyFuncs = map[string]string{
+	"time.Now":         "wall-clock read",
+	"time.Since":       "wall-clock read",
+	"time.Until":       "wall-clock read",
+	"time.Sleep":       "blocks the push goroutine",
+	"time.After":       "allocates a timer",
+	"time.Tick":        "allocates a ticker",
+	"time.NewTimer":    "allocates a timer",
+	"time.NewTicker":   "allocates a ticker",
+	"sort.Sort":        "boxes through sort.Interface",
+	"sort.Stable":      "boxes through sort.Interface",
+	"sort.Slice":       "boxes and reflects; use slices.SortFunc",
+	"sort.SliceStable": "boxes and reflects; use slices.SortFunc",
+}
+
+// hotRandPkgs: package-level functions draw from the global source —
+// both nondeterministic and lock-contended.
+var hotRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+type hotChecker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	lines map[*ast.File]lineIndex
+	files map[*ast.FuncDecl]*ast.File
+
+	checked map[*types.Func]bool
+	queue   []hotWork
+}
+
+type hotWork struct {
+	fn   *types.Func
+	root string
+}
+
+func runHotPath(pass *analysis.Pass) (interface{}, error) {
+	c := &hotChecker{
+		pass:    pass,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		lines:   make(map[*ast.File]lineIndex),
+		files:   make(map[*ast.FuncDecl]*ast.File),
+		checked: make(map[*types.Func]bool),
+	}
+
+	// Pass 1: index declarations, validate and export annotations.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[fn] = fd
+			c.files[fd] = file
+			if d, ok := funcDirective(fd, "hotpath"); ok {
+				if d.Args["test"] == "" {
+					pass.Report(analysis.Diagnostic{Pos: d.Pos,
+						Message: "fp:hotpath annotation must name its zero-alloc test (test=TestName)"})
+				}
+				pass.ExportObjectFact(fn, &HotFact{})
+			}
+			if d, ok := funcDirective(fd, "coldpath"); ok {
+				if d.Reason == "" {
+					pass.Report(analysis.Diagnostic{Pos: d.Pos,
+						Message: "fp:coldpath annotation requires a justification"})
+				}
+				pass.ExportObjectFact(fn, &ColdFact{})
+			}
+		}
+	}
+
+	// Pass 2: walk from every hot root declared in this package.
+	for fn, fd := range c.decls {
+		if _, ok := funcDirective(fd, "hotpath"); ok {
+			c.enqueue(fn, fn.Name())
+		}
+	}
+	for len(c.queue) > 0 {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		c.checkFunc(w.fn, w.root)
+	}
+	return nil, nil
+}
+
+func (c *hotChecker) enqueue(fn *types.Func, root string) {
+	if c.checked[fn] {
+		return
+	}
+	c.checked[fn] = true
+	c.queue = append(c.queue, hotWork{fn: fn, root: root})
+}
+
+// lineIndexFor lazily builds the file's directive index.
+func (c *hotChecker) lineIndexFor(fd *ast.FuncDecl) lineIndex {
+	file := c.files[fd]
+	ix, ok := c.lines[file]
+	if !ok {
+		ix = fileLines(c.pass.Fset, file)
+		c.lines[file] = ix
+	}
+	return ix
+}
+
+func (c *hotChecker) report(pos token.Pos, root, format string, args ...interface{}) {
+	c.pass.Report(analysis.Diagnostic{Pos: pos,
+		Message: fmt.Sprintf("hot path (via %s): %s", root, fmt.Sprintf(format, args...))})
+}
+
+// checkFunc scans one function body reached from a hot root.
+func (c *hotChecker) checkFunc(fn *types.Func, root string) {
+	fd := c.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	ix := c.lineIndexFor(fd)
+	roots := newRootInfo(c.pass.TypesInfo, fd)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred recovery/cleanup closures run off the steady-state
+			// path; walk named deferred callees but not deferred literals.
+			if _, isLit := n.Call.Fun.(*ast.FuncLit); isLit {
+				return false
+			}
+		case *ast.GoStmt:
+			c.report(n.Pos(), root, "launches a goroutine per call")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					if _, ok := ix.at(c.pass.Fset, n.Pos(), "allocok"); !ok {
+						c.report(n.Pos(), root, "heap-escaping composite literal (&T{...}); annotate //fp:allocok if amortised")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, fd, ix, roots, root)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkCall classifies one call expression in a hot function.
+func (c *hotChecker) checkCall(call *ast.CallExpr, fd *ast.FuncDecl, ix lineIndex, roots *rootInfo, root string) {
+	info := c.pass.TypesInfo
+	fset := c.pass.Fset
+
+	// Builtins and conversions first.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			c.checkBuiltin(b.Name(), call, ix, roots, root)
+			return
+		}
+	case *ast.SelectorExpr:
+		_ = fun
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion. String/byte-slice conversions copy; conversions to
+		// interface types box.
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := info.Types[call.Args[0]].Type
+			if isStringByteConv(to, from) && info.Types[call.Args[0]].Value == nil {
+				if _, ok := ix.at(fset, call.Pos(), "allocok"); !ok {
+					c.report(call.Pos(), root, "string/[]byte conversion copies per call")
+				}
+			}
+			if types.IsInterface(to) && from != nil && !types.IsInterface(from) && !pointerShaped(from) {
+				if _, ok := ix.at(fset, call.Pos(), "allocok"); !ok {
+					c.report(call.Pos(), root, "interface conversion boxes %s", from)
+				}
+			}
+		}
+		return
+	}
+
+	callee := calleeOf(info, call)
+	if callee == nil {
+		// Dynamic call through a func value: nothing to resolve
+		// statically; the escape gate and AllocsPerRun tests cover it.
+		c.checkBoxingArgs(call, ix, root)
+		return
+	}
+	if callee.Name() == "panic" {
+		return
+	}
+
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return // builtins like error.Error
+	}
+	path := pkg.Path()
+
+	if pkg == c.pass.Pkg {
+		// Same package: stop at annotated boundaries, else descend.
+		if calleeDecl, ok := c.decls[callee]; ok {
+			if _, cold := funcDirective(calleeDecl, "coldpath"); cold {
+				return
+			}
+			if _, hot := funcDirective(calleeDecl, "hotpath"); hot {
+				return // a root of its own; walked separately
+			}
+			c.checkBoxingArgs(call, ix, root)
+			c.enqueue(callee, root)
+			return
+		}
+		return
+	}
+
+	// Cross-package: annotated callees are fine (hot ones are checked in
+	// their own package, cold ones are amortised boundaries).
+	if c.pass.ImportObjectFact(callee, new(HotFact)) || c.pass.ImportObjectFact(callee, new(ColdFact)) {
+		c.checkBoxingArgs(call, ix, root)
+		return
+	}
+
+	qname := path + "." + callee.Name()
+	if reason, ok := hotDenyFuncs[qname]; ok {
+		if _, wc := ix.at(fset, call.Pos(), "wallclock"); wc && strings.HasPrefix(reason, "wall-clock") {
+			return // acknowledged stats-timing read
+		}
+		c.report(call.Pos(), root, "call to %s (%s)", qname, reason)
+		return
+	}
+	if hotRandPkgs[path] && callee.Type().(*types.Signature).Recv() == nil {
+		c.report(call.Pos(), root, "global %s draw (nondeterministic and contended)", qname)
+		return
+	}
+	for _, deny := range hotDenyPkgs {
+		if path == deny || strings.HasPrefix(path, deny+"/") {
+			c.report(call.Pos(), root, "call into denylisted package %s (%s)", path, qname)
+			return
+		}
+	}
+	if isStdlib(path) {
+		c.checkBoxingArgs(call, ix, root)
+		return
+	}
+	// A module-internal (or third-party) function with no annotation:
+	// the zero-alloc contract cannot be tracked across the boundary.
+	c.report(call.Pos(), root, "call into unvetted function %s — annotate it //fp:hotpath (and back it with an AllocsPerRun test) or //fp:coldpath", qname)
+}
+
+// checkBuiltin handles make/new/append allocation heuristics.
+func (c *hotChecker) checkBuiltin(name string, call *ast.CallExpr, ix lineIndex, roots *rootInfo, root string) {
+	switch name {
+	case "make", "new":
+		// Amortised warm-up — make stored into a caller-owned scratch
+		// (field of a parameter/receiver or package-level state) — is the
+		// sanctioned pattern; anything else is a per-call allocation.
+		if roots.assignedToOwned(call) {
+			return
+		}
+		if _, ok := ix.at(c.pass.Fset, call.Pos(), "allocok"); ok {
+			return
+		}
+		c.report(call.Pos(), root, "%s allocates per call (grow caller-owned scratch instead, or annotate //fp:allocok)", name)
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		if roots.exprOwned(call.Args[0]) {
+			return // growth of caller-owned scratch, amortised
+		}
+		if _, ok := ix.at(c.pass.Fset, call.Pos(), "allocok"); ok {
+			return
+		}
+		c.report(call.Pos(), root, "append grows a non-scratch slice (unhinted growth allocates)")
+	}
+}
+
+// checkBoxingArgs flags concrete, non-pointer-shaped arguments passed to
+// interface parameters — each such call boxes.
+func (c *hotChecker) checkBoxingArgs(call *ast.CallExpr, ix lineIndex, root string) {
+	info := c.pass.TypesInfo
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv := info.Types[arg]
+		at := atv.Type
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if atv.Value != nil {
+			continue // constants: either static data or staticuint64s
+		}
+		if _, ok := ix.at(c.pass.Fset, arg.Pos(), "allocok"); ok {
+			continue
+		}
+		c.report(arg.Pos(), root, "argument boxes %s into interface %s", at, pt)
+	}
+}
+
+// rootInfo is a flow-insensitive map from local slice/alloc variables to
+// whether their contents root in caller-owned storage (parameters,
+// receiver fields, package-level scratch). It sanctions the two scratch
+// idioms — `s.buf = make(...)` warm-ups and `x := s.buf[:0]; x =
+// append(x, ...)` growth — while flagging fresh per-call allocation.
+type rootInfo struct {
+	info      *types.Info
+	owned     map[types.Object]bool // params, receiver, package-level vars
+	assign    map[types.Object][]ast.Expr
+	memo      map[types.Object]int8 // 0 unknown, 1 owned, 2 fresh
+	resolving map[types.Object]bool
+	stores    map[*ast.CallExpr]bool
+}
+
+func newRootInfo(info *types.Info, fd *ast.FuncDecl) *rootInfo {
+	r := &rootInfo{
+		info:      info,
+		owned:     make(map[types.Object]bool),
+		assign:    make(map[types.Object][]ast.Expr),
+		memo:      make(map[types.Object]int8),
+		resolving: make(map[types.Object]bool),
+		stores:    make(map[*ast.CallExpr]bool),
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				r.owned[info.Defs[n]] = true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				r.owned[info.Defs[n]] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			rhs := as.Rhs[i]
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := r.objOf(id); obj != nil {
+					r.assign[obj] = append(r.assign[obj], rhs)
+				}
+			}
+			// make()/new() stored directly into owned storage is the
+			// warm-up idiom; remember the call so checkBuiltin skips it.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if r.lhsOwned(lhs) {
+					r.stores[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return r
+}
+
+func (r *rootInfo) objOf(id *ast.Ident) types.Object {
+	if obj := r.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return r.info.Uses[id]
+}
+
+// lhsOwned reports whether an assignment target is caller-owned: a
+// selector/index chain based on a parameter, receiver or package-level
+// variable, or such a variable itself being re-assigned from owned
+// storage elsewhere.
+func (r *rootInfo) lhsOwned(lhs ast.Expr) bool {
+	base := baseIdent(lhs)
+	if base == nil {
+		return false
+	}
+	obj := r.objOf(base)
+	if obj == nil {
+		return false
+	}
+	if _, isSel := ast.Unparen(lhs).(*ast.Ident); isSel {
+		// Plain `x = make(...)`: owned only if x itself roots in owned
+		// storage (e.g. a dereferenced pointer parameter — not a local).
+		return r.objOwned(obj, 0)
+	}
+	return r.owned[obj] || isPackageLevel(obj) || r.objOwned(obj, 0)
+}
+
+// exprOwned reports whether an expression's backing storage roots in
+// caller-owned state.
+func (r *rootInfo) exprOwned(e ast.Expr) bool {
+	base := baseIdent(e)
+	if base == nil {
+		return false
+	}
+	obj := r.objOf(base)
+	if obj == nil {
+		return false
+	}
+	if r.owned[obj] || isPackageLevel(obj) {
+		return true
+	}
+	// A bare local: owned iff every assignment to it roots in owned
+	// storage (flow-insensitive, so one fresh assignment poisons it).
+	if _, isIdent := ast.Unparen(e).(*ast.Ident); isIdent {
+		return r.objOwned(obj, 0)
+	}
+	// x.f / x[i] where x is a local pointing at owned storage.
+	return r.objOwned(obj, 0)
+}
+
+// Ownership classes. Neutral arises only on a self-referential append
+// edge (`x = append(x, ...)`), which preserves whatever root x
+// otherwise has: the other assignments decide, and a variable with
+// nothing but neutral evidence grows fresh storage.
+const (
+	classFresh int8 = iota
+	classOwned
+	classNeutral
+)
+
+func (r *rootInfo) objOwned(obj types.Object, depth int) bool {
+	return r.objClass(obj, depth) == classOwned
+}
+
+func (r *rootInfo) objClass(obj types.Object, depth int) int8 {
+	if depth > 10 {
+		return classFresh
+	}
+	if v, ok := r.memo[obj]; ok {
+		if v == 1 {
+			return classOwned
+		}
+		return classFresh
+	}
+	if r.resolving[obj] {
+		return classNeutral
+	}
+	r.resolving[obj] = true
+	defer delete(r.resolving, obj)
+	sawOwned := false
+	for _, rhs := range r.assign[obj] {
+		switch r.rhsClass(rhs, depth+1) {
+		case classFresh:
+			r.memo[obj] = 2
+			return classFresh
+		case classOwned:
+			sawOwned = true
+		}
+	}
+	if !sawOwned {
+		// No assignments (a bare `var x []T`), or only self-append
+		// cycles: nothing roots it in caller-owned storage.
+		r.memo[obj] = 2
+		return classFresh
+	}
+	r.memo[obj] = 1
+	return classOwned
+}
+
+// rhsClass classifies an assignment source. append(x, ...) takes the
+// class of x; make/new/composites and unknown calls are fresh.
+func (r *rootInfo) rhsClass(e ast.Expr, depth int) int8 {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := r.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return r.rhsClass(e.Args[0], depth+1)
+			}
+		}
+		return classFresh
+	case *ast.SliceExpr:
+		return r.rhsClass(e.X, depth+1)
+	case *ast.IndexExpr:
+		return r.rhsClass(e.X, depth+1)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return r.rhsClass(e.X, depth+1)
+		}
+		return classFresh
+	case *ast.StarExpr:
+		return r.rhsClass(e.X, depth+1)
+	case *ast.SelectorExpr:
+		return r.rhsClass(e.X, depth+1)
+	case *ast.Ident:
+		obj := r.objOf(e)
+		if obj == nil {
+			return classFresh
+		}
+		if r.owned[obj] || isPackageLevel(obj) {
+			return classOwned
+		}
+		return r.objClass(obj, depth+1)
+	default:
+		return classFresh
+	}
+}
+
+// assignedToOwned reports whether this make/new call's result is stored
+// directly into caller-owned storage.
+func (r *rootInfo) assignedToOwned(call *ast.CallExpr) bool { return r.stores[call] }
+
+// baseIdent returns the base identifier of a selector/index/slice chain.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// calleeOf resolves a call's static callee, or nil for dynamic calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil // dynamic dispatch
+				}
+				return fn
+			}
+			return nil
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pointerShaped reports whether boxing a value of this type into an
+// interface stores the word directly (no allocation).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(to) && isBytes(from)) || (isBytes(to) && isStr(from))
+}
+
+// isStdlib reports whether a package path is part of the standard
+// library (no domain-qualified first element).
+func isStdlib(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}

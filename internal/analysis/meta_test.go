@@ -1,0 +1,132 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	fpanalysis "dot11fp/internal/analysis"
+	"dot11fp/internal/analysis/driver"
+)
+
+// moduleRoot is this test's path back to the repository root.
+const moduleRoot = "../.."
+
+var hotpathDirective = regexp.MustCompile(`(?m)^\s*//fp:hotpath\s+test=(\S+)`)
+
+// repoGoFiles walks the module for .go files, skipping vendor/,
+// testdata/ and hidden directories.
+func repoGoFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(moduleRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") && name != "." && name != ".." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestHotpathAnnotationsBackedByAllocTests enforces the second half of
+// the //fp:hotpath contract: the static walk (fphotpath) and the escape
+// gate pin the code shape, but only a testing.AllocsPerRun test pins
+// the runtime behavior. Every annotation's test=TestName must resolve
+// to a test function somewhere in the repo whose body actually calls
+// AllocsPerRun.
+func TestHotpathAnnotationsBackedByAllocTests(t *testing.T) {
+	t.Parallel()
+	files := repoGoFiles(t)
+
+	// Pass 1: every Test function that calls testing.AllocsPerRun.
+	allocTests := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if !strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Test") || fd.Body == nil {
+				continue
+			}
+			uses := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+					uses = true
+				}
+				return true
+			})
+			if uses {
+				allocTests[fd.Name.Name] = true
+			}
+		}
+	}
+	if len(allocTests) == 0 {
+		t.Fatal("found no AllocsPerRun tests in the repository")
+	}
+
+	// Pass 2: every //fp:hotpath annotation names one of them.
+	found := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range hotpathDirective.FindAllSubmatch(src, -1) {
+			found++
+			name := string(m[1])
+			if !allocTests[name] {
+				t.Errorf("%s: //fp:hotpath names test=%s, but no test function with that name calls testing.AllocsPerRun", path, name)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("found no //fp:hotpath annotations in the repository")
+	}
+}
+
+// TestRepoFpvetClean runs the full fpvet suite over every package in
+// the module, exactly as CI's invariant-lint step does: the tree must
+// stay diagnostic-free.
+func TestRepoFpvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	t.Parallel()
+	l := driver.New(moduleRoot)
+	roots, err := l.LoadPatterns("./...")
+	if err != nil {
+		t.Fatalf("listing module packages: %v", err)
+	}
+	diags, err := driver.Run(l, roots, fpanalysis.All)
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,34 @@
+// Package atomicfield exercises fpatomicfield: any variable touched
+// through sync/atomic calls must never be accessed plainly, while the
+// typed atomics are exempt by construction.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	frames uint64
+	drops  uint64
+	typed  atomic.Uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.frames, 1) // sanctioned &x inside the atomic call
+	c.typed.Add(1)                 // typed atomic: plain access unrepresentable
+}
+
+func (c *counters) read() uint64 {
+	return c.frames + // want `plain access to field frames`
+		atomic.LoadUint64(&c.drops) + c.typed.Load()
+}
+
+func (c *counters) reset() {
+	c.drops = 0 // want `plain access to field drops`
+}
+
+var hits uint64
+
+func bumpHits() { atomic.AddUint64(&hits, 1) }
+
+func readHits() uint64 {
+	return hits // want `plain access to hits`
+}

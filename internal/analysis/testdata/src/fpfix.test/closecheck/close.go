@@ -1,0 +1,36 @@
+// Package closecheck exercises fpclosecheck: discarded Close/Sync
+// error returns, the visible `_ =` discard, and the //fp:closeok
+// escape for defers.
+package closecheck
+
+type file struct{}
+
+func (file) Close() error { return nil }
+func (file) Sync() error  { return nil }
+
+// noErr's Close returns nothing: not a discardable error.
+type noErr struct{}
+
+func (noErr) Close() {}
+
+func bad(f file) {
+	f.Close()       // want `Close error discarded`
+	defer f.Close() // want `deferred Close error discarded`
+	go f.Sync()     // want `go'd Sync error discarded`
+}
+
+func good(f file, n noErr) error {
+	_ = f.Close() // visible, reviewable discard
+	n.Close()
+	defer f.Close() //fp:closeok fixture: read-only handle, the error carries no data risk
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func badAnnotation(f file) {
+	// want+1 `fp:closeok annotation requires a justification`
+	//fp:closeok
+	f.Close()
+}

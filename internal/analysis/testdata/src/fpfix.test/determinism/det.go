@@ -1,0 +1,63 @@
+// Package determinism exercises fpdeterminism: map-order escapes and
+// wall-clock reads in a package that opted into bit-identical output.
+//
+//fp:deterministic
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type ev struct{ k string }
+
+func emitEvent(e ev) { _ = e }
+
+func leaks(m map[string]int, ch chan ev, w io.Writer) {
+	for k := range m {
+		ch <- ev{k} // want `channel send inside map iteration leaks map order`
+	}
+	for k := range m {
+		emitEvent(ev{k}) // want `emitEvent call inside map iteration leaks map order`
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to a slice declared outside the loop records map order`
+	}
+	_ = keys
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf call inside map iteration leaks map order`
+	}
+}
+
+func fine(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive fold: no diagnostic
+		total += v
+	}
+	sorted := make([]string, 0, len(m))
+	for k := range m { //fp:unordered collected keys are sorted below
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	return total
+}
+
+func badAnnotation(m map[string]int) {
+	// want+1 `fp:unordered annotation requires a justification`
+	//fp:unordered
+	for k := range m {
+		_ = k
+	}
+}
+
+func clock() int64 {
+	t := time.Now() // want `wall-clock read \(time.Now\) in a deterministic package`
+	s := time.Now() //fp:wallclock stats timing; never serialized
+	_ = s
+	_ = rand.Int() // want `global math/rand.Int draw in a deterministic package`
+	return t.UnixNano()
+}

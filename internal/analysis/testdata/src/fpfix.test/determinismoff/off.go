@@ -1,0 +1,17 @@
+// Package determinismoff has no //fp:deterministic opt-in: the same
+// leaks that fire in fpfix.test/determinism must stay silent here.
+package determinismoff
+
+import "time"
+
+func leaks(m map[string]int, ch chan string) int64 {
+	for k := range m {
+		ch <- k
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = keys
+	return time.Now().UnixNano()
+}

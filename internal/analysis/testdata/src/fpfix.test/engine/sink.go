@@ -1,0 +1,109 @@
+// Package engine exercises fpsinksafe: blocking operations in event
+// sinks, the select/default guard, the //fp:mayblock escape, one-hop
+// helper I/O and the engine-callback deadlock check (this fixture's
+// import path ends in "engine" so the callback heuristic applies).
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event mirrors the engine's event interface shape.
+type Event interface{ Kind() string }
+
+// SinkFunc mirrors the engine's func adapter.
+type SinkFunc func(Event)
+
+// Engine mirrors the engine type the callback check guards.
+type Engine struct{ n int }
+
+func (e *Engine) Stats() int { return e.n }
+
+type blockingSink struct{ ch chan Event }
+
+func (s *blockingSink) HandleEvent(ev Event) {
+	s.ch <- ev // want `channel send without a select/default guard`
+}
+
+type droppingSink struct{ ch chan Event }
+
+func (s *droppingSink) HandleEvent(ev Event) {
+	select {
+	case s.ch <- ev: // guarded by default: non-blocking
+	default:
+	}
+}
+
+type lockingSink struct{ mu sync.Mutex }
+
+func (s *lockingSink) HandleEvent(ev Event) {
+	s.mu.Lock() // want `acquires sync.Mutex`
+	defer s.mu.Unlock()
+}
+
+type printingSink struct{}
+
+func (printingSink) HandleEvent(ev Event) {
+	fmt.Fprintf(os.Stderr, "%v\n", ev) // want `direct I/O via fmt.Fprintf`
+}
+
+type sleepySink struct{}
+
+func (sleepySink) HandleEvent(ev Event) {
+	time.Sleep(time.Millisecond) // want `time.Sleep stalls the event stream`
+}
+
+type callbackSink struct{ eng *Engine }
+
+func (s *callbackSink) HandleEvent(ev Event) {
+	_ = s.eng.Stats() // want `calls back into Engine.Stats`
+}
+
+type indirectSink struct{}
+
+func (indirectSink) HandleEvent(ev Event) {
+	writeOut(ev)
+}
+
+// writeOut hides the I/O one call away; the walk must still find it.
+func writeOut(ev Event) {
+	f, _ := os.Create("out.txt") // want `direct I/O via os.Create`
+	_ = f
+	_ = ev
+}
+
+type losslessSink struct{ ch chan Event }
+
+// HandleEvent blocks by contract.
+//
+//fp:mayblock fixture: lossless delivery is the documented contract
+func (s *losslessSink) HandleEvent(ev Event) {
+	s.ch <- ev
+}
+
+type undocumentedSink struct{ ch chan Event }
+
+// want+2 `fp:mayblock annotation requires a justification`
+//
+//fp:mayblock
+func (s *undocumentedSink) HandleEvent(ev Event) {
+	s.ch <- ev
+}
+
+func adapters(ch chan Event) {
+	_ = SinkFunc(func(ev Event) {
+		ch <- ev // want `channel send without a select/default guard`
+	})
+	//fp:mayblock fixture: conversion-site annotation covers the literal
+	_ = SinkFunc(func(ev Event) {
+		ch <- ev
+	})
+	_ = SinkFunc(namedBlocking)
+}
+
+func namedBlocking(ev Event) {
+	time.Sleep(time.Second) // want `time.Sleep stalls the event stream`
+}

@@ -1,0 +1,82 @@
+// Package hotpath exercises fphotpath: denylisted calls, allocation
+// heuristics, interface boxing, the sanctioned scratch idioms and the
+// cross-package annotation contract.
+package hotpath
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fpfix.test/hotpathdep"
+)
+
+type scratch struct {
+	buf   []byte
+	freqs []float64
+}
+
+type proc struct {
+	sc   scratch
+	vals []int
+}
+
+func eat(v interface{}) { _ = v }
+
+func (p *proc) flush() {}
+
+//fp:hotpath test=TestFixturePushAllocs
+func (p *proc) Push(b []byte) {
+	_ = time.Now()   // want `call to time.Now \(wall-clock read\)`
+	t0 := time.Now() //fp:wallclock stats timing, output-neutral
+	_ = t0
+	time.Sleep(time.Microsecond)                                             // want `call to time.Sleep \(blocks the push goroutine\)`
+	_ = fmt.Sprintf("%d", len(b))                                            // want `call into denylisted package fmt \(fmt.Sprintf\)`
+	_ = rand.Intn(8)                                                         // want `global math/rand.Intn draw`
+	go p.flush()                                                             // want `launches a goroutine per call`
+	sort.Slice(p.vals, func(i, j int) bool { return p.vals[i] < p.vals[j] }) // want `call to sort.Slice \(boxes and reflects; use slices.SortFunc\)`
+
+	tmp := make([]byte, 16) // want `make allocates per call`
+	_ = tmp
+	big := make([]byte, 1024) //fp:allocok fixture: amortised warm-up buffer
+	_ = big
+	p.sc.buf = make([]byte, 0, 64) // warm-up into owned scratch: sanctioned
+
+	x := p.sc.freqs[:0]
+	x = append(x, 1.5) // growth of caller-owned scratch: sanctioned
+	_ = x
+
+	out := []int{}
+	out = append(out, 1) // want `append grows a non-scratch slice`
+	_ = out
+	var bare []int
+	bare = append(bare, 2) // want `append grows a non-scratch slice`
+	_ = bare
+
+	q := &scratch{} // want `heap-escaping composite literal`
+	_ = q
+	r := &scratch{} //fp:allocok fixture: amortised admission record
+	_ = r
+
+	s := string(b) // want `string/\[\]byte conversion copies per call`
+	_ = s
+	_ = interface{}(len(b)) // want `interface conversion boxes int`
+	eat(len(b))             // want `argument boxes int into interface`
+
+	hotpathdep.Unvetted() // want `call into unvetted function fpfix.test/hotpathdep.Unvetted`
+	hotpathdep.Cold()     // annotated //fp:coldpath in its own package: fine
+	hotpathdep.Hot()      // annotated //fp:hotpath in its own package: fine
+
+	defer func() { fmt.Println("recovery path") }() // deferred literal: off the steady-state path
+}
+
+// want+2 `fp:hotpath annotation must name its zero-alloc test`
+//
+//fp:hotpath
+func (p *proc) badRoot() {}
+
+// want+2 `fp:coldpath annotation requires a justification`
+//
+//fp:coldpath
+func (p *proc) badCold() {}

@@ -1,0 +1,19 @@
+// Package hotpathdep provides annotated and unannotated callees for
+// the fphotpath cross-package fact tests: facts exported here must be
+// visible when fpfix.test/hotpath is analyzed afterwards.
+package hotpathdep
+
+var state int
+
+// Unvetted has no annotation: hot callers must not cross into it.
+func Unvetted() { state++ }
+
+// Cold is an amortised boundary; the hot-path walk stops here.
+//
+//fp:coldpath fixture: amortised per-window work
+func Cold() { state += 2 }
+
+// Hot is a root of its own, checked in this package.
+//
+//fp:hotpath test=TestFixtureDepAllocs
+func Hot() { state += 3 }

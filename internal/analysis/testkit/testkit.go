@@ -1,0 +1,184 @@
+// Package testkit runs the fpvet analyzers over fixture packages and
+// checks their diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which the vendored x/tools subset does not include).
+//
+// Expectations are trailing comments of the form
+//
+//	x := leak() // want "regexp" "another regexp"
+//
+// where each quoted (or backquoted) pattern must match the message of
+// exactly one diagnostic reported on that line, and every diagnostic
+// must be matched by some pattern. `// want+N "regexp"` anchors the
+// expectation N lines below the comment instead — needed for
+// diagnostics reported at an //fp: directive itself (a line a trailing
+// want comment cannot share). Fixtures live under
+// testdata/src/<import-path>, mirroring the analysistest layout; import
+// paths are registered with the driver as source fixtures, so fixtures
+// may import one another (cross-package fact flow is exercised for
+// real, not mocked).
+package testkit
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"dot11fp/internal/analysis/driver"
+)
+
+// wantRe matches one quoted or backquoted pattern in a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// wantLineRe matches the comment-level marker, with an optional +N
+// line offset.
+var wantLineRe = regexp.MustCompile(`^//\s*want(\+\d+)?\s+(.*)$`)
+
+// expectation is one pattern awaiting a diagnostic on (file, line).
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	source  string // the literal as written, for failure messages
+	matched bool
+}
+
+// Run analyzes the fixture packages under testdata/src and reports any
+// mismatch between diagnostics and want comments as test failures.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := driver.New(".")
+	dirs := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		dirs[i] = filepath.Join(abs, "src", filepath.FromSlash(p))
+		l.AddFixture(p, dirs[i])
+	}
+	var deps []string
+	for _, dir := range dirs {
+		deps = append(deps, directImports(t, dir)...)
+	}
+	if err := l.EnsureListed(deps); err != nil {
+		t.Fatalf("listing fixture dependencies: %v", err)
+	}
+
+	diags, err := driver.Run(l, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+
+	var wants []*expectation
+	for _, dir := range dirs {
+		ws, err := collectWants(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s:%d matching %s",
+				filepath.Base(w.file), w.line, w.source)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering this diagnostic.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every fixture file in dir for want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing fixtures in %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantLineRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					offset := 0
+					if m[1] != "" {
+						offset, _ = strconv.Atoi(m[1][1:])
+					}
+					pos := fset.Position(c.Pos())
+					for _, lit := range wantRe.FindAllString(m[2], -1) {
+						pat, err := unquotePattern(lit)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v",
+								pos.Filename, pos.Line, lit, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v",
+								pos.Filename, pos.Line, lit, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line + offset,
+							pattern: re, source: lit,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func unquotePattern(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	return strconv.Unquote(lit)
+}
+
+// directImports returns the import paths of every fixture file in dir,
+// so the loader can list export data for their stdlib closure.
+func directImports(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatalf("parsing fixture imports in %s: %v", dir, err)
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				out = append(out, strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+	}
+	return out
+}

@@ -208,7 +208,7 @@ func (st *srcState) closeCur() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if c, ok := st.cur.(io.Closer); ok {
-		c.Close()
+		_ = c.Close() // closing to unblock the pump; the error has no reader
 	}
 }
 
@@ -434,7 +434,7 @@ func (m *MultiStream) pump(i int, src RecordSource, ch chan srcEvent, rebase boo
 		// The source is down: close the dead generation, then reopen
 		// with exponential backoff and jitter.
 		if c, ok := src.(io.Closer); ok {
-			c.Close()
+			_ = c.Close() // generation already dead; the read error is the one reported
 		}
 		st.down.Store(true)
 		backoff := m.sup.backoff()

@@ -63,7 +63,7 @@ func (osFS) SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer d.Close() //fp:closeok read-only directory fd; Sync carries the durability verdict
 	return d.Sync()
 }
 
@@ -179,7 +179,7 @@ func Save(path string, opts Options, write func(io.Writer) error, verify func(io
 		mode = info.Mode().Perm()
 	}
 	if err := tmp.Chmod(mode); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // already failing; the Chmod error is the one reported
 		cleanup()
 		return fmt.Errorf("checkpoint: %s: %w", path, err)
 	}

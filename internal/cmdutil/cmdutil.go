@@ -537,7 +537,7 @@ func CheckSavePath(path string) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint path is not writable: %w", err)
 	}
-	probe.Close()
+	_ = probe.Close() // nothing was written; the probe is removed on the next line
 	return os.Remove(probe.Name())
 }
 

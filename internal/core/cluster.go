@@ -74,6 +74,8 @@ func CanonicalAddr(key uint64) dot11.Addr {
 // bound to a clustered device, the raw sender otherwise. An FCS-valid
 // probe request with content establishes or refreshes the binding; the
 // record itself is not retained or mutated.
+//
+//fp:hotpath test=TestClusterResolveZeroAllocs
 func (c *Clusterer) Resolve(rec *capture.Record) dot11.Addr {
 	if rec.Class == dot11.ClassProbeReq && len(rec.ProbeIEs) > 0 && rec.FCSOK && !rec.Sender.IsZero() {
 		e := dot11.ParseElems(rec.ProbeIEs)

@@ -246,3 +246,33 @@ func TestAccumulatorWithClusterer(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterResolveZeroAllocs backs the //fp:hotpath annotations on
+// Clusterer.Resolve, dot11.ParseElems and Elems.ContentKey: once a
+// device and its binding exist, re-resolving frames from that sender —
+// probe requests (full parse + content key) and data frames (binding
+// lookup) alike — must not allocate.
+func TestClusterResolveZeroAllocs(t *testing.T) {
+	c := NewClusterer(0)
+	content := dot11.BuildProbeBody([]byte("corp"), nil,
+		dot11.AppendIE(nil, dot11.IEVendor, []byte{1, 2, 3, 4}))
+	sender := dot11.LocalAddr(7)
+	probe := probeRec(0, sender, content)
+	data := dataRec(1000, sender)
+	canon := c.Resolve(&probe) // warm-up: creates the device and binding
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if got := c.Resolve(&probe); got != canon {
+			t.Fatalf("probe resolved to %v, want %v", got, canon)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state probe Resolve allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if got := c.Resolve(&data); got != canon {
+			t.Fatalf("data frame resolved to %v, want %v", got, canon)
+		}
+	}); avg != 0 {
+		t.Errorf("bound data-frame Resolve allocates %.1f per call, want 0", avg)
+	}
+}

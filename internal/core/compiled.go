@@ -175,6 +175,8 @@ func (c *CompiledDB) Devices() []dot11.Addr {
 // returns a slice aliasing scratch.scores. It performs no allocation
 // once the scratch has warmed up; the result is only valid until the
 // scratch's next use.
+//
+//fp:hotpath test=TestMatchIntoZeroAlloc
 func (c *CompiledDB) MatchInto(candidate *Signature, scratch *MatchScratch) []Score {
 	n := len(c.addrs)
 	if cap(scratch.scores) < n {

@@ -235,7 +235,7 @@ func Load(r io.Reader) (*Database, error) {
 	}
 	// Sort addresses for a deterministic insertion order.
 	addrs := make([]string, 0, len(in.Devices))
-	for a := range in.Devices {
+	for a := range in.Devices { //fp:unordered keys are sorted below; insertion order is deterministic
 		addrs = append(addrs, a)
 	}
 	sort.Strings(addrs)

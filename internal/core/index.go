@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dot11fp/internal/dot11"
 	"dot11fp/internal/histogram"
@@ -727,7 +728,7 @@ func (c *CompiledDB) aboveIndexed(candidate *Signature, threshold float64, st *s
 	if len(st.top) == 0 {
 		return nil
 	}
-	sort.Slice(st.top, func(i, j int) bool { return st.top[i].ref < st.top[j].ref })
+	slices.SortFunc(st.top, func(a, b topEntry) int { return cmp.Compare(a.ref, b.ref) })
 	out := make([]Score, len(st.top))
 	for i, e := range st.top {
 		out[i] = Score{Addr: c.addrs[e.ref], Sim: e.sim}

@@ -10,6 +10,12 @@
 // percentage-frequency histograms weighted by frame-type share
 // (Definition 1), and match candidates against a reference database with
 // weighted cosine similarity (Definition 2, Algorithm 1).
+//
+// The package is bit-identical by contract: the same record stream
+// yields byte-for-byte the same windows, signatures and scores, on
+// every run and shard count.
+//
+//fp:deterministic
 package core
 
 import (
@@ -145,6 +151,8 @@ func txTimeUs(sizeBytes int, rateMbps float64) float64 {
 // reception prevT of the immediately preceding frame in the capture
 // (−1 when rec is the first frame). ok=false means the value is
 // undefined for this record (e.g. inter-arrival of the first frame).
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (p Param) Value(rec *capture.Record, prevT int64) (v float64, ok bool) {
 	switch p {
 	case ParamRate:

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -170,7 +171,7 @@ func (t *SenderTable) entry(addr dot11.Addr, now int64) *senderEntry {
 		if t.limits.MaxSenders > 0 && len(t.entries) >= t.limits.MaxSenders {
 			t.evictOldest()
 		}
-		e = &senderEntry{sigs: make([]*Signature, len(t.cfgs))}
+		e = &senderEntry{sigs: make([]*Signature, len(t.cfgs))} //fp:allocok per-sender admission; amortised across the sender's frames
 		for i, cfg := range t.cfgs {
 			e.sigs[i] = NewSignature(cfg.Param, cfg.Bins)
 		}
@@ -186,6 +187,8 @@ func (t *SenderTable) entry(addr dot11.Addr, now int64) *senderEntry {
 // record time). Callers have already applied the attribution rules and
 // computed the parameter value — WindowAccumulator for the serial
 // paths, the sharded engine's router for the concurrent one.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now int64) {
 	t.entry(addr, now).sigs[0].Add(class, v)
 }
@@ -197,6 +200,8 @@ func (t *SenderTable) Observe(addr dot11.Addr, class dot11.Class, v float64, now
 // the members where it is defined). Call only when at least one member
 // is valid, so sender recency, eviction and entry creation stay a
 // deterministic function of the attributed record stream.
+//
+//fp:hotpath test=TestEnsemblePushZeroAllocs
 func (t *SenderTable) ObserveN(addr dot11.Addr, class dot11.Class, vals []float64, valid []bool, now int64) {
 	e := t.entry(addr, now)
 	for m := range t.cfgs {
@@ -208,6 +213,8 @@ func (t *SenderTable) ObserveN(addr dot11.Addr, class dot11.Class, vals []float6
 
 // sweepIdle evicts every sender whose last observation is at least the
 // idle bound behind now.
+//
+//fp:coldpath one sweep per idle period, amortised O(1) per observation
 func (t *SenderTable) sweepIdle(now int64) {
 	t.sweepT = now
 	cut := now - t.idleUs
@@ -223,16 +230,18 @@ func (t *SenderTable) sweepIdle(now int64) {
 // least one sender) so the O(n log n) scan amortises to O(log n) per
 // over-cap insertion. Ties on last-seen time break by ascending
 // address, keeping eviction a deterministic function of the stream.
+//
+//fp:coldpath one batch eviction per MaxSenders/8 over-cap insertions, amortised O(log n) per insertion
 func (t *SenderTable) evictOldest() {
 	cands := t.scratch[:0]
-	for addr, e := range t.entries {
+	for addr, e := range t.entries { //fp:unordered candidates are sorted by (lastT, addr) below; eviction is order-independent
 		cands = append(cands, evictCand{addr: addr, lastT: e.lastT})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].lastT != cands[j].lastT {
-			return cands[i].lastT < cands[j].lastT
+	slices.SortFunc(cands, func(a, b evictCand) int {
+		if a.lastT != b.lastT {
+			return cmp.Compare(a.lastT, b.lastT)
 		}
-		return lessAddr(cands[i].addr, cands[j].addr)
+		return cmpAddr(a.addr, b.addr)
 	})
 	k := t.limits.MaxSenders / 8
 	if k < 1 {
@@ -321,8 +330,8 @@ func (t *SenderTable) Drain(res *WindowResult) {
 	}
 	if len(t.evicted) > 0 {
 		res.Dropped = append(res.Dropped, t.evicted...)
-		sort.SliceStable(res.Dropped, func(i, j int) bool {
-			return lessAddr(res.Dropped[i].Addr, res.Dropped[j].Addr)
+		slices.SortStableFunc(res.Dropped, func(a, b DroppedSender) int {
+			return cmpAddr(a.Addr, b.Addr)
 		})
 		t.evicted = t.evicted[:0]
 	}

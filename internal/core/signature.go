@@ -26,6 +26,8 @@ type Signature struct {
 }
 
 // NewSignature creates an empty signature for a parameter and bin shape.
+//
+//fp:coldpath constructor; runs once per sender admission, amortised across the sender's frames
 func NewSignature(param Param, bins BinSpec) *Signature {
 	return &Signature{param: param, bins: bins}
 }

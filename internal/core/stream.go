@@ -258,6 +258,8 @@ func (a *WindowAccumulator) WindowsClosed() int { return int(a.windows.Load()) }
 // Push scans one record. The record is not retained. Crossing a window
 // boundary closes the previous window (emitting its WindowResult)
 // before the record is accounted to the new one.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (a *WindowAccumulator) Push(rec *capture.Record) {
 	if closed, meta := a.clock.Advance(rec.T); closed {
 		a.close(meta)
@@ -282,6 +284,8 @@ func (a *WindowAccumulator) Push(rec *capture.Record) {
 // defined, so sender recency (and with it bounded-state eviction) stays
 // a deterministic function of the attributed record stream. MemberValues
 // is the same computation, exported for the sharded engine's router.
+//
+//fp:hotpath test=TestEnsemblePushZeroAllocs
 func (a *WindowAccumulator) pushMulti(rec *capture.Record) {
 	if rec.Sender.IsZero() {
 		return
@@ -302,6 +306,8 @@ func (a *WindowAccumulator) pushMulti(rec *capture.Record) {
 // configuration keeps bad-FCS frames sees them; the others skip them —
 // per-member attribution, shared context, exactly as per-member
 // extraction over the same records behaves.
+//
+//fp:hotpath test=TestEnsemblePushZeroAllocs
 func MemberValues(cfgs []Config, rec *capture.Record, prevT int64, vals []float64, valid []bool) bool {
 	any := false
 	for m := range cfgs {
@@ -327,6 +333,8 @@ func (a *WindowAccumulator) Flush() {
 }
 
 // close emits the accumulated window.
+//
+//fp:coldpath runs once per closed window; drain and emit amortise across the window's frames
 func (a *WindowAccumulator) close(meta WindowMeta) {
 	res := &WindowResult{Index: meta.Index, Start: meta.Start, End: meta.End, Frames: meta.Frames}
 	a.table.Drain(res)

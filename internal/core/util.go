@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"bytes"
+	"slices"
 
 	"dot11fp/internal/dot11"
 )
@@ -10,21 +11,21 @@ import (
 // iteration.
 func sortedAddrs[V any](m map[dot11.Addr]V) []dot11.Addr {
 	out := make([]dot11.Addr, 0, len(m))
-	for a := range m {
+	for a := range m { //fp:unordered keys are sorted ascending before return
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return lessAddr(out[i], out[j])
-	})
+	slices.SortFunc(out, cmpAddr)
 	return out
 }
 
 // sortAddrs sorts an address slice ascending in place.
 func sortAddrs(addrs []dot11.Addr) {
-	sort.Slice(addrs, func(i, j int) bool {
-		return lessAddr(addrs[i], addrs[j])
-	})
+	slices.SortFunc(addrs, cmpAddr)
 }
+
+// cmpAddr is lessAddr's three-way form, for slices.SortFunc (which,
+// unlike sort.Slice, sorts without boxing through sort.Interface).
+func cmpAddr(a, b dot11.Addr) int { return bytes.Compare(a[:], b[:]) }
 
 func lessAddr(a, b dot11.Addr) bool {
 	for k := 0; k < len(a); k++ {

@@ -68,6 +68,8 @@ func (e *Elems) Has(id uint8) bool {
 // truncated input yields whatever well-formed prefix exists, with
 // Truncated set if the body ended mid-element. The returned Elems
 // aliases body (SSID).
+//
+//fp:hotpath test=TestClusterResolveZeroAllocs
 func ParseElems(body []byte) Elems {
 	var e Elems
 	parseElemsInto(&e, body)
@@ -185,6 +187,8 @@ func fnvBytes(h uint64, p []byte) uint64 {
 // driver-characteristic "IE fingerprint" of the probe-content
 // literature. Two bodies with the same elements in different order hash
 // differently.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (e *Elems) OrderFP() uint64 {
 	h := uint64(fnvOffset)
 	for i := 0; i < e.NumOrder; i++ {
@@ -195,6 +199,8 @@ func (e *Elems) OrderFP() uint64 {
 
 // RatesFP hashes the supported-rates set (wire order, basic-rate flags
 // included), folding in the capability field when present.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (e *Elems) RatesFP() uint64 {
 	h := uint64(fnvOffset)
 	for i := 0; i < e.NumRates; i++ {
@@ -210,6 +216,8 @@ func (e *Elems) RatesFP() uint64 {
 // SSIDFP hashes the SSID value, or returns 0 for an absent or wildcard
 // (zero-length) SSID — the two cases that carry no directed-probe
 // information.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (e *Elems) SSIDFP() uint64 {
 	if !e.HasSSID || len(e.SSID) == 0 {
 		return 0
@@ -227,6 +235,8 @@ func (e *Elems) VendorFP() uint64 { return e.vendor }
 // payloads folded together. The SSID is deliberately excluded — a
 // device probing for several networks must collapse to one key. This is
 // the key the clustering stage merges randomized-MAC senders under.
+//
+//fp:hotpath test=TestClusterResolveZeroAllocs
 func (e *Elems) ContentKey() uint64 {
 	h := e.OrderFP()
 	h = mix64(h ^ e.RatesFP())

@@ -7,6 +7,11 @@
 // passive measurement method: data (including QoS and null-function
 // power-save frames), management (beacons, probe requests/responses,
 // association and authentication) and control (RTS, CTS, ACK, PS-Poll).
+//
+// Parsing is bit-identical by contract: the same frame bytes yield the
+// same structures and fingerprints on every run.
+//
+//fp:deterministic
 package dot11
 
 import (

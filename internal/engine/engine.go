@@ -16,6 +16,13 @@
 // The reference database is hot-swappable (SetDB), so references can be
 // retrained — e.g. from a fresher training window — without dropping
 // the stream.
+//
+// The event stream is bit-identical by contract — the same records
+// yield the same events on every run and at every shard count; wall
+// clock feeds only stats and supervision, never output (each read is
+// annotated //fp:wallclock).
+//
+//fp:deterministic
 package engine
 
 import (
@@ -321,12 +328,14 @@ func (e *Engine) EnsembleDB() *core.CompiledEnsemble { return e.edb.Load() }
 // window boundary synchronously matches and emits the completed window
 // before the record is accounted to the new one. Push panics after
 // Close.
+//
+//fp:hotpath test=TestEnginePushZeroAllocs
 func (e *Engine) Push(rec *capture.Record) {
 	if e.closed {
 		panic("engine: Push after Close")
 	}
 	if e.frames.Add(1) == 1 {
-		e.startNs.Store(time.Now().UnixNano())
+		e.startNs.Store(time.Now().UnixNano()) //fp:wallclock throughput-stats epoch, read once on the first frame; no output depends on it
 	}
 	e.acc.Push(rec)
 }
@@ -380,7 +389,7 @@ func (e *Engine) Stats() Stats {
 		s.Index = db.IndexStats()
 	}
 	if ns := e.startNs.Load(); ns != 0 {
-		s.Elapsed = time.Duration(time.Now().UnixNano() - ns)
+		s.Elapsed = time.Duration(time.Now().UnixNano() - ns) //fp:wallclock stats-only elapsed/throughput; no event output depends on it
 		if s.Elapsed > 0 {
 			s.FramesPerSec = float64(s.Frames) / s.Elapsed.Seconds()
 		}
@@ -398,6 +407,8 @@ func (e *Engine) Health() Health { return e.health.snapshot() }
 // matching fault — loses that window's remaining events (counted in
 // Health as an engine panic) but not the stream; the accumulator has
 // already rolled to the next window and Push keeps working.
+//
+//fp:coldpath runs once per closed window; matching and emission amortise across the window's frames
 func (e *Engine) handleWindow(w *core.WindowResult) {
 	defer func() {
 		if r := recover(); r != nil {

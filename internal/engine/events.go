@@ -280,6 +280,8 @@ func NewDroppingChannelSink(buffer int) *ChannelSink {
 }
 
 // HandleEvent implements Sink under the sink's full-buffer policy.
+//
+//fp:mayblock lossless mode blocks on a full C by documented contract; dropOnFull is the non-blocking policy
 func (s *ChannelSink) HandleEvent(ev Event) {
 	if s.dropOnFull {
 		select {

@@ -165,7 +165,7 @@ func (h *healthState) snapshot() Health {
 		EnginePanics:  h.engines,
 		LastPanic:     h.last,
 	}
-	for i, st := range h.stalled {
+	for i, st := range h.stalled { //fp:unordered shard ids are sorted below
 		if st {
 			out.StalledShards = append(out.StalledShards, i)
 		}

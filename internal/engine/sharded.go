@@ -445,12 +445,14 @@ func (s *Sharded) ShardOf(addr dot11.Addr) int { return s.shardOf(addr) }
 // parameter value against the stream-wide inter-arrival context, and
 // forwards the observation to its sender's shard. Push panics after
 // Close.
+//
+//fp:hotpath test=TestShardedPushZeroAllocs
 func (s *Sharded) Push(rec *capture.Record) {
 	if s.closed {
 		panic("engine: Push after Close")
 	}
 	if s.frames.Add(1) == 1 {
-		s.startNs.Store(time.Now().UnixNano())
+		s.startNs.Store(time.Now().UnixNano()) //fp:wallclock throughput-stats epoch, read once on the first frame; no output depends on it
 	}
 	if closed, meta := s.clock.Advance(rec.T); closed {
 		s.broadcastClose(meta)
@@ -574,6 +576,8 @@ func (s *Sharded) routeMulti(addr dot11.Addr, class dot11.Class, t int64) {
 // are never dropped — window clocking survives the Drop policy — and
 // per-shard FIFO order guarantees each shard sees all of a window's
 // observations before its close.
+//
+//fp:coldpath one control broadcast per closed window
 func (s *Sharded) broadcastClose(meta core.WindowMeta) {
 	for _, sh := range s.shards {
 		msg := sh.cur
@@ -700,6 +704,8 @@ func (s *Sharded) runShard(id int, sh *shard) {
 // window protocol: the merger still receives a segment for every
 // (shard, window) pair, so windows keep completing and Flush/Close
 // keep returning. The loss is counted in Health as a shard panic.
+//
+//fp:hotpath test=TestShardedPushZeroAllocs
 func (s *Sharded) shardProcess(id int, sh *shard, msg *shardMsg, scratch *core.MatchScratch, escratch *core.EnsembleScratch) {
 	sent := false
 	defer func() {
@@ -732,34 +738,44 @@ func (s *Sharded) shardProcess(id int, sh *shard, msg *shardMsg, scratch *core.M
 		}
 	}
 	if msg.closeWin {
-		seg := shardSegment{meta: msg.meta}
-		seg.res.Index = msg.meta.Index
-		seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
-		seg.res.Frames = msg.meta.Frames
-		sh.table.Drain(&seg.res)
-		// With a trainer attached matching is deferred to the merger,
-		// so window k's enrollment swap is installed before window
-		// k+1's candidates are matched (see ShardedOptions.Trainer).
-		if !s.deferMatch {
-			if s.multi {
-				if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
-					if s.opts.TopK > 0 {
-						seg.fused = edb.TopKAllScratch(seg.res.Multi, s.opts.TopK, escratch)
-					} else {
-						seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, escratch)
-					}
-				}
-			} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+		s.shardClose(sh, msg, scratch, escratch, &sent)
+	}
+}
+
+// shardClose drains the shard's slice of a closing window, matches it
+// (unless matching is deferred to the merger) and ships the segment.
+// *sent flips just before the send so shardProcess's recovery never
+// double-ships a segment.
+//
+//fp:coldpath runs once per (shard, window) close control; drain and match amortise across the window's frames
+func (s *Sharded) shardClose(sh *shard, msg *shardMsg, scratch *core.MatchScratch, escratch *core.EnsembleScratch, sent *bool) {
+	seg := shardSegment{meta: msg.meta}
+	seg.res.Index = msg.meta.Index
+	seg.res.Start, seg.res.End = msg.meta.Start, msg.meta.End
+	seg.res.Frames = msg.meta.Frames
+	sh.table.Drain(&seg.res)
+	// With a trainer attached matching is deferred to the merger,
+	// so window k's enrollment swap is installed before window
+	// k+1's candidates are matched (see ShardedOptions.Trainer).
+	if !s.deferMatch {
+		if s.multi {
+			if edb := s.edb.Load(); edb != nil && edb.Len() > 0 && len(seg.res.Multi) > 0 {
 				if s.opts.TopK > 0 {
-					seg.rows = db.TopKAllScratch(seg.res.Candidates, s.opts.TopK, scratch)
+					seg.fused = edb.TopKAllScratch(seg.res.Multi, s.opts.TopK, escratch)
 				} else {
-					seg.rows = db.MatchAllScratch(seg.res.Candidates, scratch)
+					seg.fused, seg.perParam = edb.MatchAllScratch(seg.res.Multi, escratch)
 				}
 			}
+		} else if db := s.db.Load(); db != nil && db.Len() > 0 && len(seg.res.Candidates) > 0 {
+			if s.opts.TopK > 0 {
+				seg.rows = db.TopKAllScratch(seg.res.Candidates, s.opts.TopK, scratch)
+			} else {
+				seg.rows = db.MatchAllScratch(seg.res.Candidates, scratch)
+			}
 		}
-		sent = true
-		s.segCh <- seg
 	}
+	*sent = true
+	s.segCh <- seg
 }
 
 // runMerger joins shard segments back into whole windows. Every shard
@@ -818,6 +834,10 @@ type windowCounts struct {
 
 // addrLess orders candidates and drops across shard segments.
 func addrLess(a, b [6]byte) bool { return bytes.Compare(a[:], b[:]) < 0 }
+
+// addrCmp is addrLess's three-way form, for slices.SortFunc (which,
+// unlike sort.Slice, sorts without boxing through sort.Interface).
+func addrCmp(a, b [6]byte) int { return bytes.Compare(a[:], b[:]) }
 
 // mergeByAddr walks per-segment sorted slices in one global ascending
 // address order: n(k) is segment k's length, addr(k, i) its i-th
@@ -1058,7 +1078,7 @@ func (s *Sharded) Stats() Stats {
 		st.Index = db.IndexStats()
 	}
 	if ns := s.startNs.Load(); ns != 0 {
-		st.Elapsed = time.Duration(time.Now().UnixNano() - ns)
+		st.Elapsed = time.Duration(time.Now().UnixNano() - ns) //fp:wallclock stats-only elapsed/throughput; no event output depends on it
 		if st.Elapsed > 0 {
 			st.FramesPerSec = float64(st.Frames) / st.Elapsed.Seconds()
 		}

@@ -1,8 +1,9 @@
 package engine
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"dot11fp/internal/core"
@@ -479,13 +480,13 @@ func (t *Trainer) PendingList() []PendingEnrollment {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]PendingEnrollment, 0, len(t.pending))
-	for addr, p := range t.pending {
+	for addr, p := range t.pending { //fp:unordered entries are sorted by address below
 		out = append(out, PendingEnrollment{
 			Addr: addr, Windows: p.windows, Observations: minSigObs(p.sigs),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return addrLess([6]byte(out[i].Addr), [6]byte(out[j].Addr))
+	slices.SortFunc(out, func(a, b PendingEnrollment) int {
+		return addrCmp([6]byte(a.Addr), [6]byte(b.Addr))
 	})
 	return out
 }
@@ -757,14 +758,14 @@ type pendingEvictCand struct {
 // every other bounded-state decision in the pipeline.
 func (t *Trainer) evictPending() {
 	cands := t.evictScratch[:0]
-	for addr, p := range t.pending {
+	for addr, p := range t.pending { //fp:unordered candidates are sorted by (lastWindow, addr) below
 		cands = append(cands, pendingEvictCand{addr: addr, lastWindow: p.lastWindow})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].lastWindow != cands[j].lastWindow {
-			return cands[i].lastWindow < cands[j].lastWindow
+	slices.SortFunc(cands, func(a, b pendingEvictCand) int {
+		if a.lastWindow != b.lastWindow {
+			return cmp.Compare(a.lastWindow, b.lastWindow)
 		}
-		return addrLess([6]byte(cands[i].addr), [6]byte(cands[j].addr))
+		return addrCmp([6]byte(a.addr), [6]byte(b.addr))
 	})
 	k := t.opts.MaxPending / 8
 	if k < 1 {
@@ -807,6 +808,8 @@ type tapSink struct {
 }
 
 // HandleEvent implements Sink.
+//
+//fp:mayblock trainer-owned tap: observeWindow* re-enters the Trainer, which drives its engine synchronously from Train — no other pusher exists
 func (s *tapSink) HandleEvent(ev Event) {
 	if s.next != nil {
 		s.next.HandleEvent(ev)

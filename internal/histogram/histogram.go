@@ -7,6 +7,11 @@
 // the paper's measure; Intersection, Bhattacharyya and L1 are provided
 // for the "alternative similarity measure" ablation the paper leaves to
 // future work.
+//
+// The package is bit-identical by contract: kernels perform the same
+// float operations in the same order on every run.
+//
+//fp:deterministic
 package histogram
 
 import (

@@ -134,6 +134,7 @@ func (s *Site) Gate() *EnrollGate { return s.gate }
 // and non-blocking — the cache only acts at window close (the hot push
 // path never reaches a sink), and the fanout drops rather than waits.
 func (s *Site) Sink(next dot11fp.Sink) dot11fp.Sink {
+	//fp:mayblock bounded taps: verdict cache and drop-on-full fanout hold short mutexes and never wait on a consumer
 	return dot11fp.SinkFunc(func(ev dot11fp.Event) {
 		s.rec.observe(ev)
 		s.feed.Publish(ev)
